@@ -1,0 +1,29 @@
+//! # analysis — metric collection and reporting for the TreeP reproduction
+//!
+//! The paper's evaluation (Section IV) reports failed-lookup percentages,
+//! hop-count averages and min/max envelopes, and hop-count distribution
+//! surfaces as a function of the fraction of failed nodes. This crate holds
+//! the small, dependency-free statistics toolbox used to compute and render
+//! those quantities:
+//!
+//! * [`SummaryStats`] — mean / min / max / standard deviation / percentiles
+//!   of a sample.
+//! * [`Series`] — a named `(x, y)` series (one curve of Figures A–E).
+//! * [`HopHistogram`] and [`HopSurface`] — the hop-count distributions and
+//!   the 3-D surfaces of Figures F–I.
+//! * [`AsciiTable`] and [`Csv`] — plain-text and CSV renderers used by the
+//!   experiment harness and the benches to print the paper's rows.
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod histogram;
+pub mod series;
+pub mod summary;
+pub mod table;
+
+pub use csv::Csv;
+pub use histogram::{HopHistogram, HopSurface};
+pub use series::{Series, SeriesSet};
+pub use summary::SummaryStats;
+pub use table::AsciiTable;

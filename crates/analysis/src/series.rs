@@ -1,0 +1,219 @@
+//! Named `(x, y)` series — the curves of Figures A–E.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One curve: a label and a sequence of `(x, y)` points in insertion order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label (e.g. `"G"`, `"NG"`, `"NGSA"`).
+    pub name: String,
+    /// The `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// An empty series with the given label.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series { name: name.into(), points: Vec::new() }
+    }
+
+    /// Append one point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The `y` value recorded for the point whose `x` is closest to the
+    /// query (`None` for an empty series).
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                (a.0 - x)
+                    .abs()
+                    .partial_cmp(&(b.0 - x).abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|p| p.1)
+    }
+
+    /// Mean of the `y` values (0 for an empty series).
+    pub fn mean_y(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|p| p.1).sum::<f64>() / self.points.len() as f64
+        }
+    }
+
+    /// Largest `y` value, if any.
+    pub fn max_y(&self) -> Option<f64> {
+        self.points.iter().map(|p| p.1).fold(None, |acc, y| Some(acc.map_or(y, |m: f64| m.max(y))))
+    }
+
+    /// True when the `y` values never decrease as `x` increases (points are
+    /// compared in insertion order). Used to sanity-check "failures only make
+    /// things worse" expectations, with `tolerance` absorbing noise.
+    pub fn is_non_decreasing(&self, tolerance: f64) -> bool {
+        self.points.windows(2).all(|w| w[1].1 >= w[0].1 - tolerance)
+    }
+}
+
+/// A set of series sharing the same x axis (one whole figure).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSet {
+    series: BTreeMap<String, Series>,
+}
+
+impl SeriesSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        SeriesSet::default()
+    }
+
+    /// Append a point to the named series, creating it on first use.
+    pub fn push(&mut self, name: &str, x: f64, y: f64) {
+        self.series.entry(name.to_string()).or_insert_with(|| Series::new(name)).push(x, y);
+    }
+
+    /// Look up a series by name.
+    pub fn get(&self, name: &str) -> Option<&Series> {
+        self.series.get(name)
+    }
+
+    /// Iterate over the series in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Series> {
+        self.series.values()
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when the set holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Render the set as aligned columns: `x` followed by one `y` column per
+    /// series (name order), using the union of the x values.
+    pub fn to_rows(&self) -> (Vec<String>, Vec<Vec<f64>>) {
+        let mut header = vec!["x".to_string()];
+        header.extend(self.series.keys().cloned());
+        let mut xs: Vec<f64> = self.series.values().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        let rows = xs
+            .into_iter()
+            .map(|x| {
+                let mut row = vec![x];
+                for s in self.series.values() {
+                    row.push(s.y_at(x).unwrap_or(f64::NAN));
+                }
+                row
+            })
+            .collect();
+        (header, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut s = Series::new("G");
+        assert!(s.is_empty());
+        s.push(0.0, 1.0);
+        s.push(10.0, 3.0);
+        s.push(20.0, 5.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.y_at(9.0), Some(3.0));
+        assert_eq!(s.y_at(0.0), Some(1.0));
+        assert_eq!(s.mean_y(), 3.0);
+        assert_eq!(s.max_y(), Some(5.0));
+    }
+
+    #[test]
+    fn empty_series_queries() {
+        let s = Series::new("empty");
+        assert_eq!(s.y_at(1.0), None);
+        assert_eq!(s.mean_y(), 0.0);
+        assert_eq!(s.max_y(), None);
+        assert!(s.is_non_decreasing(0.0));
+    }
+
+    #[test]
+    fn monotonicity_check_respects_tolerance() {
+        let mut s = Series::new("noisy");
+        s.push(0.0, 1.0);
+        s.push(1.0, 0.95);
+        s.push(2.0, 2.0);
+        assert!(!s.is_non_decreasing(0.0));
+        assert!(s.is_non_decreasing(0.1));
+    }
+
+    #[test]
+    fn series_set_groups_by_name() {
+        let mut set = SeriesSet::new();
+        set.push("G", 0.0, 1.0);
+        set.push("NG", 0.0, 2.0);
+        set.push("G", 5.0, 3.0);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.get("G").unwrap().len(), 2);
+        assert_eq!(set.get("NG").unwrap().len(), 1);
+        assert!(set.get("NGSA").is_none());
+    }
+
+    #[test]
+    fn to_rows_aligns_on_the_x_union() {
+        let mut set = SeriesSet::new();
+        set.push("a", 0.0, 1.0);
+        set.push("a", 1.0, 2.0);
+        set.push("b", 1.0, 20.0);
+        let (header, rows) = set.to_rows();
+        assert_eq!(header, vec!["x", "a", "b"]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec![1.0, 2.0, 20.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn mean_is_bounded_by_extremes(ys in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let mut s = Series::new("p");
+            for (i, y) in ys.iter().enumerate() {
+                s.push(i as f64, *y);
+            }
+            let max = s.max_y().unwrap();
+            prop_assert!(s.mean_y() <= max + 1e-9);
+        }
+
+        #[test]
+        fn y_at_returns_an_existing_y(ys in proptest::collection::vec(0.0f64..100.0, 1..50), q in 0.0f64..60.0) {
+            let mut s = Series::new("p");
+            for (i, y) in ys.iter().enumerate() {
+                s.push(i as f64, *y);
+            }
+            let got = s.y_at(q).unwrap();
+            prop_assert!(ys.contains(&got));
+        }
+    }
+}

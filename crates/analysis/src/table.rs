@@ -1,0 +1,152 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A simple aligned ASCII table with a title, a header row and data rows.
+///
+/// Used by the experiment harness and the Criterion benches to print the
+/// rows of each paper figure in a stable, diff-friendly format.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AsciiTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl AsciiTable {
+    /// A new table with the given title.
+    pub fn new(title: impl Into<String>) -> Self {
+        AsciiTable { title: title.into(), header: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Set the column headers.
+    pub fn header<I, S>(mut self, header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.header = header.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append a data row (stringified by the caller).
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+    }
+
+    /// Append a row of floats rendered with `decimals` decimal places.
+    pub fn push_f64_row(&mut self, row: &[f64], decimals: usize) {
+        self.rows.push(row.iter().map(|v| format!("{v:.decimals$}")).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the table, columns padded to their widest cell.
+    pub fn render(&self) -> String {
+        let columns = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&self.title);
+            out.push('\n');
+        }
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:>width$}"));
+            }
+            line
+        };
+        if !self.header.is_empty() {
+            out.push_str(&render_row(&self.header, &widths));
+            out.push('\n');
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for AsciiTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_header_and_rows() {
+        let mut t = AsciiTable::new("Figure A").header(["failed %", "G", "NG"]);
+        t.push_row(["0", "0.0", "0.1"]);
+        t.push_row(["30", "10.2", "11.0"]);
+        let s = t.render();
+        assert!(s.starts_with("Figure A\n"));
+        assert!(s.contains("failed %"));
+        assert!(s.contains("10.2"));
+        assert_eq!(s.lines().count(), 5, "{s}");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn columns_are_right_aligned_to_the_widest_cell() {
+        let mut t = AsciiTable::new("").header(["a", "bbbb"]);
+        t.push_row(["12345", "1"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "    a  bbbb");
+        assert_eq!(lines[2], "12345     1");
+    }
+
+    #[test]
+    fn float_rows_are_formatted() {
+        let mut t = AsciiTable::new("x");
+        t.push_f64_row(&[1.23456, 7.0], 2);
+        assert!(t.render().contains("1.23"));
+        assert!(t.render().contains("7.00"));
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = AsciiTable::new("t").header(["c"]);
+        t.push_row(["v"]);
+        assert_eq!(format!("{t}"), t.render());
+    }
+
+    #[test]
+    fn empty_table_renders_only_the_title() {
+        let t = AsciiTable::new("just a title");
+        assert_eq!(t.render(), "just a title\n");
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! Ablation — TreeP vs Chord vs Gnutella-style flooding under identical
+//! lookup workloads, intact and after failing 30 % of the nodes. Not a paper
+//! figure, but the comparison the paper's introduction argues qualitatively:
+//! structured overlays need O(log n) hops, flooding needs orders of magnitude
+//! more messages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::compare_overlays;
+use std::hint::black_box;
+
+fn bench_ablation_baselines(c: &mut Criterion) {
+    let comparison = compare_overlays(150, 2005, &[0.0, 0.3], 25);
+    println!("{}", comparison.to_table().render());
+
+    let mut group = c.benchmark_group("ablation_baselines");
+    group.sample_size(10);
+    group.bench_function("compare_three_overlays_n150", |b| {
+        b.iter(|| black_box(compare_overlays(150, 2005, &[0.0, 0.3], 25)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_baselines);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ablation — maintenance overhead (messages per alive node per settle
+//! window) as the failure rate grows, for both child policies. Supports the
+//! paper's claim that the overlay is maintained "while limiting the overhead
+//! introduced by the overlay maintenance".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{maintenance, run_churn_experiment, ExperimentParams};
+use std::hint::black_box;
+
+fn bench_ablation_maintenance(c: &mut Criterion) {
+    let fixed_params = ExperimentParams::quick(200, 2005).with_lookups_per_step(10);
+    let adaptive_params = fixed_params.with_adaptive_policy();
+    let fixed = run_churn_experiment(&fixed_params);
+    let adaptive = run_churn_experiment(&adaptive_params);
+    println!("{}", maintenance::to_table(&[&fixed, &adaptive]).render());
+
+    let mut group = c.benchmark_group("ablation_maintenance");
+    group.sample_size(10);
+    group.bench_function("maintenance_extraction", |b| {
+        b.iter(|| black_box(maintenance::maintenance_series(&fixed)))
+    });
+    group.bench_function("churn_run_for_overhead_n200", |b| {
+        b.iter(|| black_box(run_churn_experiment(&fixed_params)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_maintenance);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure A — percentage of failed lookups vs percentage of failed nodes,
+//! `nc = 4`, for the three routing algorithms (G / NG / NGSA).
+//!
+//! The bench prints the regenerated figure rows, then measures the cost of
+//! one full churn run (build the steady-state topology, fail 10 % of the
+//! nodes per step, issue lookups at every step).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{figures, run_churn_experiment, ExperimentParams, Figure};
+use std::hint::black_box;
+
+fn params() -> ExperimentParams {
+    ExperimentParams::quick(200, 2005).with_lookups_per_step(30)
+}
+
+fn bench_fig_a(c: &mut Criterion) {
+    let p = params();
+    let result = run_churn_experiment(&p);
+    let data = figures::extract(Figure::A, &result, None);
+    println!("{}", data.to_table("Figure A — % failed lookups vs % failed nodes (nc = 4)").render());
+
+    let mut group = c.benchmark_group("fig_a");
+    group.sample_size(10);
+    group.bench_function("churn_run_nc4_n200", |b| b.iter(|| black_box(run_churn_experiment(&p))));
+    group.bench_function("extract_failed_lookup_curves", |b| {
+        b.iter(|| black_box(figures::failed_lookup_curves(&result)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig_a);
+criterion_main!(benches);

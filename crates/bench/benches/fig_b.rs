@@ -1,0 +1,25 @@
+//! Figure B — mean hops to resolve a lookup vs percentage of failed nodes,
+//! `nc = 4`. The paper reports ~5 hops, roughly independent of the failure
+//! rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{figures, run_churn_experiment, ExperimentParams, Figure};
+use std::hint::black_box;
+
+fn bench_fig_b(c: &mut Criterion) {
+    let p = ExperimentParams::quick(200, 2005).with_lookups_per_step(30);
+    let result = run_churn_experiment(&p);
+    let data = figures::extract(Figure::B, &result, None);
+    println!("{}", data.to_table("Figure B — mean hops vs % failed nodes (nc = 4)").render());
+
+    let mut group = c.benchmark_group("fig_b");
+    group.sample_size(10);
+    group.bench_function("churn_run_nc4_n200", |b| b.iter(|| black_box(run_churn_experiment(&p))));
+    group.bench_function("extract_mean_hop_curves", |b| {
+        b.iter(|| black_box(figures::mean_hop_curves(&result)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig_b);
+criterion_main!(benches);

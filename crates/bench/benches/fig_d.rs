@@ -1,0 +1,30 @@
+//! Figure D — mean hops under churn, fixed `nc = 4` vs capability-driven
+//! variable `nc`. The paper observes that only the variable-`nc` hierarchy
+//! sees its hop count grow once more than ~30 % of the nodes have left.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{figures, run_churn_experiment, ExperimentParams, Figure};
+use std::hint::black_box;
+
+fn bench_fig_d(c: &mut Criterion) {
+    let fixed_params = ExperimentParams::quick(200, 2005).with_lookups_per_step(30);
+    let adaptive_params = fixed_params.with_adaptive_policy();
+    let fixed = run_churn_experiment(&fixed_params);
+    let adaptive = run_churn_experiment(&adaptive_params);
+    let data = figures::extract(Figure::D, &fixed, Some(&adaptive));
+    println!("{}", data.to_table("Figure D — mean hops, nc=4 vs variable nc").render());
+
+    let mut group = c.benchmark_group("fig_d");
+    group.sample_size(10);
+    group.bench_function("compare_policies_n200", |b| {
+        b.iter(|| {
+            let f = run_churn_experiment(&fixed_params);
+            let a = run_churn_experiment(&adaptive_params);
+            black_box(figures::hop_comparison_curves(&f, &a))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig_d);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure E — minimum and maximum hop counts of failed lookups vs percentage
+//! of failed nodes (`nc = 4`). The paper sees the maximum jump once ~35 % of
+//! the nodes are gone and the network partitions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{figures, run_churn_experiment, ExperimentParams, Figure};
+use std::hint::black_box;
+use treep::RoutingAlgorithm;
+
+fn bench_fig_e(c: &mut Criterion) {
+    let p = ExperimentParams::quick(200, 2005).with_lookups_per_step(30);
+    let result = run_churn_experiment(&p);
+    let data = figures::extract(Figure::E, &result, None);
+    println!("{}", data.to_table("Figure E — min/max hops of failed lookups (nc = 4)").render());
+
+    let mut group = c.benchmark_group("fig_e");
+    group.sample_size(10);
+    group.bench_function("churn_run_nc4_n200", |b| b.iter(|| black_box(run_churn_experiment(&p))));
+    group.bench_function("extract_failed_hop_envelope", |b| {
+        b.iter(|| black_box(figures::failed_hop_envelope(&result, RoutingAlgorithm::Greedy)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig_e);
+criterion_main!(benches);

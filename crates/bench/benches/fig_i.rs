@@ -1,0 +1,25 @@
+//! Figure I — hop-count distribution surface for the non-greedy algorithm
+//! with the capability-driven (variable `nc`) child policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{figures, run_churn_experiment, ExperimentParams, Figure};
+use std::hint::black_box;
+use treep::RoutingAlgorithm;
+
+fn bench_fig_i(c: &mut Criterion) {
+    let p = ExperimentParams::quick(200, 2005).with_lookups_per_step(40).with_adaptive_policy();
+    let result = run_churn_experiment(&p);
+    let data = figures::extract(Figure::I, &result, Some(&result));
+    println!("{}", data.to_table("Figure I — hop-count surface (non-greedy, variable nc)").render());
+
+    let mut group = c.benchmark_group("fig_i");
+    group.sample_size(10);
+    group.bench_function("churn_run_adaptive_n200", |b| b.iter(|| black_box(run_churn_experiment(&p))));
+    group.bench_function("extract_hop_surface_non_greedy", |b| {
+        b.iter(|| black_box(figures::hop_surface(&result, RoutingAlgorithm::NonGreedy)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig_i);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Micro-benchmarks of the TreeP core primitives: the hierarchical distance
+//! function, routing-table operations, next-hop selection, the capability
+//! score / election countdown, and steady-state topology construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::{NodeAddr, SimDuration, SimTime};
+use std::hint::black_box;
+use treep::{
+    CharacteristicsSummary, ChildPolicy, HierarchicalDistance, IdSpace, NodeCharacteristics, NodeId,
+    RoutingAlgorithm, RoutingEntry, RoutingTables,
+};
+use treep::lookup::{LookupRequest, RequestId};
+use treep::routing::{route, RouterView};
+use treep::PeerInfo;
+use workloads::TopologyBuilder;
+
+fn summary() -> CharacteristicsSummary {
+    CharacteristicsSummary::of(&NodeCharacteristics::default(), ChildPolicy::Fixed(4))
+}
+
+fn entry(id: u64, level: u32) -> RoutingEntry {
+    RoutingEntry::new(NodeId(id), NodeAddr(id), level, summary(), SimTime::ZERO)
+}
+
+fn seeded_tables(n: u64) -> RoutingTables {
+    let mut tables = RoutingTables::new();
+    for i in 0..n {
+        tables.upsert_level0(entry(i * 1_000_003 % 4_000_000_000, 0));
+    }
+    tables.set_parent(entry(2_000_000_000, 1));
+    tables.upsert_superior(entry(1_000_000_000, 3));
+    tables.upsert_child(entry(123_456, 0), true);
+    tables
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let dist = HierarchicalDistance::new(IdSpace::default(), 6);
+    let mut group = c.benchmark_group("micro_distance");
+    group.bench_function("euclidean", |b| {
+        b.iter(|| black_box(dist.euclidean(NodeId(123_456_789), NodeId(3_987_654_321))))
+    });
+    group.bench_function("hierarchical_lvl3", |b| {
+        b.iter(|| black_box(dist.hierarchical(NodeId(123_456_789), 3, NodeId(3_987_654_321))))
+    });
+    group.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_tables");
+    group.bench_function("upsert_level0_x16", |b| {
+        b.iter(|| {
+            let mut t = RoutingTables::new();
+            for i in 0..16u64 {
+                t.upsert_level0(entry(i * 7_919, 0));
+            }
+            black_box(t.level0_degree())
+        })
+    });
+    let tables = seeded_tables(16);
+    group.bench_function("find_hit", |b| b.iter(|| black_box(tables.find(NodeId(123_456)))));
+    group.bench_function("all_peers", |b| b.iter(|| black_box(tables.all_peers())));
+    group.bench_function("prune_level0", |b| {
+        b.iter(|| {
+            let mut t = seeded_tables(32);
+            black_box(t.prune_level0(IdSpace::default(), NodeId(0), 8))
+        })
+    });
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let dist = HierarchicalDistance::new(IdSpace::default(), 6);
+    let tables = seeded_tables(16);
+    let view = RouterView {
+        tables: &tables,
+        dist: &dist,
+        self_id: NodeId(5),
+        self_level: 0,
+        self_addr: NodeAddr(5),
+        max_ttl: 255,
+    };
+    let origin = PeerInfo { id: NodeId(5), addr: NodeAddr(5), max_level: 0, summary: summary() };
+    let mut group = c.benchmark_group("micro_routing");
+    for algo in RoutingAlgorithm::ALL {
+        group.bench_function(format!("next_hop_{algo}"), |b| {
+            b.iter(|| {
+                let mut req =
+                    LookupRequest::new(RequestId(1), origin, NodeId(3_500_000_000), algo);
+                black_box(route(&view, &mut req))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_characteristics(c: &mut Criterion) {
+    let chars = NodeCharacteristics::strong();
+    let mut group = c.benchmark_group("micro_characteristics");
+    group.bench_function("capability_score", |b| b.iter(|| black_box(chars.capability_score())));
+    group.bench_function("election_countdown", |b| {
+        b.iter(|| black_box(chars.election_countdown(SimDuration::from_millis(400))))
+    });
+    group.finish();
+}
+
+fn bench_topology_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_topology");
+    group.sample_size(10);
+    group.bench_function("build_steady_state_n200", |b| {
+        b.iter(|| black_box(TopologyBuilder::new(200).build_simulation(7)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distance,
+    bench_tables,
+    bench_routing,
+    bench_characteristics,
+    bench_topology_build
+);
+criterion_main!(benches);

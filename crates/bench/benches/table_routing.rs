@@ -1,0 +1,25 @@
+//! Section III.e — routing-table sizes and actively maintained connections
+//! per level, measured against the paper's analytic accounting, for both
+//! child policies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{routing_table_report, ExperimentParams};
+use std::hint::black_box;
+
+fn bench_table_routing(c: &mut Criterion) {
+    let fixed = ExperimentParams::quick(300, 2005);
+    let adaptive = fixed.with_adaptive_policy();
+    println!("{}", routing_table_report(&fixed).to_table().render());
+    println!("{}", routing_table_report(&adaptive).to_table().render());
+
+    let mut group = c.benchmark_group("table_routing");
+    group.sample_size(10);
+    group.bench_function("report_nc4_n300", |b| b.iter(|| black_box(routing_table_report(&fixed))));
+    group.bench_function("report_adaptive_n300", |b| {
+        b.iter(|| black_box(routing_table_report(&adaptive)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_routing);
+criterion_main!(benches);

@@ -1,0 +1,312 @@
+//! TreeP vs Chord vs flooding under identical lookup workloads.
+//!
+//! The paper motivates TreeP against structured DHTs (Chord et al.) and
+//! unstructured flooding networks (Gnutella et al.). This ablation runs the
+//! same lookup workload over all three overlays — intact and after failing a
+//! fraction of the nodes — and reports success rate, mean hops, and messages
+//! per lookup.
+
+use analysis::AsciiTable;
+use baselines::{ChordBuilder, FloodingBuilder};
+use simnet::{NodeAddr, SimDuration, Simulation};
+use treep::{NodeId, RoutingAlgorithm, TreePNode};
+use workloads::{CapabilityDistribution, LookupWorkload, TopologyBuilder};
+
+/// One overlay measured at one failure level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlayRow {
+    /// Overlay name ("TreeP", "Chord", "Flooding").
+    pub overlay: String,
+    /// Fraction of the population failed before the lookups were issued.
+    pub failed_fraction: f64,
+    /// Number of lookups issued.
+    pub lookups: usize,
+    /// Percentage of lookups that resolved (0–100).
+    pub success_pct: f64,
+    /// Mean hops of the successful lookups.
+    pub mean_hops: f64,
+    /// Lookup-attributable overlay messages per issued lookup.
+    pub messages_per_lookup: f64,
+}
+
+/// The full comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlayComparison {
+    /// Population size shared by the three overlays.
+    pub nodes: usize,
+    /// One row per (overlay, failure level).
+    pub rows: Vec<OverlayRow>,
+}
+
+impl OverlayComparison {
+    /// All rows of one overlay.
+    pub fn overlay_rows(&self, overlay: &str) -> Vec<&OverlayRow> {
+        self.rows.iter().filter(|r| r.overlay == overlay).collect()
+    }
+
+    /// Render the comparison as an aligned table.
+    pub fn to_table(&self) -> AsciiTable {
+        let mut table = AsciiTable::new(format!("Overlay comparison (n = {})", self.nodes)).header([
+            "overlay",
+            "failed %",
+            "lookups",
+            "success %",
+            "mean hops",
+            "msgs/lookup",
+        ]);
+        for row in &self.rows {
+            table.push_row([
+                row.overlay.clone(),
+                format!("{:.0}", row.failed_fraction * 100.0),
+                row.lookups.to_string(),
+                format!("{:.1}", row.success_pct),
+                format!("{:.2}", row.mean_hops),
+                format!("{:.1}", row.messages_per_lookup),
+            ]);
+        }
+        table
+    }
+}
+
+/// Run the comparison for the given population size, failure levels and
+/// lookup count per level.
+pub fn compare_overlays(
+    nodes: usize,
+    seed: u64,
+    failure_fractions: &[f64],
+    lookups: usize,
+) -> OverlayComparison {
+    let mut rows = Vec::new();
+    for &fraction in failure_fractions {
+        rows.push(measure_treep(nodes, seed, fraction, lookups));
+        rows.push(measure_chord(nodes, seed, fraction, lookups));
+        rows.push(measure_flooding(nodes, seed, fraction, lookups));
+    }
+    OverlayComparison { nodes, rows }
+}
+
+fn fail_fraction<P: simnet::Protocol>(
+    sim: &mut Simulation<P>,
+    pairs: &[(NodeAddr, NodeId)],
+    fraction: f64,
+    keep: NodeAddr,
+) -> Vec<(NodeAddr, NodeId)> {
+    let victims = ((pairs.len() as f64) * fraction).round() as usize;
+    let mut failed = 0usize;
+    let mut candidates: Vec<NodeAddr> = pairs.iter().map(|p| p.0).filter(|a| *a != keep).collect();
+    // Deterministic victim choice: every third candidate, wrapping, until the
+    // quota is reached (the comparison cares about identical failure counts,
+    // not identical victims, across overlays).
+    let mut idx = 0usize;
+    while failed < victims && !candidates.is_empty() {
+        let victim = candidates.remove(idx % candidates.len().max(1));
+        sim.fail_node(victim);
+        failed += 1;
+        idx += 2;
+    }
+    sim.run_for(SimDuration::from_millis(10));
+    pairs.iter().filter(|(a, _)| sim.is_alive(*a)).copied().collect()
+}
+
+fn measure_treep(nodes: usize, seed: u64, fraction: f64, lookups: usize) -> OverlayRow {
+    let config = {
+        let mut c = treep::TreePConfig::paper_case_fixed();
+        c.lookup_timeout = SimDuration::from_secs(2);
+        c
+    };
+    let builder = TopologyBuilder::new(nodes)
+        .with_config(config)
+        .with_capabilities(CapabilityDistribution::Heterogeneous);
+    let (mut sim, topo) = builder.build_simulation(seed);
+    let pairs = topo.pairs();
+    let alive = fail_fraction(&mut sim, &pairs, fraction, pairs[0].0);
+    sim.run_for(SimDuration::from_secs(3));
+
+    let lookup_sent_before = treep_lookup_messages(&sim, &alive);
+    let workload = LookupWorkload::new(lookups);
+    let mut rng = sim.rng_mut().fork();
+    let batches = workload.generate(&alive, &mut rng);
+    for batch in &batches {
+        sim.invoke(batch.source, |node, ctx| {
+            node.start_lookup(batch.target, RoutingAlgorithm::Greedy, ctx);
+        });
+    }
+    sim.run_for(SimDuration::from_millis(2_500));
+
+    let mut successes = 0usize;
+    let mut hops = Vec::new();
+    for &(addr, _) in &alive {
+        if let Some(node) = sim.node_mut(addr) {
+            for o in node.drain_lookup_outcomes() {
+                if o.status.is_success() {
+                    successes += 1;
+                    hops.push(o.hops as f64);
+                }
+            }
+        }
+    }
+    let lookup_sent_after = treep_lookup_messages(&sim, &alive);
+    finish_row("TreeP", fraction, batches.len(), successes, &hops, lookup_sent_after - lookup_sent_before)
+}
+
+fn treep_lookup_messages(sim: &Simulation<TreePNode>, alive: &[(NodeAddr, NodeId)]) -> u64 {
+    alive
+        .iter()
+        .filter_map(|&(addr, _)| sim.node(addr))
+        .map(|n| n.stats().total_sent() - n.stats().maintenance_sent())
+        .sum()
+}
+
+fn measure_chord(nodes: usize, seed: u64, fraction: f64, lookups: usize) -> OverlayRow {
+    let (mut sim, pairs) = ChordBuilder::new(nodes).build_simulation(seed);
+    sim.run_for(SimDuration::from_secs(1));
+    let alive = fail_fraction(&mut sim, &pairs, fraction, pairs[0].0);
+    sim.run_for(SimDuration::from_secs(2));
+
+    let forwarded_before: u64 =
+        alive.iter().filter_map(|&(a, _)| sim.node(a)).map(|n| n.forwarded).sum();
+    let workload = LookupWorkload::new(lookups);
+    let mut rng = sim.rng_mut().fork();
+    let batches = workload.generate(&alive, &mut rng);
+    for batch in &batches {
+        sim.invoke(batch.source, |node, ctx| {
+            node.start_lookup(batch.target, ctx);
+        });
+    }
+    sim.run_for(SimDuration::from_millis(2_500));
+
+    let mut successes = 0usize;
+    let mut hops = Vec::new();
+    for &(addr, _) in &alive {
+        if let Some(node) = sim.node_mut(addr) {
+            for o in node.drain_lookup_outcomes() {
+                if o.found {
+                    successes += 1;
+                    hops.push(o.hops as f64);
+                }
+            }
+        }
+    }
+    let forwarded_after: u64 =
+        alive.iter().filter_map(|&(a, _)| sim.node(a)).map(|n| n.forwarded).sum();
+    // Each lookup also costs the origin's initial send and the answer.
+    let messages = (forwarded_after - forwarded_before) + 2 * batches.len() as u64;
+    finish_row("Chord", fraction, batches.len(), successes, &hops, messages)
+}
+
+fn measure_flooding(nodes: usize, seed: u64, fraction: f64, lookups: usize) -> OverlayRow {
+    let (mut sim, pairs) = FloodingBuilder::new(nodes).build_simulation(seed);
+    sim.run_until_idle();
+    let alive = fail_fraction(&mut sim, &pairs, fraction, pairs[0].0);
+
+    let forwarded_before: u64 =
+        alive.iter().filter_map(|&(a, _)| sim.node(a)).map(|n| n.forwarded).sum();
+    let workload = LookupWorkload::new(lookups);
+    let mut rng = sim.rng_mut().fork();
+    let batches = workload.generate(&alive, &mut rng);
+    let mut initial_fanout = 0u64;
+    for batch in &batches {
+        let fanout = sim
+            .node(batch.source)
+            .map(|n| n.neighbors().len() as u64)
+            .unwrap_or(0);
+        initial_fanout += fanout;
+        sim.invoke(batch.source, |node, ctx| {
+            node.start_lookup(batch.target, ctx);
+        });
+    }
+    sim.run_for(SimDuration::from_millis(2_500));
+
+    let mut successes = 0usize;
+    let mut hops = Vec::new();
+    for &(addr, _) in &alive {
+        if let Some(node) = sim.node_mut(addr) {
+            for o in node.drain_lookup_outcomes() {
+                if o.found {
+                    successes += 1;
+                    hops.push(o.hops as f64);
+                }
+            }
+        }
+    }
+    let forwarded_after: u64 =
+        alive.iter().filter_map(|&(a, _)| sim.node(a)).map(|n| n.forwarded).sum();
+    let messages = (forwarded_after - forwarded_before) + initial_fanout + successes as u64;
+    finish_row("Flooding", fraction, batches.len(), successes, &hops, messages)
+}
+
+fn finish_row(
+    overlay: &str,
+    fraction: f64,
+    issued: usize,
+    successes: usize,
+    hops: &[f64],
+    messages: u64,
+) -> OverlayRow {
+    OverlayRow {
+        overlay: overlay.to_string(),
+        failed_fraction: fraction,
+        lookups: issued,
+        success_pct: if issued == 0 { 0.0 } else { successes as f64 * 100.0 / issued as f64 },
+        mean_hops: if hops.is_empty() { 0.0 } else { hops.iter().sum::<f64>() / hops.len() as f64 },
+        messages_per_lookup: if issued == 0 { 0.0 } else { messages as f64 / issued as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comparison() -> OverlayComparison {
+        compare_overlays(120, 51, &[0.0, 0.3], 25)
+    }
+
+    #[test]
+    fn every_overlay_is_measured_at_every_failure_level() {
+        let c = comparison();
+        assert_eq!(c.rows.len(), 6);
+        for overlay in ["TreeP", "Chord", "Flooding"] {
+            assert_eq!(c.overlay_rows(overlay).len(), 2, "{overlay}");
+        }
+    }
+
+    #[test]
+    fn intact_overlays_resolve_most_lookups() {
+        let c = comparison();
+        for row in c.rows.iter().filter(|r| r.failed_fraction == 0.0) {
+            assert!(
+                row.success_pct >= 80.0,
+                "{} resolved only {:.0}% of lookups on an intact overlay",
+                row.overlay,
+                row.success_pct
+            );
+        }
+    }
+
+    #[test]
+    fn flooding_costs_far_more_messages_than_treep() {
+        let c = comparison();
+        let treep = c.overlay_rows("TreeP")[0].messages_per_lookup;
+        let flooding = c.overlay_rows("Flooding")[0].messages_per_lookup;
+        assert!(
+            flooding > treep * 3.0,
+            "flooding ({flooding:.1} msgs/lookup) must dwarf TreeP ({treep:.1})"
+        );
+    }
+
+    #[test]
+    fn structured_overlays_stay_logarithmic() {
+        let c = comparison();
+        for overlay in ["TreeP", "Chord"] {
+            let row = c.overlay_rows(overlay)[0];
+            assert!(row.mean_hops <= 12.0, "{overlay} mean hops {}", row.mean_hops);
+        }
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let c = comparison();
+        let table = c.to_table();
+        assert_eq!(table.len(), c.rows.len());
+    }
+}

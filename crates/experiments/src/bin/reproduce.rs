@@ -1,0 +1,187 @@
+//! `reproduce` — regenerate every table and figure of the TreeP paper.
+//!
+//! ```text
+//! reproduce [--figure A|B|...|I|all] [--nodes N] [--seed S] [--lookups K]
+//!           [--quick] [--table-routing] [--baselines] [--maintenance]
+//!           [--out DIR]
+//! ```
+//!
+//! Without arguments the binary runs every figure plus the Section III.e
+//! routing-table report with a moderate population (800 nodes). `--quick`
+//! shrinks the run for smoke tests; `--out DIR` additionally writes one CSV
+//! per figure into `DIR`.
+
+use experiments::{
+    compare_overlays, figures, maintenance, routing_table_report, run_churn_experiment,
+    ChurnRunResult, ExperimentParams, Figure,
+};
+
+struct Cli {
+    figures: Vec<Figure>,
+    nodes: usize,
+    seed: u64,
+    lookups: usize,
+    quick: bool,
+    table_routing: bool,
+    baselines: bool,
+    maintenance: bool,
+    out: Option<String>,
+}
+
+impl Cli {
+    fn parse(args: &[String]) -> Result<Cli, String> {
+        let mut cli = Cli {
+            figures: Figure::ALL.to_vec(),
+            nodes: 800,
+            seed: 2005,
+            lookups: 100,
+            quick: false,
+            table_routing: true,
+            baselines: false,
+            maintenance: false,
+            out: None,
+        };
+        let mut explicit_figures: Vec<Figure> = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = args[i].clone();
+            let mut value = |name: &str| -> Result<String, String> {
+                i += 1;
+                args.get(i).cloned().ok_or_else(|| format!("{name} expects a value"))
+            };
+            match arg.as_str() {
+                "--figure" | "-f" => {
+                    let v = value("--figure")?;
+                    if v.eq_ignore_ascii_case("all") {
+                        explicit_figures = Figure::ALL.to_vec();
+                    } else {
+                        explicit_figures.push(
+                            Figure::parse(&v).ok_or_else(|| format!("unknown figure '{v}'"))?,
+                        );
+                    }
+                }
+                "--nodes" | "-n" => {
+                    cli.nodes = value("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?
+                }
+                "--seed" | "-s" => {
+                    cli.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                }
+                "--lookups" | "-l" => {
+                    cli.lookups = value("--lookups")?.parse().map_err(|e| format!("--lookups: {e}"))?
+                }
+                "--out" | "-o" => cli.out = Some(value("--out")?),
+                "--quick" => cli.quick = true,
+                "--no-table-routing" => cli.table_routing = false,
+                "--table-routing" => cli.table_routing = true,
+                "--baselines" => cli.baselines = true,
+                "--maintenance" => cli.maintenance = true,
+                "--help" | "-h" => return Err(usage()),
+                other => return Err(format!("unknown argument '{other}'\n\n{}", usage())),
+            }
+            i += 1;
+        }
+        if !explicit_figures.is_empty() {
+            cli.figures = explicit_figures;
+        }
+        if cli.quick {
+            cli.nodes = cli.nodes.min(200);
+            cli.lookups = cli.lookups.min(20);
+        }
+        Ok(cli)
+    }
+}
+
+fn usage() -> String {
+    "usage: reproduce [--figure A..I|all] [--nodes N] [--seed S] [--lookups K] \
+     [--quick] [--baselines] [--maintenance] [--no-table-routing] [--out DIR]"
+        .to_string()
+}
+
+fn paper_expectation(figure: Figure) -> &'static str {
+    match figure {
+        Figure::A => "paper: ~10% failed lookups at 30% failed nodes, 25-30% at 50%; all three algorithms within ~2%",
+        Figure::B => "paper: mean hops roughly independent of the failure rate (~5 hops)",
+        Figure::C => "paper: same shape as Figure A with variable nc",
+        Figure::D => "paper: variable nc hops grow with failures; fixed nc stays flat",
+        Figure::E => "paper: max failed-lookup hops jumps once ~35% of the nodes are gone (network partitions)",
+        Figure::F => "paper: sharp ridge at ~4-5 hops (~50% of requests at 4 hops), greedy, nc=4",
+        Figure::G => "paper: same ridge, slightly lower peak (~45% at 4 hops), non-greedy",
+        Figure::H => "paper: steeper ridge peaking at 5 hops (~60% of requests), greedy, variable nc",
+        Figure::I => "paper: same as H for non-greedy",
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match Cli::parse(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut fixed_params = ExperimentParams::paper_fixed(cli.nodes, cli.seed);
+    fixed_params.lookups_per_step = cli.lookups;
+    let mut adaptive_params = ExperimentParams::paper_adaptive(cli.nodes, cli.seed);
+    adaptive_params.lookups_per_step = cli.lookups;
+    if cli.quick {
+        fixed_params.churn =
+            workloads::ChurnPlan { fraction_per_step: 0.10, stop_at_surviving_fraction: 0.30 };
+        adaptive_params.churn = fixed_params.churn;
+    }
+
+    let needs_adaptive = cli.figures.iter().any(|f| f.needs_adaptive_run());
+
+    eprintln!(
+        "# TreeP reproduction — n = {}, seed = {}, {} lookups/step/algorithm",
+        cli.nodes, cli.seed, cli.lookups
+    );
+    eprintln!("# running fixed-nc churn experiment (nc = 4, h = 6)…");
+    let fixed: ChurnRunResult = run_churn_experiment(&fixed_params);
+    eprintln!(
+        "#   steady state: height {}, {} orphans, avg {:.1} children/parent",
+        fixed.steady_state.height, fixed.steady_state.orphans, fixed.steady_state.avg_children
+    );
+    let adaptive: Option<ChurnRunResult> = if needs_adaptive {
+        eprintln!("# running variable-nc churn experiment…");
+        Some(run_churn_experiment(&adaptive_params))
+    } else {
+        None
+    };
+
+    for &figure in &cli.figures {
+        let data = figures::extract(figure, &fixed, adaptive.as_ref());
+        let title = format!("Figure {figure} — {}", figure.description());
+        println!("{}", data.to_table(&title).render());
+        println!("  ({})\n", paper_expectation(figure));
+        if let Some(dir) = &cli.out {
+            let path = format!("{dir}/figure_{}.csv", figure.label().to_lowercase());
+            if let Err(e) = data.to_csv().write_to(&path) {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
+    }
+
+    if cli.table_routing {
+        println!("{}", routing_table_report(&fixed_params).to_table().render());
+        if needs_adaptive {
+            println!("{}", routing_table_report(&adaptive_params).to_table().render());
+        }
+    }
+
+    if cli.maintenance {
+        let mut runs: Vec<&ChurnRunResult> = vec![&fixed];
+        if let Some(a) = adaptive.as_ref() {
+            runs.push(a);
+        }
+        println!("{}", maintenance::to_table(&runs).render());
+    }
+
+    if cli.baselines {
+        eprintln!("# running overlay comparison (TreeP / Chord / Flooding)…");
+        let comparison =
+            compare_overlays(cli.nodes.min(400), cli.seed, &[0.0, 0.2, 0.4], cli.lookups);
+        println!("{}", comparison.to_table().render());
+    }
+}

@@ -1,0 +1,368 @@
+//! Extraction and rendering of the paper's figures (Section IV, Figures A–I).
+
+use crate::runner::ChurnRunResult;
+use analysis::{AsciiTable, Csv, HopSurface, Series, SeriesSet};
+use treep::RoutingAlgorithm;
+
+/// The figures of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Figure {
+    /// Figure A — % failed lookups vs % failed nodes, `nc = 4`.
+    A,
+    /// Figure B — mean hops vs % failed nodes, `nc = 4`.
+    B,
+    /// Figure C — % failed lookups vs % failed nodes, variable `nc`.
+    C,
+    /// Figure D — mean hops, fixed vs variable `nc`.
+    D,
+    /// Figure E — min / max hops of failed lookups vs % failed nodes.
+    E,
+    /// Figure F — hop-count surface, greedy, `nc = 4`.
+    F,
+    /// Figure G — hop-count surface, non-greedy, `nc = 4`.
+    G,
+    /// Figure H — hop-count surface, greedy, variable `nc`.
+    H,
+    /// Figure I — hop-count surface, non-greedy, variable `nc`.
+    I,
+}
+
+impl Figure {
+    /// Every figure, in paper order.
+    pub const ALL: [Figure; 9] = [
+        Figure::A,
+        Figure::B,
+        Figure::C,
+        Figure::D,
+        Figure::E,
+        Figure::F,
+        Figure::G,
+        Figure::H,
+        Figure::I,
+    ];
+
+    /// Parse a single-letter figure name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Figure> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "A" => Some(Figure::A),
+            "B" => Some(Figure::B),
+            "C" => Some(Figure::C),
+            "D" => Some(Figure::D),
+            "E" => Some(Figure::E),
+            "F" => Some(Figure::F),
+            "G" => Some(Figure::G),
+            "H" => Some(Figure::H),
+            "I" => Some(Figure::I),
+            _ => None,
+        }
+    }
+
+    /// Figure label ("A" … "I").
+    pub fn label(self) -> &'static str {
+        match self {
+            Figure::A => "A",
+            Figure::B => "B",
+            Figure::C => "C",
+            Figure::D => "D",
+            Figure::E => "E",
+            Figure::F => "F",
+            Figure::G => "G",
+            Figure::H => "H",
+            Figure::I => "I",
+        }
+    }
+
+    /// Which of the two paper configurations the figure needs. `true` when
+    /// the variable-`nc` run is required (instead of, or in addition to, the
+    /// fixed-`nc` run).
+    pub fn needs_adaptive_run(self) -> bool {
+        matches!(self, Figure::C | Figure::D | Figure::H | Figure::I)
+    }
+
+    /// One-line description used by the `reproduce` binary.
+    pub fn description(self) -> &'static str {
+        match self {
+            Figure::A => "% failed lookups vs % failed nodes (G/NG/NGSA, nc=4)",
+            Figure::B => "mean hops vs % failed nodes (G/NG/NGSA, nc=4)",
+            Figure::C => "% failed lookups vs % failed nodes (G/NG/NGSA, variable nc)",
+            Figure::D => "mean hops vs % failed nodes, fixed vs variable nc",
+            Figure::E => "min/max hops of failed lookups vs % failed nodes (nc=4)",
+            Figure::F => "hop-count distribution surface (greedy, nc=4)",
+            Figure::G => "hop-count distribution surface (non-greedy, nc=4)",
+            Figure::H => "hop-count distribution surface (greedy, variable nc)",
+            Figure::I => "hop-count distribution surface (non-greedy, variable nc)",
+        }
+    }
+}
+
+impl std::fmt::Display for Figure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The extracted data of one figure, ready to be rendered.
+#[derive(Debug, Clone)]
+pub enum FigureData {
+    /// A set of curves over the failed-node percentage (Figures A–E).
+    Curves(SeriesSet),
+    /// A hop-count distribution surface (Figures F–I).
+    Surface(HopSurface),
+}
+
+impl FigureData {
+    /// The curves, when the figure is a curve family.
+    pub fn as_curves(&self) -> Option<&SeriesSet> {
+        match self {
+            FigureData::Curves(s) => Some(s),
+            FigureData::Surface(_) => None,
+        }
+    }
+
+    /// The surface, when the figure is a surface.
+    pub fn as_surface(&self) -> Option<&HopSurface> {
+        match self {
+            FigureData::Surface(s) => Some(s),
+            FigureData::Curves(_) => None,
+        }
+    }
+
+    /// Render the data as an aligned plain-text table.
+    pub fn to_table(&self, title: &str) -> AsciiTable {
+        match self {
+            FigureData::Curves(set) => {
+                let (header, rows) = set.to_rows();
+                let mut table = AsciiTable::new(title).header(header);
+                for row in rows {
+                    table.push_f64_row(&row, 2);
+                }
+                table
+            }
+            FigureData::Surface(surface) => {
+                let (hops, rows) = surface.to_grid();
+                let mut header = vec!["failed %".to_string()];
+                header.extend(hops.iter().map(|h| format!("{h} hops")));
+                let mut table = AsciiTable::new(title).header(header);
+                for row in rows {
+                    table.push_f64_row(&row, 1);
+                }
+                table
+            }
+        }
+    }
+
+    /// Render the data as CSV.
+    pub fn to_csv(&self) -> Csv {
+        match self {
+            FigureData::Curves(set) => {
+                let (header, rows) = set.to_rows();
+                let mut csv = Csv::new(header);
+                for row in rows {
+                    csv.push_f64_row(&row);
+                }
+                csv
+            }
+            FigureData::Surface(surface) => {
+                let (hops, rows) = surface.to_grid();
+                let mut header = vec!["failed_pct".to_string()];
+                header.extend(hops.iter().map(|h| format!("hops_{h}")));
+                let mut csv = Csv::new(header);
+                for row in rows {
+                    csv.push_f64_row(&row);
+                }
+                csv
+            }
+        }
+    }
+}
+
+/// Figures A and C: percentage of failed lookups per algorithm, as a function
+/// of the percentage of failed nodes.
+pub fn failed_lookup_curves(result: &ChurnRunResult) -> SeriesSet {
+    let mut set = SeriesSet::new();
+    for step in &result.steps {
+        for stats in &step.per_algorithm {
+            set.push(stats.algorithm.label(), step.failed_fraction * 100.0, stats.failed_pct());
+        }
+    }
+    set
+}
+
+/// Figures B: mean hops of successful lookups per algorithm, as a function of
+/// the percentage of failed nodes.
+pub fn mean_hop_curves(result: &ChurnRunResult) -> SeriesSet {
+    let mut set = SeriesSet::new();
+    for step in &result.steps {
+        for stats in &step.per_algorithm {
+            set.push(stats.algorithm.label(), step.failed_fraction * 100.0, stats.mean_hops());
+        }
+    }
+    set
+}
+
+/// Figure D: mean hops (averaged over the three algorithms) of the fixed-`nc`
+/// run against the variable-`nc` run.
+pub fn hop_comparison_curves(fixed: &ChurnRunResult, adaptive: &ChurnRunResult) -> SeriesSet {
+    let mut set = SeriesSet::new();
+    for (label, result) in [("nc=4", fixed), ("nc=variable", adaptive)] {
+        for step in &result.steps {
+            let mean: f64 = step.per_algorithm.iter().map(|a| a.mean_hops()).sum::<f64>()
+                / step.per_algorithm.len().max(1) as f64;
+            set.push(label, step.failed_fraction * 100.0, mean);
+        }
+    }
+    set
+}
+
+/// Figure E: minimum and maximum hop counts reached by failed (dead-ended)
+/// lookups, as a function of the percentage of failed nodes.
+pub fn failed_hop_envelope(result: &ChurnRunResult, algorithm: RoutingAlgorithm) -> SeriesSet {
+    let mut set = SeriesSet::new();
+    for step in &result.steps {
+        if let Some(stats) = step.algo(algorithm) {
+            let x = step.failed_fraction * 100.0;
+            set.push("max", x, stats.failed_hops.max.max(stats.success_hops.max));
+            set.push("min", x, stats.failed_hops.min.min(stats.success_hops.min));
+        }
+    }
+    set
+}
+
+/// Figures F–I: the hop-count distribution surface of one algorithm.
+pub fn hop_surface(result: &ChurnRunResult, algorithm: RoutingAlgorithm) -> HopSurface {
+    let mut surface = HopSurface::new();
+    for step in &result.steps {
+        if let Some(stats) = step.algo(algorithm) {
+            surface.push(step.failed_fraction, stats.histogram.clone());
+        }
+    }
+    surface
+}
+
+/// Extract the data of `figure` from the fixed-`nc` run and (when the figure
+/// needs it) the variable-`nc` run.
+pub fn extract(
+    figure: Figure,
+    fixed: &ChurnRunResult,
+    adaptive: Option<&ChurnRunResult>,
+) -> FigureData {
+    let adaptive_or_fixed = adaptive.unwrap_or(fixed);
+    match figure {
+        Figure::A => FigureData::Curves(failed_lookup_curves(fixed)),
+        Figure::B => FigureData::Curves(mean_hop_curves(fixed)),
+        Figure::C => FigureData::Curves(failed_lookup_curves(adaptive_or_fixed)),
+        Figure::D => FigureData::Curves(hop_comparison_curves(fixed, adaptive_or_fixed)),
+        Figure::E => FigureData::Curves(failed_hop_envelope(fixed, RoutingAlgorithm::Greedy)),
+        Figure::F => FigureData::Surface(hop_surface(fixed, RoutingAlgorithm::Greedy)),
+        Figure::G => FigureData::Surface(hop_surface(fixed, RoutingAlgorithm::NonGreedy)),
+        Figure::H => FigureData::Surface(hop_surface(adaptive_or_fixed, RoutingAlgorithm::Greedy)),
+        Figure::I => FigureData::Surface(hop_surface(adaptive_or_fixed, RoutingAlgorithm::NonGreedy)),
+    }
+}
+
+/// The mean of a curve family's final `y` values — a convenience used by the
+/// benches to print one summary number per figure.
+pub fn final_y_mean(set: &SeriesSet) -> f64 {
+    let finals: Vec<f64> = set.iter().filter_map(|s| s.points.last().map(|p| p.1)).collect();
+    if finals.is_empty() {
+        0.0
+    } else {
+        finals.iter().sum::<f64>() / finals.len() as f64
+    }
+}
+
+/// Convenience used by the per-figure curve extraction: a single named curve.
+pub fn single_series(set: &SeriesSet, name: &str) -> Option<Series> {
+    set.get(name).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ExperimentParams;
+    use crate::runner::run_churn_experiment;
+
+    fn result() -> ChurnRunResult {
+        run_churn_experiment(&ExperimentParams::quick(100, 21).with_lookups_per_step(15))
+    }
+
+    #[test]
+    fn figure_parsing_round_trips() {
+        for figure in Figure::ALL {
+            assert_eq!(Figure::parse(figure.label()), Some(figure));
+            assert_eq!(Figure::parse(&figure.label().to_lowercase()), Some(figure));
+            assert!(!figure.description().is_empty());
+        }
+        assert_eq!(Figure::parse("z"), None);
+        assert_eq!(Figure::parse(""), None);
+    }
+
+    #[test]
+    fn adaptive_requirement_matches_the_paper() {
+        assert!(!Figure::A.needs_adaptive_run());
+        assert!(Figure::C.needs_adaptive_run());
+        assert!(Figure::D.needs_adaptive_run());
+        assert!(Figure::H.needs_adaptive_run());
+        assert!(!Figure::F.needs_adaptive_run());
+    }
+
+    #[test]
+    fn curve_extraction_produces_three_algorithms() {
+        let r = result();
+        let failed = failed_lookup_curves(&r);
+        assert_eq!(failed.len(), 3);
+        for algo in RoutingAlgorithm::ALL {
+            let series = failed.get(algo.label()).unwrap();
+            assert_eq!(series.len(), r.steps.len());
+            assert!(series.points.iter().all(|(_, y)| (0.0..=100.0).contains(y)));
+        }
+        let hops = mean_hop_curves(&r);
+        assert_eq!(hops.len(), 3);
+    }
+
+    #[test]
+    fn surfaces_cover_every_step() {
+        let r = result();
+        let surface = hop_surface(&r, RoutingAlgorithm::Greedy);
+        assert_eq!(surface.len(), r.steps.len());
+        assert!(surface.max_hops() < 40);
+    }
+
+    #[test]
+    fn envelope_orders_min_below_max() {
+        let r = result();
+        let env = failed_hop_envelope(&r, RoutingAlgorithm::Greedy);
+        let max = env.get("max").unwrap();
+        let min = env.get("min").unwrap();
+        for (pmax, pmin) in max.points.iter().zip(&min.points) {
+            assert!(pmax.1 >= pmin.1);
+        }
+    }
+
+    #[test]
+    fn extract_covers_every_figure_and_renders() {
+        let r = result();
+        for figure in Figure::ALL {
+            let data = extract(figure, &r, Some(&r));
+            let table = data.to_table(&format!("Figure {figure}"));
+            assert!(!table.is_empty(), "figure {figure} rendered an empty table");
+            let csv = data.to_csv();
+            assert!(!csv.is_empty());
+            match figure {
+                Figure::F | Figure::G | Figure::H | Figure::I => assert!(data.as_surface().is_some()),
+                _ => assert!(data.as_curves().is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_curves_have_two_labels() {
+        let r = result();
+        let cmp = hop_comparison_curves(&r, &r);
+        assert_eq!(cmp.len(), 2);
+        assert!(cmp.get("nc=4").is_some());
+        assert!(cmp.get("nc=variable").is_some());
+        assert!(final_y_mean(&cmp) >= 0.0);
+        assert!(single_series(&cmp, "nc=4").is_some());
+    }
+}

@@ -1,0 +1,36 @@
+//! # experiments — reproduction drivers for the TreeP evaluation (Section IV)
+//!
+//! The paper evaluates TreeP by building a steady-state topology, removing 5 %
+//! of the nodes per step until only 5 % survive, and issuing random lookups
+//! with the three routing algorithms (G, NG, NGSA) at every step. This crate
+//! packages that methodology:
+//!
+//! * [`ExperimentParams`] — knobs of one run (population, child policy, seed,
+//!   lookups per step, churn schedule).
+//! * [`run_churn_experiment`] — the measurement loop shared by every figure;
+//!   it produces a [`ChurnRunResult`].
+//! * [`figures`] — extraction and rendering of every paper figure (A–I) from
+//!   one or two run results.
+//! * [`table_routing`] — the routing-table-size accounting of Section III.e.
+//! * [`maintenance`] — the maintenance-overhead ablation.
+//! * [`baseline_compare`] — TreeP vs Chord vs flooding under identical
+//!   workloads.
+//!
+//! The `reproduce` binary drives all of the above from the command line; the
+//! Criterion benches in `crates/bench` wrap the same entry points.
+
+#![warn(missing_docs)]
+
+pub mod baseline_compare;
+pub mod figures;
+pub mod maintenance;
+pub mod params;
+pub mod runner;
+pub mod table_routing;
+
+pub use baseline_compare::{compare_overlays, OverlayComparison, OverlayRow};
+pub use figures::{Figure, FigureData};
+pub use maintenance::{maintenance_series, MaintenancePoint};
+pub use params::ExperimentParams;
+pub use runner::{run_churn_experiment, AlgoStepStats, ChurnRunResult, StepMeasurement};
+pub use table_routing::{routing_table_report, LevelTableRow, RoutingTableReport};

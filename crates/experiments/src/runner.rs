@@ -1,0 +1,342 @@
+//! The churn / lookup measurement loop shared by every figure.
+
+use crate::params::ExperimentParams;
+use analysis::{HopHistogram, SummaryStats};
+use simnet::Simulation;
+use treep::{audit, HierarchyAudit, LookupStatus, RoutingAlgorithm, TreePNode};
+use workloads::{LookupWorkload, TopologyBuilder};
+
+/// Per-algorithm statistics of one churn step.
+#[derive(Debug, Clone)]
+pub struct AlgoStepStats {
+    /// The routing algorithm these numbers belong to.
+    pub algorithm: RoutingAlgorithm,
+    /// Lookups issued during the step.
+    pub issued: usize,
+    /// Lookups whose outcome was collected (the rest are counted as failed).
+    pub completed: usize,
+    /// Lookups that did not resolve (not-found, TTL drop, timeout, or never
+    /// completed).
+    pub failed: usize,
+    /// Hop distribution of the successful lookups.
+    pub histogram: HopHistogram,
+    /// Hop statistics of the successful lookups.
+    pub success_hops: SummaryStats,
+    /// Hop statistics of the lookups that came back "not found" (the hops
+    /// they had travelled when they dead-ended) — the quantity of Figure E.
+    pub failed_hops: SummaryStats,
+}
+
+impl AlgoStepStats {
+    /// Fraction of issued lookups that failed, as a percentage (0–100).
+    pub fn failed_pct(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.failed as f64 * 100.0 / self.issued as f64
+        }
+    }
+
+    /// Mean hops of the successful lookups.
+    pub fn mean_hops(&self) -> f64 {
+        self.success_hops.mean
+    }
+}
+
+/// Everything measured at one churn step.
+#[derive(Debug, Clone)]
+pub struct StepMeasurement {
+    /// Step index (0 = the unperturbed steady state).
+    pub index: usize,
+    /// Fraction of the initial population failed so far (0–1).
+    pub failed_fraction: f64,
+    /// Nodes still alive when the step's lookups were issued.
+    pub alive_nodes: usize,
+    /// Statistics per routing algorithm, in [`RoutingAlgorithm::ALL`] order.
+    pub per_algorithm: Vec<AlgoStepStats>,
+    /// Messages sent during the settle window of this step (maintenance
+    /// traffic: keep-alives, child reports, elections).
+    pub maintenance_messages: u64,
+    /// Maintenance messages per alive node during the settle window.
+    pub maintenance_per_node: f64,
+}
+
+impl StepMeasurement {
+    /// The statistics of one algorithm.
+    pub fn algo(&self, algorithm: RoutingAlgorithm) -> Option<&AlgoStepStats> {
+        self.per_algorithm.iter().find(|a| a.algorithm == algorithm)
+    }
+}
+
+/// The result of one full churn experiment.
+#[derive(Debug, Clone)]
+pub struct ChurnRunResult {
+    /// Initial population size.
+    pub nodes: usize,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Child-policy label ("nc=4" / "nc=variable").
+    pub policy_label: String,
+    /// Structural audit of the steady-state topology before any failure.
+    pub steady_state: HierarchyAudit,
+    /// One measurement per churn step, in schedule order.
+    pub steps: Vec<StepMeasurement>,
+}
+
+impl ChurnRunResult {
+    /// The measurement whose failed fraction is closest to `fraction`.
+    pub fn step_at(&self, fraction: f64) -> Option<&StepMeasurement> {
+        self.steps.iter().min_by(|a, b| {
+            (a.failed_fraction - fraction)
+                .abs()
+                .partial_cmp(&(b.failed_fraction - fraction).abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+
+    /// The largest failed fraction the schedule reached.
+    pub fn max_failed_fraction(&self) -> f64 {
+        self.steps.last().map(|s| s.failed_fraction).unwrap_or(0.0)
+    }
+}
+
+/// Run the Section-IV measurement loop with the given parameters.
+///
+/// The loop builds a steady-state topology, then for every churn step: fails
+/// the scheduled fraction of nodes, lets the maintenance protocol settle,
+/// issues `lookups_per_step` random lookups per routing algorithm from and to
+/// surviving nodes, waits for the outcomes, and records failure rates and hop
+/// statistics.
+pub fn run_churn_experiment(params: &ExperimentParams) -> ChurnRunResult {
+    let builder = TopologyBuilder::new(params.nodes)
+        .with_config(params.config)
+        .with_capabilities(params.capabilities);
+    let (mut sim, topo) = builder.build_simulation(params.seed);
+
+    let steady_state = audit_alive(&sim);
+    let schedule = params.churn.steps(params.nodes);
+    let workload = LookupWorkload::new(params.lookups_per_step);
+    let mut rng = sim.rng_mut().fork();
+
+    let mut steps = Vec::with_capacity(schedule.len());
+    for churn_step in schedule {
+        // 1. Fail this step's victims (step 0 measures the intact topology).
+        if churn_step.index > 0 {
+            let alive = sim.alive_nodes();
+            let victims = params.churn.pick_victims(&alive, params.nodes, &mut rng);
+            for v in victims {
+                sim.fail_node(v);
+            }
+        }
+
+        // 2. Let keep-alives, expiry, elections and demotions react.
+        let before = sim.metrics();
+        sim.run_for(params.settle_per_step);
+        let maintenance_messages = sim.metrics().messages_sent - before.messages_sent;
+
+        // 3. Issue the same batch of lookups once per routing algorithm.
+        let alive_pairs = topo.alive_pairs(&sim);
+        let alive_nodes = alive_pairs.len();
+        let batches = workload.generate(&alive_pairs, &mut rng);
+        for algorithm in RoutingAlgorithm::ALL {
+            for batch in &batches {
+                sim.invoke(batch.source, |node, ctx| {
+                    node.start_lookup(batch.target, algorithm, ctx);
+                });
+            }
+        }
+
+        // 4. Wait for answers / timeouts and collect the outcomes.
+        sim.run_for(params.drain_per_step);
+        let mut collectors: Vec<OutcomeCollector> =
+            RoutingAlgorithm::ALL.iter().map(|&a| OutcomeCollector::new(a, batches.len())).collect();
+        for &(addr, _) in &alive_pairs {
+            if let Some(node) = sim.node_mut(addr) {
+                for outcome in node.drain_lookup_outcomes() {
+                    if let Some(c) = collectors.iter_mut().find(|c| c.algorithm == outcome.algorithm) {
+                        c.record(outcome.status, outcome.hops);
+                    }
+                }
+            }
+        }
+
+        steps.push(StepMeasurement {
+            index: churn_step.index,
+            failed_fraction: churn_step.failed_fraction,
+            alive_nodes,
+            per_algorithm: collectors.into_iter().map(OutcomeCollector::finish).collect(),
+            maintenance_messages,
+            maintenance_per_node: if alive_nodes == 0 {
+                0.0
+            } else {
+                maintenance_messages as f64 / alive_nodes as f64
+            },
+        });
+    }
+
+    ChurnRunResult {
+        nodes: params.nodes,
+        seed: params.seed,
+        policy_label: params.policy_label().to_string(),
+        steady_state,
+        steps,
+    }
+}
+
+/// Audit the currently alive nodes of a simulation.
+pub fn audit_alive(sim: &Simulation<TreePNode>) -> HierarchyAudit {
+    let alive = sim.alive_nodes();
+    let nodes: Vec<&TreePNode> = alive.iter().filter_map(|&a| sim.node(a)).collect();
+    let config = nodes.first().map(|n| *n.config()).unwrap_or_default();
+    audit(nodes, &config)
+}
+
+struct OutcomeCollector {
+    algorithm: RoutingAlgorithm,
+    issued: usize,
+    completed: usize,
+    successes: Vec<f64>,
+    failures: Vec<f64>,
+    histogram: HopHistogram,
+}
+
+impl OutcomeCollector {
+    fn new(algorithm: RoutingAlgorithm, issued: usize) -> Self {
+        OutcomeCollector {
+            algorithm,
+            issued,
+            completed: 0,
+            successes: Vec::new(),
+            failures: Vec::new(),
+            histogram: HopHistogram::new(),
+        }
+    }
+
+    fn record(&mut self, status: LookupStatus, hops: u32) {
+        self.completed += 1;
+        if status.is_success() {
+            self.successes.push(hops as f64);
+            self.histogram.record(hops);
+        } else {
+            self.failures.push(hops as f64);
+        }
+    }
+
+    fn finish(self) -> AlgoStepStats {
+        let failed = self.issued.saturating_sub(self.successes.len());
+        AlgoStepStats {
+            algorithm: self.algorithm,
+            issued: self.issued,
+            completed: self.completed,
+            failed,
+            success_hops: SummaryStats::of(&self.successes),
+            failed_hops: SummaryStats::of(&self.failures),
+            histogram: self.histogram,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::ChurnPlan;
+
+    fn quick_result() -> ChurnRunResult {
+        run_churn_experiment(&ExperimentParams::quick(120, 11))
+    }
+
+    #[test]
+    fn steady_state_resolves_nearly_every_lookup() {
+        let result = quick_result();
+        let first = &result.steps[0];
+        assert_eq!(first.failed_fraction, 0.0);
+        for algo in &first.per_algorithm {
+            assert!(
+                algo.failed_pct() <= 10.0,
+                "{}: {}% failures on the intact topology",
+                algo.algorithm,
+                algo.failed_pct()
+            );
+            assert!(algo.mean_hops() < 10.0);
+        }
+    }
+
+    #[test]
+    fn failures_increase_with_churn() {
+        let result = quick_result();
+        let first = result.steps.first().unwrap();
+        let last = result.steps.last().unwrap();
+        assert!(last.failed_fraction > 0.5);
+        for algorithm in RoutingAlgorithm::ALL {
+            let early = first.algo(algorithm).unwrap().failed_pct();
+            let late = last.algo(algorithm).unwrap().failed_pct();
+            assert!(
+                late >= early,
+                "{algorithm}: failure rate must not improve under churn ({early} -> {late})"
+            );
+        }
+    }
+
+    #[test]
+    fn all_three_algorithms_are_measured_every_step() {
+        let result = quick_result();
+        for step in &result.steps {
+            assert_eq!(step.per_algorithm.len(), 3);
+            for algorithm in RoutingAlgorithm::ALL {
+                let stats = step.algo(algorithm).expect("algorithm measured");
+                assert_eq!(stats.issued, 20);
+                assert!(stats.completed <= stats.issued);
+            }
+        }
+    }
+
+    #[test]
+    fn alive_count_tracks_the_schedule() {
+        let result = quick_result();
+        for pair in result.steps.windows(2) {
+            assert!(pair[1].alive_nodes < pair[0].alive_nodes);
+        }
+        assert_eq!(result.steps[0].alive_nodes, 120);
+    }
+
+    #[test]
+    fn steady_state_audit_is_structurally_sound() {
+        let result = quick_result();
+        assert_eq!(result.steady_state.nodes, 120);
+        assert_eq!(result.steady_state.dangling_parents, 0);
+        assert!(result.steady_state.height >= 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_churn_experiment(&ExperimentParams::quick(80, 5).with_lookups_per_step(10));
+        let b = run_churn_experiment(&ExperimentParams::quick(80, 5).with_lookups_per_step(10));
+        assert_eq!(a.steps.len(), b.steps.len());
+        for (sa, sb) in a.steps.iter().zip(&b.steps) {
+            assert_eq!(sa.alive_nodes, sb.alive_nodes);
+            for algorithm in RoutingAlgorithm::ALL {
+                assert_eq!(sa.algo(algorithm).unwrap().failed, sb.algo(algorithm).unwrap().failed);
+            }
+        }
+    }
+
+    #[test]
+    fn step_at_selects_the_closest_fraction() {
+        let result = quick_result();
+        let step = result.step_at(0.0).unwrap();
+        assert_eq!(step.index, 0);
+        let last = result.step_at(1.0).unwrap();
+        assert_eq!(last.index, result.steps.last().unwrap().index);
+        assert!(result.max_failed_fraction() > 0.5);
+    }
+
+    #[test]
+    fn single_step_plan_measures_only_steady_state() {
+        let params = ExperimentParams::quick(60, 3)
+            .with_churn(ChurnPlan { fraction_per_step: 0.5, stop_at_surviving_fraction: 0.9 })
+            .with_lookups_per_step(5);
+        let result = run_churn_experiment(&params);
+        assert_eq!(result.steps.len(), 1);
+        assert_eq!(result.steps[0].failed_fraction, 0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! The routing-table accounting of Section III.e.
+//!
+//! The paper derives analytic bounds for the routing-table size and the
+//! number of actively maintained connections per node (`l0 + h` entries for a
+//! pure level-0 node, `l0 + li + Li + ci + ca + da + h − i` for a level-`i`
+//! node). This experiment measures both quantities per level on a built
+//! topology and checks them against the bounds.
+
+use crate::params::ExperimentParams;
+use analysis::{AsciiTable, SummaryStats};
+use treep::analytic_table_bound;
+use workloads::TopologyBuilder;
+
+/// Measured table/connection statistics for all nodes whose maximum level is
+/// a given value.
+#[derive(Debug, Clone)]
+pub struct LevelTableRow {
+    /// The maximum level this row describes.
+    pub level: u32,
+    /// Number of nodes at that maximum level.
+    pub nodes: usize,
+    /// Statistics over the measured total routing-table sizes.
+    pub table_size: SummaryStats,
+    /// Statistics over the analytic bound evaluated per node.
+    pub analytic_bound: SummaryStats,
+    /// Statistics over the number of actively maintained connections.
+    pub active_connections: SummaryStats,
+    /// Fraction of nodes at this level whose actively maintained connection
+    /// count respects the Section III.e accounting — `l0 + 1` for level-0
+    /// nodes, `l0 + ca + da + 2` for nodes in the hierarchy — evaluated with
+    /// the configured budgets (`l0 = max_level0_connections`,
+    /// `ca = nc`, `da = 2` per level). Values in 0–1.
+    pub within_bound: f64,
+}
+
+/// The full Section III.e report.
+#[derive(Debug, Clone)]
+pub struct RoutingTableReport {
+    /// Child-policy label of the run.
+    pub policy_label: String,
+    /// Population size.
+    pub nodes: usize,
+    /// Height of the built hierarchy.
+    pub height: u32,
+    /// One row per maximum level, lowest first.
+    pub rows: Vec<LevelTableRow>,
+}
+
+impl RoutingTableReport {
+    /// Fraction of all nodes (across levels) respecting the analytic bound.
+    pub fn overall_within_bound(&self) -> f64 {
+        let total: usize = self.rows.iter().map(|r| r.nodes).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let within: f64 = self.rows.iter().map(|r| r.within_bound * r.nodes as f64).sum();
+        within / total as f64
+    }
+
+    /// Render the report as an aligned table (one row per level).
+    pub fn to_table(&self) -> AsciiTable {
+        let mut table = AsciiTable::new(format!(
+            "Routing-table size per level ({}, n={}, height={})",
+            self.policy_label, self.nodes, self.height
+        ))
+        .header([
+            "level",
+            "nodes",
+            "avg table",
+            "max table",
+            "avg bound",
+            "avg active conns",
+            "within bound %",
+        ]);
+        for row in &self.rows {
+            table.push_row([
+                row.level.to_string(),
+                row.nodes.to_string(),
+                format!("{:.1}", row.table_size.mean),
+                format!("{:.0}", row.table_size.max),
+                format!("{:.1}", row.analytic_bound.mean),
+                format!("{:.1}", row.active_connections.mean),
+                format!("{:.0}", row.within_bound * 100.0),
+            ]);
+        }
+        table
+    }
+}
+
+/// Build a steady-state topology with `params` and measure the per-level
+/// routing-table sizes and active-connection counts.
+pub fn routing_table_report(params: &ExperimentParams) -> RoutingTableReport {
+    let builder = TopologyBuilder::new(params.nodes)
+        .with_config(params.config)
+        .with_capabilities(params.capabilities);
+    let (sim, topo) = builder.build_simulation(params.seed);
+
+    let mut per_level: std::collections::BTreeMap<u32, LevelAccumulator> = std::collections::BTreeMap::new();
+    for built in &topo.nodes {
+        let Some(node) = sim.node(built.addr) else { continue };
+        let acc = per_level.entry(node.max_level()).or_default();
+        acc.table_sizes.push(node.tables().sizes().total() as f64);
+        acc.bounds.push(analytic_table_bound(node) as f64);
+        acc.connections.push(node.active_connections() as f64);
+        acc.connection_bounds.push(connection_bound(&params.config, node.max_level()));
+    }
+
+    let rows = per_level
+        .into_iter()
+        .map(|(level, acc)| {
+            let within = acc
+                .connections
+                .iter()
+                .zip(&acc.connection_bounds)
+                .filter(|(conns, bound)| conns <= bound)
+                .count() as f64
+                / acc.connections.len().max(1) as f64;
+            LevelTableRow {
+                level,
+                nodes: acc.table_sizes.len(),
+                table_size: SummaryStats::of(&acc.table_sizes),
+                analytic_bound: SummaryStats::of(&acc.bounds),
+                active_connections: SummaryStats::of(&acc.connections),
+                within_bound: within,
+            }
+        })
+        .collect();
+
+    RoutingTableReport {
+        policy_label: params.policy_label().to_string(),
+        nodes: params.nodes,
+        height: topo.height,
+        rows,
+    }
+}
+
+/// The Section III.e actively-maintained-connection bound, evaluated with the
+/// configured budgets: `l0 + 1` for level-0 nodes and `l0 + ca + da + 2` for
+/// nodes at level `i > 0` (`da = 2` direct bus neighbours per level the node
+/// belongs to). A small slack absorbs gossip contacts learned between two
+/// pruning ticks.
+fn connection_bound(config: &treep::TreePConfig, level: u32) -> f64 {
+    let l0 = config.max_level0_connections as f64;
+    let slack = 4.0;
+    if level == 0 {
+        l0 + 1.0 + slack
+    } else {
+        let ca = config.child_policy.upper_bound() as f64;
+        l0 + ca + 2.0 * level as f64 + 2.0 + slack
+    }
+}
+
+#[derive(Default)]
+struct LevelAccumulator {
+    table_sizes: Vec<f64>,
+    bounds: Vec<f64>,
+    connections: Vec<f64>,
+    connection_bounds: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RoutingTableReport {
+        routing_table_report(&ExperimentParams::quick(150, 31))
+    }
+
+    #[test]
+    fn report_covers_every_level() {
+        let r = report();
+        assert_eq!(r.nodes, 150);
+        assert!(r.height >= 2);
+        assert_eq!(r.rows.first().unwrap().level, 0);
+        let total: usize = r.rows.iter().map(|row| row.nodes).sum();
+        assert_eq!(total, 150);
+    }
+
+    #[test]
+    fn level0_nodes_maintain_few_connections() {
+        let r = report();
+        let level0 = &r.rows[0];
+        // Section III.e: a level-0 node actively maintains only l0 + 1
+        // connections; with the configured level-0 budget of 8 that must stay
+        // well under 15 even with gossip churn between pruning ticks.
+        assert!(
+            level0.active_connections.mean < 15.0,
+            "level-0 nodes maintain {:.1} connections on average",
+            level0.active_connections.mean
+        );
+        // The full table (including the replicated superior list) stays small
+        // and independent of the population size.
+        assert!(
+            level0.table_size.mean < 40.0,
+            "level-0 routing tables ballooned to {:.1} entries",
+            level0.table_size.mean
+        );
+    }
+
+    #[test]
+    fn majority_of_nodes_respect_the_connection_bound() {
+        let r = report();
+        assert!(
+            r.overall_within_bound() > 0.8,
+            "only {:.0}% of nodes within the Section III.e connection bound",
+            r.overall_within_bound() * 100.0
+        );
+    }
+
+    #[test]
+    fn upper_levels_have_more_connections_than_level0() {
+        let r = report();
+        if r.rows.len() >= 2 {
+            let l0 = r.rows[0].active_connections.mean;
+            let upper = r.rows.last().unwrap().active_connections.mean;
+            assert!(upper >= l0, "parents maintain at least as many active connections as leaves");
+        }
+    }
+
+    #[test]
+    fn table_rendering_has_one_row_per_level() {
+        let r = report();
+        let rendered = r.to_table().render();
+        // title + header + separator + one line per level
+        assert_eq!(rendered.lines().count(), 3 + r.rows.len());
+    }
+}

@@ -1,0 +1,182 @@
+//! The protocol abstraction hosted by the simulator.
+//!
+//! A [`Protocol`] is a pure, single-threaded state machine. It never touches
+//! sockets or clocks directly; all side effects go through the [`Context`]
+//! handed to each callback. This "sans-IO" shape lets the exact same protocol
+//! implementation run under the discrete-event simulator (for the paper's
+//! experiments) and under a real UDP transport (`treep-net`).
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Address of a node inside the simulated (or real) network.
+///
+/// This is a transport-level address, distinct from any overlay identifier a
+/// protocol may assign on top of it (TreeP maps each address to a position in
+/// its 1-D ID space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeAddr(pub u64);
+
+impl fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Opaque identifier for a timer registered through [`Context::set_timer`].
+///
+/// The protocol chooses the token value; it is echoed back verbatim in
+/// [`Protocol::on_timer`], so protocols typically encode the timer's purpose
+/// in the token (e.g. "keep-alive", "election countdown").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TimerToken(pub u64);
+
+/// An outgoing action recorded by a [`Context`].
+#[derive(Debug, Clone)]
+pub enum Action<M> {
+    /// Send `msg` to `dest`.
+    Send {
+        /// Destination address.
+        dest: NodeAddr,
+        /// The protocol message.
+        msg: M,
+    },
+    /// Request a timer callback after `delay`.
+    SetTimer {
+        /// Delay until the timer fires.
+        delay: SimDuration,
+        /// Token echoed back on expiry.
+        token: TimerToken,
+    },
+    /// Ask the host to shut this node down (graceful leave).
+    Shutdown,
+}
+
+/// Execution context passed to every protocol callback.
+///
+/// It exposes the current virtual time, the node's own address, a
+/// deterministic random number generator, and collects the actions (sends,
+/// timers) produced by the callback.
+pub struct Context<'a, M> {
+    now: SimTime,
+    self_addr: NodeAddr,
+    rng: &'a mut SimRng,
+    actions: Vec<Action<M>>,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Create a context. Used by simulation / transport hosts.
+    pub fn new(now: SimTime, self_addr: NodeAddr, rng: &'a mut SimRng) -> Self {
+        Context { now, self_addr, rng, actions: Vec::new() }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The address of the node executing the callback.
+    pub fn self_addr(&self) -> NodeAddr {
+        self.self_addr
+    }
+
+    /// Deterministic random number generator for this node's host.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Queue a message for delivery to `dest`.
+    pub fn send(&mut self, dest: NodeAddr, msg: M) {
+        self.actions.push(Action::Send { dest, msg });
+    }
+
+    /// Request that [`Protocol::on_timer`] be invoked after `delay` with
+    /// `token`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
+        self.actions.push(Action::SetTimer { delay, token });
+    }
+
+    /// Request a graceful shutdown of this node.
+    pub fn shutdown(&mut self) {
+        self.actions.push(Action::Shutdown);
+    }
+
+    /// Number of actions queued so far (mainly useful in tests).
+    pub fn pending_actions(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Consume the context, returning the recorded actions.
+    pub fn into_actions(self) -> Vec<Action<M>> {
+        self.actions
+    }
+}
+
+/// A protocol state machine hosted by the simulator or a real transport.
+pub trait Protocol {
+    /// The wire message type exchanged between nodes.
+    type Message: Clone;
+
+    /// Called once when the node is started (joins the network).
+    fn on_start(&mut self, _ctx: &mut Context<'_, Self::Message>) {}
+
+    /// Called when a message from `from` is delivered to this node.
+    fn on_message(&mut self, from: NodeAddr, msg: Self::Message, ctx: &mut Context<'_, Self::Message>);
+
+    /// Called when a timer previously registered with
+    /// [`Context::set_timer`] expires.
+    fn on_timer(&mut self, _token: TimerToken, _ctx: &mut Context<'_, Self::Message>) {}
+
+    /// Called when the host is about to stop the node gracefully. Crash
+    /// failures do **not** invoke this.
+    fn on_stop(&mut self, _ctx: &mut Context<'_, Self::Message>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_records_actions_in_order() {
+        let mut rng = SimRng::seed_from(7);
+        let mut ctx: Context<'_, u32> = Context::new(SimTime::from_millis(5), NodeAddr(3), &mut rng);
+        assert_eq!(ctx.now(), SimTime::from_millis(5));
+        assert_eq!(ctx.self_addr(), NodeAddr(3));
+        ctx.send(NodeAddr(1), 10);
+        ctx.set_timer(SimDuration::from_millis(2), TimerToken(99));
+        ctx.send(NodeAddr(2), 20);
+        ctx.shutdown();
+        let actions = ctx.into_actions();
+        assert_eq!(actions.len(), 4);
+        match &actions[0] {
+            Action::Send { dest, msg } => {
+                assert_eq!(*dest, NodeAddr(1));
+                assert_eq!(*msg, 10);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        match &actions[1] {
+            Action::SetTimer { delay, token } => {
+                assert_eq!(*delay, SimDuration::from_millis(2));
+                assert_eq!(*token, TimerToken(99));
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        assert!(matches!(actions[3], Action::Shutdown));
+    }
+
+    #[test]
+    fn context_rng_is_usable() {
+        let mut rng = SimRng::seed_from(1);
+        let mut ctx: Context<'_, ()> = Context::new(SimTime::ZERO, NodeAddr(0), &mut rng);
+        let a = ctx.rng().gen_range_u64(0..100);
+        assert!(a < 100);
+    }
+
+    #[test]
+    fn node_addr_display() {
+        assert_eq!(NodeAddr(17).to_string(), "n17");
+    }
+}

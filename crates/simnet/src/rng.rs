@@ -1,0 +1,175 @@
+//! Deterministic random number generation for simulations.
+//!
+//! Every source of randomness in a run (link latency jitter, packet loss,
+//! workload choices, protocol tie-breaking) is derived from a single seed so
+//! that a figure can be regenerated bit-for-bit from `(code, seed)`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::ops::Range;
+
+/// A small, fast, seedable RNG wrapper used throughout the simulator.
+///
+/// Wrapping [`SmallRng`] in a newtype keeps the public API of `simnet`
+/// independent of the `rand` crate version and gives a home to the handful of
+/// helpers the simulator and workloads actually need.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Create an RNG from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Derive a new independent RNG from this one (used to give each node or
+    /// workload stream its own generator while preserving determinism).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from(self.inner.next_u64())
+    }
+
+    /// Uniform `u64` in `range`.
+    pub fn gen_range_u64(&mut self, range: Range<u64>) -> u64 {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform `usize` in `range`.
+    pub fn gen_range_usize(&mut self, range: Range<usize>) -> usize {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen_bool(p)
+    }
+
+    /// A raw 64-bit sample.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Choose a uniformly random element of `slice`, or `None` when empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            let idx = self.gen_range_usize(0..slice.len());
+            Some(&slice[idx])
+        }
+    }
+
+    /// Fisher–Yates shuffle of `slice` in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        if slice.len() < 2 {
+            return;
+        }
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range_usize(0..i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices out of `0..n` (k is clamped to n).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = SimRng::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn fork_is_deterministic() {
+        let mut a = SimRng::seed_from(99);
+        let mut b = SimRng::seed_from(99);
+        let mut fa = a.fork();
+        let mut fb = b.fork();
+        assert_eq!(fa.next_u64(), fb.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..1000 {
+            let v = rng.gen_range_u64(10..20);
+            assert!((10..20).contains(&v));
+            let u = rng.gen_range_usize(0..3);
+            assert!(u < 3);
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+        // Out-of-range probabilities are clamped rather than panicking.
+        assert!(rng.gen_bool(2.0));
+        assert!(!rng.gen_bool(-1.0));
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = SimRng::seed_from(17);
+        let empty: [u32; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+        let items = [1, 2, 3, 4];
+        for _ in 0..50 {
+            assert!(items.contains(rng.choose(&items).unwrap()));
+        }
+        let mut v: Vec<u32> = (0..100).collect();
+        let orig = v.clone();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_clamped() {
+        let mut rng = SimRng::seed_from(3);
+        let s = rng.sample_indices(10, 4);
+        assert_eq!(s.len(), 4);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 4);
+        assert_eq!(rng.sample_indices(3, 10).len(), 3);
+        assert!(rng.sample_indices(0, 5).is_empty());
+    }
+}

@@ -1,0 +1,167 @@
+//! The event queue: a priority queue ordered by `(time, sequence)`.
+
+use crate::event::{Event, EventKind, EventSeq};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Internal heap entry. Ordering is reversed so the `BinaryHeap` (a max-heap)
+/// pops the earliest event first.
+struct Entry<M> {
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.event.at == other.event.at && self.event.seq == other.event.seq
+    }
+}
+impl<M> Eq for Entry<M> {}
+
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Entry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smallest (time, seq) should be the "greatest" heap entry.
+        (other.event.at, other.event.seq).cmp(&(self.event.at, self.event.seq))
+    }
+}
+
+/// Discrete-event scheduler.
+///
+/// Events inserted with [`Scheduler::schedule`] are popped in non-decreasing
+/// time order; events with equal timestamps are popped in insertion (FIFO)
+/// order, which keeps simulations deterministic.
+pub struct Scheduler<M> {
+    heap: BinaryHeap<Entry<M>>,
+    next_seq: EventSeq,
+    now: SimTime,
+    scheduled_total: u64,
+}
+
+impl<M> Default for Scheduler<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Scheduler<M> {
+    /// Create an empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO, scheduled_total: 0 }
+    }
+
+    /// The current virtual time (time of the most recently popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Schedule `kind` for dispatch at time `at`.
+    ///
+    /// Scheduling in the past is clamped to the current time: the event will
+    /// be dispatched "now", after any events already scheduled for the
+    /// current instant.
+    pub fn schedule(&mut self, at: SimTime, kind: EventKind<M>) -> EventSeq {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Entry { event: Event::new(at, seq, kind) });
+        seq
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.event.at)
+    }
+
+    /// Pop the next event, advancing the current time to its timestamp.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.event.at >= self.now, "time went backwards");
+        self.now = entry.event.at;
+        Some(entry.event)
+    }
+
+    /// Drop every pending event (used when tearing a simulation down early).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::NodeAddr;
+
+    fn start(n: u64) -> EventKind<()> {
+        EventKind::Start { node: NodeAddr(n) }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule(SimTime::from_millis(30), start(3));
+        s.schedule(SimTime::from_millis(10), start(1));
+        s.schedule(SimTime::from_millis(20), start(2));
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop()).map(|e| e.target().0).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(s.now(), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        for n in 0..10 {
+            s.schedule(SimTime::from_millis(5), start(n));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop()).map(|e| e.target().0).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scheduling_in_the_past_is_clamped() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule(SimTime::from_millis(10), start(1));
+        s.pop().unwrap();
+        assert_eq!(s.now(), SimTime::from_millis(10));
+        s.schedule(SimTime::from_millis(1), start(2));
+        let e = s.pop().unwrap();
+        assert_eq!(e.at, SimTime::from_millis(10));
+        assert_eq!(e.target(), NodeAddr(2));
+    }
+
+    #[test]
+    fn bookkeeping() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        assert!(s.is_empty());
+        assert_eq!(s.peek_time(), None);
+        s.schedule(SimTime::from_millis(1), start(0));
+        s.schedule(SimTime::from_millis(2), start(1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.scheduled_total(), 2);
+        assert_eq!(s.peek_time(), Some(SimTime::from_millis(1)));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.scheduled_total(), 2);
+    }
+}

@@ -1,0 +1,530 @@
+//! The simulation host: owns nodes, virtual time, the event queue and the
+//! link model, and drives [`Protocol`] state machines.
+
+use crate::event::EventKind;
+use crate::link::LinkModel;
+use crate::metrics::SimMetrics;
+use crate::protocol::{Action, Context, NodeAddr, Protocol, TimerToken};
+use crate::rng::SimRng;
+use crate::scheduler::Scheduler;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{MemoryTrace, TraceEvent, TraceSink};
+use std::collections::HashMap;
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Link model applied to every message.
+    pub link: LinkModel,
+    /// Hard cap on dispatched events; exceeding it panics. Guards against
+    /// protocols that accidentally generate unbounded traffic.
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { link: LinkModel::default(), max_events: 500_000_000 }
+    }
+}
+
+/// Per-node bookkeeping.
+struct NodeSlot<P> {
+    proto: P,
+    alive: bool,
+    started: bool,
+}
+
+/// A discrete-event simulation hosting nodes of one protocol type.
+pub struct Simulation<P: Protocol> {
+    config: SimConfig,
+    scheduler: Scheduler<P::Message>,
+    nodes: HashMap<NodeAddr, NodeSlot<P>>,
+    rng: SimRng,
+    metrics: SimMetrics,
+    next_addr: u64,
+    trace: Option<MemoryTrace>,
+}
+
+impl<P: Protocol> Simulation<P> {
+    /// Create an empty simulation with the given configuration and RNG seed.
+    pub fn new(config: SimConfig, seed: u64) -> Self {
+        Simulation {
+            config,
+            scheduler: Scheduler::new(),
+            nodes: HashMap::new(),
+            rng: SimRng::seed_from(seed),
+            metrics: SimMetrics::default(),
+            next_addr: 0,
+            trace: None,
+        }
+    }
+
+    /// Enable in-memory tracing (used by tests and debugging sessions).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(MemoryTrace::default());
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&MemoryTrace> {
+        self.trace.as_ref()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.scheduler.now()
+    }
+
+    /// Aggregate counters for the run so far.
+    pub fn metrics(&self) -> SimMetrics {
+        self.metrics
+    }
+
+    /// The simulation-wide RNG (workloads may fork it to stay deterministic).
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Add a node and schedule its start at the current time. Returns its
+    /// address.
+    pub fn add_node(&mut self, proto: P) -> NodeAddr {
+        self.add_node_at(proto, self.now())
+    }
+
+    /// Add a node and schedule its start at `at`.
+    pub fn add_node_at(&mut self, proto: P, at: SimTime) -> NodeAddr {
+        let addr = NodeAddr(self.next_addr);
+        self.next_addr += 1;
+        self.nodes.insert(addr, NodeSlot { proto, alive: true, started: false });
+        self.scheduler.schedule(at, EventKind::Start { node: addr });
+        addr
+    }
+
+    /// Immutable access to a node's protocol state (dead nodes remain
+    /// inspectable).
+    pub fn node(&self, addr: NodeAddr) -> Option<&P> {
+        self.nodes.get(&addr).map(|s| &s.proto)
+    }
+
+    /// Mutable access to a node's protocol state without dispatching actions.
+    /// Prefer [`Simulation::invoke`] when the mutation should produce
+    /// messages or timers.
+    pub fn node_mut(&mut self, addr: NodeAddr) -> Option<&mut P> {
+        self.nodes.get_mut(&addr).map(|s| &mut s.proto)
+    }
+
+    /// Is the node currently alive?
+    pub fn is_alive(&self, addr: NodeAddr) -> bool {
+        self.nodes.get(&addr).map(|s| s.alive).unwrap_or(false)
+    }
+
+    /// Addresses of all currently alive nodes, in address order.
+    pub fn alive_nodes(&self) -> Vec<NodeAddr> {
+        let mut v: Vec<NodeAddr> =
+            self.nodes.iter().filter(|(_, s)| s.alive).map(|(a, _)| *a).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Addresses of every node ever added, in address order.
+    pub fn all_nodes(&self) -> Vec<NodeAddr> {
+        let mut v: Vec<NodeAddr> = self.nodes.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.nodes.values().filter(|s| s.alive).count()
+    }
+
+    /// Crash-fail `addr` immediately: the node stops receiving messages and
+    /// timers and its protocol gets no notification (Section IV failure
+    /// model).
+    pub fn fail_node(&mut self, addr: NodeAddr) {
+        let at = self.now();
+        self.scheduler.schedule(at, EventKind::Fail { node: addr });
+    }
+
+    /// Schedule a crash failure of `addr` at time `at`.
+    pub fn fail_node_at(&mut self, addr: NodeAddr, at: SimTime) {
+        self.scheduler.schedule(at, EventKind::Fail { node: addr });
+    }
+
+    /// Gracefully stop `addr` (its `on_stop` hook runs and may send
+    /// goodbye messages).
+    pub fn stop_node(&mut self, addr: NodeAddr) {
+        let at = self.now();
+        self.scheduler.schedule(at, EventKind::Stop { node: addr });
+    }
+
+    /// Invoke a closure on a live node with a full [`Context`], dispatching
+    /// whatever actions it produces. This is how experiments trigger
+    /// protocol-level operations (e.g. "start a lookup for key X").
+    ///
+    /// Returns `None` when the node is missing or dead.
+    pub fn invoke<R>(
+        &mut self,
+        addr: NodeAddr,
+        f: impl FnOnce(&mut P, &mut Context<'_, P::Message>) -> R,
+    ) -> Option<R> {
+        let slot = self.nodes.get_mut(&addr)?;
+        if !slot.alive {
+            return None;
+        }
+        let mut ctx = Context::new(self.scheduler.now(), addr, &mut self.rng);
+        let out = f(&mut slot.proto, &mut ctx);
+        let actions = ctx.into_actions();
+        self.apply_actions(addr, actions);
+        Some(out)
+    }
+
+    /// Dispatch a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(event) = self.scheduler.pop() else {
+            return false;
+        };
+        self.metrics.events_dispatched += 1;
+        assert!(
+            self.metrics.events_dispatched <= self.config.max_events,
+            "simulation exceeded max_events = {} (runaway protocol?)",
+            self.config.max_events
+        );
+        let now = event.at;
+        match event.kind {
+            EventKind::Start { node } => self.dispatch_start(node, now),
+            EventKind::Fail { node } => self.dispatch_fail(node, now),
+            EventKind::Stop { node } => self.dispatch_stop(node, now),
+            EventKind::Timer { node, token } => self.dispatch_timer(node, token, now),
+            EventKind::Deliver { src, dest, msg } => self.dispatch_deliver(src, dest, msg, now),
+        }
+        true
+    }
+
+    /// Run until the event queue drains completely.
+    pub fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until virtual time reaches `deadline` (events at exactly
+    /// `deadline` are processed) or the queue drains.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.scheduler.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Run for `d` more virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now() + d;
+        self.run_until(deadline);
+    }
+
+    /// Number of events still queued.
+    pub fn pending_events(&self) -> usize {
+        self.scheduler.len()
+    }
+
+    // ---- dispatch helpers -------------------------------------------------
+
+    fn record(&mut self, ev: TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(ev);
+        }
+    }
+
+    fn dispatch_start(&mut self, node: NodeAddr, now: SimTime) {
+        let Some(slot) = self.nodes.get_mut(&node) else { return };
+        if !slot.alive || slot.started {
+            return;
+        }
+        slot.started = true;
+        self.metrics.nodes_started += 1;
+        let mut ctx = Context::new(now, node, &mut self.rng);
+        slot.proto.on_start(&mut ctx);
+        let actions = ctx.into_actions();
+        self.record(TraceEvent::NodeStarted { at: now, node });
+        self.apply_actions(node, actions);
+    }
+
+    fn dispatch_fail(&mut self, node: NodeAddr, now: SimTime) {
+        let Some(slot) = self.nodes.get_mut(&node) else { return };
+        if !slot.alive {
+            return;
+        }
+        slot.alive = false;
+        self.metrics.nodes_failed += 1;
+        self.record(TraceEvent::NodeFailed { at: now, node });
+    }
+
+    fn dispatch_stop(&mut self, node: NodeAddr, now: SimTime) {
+        let Some(slot) = self.nodes.get_mut(&node) else { return };
+        if !slot.alive {
+            return;
+        }
+        let mut ctx = Context::new(now, node, &mut self.rng);
+        slot.proto.on_stop(&mut ctx);
+        let actions = ctx.into_actions();
+        slot.alive = false;
+        self.metrics.nodes_stopped += 1;
+        self.record(TraceEvent::NodeStopped { at: now, node });
+        // A stopping node may still send goodbye messages, but any timers it
+        // sets are pointless; apply_actions filters them because the node is
+        // already marked dead by the time the timer would fire.
+        self.apply_actions(node, actions);
+    }
+
+    fn dispatch_timer(&mut self, node: NodeAddr, token: TimerToken, now: SimTime) {
+        let Some(slot) = self.nodes.get_mut(&node) else {
+            self.metrics.timers_dropped += 1;
+            return;
+        };
+        if !slot.alive {
+            self.metrics.timers_dropped += 1;
+            return;
+        }
+        self.metrics.timers_fired += 1;
+        let mut ctx = Context::new(now, node, &mut self.rng);
+        slot.proto.on_timer(token, &mut ctx);
+        let actions = ctx.into_actions();
+        self.record(TraceEvent::TimerFired { at: now, node, token });
+        self.apply_actions(node, actions);
+    }
+
+    fn dispatch_deliver(&mut self, src: NodeAddr, dest: NodeAddr, msg: P::Message, now: SimTime) {
+        let alive = self.nodes.get(&dest).map(|s| s.alive && s.started).unwrap_or(false);
+        if !alive {
+            self.metrics.messages_to_dead += 1;
+            return;
+        }
+        self.metrics.messages_delivered += 1;
+        self.record(TraceEvent::Delivered { at: now, src, dest });
+        let slot = self.nodes.get_mut(&dest).expect("checked above");
+        let mut ctx = Context::new(now, dest, &mut self.rng);
+        slot.proto.on_message(src, msg, &mut ctx);
+        let actions = ctx.into_actions();
+        self.apply_actions(dest, actions);
+    }
+
+    fn apply_actions(&mut self, origin: NodeAddr, actions: Vec<Action<P::Message>>) {
+        let now = self.scheduler.now();
+        for action in actions {
+            match action {
+                Action::Send { dest, msg } => {
+                    self.metrics.messages_sent += 1;
+                    match self.config.link.transmit(origin, dest, &mut self.rng) {
+                        Some(latency) => {
+                            self.record(TraceEvent::Sent { at: now, src: origin, dest });
+                            self.scheduler.schedule(
+                                now + latency,
+                                EventKind::Deliver { src: origin, dest, msg },
+                            );
+                        }
+                        None => {
+                            self.metrics.messages_lost += 1;
+                            self.record(TraceEvent::Lost { at: now, src: origin, dest });
+                        }
+                    }
+                }
+                Action::SetTimer { delay, token } => {
+                    self.scheduler.schedule(now + delay, EventKind::Timer { node: origin, token });
+                }
+                Action::Shutdown => {
+                    self.scheduler.schedule(now, EventKind::Stop { node: origin });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{LatencyModel, LossModel};
+
+    /// Ping-pong test protocol: node 0 pings node 1 on start, node 1 pongs
+    /// back, each side counts what it received; node 0 also arms a timer.
+    #[derive(Default)]
+    struct PingPong {
+        pings: u32,
+        pongs: u32,
+        timer_fires: u32,
+        stopped: bool,
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping,
+        Pong,
+    }
+
+    impl Protocol for PingPong {
+        type Message = Msg;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            if ctx.self_addr() == NodeAddr(0) {
+                ctx.send(NodeAddr(1), Msg::Ping);
+                ctx.set_timer(SimDuration::from_millis(100), TimerToken(7));
+            }
+        }
+
+        fn on_message(&mut self, from: NodeAddr, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            match msg {
+                Msg::Ping => {
+                    self.pings += 1;
+                    ctx.send(from, Msg::Pong);
+                }
+                Msg::Pong => self.pongs += 1,
+            }
+        }
+
+        fn on_timer(&mut self, token: TimerToken, _ctx: &mut Context<'_, Msg>) {
+            assert_eq!(token, TimerToken(7));
+            self.timer_fires += 1;
+        }
+
+        fn on_stop(&mut self, _ctx: &mut Context<'_, Msg>) {
+            self.stopped = true;
+        }
+    }
+
+    fn ideal_config() -> SimConfig {
+        SimConfig { link: LinkModel::ideal(), max_events: 1_000_000 }
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut sim: Simulation<PingPong> = Simulation::new(ideal_config(), 1);
+        sim.enable_trace();
+        let a = sim.add_node(PingPong::default());
+        let b = sim.add_node(PingPong::default());
+        sim.run_until_idle();
+        assert_eq!(sim.node(b).unwrap().pings, 1);
+        assert_eq!(sim.node(a).unwrap().pongs, 1);
+        assert_eq!(sim.node(a).unwrap().timer_fires, 1);
+        let m = sim.metrics();
+        assert_eq!(m.messages_sent, 2);
+        assert_eq!(m.messages_delivered, 2);
+        assert_eq!(m.timers_fired, 1);
+        assert_eq!(m.nodes_started, 2);
+        let trace = sim.trace().unwrap();
+        assert_eq!(trace.count_matching(|e| matches!(e, TraceEvent::Delivered { .. })), 2);
+    }
+
+    #[test]
+    fn lossy_link_drops_everything() {
+        let config = SimConfig {
+            link: LinkModel {
+                latency: LatencyModel::Fixed(SimDuration::from_millis(1)),
+                loss: LossModel::Bernoulli { p: 1.0 },
+            },
+            max_events: 10_000,
+        };
+        let mut sim: Simulation<PingPong> = Simulation::new(config, 1);
+        let _a = sim.add_node(PingPong::default());
+        let b = sim.add_node(PingPong::default());
+        sim.run_until_idle();
+        assert_eq!(sim.node(b).unwrap().pings, 0);
+        assert_eq!(sim.metrics().messages_lost, 1);
+        assert_eq!(sim.metrics().messages_delivered, 0);
+    }
+
+    #[test]
+    fn failed_node_receives_nothing() {
+        let mut sim: Simulation<PingPong> = Simulation::new(ideal_config(), 1);
+        let _a = sim.add_node(PingPong::default());
+        let b = sim.add_node(PingPong::default());
+        // Fail b before the ping can be delivered: both the Fail and the
+        // Start/Deliver are at t=0, but Fail is scheduled first.
+        sim.fail_node(b);
+        sim.run_until_idle();
+        assert_eq!(sim.node(b).unwrap().pings, 0);
+        assert!(!sim.is_alive(b));
+        assert_eq!(sim.alive_count(), 1);
+        assert_eq!(sim.metrics().messages_to_dead, 1);
+        assert!(!sim.node(b).unwrap().stopped, "crash failure must not run on_stop");
+    }
+
+    #[test]
+    fn graceful_stop_runs_on_stop() {
+        let mut sim: Simulation<PingPong> = Simulation::new(ideal_config(), 1);
+        let a = sim.add_node(PingPong::default());
+        let b = sim.add_node(PingPong::default());
+        sim.run_until_idle();
+        sim.stop_node(b);
+        sim.run_until_idle();
+        assert!(sim.node(b).unwrap().stopped);
+        assert!(!sim.is_alive(b));
+        assert!(sim.is_alive(a));
+        assert_eq!(sim.metrics().nodes_stopped, 1);
+    }
+
+    #[test]
+    fn timers_of_dead_nodes_are_dropped() {
+        let mut sim: Simulation<PingPong> = Simulation::new(ideal_config(), 1);
+        let a = sim.add_node(PingPong::default());
+        let _b = sim.add_node(PingPong::default());
+        // Run only far enough for on_start (which arms a's 100ms timer).
+        sim.run_until(SimTime::from_millis(10));
+        sim.fail_node(a);
+        sim.run_until_idle();
+        assert_eq!(sim.node(a).unwrap().timer_fires, 0);
+        assert_eq!(sim.metrics().timers_dropped, 1);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim: Simulation<PingPong> = Simulation::new(
+            SimConfig {
+                link: LinkModel {
+                    latency: LatencyModel::Fixed(SimDuration::from_millis(20)),
+                    loss: LossModel::None,
+                },
+                max_events: 10_000,
+            },
+            1,
+        );
+        let _a = sim.add_node(PingPong::default());
+        let b = sim.add_node(PingPong::default());
+        sim.run_until(SimTime::from_millis(5));
+        // Ping is in flight (20ms latency) but not yet delivered.
+        assert_eq!(sim.node(b).unwrap().pings, 0);
+        sim.run_until(SimTime::from_millis(25));
+        assert_eq!(sim.node(b).unwrap().pings, 1);
+    }
+
+    #[test]
+    fn invoke_dispatches_actions() {
+        let mut sim: Simulation<PingPong> = Simulation::new(ideal_config(), 1);
+        let _a = sim.add_node(PingPong::default());
+        let b = sim.add_node(PingPong::default());
+        sim.run_until_idle();
+        let before = sim.node(b).unwrap().pings;
+        let r = sim.invoke(NodeAddr(0), |_node, ctx| {
+            ctx.send(b, Msg::Ping);
+            42
+        });
+        assert_eq!(r, Some(42));
+        sim.run_until_idle();
+        assert_eq!(sim.node(b).unwrap().pings, before + 1);
+        // Invoking a dead node returns None.
+        sim.fail_node(b);
+        sim.run_until_idle();
+        assert_eq!(sim.invoke(b, |_n, _c| ()), None);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        fn run(seed: u64) -> (u64, u64) {
+            let mut sim: Simulation<PingPong> = Simulation::new(SimConfig::default(), seed);
+            for _ in 0..10 {
+                sim.add_node(PingPong::default());
+            }
+            sim.run_until_idle();
+            (sim.metrics().messages_delivered, sim.now().as_micros())
+        }
+        assert_eq!(run(7), run(7));
+    }
+}

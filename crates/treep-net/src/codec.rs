@@ -1,0 +1,624 @@
+//! Hand-rolled binary codec for [`TreePMessage`].
+//!
+//! Layout: one tag byte per message / enum variant, fixed-width little-endian
+//! integers, and `u32` length prefixes for variable-length sequences. The
+//! format is self-contained (no schema negotiation) and deliberately boring:
+//! the goal is a dependency-free wire encoding whose round-trip is easy to
+//! test exhaustively.
+
+use bytes::{Buf, BufMut, BytesMut};
+use simnet::NodeAddr;
+use treep::lookup::{LookupRequest, RequestId};
+use treep::{CharacteristicsSummary, NodeId, PeerInfo, RoutingAlgorithm, RoutingUpdate, TreePMessage};
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the message was complete.
+    Truncated,
+    /// An unknown tag byte was encountered.
+    UnknownTag(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "datagram truncated"),
+            CodecError::UnknownTag(t) => write!(f, "unknown tag byte {t}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+type Result<T> = std::result::Result<T, CodecError>;
+
+// ---- message tags ----------------------------------------------------------
+
+const TAG_JOIN_REQUEST: u8 = 1;
+const TAG_JOIN_ACK: u8 = 2;
+const TAG_KEEP_ALIVE: u8 = 3;
+const TAG_KEEP_ALIVE_ACK: u8 = 4;
+const TAG_CHILD_REPORT: u8 = 5;
+const TAG_CHILD_REPORT_ACK: u8 = 6;
+const TAG_ELECTION_CALL: u8 = 7;
+const TAG_PARENT_ANNOUNCE: u8 = 8;
+const TAG_PARENT_ACCEPT: u8 = 9;
+const TAG_DEMOTION: u8 = 10;
+const TAG_LOOKUP: u8 = 11;
+const TAG_LOOKUP_FOUND: u8 = 12;
+const TAG_LOOKUP_NOT_FOUND: u8 = 13;
+const TAG_DHT_PUT: u8 = 14;
+const TAG_DHT_PUT_ACK: u8 = 15;
+const TAG_DHT_GET: u8 = 16;
+const TAG_DHT_GET_REPLY: u8 = 17;
+
+// ---- public API -------------------------------------------------------------
+
+/// Encode a message into a fresh buffer.
+pub fn encode_message(msg: &TreePMessage) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(128);
+    match msg {
+        TreePMessage::JoinRequest { joiner } => {
+            buf.put_u8(TAG_JOIN_REQUEST);
+            put_peer(&mut buf, joiner);
+        }
+        TreePMessage::JoinAck { responder, contacts, parent } => {
+            buf.put_u8(TAG_JOIN_ACK);
+            put_peer(&mut buf, responder);
+            put_peers(&mut buf, contacts);
+            put_opt_peer(&mut buf, parent.as_ref());
+        }
+        TreePMessage::KeepAlive { sender, updates } => {
+            buf.put_u8(TAG_KEEP_ALIVE);
+            put_peer(&mut buf, sender);
+            put_updates(&mut buf, updates);
+        }
+        TreePMessage::KeepAliveAck { sender, updates } => {
+            buf.put_u8(TAG_KEEP_ALIVE_ACK);
+            put_peer(&mut buf, sender);
+            put_updates(&mut buf, updates);
+        }
+        TreePMessage::ChildReport { child } => {
+            buf.put_u8(TAG_CHILD_REPORT);
+            put_peer(&mut buf, child);
+        }
+        TreePMessage::ChildReportAck { parent, superiors } => {
+            buf.put_u8(TAG_CHILD_REPORT_ACK);
+            put_peer(&mut buf, parent);
+            put_peers(&mut buf, superiors);
+        }
+        TreePMessage::ElectionCall { level, caller } => {
+            buf.put_u8(TAG_ELECTION_CALL);
+            buf.put_u32_le(*level);
+            put_peer(&mut buf, caller);
+        }
+        TreePMessage::ParentAnnounce { level, parent } => {
+            buf.put_u8(TAG_PARENT_ANNOUNCE);
+            buf.put_u32_le(*level);
+            put_peer(&mut buf, parent);
+        }
+        TreePMessage::ParentAccept { child } => {
+            buf.put_u8(TAG_PARENT_ACCEPT);
+            put_peer(&mut buf, child);
+        }
+        TreePMessage::Demotion { node, from_level } => {
+            buf.put_u8(TAG_DEMOTION);
+            put_peer(&mut buf, node);
+            buf.put_u32_le(*from_level);
+        }
+        TreePMessage::Lookup(req) => {
+            buf.put_u8(TAG_LOOKUP);
+            put_lookup_request(&mut buf, req);
+        }
+        TreePMessage::LookupFound { request_id, target, result, hops, algorithm } => {
+            buf.put_u8(TAG_LOOKUP_FOUND);
+            buf.put_u64_le(request_id.0);
+            buf.put_u64_le(target.0);
+            put_peer(&mut buf, result);
+            buf.put_u32_le(*hops);
+            buf.put_u8(algorithm_tag(*algorithm));
+        }
+        TreePMessage::LookupNotFound { request_id, target, hops, algorithm } => {
+            buf.put_u8(TAG_LOOKUP_NOT_FOUND);
+            buf.put_u64_le(request_id.0);
+            buf.put_u64_le(target.0);
+            buf.put_u32_le(*hops);
+            buf.put_u8(algorithm_tag(*algorithm));
+        }
+        TreePMessage::DhtPut { request_id, origin, key, value, ttl } => {
+            buf.put_u8(TAG_DHT_PUT);
+            buf.put_u64_le(request_id.0);
+            put_peer(&mut buf, origin);
+            buf.put_u64_le(key.0);
+            put_bytes(&mut buf, value);
+            buf.put_u32_le(*ttl);
+        }
+        TreePMessage::DhtPutAck { request_id, key, stored_at } => {
+            buf.put_u8(TAG_DHT_PUT_ACK);
+            buf.put_u64_le(request_id.0);
+            buf.put_u64_le(key.0);
+            put_peer(&mut buf, stored_at);
+        }
+        TreePMessage::DhtGet { request_id, origin, key, ttl } => {
+            buf.put_u8(TAG_DHT_GET);
+            buf.put_u64_le(request_id.0);
+            put_peer(&mut buf, origin);
+            buf.put_u64_le(key.0);
+            buf.put_u32_le(*ttl);
+        }
+        TreePMessage::DhtGetReply { request_id, key, value, responder } => {
+            buf.put_u8(TAG_DHT_GET_REPLY);
+            buf.put_u64_le(request_id.0);
+            buf.put_u64_le(key.0);
+            match value {
+                Some(v) => {
+                    buf.put_u8(1);
+                    put_bytes(&mut buf, v);
+                }
+                None => buf.put_u8(0),
+            }
+            put_peer(&mut buf, responder);
+        }
+    }
+    buf.to_vec()
+}
+
+/// Decode one message from a datagram.
+pub fn decode_message(mut buf: &[u8]) -> Result<TreePMessage> {
+    let tag = get_u8(&mut buf)?;
+    let msg = match tag {
+        TAG_JOIN_REQUEST => TreePMessage::JoinRequest { joiner: get_peer(&mut buf)? },
+        TAG_JOIN_ACK => TreePMessage::JoinAck {
+            responder: get_peer(&mut buf)?,
+            contacts: get_peers(&mut buf)?,
+            parent: get_opt_peer(&mut buf)?,
+        },
+        TAG_KEEP_ALIVE => TreePMessage::KeepAlive {
+            sender: get_peer(&mut buf)?,
+            updates: get_updates(&mut buf)?,
+        },
+        TAG_KEEP_ALIVE_ACK => TreePMessage::KeepAliveAck {
+            sender: get_peer(&mut buf)?,
+            updates: get_updates(&mut buf)?,
+        },
+        TAG_CHILD_REPORT => TreePMessage::ChildReport { child: get_peer(&mut buf)? },
+        TAG_CHILD_REPORT_ACK => TreePMessage::ChildReportAck {
+            parent: get_peer(&mut buf)?,
+            superiors: get_peers(&mut buf)?,
+        },
+        TAG_ELECTION_CALL => TreePMessage::ElectionCall {
+            level: get_u32(&mut buf)?,
+            caller: get_peer(&mut buf)?,
+        },
+        TAG_PARENT_ANNOUNCE => TreePMessage::ParentAnnounce {
+            level: get_u32(&mut buf)?,
+            parent: get_peer(&mut buf)?,
+        },
+        TAG_PARENT_ACCEPT => TreePMessage::ParentAccept { child: get_peer(&mut buf)? },
+        TAG_DEMOTION => TreePMessage::Demotion {
+            node: get_peer(&mut buf)?,
+            from_level: get_u32(&mut buf)?,
+        },
+        TAG_LOOKUP => TreePMessage::Lookup(get_lookup_request(&mut buf)?),
+        TAG_LOOKUP_FOUND => TreePMessage::LookupFound {
+            request_id: RequestId(get_u64(&mut buf)?),
+            target: NodeId(get_u64(&mut buf)?),
+            result: get_peer(&mut buf)?,
+            hops: get_u32(&mut buf)?,
+            algorithm: algorithm_from_tag(get_u8(&mut buf)?)?,
+        },
+        TAG_LOOKUP_NOT_FOUND => TreePMessage::LookupNotFound {
+            request_id: RequestId(get_u64(&mut buf)?),
+            target: NodeId(get_u64(&mut buf)?),
+            hops: get_u32(&mut buf)?,
+            algorithm: algorithm_from_tag(get_u8(&mut buf)?)?,
+        },
+        TAG_DHT_PUT => TreePMessage::DhtPut {
+            request_id: RequestId(get_u64(&mut buf)?),
+            origin: get_peer(&mut buf)?,
+            key: NodeId(get_u64(&mut buf)?),
+            value: get_bytes(&mut buf)?,
+            ttl: get_u32(&mut buf)?,
+        },
+        TAG_DHT_PUT_ACK => TreePMessage::DhtPutAck {
+            request_id: RequestId(get_u64(&mut buf)?),
+            key: NodeId(get_u64(&mut buf)?),
+            stored_at: get_peer(&mut buf)?,
+        },
+        TAG_DHT_GET => TreePMessage::DhtGet {
+            request_id: RequestId(get_u64(&mut buf)?),
+            origin: get_peer(&mut buf)?,
+            key: NodeId(get_u64(&mut buf)?),
+            ttl: get_u32(&mut buf)?,
+        },
+        TAG_DHT_GET_REPLY => TreePMessage::DhtGetReply {
+            request_id: RequestId(get_u64(&mut buf)?),
+            key: NodeId(get_u64(&mut buf)?),
+            value: {
+                if get_u8(&mut buf)? == 1 {
+                    Some(get_bytes(&mut buf)?)
+                } else {
+                    None
+                }
+            },
+            responder: get_peer(&mut buf)?,
+        },
+        other => return Err(CodecError::UnknownTag(other)),
+    };
+    Ok(msg)
+}
+
+// ---- field helpers -----------------------------------------------------------
+
+fn algorithm_tag(algorithm: RoutingAlgorithm) -> u8 {
+    match algorithm {
+        RoutingAlgorithm::Greedy => 0,
+        RoutingAlgorithm::NonGreedy => 1,
+        RoutingAlgorithm::NonGreedyFallback => 2,
+    }
+}
+
+fn algorithm_from_tag(tag: u8) -> Result<RoutingAlgorithm> {
+    match tag {
+        0 => Ok(RoutingAlgorithm::Greedy),
+        1 => Ok(RoutingAlgorithm::NonGreedy),
+        2 => Ok(RoutingAlgorithm::NonGreedyFallback),
+        other => Err(CodecError::UnknownTag(other)),
+    }
+}
+
+fn put_peer(buf: &mut BytesMut, peer: &PeerInfo) {
+    buf.put_u64_le(peer.id.0);
+    buf.put_u64_le(peer.addr.0);
+    buf.put_u32_le(peer.max_level);
+    buf.put_u16_le(peer.summary.score_milli);
+    buf.put_u32_le(peer.summary.max_children);
+}
+
+fn get_peer(buf: &mut &[u8]) -> Result<PeerInfo> {
+    Ok(PeerInfo {
+        id: NodeId(get_u64(buf)?),
+        addr: NodeAddr(get_u64(buf)?),
+        max_level: get_u32(buf)?,
+        summary: CharacteristicsSummary {
+            score_milli: get_u16(buf)?,
+            max_children: get_u32(buf)?,
+        },
+    })
+}
+
+fn put_opt_peer(buf: &mut BytesMut, peer: Option<&PeerInfo>) {
+    match peer {
+        Some(p) => {
+            buf.put_u8(1);
+            put_peer(buf, p);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn get_opt_peer(buf: &mut &[u8]) -> Result<Option<PeerInfo>> {
+    if get_u8(buf)? == 1 {
+        Ok(Some(get_peer(buf)?))
+    } else {
+        Ok(None)
+    }
+}
+
+fn put_peers(buf: &mut BytesMut, peers: &[PeerInfo]) {
+    buf.put_u32_le(peers.len() as u32);
+    for p in peers {
+        put_peer(buf, p);
+    }
+}
+
+fn get_peers(buf: &mut &[u8]) -> Result<Vec<PeerInfo>> {
+    let n = get_u32(buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(get_peer(buf)?);
+    }
+    Ok(out)
+}
+
+const UPDATE_CONTACT: u8 = 0;
+const UPDATE_LEVEL_MEMBER: u8 = 1;
+const UPDATE_PARENT_OF: u8 = 2;
+const UPDATE_CHILD_OF: u8 = 3;
+const UPDATE_SUPERIOR: u8 = 4;
+
+fn put_updates(buf: &mut BytesMut, updates: &[RoutingUpdate]) {
+    buf.put_u32_le(updates.len() as u32);
+    for u in updates {
+        match u {
+            RoutingUpdate::Contact { peer } => {
+                buf.put_u8(UPDATE_CONTACT);
+                put_peer(buf, peer);
+            }
+            RoutingUpdate::LevelMember { level, peer } => {
+                buf.put_u8(UPDATE_LEVEL_MEMBER);
+                buf.put_u32_le(*level);
+                put_peer(buf, peer);
+            }
+            RoutingUpdate::ParentOf { peer } => {
+                buf.put_u8(UPDATE_PARENT_OF);
+                put_peer(buf, peer);
+            }
+            RoutingUpdate::ChildOf { peer } => {
+                buf.put_u8(UPDATE_CHILD_OF);
+                put_peer(buf, peer);
+            }
+            RoutingUpdate::Superior { peer } => {
+                buf.put_u8(UPDATE_SUPERIOR);
+                put_peer(buf, peer);
+            }
+        }
+    }
+}
+
+fn get_updates(buf: &mut &[u8]) -> Result<Vec<RoutingUpdate>> {
+    let n = get_u32(buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let tag = get_u8(buf)?;
+        let update = match tag {
+            UPDATE_CONTACT => RoutingUpdate::Contact { peer: get_peer(buf)? },
+            UPDATE_LEVEL_MEMBER => {
+                RoutingUpdate::LevelMember { level: get_u32(buf)?, peer: get_peer(buf)? }
+            }
+            UPDATE_PARENT_OF => RoutingUpdate::ParentOf { peer: get_peer(buf)? },
+            UPDATE_CHILD_OF => RoutingUpdate::ChildOf { peer: get_peer(buf)? },
+            UPDATE_SUPERIOR => RoutingUpdate::Superior { peer: get_peer(buf)? },
+            other => return Err(CodecError::UnknownTag(other)),
+        };
+        out.push(update);
+    }
+    Ok(out)
+}
+
+fn put_lookup_request(buf: &mut BytesMut, req: &LookupRequest) {
+    buf.put_u64_le(req.request_id.0);
+    put_peer(buf, &req.origin);
+    buf.put_u64_le(req.target.0);
+    buf.put_u8(algorithm_tag(req.algorithm));
+    buf.put_u32_le(req.ttl);
+    buf.put_u32_le(req.visited.len() as u32);
+    for v in &req.visited {
+        buf.put_u64_le(v.0);
+    }
+    put_peers(buf, &req.fallbacks);
+}
+
+fn get_lookup_request(buf: &mut &[u8]) -> Result<LookupRequest> {
+    let request_id = RequestId(get_u64(buf)?);
+    let origin = get_peer(buf)?;
+    let target = NodeId(get_u64(buf)?);
+    let algorithm = algorithm_from_tag(get_u8(buf)?)?;
+    let ttl = get_u32(buf)?;
+    let visited_len = get_u32(buf)? as usize;
+    let mut visited = Vec::with_capacity(visited_len.min(1024));
+    for _ in 0..visited_len {
+        visited.push(NodeAddr(get_u64(buf)?));
+    }
+    let fallbacks = get_peers(buf)?;
+    let mut req = LookupRequest::new(request_id, origin, target, algorithm);
+    req.ttl = ttl;
+    req.visited = visited;
+    req.fallbacks = fallbacks;
+    Ok(req)
+}
+
+fn put_bytes(buf: &mut BytesMut, bytes: &[u8]) {
+    buf.put_u32_le(bytes.len() as u32);
+    buf.put_slice(bytes);
+}
+
+fn get_bytes(buf: &mut &[u8]) -> Result<Vec<u8>> {
+    let n = get_u32(buf)? as usize;
+    if buf.remaining() < n {
+        return Err(CodecError::Truncated);
+    }
+    let mut out = vec![0u8; n];
+    buf.copy_to_slice(&mut out);
+    Ok(out)
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8> {
+    if buf.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u16(buf: &mut &[u8]) -> Result<u16> {
+    if buf.remaining() < 2 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u16_le())
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64> {
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treep::{ChildPolicy, NodeCharacteristics};
+
+    fn peer(id: u64, level: u32) -> PeerInfo {
+        PeerInfo {
+            id: NodeId(id),
+            addr: NodeAddr(id * 3 + 1),
+            max_level: level,
+            summary: CharacteristicsSummary::of(&NodeCharacteristics::strong(), ChildPolicy::Fixed(4)),
+        }
+    }
+
+    fn all_messages() -> Vec<TreePMessage> {
+        let mut req = LookupRequest::new(RequestId(9), peer(1, 0), NodeId(42), RoutingAlgorithm::NonGreedyFallback);
+        req.advance(NodeAddr(5));
+        req.advance(NodeAddr(6));
+        req.fallbacks.push(peer(7, 2));
+        vec![
+            TreePMessage::JoinRequest { joiner: peer(1, 0) },
+            TreePMessage::JoinAck {
+                responder: peer(2, 1),
+                contacts: vec![peer(3, 0), peer(4, 0)],
+                parent: Some(peer(5, 1)),
+            },
+            TreePMessage::JoinAck { responder: peer(2, 1), contacts: vec![], parent: None },
+            TreePMessage::KeepAlive {
+                sender: peer(6, 0),
+                updates: vec![
+                    RoutingUpdate::Contact { peer: peer(7, 0) },
+                    RoutingUpdate::LevelMember { level: 2, peer: peer(8, 2) },
+                    RoutingUpdate::ParentOf { peer: peer(9, 1) },
+                    RoutingUpdate::ChildOf { peer: peer(10, 0) },
+                    RoutingUpdate::Superior { peer: peer(11, 3) },
+                ],
+            },
+            TreePMessage::KeepAliveAck { sender: peer(6, 0), updates: vec![] },
+            TreePMessage::ChildReport { child: peer(12, 0) },
+            TreePMessage::ChildReportAck { parent: peer(13, 1), superiors: vec![peer(14, 2)] },
+            TreePMessage::ElectionCall { level: 3, caller: peer(15, 2) },
+            TreePMessage::ParentAnnounce { level: 1, parent: peer(16, 1) },
+            TreePMessage::ParentAccept { child: peer(17, 0) },
+            TreePMessage::Demotion { node: peer(18, 2), from_level: 2 },
+            TreePMessage::Lookup(req),
+            TreePMessage::LookupFound {
+                request_id: RequestId(100),
+                target: NodeId(55),
+                result: peer(19, 0),
+                hops: 4,
+                algorithm: RoutingAlgorithm::Greedy,
+            },
+            TreePMessage::LookupNotFound {
+                request_id: RequestId(101),
+                target: NodeId(56),
+                hops: 7,
+                algorithm: RoutingAlgorithm::NonGreedy,
+            },
+            TreePMessage::DhtPut {
+                request_id: RequestId(102),
+                origin: peer(20, 0),
+                key: NodeId(77),
+                value: b"hello world".to_vec(),
+                ttl: 3,
+            },
+            TreePMessage::DhtPutAck { request_id: RequestId(102), key: NodeId(77), stored_at: peer(21, 1) },
+            TreePMessage::DhtGet { request_id: RequestId(103), origin: peer(22, 0), key: NodeId(78), ttl: 0 },
+            TreePMessage::DhtGetReply {
+                request_id: RequestId(103),
+                key: NodeId(78),
+                value: Some(b"value".to_vec()),
+                responder: peer(23, 0),
+            },
+            TreePMessage::DhtGetReply {
+                request_id: RequestId(104),
+                key: NodeId(79),
+                value: None,
+                responder: peer(24, 0),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for msg in all_messages() {
+            let encoded = encode_message(&msg);
+            let decoded = decode_message(&encoded).expect("decode");
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn truncated_datagrams_are_rejected() {
+        for msg in all_messages() {
+            let encoded = encode_message(&msg);
+            for cut in 0..encoded.len() {
+                let err = decode_message(&encoded[..cut]);
+                assert!(err.is_err(), "prefix of length {cut} must not decode");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert_eq!(decode_message(&[99, 0, 0]), Err(CodecError::UnknownTag(99)));
+        assert_eq!(decode_message(&[]), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert_eq!(CodecError::Truncated.to_string(), "datagram truncated");
+        assert_eq!(CodecError::UnknownTag(7).to_string(), "unknown tag byte 7");
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let keepalive = TreePMessage::KeepAlive { sender: peer(1, 0), updates: vec![] };
+        assert!(encode_message(&keepalive).len() < 64, "keep-alives must fit comfortably in one datagram");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use proptest::prop_compose;
+
+    prop_compose! {
+        fn arb_peer()(id in any::<u64>(), addr in any::<u64>(), level in 0u32..8,
+                      score in any::<u16>(), children in 0u32..64) -> PeerInfo {
+            PeerInfo {
+                id: NodeId(id),
+                addr: NodeAddr(addr),
+                max_level: level,
+                summary: CharacteristicsSummary { score_milli: score, max_children: children },
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn keepalive_round_trips(peers in proptest::collection::vec(arb_peer(), 0..8)) {
+            let updates: Vec<RoutingUpdate> =
+                peers.iter().map(|p| RoutingUpdate::Contact { peer: *p }).collect();
+            let msg = TreePMessage::KeepAlive { sender: peers.first().copied().unwrap_or_else(|| PeerInfo {
+                id: NodeId(0), addr: NodeAddr(0), max_level: 0,
+                summary: CharacteristicsSummary { score_milli: 0, max_children: 4 } }), updates };
+            let decoded = decode_message(&encode_message(&msg)).unwrap();
+            prop_assert_eq!(decoded, msg);
+        }
+
+        #[test]
+        fn dht_values_round_trip(value in proptest::collection::vec(any::<u8>(), 0..512), key in any::<u64>()) {
+            let origin = PeerInfo {
+                id: NodeId(1), addr: NodeAddr(2), max_level: 0,
+                summary: CharacteristicsSummary { score_milli: 100, max_children: 4 },
+            };
+            let msg = TreePMessage::DhtPut {
+                request_id: RequestId(5), origin, key: NodeId(key), value, ttl: 2,
+            };
+            let decoded = decode_message(&encode_message(&msg)).unwrap();
+            prop_assert_eq!(decoded, msg);
+        }
+
+        #[test]
+        fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_message(&bytes);
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! A threaded UDP host for the sans-IO [`TreePNode`] state machine.
+//!
+//! Two background threads drive the protocol exactly as the discrete-event
+//! simulator does, only against the wall clock:
+//!
+//! * the **receive loop** decodes incoming datagrams and feeds them to
+//!   `Protocol::on_message`;
+//! * the **timer loop** replays `Context::set_timer` requests when their
+//!   deadline passes and fires `Protocol::on_timer`.
+//!
+//! All outgoing actions produced by the node (sends, timers) are dispatched
+//! under the same lock that protects the node, so the state machine observes
+//! the same single-threaded semantics it has under simulation.
+
+use crate::codec::{decode_message, encode_message};
+use parking_lot::Mutex;
+use simnet::{Action, Context, NodeAddr, Protocol, SimRng, SimTime, TimerToken};
+use std::collections::BinaryHeap;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use treep::{
+    DhtOutcome, LookupOutcome, NodeCharacteristics, NodeId, PeerInfo, RoutingAlgorithm, TreePConfig,
+    TreePNode,
+};
+
+/// Pack an IPv4 socket address into a [`NodeAddr`] (upper 32 bits: address,
+/// lower 16 bits: port). The mapping is lossless, so overlay messages can
+/// carry real transport addresses inside their `PeerInfo` entries.
+pub fn addr_to_node_addr(addr: SocketAddr) -> NodeAddr {
+    match addr {
+        SocketAddr::V4(v4) => {
+            let ip = u32::from(*v4.ip()) as u64;
+            NodeAddr((ip << 16) | v4.port() as u64)
+        }
+        SocketAddr::V6(_) => panic!("treep-net currently supports IPv4 only"),
+    }
+}
+
+/// Inverse of [`addr_to_node_addr`].
+pub fn node_addr_to_socket(addr: NodeAddr) -> SocketAddr {
+    let ip = Ipv4Addr::from(((addr.0 >> 16) & 0xFFFF_FFFF) as u32);
+    let port = (addr.0 & 0xFFFF) as u16;
+    SocketAddr::V4(SocketAddrV4::new(ip, port))
+}
+
+struct PendingTimer {
+    due: Instant,
+    token: TimerToken,
+    seq: u64,
+}
+
+impl PartialEq for PendingTimer {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for PendingTimer {}
+impl PartialOrd for PendingTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse ordering: the earliest deadline sits at the top of the heap.
+        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct Shared {
+    node: Mutex<TreePNode>,
+    timers: Mutex<BinaryHeap<PendingTimer>>,
+    rng: Mutex<SimRng>,
+    started_at: Instant,
+    self_addr: NodeAddr,
+    socket: UdpSocket,
+    timer_seq: Mutex<u64>,
+    running: AtomicBool,
+}
+
+impl Shared {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.started_at.elapsed().as_micros() as u64)
+    }
+
+    /// Run a closure against the node with a fresh context and dispatch the
+    /// actions it produced.
+    fn with_node<R>(&self, f: impl FnOnce(&mut TreePNode, &mut Context<'_, treep::TreePMessage>) -> R) -> R {
+        let now = self.now();
+        let mut rng = self.rng.lock();
+        let mut ctx = Context::new(now, self.self_addr, &mut rng);
+        let mut node = self.node.lock();
+        let out = f(&mut node, &mut ctx);
+        drop(node);
+        let actions = ctx.into_actions();
+        drop(rng);
+        self.dispatch(actions);
+        out
+    }
+
+    fn dispatch(&self, actions: Vec<Action<treep::TreePMessage>>) {
+        for action in actions {
+            match action {
+                Action::Send { dest, msg } => {
+                    let bytes = encode_message(&msg);
+                    let _ = self.socket.send_to(&bytes, node_addr_to_socket(dest));
+                }
+                Action::SetTimer { delay, token } => {
+                    let mut seq = self.timer_seq.lock();
+                    *seq += 1;
+                    let pending = PendingTimer {
+                        due: Instant::now() + Duration::from_micros(delay.as_micros()),
+                        token,
+                        seq: *seq,
+                    };
+                    drop(seq);
+                    self.timers.lock().push(pending);
+                }
+                Action::Shutdown => {
+                    self.running.store(false, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+}
+
+/// A TreeP peer bound to a real UDP socket.
+///
+/// Dropping the handle stops the background threads and closes the node.
+pub struct UdpNode {
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl UdpNode {
+    /// Bind a node to `bind_addr` (e.g. `"127.0.0.1:0"`), give it `id` and
+    /// `characteristics`, and start it. `bootstrap` lists peers the node
+    /// joins through (their `PeerInfo` as returned by
+    /// [`UdpNode::peer_info`]).
+    pub fn bind(
+        bind_addr: impl ToSocketAddrs,
+        config: TreePConfig,
+        id: NodeId,
+        characteristics: NodeCharacteristics,
+        bootstrap: Vec<PeerInfo>,
+    ) -> std::io::Result<UdpNode> {
+        let socket = UdpSocket::bind(bind_addr)?;
+        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let local = socket.local_addr()?;
+        let self_addr = addr_to_node_addr(local);
+        let node = TreePNode::new(config, id, characteristics)
+            .with_addr(self_addr)
+            .with_bootstrap(bootstrap);
+        let shared = Arc::new(Shared {
+            node: Mutex::new(node),
+            timers: Mutex::new(BinaryHeap::new()),
+            rng: Mutex::new(SimRng::seed_from(self_addr.0 ^ id.0)),
+            started_at: Instant::now(),
+            self_addr,
+            socket,
+            timer_seq: Mutex::new(0),
+            running: AtomicBool::new(true),
+        });
+
+        // Start the protocol (arms the first keep-alive and sends the join
+        // requests).
+        shared.with_node(|node, ctx| node.on_start(ctx));
+
+        let recv_shared = Arc::clone(&shared);
+        let recv_thread = std::thread::spawn(move || {
+            let mut buf = vec![0u8; 64 * 1024];
+            while recv_shared.running.load(Ordering::SeqCst) {
+                match recv_shared.socket.recv_from(&mut buf) {
+                    Ok((len, from)) => {
+                        if let Ok(msg) = decode_message(&buf[..len]) {
+                            let from_addr = addr_to_node_addr(from);
+                            recv_shared.with_node(|node, ctx| node.on_message(from_addr, msg, ctx));
+                        }
+                    }
+                    Err(ref e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Err(_) => break,
+                }
+            }
+        });
+
+        let timer_shared = Arc::clone(&shared);
+        let timer_thread = std::thread::spawn(move || {
+            while timer_shared.running.load(Ordering::SeqCst) {
+                let mut due: Vec<TimerToken> = Vec::new();
+                {
+                    let mut timers = timer_shared.timers.lock();
+                    let now = Instant::now();
+                    while timers.peek().map(|t| t.due <= now).unwrap_or(false) {
+                        due.push(timers.pop().expect("peeked").token);
+                    }
+                }
+                for token in due {
+                    timer_shared.with_node(|node, ctx| node.on_timer(token, ctx));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        });
+
+        Ok(UdpNode { shared, threads: vec![recv_thread, timer_thread] })
+    }
+
+    /// The node's overlay identifier.
+    pub fn id(&self) -> NodeId {
+        self.shared.node.lock().id()
+    }
+
+    /// The node's transport address as a socket address.
+    pub fn local_addr(&self) -> SocketAddr {
+        node_addr_to_socket(self.shared.self_addr)
+    }
+
+    /// The node's contact information, suitable as a bootstrap entry for
+    /// other [`UdpNode::bind`] calls.
+    pub fn peer_info(&self) -> PeerInfo {
+        self.shared.node.lock().peer_info()
+    }
+
+    /// Inspect the protocol state under the lock.
+    pub fn with_node<R>(&self, f: impl FnOnce(&TreePNode) -> R) -> R {
+        f(&self.shared.node.lock())
+    }
+
+    /// Originate a lookup for `target`.
+    pub fn lookup(&self, target: NodeId, algorithm: RoutingAlgorithm) {
+        self.shared.with_node(|node, ctx| {
+            node.start_lookup(target, algorithm, ctx);
+        });
+    }
+
+    /// Store a value in the DHT.
+    pub fn dht_put(&self, key: &[u8], value: Vec<u8>) {
+        self.shared.with_node(|node, ctx| {
+            node.dht_put(key, value, ctx);
+        });
+    }
+
+    /// Query the DHT.
+    pub fn dht_get(&self, key: &[u8]) {
+        self.shared.with_node(|node, ctx| {
+            node.dht_get(key, ctx);
+        });
+    }
+
+    /// Collect the lookup outcomes recorded so far.
+    pub fn drain_lookup_outcomes(&self) -> Vec<LookupOutcome> {
+        self.shared.node.lock().drain_lookup_outcomes()
+    }
+
+    /// Collect the DHT outcomes recorded so far.
+    pub fn drain_dht_outcomes(&self) -> Vec<DhtOutcome> {
+        self.shared.node.lock().drain_dht_outcomes()
+    }
+
+    /// Stop the background threads and close the socket.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.running.store(false, Ordering::SeqCst);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for UdpNode {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::SimDuration;
+
+    fn fast_config() -> TreePConfig {
+        TreePConfig {
+            keepalive_interval: SimDuration::from_millis(100),
+            entry_ttl: SimDuration::from_millis(600),
+            election_base: SimDuration::from_millis(80),
+            demotion_base: SimDuration::from_millis(200),
+            lookup_timeout: SimDuration::from_millis(800),
+            ..TreePConfig::default()
+        }
+    }
+
+    #[test]
+    fn node_addr_round_trips_socket_addrs() {
+        for (ip, port) in [([127, 0, 0, 1], 8080u16), ([192, 168, 1, 42], 65535), ([10, 0, 0, 1], 1)] {
+            let sock = SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::from(ip), port));
+            assert_eq!(node_addr_to_socket(addr_to_node_addr(sock)), sock);
+        }
+    }
+
+    #[test]
+    fn two_nodes_learn_about_each_other_over_udp() {
+        let config = fast_config();
+        let seed = UdpNode::bind("127.0.0.1:0", config, NodeId(1_000_000), NodeCharacteristics::strong(), vec![])
+            .expect("bind seed");
+        let joiner = UdpNode::bind(
+            "127.0.0.1:0",
+            config,
+            NodeId(3_000_000_000),
+            NodeCharacteristics::default(),
+            vec![seed.peer_info()],
+        )
+        .expect("bind joiner");
+
+        // Give the join handshake and a couple of keep-alive rounds time to
+        // complete over the loopback interface.
+        std::thread::sleep(Duration::from_millis(600));
+
+        let seed_knows = seed.with_node(|n| n.tables().is_level0_neighbor(NodeId(3_000_000_000)));
+        let joiner_knows = joiner.with_node(|n| n.tables().is_level0_neighbor(NodeId(1_000_000)));
+        assert!(seed_knows, "seed never learned about the joiner");
+        assert!(joiner_knows, "joiner never learned about the seed");
+
+        joiner.lookup(NodeId(1_000_000), RoutingAlgorithm::Greedy);
+        std::thread::sleep(Duration::from_millis(300));
+        let outcomes = joiner.drain_lookup_outcomes();
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].status.is_success(), "{:?}", outcomes[0]);
+
+        joiner.shutdown();
+        seed.shutdown();
+    }
+
+    #[test]
+    fn dht_put_get_works_over_udp() {
+        let config = fast_config();
+        let seed = UdpNode::bind("127.0.0.1:0", config, NodeId(500_000), NodeCharacteristics::strong(), vec![])
+            .expect("bind seed");
+        let peer = UdpNode::bind(
+            "127.0.0.1:0",
+            config,
+            NodeId(2_500_000_000),
+            NodeCharacteristics::default(),
+            vec![seed.peer_info()],
+        )
+        .expect("bind peer");
+        std::thread::sleep(Duration::from_millis(500));
+
+        peer.dht_put(b"service/registry", b"udp works".to_vec());
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(peer.drain_dht_outcomes().iter().any(|o| o.is_success()), "put must be acknowledged");
+
+        peer.dht_get(b"service/registry");
+        std::thread::sleep(Duration::from_millis(300));
+        let gets = peer.drain_dht_outcomes();
+        let found = gets.iter().any(|o| match o {
+            DhtOutcome::GetAnswered { value: Some(v), .. } => v == b"udp works",
+            _ => false,
+        });
+        assert!(found, "stored value must be retrievable: {gets:?}");
+
+        peer.shutdown();
+        seed.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_fast() {
+        let node = UdpNode::bind(
+            "127.0.0.1:0",
+            fast_config(),
+            NodeId(42),
+            NodeCharacteristics::default(),
+            vec![],
+        )
+        .expect("bind");
+        let started = Instant::now();
+        node.shutdown();
+        assert!(started.elapsed() < Duration::from_secs(2));
+    }
+}

@@ -1,0 +1,261 @@
+//! Whole-topology audits.
+//!
+//! The routing decisions of TreeP are purely local, but tests, the topology
+//! builder and the Section III.e experiment need a *global* view: is the
+//! hierarchy well formed, are the analytic routing-table-size formulas
+//! respected, what does the level population look like? This module computes
+//! those properties from a collection of node snapshots.
+
+use crate::config::TreePConfig;
+use crate::id::NodeId;
+use crate::node::TreePNode;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Summary of the hierarchy across a set of nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyAudit {
+    /// Number of nodes inspected.
+    pub nodes: usize,
+    /// Number of nodes per level (level 0 counts every node).
+    pub level_population: BTreeMap<u32, usize>,
+    /// The height of the hierarchy (highest populated level).
+    pub height: u32,
+    /// Nodes (beyond the root) without a parent entry.
+    pub orphans: usize,
+    /// Nodes whose parent entry refers to an ID outside the inspected set.
+    pub dangling_parents: usize,
+    /// Parents whose own-children count exceeds their configured maximum.
+    pub overfull_parents: usize,
+    /// Nodes with fewer than the minimum number of level-0 connections.
+    pub under_connected: usize,
+    /// Average number of own children over the nodes that have any.
+    pub avg_children: f64,
+    /// Average number of actively maintained connections per node.
+    pub avg_active_connections: f64,
+    /// Largest routing table observed (total entries).
+    pub max_table_size: usize,
+}
+
+impl HierarchyAudit {
+    /// True when the audit found none of the structural problems.
+    pub fn is_clean(&self) -> bool {
+        self.orphans == 0
+            && self.dangling_parents == 0
+            && self.overfull_parents == 0
+            && self.under_connected == 0
+    }
+}
+
+/// Inspect a set of live node snapshots.
+pub fn audit<'a, I>(nodes: I, config: &TreePConfig) -> HierarchyAudit
+where
+    I: IntoIterator<Item = &'a TreePNode>,
+{
+    let nodes: Vec<&TreePNode> = nodes.into_iter().collect();
+    let ids: BTreeSet<NodeId> = nodes.iter().map(|n| n.id()).collect();
+    let mut level_population: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut orphans = 0usize;
+    let mut dangling_parents = 0usize;
+    let mut overfull_parents = 0usize;
+    let mut under_connected = 0usize;
+    let mut children_sum = 0usize;
+    let mut parents_with_children = 0usize;
+    let mut active_sum = 0usize;
+    let mut max_table_size = 0usize;
+    let mut height = 0u32;
+
+    for node in &nodes {
+        for lvl in 0..=node.max_level() {
+            *level_population.entry(lvl).or_insert(0) += 1;
+        }
+        height = height.max(node.max_level());
+
+        match node.tables().parent() {
+            None => {
+                // The root (a node at the top level) legitimately has no parent.
+                if node.max_level() < height || nodes.len() == 1 {
+                    orphans += 1;
+                }
+            }
+            Some(p) => {
+                if !ids.contains(&p.id) {
+                    dangling_parents += 1;
+                }
+            }
+        }
+
+        let own = node.tables().own_children_count();
+        if own > 0 {
+            children_sum += own;
+            parents_with_children += 1;
+        }
+        if own as u32 > node.max_children() {
+            overfull_parents += 1;
+        }
+        if node.tables().level0_degree() < config.min_level0_connections && nodes.len() > config.min_level0_connections
+        {
+            under_connected += 1;
+        }
+        active_sum += node.active_connections();
+        max_table_size = max_table_size.max(node.tables().sizes().total());
+    }
+
+    // The orphan count above guessed the height while iterating; recompute
+    // properly: only nodes strictly below the final height count as orphans.
+    let mut orphans_final = 0usize;
+    for node in &nodes {
+        if node.tables().parent().is_none() && node.max_level() < height {
+            orphans_final += 1;
+        }
+    }
+    if nodes.len() > 1 {
+        orphans = orphans_final;
+    }
+
+    HierarchyAudit {
+        nodes: nodes.len(),
+        level_population,
+        height,
+        orphans,
+        dangling_parents,
+        overfull_parents,
+        under_connected,
+        avg_children: if parents_with_children == 0 {
+            0.0
+        } else {
+            children_sum as f64 / parents_with_children as f64
+        },
+        avg_active_connections: if nodes.is_empty() { 0.0 } else { active_sum as f64 / nodes.len() as f64 },
+        max_table_size,
+    }
+}
+
+/// The analytic routing-table-size bound of Section III.e for a node:
+/// `l0 + h` entries for pure level-0 nodes and
+/// `l0 + li + Li + ci + ca + da + h - i` for nodes at level `i > 0`. This
+/// helper returns the bound for the measured components so tests can assert
+/// `measured_total <= analytic_bound`.
+pub fn analytic_table_bound(node: &TreePNode) -> usize {
+    let sizes = node.tables().sizes();
+    let h = node.config().height as usize;
+    let i = node.max_level() as usize;
+    if i == 0 {
+        // l0 + h (the h term covers the parent + superior chain).
+        sizes.level0 + h
+    } else {
+        sizes.level0
+            + sizes.level_neighbors
+            + sizes.neighbor_children
+            + sizes.own_children
+            + 2 // da: direct bus neighbours at the node's level
+            + h.saturating_sub(i)
+            + 1 // the parent entry itself
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characteristics::{CharacteristicsSummary, NodeCharacteristics};
+    use crate::config::ChildPolicy;
+    use crate::entry::PeerInfo;
+    use simnet::{NodeAddr, SimTime};
+
+    fn peer(id: u64, level: u32) -> PeerInfo {
+        PeerInfo {
+            id: NodeId(id),
+            addr: NodeAddr(id),
+            max_level: level,
+            summary: CharacteristicsSummary::of(&NodeCharacteristics::default(), ChildPolicy::Fixed(4)),
+        }
+    }
+
+    fn node(id: u64, level: u32) -> TreePNode {
+        let mut n = TreePNode::new(TreePConfig::default(), NodeId(id), NodeCharacteristics::default())
+            .with_addr(NodeAddr(id));
+        n.seed_max_level(level);
+        n
+    }
+
+    #[test]
+    fn audit_of_tiny_well_formed_hierarchy() {
+        let config = TreePConfig::default();
+        // Root (level 1) with two children; everyone level-0 connected.
+        let mut root = node(100, 1);
+        let mut a = node(50, 0);
+        let mut b = node(150, 0);
+        let t = SimTime::ZERO;
+        root.seed_child(peer(50, 0), true, t);
+        root.seed_child(peer(150, 0), true, t);
+        root.seed_level0_neighbor(peer(50, 0), t);
+        root.seed_level0_neighbor(peer(150, 0), t);
+        a.seed_parent(peer(100, 1), t);
+        a.seed_level0_neighbor(peer(100, 1), t);
+        a.seed_level0_neighbor(peer(150, 0), t);
+        b.seed_parent(peer(100, 1), t);
+        b.seed_level0_neighbor(peer(100, 1), t);
+        b.seed_level0_neighbor(peer(50, 0), t);
+
+        let nodes = [root, a, b];
+        let report = audit(nodes.iter(), &config);
+        assert_eq!(report.nodes, 3);
+        assert_eq!(report.height, 1);
+        assert_eq!(report.level_population[&0], 3);
+        assert_eq!(report.level_population[&1], 1);
+        assert_eq!(report.orphans, 0);
+        assert_eq!(report.dangling_parents, 0);
+        assert_eq!(report.overfull_parents, 0);
+        assert!(report.is_clean(), "{report:?}");
+        assert!((report.avg_children - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn audit_detects_orphans_and_dangling_parents() {
+        let config = TreePConfig::default();
+        let mut root = node(100, 1);
+        root.seed_level0_neighbor(peer(50, 0), SimTime::ZERO);
+        root.seed_level0_neighbor(peer(150, 0), SimTime::ZERO);
+        let mut a = node(50, 0); // orphan: no parent
+        a.seed_level0_neighbor(peer(100, 1), SimTime::ZERO);
+        a.seed_level0_neighbor(peer(150, 0), SimTime::ZERO);
+        let mut b = node(150, 0);
+        b.seed_parent(peer(999, 1), SimTime::ZERO); // dangling parent
+        b.seed_level0_neighbor(peer(100, 1), SimTime::ZERO);
+        b.seed_level0_neighbor(peer(50, 0), SimTime::ZERO);
+        let nodes = [root, a, b];
+        let report = audit(nodes.iter(), &config);
+        assert_eq!(report.orphans, 1);
+        assert_eq!(report.dangling_parents, 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn audit_detects_overfull_parents() {
+        let config = TreePConfig { child_policy: ChildPolicy::Fixed(2), ..TreePConfig::default() };
+        let mut root = TreePNode::new(config, NodeId(100), NodeCharacteristics::default())
+            .with_addr(NodeAddr(100));
+        root.seed_max_level(1);
+        for id in [1u64, 2, 3] {
+            root.seed_child(peer(id, 0), true, SimTime::ZERO);
+        }
+        root.seed_level0_neighbor(peer(1, 0), SimTime::ZERO);
+        root.seed_level0_neighbor(peer(2, 0), SimTime::ZERO);
+        let report = audit([&root], &config);
+        assert_eq!(report.overfull_parents, 1);
+    }
+
+    #[test]
+    fn analytic_bound_holds_for_seeded_nodes() {
+        let mut n = node(100, 2);
+        let t = SimTime::ZERO;
+        n.seed_level0_neighbor(peer(1, 0), t);
+        n.seed_level0_neighbor(peer(2, 0), t);
+        n.seed_child(peer(3, 0), true, t);
+        n.seed_child(peer(4, 0), true, t);
+        n.seed_level_neighbor(1, peer(5, 1), t);
+        n.seed_parent(peer(6, 3), t);
+        let total = n.tables().sizes().total();
+        assert!(total <= analytic_table_bound(&n) + n.tables().sizes().superiors, "{total}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Protocol configuration.
+
+use crate::id::IdSpace;
+use serde::{Deserialize, Serialize};
+use simnet::SimDuration;
+
+/// Policy governing the maximum number of children per parent.
+///
+/// Section IV evaluates both: "In the first case the maximum number of
+/// children (nc) is fixed to 4 while in the second nc is defined according to
+/// the nodes capabilities such as CPU, Memory, bandwidth, etc."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChildPolicy {
+    /// Every parent accepts at most this many children.
+    Fixed(u32),
+    /// Per-node maximum derived from the capability score, linearly
+    /// interpolated between `min` and `max`.
+    Adaptive {
+        /// Children accepted by the weakest possible parent (>= 2).
+        min: u32,
+        /// Children accepted by the strongest possible parent.
+        max: u32,
+    },
+}
+
+impl ChildPolicy {
+    /// The paper's first experimental configuration (`nc = 4`).
+    pub const PAPER_FIXED: ChildPolicy = ChildPolicy::Fixed(4);
+    /// The paper's second experimental configuration (capability-driven).
+    pub const PAPER_ADAPTIVE: ChildPolicy = ChildPolicy::Adaptive { min: 2, max: 8 };
+
+    /// The largest number of children any node could have under this policy.
+    pub fn upper_bound(&self) -> u32 {
+        match *self {
+            ChildPolicy::Fixed(nc) => nc,
+            ChildPolicy::Adaptive { max, .. } => max,
+        }
+    }
+}
+
+/// All tunable parameters of a TreeP deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreePConfig {
+    /// The 1-D identifier space.
+    pub space: IdSpace,
+    /// Maximum-children policy.
+    pub child_policy: ChildPolicy,
+    /// Height of the hierarchy the deployment is sized for. The paper pins
+    /// `h = 6` in both experiments; the routing distance function and the
+    /// TTL fallback depend on it.
+    pub height: u32,
+    /// Maximum TTL of a lookup request (paper: 255).
+    pub max_ttl: u32,
+    /// Interval between keep-alive exchanges with direct neighbours.
+    pub keepalive_interval: SimDuration,
+    /// Routing-table entries not refreshed within this period are expired
+    /// ("The entry will be deleted after the expiration of the timestamp").
+    pub entry_ttl: SimDuration,
+    /// Base value of the election countdown; the actual countdown is scaled
+    /// down by the node's capability score.
+    pub election_base: SimDuration,
+    /// Base value of the demotion countdown (parent with fewer than two
+    /// children); scaled up by the capability score.
+    pub demotion_base: SimDuration,
+    /// Minimum number of level-0 connections every node keeps alive
+    /// ("Each node needs to maintain a minimum of two connections").
+    pub min_level0_connections: usize,
+    /// Maximum number of level-0 neighbours a node actively maintains.
+    /// Entries learned through gossip beyond this budget are pruned during
+    /// the maintenance tick, keeping the ID-closest peers ("If they stop
+    /// interacting and have more than two edges, each node can safely delete
+    /// the other from their routing table"). This is what keeps the per-node
+    /// keep-alive fan-out — and therefore the maintenance overhead — bounded
+    /// independently of the network size.
+    pub max_level0_connections: usize,
+    /// Lookups not answered within this period are reported as failed by the
+    /// origin (the paper's simulator counts them as lost requests).
+    pub lookup_timeout: SimDuration,
+}
+
+impl Default for TreePConfig {
+    fn default() -> Self {
+        TreePConfig {
+            space: IdSpace::default(),
+            child_policy: ChildPolicy::PAPER_FIXED,
+            height: 6,
+            max_ttl: 255,
+            keepalive_interval: SimDuration::from_millis(500),
+            entry_ttl: SimDuration::from_millis(2_500),
+            election_base: SimDuration::from_millis(400),
+            demotion_base: SimDuration::from_millis(800),
+            min_level0_connections: 2,
+            max_level0_connections: 8,
+            lookup_timeout: SimDuration::from_secs(10),
+        }
+    }
+}
+
+impl TreePConfig {
+    /// Configuration of the paper's first experiment: `nc = 4`, `h = 6`.
+    pub fn paper_case_fixed() -> Self {
+        TreePConfig { child_policy: ChildPolicy::PAPER_FIXED, height: 6, ..Default::default() }
+    }
+
+    /// Configuration of the paper's second experiment: capability-driven
+    /// `nc`, `h = 6`.
+    pub fn paper_case_adaptive() -> Self {
+        TreePConfig { child_policy: ChildPolicy::PAPER_ADAPTIVE, height: 6, ..Default::default() }
+    }
+
+    /// Validate internal consistency; returns a human-readable complaint for
+    /// the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.height == 0 {
+            return Err("height must be at least 1".into());
+        }
+        if self.max_ttl == 0 {
+            return Err("max_ttl must be at least 1".into());
+        }
+        match self.child_policy {
+            ChildPolicy::Fixed(nc) if nc < 2 => {
+                return Err(format!("fixed child policy needs nc >= 2, got {nc}"));
+            }
+            ChildPolicy::Adaptive { min, max } => {
+                if min < 2 {
+                    return Err(format!("adaptive child policy needs min >= 2, got {min}"));
+                }
+                if max < min {
+                    return Err(format!("adaptive child policy needs max >= min, got {min}..{max}"));
+                }
+            }
+            _ => {}
+        }
+        if self.min_level0_connections < 2 {
+            return Err("min_level0_connections must be >= 2 (paper, Section III.a)".into());
+        }
+        if self.max_level0_connections < self.min_level0_connections {
+            return Err(format!(
+                "max_level0_connections ({}) must be >= min_level0_connections ({})",
+                self.max_level0_connections, self.min_level0_connections
+            ));
+        }
+        if self.entry_ttl <= self.keepalive_interval {
+            return Err("entry_ttl must exceed keepalive_interval or entries expire between refreshes".into());
+        }
+        Ok(())
+    }
+
+    /// The analytic height bound of Section III.e: `h <= log_t((n+1)/2)`
+    /// for a network of `n` nodes and minimum degree `t >= 2`, i.e. the
+    /// height a balanced TreeP of `n` nodes would have with average fanout
+    /// `c`.
+    pub fn expected_height(n: usize, avg_children: f64) -> u32 {
+        if n <= 1 || avg_children <= 1.0 {
+            return 0;
+        }
+        let h = (((n as f64) + 1.0) / 2.0).log(avg_children);
+        h.ceil().max(0.0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(TreePConfig::default().validate().is_ok());
+        assert!(TreePConfig::paper_case_fixed().validate().is_ok());
+        assert!(TreePConfig::paper_case_adaptive().validate().is_ok());
+    }
+
+    #[test]
+    fn paper_configs_match_section_iv() {
+        let fixed = TreePConfig::paper_case_fixed();
+        assert_eq!(fixed.child_policy, ChildPolicy::Fixed(4));
+        assert_eq!(fixed.height, 6);
+        assert_eq!(fixed.max_ttl, 255);
+        let adaptive = TreePConfig::paper_case_adaptive();
+        assert!(matches!(adaptive.child_policy, ChildPolicy::Adaptive { .. }));
+        assert_eq!(adaptive.height, 6);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = TreePConfig::default();
+        c.height = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = TreePConfig::default();
+        c.child_policy = ChildPolicy::Fixed(1);
+        assert!(c.validate().is_err());
+
+        let mut c = TreePConfig::default();
+        c.child_policy = ChildPolicy::Adaptive { min: 1, max: 8 };
+        assert!(c.validate().is_err());
+
+        let mut c = TreePConfig::default();
+        c.child_policy = ChildPolicy::Adaptive { min: 5, max: 3 };
+        assert!(c.validate().is_err());
+
+        let mut c = TreePConfig::default();
+        c.min_level0_connections = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = TreePConfig::default();
+        c.entry_ttl = SimDuration::from_millis(10);
+        c.keepalive_interval = SimDuration::from_millis(500);
+        assert!(c.validate().is_err());
+
+        let mut c = TreePConfig::default();
+        c.max_ttl = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn expected_height_matches_btree_bound() {
+        // h <= log_c((n+1)/2): with c = 4 and n = 2000, (n+1)/2 ~ 1000 and
+        // log_4(1000) ~ 4.98 -> 5.
+        assert_eq!(TreePConfig::expected_height(2000, 4.0), 5);
+        // Degenerate inputs.
+        assert_eq!(TreePConfig::expected_height(1, 4.0), 0);
+        assert_eq!(TreePConfig::expected_height(100, 1.0), 0);
+        // Larger networks are deeper.
+        assert!(TreePConfig::expected_height(100_000, 4.0) > TreePConfig::expected_height(1_000, 4.0));
+    }
+
+    #[test]
+    fn child_policy_upper_bound() {
+        assert_eq!(ChildPolicy::Fixed(4).upper_bound(), 4);
+        assert_eq!(ChildPolicy::Adaptive { min: 2, max: 8 }.upper_bound(), 8);
+    }
+}

@@ -1,0 +1,149 @@
+//! Routing-table entries.
+
+use crate::characteristics::CharacteristicsSummary;
+use crate::id::NodeId;
+use serde::{Deserialize, Serialize};
+use simnet::{NodeAddr, SimDuration, SimTime};
+
+/// One row of a routing table: "The main information stored in the routing
+/// table is a set of tuples (ID, IP, Port)" (Section III.c), augmented with
+/// the peer's maximum level, a summary of its resources (exchanged on first
+/// contact) and a freshness timestamp ("All the entries in the routing table
+/// have a timestamp associated …").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoutingEntry {
+    /// The peer's overlay identifier (its coordinate in the 1-D space).
+    pub id: NodeId,
+    /// The peer's transport address (stands in for IP/port).
+    pub addr: NodeAddr,
+    /// Highest level the peer belongs to, as far as we know.
+    pub max_level: u32,
+    /// Resource summary exchanged on first contact.
+    pub summary: CharacteristicsSummary,
+    /// Last time we heard from (or about) this peer.
+    pub last_seen: SimTime,
+}
+
+impl RoutingEntry {
+    /// Create an entry freshly heard from at `now`.
+    pub fn new(
+        id: NodeId,
+        addr: NodeAddr,
+        max_level: u32,
+        summary: CharacteristicsSummary,
+        now: SimTime,
+    ) -> Self {
+        RoutingEntry { id, addr, max_level, summary, last_seen: now }
+    }
+
+    /// Reset the freshness timestamp ("This timestamp is reset at every
+    /// occurrence of an active communication with the corresponding node").
+    pub fn touch(&mut self, now: SimTime) {
+        if now > self.last_seen {
+            self.last_seen = now;
+        }
+    }
+
+    /// True when the entry has not been refreshed within `ttl` of `now`.
+    pub fn is_stale(&self, now: SimTime, ttl: SimDuration) -> bool {
+        now.saturating_since(self.last_seen) > ttl
+    }
+
+    /// Merge newer information about the same peer (higher level, newer
+    /// timestamp, refreshed summary).
+    pub fn merge(&mut self, other: &RoutingEntry) {
+        debug_assert_eq!(self.id, other.id);
+        if other.last_seen >= self.last_seen {
+            self.last_seen = other.last_seen;
+            self.summary = other.summary;
+            self.max_level = other.max_level;
+        } else {
+            self.max_level = self.max_level.max(other.max_level);
+        }
+    }
+}
+
+/// A compact form of [`RoutingEntry`] carried inside protocol messages when
+/// peers exchange routing information (piggy-backed updates, children lists,
+/// superior lists).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeerInfo {
+    /// The peer's overlay identifier.
+    pub id: NodeId,
+    /// The peer's transport address.
+    pub addr: NodeAddr,
+    /// Highest level the peer belongs to.
+    pub max_level: u32,
+    /// Resource summary.
+    pub summary: CharacteristicsSummary,
+}
+
+impl PeerInfo {
+    /// Convert to a routing entry heard at `now`.
+    pub fn into_entry(self, now: SimTime) -> RoutingEntry {
+        RoutingEntry::new(self.id, self.addr, self.max_level, self.summary, now)
+    }
+
+    /// Build from an entry (dropping the timestamp).
+    pub fn from_entry(e: &RoutingEntry) -> Self {
+        PeerInfo { id: e.id, addr: e.addr, max_level: e.max_level, summary: e.summary }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characteristics::NodeCharacteristics;
+    use crate::config::ChildPolicy;
+
+    fn summary() -> CharacteristicsSummary {
+        CharacteristicsSummary::of(&NodeCharacteristics::default(), ChildPolicy::Fixed(4))
+    }
+
+    #[test]
+    fn touch_only_moves_forward() {
+        let mut e = RoutingEntry::new(NodeId(1), NodeAddr(1), 0, summary(), SimTime::from_millis(10));
+        e.touch(SimTime::from_millis(5));
+        assert_eq!(e.last_seen, SimTime::from_millis(10));
+        e.touch(SimTime::from_millis(20));
+        assert_eq!(e.last_seen, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn staleness_respects_ttl() {
+        let e = RoutingEntry::new(NodeId(1), NodeAddr(1), 0, summary(), SimTime::from_millis(100));
+        let ttl = SimDuration::from_millis(50);
+        assert!(!e.is_stale(SimTime::from_millis(120), ttl));
+        assert!(!e.is_stale(SimTime::from_millis(150), ttl));
+        assert!(e.is_stale(SimTime::from_millis(151), ttl));
+        // A timestamp in the future is never stale.
+        assert!(!e.is_stale(SimTime::from_millis(10), ttl));
+    }
+
+    #[test]
+    fn merge_prefers_newer_information() {
+        let mut old = RoutingEntry::new(NodeId(3), NodeAddr(3), 1, summary(), SimTime::from_millis(10));
+        let newer = RoutingEntry::new(NodeId(3), NodeAddr(3), 2, summary(), SimTime::from_millis(20));
+        old.merge(&newer);
+        assert_eq!(old.max_level, 2);
+        assert_eq!(old.last_seen, SimTime::from_millis(20));
+
+        // Merging older info keeps the newest timestamp but still learns a
+        // higher level if one was advertised.
+        let stale_high_level = RoutingEntry::new(NodeId(3), NodeAddr(3), 4, summary(), SimTime::from_millis(5));
+        old.merge(&stale_high_level);
+        assert_eq!(old.last_seen, SimTime::from_millis(20));
+        assert_eq!(old.max_level, 4);
+    }
+
+    #[test]
+    fn peer_info_round_trip() {
+        let e = RoutingEntry::new(NodeId(9), NodeAddr(7), 3, summary(), SimTime::from_millis(42));
+        let p = PeerInfo::from_entry(&e);
+        let back = p.into_entry(SimTime::from_millis(50));
+        assert_eq!(back.id, e.id);
+        assert_eq!(back.addr, e.addr);
+        assert_eq!(back.max_level, 3);
+        assert_eq!(back.last_seen, SimTime::from_millis(50));
+    }
+}

@@ -1,0 +1,319 @@
+//! Protocol messages exchanged between TreeP peers.
+//!
+//! TreeP is a UDP-style overlay: every interaction is a single datagram, no
+//! connection state is assumed by the wire protocol, and loss is tolerated
+//! (missed keep-alives simply age the corresponding routing-table entries).
+
+use crate::entry::PeerInfo;
+use crate::id::NodeId;
+use crate::lookup::{LookupRequest, RequestId};
+use crate::routing::RoutingAlgorithm;
+use serde::{Deserialize, Serialize};
+use simnet::NodeAddr;
+
+/// A piece of routing information piggy-backed on maintenance traffic
+/// (Section III.d: after the initial synchronisation peers "only exchange
+/// information concerning the out of dated data").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RoutingUpdate {
+    /// `peer` is a member of the level-`level` bus.
+    LevelMember {
+        /// Bus level (`> 0`).
+        level: u32,
+        /// The member.
+        peer: PeerInfo,
+    },
+    /// `peer` is the sender's immediate parent.
+    ParentOf {
+        /// The parent.
+        peer: PeerInfo,
+    },
+    /// `peer` is one of the sender's children.
+    ChildOf {
+        /// The child.
+        peer: PeerInfo,
+    },
+    /// `peer` is an ancestor / superior the receiver should replicate
+    /// ("Superior Node List").
+    Superior {
+        /// The superior node.
+        peer: PeerInfo,
+    },
+    /// `peer` is an ordinary level-0 contact.
+    Contact {
+        /// The contact.
+        peer: PeerInfo,
+    },
+}
+
+impl RoutingUpdate {
+    /// The peer carried by the update.
+    pub fn peer(&self) -> PeerInfo {
+        match *self {
+            RoutingUpdate::LevelMember { peer, .. }
+            | RoutingUpdate::ParentOf { peer }
+            | RoutingUpdate::ChildOf { peer }
+            | RoutingUpdate::Superior { peer }
+            | RoutingUpdate::Contact { peer } => peer,
+        }
+    }
+}
+
+/// The TreeP wire protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TreePMessage {
+    // ---- membership -------------------------------------------------------
+    /// A joining node contacts a peer it learned out of band (bootstrap).
+    JoinRequest {
+        /// The joining node.
+        joiner: PeerInfo,
+    },
+    /// Response to a join: level-0 contacts near the joiner and, when the
+    /// responder (or its hierarchy) covers the joiner, a parent to report to.
+    JoinAck {
+        /// The responding node.
+        responder: PeerInfo,
+        /// Suggested level-0 neighbours for the joiner.
+        contacts: Vec<PeerInfo>,
+        /// A parent for the joiner, when known.
+        parent: Option<PeerInfo>,
+    },
+
+    // ---- maintenance ------------------------------------------------------
+    /// Periodic keep-alive between direct neighbours (level 0 and level-i
+    /// buses), carrying piggy-backed routing updates.
+    KeepAlive {
+        /// The sender.
+        sender: PeerInfo,
+        /// Out-of-date information being refreshed.
+        updates: Vec<RoutingUpdate>,
+    },
+    /// Reply to a keep-alive with the receiver's own updates.
+    KeepAliveAck {
+        /// The sender of the ack.
+        sender: PeerInfo,
+        /// Out-of-date information being refreshed.
+        updates: Vec<RoutingUpdate>,
+    },
+    /// Periodic report from a child to its parent ("if they do not report
+    /// regularly they will simply be deleted from its routing table").
+    ChildReport {
+        /// The reporting child.
+        child: PeerInfo,
+    },
+    /// Parent's answer to a child report: refreshes the parent entry and
+    /// replicates the ancestor chain + the parent's bus neighbours into the
+    /// child's superior list.
+    ChildReportAck {
+        /// The parent.
+        parent: PeerInfo,
+        /// Superiors the child should replicate.
+        superiors: Vec<PeerInfo>,
+    },
+
+    // ---- hierarchy formation ------------------------------------------------
+    /// A node that reached degree 2 without a parent calls an election among
+    /// its neighbours (Section III.b).
+    ElectionCall {
+        /// Level being filled (the new parent will sit at this level).
+        level: u32,
+        /// The calling node.
+        caller: PeerInfo,
+    },
+    /// The election winner announces itself as the new parent at `level`.
+    ParentAnnounce {
+        /// Level of the new parent.
+        level: u32,
+        /// The new parent.
+        parent: PeerInfo,
+    },
+    /// A node accepts `parent` and registers as its child.
+    ParentAccept {
+        /// The accepting child.
+        child: PeerInfo,
+    },
+    /// A parent with fewer than two children demotes itself back to level 0
+    /// and tells its children / neighbours to drop it.
+    Demotion {
+        /// The demoting node.
+        node: PeerInfo,
+        /// The level it is leaving.
+        from_level: u32,
+    },
+
+    // ---- lookup -------------------------------------------------------------
+    /// A routed lookup request.
+    Lookup(LookupRequest),
+    /// Successful resolution sent straight back to the origin.
+    LookupFound {
+        /// Request being answered.
+        request_id: RequestId,
+        /// The resolved target.
+        target: NodeId,
+        /// Contact information of the resolved node.
+        result: PeerInfo,
+        /// Number of overlay hops the request travelled.
+        hops: u32,
+        /// Algorithm that carried the request.
+        algorithm: RoutingAlgorithm,
+    },
+    /// Negative answer sent back to the origin (dead end).
+    LookupNotFound {
+        /// Request being answered.
+        request_id: RequestId,
+        /// The unresolved target.
+        target: NodeId,
+        /// Hops travelled before giving up.
+        hops: u32,
+        /// Algorithm that carried the request.
+        algorithm: RoutingAlgorithm,
+    },
+
+    // ---- DHT / resource discovery -------------------------------------------
+    /// Store `value` at the node responsible for `key` (routed greedily
+    /// toward the key's coordinate).
+    DhtPut {
+        /// Request identifier (for the origin's bookkeeping).
+        request_id: RequestId,
+        /// Origin of the request.
+        origin: PeerInfo,
+        /// Key coordinate.
+        key: NodeId,
+        /// Opaque value.
+        value: Vec<u8>,
+        /// Remaining TTL.
+        ttl: u32,
+    },
+    /// Acknowledgement of a [`TreePMessage::DhtPut`], sent by the node that
+    /// stored the value.
+    DhtPutAck {
+        /// Request identifier.
+        request_id: RequestId,
+        /// Key coordinate.
+        key: NodeId,
+        /// The node that stored the value.
+        stored_at: PeerInfo,
+    },
+    /// Retrieve the value stored under `key`.
+    DhtGet {
+        /// Request identifier.
+        request_id: RequestId,
+        /// Origin of the request.
+        origin: PeerInfo,
+        /// Key coordinate.
+        key: NodeId,
+        /// Remaining TTL.
+        ttl: u32,
+    },
+    /// Answer to a [`TreePMessage::DhtGet`].
+    DhtGetReply {
+        /// Request identifier.
+        request_id: RequestId,
+        /// Key coordinate.
+        key: NodeId,
+        /// The stored value, if the responsible node had one.
+        value: Option<Vec<u8>>,
+        /// The node that answered.
+        responder: PeerInfo,
+    },
+}
+
+impl TreePMessage {
+    /// Short, stable name of the message kind (used by per-node statistics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TreePMessage::JoinRequest { .. } => "join_request",
+            TreePMessage::JoinAck { .. } => "join_ack",
+            TreePMessage::KeepAlive { .. } => "keep_alive",
+            TreePMessage::KeepAliveAck { .. } => "keep_alive_ack",
+            TreePMessage::ChildReport { .. } => "child_report",
+            TreePMessage::ChildReportAck { .. } => "child_report_ack",
+            TreePMessage::ElectionCall { .. } => "election_call",
+            TreePMessage::ParentAnnounce { .. } => "parent_announce",
+            TreePMessage::ParentAccept { .. } => "parent_accept",
+            TreePMessage::Demotion { .. } => "demotion",
+            TreePMessage::Lookup(_) => "lookup",
+            TreePMessage::LookupFound { .. } => "lookup_found",
+            TreePMessage::LookupNotFound { .. } => "lookup_not_found",
+            TreePMessage::DhtPut { .. } => "dht_put",
+            TreePMessage::DhtPutAck { .. } => "dht_put_ack",
+            TreePMessage::DhtGet { .. } => "dht_get",
+            TreePMessage::DhtGetReply { .. } => "dht_get_reply",
+        }
+    }
+
+    /// True for messages that belong to overlay maintenance rather than user
+    /// traffic; the maintenance-overhead ablation counts these.
+    pub fn is_maintenance(&self) -> bool {
+        matches!(
+            self,
+            TreePMessage::JoinRequest { .. }
+                | TreePMessage::JoinAck { .. }
+                | TreePMessage::KeepAlive { .. }
+                | TreePMessage::KeepAliveAck { .. }
+                | TreePMessage::ChildReport { .. }
+                | TreePMessage::ChildReportAck { .. }
+                | TreePMessage::ElectionCall { .. }
+                | TreePMessage::ParentAnnounce { .. }
+                | TreePMessage::ParentAccept { .. }
+                | TreePMessage::Demotion { .. }
+        )
+    }
+
+    /// The address the answer to this message should be sent to, when the
+    /// message carries an explicit origin.
+    pub fn origin_addr(&self) -> Option<NodeAddr> {
+        match self {
+            TreePMessage::Lookup(req) => Some(req.origin.addr),
+            TreePMessage::DhtPut { origin, .. } | TreePMessage::DhtGet { origin, .. } => Some(origin.addr),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characteristics::{CharacteristicsSummary, NodeCharacteristics};
+    use crate::config::ChildPolicy;
+
+    fn peer(id: u64) -> PeerInfo {
+        PeerInfo {
+            id: NodeId(id),
+            addr: NodeAddr(id),
+            max_level: 0,
+            summary: CharacteristicsSummary::of(&NodeCharacteristics::default(), ChildPolicy::Fixed(4)),
+        }
+    }
+
+    #[test]
+    fn update_peer_accessor() {
+        let p = peer(5);
+        assert_eq!(RoutingUpdate::LevelMember { level: 2, peer: p }.peer().id, NodeId(5));
+        assert_eq!(RoutingUpdate::ParentOf { peer: p }.peer().addr, NodeAddr(5));
+        assert_eq!(RoutingUpdate::Contact { peer: p }.peer().id, NodeId(5));
+    }
+
+    #[test]
+    fn maintenance_classification() {
+        let ka = TreePMessage::KeepAlive { sender: peer(1), updates: vec![] };
+        assert!(ka.is_maintenance());
+        assert_eq!(ka.kind(), "keep_alive");
+        let nf = TreePMessage::LookupNotFound {
+            request_id: RequestId(1),
+            target: NodeId(5),
+            hops: 3,
+            algorithm: RoutingAlgorithm::Greedy,
+        };
+        assert!(!nf.is_maintenance());
+        assert_eq!(nf.kind(), "lookup_not_found");
+    }
+
+    #[test]
+    fn origin_addr_only_for_routed_requests() {
+        let get = TreePMessage::DhtGet { request_id: RequestId(2), origin: peer(9), key: NodeId(1), ttl: 10 };
+        assert_eq!(get.origin_addr(), Some(NodeAddr(9)));
+        let ka = TreePMessage::KeepAlive { sender: peer(1), updates: vec![] };
+        assert_eq!(ka.origin_addr(), None);
+    }
+}

@@ -1,0 +1,1508 @@
+//! The TreeP node state machine.
+//!
+//! [`TreePNode`] implements [`simnet::Protocol`], so the exact same code is
+//! driven by the discrete-event simulator (for the paper's experiments) and
+//! by the real UDP transport in `treep-net`. Every behaviour of Section III
+//! lives here: joining, the six routing tables and their lazy maintenance,
+//! countdown elections and demotions, the three lookup algorithms, and the
+//! DHT extension.
+
+use crate::characteristics::{CharacteristicsSummary, NodeCharacteristics};
+use crate::config::TreePConfig;
+use crate::dht::{DhtOutcome, DhtStore, PendingDht};
+use crate::distance::HierarchicalDistance;
+use crate::entry::{PeerInfo, RoutingEntry};
+use crate::id::{hash_key, NodeId};
+use crate::lookup::{LookupOutcome, LookupRequest, LookupStatus, PendingLookup, RequestId};
+use crate::messages::{RoutingUpdate, TreePMessage};
+use crate::routing::{route, RouteDecision, RouterView, RoutingAlgorithm};
+use crate::stats::NodeStats;
+use crate::tables::RoutingTables;
+use crate::election::ElectionState;
+use simnet::{Context, NodeAddr, Protocol, SimDuration, SimTime, TimerToken};
+use std::collections::BTreeMap;
+
+// ---- timer token encoding ---------------------------------------------------
+
+const TIMER_KEEPALIVE: u64 = 0;
+const TIMER_ELECTION: u64 = 1;
+const TIMER_DEMOTION: u64 = 2;
+const TIMER_LOOKUP: u64 = 3;
+const TIMER_DHT: u64 = 4;
+
+fn encode_timer(kind: u64, payload: u64) -> TimerToken {
+    TimerToken(kind | (payload << 3))
+}
+
+fn decode_timer(token: TimerToken) -> (u64, u64) {
+    (token.0 & 0b111, token.0 >> 3)
+}
+
+/// A TreeP peer.
+pub struct TreePNode {
+    config: TreePConfig,
+    dist: HierarchicalDistance,
+    id: NodeId,
+    addr: Option<NodeAddr>,
+    characteristics: NodeCharacteristics,
+    max_level: u32,
+    tables: RoutingTables,
+    bootstrap: Vec<PeerInfo>,
+    election: ElectionState,
+    next_request_id: u64,
+    pending_lookups: BTreeMap<RequestId, PendingLookup>,
+    lookup_outcomes: Vec<LookupOutcome>,
+    pending_dht: BTreeMap<RequestId, PendingDht>,
+    dht_outcomes: Vec<DhtOutcome>,
+    store: DhtStore,
+    stats: NodeStats,
+    last_tick: Option<SimTime>,
+}
+
+impl TreePNode {
+    /// Create a node with the given configuration, identifier and resource
+    /// characteristics. The transport address is learned when the node is
+    /// started (or set explicitly with [`TreePNode::with_addr`]).
+    pub fn new(config: TreePConfig, id: NodeId, characteristics: NodeCharacteristics) -> Self {
+        config.validate().expect("invalid TreeP configuration");
+        let dist = HierarchicalDistance::new(config.space, config.height);
+        TreePNode {
+            config,
+            dist,
+            id,
+            addr: None,
+            characteristics,
+            max_level: 0,
+            tables: RoutingTables::new(),
+            bootstrap: Vec::new(),
+            election: ElectionState::new(),
+            next_request_id: 0,
+            pending_lookups: BTreeMap::new(),
+            lookup_outcomes: Vec::new(),
+            pending_dht: BTreeMap::new(),
+            dht_outcomes: Vec::new(),
+            store: DhtStore::new(),
+            stats: NodeStats::default(),
+            last_tick: None,
+        }
+    }
+
+    /// Provide bootstrap contacts the node will join through at start-up.
+    pub fn with_bootstrap(mut self, contacts: Vec<PeerInfo>) -> Self {
+        self.bootstrap = contacts;
+        self
+    }
+
+    /// Set the transport address up front (used by the UDP transport, where
+    /// the address is known before the node starts).
+    pub fn with_addr(mut self, addr: NodeAddr) -> Self {
+        self.addr = Some(addr);
+        self
+    }
+
+    // ---- accessors -----------------------------------------------------------
+
+    /// The node's overlay identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's transport address, once known.
+    pub fn addr(&self) -> Option<NodeAddr> {
+        self.addr
+    }
+
+    /// The highest level this node currently belongs to.
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// The node's resource characteristics.
+    pub fn characteristics(&self) -> &NodeCharacteristics {
+        &self.characteristics
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &TreePConfig {
+        &self.config
+    }
+
+    /// The routing tables (read-only).
+    pub fn tables(&self) -> &RoutingTables {
+        &self.tables
+    }
+
+    /// Protocol statistics.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// The local DHT store.
+    pub fn dht_store(&self) -> &DhtStore {
+        &self.store
+    }
+
+    /// Number of lookups this node has originated and not yet resolved.
+    pub fn pending_lookup_count(&self) -> usize {
+        self.pending_lookups.len()
+    }
+
+    /// Drain the completed lookup outcomes recorded at this origin.
+    pub fn drain_lookup_outcomes(&mut self) -> Vec<LookupOutcome> {
+        std::mem::take(&mut self.lookup_outcomes)
+    }
+
+    /// Drain the completed DHT outcomes recorded at this origin.
+    pub fn drain_dht_outcomes(&mut self) -> Vec<DhtOutcome> {
+        std::mem::take(&mut self.dht_outcomes)
+    }
+
+    /// This node's contact information as carried in protocol messages.
+    ///
+    /// Panics if the node has not learned its transport address yet.
+    pub fn peer_info(&self) -> PeerInfo {
+        PeerInfo {
+            id: self.id,
+            addr: self.addr.expect("peer_info() before the node learned its address"),
+            max_level: self.max_level,
+            summary: CharacteristicsSummary::of(&self.characteristics, self.config.child_policy),
+        }
+    }
+
+    /// Number of actively maintained connections (Section III.e accounting).
+    pub fn active_connections(&self) -> usize {
+        self.tables.active_connections(self.id, self.max_level)
+    }
+
+    /// The maximum number of children this node accepts under the configured
+    /// policy.
+    pub fn max_children(&self) -> u32 {
+        self.characteristics.max_children(self.config.child_policy)
+    }
+
+    // ---- seeding (used by the steady-state topology builder and tests) -------
+
+    /// Force the node's maximum level (topology seeding).
+    pub fn seed_max_level(&mut self, level: u32) {
+        self.max_level = level;
+    }
+
+    /// Seed a level-0 neighbour.
+    pub fn seed_level0_neighbor(&mut self, peer: PeerInfo, now: SimTime) {
+        self.tables.upsert_level0(peer.into_entry(now));
+    }
+
+    /// Seed a bus neighbour at `level > 0`.
+    pub fn seed_level_neighbor(&mut self, level: u32, peer: PeerInfo, now: SimTime) {
+        self.tables.upsert_level(level, peer.into_entry(now));
+    }
+
+    /// Seed a child (own tessellation when `own` is true).
+    pub fn seed_child(&mut self, peer: PeerInfo, own: bool, now: SimTime) {
+        self.tables.upsert_child(peer.into_entry(now), own);
+    }
+
+    /// Seed the immediate parent.
+    pub fn seed_parent(&mut self, peer: PeerInfo, now: SimTime) {
+        self.tables.set_parent(peer.into_entry(now));
+    }
+
+    /// Seed a superior-list entry.
+    pub fn seed_superior(&mut self, peer: PeerInfo, now: SimTime) {
+        self.tables.upsert_superior(peer.into_entry(now));
+    }
+
+    // ---- user-facing operations ----------------------------------------------
+
+    fn fresh_request_id(&mut self) -> RequestId {
+        let id = RequestId(self.next_request_id);
+        self.next_request_id += 1;
+        id
+    }
+
+    fn router_view(&self) -> RouterView<'_> {
+        RouterView {
+            tables: &self.tables,
+            dist: &self.dist,
+            self_id: self.id,
+            self_level: self.max_level,
+            self_addr: self.addr.expect("node not started"),
+            max_ttl: self.config.max_ttl,
+        }
+    }
+
+    /// Originate a lookup for `target` using `algorithm`. The outcome is
+    /// recorded locally (see [`TreePNode::drain_lookup_outcomes`]) when an
+    /// answer arrives or the timeout expires.
+    pub fn start_lookup(
+        &mut self,
+        target: NodeId,
+        algorithm: RoutingAlgorithm,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) -> RequestId {
+        let request_id = self.fresh_request_id();
+        self.stats.lookups_initiated += 1;
+        self.pending_lookups.insert(
+            request_id,
+            PendingLookup { target, algorithm, started_at: ctx.now() },
+        );
+        ctx.set_timer(self.config.lookup_timeout, encode_timer(TIMER_LOOKUP, request_id.0));
+
+        let mut req = LookupRequest::new(request_id, self.peer_info(), target, algorithm);
+        if target == self.id || self.tables.find(target).is_some() {
+            // Resolved locally without a single hop.
+            self.complete_lookup(request_id, LookupStatus::Found, 0, ctx.now());
+            return request_id;
+        }
+        let decision = route(&self.router_view(), &mut req);
+        match decision {
+            RouteDecision::Found(_) => {
+                self.complete_lookup(request_id, LookupStatus::Found, 0, ctx.now());
+            }
+            RouteDecision::Forward(next) => {
+                req.advance(self.addr.expect("node not started"));
+                self.send(ctx, next.addr, TreePMessage::Lookup(req));
+            }
+            RouteDecision::NotFound | RouteDecision::Drop => {
+                self.complete_lookup(request_id, LookupStatus::NotFound, 0, ctx.now());
+            }
+        }
+        request_id
+    }
+
+    /// Store `value` in the DHT under an application key.
+    pub fn dht_put(
+        &mut self,
+        key: &[u8],
+        value: Vec<u8>,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) -> RequestId {
+        let coord = hash_key(self.config.space, key);
+        let request_id = self.fresh_request_id();
+        self.pending_dht.insert(request_id, PendingDht { key: coord, started_at: ctx.now() });
+        ctx.set_timer(self.config.lookup_timeout, encode_timer(TIMER_DHT, request_id.0));
+        let msg = TreePMessage::DhtPut {
+            request_id,
+            origin: self.peer_info(),
+            key: coord,
+            value,
+            ttl: 0,
+        };
+        self.route_dht(msg, ctx);
+        request_id
+    }
+
+    /// Retrieve the value stored in the DHT under an application key.
+    pub fn dht_get(&mut self, key: &[u8], ctx: &mut Context<'_, TreePMessage>) -> RequestId {
+        let coord = hash_key(self.config.space, key);
+        let request_id = self.fresh_request_id();
+        self.pending_dht.insert(request_id, PendingDht { key: coord, started_at: ctx.now() });
+        ctx.set_timer(self.config.lookup_timeout, encode_timer(TIMER_DHT, request_id.0));
+        let msg = TreePMessage::DhtGet { request_id, origin: self.peer_info(), key: coord, ttl: 0 };
+        self.route_dht(msg, ctx);
+        request_id
+    }
+
+    // ---- internal helpers -----------------------------------------------------
+
+    fn send(&mut self, ctx: &mut Context<'_, TreePMessage>, dest: NodeAddr, msg: TreePMessage) {
+        self.stats.record_sent(msg.kind());
+        ctx.send(dest, msg);
+    }
+
+    fn complete_lookup(&mut self, request_id: RequestId, status: LookupStatus, hops: u32, now: SimTime) {
+        if let Some(pending) = self.pending_lookups.remove(&request_id) {
+            self.lookup_outcomes.push(LookupOutcome {
+                request_id,
+                target: pending.target,
+                algorithm: pending.algorithm,
+                status,
+                hops,
+                started_at: pending.started_at,
+                completed_at: now,
+            });
+        }
+    }
+
+    /// The peer strictly closer (Euclidean) to `key` than this node, if any.
+    fn closer_peer_to(&self, key: NodeId) -> Option<RoutingEntry> {
+        let self_addr = self.addr.expect("node not started");
+        let own = self.dist.euclidean(self.id, key);
+        self.tables
+            .all_peers()
+            .into_iter()
+            .filter(|p| p.addr != self_addr)
+            .filter(|p| self.dist.euclidean(p.id, key) < own)
+            .min_by_key(|p| (self.dist.euclidean(p.id, key), p.id))
+    }
+
+    fn route_dht(&mut self, msg: TreePMessage, ctx: &mut Context<'_, TreePMessage>) {
+        let (key, ttl) = match &msg {
+            TreePMessage::DhtPut { key, ttl, .. } | TreePMessage::DhtGet { key, ttl, .. } => (*key, *ttl),
+            _ => unreachable!("route_dht only handles DHT requests"),
+        };
+        if ttl >= self.config.max_ttl {
+            return; // dropped; the origin times out
+        }
+        match self.closer_peer_to(key) {
+            Some(next) => {
+                let forwarded = bump_dht_ttl(msg);
+                self.send(ctx, next.addr, forwarded);
+            }
+            None => {
+                // This node is responsible for the key.
+                self.answer_dht_locally(msg, ctx);
+            }
+        }
+    }
+
+    fn answer_dht_locally(&mut self, msg: TreePMessage, ctx: &mut Context<'_, TreePMessage>) {
+        let me = self.peer_info();
+        let self_addr = me.addr;
+        match msg {
+            TreePMessage::DhtPut { request_id, origin, key, value, .. } => {
+                self.store.put(key, value);
+                self.stats.dht_values_stored = self.store.len() as u64;
+                let ack = TreePMessage::DhtPutAck { request_id, key, stored_at: me };
+                if origin.addr == self_addr {
+                    self.record_dht_ack(request_id, key, me, ctx.now());
+                } else {
+                    self.send(ctx, origin.addr, ack);
+                }
+            }
+            TreePMessage::DhtGet { request_id, origin, key, .. } => {
+                let value = self.store.get(key).cloned();
+                if origin.addr == self_addr {
+                    self.record_dht_answer(request_id, key, value, me, ctx.now());
+                } else {
+                    let reply = TreePMessage::DhtGetReply { request_id, key, value, responder: me };
+                    self.send(ctx, origin.addr, reply);
+                }
+            }
+            _ => unreachable!("answer_dht_locally only handles DHT requests"),
+        }
+    }
+
+    fn record_dht_ack(&mut self, request_id: RequestId, key: NodeId, stored_at: PeerInfo, now: SimTime) {
+        if self.pending_dht.remove(&request_id).is_some() {
+            self.dht_outcomes.push(DhtOutcome::PutAcked { request_id, key, stored_at, completed_at: now });
+        }
+    }
+
+    fn record_dht_answer(
+        &mut self,
+        request_id: RequestId,
+        key: NodeId,
+        value: Option<Vec<u8>>,
+        responder: PeerInfo,
+        now: SimTime,
+    ) {
+        if self.pending_dht.remove(&request_id).is_some() {
+            self.dht_outcomes.push(DhtOutcome::GetAnswered {
+                request_id,
+                key,
+                value,
+                responder,
+                completed_at: now,
+            });
+        }
+    }
+
+    /// Record (or refresh) knowledge about a peer we just heard from.
+    fn learn_peer(&mut self, peer: PeerInfo, now: SimTime) {
+        if !self.tables.touch(peer.id, now) {
+            self.tables.upsert_level0(peer.into_entry(now));
+        } else {
+            // Refresh the stored level information too.
+            self.tables.upsert_level0(peer.into_entry(now));
+        }
+        // If we share a level (> 0) with the sender, it is also a bus contact.
+        if peer.max_level > 0 && peer.max_level <= self.max_level {
+            self.tables.upsert_level(peer.max_level, peer.into_entry(now));
+        }
+    }
+
+    fn apply_update(&mut self, update: RoutingUpdate, now: SimTime) {
+        match update {
+            RoutingUpdate::Contact { peer } => {
+                if peer.id != self.id {
+                    self.tables.upsert_level0(peer.into_entry(now));
+                }
+            }
+            RoutingUpdate::LevelMember { level, peer } => {
+                if peer.id == self.id {
+                    return;
+                }
+                if level <= self.max_level && level > 0 {
+                    self.tables.upsert_level(level, peer.into_entry(now));
+                } else {
+                    self.tables.upsert_superior(peer.into_entry(now));
+                }
+            }
+            RoutingUpdate::ParentOf { peer } => {
+                if peer.id == self.id {
+                    return;
+                }
+                self.tables.upsert_superior(peer.into_entry(now));
+            }
+            RoutingUpdate::ChildOf { peer } => {
+                if peer.id == self.id {
+                    return;
+                }
+                if self.max_level > 0 {
+                    self.tables.upsert_child(peer.into_entry(now), false);
+                } else {
+                    self.tables.upsert_level0(peer.into_entry(now));
+                }
+            }
+            RoutingUpdate::Superior { peer } => {
+                if peer.id != self.id {
+                    self.tables.upsert_superior(peer.into_entry(now));
+                }
+            }
+        }
+    }
+
+    /// The updates this node piggy-backs on keep-alives: its parent, its own
+    /// level membership, and (for parents) a sample of its children.
+    fn my_updates(&self) -> Vec<RoutingUpdate> {
+        let mut updates = Vec::new();
+        if let Some(p) = self.tables.parent() {
+            updates.push(RoutingUpdate::ParentOf { peer: PeerInfo::from_entry(p) });
+        }
+        if self.max_level > 0 {
+            if self.addr.is_some() {
+                updates.push(RoutingUpdate::LevelMember { level: self.max_level, peer: self.peer_info() });
+            }
+            for child in self.tables.own_children().take(4) {
+                updates.push(RoutingUpdate::ChildOf { peer: PeerInfo::from_entry(child) });
+            }
+        }
+        for sup in self.tables.superiors().take(4) {
+            updates.push(RoutingUpdate::Superior { peer: PeerInfo::from_entry(sup) });
+        }
+        updates
+    }
+
+    /// Superiors advertised to children in a [`TreePMessage::ChildReportAck`]:
+    /// our own parent, our ancestors, and our direct bus neighbours.
+    fn superiors_for_children(&self) -> Vec<PeerInfo> {
+        let mut sup: Vec<PeerInfo> = Vec::new();
+        if let Some(p) = self.tables.parent() {
+            sup.push(PeerInfo::from_entry(p));
+        }
+        for s in self.tables.superiors().take(6) {
+            sup.push(PeerInfo::from_entry(s));
+        }
+        if self.max_level > 0 {
+            let (l, r) = self.tables.bus_neighbors(self.max_level, self.id);
+            if let Some(l) = l {
+                sup.push(PeerInfo::from_entry(l));
+            }
+            if let Some(r) = r {
+                sup.push(PeerInfo::from_entry(r));
+            }
+        }
+        sup
+    }
+
+    // ---- maintenance tick ------------------------------------------------------
+
+    fn maintenance_tick(&mut self, ctx: &mut Context<'_, TreePMessage>) {
+        let now = ctx.now();
+        if let Some(last) = self.last_tick {
+            self.characteristics.add_uptime(now.saturating_since(last).as_secs());
+        }
+        self.last_tick = Some(now);
+        self.stats.keepalive_rounds += 1;
+
+        // 1. Expire stale entries, then prune gossip-learned level-0 contacts
+        //    beyond the configured budget so the keep-alive fan-out stays
+        //    bounded regardless of the network size.
+        let expired = self.tables.expire(now, self.config.entry_ttl);
+        self.stats.entries_expired += expired.len() as u64;
+        self.stats.entries_pruned +=
+            self.tables.prune_level0(self.config.space, self.id, self.config.max_level0_connections) as u64;
+
+        // 2. Trigger an election when we have degree >= 2 and no parent.
+        //    Nodes already sitting at the top of the hierarchy (the root) do
+        //    not need a parent and never call one.
+        if self.tables.parent().is_none()
+            && self.max_level < self.config.height
+            && self.tables.level0_degree() >= self.config.min_level0_connections
+            && self.election.election().is_none()
+        {
+            self.trigger_election(ctx);
+        }
+
+        // 3. Parents with fewer than two children run the demotion countdown.
+        if self.max_level > 0 {
+            if self.tables.own_children_count() < 2 {
+                if self.election.demotion().is_none() {
+                    let (delay, round) =
+                        self.election.start_demotion(&self.characteristics, self.config.demotion_base, now);
+                    ctx.set_timer(delay, encode_timer(TIMER_DEMOTION, round));
+                }
+            } else {
+                self.election.cancel_demotion();
+            }
+        }
+
+        // 4. Keep-alives to level-0 neighbours.
+        let updates = self.my_updates();
+        let me = self.peer_info();
+        let level0: Vec<NodeAddr> = self.tables.level0().map(|e| e.addr).collect();
+        for addr in level0 {
+            if addr == me.addr {
+                continue;
+            }
+            self.send(ctx, addr, TreePMessage::KeepAlive { sender: me, updates: updates.clone() });
+        }
+
+        // 5. Keep-alives to direct bus neighbours at every level we belong to.
+        for level in 1..=self.max_level {
+            let (l, r) = self.tables.bus_neighbors(level, self.id);
+            let targets: Vec<NodeAddr> =
+                [l, r].into_iter().flatten().map(|e| e.addr).filter(|a| *a != me.addr).collect();
+            for addr in targets {
+                self.send(ctx, addr, TreePMessage::KeepAlive { sender: me, updates: updates.clone() });
+            }
+        }
+
+        // 6. Report to the parent ("if they do not report regularly they
+        //    will simply be deleted from its routing table").
+        if let Some(parent) = self.tables.parent().map(|p| p.addr) {
+            self.send(ctx, parent, TreePMessage::ChildReport { child: me });
+        }
+
+        // 7. Re-arm the tick.
+        ctx.set_timer(self.config.keepalive_interval, encode_timer(TIMER_KEEPALIVE, 0));
+    }
+
+    fn trigger_election(&mut self, ctx: &mut Context<'_, TreePMessage>) {
+        let level = self.max_level + 1;
+        let now = ctx.now();
+        let (delay, round) =
+            self.election.start_election(level, &self.characteristics, self.config.election_base, now);
+        self.stats.elections_joined += 1;
+        ctx.set_timer(delay, encode_timer(TIMER_ELECTION, round));
+        let me = self.peer_info();
+        let neighbors: Vec<NodeAddr> = self.tables.level0().map(|e| e.addr).collect();
+        for addr in neighbors {
+            if addr != me.addr {
+                self.send(ctx, addr, TreePMessage::ElectionCall { level, caller: me });
+            }
+        }
+    }
+
+    fn win_election(&mut self, level: u32, ctx: &mut Context<'_, TreePMessage>) {
+        let level = level.min(self.config.height);
+        self.max_level = self.max_level.max(level);
+        self.stats.promotions += 1;
+        let me = self.peer_info();
+        let neighbors: Vec<NodeAddr> = self.tables.level0().map(|e| e.addr).collect();
+        for addr in neighbors {
+            if addr != me.addr {
+                self.send(ctx, addr, TreePMessage::ParentAnnounce { level, parent: me });
+            }
+        }
+    }
+
+    fn demote(&mut self, ctx: &mut Context<'_, TreePMessage>) {
+        let from_level = self.max_level;
+        if from_level == 0 {
+            return;
+        }
+        self.max_level = 0;
+        self.stats.demotions += 1;
+        let me = self.peer_info();
+        let mut notify: Vec<NodeAddr> = Vec::new();
+        notify.extend(self.tables.children().map(|e| e.addr));
+        for level in 1..=from_level {
+            let (l, r) = self.tables.bus_neighbors(level, self.id);
+            notify.extend([l, r].into_iter().flatten().map(|e| e.addr));
+        }
+        if let Some(p) = self.tables.parent() {
+            notify.push(p.addr);
+        }
+        notify.sort_unstable();
+        notify.dedup();
+        for addr in notify {
+            if addr != me.addr {
+                self.send(ctx, addr, TreePMessage::Demotion { node: me, from_level });
+            }
+        }
+        // Back to an ordinary level-0 node: the hierarchy-specific state goes
+        // away; the old parent is kept only as a superior hint.
+        if let Some(old_parent) = self.tables.clear_parent() {
+            self.tables.upsert_superior(old_parent);
+        }
+        let own_children: Vec<NodeId> = self.tables.own_children().map(|e| e.id).collect();
+        for child in own_children {
+            self.tables.remove_peer(child);
+        }
+    }
+
+    // ---- message handlers -------------------------------------------------------
+
+    fn handle_lookup(&mut self, mut req: LookupRequest, ctx: &mut Context<'_, TreePMessage>) {
+        let now = ctx.now();
+        let me = self.peer_info();
+        self.stats.lookups_forwarded += 1;
+
+        // The target might be this very node.
+        if req.target == self.id {
+            self.stats.lookups_answered += 1;
+            let answer = TreePMessage::LookupFound {
+                request_id: req.request_id,
+                target: req.target,
+                result: me,
+                hops: req.hops(),
+                algorithm: req.algorithm,
+            };
+            if req.origin.addr == me.addr {
+                self.complete_lookup(req.request_id, LookupStatus::Found, req.hops(), now);
+            } else {
+                self.send(ctx, req.origin.addr, answer);
+            }
+            return;
+        }
+
+        let decision = route(&self.router_view(), &mut req);
+        match decision {
+            RouteDecision::Found(entry) => {
+                self.stats.lookups_answered += 1;
+                let answer = TreePMessage::LookupFound {
+                    request_id: req.request_id,
+                    target: req.target,
+                    result: PeerInfo::from_entry(&entry),
+                    hops: req.hops(),
+                    algorithm: req.algorithm,
+                };
+                if req.origin.addr == me.addr {
+                    self.complete_lookup(req.request_id, LookupStatus::Found, req.hops(), now);
+                } else {
+                    self.send(ctx, req.origin.addr, answer);
+                }
+            }
+            RouteDecision::Forward(next) => {
+                req.advance(me.addr);
+                self.send(ctx, next.addr, TreePMessage::Lookup(req));
+            }
+            RouteDecision::NotFound => {
+                self.stats.lookups_dead_ended += 1;
+                let answer = TreePMessage::LookupNotFound {
+                    request_id: req.request_id,
+                    target: req.target,
+                    hops: req.hops(),
+                    algorithm: req.algorithm,
+                };
+                if req.origin.addr == me.addr {
+                    self.complete_lookup(req.request_id, LookupStatus::NotFound, req.hops(), now);
+                } else {
+                    self.send(ctx, req.origin.addr, answer);
+                }
+            }
+            RouteDecision::Drop => {
+                self.stats.lookups_ttl_dropped += 1;
+            }
+        }
+    }
+
+    fn handle_join_request(&mut self, joiner: PeerInfo, ctx: &mut Context<'_, TreePMessage>) {
+        let now = ctx.now();
+        self.tables.upsert_level0(joiner.into_entry(now));
+        let me = self.peer_info();
+        // Suggest up to three existing contacts close to the joiner's ID.
+        let mut contacts: Vec<PeerInfo> = self
+            .tables
+            .level0()
+            .filter(|e| e.id != joiner.id)
+            .map(PeerInfo::from_entry)
+            .collect();
+        contacts.sort_by_key(|p| self.dist.euclidean(p.id, joiner.id));
+        contacts.truncate(3);
+        // Offer ourselves as a parent when we cover the joiner and have
+        // capacity; otherwise pass along our own parent as a hint.
+        let parent = if self.max_level > 0
+            && self.dist.covers(self.id, self.max_level, joiner.id)
+            && (self.tables.own_children_count() as u32) < self.max_children()
+        {
+            self.tables.upsert_child(joiner.into_entry(now), true);
+            Some(me)
+        } else {
+            self.tables.parent().map(PeerInfo::from_entry)
+        };
+        self.send(ctx, joiner.addr, TreePMessage::JoinAck { responder: me, contacts, parent });
+    }
+
+    fn handle_join_ack(
+        &mut self,
+        responder: PeerInfo,
+        contacts: Vec<PeerInfo>,
+        parent: Option<PeerInfo>,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        let now = ctx.now();
+        self.learn_peer(responder, now);
+        for c in contacts {
+            if c.id != self.id {
+                self.tables.upsert_level0(c.into_entry(now));
+            }
+        }
+        if let Some(p) = parent {
+            if self.tables.parent().is_none() && p.id != self.id {
+                self.tables.set_parent(p.into_entry(now));
+                let me = self.peer_info();
+                self.send(ctx, p.addr, TreePMessage::ParentAccept { child: me });
+            }
+        }
+    }
+
+    fn handle_keep_alive(
+        &mut self,
+        sender: PeerInfo,
+        updates: Vec<RoutingUpdate>,
+        reply: bool,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        let now = ctx.now();
+        self.learn_peer(sender, now);
+        for u in updates {
+            self.apply_update(u, now);
+        }
+        // A parentless node adopts a suitable advertised parent straight
+        // away (cheap healing path; the full election still exists for the
+        // case where no parent is advertised at all).
+        if self.tables.parent().is_none() {
+            let candidate = self
+                .tables
+                .superiors()
+                .filter(|s| s.max_level == self.max_level + 1)
+                .min_by_key(|s| self.dist.euclidean(s.id, self.id))
+                .map(|s| (*s).clone());
+            if let Some(p) = candidate {
+                self.tables.set_parent(p);
+                self.election.cancel_election();
+                let me = self.peer_info();
+                self.send(ctx, p.addr, TreePMessage::ParentAccept { child: me });
+            }
+        }
+        if reply {
+            let me = self.peer_info();
+            let my_updates = self.my_updates();
+            self.send(ctx, sender.addr, TreePMessage::KeepAliveAck { sender: me, updates: my_updates });
+        }
+    }
+
+    fn handle_child_report(&mut self, child: PeerInfo, ctx: &mut Context<'_, TreePMessage>) {
+        let now = ctx.now();
+        if self.max_level == 0 {
+            // We are not a parent (any more); ignore — the child's parent
+            // entry will expire and it will look for a new one.
+            self.tables.upsert_level0(child.into_entry(now));
+            return;
+        }
+        let already_mine = self.tables.is_own_child(child.id);
+        let capacity_left = (self.tables.own_children_count() as u32) < self.max_children();
+        if already_mine || capacity_left {
+            self.tables.upsert_child(child.into_entry(now), true);
+        } else {
+            self.tables.upsert_child(child.into_entry(now), false);
+        }
+        if self.tables.own_children_count() >= 2 {
+            self.election.cancel_demotion();
+        }
+        let me = self.peer_info();
+        let superiors = self.superiors_for_children();
+        self.send(ctx, child.addr, TreePMessage::ChildReportAck { parent: me, superiors });
+    }
+
+    fn handle_child_report_ack(
+        &mut self,
+        parent: PeerInfo,
+        superiors: Vec<PeerInfo>,
+        _ctx: &mut Context<'_, TreePMessage>,
+        now: SimTime,
+    ) {
+        self.tables.set_parent(parent.into_entry(now));
+        self.election.cancel_election();
+        for s in superiors {
+            if s.id != self.id {
+                self.tables.upsert_superior(s.into_entry(now));
+            }
+        }
+    }
+
+    fn handle_election_call(&mut self, level: u32, caller: PeerInfo, ctx: &mut Context<'_, TreePMessage>) {
+        let now = ctx.now();
+        self.learn_peer(caller, now);
+        // Only nodes one level below the seat being filled, without a parent
+        // and with enough connections, participate.
+        let eligible = self.max_level + 1 == level
+            && level <= self.config.height
+            && self.tables.parent().is_none()
+            && self.tables.level0_degree() >= self.config.min_level0_connections;
+        if eligible && self.election.election().is_none() {
+            let (delay, round) =
+                self.election.start_election(level, &self.characteristics, self.config.election_base, now);
+            self.stats.elections_joined += 1;
+            ctx.set_timer(delay, encode_timer(TIMER_ELECTION, round));
+        }
+    }
+
+    fn handle_parent_announce(&mut self, level: u32, parent: PeerInfo, ctx: &mut Context<'_, TreePMessage>) {
+        let now = ctx.now();
+        self.learn_peer(parent, now);
+        // The election is decided.
+        self.election.cancel_election();
+        if parent.id == self.id {
+            return;
+        }
+        if level == self.max_level + 1 && self.tables.parent().is_none() {
+            self.tables.set_parent(parent.into_entry(now));
+            let me = self.peer_info();
+            self.send(ctx, parent.addr, TreePMessage::ParentAccept { child: me });
+        } else {
+            self.tables.upsert_superior(parent.into_entry(now));
+        }
+    }
+
+    fn handle_parent_accept(&mut self, child: PeerInfo, _ctx: &mut Context<'_, TreePMessage>, now: SimTime) {
+        if self.max_level == 0 {
+            // We announced and then demoted in the meantime; treat as contact.
+            self.tables.upsert_level0(child.into_entry(now));
+            return;
+        }
+        self.tables.upsert_child(child.into_entry(now), true);
+        if self.tables.own_children_count() >= 2 {
+            self.election.cancel_demotion();
+        }
+    }
+
+    fn handle_demotion(&mut self, node: PeerInfo, _from_level: u32, now: SimTime) {
+        let report = self.tables.remove_peer(node.id);
+        // It is still a live level-0 peer.
+        let mut downgraded = node;
+        downgraded.max_level = 0;
+        self.tables.upsert_level0(downgraded.into_entry(now));
+        let _ = report;
+    }
+}
+
+impl Protocol for TreePNode {
+    type Message = TreePMessage;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, TreePMessage>) {
+        self.addr = Some(ctx.self_addr());
+        self.last_tick = Some(ctx.now());
+        // Desynchronise the periodic tick across nodes.
+        let jitter = ctx.rng().gen_range_u64(0..self.config.keepalive_interval.as_micros().max(1));
+        ctx.set_timer(SimDuration::from_micros(jitter), encode_timer(TIMER_KEEPALIVE, 0));
+        let me = self.peer_info();
+        let bootstrap = std::mem::take(&mut self.bootstrap);
+        for contact in bootstrap {
+            if contact.addr != me.addr {
+                self.tables.upsert_level0(contact.into_entry(ctx.now()));
+                self.send(ctx, contact.addr, TreePMessage::JoinRequest { joiner: me });
+            }
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeAddr, msg: TreePMessage, ctx: &mut Context<'_, TreePMessage>) {
+        self.stats.record_received(msg.kind());
+        let now = ctx.now();
+        match msg {
+            TreePMessage::JoinRequest { joiner } => self.handle_join_request(joiner, ctx),
+            TreePMessage::JoinAck { responder, contacts, parent } => {
+                self.handle_join_ack(responder, contacts, parent, ctx)
+            }
+            TreePMessage::KeepAlive { sender, updates } => self.handle_keep_alive(sender, updates, true, ctx),
+            TreePMessage::KeepAliveAck { sender, updates } => {
+                self.handle_keep_alive(sender, updates, false, ctx)
+            }
+            TreePMessage::ChildReport { child } => self.handle_child_report(child, ctx),
+            TreePMessage::ChildReportAck { parent, superiors } => {
+                self.handle_child_report_ack(parent, superiors, ctx, now)
+            }
+            TreePMessage::ElectionCall { level, caller } => self.handle_election_call(level, caller, ctx),
+            TreePMessage::ParentAnnounce { level, parent } => self.handle_parent_announce(level, parent, ctx),
+            TreePMessage::ParentAccept { child } => self.handle_parent_accept(child, ctx, now),
+            TreePMessage::Demotion { node, from_level } => self.handle_demotion(node, from_level, now),
+            TreePMessage::Lookup(req) => self.handle_lookup(req, ctx),
+            TreePMessage::LookupFound { request_id, hops, .. } => {
+                self.complete_lookup(request_id, LookupStatus::Found, hops, now);
+            }
+            TreePMessage::LookupNotFound { request_id, hops, .. } => {
+                self.complete_lookup(request_id, LookupStatus::NotFound, hops, now);
+            }
+            TreePMessage::DhtPut { .. } | TreePMessage::DhtGet { .. } => {
+                self.route_dht(msg, ctx);
+            }
+            TreePMessage::DhtPutAck { request_id, key, stored_at } => {
+                self.record_dht_ack(request_id, key, stored_at, now);
+            }
+            TreePMessage::DhtGetReply { request_id, key, value, responder } => {
+                self.record_dht_answer(request_id, key, value, responder, now);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, TreePMessage>) {
+        let (kind, payload) = decode_timer(token);
+        match kind {
+            TIMER_KEEPALIVE => self.maintenance_tick(ctx),
+            TIMER_ELECTION => {
+                if self.election.election_timer_is_current(payload) {
+                    if let Some(level) = self.election.win_election() {
+                        self.win_election(level, ctx);
+                    }
+                }
+            }
+            TIMER_DEMOTION => {
+                if self.election.demotion_timer_is_current(payload)
+                    && self.tables.own_children_count() < 2
+                    && self.election.complete_demotion()
+                {
+                    self.demote(ctx);
+                } else {
+                    self.election.cancel_demotion();
+                }
+            }
+            TIMER_LOOKUP => {
+                let request_id = RequestId(payload);
+                if self.pending_lookups.contains_key(&request_id) {
+                    self.complete_lookup(request_id, LookupStatus::TimedOut, 0, ctx.now());
+                }
+            }
+            TIMER_DHT => {
+                let request_id = RequestId(payload);
+                if let Some(pending) = self.pending_dht.remove(&request_id) {
+                    self.dht_outcomes.push(DhtOutcome::TimedOut {
+                        request_id,
+                        key: pending.key,
+                        completed_at: ctx.now(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn bump_dht_ttl(msg: TreePMessage) -> TreePMessage {
+    match msg {
+        TreePMessage::DhtPut { request_id, origin, key, value, ttl } => {
+            TreePMessage::DhtPut { request_id, origin, key, value, ttl: ttl + 1 }
+        }
+        TreePMessage::DhtGet { request_id, origin, key, ttl } => {
+            TreePMessage::DhtGet { request_id, origin, key, ttl: ttl + 1 }
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChildPolicy;
+
+    fn peer(id: u64, level: u32) -> PeerInfo {
+        PeerInfo {
+            id: NodeId(id),
+            addr: NodeAddr(id),
+            max_level: level,
+            summary: CharacteristicsSummary::of(&NodeCharacteristics::default(), ChildPolicy::Fixed(4)),
+        }
+    }
+
+    fn started_node(id: u64) -> (TreePNode, simnet::SimRng) {
+        let node = TreePNode::new(TreePConfig::default(), NodeId(id), NodeCharacteristics::default())
+            .with_addr(NodeAddr(id));
+        (node, simnet::SimRng::seed_from(1))
+    }
+
+    #[test]
+    fn timer_token_round_trip() {
+        for kind in 0..5u64 {
+            for payload in [0u64, 1, 7, 12345] {
+                let t = encode_timer(kind, payload);
+                assert_eq!(decode_timer(t), (kind, payload));
+            }
+        }
+    }
+
+    #[test]
+    fn peer_info_reflects_state() {
+        let (mut node, _) = started_node(42);
+        node.seed_max_level(3);
+        let info = node.peer_info();
+        assert_eq!(info.id, NodeId(42));
+        assert_eq!(info.addr, NodeAddr(42));
+        assert_eq!(info.max_level, 3);
+    }
+
+    #[test]
+    fn seeding_populates_tables() {
+        let (mut node, _) = started_node(10);
+        node.seed_level0_neighbor(peer(1, 0), SimTime::ZERO);
+        node.seed_level0_neighbor(peer(2, 0), SimTime::ZERO);
+        node.seed_parent(peer(3, 1), SimTime::ZERO);
+        node.seed_child(peer(4, 0), true, SimTime::ZERO);
+        node.seed_superior(peer(5, 2), SimTime::ZERO);
+        node.seed_level_neighbor(1, peer(6, 1), SimTime::ZERO);
+        assert_eq!(node.tables().level0_degree(), 2);
+        assert_eq!(node.tables().parent().unwrap().id, NodeId(3));
+        assert_eq!(node.tables().own_children_count(), 1);
+        assert!(node.tables().has_superiors());
+        assert!(node.tables().find(NodeId(6)).is_some());
+    }
+
+    #[test]
+    fn start_lookup_resolves_locally_when_target_known() {
+        let (mut node, mut rng) = started_node(10);
+        node.seed_level0_neighbor(peer(99, 0), SimTime::ZERO);
+        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(10), &mut rng);
+        node.start_lookup(NodeId(99), RoutingAlgorithm::Greedy, &mut ctx);
+        let outcomes = node.drain_lookup_outcomes();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].status, LookupStatus::Found);
+        assert_eq!(outcomes[0].hops, 0);
+    }
+
+    #[test]
+    fn start_lookup_forwards_toward_target() {
+        let (mut node, mut rng) = started_node(10);
+        // A neighbour much closer to the target.
+        node.seed_level0_neighbor(peer(4_000_000_000, 0), SimTime::ZERO);
+        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(10), &mut rng);
+        node.start_lookup(NodeId(4_000_000_100), RoutingAlgorithm::Greedy, &mut ctx);
+        let actions = ctx.into_actions();
+        // One timer (timeout) + one forwarded lookup.
+        let sends: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                simnet::Action::Send { dest, msg } => Some((*dest, msg.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].0, NodeAddr(4_000_000_000));
+        assert!(matches!(sends[0].1, TreePMessage::Lookup(_)));
+        assert_eq!(node.pending_lookup_count(), 1);
+    }
+
+    #[test]
+    fn lookup_with_empty_tables_fails_immediately() {
+        let (mut node, mut rng) = started_node(10);
+        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(10), &mut rng);
+        node.start_lookup(NodeId(12345), RoutingAlgorithm::NonGreedy, &mut ctx);
+        let outcomes = node.drain_lookup_outcomes();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].status, LookupStatus::NotFound);
+    }
+
+    #[test]
+    fn lookup_timeout_records_outcome() {
+        let (mut node, mut rng) = started_node(10);
+        node.seed_level0_neighbor(peer(4_000_000_000, 0), SimTime::ZERO);
+        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(10), &mut rng);
+        let req_id = node.start_lookup(NodeId(4_000_000_100), RoutingAlgorithm::Greedy, &mut ctx);
+        drop(ctx);
+        assert_eq!(node.pending_lookup_count(), 1);
+        let mut ctx2 = Context::new(SimTime::from_secs(20), NodeAddr(10), &mut rng);
+        node.on_timer(encode_timer(TIMER_LOOKUP, req_id.0), &mut ctx2);
+        let outcomes = node.drain_lookup_outcomes();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].status, LookupStatus::TimedOut);
+    }
+
+    #[test]
+    fn lookup_found_reply_completes_pending() {
+        let (mut node, mut rng) = started_node(10);
+        node.seed_level0_neighbor(peer(4_000_000_000, 0), SimTime::ZERO);
+        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(10), &mut rng);
+        let req_id = node.start_lookup(NodeId(4_000_000_100), RoutingAlgorithm::Greedy, &mut ctx);
+        drop(ctx);
+        let mut ctx2 = Context::new(SimTime::from_millis(50), NodeAddr(10), &mut rng);
+        node.on_message(
+            NodeAddr(77),
+            TreePMessage::LookupFound {
+                request_id: req_id,
+                target: NodeId(4_000_000_100),
+                result: peer(4_000_000_100, 0),
+                hops: 4,
+                algorithm: RoutingAlgorithm::Greedy,
+            },
+            &mut ctx2,
+        );
+        let outcomes = node.drain_lookup_outcomes();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].status, LookupStatus::Found);
+        assert_eq!(outcomes[0].hops, 4);
+        // A late timeout for the same request is ignored.
+        let mut ctx3 = Context::new(SimTime::from_secs(20), NodeAddr(10), &mut rng);
+        node.on_timer(encode_timer(TIMER_LOOKUP, req_id.0), &mut ctx3);
+        assert!(node.drain_lookup_outcomes().is_empty());
+    }
+
+    #[test]
+    fn forwarded_lookup_answers_when_target_is_self() {
+        let (mut node, mut rng) = started_node(500);
+        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(500), &mut rng);
+        let mut req = LookupRequest::new(RequestId(9), peer(1, 0), NodeId(500), RoutingAlgorithm::Greedy);
+        req.advance(NodeAddr(1));
+        node.on_message(NodeAddr(1), TreePMessage::Lookup(req), &mut ctx);
+        let actions = ctx.into_actions();
+        let found = actions.iter().any(|a| {
+            matches!(a, simnet::Action::Send { dest, msg: TreePMessage::LookupFound { hops: 1, .. } } if *dest == NodeAddr(1))
+        });
+        assert!(found, "node must answer the origin with LookupFound");
+    }
+
+    #[test]
+    fn keep_alive_learns_sender_and_updates() {
+        let (mut node, mut rng) = started_node(10);
+        let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
+        let updates = vec![
+            RoutingUpdate::ParentOf { peer: peer(100, 1) },
+            RoutingUpdate::Contact { peer: peer(7, 0) },
+        ];
+        node.on_message(NodeAddr(3), TreePMessage::KeepAlive { sender: peer(3, 0), updates }, &mut ctx);
+        assert!(node.tables().is_level0_neighbor(NodeId(3)));
+        assert!(node.tables().is_level0_neighbor(NodeId(7)));
+        assert!(node.tables().find(NodeId(100)).is_some());
+        // It must have replied with an ack.
+        let actions = ctx.into_actions();
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, simnet::Action::Send { msg: TreePMessage::KeepAliveAck { .. }, .. })));
+    }
+
+    #[test]
+    fn keep_alive_ack_does_not_reply() {
+        let (mut node, mut rng) = started_node(10);
+        let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
+        node.on_message(
+            NodeAddr(3),
+            TreePMessage::KeepAliveAck { sender: peer(3, 0), updates: vec![] },
+            &mut ctx,
+        );
+        let actions = ctx.into_actions();
+        assert!(actions.iter().all(|a| !matches!(a, simnet::Action::Send { .. })));
+    }
+
+    #[test]
+    fn parentless_node_adopts_advertised_parent() {
+        let (mut node, mut rng) = started_node(10);
+        assert!(node.tables().parent().is_none());
+        let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
+        let updates = vec![RoutingUpdate::ParentOf { peer: peer(100, 1) }];
+        node.on_message(NodeAddr(3), TreePMessage::KeepAlive { sender: peer(3, 0), updates }, &mut ctx);
+        assert_eq!(node.tables().parent().unwrap().id, NodeId(100));
+        let actions = ctx.into_actions();
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            simnet::Action::Send { dest, msg: TreePMessage::ParentAccept { .. } } if *dest == NodeAddr(100)
+        )));
+    }
+
+    #[test]
+    fn child_report_registers_child_and_acks() {
+        let (mut node, mut rng) = started_node(10);
+        node.seed_max_level(1);
+        let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
+        node.on_message(NodeAddr(4), TreePMessage::ChildReport { child: peer(4, 0) }, &mut ctx);
+        assert!(node.tables().is_own_child(NodeId(4)));
+        let actions = ctx.into_actions();
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            simnet::Action::Send { dest, msg: TreePMessage::ChildReportAck { .. } } if *dest == NodeAddr(4)
+        )));
+    }
+
+    #[test]
+    fn child_report_to_level0_node_is_not_acked() {
+        let (mut node, mut rng) = started_node(10);
+        let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
+        node.on_message(NodeAddr(4), TreePMessage::ChildReport { child: peer(4, 0) }, &mut ctx);
+        assert_eq!(node.tables().own_children_count(), 0);
+        let actions = ctx.into_actions();
+        assert!(actions.iter().all(|a| !matches!(a, simnet::Action::Send { .. })));
+    }
+
+    #[test]
+    fn capacity_limits_own_children() {
+        let cfg = TreePConfig { child_policy: ChildPolicy::Fixed(2), ..TreePConfig::default() };
+        let mut node = TreePNode::new(cfg, NodeId(10), NodeCharacteristics::default()).with_addr(NodeAddr(10));
+        node.seed_max_level(1);
+        let mut rng = simnet::SimRng::seed_from(1);
+        for child in [1u64, 2, 3] {
+            let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
+            node.on_message(NodeAddr(child), TreePMessage::ChildReport { child: peer(child, 0) }, &mut ctx);
+        }
+        assert_eq!(node.tables().own_children_count(), 2, "third child exceeds capacity");
+        // But it is still known as a neighbour child.
+        assert!(node.tables().find(NodeId(3)).is_some());
+    }
+
+    #[test]
+    fn parent_announce_is_adopted_by_orphans() {
+        let (mut node, mut rng) = started_node(10);
+        let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
+        node.on_message(
+            NodeAddr(9),
+            TreePMessage::ParentAnnounce { level: 1, parent: peer(9, 1) },
+            &mut ctx,
+        );
+        assert_eq!(node.tables().parent().unwrap().id, NodeId(9));
+        // A second announcement at a non-adjacent level goes to the superiors.
+        let mut ctx2 = Context::new(SimTime::from_millis(6), NodeAddr(10), &mut rng);
+        node.on_message(
+            NodeAddr(20),
+            TreePMessage::ParentAnnounce { level: 3, parent: peer(20, 3) },
+            &mut ctx2,
+        );
+        assert_eq!(node.tables().parent().unwrap().id, NodeId(9));
+        assert!(node.tables().superiors().any(|s| s.id == NodeId(20)));
+    }
+
+    #[test]
+    fn demotion_message_removes_peer_from_hierarchy_tables() {
+        let (mut node, mut rng) = started_node(10);
+        node.seed_parent(peer(50, 1), SimTime::ZERO);
+        let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
+        node.on_message(NodeAddr(50), TreePMessage::Demotion { node: peer(50, 1), from_level: 1 }, &mut ctx);
+        assert!(node.tables().parent().is_none());
+        // Still known as a level-0 contact.
+        assert!(node.tables().is_level0_neighbor(NodeId(50)));
+    }
+
+    #[test]
+    fn election_call_starts_countdown_for_eligible_nodes() {
+        let (mut node, mut rng) = started_node(10);
+        node.seed_level0_neighbor(peer(1, 0), SimTime::ZERO);
+        node.seed_level0_neighbor(peer(2, 0), SimTime::ZERO);
+        let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
+        node.on_message(NodeAddr(1), TreePMessage::ElectionCall { level: 1, caller: peer(1, 0) }, &mut ctx);
+        assert!(node.election.election().is_some());
+        assert_eq!(node.stats().elections_joined, 1);
+        // A node that already has a parent does not participate.
+        let (mut node2, mut rng2) = started_node(11);
+        node2.seed_parent(peer(50, 1), SimTime::ZERO);
+        let mut ctx2 = Context::new(SimTime::from_millis(5), NodeAddr(11), &mut rng2);
+        node2.on_message(NodeAddr(1), TreePMessage::ElectionCall { level: 1, caller: peer(1, 0) }, &mut ctx2);
+        assert!(node2.election.election().is_none());
+    }
+
+    #[test]
+    fn winning_an_election_promotes_and_announces() {
+        let (mut node, mut rng) = started_node(10);
+        node.seed_level0_neighbor(peer(1, 0), SimTime::ZERO);
+        node.seed_level0_neighbor(peer(2, 0), SimTime::ZERO);
+        let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
+        node.on_message(NodeAddr(1), TreePMessage::ElectionCall { level: 1, caller: peer(1, 0) }, &mut ctx);
+        drop(ctx);
+        let round = node.election.election().unwrap().round;
+        let mut ctx2 = Context::new(SimTime::from_millis(500), NodeAddr(10), &mut rng);
+        node.on_timer(encode_timer(TIMER_ELECTION, round), &mut ctx2);
+        assert_eq!(node.max_level(), 1);
+        assert_eq!(node.stats().promotions, 1);
+        let actions = ctx2.into_actions();
+        let announces = actions
+            .iter()
+            .filter(|a| matches!(a, simnet::Action::Send { msg: TreePMessage::ParentAnnounce { .. }, .. }))
+            .count();
+        assert_eq!(announces, 2, "announce to both level-0 neighbours");
+    }
+
+    #[test]
+    fn stale_election_timer_is_ignored() {
+        let (mut node, mut rng) = started_node(10);
+        node.seed_level0_neighbor(peer(1, 0), SimTime::ZERO);
+        node.seed_level0_neighbor(peer(2, 0), SimTime::ZERO);
+        let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
+        node.on_message(NodeAddr(1), TreePMessage::ElectionCall { level: 1, caller: peer(1, 0) }, &mut ctx);
+        drop(ctx);
+        let round = node.election.election().unwrap().round;
+        // Someone else wins first.
+        let mut ctx2 = Context::new(SimTime::from_millis(100), NodeAddr(10), &mut rng);
+        node.on_message(NodeAddr(2), TreePMessage::ParentAnnounce { level: 1, parent: peer(2, 1) }, &mut ctx2);
+        drop(ctx2);
+        let mut ctx3 = Context::new(SimTime::from_millis(500), NodeAddr(10), &mut rng);
+        node.on_timer(encode_timer(TIMER_ELECTION, round), &mut ctx3);
+        assert_eq!(node.max_level(), 0, "losing node must not promote itself");
+    }
+
+    #[test]
+    fn demotion_timer_demotes_underpopulated_parent() {
+        let (mut node, mut rng) = started_node(10);
+        node.seed_max_level(2);
+        node.seed_child(peer(1, 0), true, SimTime::ZERO);
+        node.seed_parent(peer(90, 3), SimTime::ZERO);
+        let now = SimTime::from_millis(5);
+        let (_, round) = node.election.start_demotion(
+            &NodeCharacteristics::default(),
+            SimDuration::from_millis(800),
+            now,
+        );
+        let mut ctx = Context::new(SimTime::from_secs(5), NodeAddr(10), &mut rng);
+        node.on_timer(encode_timer(TIMER_DEMOTION, round), &mut ctx);
+        assert_eq!(node.max_level(), 0);
+        assert_eq!(node.stats().demotions, 1);
+        assert!(node.tables().parent().is_none());
+        let actions = ctx.into_actions();
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, simnet::Action::Send { msg: TreePMessage::Demotion { .. }, .. })));
+    }
+
+    #[test]
+    fn demotion_timer_cancelled_by_recovered_children() {
+        let (mut node, mut rng) = started_node(10);
+        node.seed_max_level(1);
+        node.seed_child(peer(1, 0), true, SimTime::ZERO);
+        node.seed_child(peer(2, 0), true, SimTime::ZERO);
+        let (_, round) = node.election.start_demotion(
+            &NodeCharacteristics::default(),
+            SimDuration::from_millis(800),
+            SimTime::ZERO,
+        );
+        let mut ctx = Context::new(SimTime::from_secs(5), NodeAddr(10), &mut rng);
+        node.on_timer(encode_timer(TIMER_DEMOTION, round), &mut ctx);
+        assert_eq!(node.max_level(), 1, "two children keep the parent in place");
+        assert_eq!(node.stats().demotions, 0);
+    }
+
+    #[test]
+    fn maintenance_tick_sends_keepalives_and_child_report() {
+        let (mut node, mut rng) = started_node(10);
+        node.seed_level0_neighbor(peer(1, 0), SimTime::ZERO);
+        node.seed_level0_neighbor(peer(2, 0), SimTime::ZERO);
+        node.seed_parent(peer(50, 1), SimTime::ZERO);
+        let mut ctx = Context::new(SimTime::from_millis(500), NodeAddr(10), &mut rng);
+        node.on_timer(encode_timer(TIMER_KEEPALIVE, 0), &mut ctx);
+        let actions = ctx.into_actions();
+        let keepalives = actions
+            .iter()
+            .filter(|a| matches!(a, simnet::Action::Send { msg: TreePMessage::KeepAlive { .. }, .. }))
+            .count();
+        let reports = actions
+            .iter()
+            .filter(|a| matches!(a, simnet::Action::Send { msg: TreePMessage::ChildReport { .. }, .. }))
+            .count();
+        let timers = actions.iter().filter(|a| matches!(a, simnet::Action::SetTimer { .. })).count();
+        assert_eq!(keepalives, 2);
+        assert_eq!(reports, 1);
+        assert!(timers >= 1, "the periodic tick must be re-armed");
+        assert_eq!(node.stats().keepalive_rounds, 1);
+    }
+
+    #[test]
+    fn maintenance_tick_expires_stale_entries_and_triggers_election() {
+        let cfg = TreePConfig::default();
+        let (mut node, mut rng) = started_node(10);
+        // Neighbours last seen at t=0; parent also stale.
+        node.seed_level0_neighbor(peer(1, 0), SimTime::ZERO);
+        node.seed_level0_neighbor(peer(2, 0), SimTime::from_secs(100));
+        node.seed_level0_neighbor(peer(3, 0), SimTime::from_secs(100));
+        node.seed_parent(peer(50, 1), SimTime::ZERO);
+        let now = SimTime::from_secs(100);
+        let mut ctx = Context::new(now, NodeAddr(10), &mut rng);
+        node.on_timer(encode_timer(TIMER_KEEPALIVE, 0), &mut ctx);
+        // Stale entries (1 and the parent) are gone, fresh ones remain.
+        assert!(!node.tables().is_level0_neighbor(NodeId(1)));
+        assert!(node.tables().is_level0_neighbor(NodeId(2)));
+        assert!(node.tables().parent().is_none());
+        assert!(node.stats().entries_expired >= 2);
+        // Having lost the parent with degree >= 2, an election is triggered.
+        assert!(node.election.election().is_some());
+        let actions = ctx.into_actions();
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, simnet::Action::Send { msg: TreePMessage::ElectionCall { .. }, .. })));
+        let _ = cfg;
+    }
+
+    #[test]
+    fn dht_put_and_get_resolve_locally_on_isolated_node() {
+        let (mut node, mut rng) = started_node(10);
+        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(10), &mut rng);
+        node.dht_put(b"service/web", b"10.0.0.1:80".to_vec(), &mut ctx);
+        node.dht_get(b"service/web", &mut ctx);
+        let outcomes = node.drain_dht_outcomes();
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|o| o.is_success()));
+        match &outcomes[1] {
+            DhtOutcome::GetAnswered { value, .. } => {
+                assert_eq!(value.as_deref(), Some(b"10.0.0.1:80".as_slice()));
+            }
+            other => panic!("expected GetAnswered, got {other:?}"),
+        }
+        assert_eq!(node.dht_store().len(), 1);
+    }
+
+    #[test]
+    fn dht_request_is_forwarded_to_closer_peer() {
+        let (mut node, mut rng) = started_node(10);
+        let key_coord = hash_key(TreePConfig::default().space, b"k");
+        // A peer whose id is exactly the key coordinate is certainly closer.
+        let closer = PeerInfo {
+            id: key_coord,
+            addr: NodeAddr(777),
+            max_level: 0,
+            summary: CharacteristicsSummary::of(&NodeCharacteristics::default(), ChildPolicy::Fixed(4)),
+        };
+        node.seed_level0_neighbor(closer, SimTime::ZERO);
+        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(10), &mut rng);
+        node.dht_put(b"k", b"v".to_vec(), &mut ctx);
+        let actions = ctx.into_actions();
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            simnet::Action::Send { dest, msg: TreePMessage::DhtPut { .. } } if *dest == NodeAddr(777)
+        )));
+        assert_eq!(node.dht_store().len(), 0, "value is not stored locally");
+    }
+
+    #[test]
+    fn on_start_joins_through_bootstrap() {
+        let node = TreePNode::new(TreePConfig::default(), NodeId(5), NodeCharacteristics::default())
+            .with_bootstrap(vec![peer(1, 0), peer(2, 0)]);
+        let mut node = node;
+        let mut rng = simnet::SimRng::seed_from(3);
+        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(5), &mut rng);
+        node.on_start(&mut ctx);
+        assert_eq!(node.addr(), Some(NodeAddr(5)));
+        let actions = ctx.into_actions();
+        let joins = actions
+            .iter()
+            .filter(|a| matches!(a, simnet::Action::Send { msg: TreePMessage::JoinRequest { .. }, .. }))
+            .count();
+        assert_eq!(joins, 2);
+    }
+
+    #[test]
+    fn join_handshake_establishes_mutual_contact() {
+        let (mut responder, mut rng) = started_node(100);
+        responder.seed_max_level(1);
+        responder.seed_level0_neighbor(peer(7, 0), SimTime::ZERO);
+        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(100), &mut rng);
+        // The responder covers the whole space at level 1? Only if close; use
+        // a joiner near the responder's id.
+        let joiner = peer(101, 0);
+        responder.on_message(NodeAddr(101), TreePMessage::JoinRequest { joiner }, &mut ctx);
+        assert!(responder.tables().is_level0_neighbor(NodeId(101)));
+        let actions = ctx.into_actions();
+        let ack = actions.iter().find_map(|a| match a {
+            simnet::Action::Send { dest, msg: TreePMessage::JoinAck { contacts, parent, .. } } => {
+                Some((*dest, contacts.clone(), parent.clone()))
+            }
+            _ => None,
+        });
+        let (dest, contacts, parent) = ack.expect("JoinAck must be sent");
+        assert_eq!(dest, NodeAddr(101));
+        assert!(contacts.iter().any(|c| c.id == NodeId(7)));
+        assert!(parent.is_some(), "covering parent with capacity offers itself");
+        assert!(responder.tables().is_own_child(NodeId(101)));
+    }
+}

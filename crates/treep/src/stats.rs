@@ -1,0 +1,100 @@
+//! Per-node protocol statistics.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Counters maintained by every TreeP node. Experiments aggregate these to
+/// measure maintenance overhead, promotion/demotion churn and lookup load.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Messages received, keyed by message kind.
+    pub received: BTreeMap<String, u64>,
+    /// Messages sent, keyed by message kind.
+    pub sent: BTreeMap<String, u64>,
+    /// Lookups this node originated.
+    pub lookups_initiated: u64,
+    /// Lookup requests this node forwarded on behalf of others.
+    pub lookups_forwarded: u64,
+    /// Lookup requests answered positively by this node.
+    pub lookups_answered: u64,
+    /// Lookup requests that dead-ended here (not-found replies sent).
+    pub lookups_dead_ended: u64,
+    /// Lookup requests discarded because their TTL was exhausted.
+    pub lookups_ttl_dropped: u64,
+    /// Elections this node participated in.
+    pub elections_joined: u64,
+    /// Elections this node won (promotions).
+    pub promotions: u64,
+    /// Demotions back to level 0.
+    pub demotions: u64,
+    /// Keep-alive rounds executed.
+    pub keepalive_rounds: u64,
+    /// Routing-table entries expired by the timestamp sweep.
+    pub entries_expired: u64,
+    /// Level-0 entries dropped by the per-tick pruning that bounds the
+    /// keep-alive fan-out.
+    pub entries_pruned: u64,
+    /// DHT values currently stored at this node.
+    pub dht_values_stored: u64,
+}
+
+impl NodeStats {
+    /// Record a received message of the given kind.
+    pub fn record_received(&mut self, kind: &str) {
+        *self.received.entry(kind.to_string()).or_insert(0) += 1;
+    }
+
+    /// Record a sent message of the given kind.
+    pub fn record_sent(&mut self, kind: &str) {
+        *self.sent.entry(kind.to_string()).or_insert(0) += 1;
+    }
+
+    /// Total messages received.
+    pub fn total_received(&self) -> u64 {
+        self.received.values().sum()
+    }
+
+    /// Total messages sent.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.values().sum()
+    }
+
+    /// Total *maintenance* messages sent (everything except lookup / DHT
+    /// traffic); the quantity the maintenance-overhead ablation reports.
+    pub fn maintenance_sent(&self) -> u64 {
+        self.sent
+            .iter()
+            .filter(|(k, _)| !k.starts_with("lookup") && !k.starts_with("dht"))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = NodeStats::default();
+        s.record_received("keep_alive");
+        s.record_received("keep_alive");
+        s.record_received("lookup");
+        s.record_sent("keep_alive_ack");
+        assert_eq!(s.total_received(), 3);
+        assert_eq!(s.total_sent(), 1);
+        assert_eq!(s.received["keep_alive"], 2);
+    }
+
+    #[test]
+    fn maintenance_excludes_lookup_and_dht() {
+        let mut s = NodeStats::default();
+        s.record_sent("keep_alive");
+        s.record_sent("child_report");
+        s.record_sent("lookup");
+        s.record_sent("lookup_found");
+        s.record_sent("dht_put");
+        assert_eq!(s.maintenance_sent(), 2);
+        assert_eq!(s.total_sent(), 5);
+    }
+}

@@ -1,0 +1,641 @@
+//! The six-table routing-table system of Section III.c.
+//!
+//! Every peer maintains:
+//!
+//! 1. **Level-0 table** — its direct level-0 neighbours (every node has one).
+//! 2. **Level-i tables** (`i > 0`) — direct and indirect bus neighbours at
+//!    each level the node belongs to, plus peers of that level learned from
+//!    level-0 neighbours.
+//! 3. **Children table** — for nodes at level `i > 0`: the nodes covered by
+//!    the own tessellation plus the children of direct bus neighbours.
+//! 4. **Level-1 parent** — every node has a parent entry once the hierarchy
+//!    has formed.
+//! 5. **Superior-node list** — the ancestors of the node and the direct
+//!    neighbours of its immediate parent ("This replication of information
+//!    provides a higher degree of robustness at minimum cost").
+//! 6. Every entry carries a freshness **timestamp** and is deleted when it
+//!    expires (the sixth "table" of the paper is this timestamp bookkeeping).
+
+use crate::entry::RoutingEntry;
+use crate::id::{IdSpace, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use simnet::{SimDuration, SimTime};
+
+/// Bus neighbours at one level `i > 0`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LevelTable {
+    /// Direct and indirect neighbours on the level bus, ordered by ID.
+    pub entries: BTreeMap<NodeId, RoutingEntry>,
+}
+
+impl LevelTable {
+    /// The direct left (largest ID below `own`) and right (smallest ID above
+    /// `own`) bus neighbours.
+    pub fn direct_neighbors(&self, own: NodeId) -> (Option<&RoutingEntry>, Option<&RoutingEntry>) {
+        let left = self.entries.range(..own).next_back().map(|(_, e)| e);
+        let right = self.entries.range(NodeId(own.0.saturating_add(1))..).next().map(|(_, e)| e);
+        (left, right)
+    }
+}
+
+/// Which tables a peer appears in; returned by [`RoutingTables::remove_peer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemovalReport {
+    /// The peer was a level-0 neighbour.
+    pub was_level0: bool,
+    /// The peer was a bus neighbour at one or more levels `> 0`.
+    pub was_level_neighbor: bool,
+    /// The peer was one of our own children.
+    pub was_own_child: bool,
+    /// The peer was a neighbour's child we had replicated.
+    pub was_neighbor_child: bool,
+    /// The peer was our parent.
+    pub was_parent: bool,
+    /// The peer was in the superior list.
+    pub was_superior: bool,
+}
+
+impl RemovalReport {
+    /// True when the peer appeared anywhere.
+    pub fn any(&self) -> bool {
+        self.was_level0
+            || self.was_level_neighbor
+            || self.was_own_child
+            || self.was_neighbor_child
+            || self.was_parent
+            || self.was_superior
+    }
+}
+
+/// Size breakdown used by the Section III.e routing-table audit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSizes {
+    /// `l0`: level-0 connections.
+    pub level0: usize,
+    /// `li`: bus neighbours summed over levels `i > 0`.
+    pub level_neighbors: usize,
+    /// `ca`: own children.
+    pub own_children: usize,
+    /// `ci`: replicated children of direct bus neighbours.
+    pub neighbor_children: usize,
+    /// 1 when a parent entry is present.
+    pub parent: usize,
+    /// Superior-node list length.
+    pub superiors: usize,
+}
+
+impl TableSizes {
+    /// Total number of entries across all tables.
+    pub fn total(&self) -> usize {
+        self.level0
+            + self.level_neighbors
+            + self.own_children
+            + self.neighbor_children
+            + self.parent
+            + self.superiors
+    }
+}
+
+/// The complete routing-table state of one peer.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RoutingTables {
+    level0: BTreeMap<NodeId, RoutingEntry>,
+    levels: BTreeMap<u32, LevelTable>,
+    children: BTreeMap<NodeId, RoutingEntry>,
+    own_children: BTreeSet<NodeId>,
+    parent: Option<RoutingEntry>,
+    superiors: BTreeMap<NodeId, RoutingEntry>,
+}
+
+impl RoutingTables {
+    /// Empty tables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---- level 0 ---------------------------------------------------------
+
+    /// Insert or refresh a level-0 neighbour.
+    pub fn upsert_level0(&mut self, entry: RoutingEntry) {
+        merge_into(&mut self.level0, entry);
+    }
+
+    /// All level-0 neighbours, ordered by ID.
+    pub fn level0(&self) -> impl Iterator<Item = &RoutingEntry> {
+        self.level0.values()
+    }
+
+    /// Number of level-0 connections (`l0` in Section III.e).
+    pub fn level0_degree(&self) -> usize {
+        self.level0.len()
+    }
+
+    /// True when `id` is a direct level-0 neighbour.
+    pub fn is_level0_neighbor(&self, id: NodeId) -> bool {
+        self.level0.contains_key(&id)
+    }
+
+    // ---- levels i > 0 ------------------------------------------------------
+
+    /// Insert or refresh a bus neighbour at `level` (> 0).
+    pub fn upsert_level(&mut self, level: u32, entry: RoutingEntry) {
+        assert!(level > 0, "level tables start at 1; level 0 has its own table");
+        merge_into(&mut self.levels.entry(level).or_default().entries, entry);
+    }
+
+    /// The bus table for `level`, if any entries are known.
+    pub fn level(&self, level: u32) -> Option<&LevelTable> {
+        self.levels.get(&level)
+    }
+
+    /// Levels (> 0) for which we know at least one bus neighbour.
+    pub fn known_levels(&self) -> impl Iterator<Item = u32> + '_ {
+        self.levels.keys().copied()
+    }
+
+    /// Direct left/right bus neighbours of `own` at `level`.
+    pub fn bus_neighbors(&self, level: u32, own: NodeId) -> (Option<&RoutingEntry>, Option<&RoutingEntry>) {
+        match self.levels.get(&level) {
+            Some(t) => t.direct_neighbors(own),
+            None => (None, None),
+        }
+    }
+
+    /// Total number of bus-neighbour entries over all levels `> 0`.
+    pub fn level_neighbor_count(&self) -> usize {
+        self.levels.values().map(|t| t.entries.len()).sum()
+    }
+
+    // ---- children ----------------------------------------------------------
+
+    /// Insert or refresh a child entry. `own` marks children of this node's
+    /// tessellation (as opposed to replicated children of bus neighbours).
+    pub fn upsert_child(&mut self, entry: RoutingEntry, own: bool) {
+        if own {
+            self.own_children.insert(entry.id);
+        }
+        merge_into(&mut self.children, entry);
+    }
+
+    /// All known children (own and neighbours').
+    pub fn children(&self) -> impl Iterator<Item = &RoutingEntry> {
+        self.children.values()
+    }
+
+    /// This node's own children, ordered by ID.
+    pub fn own_children(&self) -> impl Iterator<Item = &RoutingEntry> + '_ {
+        self.children.values().filter(move |e| self.own_children.contains(&e.id))
+    }
+
+    /// Number of own children (`ca` in Section III.e).
+    pub fn own_children_count(&self) -> usize {
+        self.own_children.len()
+    }
+
+    /// True when `id` is one of this node's own children.
+    pub fn is_own_child(&self, id: NodeId) -> bool {
+        self.own_children.contains(&id)
+    }
+
+    /// The own child closest to `target` (the `Closest_Child(X)` primitive of
+    /// the routing algorithm in Figure 3).
+    pub fn closest_child(&self, space: IdSpace, target: NodeId) -> Option<&RoutingEntry> {
+        self.own_children().min_by_key(|e| space.distance(e.id, target))
+    }
+
+    // ---- parent ------------------------------------------------------------
+
+    /// Record `entry` as the immediate parent.
+    pub fn set_parent(&mut self, entry: RoutingEntry) {
+        self.parent = Some(entry);
+    }
+
+    /// Forget the parent (it left or expired).
+    pub fn clear_parent(&mut self) -> Option<RoutingEntry> {
+        self.parent.take()
+    }
+
+    /// The immediate parent, if known.
+    pub fn parent(&self) -> Option<&RoutingEntry> {
+        self.parent.as_ref()
+    }
+
+    // ---- superiors ---------------------------------------------------------
+
+    /// Insert or refresh an entry of the superior-node list (ancestors and
+    /// direct neighbours of the immediate parent).
+    pub fn upsert_superior(&mut self, entry: RoutingEntry) {
+        merge_into(&mut self.superiors, entry);
+    }
+
+    /// The superior-node list, ordered by ID.
+    pub fn superiors(&self) -> impl Iterator<Item = &RoutingEntry> {
+        self.superiors.values()
+    }
+
+    /// True when the superior-node list is non-empty (the
+    /// `Superior_Node_List_Not_empty()` predicate of Figure 3).
+    pub fn has_superiors(&self) -> bool {
+        !self.superiors.is_empty()
+    }
+
+    /// The superior with the highest known level ("send the request to the
+    /// superior node with the highest level").
+    pub fn highest_superior(&self) -> Option<&RoutingEntry> {
+        self.superiors.values().max_by_key(|e| (e.max_level, std::cmp::Reverse(e.id)))
+    }
+
+    // ---- cross-table operations ---------------------------------------------
+
+    /// Search every table for `id` ("IF target X is in the routing table").
+    pub fn find(&self, id: NodeId) -> Option<&RoutingEntry> {
+        if let Some(e) = self.level0.get(&id) {
+            return Some(e);
+        }
+        if let Some(p) = &self.parent {
+            if p.id == id {
+                return Some(p);
+            }
+        }
+        if let Some(e) = self.children.get(&id) {
+            return Some(e);
+        }
+        if let Some(e) = self.superiors.get(&id) {
+            return Some(e);
+        }
+        for table in self.levels.values() {
+            if let Some(e) = table.entries.get(&id) {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// Refresh the timestamp of `id` everywhere it appears. Returns true if
+    /// the peer was known.
+    pub fn touch(&mut self, id: NodeId, now: SimTime) -> bool {
+        let mut found = false;
+        if let Some(e) = self.level0.get_mut(&id) {
+            e.touch(now);
+            found = true;
+        }
+        if let Some(p) = self.parent.as_mut() {
+            if p.id == id {
+                p.touch(now);
+                found = true;
+            }
+        }
+        if let Some(e) = self.children.get_mut(&id) {
+            e.touch(now);
+            found = true;
+        }
+        if let Some(e) = self.superiors.get_mut(&id) {
+            e.touch(now);
+            found = true;
+        }
+        for table in self.levels.values_mut() {
+            if let Some(e) = table.entries.get_mut(&id) {
+                e.touch(now);
+                found = true;
+            }
+        }
+        found
+    }
+
+    /// Remove `id` from every table; reports where it was found.
+    pub fn remove_peer(&mut self, id: NodeId) -> RemovalReport {
+        let mut report = RemovalReport::default();
+        report.was_level0 = self.level0.remove(&id).is_some();
+        for table in self.levels.values_mut() {
+            if table.entries.remove(&id).is_some() {
+                report.was_level_neighbor = true;
+            }
+        }
+        self.levels.retain(|_, t| !t.entries.is_empty());
+        if self.children.remove(&id).is_some() {
+            if self.own_children.remove(&id) {
+                report.was_own_child = true;
+            } else {
+                report.was_neighbor_child = true;
+            }
+        }
+        if self.parent.as_ref().map(|p| p.id == id).unwrap_or(false) {
+            self.parent = None;
+            report.was_parent = true;
+        }
+        report.was_superior = self.superiors.remove(&id).is_some();
+        report
+    }
+
+    /// Keep only the `keep` level-0 neighbours closest to `own` in the 1-D
+    /// identifier space, removing the rest **from the level-0 table only**
+    /// (entries that are also a parent, child, bus neighbour or superior are
+    /// untouched in those tables). Returns the number of pruned entries.
+    ///
+    /// This implements the paper's "avoid maintaining unnecessary edges"
+    /// rule: contacts picked up through gossip beyond the configured budget
+    /// are dropped so the keep-alive fan-out stays bounded.
+    pub fn prune_level0(&mut self, space: IdSpace, own: NodeId, keep: usize) -> usize {
+        if self.level0.len() <= keep {
+            return 0;
+        }
+        let mut by_distance: Vec<(u64, NodeId)> =
+            self.level0.keys().map(|&id| (space.distance(id, own), id)).collect();
+        by_distance.sort_unstable();
+        let victims: Vec<NodeId> = by_distance[keep..].iter().map(|&(_, id)| id).collect();
+        for id in &victims {
+            self.level0.remove(id);
+        }
+        victims.len()
+    }
+
+    /// Expire every entry not refreshed within `ttl` of `now` ("The entry
+    /// will be deleted after the expiration of the timestamp"). Returns the
+    /// identifiers removed, with a report of where each one lived.
+    pub fn expire(&mut self, now: SimTime, ttl: SimDuration) -> Vec<(NodeId, RemovalReport)> {
+        let mut stale: BTreeSet<NodeId> = BTreeSet::new();
+        for e in self.level0.values() {
+            if e.is_stale(now, ttl) {
+                stale.insert(e.id);
+            }
+        }
+        for t in self.levels.values() {
+            for e in t.entries.values() {
+                if e.is_stale(now, ttl) {
+                    stale.insert(e.id);
+                }
+            }
+        }
+        for e in self.children.values() {
+            if e.is_stale(now, ttl) {
+                stale.insert(e.id);
+            }
+        }
+        if let Some(p) = &self.parent {
+            if p.is_stale(now, ttl) {
+                stale.insert(p.id);
+            }
+        }
+        for e in self.superiors.values() {
+            if e.is_stale(now, ttl) {
+                stale.insert(e.id);
+            }
+        }
+        stale.into_iter().map(|id| (id, self.remove_peer(id))).collect()
+    }
+
+    /// Every distinct peer known, each reported once with the entry carrying
+    /// the highest known level (used by the routing candidate selection).
+    pub fn all_peers(&self) -> Vec<RoutingEntry> {
+        let mut best: BTreeMap<NodeId, RoutingEntry> = BTreeMap::new();
+        let mut consider = |e: &RoutingEntry| match best.get_mut(&e.id) {
+            Some(existing) => {
+                if e.max_level > existing.max_level
+                    || (e.max_level == existing.max_level && e.last_seen > existing.last_seen)
+                {
+                    *existing = *e;
+                }
+            }
+            None => {
+                best.insert(e.id, *e);
+            }
+        };
+        for e in self.level0.values() {
+            consider(e);
+        }
+        for t in self.levels.values() {
+            for e in t.entries.values() {
+                consider(e);
+            }
+        }
+        for e in self.children.values() {
+            consider(e);
+        }
+        if let Some(p) = &self.parent {
+            consider(p);
+        }
+        for e in self.superiors.values() {
+            consider(e);
+        }
+        best.into_values().collect()
+    }
+
+    /// Per-table sizes for the Section III.e audit.
+    pub fn sizes(&self) -> TableSizes {
+        TableSizes {
+            level0: self.level0.len(),
+            level_neighbors: self.level_neighbor_count(),
+            own_children: self.own_children.len(),
+            neighbor_children: self.children.len() - self.own_children.len(),
+            parent: usize::from(self.parent.is_some()),
+            superiors: self.superiors.len(),
+        }
+    }
+
+    /// Number of **actively maintained** connections, per the accounting of
+    /// Section III.e: level-0 connections plus, for nodes in the hierarchy,
+    /// own children, direct bus neighbours and the parent link.
+    pub fn active_connections(&self, own: NodeId, max_level: u32) -> usize {
+        let mut n = self.level0.len();
+        if max_level > 0 {
+            n += self.own_children.len();
+            for lvl in 1..=max_level {
+                let (l, r) = self.bus_neighbors(lvl, own);
+                n += usize::from(l.is_some()) + usize::from(r.is_some());
+            }
+            n += usize::from(self.parent.is_some());
+        } else {
+            n += usize::from(self.parent.is_some());
+        }
+        n
+    }
+}
+
+fn merge_into(map: &mut BTreeMap<NodeId, RoutingEntry>, entry: RoutingEntry) {
+    match map.get_mut(&entry.id) {
+        Some(existing) => existing.merge(&entry),
+        None => {
+            map.insert(entry.id, entry);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characteristics::{CharacteristicsSummary, NodeCharacteristics};
+    use crate::config::ChildPolicy;
+    use simnet::NodeAddr;
+
+    fn entry(id: u64, level: u32, at_ms: u64) -> RoutingEntry {
+        RoutingEntry::new(
+            NodeId(id),
+            NodeAddr(id),
+            level,
+            CharacteristicsSummary::of(&NodeCharacteristics::default(), ChildPolicy::Fixed(4)),
+            SimTime::from_millis(at_ms),
+        )
+    }
+
+    #[test]
+    fn level0_upsert_and_degree() {
+        let mut t = RoutingTables::new();
+        t.upsert_level0(entry(10, 0, 1));
+        t.upsert_level0(entry(20, 0, 1));
+        t.upsert_level0(entry(10, 0, 5)); // refresh, not duplicate
+        assert_eq!(t.level0_degree(), 2);
+        assert!(t.is_level0_neighbor(NodeId(10)));
+        assert!(!t.is_level0_neighbor(NodeId(30)));
+        let ids: Vec<u64> = t.level0().map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![10, 20]);
+    }
+
+    #[test]
+    fn bus_neighbors_are_nearest_by_id() {
+        let mut t = RoutingTables::new();
+        for id in [100u64, 200, 300, 400] {
+            t.upsert_level(2, entry(id, 2, 1));
+        }
+        let (l, r) = t.bus_neighbors(2, NodeId(250));
+        assert_eq!(l.unwrap().id, NodeId(200));
+        assert_eq!(r.unwrap().id, NodeId(300));
+        // Endpoints of the bus have only one direct neighbour.
+        let (l, r) = t.bus_neighbors(2, NodeId(50));
+        assert!(l.is_none());
+        assert_eq!(r.unwrap().id, NodeId(100));
+        let (l, r) = t.bus_neighbors(2, NodeId(500));
+        assert_eq!(l.unwrap().id, NodeId(400));
+        assert!(r.is_none());
+        // Unknown level.
+        let (l, r) = t.bus_neighbors(7, NodeId(250));
+        assert!(l.is_none() && r.is_none());
+    }
+
+    #[test]
+    fn children_distinguish_own_from_neighbors() {
+        let mut t = RoutingTables::new();
+        t.upsert_child(entry(5, 0, 1), true);
+        t.upsert_child(entry(6, 0, 1), true);
+        t.upsert_child(entry(7, 0, 1), false);
+        assert_eq!(t.own_children_count(), 2);
+        assert_eq!(t.children().count(), 3);
+        assert!(t.is_own_child(NodeId(5)));
+        assert!(!t.is_own_child(NodeId(7)));
+        let space = IdSpace::default();
+        assert_eq!(t.closest_child(space, NodeId(100)).unwrap().id, NodeId(6));
+        assert_eq!(t.closest_child(space, NodeId(0)).unwrap().id, NodeId(5));
+    }
+
+    #[test]
+    fn parent_and_superiors() {
+        let mut t = RoutingTables::new();
+        assert!(t.parent().is_none());
+        assert!(!t.has_superiors());
+        t.set_parent(entry(50, 1, 1));
+        assert_eq!(t.parent().unwrap().id, NodeId(50));
+        t.upsert_superior(entry(60, 2, 1));
+        t.upsert_superior(entry(70, 3, 1));
+        t.upsert_superior(entry(80, 1, 1));
+        assert!(t.has_superiors());
+        assert_eq!(t.highest_superior().unwrap().id, NodeId(70));
+        assert_eq!(t.clear_parent().unwrap().id, NodeId(50));
+        assert!(t.parent().is_none());
+    }
+
+    #[test]
+    fn find_searches_every_table() {
+        let mut t = RoutingTables::new();
+        t.upsert_level0(entry(1, 0, 1));
+        t.upsert_level(1, entry(2, 1, 1));
+        t.upsert_child(entry(3, 0, 1), true);
+        t.set_parent(entry(4, 1, 1));
+        t.upsert_superior(entry(5, 2, 1));
+        for id in 1..=5 {
+            assert!(t.find(NodeId(id)).is_some(), "id {id} should be found");
+        }
+        assert!(t.find(NodeId(99)).is_none());
+    }
+
+    #[test]
+    fn touch_refreshes_everywhere() {
+        let mut t = RoutingTables::new();
+        t.upsert_level0(entry(1, 0, 1));
+        t.upsert_child(entry(1, 0, 1), true);
+        assert!(t.touch(NodeId(1), SimTime::from_millis(100)));
+        assert!(!t.touch(NodeId(9), SimTime::from_millis(100)));
+        assert_eq!(t.level0().next().unwrap().last_seen, SimTime::from_millis(100));
+        assert_eq!(t.children().next().unwrap().last_seen, SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn remove_peer_reports_roles() {
+        let mut t = RoutingTables::new();
+        t.upsert_level0(entry(1, 0, 1));
+        t.upsert_level(1, entry(1, 1, 1));
+        t.upsert_child(entry(1, 0, 1), true);
+        t.set_parent(entry(1, 1, 1));
+        t.upsert_superior(entry(1, 2, 1));
+        let r = t.remove_peer(NodeId(1));
+        assert!(r.any());
+        assert!(r.was_level0 && r.was_level_neighbor && r.was_own_child && r.was_parent && r.was_superior);
+        assert!(!t.find(NodeId(1)).is_some());
+        let r2 = t.remove_peer(NodeId(1));
+        assert!(!r2.any());
+    }
+
+    #[test]
+    fn expire_removes_only_stale_entries() {
+        let mut t = RoutingTables::new();
+        t.upsert_level0(entry(1, 0, 0));
+        t.upsert_level0(entry(2, 0, 900));
+        t.set_parent(entry(3, 1, 0));
+        t.upsert_superior(entry(4, 2, 900));
+        let removed = t.expire(SimTime::from_millis(1000), SimDuration::from_millis(500));
+        let ids: Vec<u64> = removed.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![1, 3]);
+        assert!(removed.iter().any(|(id, r)| id.0 == 3 && r.was_parent));
+        assert!(t.find(NodeId(2)).is_some());
+        assert!(t.find(NodeId(4)).is_some());
+        assert!(t.parent().is_none());
+    }
+
+    #[test]
+    fn all_peers_dedupes_and_prefers_highest_level() {
+        let mut t = RoutingTables::new();
+        t.upsert_level0(entry(1, 0, 1));
+        t.upsert_superior(entry(1, 3, 1)); // same peer known as a superior at level 3
+        t.upsert_child(entry(2, 0, 1), true);
+        let peers = t.all_peers();
+        assert_eq!(peers.len(), 2);
+        let p1 = peers.iter().find(|e| e.id == NodeId(1)).unwrap();
+        assert_eq!(p1.max_level, 3);
+    }
+
+    #[test]
+    fn sizes_and_active_connections() {
+        let mut t = RoutingTables::new();
+        t.upsert_level0(entry(1, 0, 1));
+        t.upsert_level0(entry(2, 0, 1));
+        t.upsert_level(1, entry(3, 1, 1));
+        t.upsert_level(1, entry(4, 1, 1));
+        t.upsert_child(entry(5, 0, 1), true);
+        t.upsert_child(entry(6, 0, 1), false);
+        t.set_parent(entry(7, 2, 1));
+        t.upsert_superior(entry(8, 3, 1));
+        let s = t.sizes();
+        assert_eq!(s.level0, 2);
+        assert_eq!(s.level_neighbors, 2);
+        assert_eq!(s.own_children, 1);
+        assert_eq!(s.neighbor_children, 1);
+        assert_eq!(s.parent, 1);
+        assert_eq!(s.superiors, 1);
+        assert_eq!(s.total(), 8);
+
+        // Level-0 node: l0 + parent.
+        assert_eq!(t.active_connections(NodeId(10), 0), 3);
+        // Level-1 node at id 3.5 (direct bus neighbours 3 and 4): l0 + ca + bus + parent.
+        let conns = t.active_connections(NodeId(3), 1);
+        assert_eq!(conns, 2 + 1 + 1 + 1); // right neighbour 4 only (3 is own id)
+    }
+}

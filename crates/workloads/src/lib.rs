@@ -1,0 +1,29 @@
+//! # workloads — evaluation workloads for the TreeP reproduction
+//!
+//! The paper evaluates TreeP on a steady-state topology subjected to random
+//! node failures while lookups are issued (Section IV). This crate provides
+//! the pieces of that methodology:
+//!
+//! * [`builder::TopologyBuilder`] — constructs a steady-state TreeP
+//!   hierarchy of `n` heterogeneous nodes directly inside a
+//!   [`simnet::Simulation`] (the paper starts its measurements "when the
+//!   system reaches its steady state, which is based on the maximum
+//!   hierarchy size").
+//! * [`churn::ChurnPlan`] — the failure schedule: disconnect 5 % of the
+//!   initial population per step until only 5 % survive.
+//! * [`lookups::LookupWorkload`] — batches of random lookups between
+//!   surviving nodes.
+//! * [`capabilities::CapabilityDistribution`] — homogeneous or heterogeneous
+//!   node-resource populations.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod capabilities;
+pub mod churn;
+pub mod lookups;
+
+pub use builder::{BuiltNode, BuiltTopology, TopologyBuilder};
+pub use capabilities::CapabilityDistribution;
+pub use churn::{ChurnPlan, ChurnStep};
+pub use lookups::{LookupBatch, LookupWorkload};

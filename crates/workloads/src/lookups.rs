@@ -1,0 +1,115 @@
+//! Lookup workload generation.
+//!
+//! Each churn step issues a batch of lookups from random surviving nodes to
+//! the identifiers of other random surviving nodes, using one routing
+//! algorithm at a time (the paper compares G, NG and NGSA on the same
+//! topology).
+
+use simnet::{NodeAddr, SimRng};
+use treep::NodeId;
+
+/// One (source, target) lookup to issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupBatch {
+    /// The node that originates the lookup.
+    pub source: NodeAddr,
+    /// The identifier to resolve (another live node's ID).
+    pub target: NodeId,
+}
+
+/// Generator of lookup batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupWorkload {
+    /// Number of lookups issued per churn step (per algorithm).
+    pub lookups_per_step: usize,
+}
+
+impl Default for LookupWorkload {
+    fn default() -> Self {
+        LookupWorkload { lookups_per_step: 200 }
+    }
+}
+
+impl LookupWorkload {
+    /// Create a workload issuing `lookups_per_step` lookups per batch.
+    pub fn new(lookups_per_step: usize) -> Self {
+        LookupWorkload { lookups_per_step }
+    }
+
+    /// Generate one batch over the currently alive nodes. `alive` maps the
+    /// transport address of each surviving node to its overlay identifier.
+    /// Sources and targets are drawn uniformly; a lookup never targets its
+    /// own source.
+    pub fn generate(&self, alive: &[(NodeAddr, NodeId)], rng: &mut SimRng) -> Vec<LookupBatch> {
+        if alive.len() < 2 {
+            return Vec::new();
+        }
+        let mut batch = Vec::with_capacity(self.lookups_per_step);
+        for _ in 0..self.lookups_per_step {
+            let src_idx = rng.gen_range_usize(0..alive.len());
+            let mut dst_idx = rng.gen_range_usize(0..alive.len());
+            while dst_idx == src_idx {
+                dst_idx = rng.gen_range_usize(0..alive.len());
+            }
+            batch.push(LookupBatch { source: alive[src_idx].0, target: alive[dst_idx].1 });
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn population(n: u64) -> Vec<(NodeAddr, NodeId)> {
+        (0..n).map(|i| (NodeAddr(i), NodeId(i * 1000))).collect()
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let wl = LookupWorkload::new(50);
+        let mut rng = SimRng::seed_from(1);
+        let pop = population(20);
+        let batch = wl.generate(&pop, &mut rng);
+        assert_eq!(batch.len(), 50);
+    }
+
+    #[test]
+    fn never_targets_own_source() {
+        let wl = LookupWorkload::new(500);
+        let mut rng = SimRng::seed_from(2);
+        let pop = population(5);
+        for l in wl.generate(&pop, &mut rng) {
+            let src_id = pop.iter().find(|(a, _)| *a == l.source).unwrap().1;
+            assert_ne!(src_id, l.target);
+        }
+    }
+
+    #[test]
+    fn sources_and_targets_come_from_the_population() {
+        let wl = LookupWorkload::new(100);
+        let mut rng = SimRng::seed_from(3);
+        let pop = population(10);
+        for l in wl.generate(&pop, &mut rng) {
+            assert!(pop.iter().any(|(a, _)| *a == l.source));
+            assert!(pop.iter().any(|(_, id)| *id == l.target));
+        }
+    }
+
+    #[test]
+    fn degenerate_populations_yield_empty_batches() {
+        let wl = LookupWorkload::default();
+        let mut rng = SimRng::seed_from(4);
+        assert!(wl.generate(&[], &mut rng).is_empty());
+        assert!(wl.generate(&population(1), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_a_given_seed() {
+        let wl = LookupWorkload::new(30);
+        let pop = population(50);
+        let a = wl.generate(&pop, &mut SimRng::seed_from(7));
+        let b = wl.generate(&pop, &mut SimRng::seed_from(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,106 @@
+//! Resource discovery over the TreeP DHT layer.
+//!
+//! TreeP was designed as the peer-to-peer substrate of the DGET grid
+//! middleware: peers advertise the resources they offer (CPU architecture,
+//! memory, installed software, …) and other peers discover them by attribute.
+//! This example publishes a handful of resource descriptors into the DHT and
+//! then answers attribute queries ("who offers gpu=a100?") from another peer.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p treep --example resource_discovery
+//! ```
+
+use simnet::{SimConfig, SimDuration, Simulation};
+use treep::{
+    attribute_query, CharacteristicsSummary, DhtOutcome, NodeCharacteristics, NodeId, PeerInfo,
+    ResourceDescriptor, RoutingAlgorithm, TreePConfig, TreePNode,
+};
+
+fn main() {
+    let config = TreePConfig::paper_case_fixed();
+    let mut sim: Simulation<TreePNode> = Simulation::new(SimConfig::default(), 7);
+
+    // A small self-organising network (one seed + 39 joiners).
+    let seed_id = NodeId(1_000_000);
+    let seed_chars = NodeCharacteristics::strong();
+    let seed_addr = sim.add_node(TreePNode::new(config, seed_id, seed_chars));
+    let seed_info = PeerInfo {
+        id: seed_id,
+        addr: seed_addr,
+        max_level: 0,
+        summary: CharacteristicsSummary::of(&seed_chars, config.child_policy),
+    };
+    let nodes = 40usize;
+    let mut rng = sim.rng_mut().fork();
+    let mut addrs = vec![seed_addr];
+    for i in 1..nodes {
+        let id = config.space.uniform_position(i, nodes);
+        let characteristics = NodeCharacteristics::sample(&mut rng);
+        addrs.push(sim.add_node(TreePNode::new(config, id, characteristics).with_bootstrap(vec![seed_info])));
+    }
+    sim.run_for(SimDuration::from_secs(10));
+    println!("overlay of {nodes} peers is up");
+
+    // 1. Three providers publish what they offer. Each descriptor is indexed
+    //    under one DHT key per attribute, so it can be found by any of them.
+    let providers = [
+        ("compute-01", vec![("arch", "x86_64"), ("gpu", "a100"), ("ram", "512G")]),
+        ("compute-02", vec![("arch", "arm64"), ("gpu", "none"), ("ram", "128G")]),
+        ("storage-01", vec![("arch", "x86_64"), ("disk", "1P"), ("ram", "64G")]),
+    ];
+    for (i, (name, attributes)) in providers.iter().enumerate() {
+        let mut descriptor = ResourceDescriptor::new(*name);
+        for (k, v) in attributes {
+            descriptor = descriptor.with_attribute(*k, *v);
+        }
+        let publisher = addrs[5 + i];
+        let payload = descriptor.encode();
+        for (k, v) in attributes {
+            let key = attribute_query(k, v);
+            let value = payload.clone();
+            sim.invoke(publisher, |node, ctx| {
+                node.dht_put(&key, value, ctx);
+            });
+        }
+        println!("published {name} ({} attributes)", attributes.len());
+    }
+    sim.run_for(SimDuration::from_secs(5));
+
+    // 2. A different peer asks "who offers gpu=a100?" and "who runs x86_64?".
+    let requester = addrs[30];
+    for (k, v) in [("gpu", "a100"), ("arch", "x86_64"), ("gpu", "h100")] {
+        let key = attribute_query(k, v);
+        sim.invoke(requester, |node, ctx| {
+            node.dht_get(&key, ctx);
+        });
+        sim.run_for(SimDuration::from_secs(5));
+        let outcomes = sim.node_mut(requester).unwrap().drain_dht_outcomes();
+        for outcome in outcomes {
+            match outcome {
+                DhtOutcome::GetAnswered { value: Some(bytes), responder, .. } => {
+                    let descriptor = ResourceDescriptor::decode(&bytes).expect("valid descriptor");
+                    println!(
+                        "query {k}={v}: resource '{}' (stored at peer {}) matches",
+                        descriptor.name, responder.id
+                    );
+                }
+                DhtOutcome::GetAnswered { value: None, .. } => {
+                    println!("query {k}={v}: no resource advertises this attribute");
+                }
+                other => println!("query {k}={v}: {other:?}"),
+            }
+        }
+    }
+
+    // 3. Plain identifier lookups still work on the same overlay.
+    let target = NodeId(config.space.uniform_position(20, nodes).0);
+    sim.invoke(requester, |node, ctx| {
+        node.start_lookup(target, RoutingAlgorithm::Greedy, ctx);
+    });
+    sim.run_for(SimDuration::from_secs(5));
+    for o in sim.node_mut(requester).unwrap().drain_lookup_outcomes() {
+        println!("identifier lookup for {target}: {:?} in {} hops", o.status, o.hops);
+    }
+}

@@ -1,0 +1,26 @@
+//! # treep-repro — a from-scratch reproduction of *TreeP: A Tree Based P2P
+//! Network Architecture* (Hudzia, Kechadi, Ottewill — CLUSTER 2005)
+//!
+//! This meta-crate re-exports the workspace members so downstream users can
+//! depend on a single crate, and hosts the cross-crate integration tests in
+//! `tests/`.
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`simnet`] | deterministic discrete-event network simulator (the evaluation substrate) |
+//! | [`treep`] | the TreeP overlay itself: 1-D tessellations, six routing tables, countdown elections, G/NG/NGSA lookups, DHT layer |
+//! | [`workloads`] | steady-state topology builder, churn schedule, lookup workloads, capability distributions |
+//! | [`baselines`] | Chord and Gnutella-style flooding baselines on the same simulator |
+//! | [`analysis`] | summary statistics, series, hop histograms/surfaces, CSV / ASCII rendering |
+//! | [`experiments`] | the Section IV measurement loop and every figure/table driver |
+//! | [`treep_net`] | real UDP transport driving the same sans-IO node state machine |
+
+#![warn(missing_docs)]
+
+pub use analysis;
+pub use baselines;
+pub use experiments;
+pub use simnet;
+pub use treep;
+pub use treep_net;
+pub use workloads;

@@ -1,0 +1,37 @@
+//! Cross-crate integration: the TreeP / Chord / flooding comparison behaves
+//! the way the paper's introduction argues qualitatively.
+
+use experiments::compare_overlays;
+
+#[test]
+fn overlay_comparison_reproduces_the_qualitative_story() {
+    let comparison = compare_overlays(130, 7, &[0.0, 0.3], 25);
+    assert_eq!(comparison.rows.len(), 6);
+
+    let treep_intact = comparison.overlay_rows("TreeP")[0].clone();
+    let chord_intact = comparison.overlay_rows("Chord")[0].clone();
+    let flood_intact = comparison.overlay_rows("Flooding")[0].clone();
+
+    // All three overlays resolve the bulk of lookups when nothing has failed.
+    for row in [&treep_intact, &chord_intact, &flood_intact] {
+        assert!(row.success_pct >= 80.0, "{} only resolved {:.0}%", row.overlay, row.success_pct);
+    }
+
+    // Structured overlays need few hops; flooding needs many more messages.
+    assert!(treep_intact.mean_hops <= 12.0);
+    assert!(chord_intact.mean_hops <= 12.0);
+    assert!(
+        flood_intact.messages_per_lookup > treep_intact.messages_per_lookup * 3.0,
+        "flooding ({:.1} msgs/lookup) should dwarf TreeP ({:.1})",
+        flood_intact.messages_per_lookup,
+        treep_intact.messages_per_lookup
+    );
+
+    // Under 30% failures TreeP keeps resolving a majority of lookups.
+    let treep_failed = comparison.overlay_rows("TreeP")[1].clone();
+    assert!(
+        treep_failed.success_pct >= 50.0,
+        "TreeP resolved only {:.0}% after 30% failures",
+        treep_failed.success_pct
+    );
+}

@@ -1,0 +1,66 @@
+//! Cross-crate integration: the same protocol code that powers the simulator
+//! experiments runs over real UDP sockets (loopback cluster).
+
+use std::time::Duration;
+use treep::{NodeCharacteristics, NodeId, RoutingAlgorithm, TreePConfig};
+use treep_net::UdpNode;
+
+fn fast_config() -> TreePConfig {
+    TreePConfig {
+        keepalive_interval: simnet::SimDuration::from_millis(100),
+        entry_ttl: simnet::SimDuration::from_millis(700),
+        election_base: simnet::SimDuration::from_millis(100),
+        demotion_base: simnet::SimDuration::from_millis(300),
+        lookup_timeout: simnet::SimDuration::from_secs(1),
+        ..TreePConfig::default()
+    }
+}
+
+#[test]
+fn udp_cluster_self_organises_and_routes() {
+    let config = fast_config();
+    let seed =
+        UdpNode::bind("127.0.0.1:0", config, NodeId(100_000_000), NodeCharacteristics::strong(), vec![])
+            .expect("bind seed");
+
+    let ids = [900_000_000u64, 1_800_000_000, 2_700_000_000, 3_600_000_000];
+    let peers: Vec<UdpNode> = ids
+        .iter()
+        .map(|&id| {
+            UdpNode::bind(
+                "127.0.0.1:0",
+                config,
+                NodeId(id),
+                NodeCharacteristics::default(),
+                vec![seed.peer_info()],
+            )
+            .expect("bind peer")
+        })
+        .collect();
+
+    // Let joins, keep-alives and at least one election round run for real.
+    std::thread::sleep(Duration::from_millis(1_200));
+
+    // Every peer knows the seed, and a hierarchy started to form somewhere.
+    for peer in &peers {
+        assert!(peer.with_node(|n| n.tables().level0_degree() >= 1));
+    }
+    let any_promoted = std::iter::once(&seed)
+        .chain(peers.iter())
+        .any(|n| n.with_node(|node| node.max_level() > 0 || node.tables().parent().is_some()));
+    assert!(any_promoted, "after a second of real time some hierarchy structure must exist");
+
+    // Lookups across the real network resolve.
+    peers[3].lookup(NodeId(900_000_000), RoutingAlgorithm::Greedy);
+    peers[3].lookup(NodeId(100_000_000), RoutingAlgorithm::NonGreedy);
+    std::thread::sleep(Duration::from_millis(1_200));
+    let outcomes = peers[3].drain_lookup_outcomes();
+    assert_eq!(outcomes.len(), 2);
+    let successes = outcomes.iter().filter(|o| o.status.is_success()).count();
+    assert!(successes >= 1, "at least one UDP lookup must resolve: {outcomes:?}");
+
+    for p in peers {
+        p.shutdown();
+    }
+    seed.shutdown();
+}
