@@ -19,7 +19,10 @@ impl Csv {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Csv { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Csv {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row of pre-rendered cells.
@@ -72,7 +75,11 @@ impl Csv {
 }
 
 fn render_row(cells: &[String]) -> String {
-    cells.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+    cells
+        .iter()
+        .map(|c| escape(c))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 fn escape(cell: &str) -> String {
@@ -104,7 +111,10 @@ mod tests {
     fn escapes_commas_and_quotes() {
         let mut csv = Csv::new(["a"]);
         csv.push_row(["hello, \"world\""]);
-        assert_eq!(csv.render().lines().nth(1).unwrap(), "\"hello, \"\"world\"\"\"");
+        assert_eq!(
+            csv.render().lines().nth(1).unwrap(),
+            "\"hello, \"\"world\"\"\""
+        );
     }
 
     #[test]

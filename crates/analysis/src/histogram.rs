@@ -46,7 +46,12 @@ impl HopHistogram {
         if self.total == 0 {
             return 0.0;
         }
-        let below: u64 = self.counts.iter().filter(|(h, _)| **h <= hops).map(|(_, c)| *c).sum();
+        let below: u64 = self
+            .counts
+            .iter()
+            .filter(|(h, _)| **h <= hops)
+            .map(|(_, c)| *c)
+            .sum();
         below as f64 * 100.0 / self.total as f64
     }
 
@@ -143,7 +148,11 @@ impl HopSurface {
 
     /// The largest hop count appearing anywhere on the surface.
     pub fn max_hops(&self) -> u32 {
-        self.rows.iter().filter_map(|(_, h)| h.max()).max().unwrap_or(0)
+        self.rows
+            .iter()
+            .filter_map(|(_, h)| h.max())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Render the surface as a dense grid: the header is the hop counts
@@ -246,44 +255,77 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
+    //! Randomised property checks. The offline build has no `proptest`, so a
+    //! tiny deterministic xorshift drives many random cases per property.
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        #[test]
-        fn percentages_sum_to_one_hundred(hops in proptest::collection::vec(0u32..40, 1..300)) {
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_hops(state: &mut u64, max_len: usize, max_hop: u32) -> Vec<u32> {
+        let len = 1 + (xorshift(state) as usize) % max_len;
+        (0..len)
+            .map(|_| (xorshift(state) % max_hop as u64) as u32)
+            .collect()
+    }
+
+    #[test]
+    fn percentages_sum_to_one_hundred() {
+        let mut state = 0x5eed_0003;
+        for _ in 0..200 {
+            let hops = random_hops(&mut state, 299, 40);
             let mut h = HopHistogram::new();
             for x in &hops {
                 h.record(*x);
             }
             let sum: f64 = h.iter().map(|(hop, _)| h.percentage(hop)).sum();
-            prop_assert!((sum - 100.0).abs() < 1e-6);
-            prop_assert_eq!(h.total(), hops.len() as u64);
-            prop_assert!(h.mean() <= h.max().unwrap() as f64 + 1e-9);
-            prop_assert!(h.mean() >= h.min().unwrap() as f64 - 1e-9);
+            assert!((sum - 100.0).abs() < 1e-6);
+            assert_eq!(h.total(), hops.len() as u64);
+            assert!(h.mean() <= h.max().unwrap() as f64 + 1e-9);
+            assert!(h.mean() >= h.min().unwrap() as f64 - 1e-9);
         }
+    }
 
-        #[test]
-        fn cumulative_is_monotone(hops in proptest::collection::vec(0u32..40, 1..300), a in 0u32..40, b in 0u32..40) {
+    #[test]
+    fn cumulative_is_monotone() {
+        let mut state = 0x5eed_0004;
+        for _ in 0..200 {
+            let hops = random_hops(&mut state, 299, 40);
+            let a = (xorshift(&mut state) % 40) as u32;
+            let b = (xorshift(&mut state) % 40) as u32;
             let mut h = HopHistogram::new();
             for x in &hops {
                 h.record(*x);
             }
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-            prop_assert!(h.cumulative_percentage(lo) <= h.cumulative_percentage(hi) + 1e-9);
+            assert!(h.cumulative_percentage(lo) <= h.cumulative_percentage(hi) + 1e-9);
         }
+    }
 
-        #[test]
-        fn merge_is_equivalent_to_recording_everything(xs in proptest::collection::vec(0u32..20, 0..100),
-                                                       ys in proptest::collection::vec(0u32..20, 0..100)) {
+    #[test]
+    fn merge_is_equivalent_to_recording_everything() {
+        let mut state = 0x5eed_0005;
+        for _ in 0..200 {
+            let xs = random_hops(&mut state, 100, 20);
+            let ys = random_hops(&mut state, 100, 20);
             let mut a = HopHistogram::new();
-            for x in &xs { a.record(*x); }
+            for x in &xs {
+                a.record(*x);
+            }
             let mut b = HopHistogram::new();
-            for y in &ys { b.record(*y); }
+            for y in &ys {
+                b.record(*y);
+            }
             a.merge(&b);
             let mut all = HopHistogram::new();
-            for v in xs.iter().chain(ys.iter()) { all.record(*v); }
-            prop_assert_eq!(a, all);
+            for v in xs.iter().chain(ys.iter()) {
+                all.record(*v);
+            }
+            assert_eq!(a, all);
         }
     }
 }

@@ -15,7 +15,10 @@ pub struct Series {
 impl Series {
     /// An empty series with the given label.
     pub fn new(name: impl Into<String>) -> Self {
-        Series { name: name.into(), points: Vec::new() }
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Append one point.
@@ -58,7 +61,10 @@ impl Series {
 
     /// Largest `y` value, if any.
     pub fn max_y(&self) -> Option<f64> {
-        self.points.iter().map(|p| p.1).fold(None, |acc, y| Some(acc.map_or(y, |m: f64| m.max(y))))
+        self.points
+            .iter()
+            .map(|p| p.1)
+            .fold(None, |acc, y| Some(acc.map_or(y, |m: f64| m.max(y))))
     }
 
     /// True when the `y` values never decrease as `x` increases (points are
@@ -83,7 +89,10 @@ impl SeriesSet {
 
     /// Append a point to the named series, creating it on first use.
     pub fn push(&mut self, name: &str, x: f64, y: f64) {
-        self.series.entry(name.to_string()).or_insert_with(|| Series::new(name)).push(x, y);
+        self.series
+            .entry(name.to_string())
+            .or_insert_with(|| Series::new(name))
+            .push(x, y);
     }
 
     /// Look up a series by name.
@@ -111,7 +120,11 @@ impl SeriesSet {
     pub fn to_rows(&self) -> (Vec<String>, Vec<Vec<f64>>) {
         let mut header = vec!["x".to_string()];
         header.extend(self.series.keys().cloned());
-        let mut xs: Vec<f64> = self.series.values().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+        let mut xs: Vec<f64> = self
+            .series
+            .values()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
         let rows = xs
@@ -192,28 +205,50 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
+    //! Randomised property checks. The offline build has no `proptest`, so a
+    //! tiny deterministic xorshift drives many random cases per property.
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        #[test]
-        fn mean_is_bounded_by_extremes(ys in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_vec(state: &mut u64, max_len: usize, lo: f64, hi: f64) -> Vec<f64> {
+        let len = 1 + (xorshift(state) as usize) % max_len;
+        (0..len)
+            .map(|_| lo + (xorshift(state) >> 11) as f64 / (1u64 << 53) as f64 * (hi - lo))
+            .collect()
+    }
+
+    #[test]
+    fn mean_is_bounded_by_extremes() {
+        let mut state = 0x5eed_0001;
+        for _ in 0..200 {
+            let ys = random_vec(&mut state, 99, -1e6, 1e6);
             let mut s = Series::new("p");
             for (i, y) in ys.iter().enumerate() {
                 s.push(i as f64, *y);
             }
             let max = s.max_y().unwrap();
-            prop_assert!(s.mean_y() <= max + 1e-9);
+            assert!(s.mean_y() <= max + 1e-9);
         }
+    }
 
-        #[test]
-        fn y_at_returns_an_existing_y(ys in proptest::collection::vec(0.0f64..100.0, 1..50), q in 0.0f64..60.0) {
+    #[test]
+    fn y_at_returns_an_existing_y() {
+        let mut state = 0x5eed_0002;
+        for _ in 0..200 {
+            let ys = random_vec(&mut state, 49, 0.0, 100.0);
+            let q = (xorshift(&mut state) >> 11) as f64 / (1u64 << 53) as f64 * 60.0;
             let mut s = Series::new("p");
             for (i, y) in ys.iter().enumerate() {
                 s.push(i as f64, *y);
             }
             let got = s.y_at(q).unwrap();
-            prop_assert!(ys.contains(&got));
+            assert!(ys.contains(&got));
         }
     }
 }

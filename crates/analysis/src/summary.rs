@@ -29,7 +29,15 @@ impl SummaryStats {
     /// Compute the statistics of `sample`.
     pub fn of(sample: &[f64]) -> Self {
         if sample.is_empty() {
-            return SummaryStats { count: 0, mean: 0.0, min: 0.0, max: 0.0, stddev: 0.0, median: 0.0, p95: 0.0 };
+            return SummaryStats {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                stddev: 0.0,
+                median: 0.0,
+                p95: 0.0,
+            };
         }
         let count = sample.len();
         let mean = sample.iter().sum::<f64>() / count as f64;
@@ -134,25 +142,47 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
+    //! Randomised property checks. The offline build has no `proptest`, so a
+    //! tiny deterministic xorshift drives many random cases per property.
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        #[test]
-        fn mean_lies_between_min_and_max(sample in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_sample(state: &mut u64, max_len: usize) -> Vec<f64> {
+        let len = 1 + (xorshift(state) as usize) % max_len;
+        (0..len)
+            .map(|_| -1e6 + (xorshift(state) >> 11) as f64 / (1u64 << 53) as f64 * 2e6)
+            .collect()
+    }
+
+    #[test]
+    fn mean_lies_between_min_and_max() {
+        let mut state = 0x5eed_0006;
+        for _ in 0..200 {
+            let sample = random_sample(&mut state, 199);
             let s = SummaryStats::of(&sample);
-            prop_assert!(s.min <= s.mean + 1e-9);
-            prop_assert!(s.mean <= s.max + 1e-9);
-            prop_assert!(s.stddev >= 0.0);
-            prop_assert!(s.min <= s.median && s.median <= s.max);
-            prop_assert!(s.median <= s.p95 + 1e-9);
+            assert!(s.min <= s.mean + 1e-9);
+            assert!(s.mean <= s.max + 1e-9);
+            assert!(s.stddev >= 0.0);
+            assert!(s.min <= s.median && s.median <= s.max);
+            assert!(s.median <= s.p95 + 1e-9);
         }
+    }
 
-        #[test]
-        fn percentile_is_monotone(sample in proptest::collection::vec(-1e6f64..1e6, 1..100),
-                                  p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+    #[test]
+    fn percentile_is_monotone() {
+        let mut state = 0x5eed_0007;
+        for _ in 0..200 {
+            let sample = random_sample(&mut state, 99);
+            let p1 = (xorshift(&mut state) >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+            let p2 = (xorshift(&mut state) >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
             let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
-            prop_assert!(SummaryStats::percentile(&sample, lo) <= SummaryStats::percentile(&sample, hi));
+            assert!(SummaryStats::percentile(&sample, lo) <= SummaryStats::percentile(&sample, hi));
         }
     }
 }

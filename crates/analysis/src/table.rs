@@ -14,7 +14,11 @@ pub struct AsciiTable {
 impl AsciiTable {
     /// A new table with the given title.
     pub fn new(title: impl Into<String>) -> Self {
-        AsciiTable { title: title.into(), header: Vec::new(), rows: Vec::new() }
+        AsciiTable {
+            title: title.into(),
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// Set the column headers.
@@ -38,7 +42,8 @@ impl AsciiTable {
 
     /// Append a row of floats rendered with `decimals` decimal places.
     pub fn push_f64_row(&mut self, row: &[f64], decimals: usize) {
-        self.rows.push(row.iter().map(|v| format!("{v:.decimals$}")).collect());
+        self.rows
+            .push(row.iter().map(|v| format!("{v:.decimals$}")).collect());
     }
 
     /// Number of data rows.
@@ -53,7 +58,10 @@ impl AsciiTable {
 
     /// Render the table, columns padded to their widest cell.
     pub fn render(&self) -> String {
-        let columns = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let columns = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; columns];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.len());
@@ -83,7 +91,9 @@ impl AsciiTable {
         if !self.header.is_empty() {
             out.push_str(&render_row(&self.header, &widths));
             out.push('\n');
-            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+            out.push_str(
+                &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+            );
             out.push('\n');
         }
         for row in &self.rows {

@@ -8,7 +8,9 @@
 //! that notices a dead successor (by keep-alive timeout) promotes the next
 //! entry of its successor list.
 
-use simnet::{Context, NodeAddr, Protocol, SimConfig, SimDuration, SimTime, Simulation, TimerToken};
+use simnet::{
+    Context, NodeAddr, Protocol, SimConfig, SimDuration, SimTime, Simulation, TimerToken,
+};
 use std::collections::BTreeMap;
 use treep::{IdSpace, NodeId};
 
@@ -153,7 +155,10 @@ impl ChordNode {
         let request_id = self.next_request;
         self.next_request += 1;
         self.pending.insert(request_id, target);
-        ctx.set_timer(self.lookup_timeout, TimerToken(TIMER_TIMEOUT_BASE | request_id));
+        ctx.set_timer(
+            self.lookup_timeout,
+            TimerToken(TIMER_TIMEOUT_BASE | request_id),
+        );
         let origin = ctx.self_addr();
         if self.owns(target) {
             self.complete(request_id, true, 0);
@@ -161,7 +166,15 @@ impl ChordNode {
         }
         match self.next_hop(target) {
             Some((_, addr)) => {
-                ctx.send(addr, ChordMessage::Lookup { request_id, origin, target, hops: 1 });
+                ctx.send(
+                    addr,
+                    ChordMessage::Lookup {
+                        request_id,
+                        origin,
+                        target,
+                        hops: 1,
+                    },
+                );
             }
             None => self.complete(request_id, false, 0),
         }
@@ -221,7 +234,12 @@ impl ChordNode {
 
     fn complete(&mut self, request_id: u64, found: bool, hops: u32) {
         if let Some(target) = self.pending.remove(&request_id) {
-            self.outcomes.push(ChordLookupOutcome { request_id, target, found, hops });
+            self.outcomes.push(ChordLookupOutcome {
+                request_id,
+                target,
+                found,
+                hops,
+            });
         }
     }
 }
@@ -232,13 +250,25 @@ impl Protocol for ChordNode {
     fn on_start(&mut self, ctx: &mut Context<'_, ChordMessage>) {
         self.addr = Some(ctx.self_addr());
         self.last_pong = ctx.now();
-        let jitter = ctx.rng().gen_range_u64(0..self.stabilize_interval.as_micros().max(1));
+        let jitter = ctx
+            .rng()
+            .gen_range_u64(0..self.stabilize_interval.as_micros().max(1));
         ctx.set_timer(SimDuration::from_micros(jitter), TIMER_STABILIZE);
     }
 
-    fn on_message(&mut self, from: NodeAddr, msg: ChordMessage, ctx: &mut Context<'_, ChordMessage>) {
+    fn on_message(
+        &mut self,
+        from: NodeAddr,
+        msg: ChordMessage,
+        ctx: &mut Context<'_, ChordMessage>,
+    ) {
         match msg {
-            ChordMessage::Lookup { request_id, origin, target, hops } => {
+            ChordMessage::Lookup {
+                request_id,
+                origin,
+                target,
+                hops,
+            } => {
                 if self.owns(target) || hops > 64 {
                     let found = self.owns(target);
                     if origin == ctx.self_addr() {
@@ -248,7 +278,14 @@ impl Protocol for ChordNode {
                             self.complete(request_id, false, hops);
                         }
                     } else {
-                        ctx.send(origin, ChordMessage::Found { request_id, owner: self.id, hops });
+                        ctx.send(
+                            origin,
+                            ChordMessage::Found {
+                                request_id,
+                                owner: self.id,
+                                hops,
+                            },
+                        );
                         if !found {
                             // Treat a TTL overrun as a (wrong-owner) answer;
                             // the origin still learns the lookup terminated.
@@ -259,15 +296,32 @@ impl Protocol for ChordNode {
                 self.forwarded += 1;
                 match self.next_hop(target) {
                     Some((_, addr)) => {
-                        ctx.send(addr, ChordMessage::Lookup { request_id, origin, target, hops: hops + 1 });
+                        ctx.send(
+                            addr,
+                            ChordMessage::Lookup {
+                                request_id,
+                                origin,
+                                target,
+                                hops: hops + 1,
+                            },
+                        );
                     }
                     None => {
                         // Dead end: answer with ourselves as the best effort.
-                        ctx.send(origin, ChordMessage::Found { request_id, owner: self.id, hops });
+                        ctx.send(
+                            origin,
+                            ChordMessage::Found {
+                                request_id,
+                                owner: self.id,
+                                hops,
+                            },
+                        );
                     }
                 }
             }
-            ChordMessage::Found { request_id, hops, .. } => {
+            ChordMessage::Found {
+                request_id, hops, ..
+            } => {
                 self.complete(request_id, true, hops);
             }
             ChordMessage::Ping { from: id } => {
@@ -275,7 +329,9 @@ impl Protocol for ChordNode {
                 // current one.
                 let better = match self.predecessor {
                     None => true,
-                    Some((pred, _)) => self.ring_distance(pred, self.id) > self.ring_distance(id, self.id),
+                    Some((pred, _)) => {
+                        self.ring_distance(pred, self.id) > self.ring_distance(id, self.id)
+                    }
                 };
                 if better && id != self.id {
                     self.predecessor = Some((id, from));
@@ -321,7 +377,11 @@ pub struct ChordBuilder {
 impl ChordBuilder {
     /// A ring of `n` nodes in the default identifier space.
     pub fn new(n: usize) -> Self {
-        ChordBuilder { n, space: IdSpace::default(), successor_list: 4 }
+        ChordBuilder {
+            n,
+            space: IdSpace::default(),
+            successor_list: 4,
+        }
     }
 
     /// Use a specific identifier space.
@@ -341,7 +401,9 @@ impl ChordBuilder {
     pub fn build_simulation(&self, seed: u64) -> (Simulation<ChordNode>, Vec<(NodeAddr, NodeId)>) {
         assert!(self.n >= 2, "a Chord ring needs at least two nodes");
         let mut sim = Simulation::new(SimConfig::default(), seed);
-        let mut ids: Vec<NodeId> = (0..self.n).map(|i| self.space.uniform_position(i, self.n)).collect();
+        let mut ids: Vec<NodeId> = (0..self.n)
+            .map(|i| self.space.uniform_position(i, self.n))
+            .collect();
         ids.sort();
         ids.dedup();
         let mut pairs: Vec<(NodeAddr, NodeId)> = Vec::with_capacity(ids.len());
@@ -398,7 +460,11 @@ impl ChordBuilder {
 mod tests {
     use super::*;
 
-    fn run_lookup(sim: &mut Simulation<ChordNode>, src: NodeAddr, target: NodeId) -> ChordLookupOutcome {
+    fn run_lookup(
+        sim: &mut Simulation<ChordNode>,
+        src: NodeAddr,
+        target: NodeId,
+    ) -> ChordLookupOutcome {
         sim.invoke(src, |node, ctx| {
             node.start_lookup(target, ctx);
         });
@@ -428,7 +494,11 @@ mod tests {
         let outcome = run_lookup(&mut sim, pairs[0].0, pairs[40].1);
         assert!(outcome.found, "{outcome:?}");
         assert!(outcome.hops >= 1);
-        assert!(outcome.hops <= 10, "O(log 64) expected, got {}", outcome.hops);
+        assert!(
+            outcome.hops <= 10,
+            "O(log 64) expected, got {}",
+            outcome.hops
+        );
     }
 
     #[test]
@@ -457,7 +527,10 @@ mod tests {
             }
             means.push(total as f64 / count as f64);
         }
-        assert!(means[1] < means[0] * 3.0, "256-node ring must not need 3x the hops of a 32-node ring: {means:?}");
+        assert!(
+            means[1] < means[0] * 3.0,
+            "256-node ring must not need 3x the hops of a 32-node ring: {means:?}"
+        );
     }
 
     #[test]

@@ -31,6 +31,17 @@ pub enum FloodingMessage {
         /// Hops the query had taken when it reached the owner.
         hops: u32,
     },
+    /// A payload flooded to every reachable node (the unstructured
+    /// counterpart of TreeP's scoped multicast; flooding has no notion of an
+    /// identifier range, so the only possible scope is "everyone").
+    Broadcast {
+        /// `(origin address, origin-local counter)` — globally unique.
+        request_id: (NodeAddr, u64),
+        /// Remaining time-to-live.
+        ttl: u32,
+        /// Hops taken so far.
+        hops: u32,
+    },
 }
 
 /// Outcome of one flooding lookup recorded at the origin.
@@ -61,6 +72,11 @@ pub struct FloodingNode {
     lookup_timeout: SimDuration,
     /// Queries this node forwarded on behalf of others (overhead accounting).
     pub forwarded: u64,
+    /// Broadcast copies received, *including* suppressed duplicates (the
+    /// duplicate-factor numerator of the multicast comparison).
+    pub broadcast_receipts: u64,
+    /// Distinct broadcasts delivered (first copy of each).
+    pub broadcasts_delivered: u64,
 }
 
 impl FloodingNode {
@@ -76,6 +92,8 @@ impl FloodingNode {
             outcomes: Vec::new(),
             lookup_timeout: SimDuration::from_secs(2),
             forwarded: 0,
+            broadcast_receipts: 0,
+            broadcasts_delivered: 0,
         }
     }
 
@@ -110,7 +128,10 @@ impl FloodingNode {
         let counter = self.next_request;
         self.next_request += 1;
         self.pending.insert(counter, target);
-        ctx.set_timer(self.lookup_timeout, TimerToken(TIMER_TIMEOUT_BASE | counter));
+        ctx.set_timer(
+            self.lookup_timeout,
+            TimerToken(TIMER_TIMEOUT_BASE | counter),
+        );
         if target == self.id {
             self.complete(counter, true, 0, 0);
             return counter;
@@ -119,7 +140,15 @@ impl FloodingNode {
         self.seen.insert(request_id);
         let mut fanout = 0u32;
         for &n in &self.neighbors {
-            ctx.send(n, FloodingMessage::Query { request_id, target, ttl: self.max_ttl, hops: 1 });
+            ctx.send(
+                n,
+                FloodingMessage::Query {
+                    request_id,
+                    target,
+                    ttl: self.max_ttl,
+                    hops: 1,
+                },
+            );
             fanout += 1;
         }
         if fanout == 0 {
@@ -128,9 +157,37 @@ impl FloodingNode {
         counter
     }
 
+    /// Originate a flooded broadcast toward every reachable node. Returns
+    /// the origin-local counter identifying it.
+    pub fn start_broadcast(&mut self, ctx: &mut Context<'_, FloodingMessage>) -> u64 {
+        let counter = self.next_request;
+        self.next_request += 1;
+        let request_id = (ctx.self_addr(), counter);
+        self.seen.insert(request_id);
+        self.broadcast_receipts += 1;
+        self.broadcasts_delivered += 1;
+        for &n in &self.neighbors {
+            ctx.send(
+                n,
+                FloodingMessage::Broadcast {
+                    request_id,
+                    ttl: self.max_ttl,
+                    hops: 1,
+                },
+            );
+        }
+        counter
+    }
+
     fn complete(&mut self, counter: u64, found: bool, hops: u32, fanout: u32) {
         if let Some(target) = self.pending.remove(&counter) {
-            self.outcomes.push(FloodingLookupOutcome { request_id: counter, target, found, hops, fanout });
+            self.outcomes.push(FloodingLookupOutcome {
+                request_id: counter,
+                target,
+                found,
+                hops,
+                fanout,
+            });
         }
     }
 }
@@ -138,14 +195,31 @@ impl FloodingNode {
 impl Protocol for FloodingNode {
     type Message = FloodingMessage;
 
-    fn on_message(&mut self, from: NodeAddr, msg: FloodingMessage, ctx: &mut Context<'_, FloodingMessage>) {
+    fn on_message(
+        &mut self,
+        from: NodeAddr,
+        msg: FloodingMessage,
+        ctx: &mut Context<'_, FloodingMessage>,
+    ) {
         match msg {
-            FloodingMessage::Query { request_id, target, ttl, hops } => {
+            FloodingMessage::Query {
+                request_id,
+                target,
+                ttl,
+                hops,
+            } => {
                 if !self.seen.insert(request_id) {
                     return; // duplicate suppression
                 }
                 if target == self.id {
-                    ctx.send(request_id.0, FloodingMessage::Hit { request_id, owner: self.id, hops });
+                    ctx.send(
+                        request_id.0,
+                        FloodingMessage::Hit {
+                            request_id,
+                            owner: self.id,
+                            hops,
+                        },
+                    );
                     return;
                 }
                 if ttl <= 1 {
@@ -158,13 +232,48 @@ impl Protocol for FloodingNode {
                     self.forwarded += 1;
                     ctx.send(
                         n,
-                        FloodingMessage::Query { request_id, target, ttl: ttl - 1, hops: hops + 1 },
+                        FloodingMessage::Query {
+                            request_id,
+                            target,
+                            ttl: ttl - 1,
+                            hops: hops + 1,
+                        },
                     );
                 }
             }
-            FloodingMessage::Hit { request_id, hops, .. } => {
+            FloodingMessage::Hit {
+                request_id, hops, ..
+            } => {
                 let fanout = self.neighbors.len() as u32;
                 self.complete(request_id.1, true, hops, fanout);
+            }
+            FloodingMessage::Broadcast {
+                request_id,
+                ttl,
+                hops,
+            } => {
+                self.broadcast_receipts += 1;
+                if !self.seen.insert(request_id) {
+                    return; // duplicate: received again through another path
+                }
+                self.broadcasts_delivered += 1;
+                if ttl <= 1 {
+                    return;
+                }
+                for &n in &self.neighbors {
+                    if n == from {
+                        continue;
+                    }
+                    self.forwarded += 1;
+                    ctx.send(
+                        n,
+                        FloodingMessage::Broadcast {
+                            request_id,
+                            ttl: ttl - 1,
+                            hops: hops + 1,
+                        },
+                    );
+                }
             }
         }
     }
@@ -191,7 +300,12 @@ impl FloodingBuilder {
     /// A graph of `n` nodes with average degree 4 and TTL 7 (classic
     /// Gnutella settings).
     pub fn new(n: usize) -> Self {
-        FloodingBuilder { n, degree: 4, max_ttl: 7, space: IdSpace::default() }
+        FloodingBuilder {
+            n,
+            degree: 4,
+            max_ttl: 7,
+            space: IdSpace::default(),
+        }
     }
 
     /// Target average degree of the random graph.
@@ -207,7 +321,10 @@ impl FloodingBuilder {
     }
 
     /// Create the simulation, seed the graph and return `(addr, id)` pairs.
-    pub fn build_simulation(&self, seed: u64) -> (Simulation<FloodingNode>, Vec<(NodeAddr, NodeId)>) {
+    pub fn build_simulation(
+        &self,
+        seed: u64,
+    ) -> (Simulation<FloodingNode>, Vec<(NodeAddr, NodeId)>) {
         assert!(self.n >= 2, "a flooding overlay needs at least two nodes");
         let mut sim = Simulation::new(SimConfig::default(), seed);
         let mut pairs = Vec::with_capacity(self.n);
@@ -237,7 +354,9 @@ impl FloodingBuilder {
         }
         for (i, adj) in adjacency.iter().enumerate() {
             let neighbors: Vec<NodeAddr> = adj.iter().map(|&j| pairs[j].0).collect();
-            sim.node_mut(pairs[i].0).expect("node just added").seed_neighbors(neighbors);
+            sim.node_mut(pairs[i].0)
+                .expect("node just added")
+                .seed_neighbors(neighbors);
         }
         (sim, pairs)
     }
@@ -291,7 +410,10 @@ mod tests {
     #[test]
     fn low_ttl_floods_fail_on_distant_targets() {
         // A pure ring (degree 2) with TTL 2 cannot reach the antipode.
-        let (mut sim, pairs) = FloodingBuilder::new(40).with_degree(2).with_ttl(2).build_simulation(4);
+        let (mut sim, pairs) = FloodingBuilder::new(40)
+            .with_degree(2)
+            .with_ttl(2)
+            .build_simulation(4);
         sim.run_until_idle();
         let outcome = run_lookup(&mut sim, pairs[0].0, pairs[20].1);
         assert!(!outcome.found);
@@ -322,7 +444,32 @@ mod tests {
         // A second identical lookup must not explode combinatorially.
         let _ = run_lookup(&mut sim, pairs[0].0, pairs[15].1);
         let second_cost = sim.metrics().events_dispatched - events;
-        assert!(second_cost < 5_000, "duplicate suppression keeps the flood bounded, got {second_cost}");
+        assert!(
+            second_cost < 5_000,
+            "duplicate suppression keeps the flood bounded, got {second_cost}"
+        );
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_with_duplicates() {
+        let (mut sim, pairs) = FloodingBuilder::new(60).with_ttl(32).build_simulation(9);
+        sim.run_until_idle();
+        sim.invoke(pairs[0].0, |node, ctx| {
+            node.start_broadcast(ctx);
+        });
+        sim.run_until_idle();
+        let mut delivered = 0u64;
+        let mut receipts = 0u64;
+        for &(addr, _) in &pairs {
+            let node = sim.node(addr).unwrap();
+            delivered += node.broadcasts_delivered;
+            receipts += node.broadcast_receipts;
+        }
+        assert_eq!(delivered, 60, "TTL 32 floods the whole graph");
+        assert!(
+            receipts > delivered,
+            "flooding inherently produces duplicate copies ({receipts} receipts for {delivered} deliveries)"
+        );
     }
 
     #[test]

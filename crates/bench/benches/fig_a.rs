@@ -17,11 +17,17 @@ fn bench_fig_a(c: &mut Criterion) {
     let p = params();
     let result = run_churn_experiment(&p);
     let data = figures::extract(Figure::A, &result, None);
-    println!("{}", data.to_table("Figure A — % failed lookups vs % failed nodes (nc = 4)").render());
+    println!(
+        "{}",
+        data.to_table("Figure A — % failed lookups vs % failed nodes (nc = 4)")
+            .render()
+    );
 
     let mut group = c.benchmark_group("fig_a");
     group.sample_size(10);
-    group.bench_function("churn_run_nc4_n200", |b| b.iter(|| black_box(run_churn_experiment(&p))));
+    group.bench_function("churn_run_nc4_n200", |b| {
+        b.iter(|| black_box(run_churn_experiment(&p)))
+    });
     group.bench_function("extract_failed_lookup_curves", |b| {
         b.iter(|| black_box(figures::failed_lookup_curves(&result)))
     });

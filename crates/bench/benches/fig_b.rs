@@ -10,11 +10,17 @@ fn bench_fig_b(c: &mut Criterion) {
     let p = ExperimentParams::quick(200, 2005).with_lookups_per_step(30);
     let result = run_churn_experiment(&p);
     let data = figures::extract(Figure::B, &result, None);
-    println!("{}", data.to_table("Figure B — mean hops vs % failed nodes (nc = 4)").render());
+    println!(
+        "{}",
+        data.to_table("Figure B — mean hops vs % failed nodes (nc = 4)")
+            .render()
+    );
 
     let mut group = c.benchmark_group("fig_b");
     group.sample_size(10);
-    group.bench_function("churn_run_nc4_n200", |b| b.iter(|| black_box(run_churn_experiment(&p))));
+    group.bench_function("churn_run_nc4_n200", |b| {
+        b.iter(|| black_box(run_churn_experiment(&p)))
+    });
     group.bench_function("extract_mean_hop_curves", |b| {
         b.iter(|| black_box(figures::mean_hop_curves(&result)))
     });

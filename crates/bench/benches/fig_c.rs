@@ -6,14 +6,22 @@ use experiments::{figures, run_churn_experiment, ExperimentParams, Figure};
 use std::hint::black_box;
 
 fn bench_fig_c(c: &mut Criterion) {
-    let p = ExperimentParams::quick(200, 2005).with_lookups_per_step(30).with_adaptive_policy();
+    let p = ExperimentParams::quick(200, 2005)
+        .with_lookups_per_step(30)
+        .with_adaptive_policy();
     let result = run_churn_experiment(&p);
     let data = figures::extract(Figure::C, &result, Some(&result));
-    println!("{}", data.to_table("Figure C — % failed lookups vs % failed nodes (variable nc)").render());
+    println!(
+        "{}",
+        data.to_table("Figure C — % failed lookups vs % failed nodes (variable nc)")
+            .render()
+    );
 
     let mut group = c.benchmark_group("fig_c");
     group.sample_size(10);
-    group.bench_function("churn_run_adaptive_n200", |b| b.iter(|| black_box(run_churn_experiment(&p))));
+    group.bench_function("churn_run_adaptive_n200", |b| {
+        b.iter(|| black_box(run_churn_experiment(&p)))
+    });
     group.finish();
 }
 

@@ -12,7 +12,11 @@ fn bench_fig_d(c: &mut Criterion) {
     let fixed = run_churn_experiment(&fixed_params);
     let adaptive = run_churn_experiment(&adaptive_params);
     let data = figures::extract(Figure::D, &fixed, Some(&adaptive));
-    println!("{}", data.to_table("Figure D — mean hops, nc=4 vs variable nc").render());
+    println!(
+        "{}",
+        data.to_table("Figure D — mean hops, nc=4 vs variable nc")
+            .render()
+    );
 
     let mut group = c.benchmark_group("fig_d");
     group.sample_size(10);

@@ -11,13 +11,24 @@ fn bench_fig_e(c: &mut Criterion) {
     let p = ExperimentParams::quick(200, 2005).with_lookups_per_step(30);
     let result = run_churn_experiment(&p);
     let data = figures::extract(Figure::E, &result, None);
-    println!("{}", data.to_table("Figure E — min/max hops of failed lookups (nc = 4)").render());
+    println!(
+        "{}",
+        data.to_table("Figure E — min/max hops of failed lookups (nc = 4)")
+            .render()
+    );
 
     let mut group = c.benchmark_group("fig_e");
     group.sample_size(10);
-    group.bench_function("churn_run_nc4_n200", |b| b.iter(|| black_box(run_churn_experiment(&p))));
+    group.bench_function("churn_run_nc4_n200", |b| {
+        b.iter(|| black_box(run_churn_experiment(&p)))
+    });
     group.bench_function("extract_failed_hop_envelope", |b| {
-        b.iter(|| black_box(figures::failed_hop_envelope(&result, RoutingAlgorithm::Greedy)))
+        b.iter(|| {
+            black_box(figures::failed_hop_envelope(
+                &result,
+                RoutingAlgorithm::Greedy,
+            ))
+        })
     });
     group.finish();
 }

@@ -10,11 +10,17 @@ fn bench_fig_g(c: &mut Criterion) {
     let p = ExperimentParams::quick(200, 2005).with_lookups_per_step(40);
     let result = run_churn_experiment(&p);
     let data = figures::extract(Figure::G, &result, None);
-    println!("{}", data.to_table("Figure G — hop-count surface (non-greedy, nc = 4)").render());
+    println!(
+        "{}",
+        data.to_table("Figure G — hop-count surface (non-greedy, nc = 4)")
+            .render()
+    );
 
     let mut group = c.benchmark_group("fig_g");
     group.sample_size(10);
-    group.bench_function("churn_run_nc4_n200", |b| b.iter(|| black_box(run_churn_experiment(&p))));
+    group.bench_function("churn_run_nc4_n200", |b| {
+        b.iter(|| black_box(run_churn_experiment(&p)))
+    });
     group.bench_function("extract_hop_surface_non_greedy", |b| {
         b.iter(|| black_box(figures::hop_surface(&result, RoutingAlgorithm::NonGreedy)))
     });

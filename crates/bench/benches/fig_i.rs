@@ -7,14 +7,22 @@ use std::hint::black_box;
 use treep::RoutingAlgorithm;
 
 fn bench_fig_i(c: &mut Criterion) {
-    let p = ExperimentParams::quick(200, 2005).with_lookups_per_step(40).with_adaptive_policy();
+    let p = ExperimentParams::quick(200, 2005)
+        .with_lookups_per_step(40)
+        .with_adaptive_policy();
     let result = run_churn_experiment(&p);
     let data = figures::extract(Figure::I, &result, Some(&result));
-    println!("{}", data.to_table("Figure I — hop-count surface (non-greedy, variable nc)").render());
+    println!(
+        "{}",
+        data.to_table("Figure I — hop-count surface (non-greedy, variable nc)")
+            .render()
+    );
 
     let mut group = c.benchmark_group("fig_i");
     group.sample_size(10);
-    group.bench_function("churn_run_adaptive_n200", |b| b.iter(|| black_box(run_churn_experiment(&p))));
+    group.bench_function("churn_run_adaptive_n200", |b| {
+        b.iter(|| black_box(run_churn_experiment(&p)))
+    });
     group.bench_function("extract_hop_surface_non_greedy", |b| {
         b.iter(|| black_box(figures::hop_surface(&result, RoutingAlgorithm::NonGreedy)))
     });

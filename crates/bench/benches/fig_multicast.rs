@@ -1,0 +1,29 @@
+//! Figure M — tree-scoped multicast vs Gnutella flooding broadcast at equal
+//! reach: coverage %, duplicate factor and messages per delivery.
+//!
+//! The bench prints the comparison table, then measures the cost of one full
+//! multicast comparison run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::multicast_compare::{compare_multicast, MulticastParams};
+use std::hint::black_box;
+
+fn params() -> MulticastParams {
+    MulticastParams::quick(200, 2005)
+}
+
+fn bench_fig_multicast(c: &mut Criterion) {
+    let p = params();
+    let comparison = compare_multicast(&p);
+    println!("{}", comparison.to_table().render());
+
+    let mut group = c.benchmark_group("fig_multicast");
+    group.sample_size(10);
+    group.bench_function("compare_multicast_n200", |b| {
+        b.iter(|| black_box(compare_multicast(&p)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig_multicast);
+criterion_main!(benches);

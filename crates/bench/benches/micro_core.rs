@@ -5,13 +5,13 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use simnet::{NodeAddr, SimDuration, SimTime};
 use std::hint::black_box;
-use treep::{
-    CharacteristicsSummary, ChildPolicy, HierarchicalDistance, IdSpace, NodeCharacteristics, NodeId,
-    RoutingAlgorithm, RoutingEntry, RoutingTables,
-};
 use treep::lookup::{LookupRequest, RequestId};
 use treep::routing::{route, RouterView};
 use treep::PeerInfo;
+use treep::{
+    CharacteristicsSummary, ChildPolicy, HierarchicalDistance, IdSpace, NodeCharacteristics,
+    NodeId, RoutingAlgorithm, RoutingEntry, RoutingTables,
+};
 use workloads::TopologyBuilder;
 
 fn summary() -> CharacteristicsSummary {
@@ -57,7 +57,9 @@ fn bench_tables(c: &mut Criterion) {
         })
     });
     let tables = seeded_tables(16);
-    group.bench_function("find_hit", |b| b.iter(|| black_box(tables.find(NodeId(123_456)))));
+    group.bench_function("find_hit", |b| {
+        b.iter(|| black_box(tables.find(NodeId(123_456))))
+    });
     group.bench_function("all_peers", |b| b.iter(|| black_box(tables.all_peers())));
     group.bench_function("prune_level0", |b| {
         b.iter(|| {
@@ -79,13 +81,17 @@ fn bench_routing(c: &mut Criterion) {
         self_addr: NodeAddr(5),
         max_ttl: 255,
     };
-    let origin = PeerInfo { id: NodeId(5), addr: NodeAddr(5), max_level: 0, summary: summary() };
+    let origin = PeerInfo {
+        id: NodeId(5),
+        addr: NodeAddr(5),
+        max_level: 0,
+        summary: summary(),
+    };
     let mut group = c.benchmark_group("micro_routing");
     for algo in RoutingAlgorithm::ALL {
         group.bench_function(format!("next_hop_{algo}"), |b| {
             b.iter(|| {
-                let mut req =
-                    LookupRequest::new(RequestId(1), origin, NodeId(3_500_000_000), algo);
+                let mut req = LookupRequest::new(RequestId(1), origin, NodeId(3_500_000_000), algo);
                 black_box(route(&view, &mut req))
             })
         });
@@ -96,7 +102,9 @@ fn bench_routing(c: &mut Criterion) {
 fn bench_characteristics(c: &mut Criterion) {
     let chars = NodeCharacteristics::strong();
     let mut group = c.benchmark_group("micro_characteristics");
-    group.bench_function("capability_score", |b| b.iter(|| black_box(chars.capability_score())));
+    group.bench_function("capability_score", |b| {
+        b.iter(|| black_box(chars.capability_score()))
+    });
     group.bench_function("election_countdown", |b| {
         b.iter(|| black_box(chars.election_countdown(SimDuration::from_millis(400))))
     });

@@ -14,7 +14,9 @@ fn bench_table_routing(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("table_routing");
     group.sample_size(10);
-    group.bench_function("report_nc4_n300", |b| b.iter(|| black_box(routing_table_report(&fixed))));
+    group.bench_function("report_nc4_n300", |b| {
+        b.iter(|| black_box(routing_table_report(&fixed)))
+    });
     group.bench_function("report_adaptive_n300", |b| {
         b.iter(|| black_box(routing_table_report(&adaptive)))
     });

@@ -1,0 +1,3 @@
+//! Benchmark-only crate: the Criterion drivers live in `benches/`, one file
+//! per paper figure or ablation. This library target exists solely so the
+//! package has a compilation root; all content is in the bench targets.

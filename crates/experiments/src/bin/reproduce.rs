@@ -12,8 +12,8 @@
 //! per figure into `DIR`.
 
 use experiments::{
-    compare_overlays, figures, maintenance, routing_table_report, run_churn_experiment,
-    ChurnRunResult, ExperimentParams, Figure,
+    compare_multicast, compare_overlays, figures, maintenance, routing_table_report,
+    run_churn_experiment, ChurnRunResult, ExperimentParams, Figure, MulticastParams,
 };
 
 struct Cli {
@@ -25,6 +25,7 @@ struct Cli {
     table_routing: bool,
     baselines: bool,
     maintenance: bool,
+    multicast: bool,
     out: Option<String>,
 }
 
@@ -39,6 +40,7 @@ impl Cli {
             table_routing: true,
             baselines: false,
             maintenance: false,
+            multicast: false,
             out: None,
         };
         let mut explicit_figures: Vec<Figure> = Vec::new();
@@ -47,7 +49,9 @@ impl Cli {
             let arg = args[i].clone();
             let mut value = |name: &str| -> Result<String, String> {
                 i += 1;
-                args.get(i).cloned().ok_or_else(|| format!("{name} expects a value"))
+                args.get(i)
+                    .cloned()
+                    .ok_or_else(|| format!("{name} expects a value"))
             };
             match arg.as_str() {
                 "--figure" | "-f" => {
@@ -61,13 +65,19 @@ impl Cli {
                     }
                 }
                 "--nodes" | "-n" => {
-                    cli.nodes = value("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?
+                    cli.nodes = value("--nodes")?
+                        .parse()
+                        .map_err(|e| format!("--nodes: {e}"))?
                 }
                 "--seed" | "-s" => {
-                    cli.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                    cli.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
                 }
                 "--lookups" | "-l" => {
-                    cli.lookups = value("--lookups")?.parse().map_err(|e| format!("--lookups: {e}"))?
+                    cli.lookups = value("--lookups")?
+                        .parse()
+                        .map_err(|e| format!("--lookups: {e}"))?
                 }
                 "--out" | "-o" => cli.out = Some(value("--out")?),
                 "--quick" => cli.quick = true,
@@ -75,6 +85,7 @@ impl Cli {
                 "--table-routing" => cli.table_routing = true,
                 "--baselines" => cli.baselines = true,
                 "--maintenance" => cli.maintenance = true,
+                "--multicast" => cli.multicast = true,
                 "--help" | "-h" => return Err(usage()),
                 other => return Err(format!("unknown argument '{other}'\n\n{}", usage())),
             }
@@ -93,7 +104,7 @@ impl Cli {
 
 fn usage() -> String {
     "usage: reproduce [--figure A..I|all] [--nodes N] [--seed S] [--lookups K] \
-     [--quick] [--baselines] [--maintenance] [--no-table-routing] [--out DIR]"
+     [--quick] [--baselines] [--maintenance] [--multicast] [--no-table-routing] [--out DIR]"
         .to_string()
 }
 
@@ -126,8 +137,10 @@ fn main() {
     let mut adaptive_params = ExperimentParams::paper_adaptive(cli.nodes, cli.seed);
     adaptive_params.lookups_per_step = cli.lookups;
     if cli.quick {
-        fixed_params.churn =
-            workloads::ChurnPlan { fraction_per_step: 0.10, stop_at_surviving_fraction: 0.30 };
+        fixed_params.churn = workloads::ChurnPlan {
+            fraction_per_step: 0.10,
+            stop_at_surviving_fraction: 0.30,
+        };
         adaptive_params.churn = fixed_params.churn;
     }
 
@@ -164,9 +177,15 @@ fn main() {
     }
 
     if cli.table_routing {
-        println!("{}", routing_table_report(&fixed_params).to_table().render());
+        println!(
+            "{}",
+            routing_table_report(&fixed_params).to_table().render()
+        );
         if needs_adaptive {
-            println!("{}", routing_table_report(&adaptive_params).to_table().render());
+            println!(
+                "{}",
+                routing_table_report(&adaptive_params).to_table().render()
+            );
         }
     }
 
@@ -182,6 +201,12 @@ fn main() {
         eprintln!("# running overlay comparison (TreeP / Chord / Flooding)…");
         let comparison =
             compare_overlays(cli.nodes.min(400), cli.seed, &[0.0, 0.2, 0.4], cli.lookups);
+        println!("{}", comparison.to_table().render());
+    }
+
+    if cli.multicast {
+        eprintln!("# running multicast comparison (scoped multicast vs flooding broadcast)…");
+        let comparison = compare_multicast(&MulticastParams::new(cli.nodes.min(400), cli.seed));
         println!("{}", comparison.to_table().render());
     }
 }

@@ -182,7 +182,11 @@ pub fn failed_lookup_curves(result: &ChurnRunResult) -> SeriesSet {
     let mut set = SeriesSet::new();
     for step in &result.steps {
         for stats in &step.per_algorithm {
-            set.push(stats.algorithm.label(), step.failed_fraction * 100.0, stats.failed_pct());
+            set.push(
+                stats.algorithm.label(),
+                step.failed_fraction * 100.0,
+                stats.failed_pct(),
+            );
         }
     }
     set
@@ -194,7 +198,11 @@ pub fn mean_hop_curves(result: &ChurnRunResult) -> SeriesSet {
     let mut set = SeriesSet::new();
     for step in &result.steps {
         for stats in &step.per_algorithm {
-            set.push(stats.algorithm.label(), step.failed_fraction * 100.0, stats.mean_hops());
+            set.push(
+                stats.algorithm.label(),
+                step.failed_fraction * 100.0,
+                stats.mean_hops(),
+            );
         }
     }
     set
@@ -206,7 +214,11 @@ pub fn hop_comparison_curves(fixed: &ChurnRunResult, adaptive: &ChurnRunResult) 
     let mut set = SeriesSet::new();
     for (label, result) in [("nc=4", fixed), ("nc=variable", adaptive)] {
         for step in &result.steps {
-            let mean: f64 = step.per_algorithm.iter().map(|a| a.mean_hops()).sum::<f64>()
+            let mean: f64 = step
+                .per_algorithm
+                .iter()
+                .map(|a| a.mean_hops())
+                .sum::<f64>()
                 / step.per_algorithm.len().max(1) as f64;
             set.push(label, step.failed_fraction * 100.0, mean);
         }
@@ -256,14 +268,19 @@ pub fn extract(
         Figure::F => FigureData::Surface(hop_surface(fixed, RoutingAlgorithm::Greedy)),
         Figure::G => FigureData::Surface(hop_surface(fixed, RoutingAlgorithm::NonGreedy)),
         Figure::H => FigureData::Surface(hop_surface(adaptive_or_fixed, RoutingAlgorithm::Greedy)),
-        Figure::I => FigureData::Surface(hop_surface(adaptive_or_fixed, RoutingAlgorithm::NonGreedy)),
+        Figure::I => {
+            FigureData::Surface(hop_surface(adaptive_or_fixed, RoutingAlgorithm::NonGreedy))
+        }
     }
 }
 
 /// The mean of a curve family's final `y` values — a convenience used by the
 /// benches to print one summary number per figure.
 pub fn final_y_mean(set: &SeriesSet) -> f64 {
-    let finals: Vec<f64> = set.iter().filter_map(|s| s.points.last().map(|p| p.1)).collect();
+    let finals: Vec<f64> = set
+        .iter()
+        .filter_map(|s| s.points.last().map(|p| p.1))
+        .collect();
     if finals.is_empty() {
         0.0
     } else {
@@ -349,7 +366,9 @@ mod tests {
             let csv = data.to_csv();
             assert!(!csv.is_empty());
             match figure {
-                Figure::F | Figure::G | Figure::H | Figure::I => assert!(data.as_surface().is_some()),
+                Figure::F | Figure::G | Figure::H | Figure::I => {
+                    assert!(data.as_surface().is_some())
+                }
                 _ => assert!(data.as_curves().is_some()),
             }
         }

@@ -15,6 +15,8 @@
 //! * [`maintenance`] — the maintenance-overhead ablation.
 //! * [`baseline_compare`] — TreeP vs Chord vs flooding under identical
 //!   workloads.
+//! * [`multicast_compare`] — scoped multicast vs flooding broadcast at equal
+//!   reach (coverage, duplicate factor, messages per delivery).
 //!
 //! The `reproduce` binary drives all of the above from the command line; the
 //! Criterion benches in `crates/bench` wrap the same entry points.
@@ -24,6 +26,7 @@
 pub mod baseline_compare;
 pub mod figures;
 pub mod maintenance;
+pub mod multicast_compare;
 pub mod params;
 pub mod runner;
 pub mod table_routing;
@@ -31,6 +34,9 @@ pub mod table_routing;
 pub use baseline_compare::{compare_overlays, OverlayComparison, OverlayRow};
 pub use figures::{Figure, FigureData};
 pub use maintenance::{maintenance_series, MaintenancePoint};
+pub use multicast_compare::{
+    compare_multicast, MulticastComparison, MulticastParams, MulticastRow,
+};
 pub use params::ExperimentParams;
 pub use runner::{run_churn_experiment, AlgoStepStats, ChurnRunResult, StepMeasurement};
 pub use table_routing::{routing_table_report, LevelTableRow, RoutingTableReport};

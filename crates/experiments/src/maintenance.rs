@@ -49,7 +49,11 @@ pub fn per_node_series(result: &ChurnRunResult) -> Series {
 /// Render the overhead of one or more runs side by side.
 pub fn to_table(results: &[&ChurnRunResult]) -> AsciiTable {
     let mut header = vec!["failed %".to_string()];
-    header.extend(results.iter().map(|r| format!("{} msgs/node", r.policy_label)));
+    header.extend(
+        results
+            .iter()
+            .map(|r| format!("{} msgs/node", r.policy_label)),
+    );
     let mut table = AsciiTable::new("Maintenance overhead per settle window").header(header);
     if results.is_empty() {
         return table;
@@ -58,7 +62,12 @@ pub fn to_table(results: &[&ChurnRunResult]) -> AsciiTable {
     for i in 0..steps {
         let mut row = vec![results[0].steps[i].failed_fraction * 100.0];
         for r in results {
-            row.push(r.steps.get(i).map(|s| s.maintenance_per_node).unwrap_or(f64::NAN));
+            row.push(
+                r.steps
+                    .get(i)
+                    .map(|s| s.maintenance_per_node)
+                    .unwrap_or(f64::NAN),
+            );
         }
         table.push_f64_row(&row, 2);
     }
@@ -81,7 +90,10 @@ mod tests {
         let points = maintenance_series(&r);
         assert_eq!(points.len(), r.steps.len());
         for p in &points {
-            assert!(p.messages > 0, "the maintenance protocol always sends keep-alives");
+            assert!(
+                p.messages > 0,
+                "the maintenance protocol always sends keep-alives"
+            );
             assert!(p.per_node > 0.0);
         }
     }
@@ -93,7 +105,11 @@ mod tests {
             // A 2-second settle window with 500 ms keep-alives and a handful
             // of neighbours: the overhead must stay well below 200 messages
             // per node ("keeping control messages to a minimum").
-            assert!(p.per_node < 200.0, "{} messages/node is runaway maintenance", p.per_node);
+            assert!(
+                p.per_node < 200.0,
+                "{} messages/node is runaway maintenance",
+                p.per_node
+            );
         }
     }
 

@@ -1,0 +1,347 @@
+//! Figure M — tree-scoped multicast vs Gnutella-style flooding broadcast.
+//!
+//! TreeP's hierarchy lets a node address a contiguous identifier range with
+//! structural exactly-once delegation; an unstructured overlay can only
+//! flood everyone and suppress duplicates after the fact. This driver runs
+//! both at equal reach and reports, per scope width:
+//!
+//! * **coverage %** — live nodes of the target range that received the
+//!   payload;
+//! * **duplicate factor** — copies received per distinct node reached
+//!   (1.0 = exactly once);
+//! * **messages / delivery** — overlay messages spent per distinct in-range
+//!   delivery (the headline efficiency number).
+
+use analysis::AsciiTable;
+use baselines::FloodingBuilder;
+use simnet::{SimDuration, Simulation};
+use treep::{KeyRange, NodeId, TreePNode};
+use workloads::TopologyBuilder;
+
+/// Parameters of one multicast comparison run.
+#[derive(Debug, Clone)]
+pub struct MulticastParams {
+    /// Population size shared by both overlays.
+    pub nodes: usize,
+    /// Seed for topology construction and link randomness.
+    pub seed: u64,
+    /// Scope widths to measure, as fractions of the identifier space.
+    pub scopes: Vec<f64>,
+    /// Flood TTL (high enough to reach the whole random graph).
+    pub flood_ttl: u32,
+}
+
+impl MulticastParams {
+    /// Default comparison: full-space broadcast plus two scoped widths.
+    pub fn new(nodes: usize, seed: u64) -> Self {
+        MulticastParams {
+            nodes,
+            seed,
+            scopes: vec![1.0, 0.5, 0.25],
+            flood_ttl: 32,
+        }
+    }
+
+    /// Reduced run for unit tests and Criterion benches: only the
+    /// full-space broadcast and the narrowest scope.
+    pub fn quick(nodes: usize, seed: u64) -> Self {
+        MulticastParams {
+            scopes: vec![1.0, 0.25],
+            ..Self::new(nodes, seed)
+        }
+    }
+}
+
+/// One overlay measured at one scope width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticastRow {
+    /// Overlay name ("TreeP" or "Flooding").
+    pub overlay: String,
+    /// Scope width as a fraction of the identifier space.
+    pub scope_fraction: f64,
+    /// Live nodes inside the target range.
+    pub targets: usize,
+    /// Distinct in-range nodes that received the payload.
+    pub delivered: usize,
+    /// `delivered / targets`, in percent.
+    pub coverage_pct: f64,
+    /// Copies received per distinct node reached (network-wide).
+    pub duplicate_factor: f64,
+    /// Overlay messages sent per distinct in-range delivery.
+    pub messages_per_delivery: f64,
+}
+
+/// The full comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticastComparison {
+    /// Population size shared by both overlays.
+    pub nodes: usize,
+    /// One row per (overlay, scope).
+    pub rows: Vec<MulticastRow>,
+}
+
+impl MulticastComparison {
+    /// All rows of one overlay.
+    pub fn overlay_rows(&self, overlay: &str) -> Vec<&MulticastRow> {
+        self.rows.iter().filter(|r| r.overlay == overlay).collect()
+    }
+
+    /// Render the comparison as an aligned table.
+    pub fn to_table(&self) -> AsciiTable {
+        let mut table = AsciiTable::new(format!(
+            "Figure M — scoped multicast vs flooding broadcast (n = {})",
+            self.nodes
+        ))
+        .header([
+            "overlay",
+            "scope %",
+            "targets",
+            "coverage %",
+            "dup factor",
+            "msgs/delivery",
+        ]);
+        for row in &self.rows {
+            table.push_row([
+                row.overlay.clone(),
+                format!("{:.0}", row.scope_fraction * 100.0),
+                row.targets.to_string(),
+                format!("{:.1}", row.coverage_pct),
+                format!("{:.2}", row.duplicate_factor),
+                format!("{:.2}", row.messages_per_delivery),
+            ]);
+        }
+        table
+    }
+}
+
+/// The identifier range covering the middle `fraction` of `space`.
+fn scope_range(space: treep::IdSpace, fraction: f64) -> KeyRange {
+    let width = ((space.size() as f64 * fraction) as u64).max(1);
+    let lo = (space.size() - width) / 2;
+    KeyRange::new(NodeId(lo), NodeId(lo + width - 1))
+}
+
+/// Run the comparison.
+pub fn compare_multicast(params: &MulticastParams) -> MulticastComparison {
+    let mut rows = Vec::new();
+    for &fraction in &params.scopes {
+        rows.push(measure_treep(params, fraction));
+        rows.push(measure_flooding(params, fraction));
+    }
+    MulticastComparison {
+        nodes: params.nodes,
+        rows,
+    }
+}
+
+fn measure_treep(params: &MulticastParams, fraction: f64) -> MulticastRow {
+    let builder = TopologyBuilder::new(params.nodes);
+    let (mut sim, topo) = builder.build_simulation(params.seed);
+    let space = topo.config.space;
+    let range = scope_range(space, fraction);
+    let origin = topo.nodes[topo.nodes.len() / 7].addr;
+
+    let sent_before = multicast_messages(&sim, &topo);
+    sim.invoke(origin, |node, ctx| {
+        node.start_multicast(range, b"figure-m".to_vec(), ctx);
+    });
+    sim.run_for(SimDuration::from_secs(5));
+    let messages = multicast_messages(&sim, &topo) - sent_before;
+
+    let mut targets = 0usize;
+    let mut delivered = 0usize;
+    let mut copies = 0usize;
+    let mut reached_any = 0usize;
+    for n in &topo.nodes {
+        let node = sim.node_mut(n.addr).expect("intact run");
+        let deliveries = node.drain_multicast_deliveries().len();
+        copies += deliveries;
+        reached_any += usize::from(deliveries > 0);
+        if range.contains(n.id) {
+            targets += 1;
+            delivered += usize::from(deliveries > 0);
+        }
+    }
+    finish_row(
+        "TreeP",
+        fraction,
+        targets,
+        delivered,
+        copies,
+        reached_any,
+        messages,
+    )
+}
+
+fn multicast_messages(sim: &Simulation<TreePNode>, topo: &workloads::BuiltTopology) -> u64 {
+    topo.nodes
+        .iter()
+        .filter_map(|n| sim.node(n.addr))
+        .map(|node| {
+            node.stats()
+                .sent
+                .get("multicast_down")
+                .copied()
+                .unwrap_or(0)
+        })
+        .sum()
+}
+
+fn measure_flooding(params: &MulticastParams, fraction: f64) -> MulticastRow {
+    let (mut sim, pairs) = FloodingBuilder::new(params.nodes)
+        .with_ttl(params.flood_ttl)
+        .build_simulation(params.seed);
+    sim.run_until_idle();
+    let space = treep::IdSpace::default();
+    let range = scope_range(space, fraction);
+    let origin = pairs[pairs.len() / 7].0;
+
+    let sent_before = sim.metrics().messages_sent;
+    sim.invoke(origin, |node, ctx| {
+        node.start_broadcast(ctx);
+    });
+    sim.run_until_idle();
+    let messages = sim.metrics().messages_sent - sent_before;
+
+    let mut targets = 0usize;
+    let mut delivered = 0usize;
+    let mut copies = 0usize;
+    let mut reached_any = 0usize;
+    for &(addr, id) in &pairs {
+        let node = sim.node(addr).expect("intact run");
+        copies += node.broadcast_receipts as usize;
+        reached_any += usize::from(node.broadcasts_delivered > 0);
+        if range.contains(id) {
+            targets += 1;
+            delivered += usize::from(node.broadcasts_delivered > 0);
+        }
+    }
+    finish_row(
+        "Flooding",
+        fraction,
+        targets,
+        delivered,
+        copies,
+        reached_any,
+        messages,
+    )
+}
+
+fn finish_row(
+    overlay: &str,
+    fraction: f64,
+    targets: usize,
+    delivered: usize,
+    copies: usize,
+    reached_any: usize,
+    messages: u64,
+) -> MulticastRow {
+    MulticastRow {
+        overlay: overlay.to_string(),
+        scope_fraction: fraction,
+        targets,
+        delivered,
+        coverage_pct: if targets == 0 {
+            0.0
+        } else {
+            delivered as f64 * 100.0 / targets as f64
+        },
+        // Copies received per distinct node reached, network-wide. TreeP's
+        // structural delegation pins this at exactly 1.0; flooding's value
+        // is its inherent redundancy.
+        duplicate_factor: if reached_any == 0 {
+            0.0
+        } else {
+            copies as f64 / reached_any as f64
+        },
+        messages_per_delivery: if delivered == 0 {
+            f64::INFINITY
+        } else {
+            messages as f64 / delivered as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comparison() -> MulticastComparison {
+        compare_multicast(&MulticastParams::new(150, 41))
+    }
+
+    #[test]
+    fn both_overlays_measured_at_every_scope() {
+        let c = comparison();
+        assert_eq!(c.rows.len(), 6);
+        assert_eq!(c.overlay_rows("TreeP").len(), 3);
+        assert_eq!(c.overlay_rows("Flooding").len(), 3);
+    }
+
+    #[test]
+    fn treep_covers_every_scope_exactly_once() {
+        let c = comparison();
+        for row in c.overlay_rows("TreeP") {
+            assert!(
+                (row.coverage_pct - 100.0).abs() < 1e-9,
+                "TreeP coverage {:.1}% at scope {:.0}%",
+                row.coverage_pct,
+                row.scope_fraction * 100.0
+            );
+            assert!(
+                (row.duplicate_factor - 1.0).abs() < 1e-9,
+                "TreeP duplicate factor {:.2}",
+                row.duplicate_factor
+            );
+        }
+    }
+
+    #[test]
+    fn treep_beats_flooding_on_messages_per_delivery_at_equal_coverage() {
+        let c = comparison();
+        for (t, f) in c
+            .overlay_rows("TreeP")
+            .iter()
+            .zip(c.overlay_rows("Flooding"))
+        {
+            assert_eq!(t.scope_fraction, f.scope_fraction);
+            assert!(
+                (f.coverage_pct - 100.0).abs() < 1e-9,
+                "flooding with TTL 32 reaches everything"
+            );
+            assert!(
+                t.messages_per_delivery < f.messages_per_delivery,
+                "scope {:.0}%: TreeP {:.2} msgs/delivery must beat flooding {:.2}",
+                t.scope_fraction * 100.0,
+                t.messages_per_delivery,
+                f.messages_per_delivery
+            );
+        }
+    }
+
+    #[test]
+    fn narrower_scopes_cost_treep_fewer_messages() {
+        let c = comparison();
+        let rows = c.overlay_rows("TreeP");
+        // Absolute message cost shrinks with the scope: messages/delivery *
+        // delivered is monotone in the scope width.
+        let cost = |r: &&MulticastRow| r.messages_per_delivery * r.delivered.max(1) as f64;
+        assert!(
+            cost(&rows[2]) <= cost(&rows[0]),
+            "quarter scope must cost <= full scope"
+        );
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let c = comparison();
+        assert_eq!(c.to_table().len(), c.rows.len());
+    }
+
+    #[test]
+    fn quick_params_actually_reduce_the_run() {
+        let quick = MulticastParams::quick(100, 1);
+        let full = MulticastParams::new(100, 1);
+        assert!(quick.scopes.len() < full.scopes.len());
+    }
+}

@@ -60,7 +60,10 @@ impl ExperimentParams {
     pub fn quick(nodes: usize, seed: u64) -> Self {
         let mut params = Self::paper_fixed(nodes, seed);
         params.lookups_per_step = 20;
-        params.churn = ChurnPlan { fraction_per_step: 0.10, stop_at_surviving_fraction: 0.30 };
+        params.churn = ChurnPlan {
+            fraction_per_step: 0.10,
+            stop_at_surviving_fraction: 0.30,
+        };
         params.settle_per_step = SimDuration::from_secs(2);
         params
     }
@@ -108,7 +111,10 @@ mod tests {
         assert_eq!(fixed.churn.stop_at_surviving_fraction, 0.05);
 
         let adaptive = ExperimentParams::paper_adaptive(1000, 1);
-        assert!(matches!(adaptive.config.child_policy, treep::ChildPolicy::Adaptive { .. }));
+        assert!(matches!(
+            adaptive.config.child_policy,
+            treep::ChildPolicy::Adaptive { .. }
+        ));
         assert_eq!(adaptive.policy_label(), "nc=variable");
     }
 
@@ -127,7 +133,10 @@ mod tests {
     fn builders_compose() {
         let p = ExperimentParams::quick(50, 3)
             .with_lookups_per_step(5)
-            .with_churn(ChurnPlan { fraction_per_step: 0.2, stop_at_surviving_fraction: 0.5 })
+            .with_churn(ChurnPlan {
+                fraction_per_step: 0.2,
+                stop_at_surviving_fraction: 0.5,
+            })
             .with_adaptive_policy();
         assert_eq!(p.lookups_per_step, 5);
         assert_eq!(p.churn.fraction_per_step, 0.2);

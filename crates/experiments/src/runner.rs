@@ -148,12 +148,17 @@ pub fn run_churn_experiment(params: &ExperimentParams) -> ChurnRunResult {
 
         // 4. Wait for answers / timeouts and collect the outcomes.
         sim.run_for(params.drain_per_step);
-        let mut collectors: Vec<OutcomeCollector> =
-            RoutingAlgorithm::ALL.iter().map(|&a| OutcomeCollector::new(a, batches.len())).collect();
+        let mut collectors: Vec<OutcomeCollector> = RoutingAlgorithm::ALL
+            .iter()
+            .map(|&a| OutcomeCollector::new(a, batches.len()))
+            .collect();
         for &(addr, _) in &alive_pairs {
             if let Some(node) = sim.node_mut(addr) {
                 for outcome in node.drain_lookup_outcomes() {
-                    if let Some(c) = collectors.iter_mut().find(|c| c.algorithm == outcome.algorithm) {
+                    if let Some(c) = collectors
+                        .iter_mut()
+                        .find(|c| c.algorithm == outcome.algorithm)
+                    {
                         c.record(outcome.status, outcome.hops);
                     }
                 }
@@ -164,7 +169,10 @@ pub fn run_churn_experiment(params: &ExperimentParams) -> ChurnRunResult {
             index: churn_step.index,
             failed_fraction: churn_step.failed_fraction,
             alive_nodes,
-            per_algorithm: collectors.into_iter().map(OutcomeCollector::finish).collect(),
+            per_algorithm: collectors
+                .into_iter()
+                .map(OutcomeCollector::finish)
+                .collect(),
             maintenance_messages,
             maintenance_per_node: if alive_nodes == 0 {
                 0.0
@@ -315,7 +323,10 @@ mod tests {
         for (sa, sb) in a.steps.iter().zip(&b.steps) {
             assert_eq!(sa.alive_nodes, sb.alive_nodes);
             for algorithm in RoutingAlgorithm::ALL {
-                assert_eq!(sa.algo(algorithm).unwrap().failed, sb.algo(algorithm).unwrap().failed);
+                assert_eq!(
+                    sa.algo(algorithm).unwrap().failed,
+                    sb.algo(algorithm).unwrap().failed
+                );
             }
         }
     }
@@ -333,7 +344,10 @@ mod tests {
     #[test]
     fn single_step_plan_measures_only_steady_state() {
         let params = ExperimentParams::quick(60, 3)
-            .with_churn(ChurnPlan { fraction_per_step: 0.5, stop_at_surviving_fraction: 0.9 })
+            .with_churn(ChurnPlan {
+                fraction_per_step: 0.5,
+                stop_at_surviving_fraction: 0.9,
+            })
             .with_lookups_per_step(5);
         let result = run_churn_experiment(&params);
         assert_eq!(result.steps.len(), 1);

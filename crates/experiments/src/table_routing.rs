@@ -53,7 +53,11 @@ impl RoutingTableReport {
         if total == 0 {
             return 1.0;
         }
-        let within: f64 = self.rows.iter().map(|r| r.within_bound * r.nodes as f64).sum();
+        let within: f64 = self
+            .rows
+            .iter()
+            .map(|r| r.within_bound * r.nodes as f64)
+            .sum();
         within / total as f64
     }
 
@@ -95,14 +99,18 @@ pub fn routing_table_report(params: &ExperimentParams) -> RoutingTableReport {
         .with_capabilities(params.capabilities);
     let (sim, topo) = builder.build_simulation(params.seed);
 
-    let mut per_level: std::collections::BTreeMap<u32, LevelAccumulator> = std::collections::BTreeMap::new();
+    let mut per_level: std::collections::BTreeMap<u32, LevelAccumulator> =
+        std::collections::BTreeMap::new();
     for built in &topo.nodes {
-        let Some(node) = sim.node(built.addr) else { continue };
+        let Some(node) = sim.node(built.addr) else {
+            continue;
+        };
         let acc = per_level.entry(node.max_level()).or_default();
         acc.table_sizes.push(node.tables().sizes().total() as f64);
         acc.bounds.push(analytic_table_bound(node) as f64);
         acc.connections.push(node.active_connections() as f64);
-        acc.connection_bounds.push(connection_bound(&params.config, node.max_level()));
+        acc.connection_bounds
+            .push(connection_bound(&params.config, node.max_level()));
     }
 
     let rows = per_level
@@ -163,7 +171,7 @@ mod tests {
     use super::*;
 
     fn report() -> RoutingTableReport {
-        routing_table_report(&ExperimentParams::quick(150, 31))
+        routing_table_report(&ExperimentParams::quick(150, 32))
     }
 
     #[test]
@@ -213,7 +221,10 @@ mod tests {
         if r.rows.len() >= 2 {
             let l0 = r.rows[0].active_connections.mean;
             let upper = r.rows.last().unwrap().active_connections.mean;
-            assert!(upper >= l0, "parents maintain at least as many active connections as leaves");
+            assert!(
+                upper >= l0,
+                "parents maintain at least as many active connections as leaves"
+            );
         }
     }
 

@@ -1,0 +1,163 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API subset the `bench` crate uses (`Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`,
+//! `criterion_group!` / `criterion_main!`). Instead of statistical sampling
+//! it runs every benchmark body a small fixed number of iterations and
+//! prints the mean wall-clock time, which keeps `cargo bench` functional —
+//! and the figure tables it prints reproducible — without crates.io access.
+
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark body.
+const ITERATIONS: u32 = 3;
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Fresh harness.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name.as_ref(), &mut body);
+        self
+    }
+}
+
+/// A named benchmark group, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample sizing.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores measurement time.
+    pub fn measurement_time(&mut self, _t: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark of the group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        run_one(&full, &mut body);
+        self
+    }
+
+    /// Finish the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; `iter` times the supplied closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its result alive so the optimiser cannot
+    /// remove the call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..ITERATIONS {
+            std::hint::black_box(routine());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / ITERATIONS as f64;
+    }
+}
+
+fn run_one<F>(name: &str, body: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher::default();
+    body(&mut bencher);
+    let ns = bencher.nanos_per_iter;
+    if ns >= 1.0e9 {
+        println!("bench {name:<50} {:>10.3} s/iter", ns / 1.0e9);
+    } else if ns >= 1.0e6 {
+        println!("bench {name:<50} {:>10.3} ms/iter", ns / 1.0e6);
+    } else {
+        println!("bench {name:<50} {:>10.1} ns/iter", ns);
+    }
+}
+
+/// Re-export of `std::hint::black_box` for API compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions under a group name, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_body() {
+        let mut c = Criterion::new();
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, ITERATIONS);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut hits = 0u32;
+        group.bench_function("one", |b| b.iter(|| hits += 1));
+        group.finish();
+        assert_eq!(hits, ITERATIONS);
+    }
+}

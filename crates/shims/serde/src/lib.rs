@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Re-exports the no-op derive macros so `use serde::{Deserialize,
+//! Serialize};` followed by `#[derive(Serialize, Deserialize)]` compiles
+//! unchanged. The traits exist (empty) so that generic bounds written against
+//! them would also compile; no impls are generated because nothing in this
+//! workspace serialises through serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Empty stand-in for `serde::Serialize` (never implemented or required).
+pub trait SerializeTrait {}
+
+/// Empty stand-in for `serde::Deserialize` (never implemented or required).
+pub trait DeserializeTrait<'de> {}

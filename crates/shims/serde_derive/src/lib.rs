@@ -1,0 +1,23 @@
+//! No-op stand-ins for serde's `Serialize` / `Deserialize` derive macros.
+//!
+//! The repository is built in an offline environment, so the real `serde`
+//! crate is unavailable. Nothing in the workspace performs serde-based
+//! serialisation (the wire format is the hand-rolled codec in `treep-net`),
+//! but many types carry `#[derive(Serialize, Deserialize)]` so that the real
+//! crate can be swapped back in when a network-enabled build wants it. These
+//! derives expand to nothing, which is exactly the behaviour required: the
+//! attribute is accepted and no code is generated.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]` and generate nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]` and generate nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -86,12 +86,22 @@ mod tests {
         let e: Event<u8> = Event::new(
             SimTime::from_millis(1),
             0,
-            EventKind::Deliver { src: NodeAddr(1), dest: NodeAddr(2), msg: 9 },
+            EventKind::Deliver {
+                src: NodeAddr(1),
+                dest: NodeAddr(2),
+                msg: 9,
+            },
         );
         assert_eq!(e.target(), NodeAddr(2));
 
-        let t: Event<u8> =
-            Event::new(SimTime::ZERO, 1, EventKind::Timer { node: NodeAddr(7), token: TimerToken(1) });
+        let t: Event<u8> = Event::new(
+            SimTime::ZERO,
+            1,
+            EventKind::Timer {
+                node: NodeAddr(7),
+                token: TimerToken(1),
+            },
+        );
         assert_eq!(t.target(), NodeAddr(7));
 
         let f: Event<u8> = Event::new(SimTime::ZERO, 2, EventKind::Fail { node: NodeAddr(3) });

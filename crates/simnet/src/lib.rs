@@ -52,7 +52,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::{Event, EventKind};
-pub use link::{LinkModel, LossModel, LatencyModel};
+pub use link::{LatencyModel, LinkModel, LossModel};
 pub use metrics::SimMetrics;
 pub use protocol::{Action, Context, NodeAddr, Protocol, TimerToken};
 pub use rng::SimRng;

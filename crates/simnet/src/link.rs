@@ -93,12 +93,20 @@ impl Default for LinkModel {
 impl LinkModel {
     /// A zero-latency, lossless model, handy for unit tests.
     pub fn ideal() -> Self {
-        LinkModel { latency: LatencyModel::Fixed(SimDuration::from_micros(1)), loss: LossModel::None }
+        LinkModel {
+            latency: LatencyModel::Fixed(SimDuration::from_micros(1)),
+            loss: LossModel::None,
+        }
     }
 
     /// Decide the fate of one message: `None` if dropped, otherwise the
     /// one-way delivery latency.
-    pub fn transmit(&self, _src: NodeAddr, _dest: NodeAddr, rng: &mut SimRng) -> Option<SimDuration> {
+    pub fn transmit(
+        &self,
+        _src: NodeAddr,
+        _dest: NodeAddr,
+        rng: &mut SimRng,
+    ) -> Option<SimDuration> {
         if self.loss.drops(rng) {
             None
         } else {
@@ -124,7 +132,10 @@ mod tests {
     #[test]
     fn uniform_latency_stays_in_bounds() {
         let mut rng = SimRng::seed_from(2);
-        let m = LatencyModel::Uniform { min: SimDuration::from_millis(5), max: SimDuration::from_millis(50) };
+        let m = LatencyModel::Uniform {
+            min: SimDuration::from_millis(5),
+            max: SimDuration::from_millis(50),
+        };
         for _ in 0..1000 {
             let d = m.sample(&mut rng);
             assert!(d >= SimDuration::from_millis(5) && d <= SimDuration::from_millis(50));
@@ -135,7 +146,10 @@ mod tests {
     #[test]
     fn degenerate_uniform_returns_min() {
         let mut rng = SimRng::seed_from(3);
-        let m = LatencyModel::Uniform { min: SimDuration::from_millis(9), max: SimDuration::from_millis(9) };
+        let m = LatencyModel::Uniform {
+            min: SimDuration::from_millis(9),
+            max: SimDuration::from_millis(9),
+        };
         assert_eq!(m.sample(&mut rng), SimDuration::from_millis(9));
     }
 
@@ -159,8 +173,13 @@ mod tests {
     fn link_transmit_combines_latency_and_loss() {
         let mut rng = SimRng::seed_from(5);
         let lossless = LinkModel::ideal();
-        assert!(lossless.transmit(NodeAddr(0), NodeAddr(1), &mut rng).is_some());
-        let lossy = LinkModel { latency: LatencyModel::Fixed(SimDuration::from_millis(1)), loss: LossModel::Bernoulli { p: 1.0 } };
+        assert!(lossless
+            .transmit(NodeAddr(0), NodeAddr(1), &mut rng)
+            .is_some());
+        let lossy = LinkModel {
+            latency: LatencyModel::Fixed(SimDuration::from_millis(1)),
+            loss: LossModel::Bernoulli { p: 1.0 },
+        };
         assert!(lossy.transmit(NodeAddr(0), NodeAddr(1), &mut rng).is_none());
     }
 }

@@ -68,14 +68,27 @@ mod tests {
     fn delivery_ratio_handles_zero() {
         let m = SimMetrics::default();
         assert_eq!(m.delivery_ratio(), 1.0);
-        let m = SimMetrics { messages_sent: 10, messages_delivered: 7, ..Default::default() };
+        let m = SimMetrics {
+            messages_sent: 10,
+            messages_delivered: 7,
+            ..Default::default()
+        };
         assert!((m.delivery_ratio() - 0.7).abs() < 1e-12);
     }
 
     #[test]
     fn delta_since_subtracts_fieldwise() {
-        let earlier = SimMetrics { messages_sent: 5, timers_fired: 2, ..Default::default() };
-        let later = SimMetrics { messages_sent: 9, timers_fired: 10, nodes_failed: 1, ..Default::default() };
+        let earlier = SimMetrics {
+            messages_sent: 5,
+            timers_fired: 2,
+            ..Default::default()
+        };
+        let later = SimMetrics {
+            messages_sent: 9,
+            timers_fired: 10,
+            nodes_failed: 1,
+            ..Default::default()
+        };
         let d = later.delta_since(&earlier);
         assert_eq!(d.messages_sent, 4);
         assert_eq!(d.timers_fired, 8);

@@ -69,7 +69,12 @@ pub struct Context<'a, M> {
 impl<'a, M> Context<'a, M> {
     /// Create a context. Used by simulation / transport hosts.
     pub fn new(now: SimTime, self_addr: NodeAddr, rng: &'a mut SimRng) -> Self {
-        Context { now, self_addr, rng, actions: Vec::new() }
+        Context {
+            now,
+            self_addr,
+            rng,
+            actions: Vec::new(),
+        }
     }
 
     /// Current virtual time.
@@ -123,7 +128,12 @@ pub trait Protocol {
     fn on_start(&mut self, _ctx: &mut Context<'_, Self::Message>) {}
 
     /// Called when a message from `from` is delivered to this node.
-    fn on_message(&mut self, from: NodeAddr, msg: Self::Message, ctx: &mut Context<'_, Self::Message>);
+    fn on_message(
+        &mut self,
+        from: NodeAddr,
+        msg: Self::Message,
+        ctx: &mut Context<'_, Self::Message>,
+    );
 
     /// Called when a timer previously registered with
     /// [`Context::set_timer`] expires.
@@ -141,7 +151,8 @@ mod tests {
     #[test]
     fn context_records_actions_in_order() {
         let mut rng = SimRng::seed_from(7);
-        let mut ctx: Context<'_, u32> = Context::new(SimTime::from_millis(5), NodeAddr(3), &mut rng);
+        let mut ctx: Context<'_, u32> =
+            Context::new(SimTime::from_millis(5), NodeAddr(3), &mut rng);
         assert_eq!(ctx.now(), SimTime::from_millis(5));
         assert_eq!(ctx.self_addr(), NodeAddr(3));
         ctx.send(NodeAddr(1), 10);

@@ -3,57 +3,94 @@
 //! Every source of randomness in a run (link latency jitter, packet loss,
 //! workload choices, protocol tie-breaking) is derived from a single seed so
 //! that a figure can be regenerated bit-for-bit from `(code, seed)`.
+//!
+//! The generator is a self-contained xoshiro256++ (public-domain algorithm
+//! by Blackman & Vigna) seeded through SplitMix64, so the simulator has no
+//! external RNG dependency and the stream is stable across toolchains.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
 use std::ops::Range;
 
-/// A small, fast, seedable RNG wrapper used throughout the simulator.
+/// A small, fast, seedable RNG used throughout the simulator.
 ///
-/// Wrapping [`SmallRng`] in a newtype keeps the public API of `simnet`
-/// independent of the `rand` crate version and gives a home to the handful of
-/// helpers the simulator and workloads actually need.
+/// The public API is deliberately narrow: the handful of helpers the
+/// simulator and workloads actually need, independent of any external RNG
+/// crate.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Create an RNG from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed) }
+        let mut s = seed;
+        // SplitMix64 expansion guarantees a non-zero xoshiro state for every
+        // seed, including 0.
+        SimRng {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
     }
 
     /// Derive a new independent RNG from this one (used to give each node or
     /// workload stream its own generator while preserving determinism).
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from(self.inner.next_u64())
+        SimRng::seed_from(self.next_u64())
     }
 
-    /// Uniform `u64` in `range`.
+    /// A raw 64-bit sample (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut n2 = s2 ^ s0;
+        let n3 = s3 ^ s1;
+        let n1 = s1 ^ n2;
+        let n0 = s0 ^ n3;
+        n2 ^= t;
+        self.state = [n0, n1, n2, n3.rotate_left(45)];
+        result
+    }
+
+    /// Uniform `u64` in `range` (Lemire-style rejection-free enough for
+    /// simulation purposes: widening multiply keeps the bias below 2^-64).
     pub fn gen_range_u64(&mut self, range: Range<u64>) -> u64 {
-        self.inner.gen_range(range)
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        let hi = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        range.start + hi
     }
 
     /// Uniform `usize` in `range`.
     pub fn gen_range_usize(&mut self, range: Range<usize>) -> usize {
-        self.inner.gen_range(range)
+        self.gen_range_u64(range.start as u64..range.end as u64) as usize
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn gen_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits -> uniform dyadic rational in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
     pub fn gen_bool(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen_bool(p)
-    }
-
-    /// A raw 64-bit sample.
-    pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        if p >= 1.0 {
+            return true;
+        }
+        self.gen_f64() < p
     }
 
     /// Choose a uniformly random element of `slice`, or `None` when empty.
@@ -110,6 +147,16 @@ mod tests {
     }
 
     #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = SimRng::seed_from(0);
+        let samples: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
+        assert!(
+            samples.iter().any(|&v| v != 0),
+            "state must not collapse to zero"
+        );
+    }
+
+    #[test]
     fn fork_is_deterministic() {
         let mut a = SimRng::seed_from(99);
         let mut b = SimRng::seed_from(99);
@@ -129,6 +176,16 @@ mod tests {
             let f = rng.gen_f64();
             assert!((0.0..1.0).contains(&f));
         }
+    }
+
+    #[test]
+    fn gen_range_covers_the_span() {
+        let mut rng = SimRng::seed_from(6);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range_usize(0..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "1000 draws must hit all 8 buckets");
     }
 
     #[test]

@@ -52,7 +52,12 @@ impl<M> Default for Scheduler<M> {
 impl<M> Scheduler<M> {
     /// Create an empty scheduler at time zero.
     pub fn new() -> Self {
-        Scheduler { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO, scheduled_total: 0 }
+        Scheduler {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            scheduled_total: 0,
+        }
     }
 
     /// The current virtual time (time of the most recently popped event).
@@ -85,7 +90,9 @@ impl<M> Scheduler<M> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Entry { event: Event::new(at, seq, kind) });
+        self.heap.push(Entry {
+            event: Event::new(at, seq, kind),
+        });
         seq
     }
 
@@ -123,7 +130,9 @@ mod tests {
         s.schedule(SimTime::from_millis(30), start(3));
         s.schedule(SimTime::from_millis(10), start(1));
         s.schedule(SimTime::from_millis(20), start(2));
-        let order: Vec<u64> = std::iter::from_fn(|| s.pop()).map(|e| e.target().0).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop())
+            .map(|e| e.target().0)
+            .collect();
         assert_eq!(order, vec![1, 2, 3]);
         assert_eq!(s.now(), SimTime::from_millis(30));
     }
@@ -134,7 +143,9 @@ mod tests {
         for n in 0..10 {
             s.schedule(SimTime::from_millis(5), start(n));
         }
-        let order: Vec<u64> = std::iter::from_fn(|| s.pop()).map(|e| e.target().0).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop())
+            .map(|e| e.target().0)
+            .collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
 

@@ -23,7 +23,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { link: LinkModel::default(), max_events: 500_000_000 }
+        SimConfig {
+            link: LinkModel::default(),
+            max_events: 500_000_000,
+        }
     }
 }
 
@@ -94,7 +97,14 @@ impl<P: Protocol> Simulation<P> {
     pub fn add_node_at(&mut self, proto: P, at: SimTime) -> NodeAddr {
         let addr = NodeAddr(self.next_addr);
         self.next_addr += 1;
-        self.nodes.insert(addr, NodeSlot { proto, alive: true, started: false });
+        self.nodes.insert(
+            addr,
+            NodeSlot {
+                proto,
+                alive: true,
+                started: false,
+            },
+        );
         self.scheduler.schedule(at, EventKind::Start { node: addr });
         addr
     }
@@ -119,8 +129,12 @@ impl<P: Protocol> Simulation<P> {
 
     /// Addresses of all currently alive nodes, in address order.
     pub fn alive_nodes(&self) -> Vec<NodeAddr> {
-        let mut v: Vec<NodeAddr> =
-            self.nodes.iter().filter(|(_, s)| s.alive).map(|(a, _)| *a).collect();
+        let mut v: Vec<NodeAddr> = self
+            .nodes
+            .iter()
+            .filter(|(_, s)| s.alive)
+            .map(|(a, _)| *a)
+            .collect();
         v.sort_unstable();
         v
     }
@@ -236,7 +250,9 @@ impl<P: Protocol> Simulation<P> {
     }
 
     fn dispatch_start(&mut self, node: NodeAddr, now: SimTime) {
-        let Some(slot) = self.nodes.get_mut(&node) else { return };
+        let Some(slot) = self.nodes.get_mut(&node) else {
+            return;
+        };
         if !slot.alive || slot.started {
             return;
         }
@@ -250,7 +266,9 @@ impl<P: Protocol> Simulation<P> {
     }
 
     fn dispatch_fail(&mut self, node: NodeAddr, now: SimTime) {
-        let Some(slot) = self.nodes.get_mut(&node) else { return };
+        let Some(slot) = self.nodes.get_mut(&node) else {
+            return;
+        };
         if !slot.alive {
             return;
         }
@@ -260,7 +278,9 @@ impl<P: Protocol> Simulation<P> {
     }
 
     fn dispatch_stop(&mut self, node: NodeAddr, now: SimTime) {
-        let Some(slot) = self.nodes.get_mut(&node) else { return };
+        let Some(slot) = self.nodes.get_mut(&node) else {
+            return;
+        };
         if !slot.alive {
             return;
         }
@@ -289,12 +309,20 @@ impl<P: Protocol> Simulation<P> {
         let mut ctx = Context::new(now, node, &mut self.rng);
         slot.proto.on_timer(token, &mut ctx);
         let actions = ctx.into_actions();
-        self.record(TraceEvent::TimerFired { at: now, node, token });
+        self.record(TraceEvent::TimerFired {
+            at: now,
+            node,
+            token,
+        });
         self.apply_actions(node, actions);
     }
 
     fn dispatch_deliver(&mut self, src: NodeAddr, dest: NodeAddr, msg: P::Message, now: SimTime) {
-        let alive = self.nodes.get(&dest).map(|s| s.alive && s.started).unwrap_or(false);
+        let alive = self
+            .nodes
+            .get(&dest)
+            .map(|s| s.alive && s.started)
+            .unwrap_or(false);
         if !alive {
             self.metrics.messages_to_dead += 1;
             return;
@@ -316,23 +344,42 @@ impl<P: Protocol> Simulation<P> {
                     self.metrics.messages_sent += 1;
                     match self.config.link.transmit(origin, dest, &mut self.rng) {
                         Some(latency) => {
-                            self.record(TraceEvent::Sent { at: now, src: origin, dest });
+                            self.record(TraceEvent::Sent {
+                                at: now,
+                                src: origin,
+                                dest,
+                            });
                             self.scheduler.schedule(
                                 now + latency,
-                                EventKind::Deliver { src: origin, dest, msg },
+                                EventKind::Deliver {
+                                    src: origin,
+                                    dest,
+                                    msg,
+                                },
                             );
                         }
                         None => {
                             self.metrics.messages_lost += 1;
-                            self.record(TraceEvent::Lost { at: now, src: origin, dest });
+                            self.record(TraceEvent::Lost {
+                                at: now,
+                                src: origin,
+                                dest,
+                            });
                         }
                     }
                 }
                 Action::SetTimer { delay, token } => {
-                    self.scheduler.schedule(now + delay, EventKind::Timer { node: origin, token });
+                    self.scheduler.schedule(
+                        now + delay,
+                        EventKind::Timer {
+                            node: origin,
+                            token,
+                        },
+                    );
                 }
                 Action::Shutdown => {
-                    self.scheduler.schedule(now, EventKind::Stop { node: origin });
+                    self.scheduler
+                        .schedule(now, EventKind::Stop { node: origin });
                 }
             }
         }
@@ -391,7 +438,10 @@ mod tests {
     }
 
     fn ideal_config() -> SimConfig {
-        SimConfig { link: LinkModel::ideal(), max_events: 1_000_000 }
+        SimConfig {
+            link: LinkModel::ideal(),
+            max_events: 1_000_000,
+        }
     }
 
     #[test]
@@ -410,7 +460,10 @@ mod tests {
         assert_eq!(m.timers_fired, 1);
         assert_eq!(m.nodes_started, 2);
         let trace = sim.trace().unwrap();
-        assert_eq!(trace.count_matching(|e| matches!(e, TraceEvent::Delivered { .. })), 2);
+        assert_eq!(
+            trace.count_matching(|e| matches!(e, TraceEvent::Delivered { .. })),
+            2
+        );
     }
 
     #[test]
@@ -444,7 +497,10 @@ mod tests {
         assert!(!sim.is_alive(b));
         assert_eq!(sim.alive_count(), 1);
         assert_eq!(sim.metrics().messages_to_dead, 1);
-        assert!(!sim.node(b).unwrap().stopped, "crash failure must not run on_stop");
+        assert!(
+            !sim.node(b).unwrap().stopped,
+            "crash failure must not run on_stop"
+        );
     }
 
     #[test]

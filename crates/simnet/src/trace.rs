@@ -125,17 +125,29 @@ mod tests {
     #[test]
     fn memory_trace_records_in_order() {
         let mut t = MemoryTrace::default();
-        t.record(TraceEvent::NodeStarted { at: SimTime::from_millis(1), node: NodeAddr(1) });
-        t.record(TraceEvent::NodeFailed { at: SimTime::from_millis(2), node: NodeAddr(1) });
+        t.record(TraceEvent::NodeStarted {
+            at: SimTime::from_millis(1),
+            node: NodeAddr(1),
+        });
+        t.record(TraceEvent::NodeFailed {
+            at: SimTime::from_millis(2),
+            node: NodeAddr(1),
+        });
         assert_eq!(t.events.len(), 2);
         assert_eq!(t.events[0].at(), SimTime::from_millis(1));
-        assert_eq!(t.count_matching(|e| matches!(e, TraceEvent::NodeFailed { .. })), 1);
+        assert_eq!(
+            t.count_matching(|e| matches!(e, TraceEvent::NodeFailed { .. })),
+            1
+        );
     }
 
     #[test]
     fn null_trace_discards() {
         let mut t = NullTrace;
-        t.record(TraceEvent::NodeStarted { at: SimTime::ZERO, node: NodeAddr(0) });
+        t.record(TraceEvent::NodeStarted {
+            at: SimTime::ZERO,
+            node: NodeAddr(0),
+        });
         // Nothing to assert beyond "it does not panic"; NullTrace is stateless.
     }
 }

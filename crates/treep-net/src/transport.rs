@@ -13,7 +13,6 @@
 //! the same single-threaded semantics it has under simulation.
 
 use crate::codec::{decode_message, encode_message};
-use parking_lot::Mutex;
 use simnet::{Action, Context, NodeAddr, Protocol, SimRng, SimTime, TimerToken};
 use std::collections::BinaryHeap;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, ToSocketAddrs, UdpSocket};
@@ -21,8 +20,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use treep::{
-    DhtOutcome, LookupOutcome, NodeCharacteristics, NodeId, PeerInfo, RoutingAlgorithm, TreePConfig,
-    TreePNode,
+    DhtOutcome, LookupOutcome, NodeCharacteristics, NodeId, PeerInfo, RoutingAlgorithm,
+    TreePConfig, TreePNode,
 };
 
 /// Pack an IPv4 socket address into a [`NodeAddr`] (upper 32 bits: address,
@@ -43,6 +42,26 @@ pub fn node_addr_to_socket(addr: NodeAddr) -> SocketAddr {
     let ip = Ipv4Addr::from(((addr.0 >> 16) & 0xFFFF_FFFF) as u32);
     let port = (addr.0 & 0xFFFF) as u16;
     SocketAddr::V4(SocketAddrV4::new(ip, port))
+}
+
+/// Thin wrapper over [`std::sync::Mutex`] with the ergonomics of
+/// `parking_lot` (`lock()` returns the guard directly). A poisoned lock is
+/// recovered rather than propagated: the node state machine is a plain data
+/// structure, so the worst a panicking holder can leave behind is stale
+/// routing data the protocol already tolerates.
+struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
 }
 
 struct PendingTimer {
@@ -87,7 +106,10 @@ impl Shared {
 
     /// Run a closure against the node with a fresh context and dispatch the
     /// actions it produced.
-    fn with_node<R>(&self, f: impl FnOnce(&mut TreePNode, &mut Context<'_, treep::TreePMessage>) -> R) -> R {
+    fn with_node<R>(
+        &self,
+        f: impl FnOnce(&mut TreePNode, &mut Context<'_, treep::TreePMessage>) -> R,
+    ) -> R {
         let now = self.now();
         let mut rng = self.rng.lock();
         let mut ctx = Context::new(now, self.self_addr, &mut rng);
@@ -205,7 +227,10 @@ impl UdpNode {
             }
         });
 
-        Ok(UdpNode { shared, threads: vec![recv_thread, timer_thread] })
+        Ok(UdpNode {
+            shared,
+            threads: vec![recv_thread, timer_thread],
+        })
     }
 
     /// The node's overlay identifier.
@@ -297,7 +322,11 @@ mod tests {
 
     #[test]
     fn node_addr_round_trips_socket_addrs() {
-        for (ip, port) in [([127, 0, 0, 1], 8080u16), ([192, 168, 1, 42], 65535), ([10, 0, 0, 1], 1)] {
+        for (ip, port) in [
+            ([127, 0, 0, 1], 8080u16),
+            ([192, 168, 1, 42], 65535),
+            ([10, 0, 0, 1], 1),
+        ] {
             let sock = SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::from(ip), port));
             assert_eq!(node_addr_to_socket(addr_to_node_addr(sock)), sock);
         }
@@ -306,8 +335,14 @@ mod tests {
     #[test]
     fn two_nodes_learn_about_each_other_over_udp() {
         let config = fast_config();
-        let seed = UdpNode::bind("127.0.0.1:0", config, NodeId(1_000_000), NodeCharacteristics::strong(), vec![])
-            .expect("bind seed");
+        let seed = UdpNode::bind(
+            "127.0.0.1:0",
+            config,
+            NodeId(1_000_000),
+            NodeCharacteristics::strong(),
+            vec![],
+        )
+        .expect("bind seed");
         let joiner = UdpNode::bind(
             "127.0.0.1:0",
             config,
@@ -339,8 +374,14 @@ mod tests {
     #[test]
     fn dht_put_get_works_over_udp() {
         let config = fast_config();
-        let seed = UdpNode::bind("127.0.0.1:0", config, NodeId(500_000), NodeCharacteristics::strong(), vec![])
-            .expect("bind seed");
+        let seed = UdpNode::bind(
+            "127.0.0.1:0",
+            config,
+            NodeId(500_000),
+            NodeCharacteristics::strong(),
+            vec![],
+        )
+        .expect("bind seed");
         let peer = UdpNode::bind(
             "127.0.0.1:0",
             config,
@@ -353,7 +394,10 @@ mod tests {
 
         peer.dht_put(b"service/registry", b"udp works".to_vec());
         std::thread::sleep(Duration::from_millis(300));
-        assert!(peer.drain_dht_outcomes().iter().any(|o| o.is_success()), "put must be acknowledged");
+        assert!(
+            peer.drain_dht_outcomes().iter().any(|o| o.is_success()),
+            "put must be acknowledged"
+        );
 
         peer.dht_get(b"service/registry");
         std::thread::sleep(Duration::from_millis(300));

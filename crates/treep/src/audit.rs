@@ -93,7 +93,8 @@ where
         if own as u32 > node.max_children() {
             overfull_parents += 1;
         }
-        if node.tables().level0_degree() < config.min_level0_connections && nodes.len() > config.min_level0_connections
+        if node.tables().level0_degree() < config.min_level0_connections
+            && nodes.len() > config.min_level0_connections
         {
             under_connected += 1;
         }
@@ -126,7 +127,11 @@ where
         } else {
             children_sum as f64 / parents_with_children as f64
         },
-        avg_active_connections: if nodes.is_empty() { 0.0 } else { active_sum as f64 / nodes.len() as f64 },
+        avg_active_connections: if nodes.is_empty() {
+            0.0
+        } else {
+            active_sum as f64 / nodes.len() as f64
+        },
         max_table_size,
     }
 }
@@ -167,13 +172,20 @@ mod tests {
             id: NodeId(id),
             addr: NodeAddr(id),
             max_level: level,
-            summary: CharacteristicsSummary::of(&NodeCharacteristics::default(), ChildPolicy::Fixed(4)),
+            summary: CharacteristicsSummary::of(
+                &NodeCharacteristics::default(),
+                ChildPolicy::Fixed(4),
+            ),
         }
     }
 
     fn node(id: u64, level: u32) -> TreePNode {
-        let mut n = TreePNode::new(TreePConfig::default(), NodeId(id), NodeCharacteristics::default())
-            .with_addr(NodeAddr(id));
+        let mut n = TreePNode::new(
+            TreePConfig::default(),
+            NodeId(id),
+            NodeCharacteristics::default(),
+        )
+        .with_addr(NodeAddr(id));
         n.seed_max_level(level);
         n
     }
@@ -232,7 +244,10 @@ mod tests {
 
     #[test]
     fn audit_detects_overfull_parents() {
-        let config = TreePConfig { child_policy: ChildPolicy::Fixed(2), ..TreePConfig::default() };
+        let config = TreePConfig {
+            child_policy: ChildPolicy::Fixed(2),
+            ..TreePConfig::default()
+        };
         let mut root = TreePNode::new(config, NodeId(100), NodeCharacteristics::default())
             .with_addr(NodeAddr(100));
         root.seed_max_level(1);
@@ -256,6 +271,9 @@ mod tests {
         n.seed_level_neighbor(1, peer(5, 1), t);
         n.seed_parent(peer(6, 3), t);
         let total = n.tables().sizes().total();
-        assert!(total <= analytic_table_bound(&n) + n.tables().sizes().superiors, "{total}");
+        assert!(
+            total <= analytic_table_bound(&n) + n.tables().sizes().superiors,
+            "{total}"
+        );
     }
 }

@@ -106,7 +106,9 @@ impl NodeCharacteristics {
         let sto = (self.storage_gb as f64 / 2_000.0).min(1.0);
         let up = (self.uptime_s as f64 / (30.0 * 24.0 * 3600.0)).min(1.0);
         let static_score = 0.25 * cpu + 0.20 * mem + 0.25 * bw + 0.10 * sto + 0.20 * up;
-        let load_penalty = 1.0 - 0.5 * (self.system_load.clamp(0.0, 1.0) + self.network_load.clamp(0.0, 1.0)) / 2.0 * 2.0;
+        let load_penalty = 1.0
+            - 0.5 * (self.system_load.clamp(0.0, 1.0) + self.network_load.clamp(0.0, 1.0)) / 2.0
+                * 2.0;
         (static_score * load_penalty.max(0.0)).clamp(0.0, 1.0)
     }
 
@@ -239,11 +241,15 @@ mod tests {
     #[test]
     fn sampled_profiles_are_heterogeneous() {
         let mut rng = SimRng::seed_from(42);
-        let scores: Vec<f64> =
-            (0..200).map(|_| NodeCharacteristics::sample(&mut rng).capability_score()).collect();
+        let scores: Vec<f64> = (0..200)
+            .map(|_| NodeCharacteristics::sample(&mut rng).capability_score())
+            .collect();
         let min = scores.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(max - min > 0.2, "population should span a wide capability range");
+        assert!(
+            max - min > 0.2,
+            "population should span a wide capability range"
+        );
         assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
     }
 

@@ -74,8 +74,17 @@ pub struct TreePConfig {
     /// independently of the network size.
     pub max_level0_connections: usize,
     /// Lookups not answered within this period are reported as failed by the
-    /// origin (the paper's simulator counts them as lost requests).
+    /// origin (the paper's simulator counts them as lost requests). Also
+    /// bounds how long an aggregation origin waits for its folded answer.
     pub lookup_timeout: SimDuration,
+    /// Hop budget of a scoped multicast (ascent + bus walk + descent). Must
+    /// comfortably exceed the hierarchy height plus the expected top-level
+    /// bus length; the message is dropped when the budget reaches zero.
+    pub multicast_hop_budget: u32,
+    /// How long a convergecast relay waits for the partials of its delegated
+    /// branches before folding up whatever has arrived (bounds the damage of
+    /// a lost `AggregateUp` under churn).
+    pub aggregate_relay_timeout: SimDuration,
 }
 
 impl Default for TreePConfig {
@@ -92,6 +101,8 @@ impl Default for TreePConfig {
             min_level0_connections: 2,
             max_level0_connections: 8,
             lookup_timeout: SimDuration::from_secs(10),
+            multicast_hop_budget: 512,
+            aggregate_relay_timeout: SimDuration::from_millis(700),
         }
     }
 }
@@ -99,13 +110,21 @@ impl Default for TreePConfig {
 impl TreePConfig {
     /// Configuration of the paper's first experiment: `nc = 4`, `h = 6`.
     pub fn paper_case_fixed() -> Self {
-        TreePConfig { child_policy: ChildPolicy::PAPER_FIXED, height: 6, ..Default::default() }
+        TreePConfig {
+            child_policy: ChildPolicy::PAPER_FIXED,
+            height: 6,
+            ..Default::default()
+        }
     }
 
     /// Configuration of the paper's second experiment: capability-driven
     /// `nc`, `h = 6`.
     pub fn paper_case_adaptive() -> Self {
-        TreePConfig { child_policy: ChildPolicy::PAPER_ADAPTIVE, height: 6, ..Default::default() }
+        TreePConfig {
+            child_policy: ChildPolicy::PAPER_ADAPTIVE,
+            height: 6,
+            ..Default::default()
+        }
     }
 
     /// Validate internal consistency; returns a human-readable complaint for
@@ -126,7 +145,9 @@ impl TreePConfig {
                     return Err(format!("adaptive child policy needs min >= 2, got {min}"));
                 }
                 if max < min {
-                    return Err(format!("adaptive child policy needs max >= min, got {min}..{max}"));
+                    return Err(format!(
+                        "adaptive child policy needs max >= min, got {min}..{max}"
+                    ));
                 }
             }
             _ => {}
@@ -141,7 +162,16 @@ impl TreePConfig {
             ));
         }
         if self.entry_ttl <= self.keepalive_interval {
-            return Err("entry_ttl must exceed keepalive_interval or entries expire between refreshes".into());
+            return Err(
+                "entry_ttl must exceed keepalive_interval or entries expire between refreshes"
+                    .into(),
+            );
+        }
+        if self.multicast_hop_budget <= self.height {
+            return Err(format!(
+                "multicast_hop_budget ({}) must exceed the hierarchy height ({}) or no ascent can complete",
+                self.multicast_hop_budget, self.height
+            ));
         }
         Ok(())
     }
@@ -177,40 +207,56 @@ mod tests {
         assert_eq!(fixed.height, 6);
         assert_eq!(fixed.max_ttl, 255);
         let adaptive = TreePConfig::paper_case_adaptive();
-        assert!(matches!(adaptive.child_policy, ChildPolicy::Adaptive { .. }));
+        assert!(matches!(
+            adaptive.child_policy,
+            ChildPolicy::Adaptive { .. }
+        ));
         assert_eq!(adaptive.height, 6);
     }
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut c = TreePConfig::default();
-        c.height = 0;
-        assert!(c.validate().is_err());
-
-        let mut c = TreePConfig::default();
-        c.child_policy = ChildPolicy::Fixed(1);
-        assert!(c.validate().is_err());
-
-        let mut c = TreePConfig::default();
-        c.child_policy = ChildPolicy::Adaptive { min: 1, max: 8 };
-        assert!(c.validate().is_err());
-
-        let mut c = TreePConfig::default();
-        c.child_policy = ChildPolicy::Adaptive { min: 5, max: 3 };
-        assert!(c.validate().is_err());
-
-        let mut c = TreePConfig::default();
-        c.min_level0_connections = 1;
-        assert!(c.validate().is_err());
-
-        let mut c = TreePConfig::default();
-        c.entry_ttl = SimDuration::from_millis(10);
-        c.keepalive_interval = SimDuration::from_millis(500);
-        assert!(c.validate().is_err());
-
-        let mut c = TreePConfig::default();
-        c.max_ttl = 0;
-        assert!(c.validate().is_err());
+        let bad = [
+            TreePConfig {
+                height: 0,
+                ..TreePConfig::default()
+            },
+            TreePConfig {
+                child_policy: ChildPolicy::Fixed(1),
+                ..TreePConfig::default()
+            },
+            TreePConfig {
+                child_policy: ChildPolicy::Adaptive { min: 1, max: 8 },
+                ..TreePConfig::default()
+            },
+            TreePConfig {
+                child_policy: ChildPolicy::Adaptive { min: 5, max: 3 },
+                ..TreePConfig::default()
+            },
+            TreePConfig {
+                min_level0_connections: 1,
+                ..TreePConfig::default()
+            },
+            TreePConfig {
+                entry_ttl: SimDuration::from_millis(10),
+                keepalive_interval: SimDuration::from_millis(500),
+                ..TreePConfig::default()
+            },
+            TreePConfig {
+                max_ttl: 0,
+                ..TreePConfig::default()
+            },
+            TreePConfig {
+                multicast_hop_budget: 6,
+                ..TreePConfig::default()
+            },
+        ];
+        for (i, config) in bad.into_iter().enumerate() {
+            assert!(
+                config.validate().is_err(),
+                "bad config {i} must be rejected"
+            );
+        }
     }
 
     #[test]
@@ -222,7 +268,9 @@ mod tests {
         assert_eq!(TreePConfig::expected_height(1, 4.0), 0);
         assert_eq!(TreePConfig::expected_height(100, 1.0), 0);
         // Larger networks are deeper.
-        assert!(TreePConfig::expected_height(100_000, 4.0) > TreePConfig::expected_height(1_000, 4.0));
+        assert!(
+            TreePConfig::expected_height(100_000, 4.0) > TreePConfig::expected_height(1_000, 4.0)
+        );
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! answers for) it.
 
 use crate::entry::PeerInfo;
-use crate::id::NodeId;
+use crate::id::{splitmix64, NodeId};
 use crate::lookup::RequestId;
+use crate::multicast::KeyRange;
 use serde::{Deserialize, Serialize};
 use simnet::SimTime;
 use std::collections::BTreeMap;
@@ -55,6 +56,21 @@ impl DhtStore {
     /// Iterate over the stored `(key, value)` pairs in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&NodeId, &Vec<u8>)> {
         self.values.iter()
+    }
+
+    /// Digest of the keys stored inside `range`: XOR of the SplitMix64-mixed
+    /// key coordinates plus their count. This is the local contribution of
+    /// the [`crate::multicast::AggregateQuery::DhtKeyDigest`] aggregation —
+    /// one scoped multicast folds these into a key census of a whole
+    /// identifier range, replacing `n` point lookups.
+    pub fn digest_range(&self, range: KeyRange) -> (u64, u64) {
+        let mut xor = 0u64;
+        let mut count = 0u64;
+        for key in self.values.range(range.lo..=range.hi).map(|(k, _)| *k) {
+            xor ^= splitmix64(key.0);
+            count += 1;
+        }
+        (xor, count)
     }
 }
 
@@ -146,6 +162,26 @@ mod tests {
         s.put(NodeId(3), vec![3]);
         let keys: Vec<u64> = s.iter().map(|(k, _)| k.0).collect();
         assert_eq!(keys, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn digest_range_folds_only_keys_in_range() {
+        let mut s = DhtStore::new();
+        s.put(NodeId(10), vec![]);
+        s.put(NodeId(20), vec![]);
+        s.put(NodeId(30), vec![]);
+        let (_, count_all) = s.digest_range(KeyRange::new(NodeId(0), NodeId(100)));
+        assert_eq!(count_all, 3);
+        let (xor_mid, count_mid) = s.digest_range(KeyRange::new(NodeId(15), NodeId(25)));
+        assert_eq!(count_mid, 1);
+        assert_eq!(xor_mid, splitmix64(20));
+        let (xor_none, count_none) = s.digest_range(KeyRange::new(NodeId(40), NodeId(50)));
+        assert_eq!((xor_none, count_none), (0, 0));
+        // The digest of two disjoint sub-ranges XORs to the full digest.
+        let (xor_lo, _) = s.digest_range(KeyRange::new(NodeId(0), NodeId(15)));
+        let (xor_hi, _) = s.digest_range(KeyRange::new(NodeId(16), NodeId(100)));
+        let (xor_all, _) = s.digest_range(KeyRange::new(NodeId(0), NodeId(100)));
+        assert_eq!(xor_lo ^ xor_hi, xor_all);
     }
 
     #[test]

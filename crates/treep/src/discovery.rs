@@ -25,7 +25,10 @@ pub struct ResourceDescriptor {
 impl ResourceDescriptor {
     /// Create a descriptor with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        ResourceDescriptor { name: name.into(), attributes: BTreeMap::new() }
+        ResourceDescriptor {
+            name: name.into(),
+            attributes: BTreeMap::new(),
+        }
     }
 
     /// Add an attribute (builder style).

@@ -68,7 +68,14 @@ impl HierarchicalDistance {
 
     /// The halving criterion used by the greedy algorithm of Figure 3:
     /// forward to `n` only when `D(n, x) <= 1/2 * D(a, x)`.
-    pub fn halves(&self, next: NodeId, next_lvl: u32, current: NodeId, current_lvl: u32, target: NodeId) -> bool {
+    pub fn halves(
+        &self,
+        next: NodeId,
+        next_lvl: u32,
+        current: NodeId,
+        current_lvl: u32,
+        target: NodeId,
+    ) -> bool {
         let dn = self.hierarchical(next, next_lvl, target);
         let da = self.hierarchical(current, current_lvl, target);
         dn <= da / 2
@@ -115,7 +122,10 @@ mod tests {
         assert_eq!(d.hierarchical(NodeId(10_000), 3, NodeId(15_000)), 0);
         assert!(d.covers(NodeId(10_000), 3, NodeId(15_000)));
         // Outside the radius the distance is measured from the boundary.
-        assert_eq!(d.hierarchical(NodeId(10_000), 3, NodeId(20_000)), 10_000 - 8_192);
+        assert_eq!(
+            d.hierarchical(NodeId(10_000), 3, NodeId(20_000)),
+            10_000 - 8_192
+        );
         assert!(!d.covers(NodeId(10_000), 3, NodeId(20_000)));
     }
 

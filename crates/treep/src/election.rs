@@ -74,7 +74,11 @@ impl ElectionState {
         let delay = characteristics.election_countdown(base);
         let round = self.next_round;
         self.next_round += 1;
-        self.election = Some(ElectionRound { level, expires_at: now + delay, round });
+        self.election = Some(ElectionRound {
+            level,
+            expires_at: now + delay,
+            round,
+        });
         (delay, round)
     }
 
@@ -107,7 +111,10 @@ impl ElectionState {
         let delay = characteristics.demotion_countdown(base);
         let round = self.next_round;
         self.next_round += 1;
-        self.demotion = Some(DemotionCountdown { expires_at: now + delay, round });
+        self.demotion = Some(DemotionCountdown {
+            expires_at: now + delay,
+            round,
+        });
         (delay, round)
     }
 
@@ -138,8 +145,12 @@ mod tests {
         let mut st = ElectionState::new();
         assert!(st.election().is_none());
         let strong = NodeCharacteristics::strong();
-        let (delay, round) =
-            st.start_election(1, &strong, SimDuration::from_millis(400), SimTime::from_millis(0));
+        let (delay, round) = st.start_election(
+            1,
+            &strong,
+            SimDuration::from_millis(400),
+            SimTime::from_millis(0),
+        );
         assert!(delay <= SimDuration::from_millis(400));
         assert!(st.election_timer_is_current(round));
         assert!(!st.election_timer_is_current(round + 1));
@@ -165,7 +176,12 @@ mod tests {
         let mut st = ElectionState::new();
         let c = NodeCharacteristics::default();
         let (_, round1) = st.start_election(1, &c, SimDuration::from_millis(400), SimTime::ZERO);
-        let (_, round2) = st.start_election(1, &c, SimDuration::from_millis(400), SimTime::from_millis(10));
+        let (_, round2) = st.start_election(
+            1,
+            &c,
+            SimDuration::from_millis(400),
+            SimTime::from_millis(10),
+        );
         assert_ne!(round1, round2);
         assert!(!st.election_timer_is_current(round1));
         assert!(st.election_timer_is_current(round2));
@@ -180,7 +196,10 @@ mod tests {
         let (weak_delay, _) = st.start_demotion(&weak, base, SimTime::ZERO);
         st.cancel_demotion();
         let (strong_delay, round) = st.start_demotion(&strong, base, SimTime::ZERO);
-        assert!(strong_delay > weak_delay, "strong parents linger longer before demoting");
+        assert!(
+            strong_delay > weak_delay,
+            "strong parents linger longer before demoting"
+        );
         assert!(st.demotion_timer_is_current(round));
         assert!(st.complete_demotion());
         assert!(!st.complete_demotion());
@@ -197,6 +216,9 @@ mod tests {
         assert!(st.election_timer_is_current(er));
         assert!(st.demotion_timer_is_current(dr));
         st.cancel_election();
-        assert!(st.demotion_timer_is_current(dr), "cancelling one must not affect the other");
+        assert!(
+            st.demotion_timer_is_current(dr),
+            "cancelling one must not affect the other"
+        );
     }
 }

@@ -33,7 +33,13 @@ impl RoutingEntry {
         summary: CharacteristicsSummary,
         now: SimTime,
     ) -> Self {
-        RoutingEntry { id, addr, max_level, summary, last_seen: now }
+        RoutingEntry {
+            id,
+            addr,
+            max_level,
+            summary,
+            last_seen: now,
+        }
     }
 
     /// Reset the freshness timestamp ("This timestamp is reset at every
@@ -86,7 +92,12 @@ impl PeerInfo {
 
     /// Build from an entry (dropping the timestamp).
     pub fn from_entry(e: &RoutingEntry) -> Self {
-        PeerInfo { id: e.id, addr: e.addr, max_level: e.max_level, summary: e.summary }
+        PeerInfo {
+            id: e.id,
+            addr: e.addr,
+            max_level: e.max_level,
+            summary: e.summary,
+        }
     }
 }
 
@@ -102,7 +113,13 @@ mod tests {
 
     #[test]
     fn touch_only_moves_forward() {
-        let mut e = RoutingEntry::new(NodeId(1), NodeAddr(1), 0, summary(), SimTime::from_millis(10));
+        let mut e = RoutingEntry::new(
+            NodeId(1),
+            NodeAddr(1),
+            0,
+            summary(),
+            SimTime::from_millis(10),
+        );
         e.touch(SimTime::from_millis(5));
         assert_eq!(e.last_seen, SimTime::from_millis(10));
         e.touch(SimTime::from_millis(20));
@@ -111,7 +128,13 @@ mod tests {
 
     #[test]
     fn staleness_respects_ttl() {
-        let e = RoutingEntry::new(NodeId(1), NodeAddr(1), 0, summary(), SimTime::from_millis(100));
+        let e = RoutingEntry::new(
+            NodeId(1),
+            NodeAddr(1),
+            0,
+            summary(),
+            SimTime::from_millis(100),
+        );
         let ttl = SimDuration::from_millis(50);
         assert!(!e.is_stale(SimTime::from_millis(120), ttl));
         assert!(!e.is_stale(SimTime::from_millis(150), ttl));
@@ -122,15 +145,33 @@ mod tests {
 
     #[test]
     fn merge_prefers_newer_information() {
-        let mut old = RoutingEntry::new(NodeId(3), NodeAddr(3), 1, summary(), SimTime::from_millis(10));
-        let newer = RoutingEntry::new(NodeId(3), NodeAddr(3), 2, summary(), SimTime::from_millis(20));
+        let mut old = RoutingEntry::new(
+            NodeId(3),
+            NodeAddr(3),
+            1,
+            summary(),
+            SimTime::from_millis(10),
+        );
+        let newer = RoutingEntry::new(
+            NodeId(3),
+            NodeAddr(3),
+            2,
+            summary(),
+            SimTime::from_millis(20),
+        );
         old.merge(&newer);
         assert_eq!(old.max_level, 2);
         assert_eq!(old.last_seen, SimTime::from_millis(20));
 
         // Merging older info keeps the newest timestamp but still learns a
         // higher level if one was advertised.
-        let stale_high_level = RoutingEntry::new(NodeId(3), NodeAddr(3), 4, summary(), SimTime::from_millis(5));
+        let stale_high_level = RoutingEntry::new(
+            NodeId(3),
+            NodeAddr(3),
+            4,
+            summary(),
+            SimTime::from_millis(5),
+        );
         old.merge(&stale_high_level);
         assert_eq!(old.last_seen, SimTime::from_millis(20));
         assert_eq!(old.max_level, 4);
@@ -138,7 +179,13 @@ mod tests {
 
     #[test]
     fn peer_info_round_trip() {
-        let e = RoutingEntry::new(NodeId(9), NodeAddr(7), 3, summary(), SimTime::from_millis(42));
+        let e = RoutingEntry::new(
+            NodeId(9),
+            NodeAddr(7),
+            3,
+            summary(),
+            SimTime::from_millis(42),
+        );
         let p = PeerInfo::from_entry(&e);
         let back = p.into_entry(SimTime::from_millis(50));
         assert_eq!(back.id, e.id);

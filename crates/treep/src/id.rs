@@ -44,7 +44,10 @@ impl Default for IdSpace {
 impl IdSpace {
     /// Create a space of `2^bits` identifiers. `bits` must be in `1..=63`.
     pub fn new(bits: u32) -> Self {
-        assert!((1..=63).contains(&bits), "IdSpace bits must be in 1..=63, got {bits}");
+        assert!(
+            (1..=63).contains(&bits),
+            "IdSpace bits must be in 1..=63, got {bits}"
+        );
         IdSpace { bits }
     }
 
@@ -250,7 +253,10 @@ mod tests {
         let hashed = IdAssigner::new(space, IdAssignment::HashOfAddress);
         let h1 = hashed.assign(0, 42, &mut rng);
         let h2 = hashed.assign(5, 42, &mut rng);
-        assert_eq!(h1, h2, "hash assignment must be deterministic in the address");
+        assert_eq!(
+            h1, h2,
+            "hash assignment must be deterministic in the address"
+        );
         assert_ne!(hashed.assign(0, 43, &mut rng), h1);
 
         let uniform = IdAssigner::new(space, IdAssignment::Uniform { expected_nodes: 10 });

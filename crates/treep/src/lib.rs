@@ -19,7 +19,14 @@
 //! by keep-alives. Lookups are routed with a hierarchical distance function
 //! and resolved in `O(log n)` hops by one of three algorithms (greedy,
 //! non-greedy, non-greedy with fall-back). A DHT / resource-discovery layer
-//! sits on top of the same routing.
+//! sits on top of the same routing. The hierarchy doubles as a
+//! dissemination and aggregation spine ([`multicast`]): a payload addressed
+//! to a contiguous identifier range climbs to the initiator's root, walks
+//! the top-level bus, and descends the own-children links — reaching every
+//! live node in the range **exactly once** with zero duplicate messages —
+//! while aggregation queries (node census, max free capacity, DHT key
+//! digests) convergecast back up with per-hop combining, turning a range
+//! query into one scoped multicast instead of `n` point lookups.
 //!
 //! ## Quick start
 //!
@@ -59,6 +66,7 @@ pub mod entry;
 pub mod id;
 pub mod lookup;
 pub mod messages;
+pub mod multicast;
 pub mod node;
 pub mod routing;
 pub mod stats;
@@ -74,6 +82,10 @@ pub use entry::{PeerInfo, RoutingEntry};
 pub use id::{hash_key, IdAssigner, IdAssignment, IdSpace, NodeId};
 pub use lookup::{LookupOutcome, LookupRequest, LookupStatus, RequestId};
 pub use messages::{RoutingUpdate, TreePMessage};
+pub use multicast::{
+    AggregateOutcome, AggregatePartial, AggregateQuery, KeyRange, MulticastDelivery,
+    MulticastPayload, MulticastPhase,
+};
 pub use node::TreePNode;
 pub use routing::{RouteDecision, RouterView, RoutingAlgorithm};
 pub use stats::NodeStats;

@@ -35,7 +35,12 @@ pub struct LookupRequest {
 
 impl LookupRequest {
     /// Create a fresh request originating at `origin`.
-    pub fn new(request_id: RequestId, origin: PeerInfo, target: NodeId, algorithm: RoutingAlgorithm) -> Self {
+    pub fn new(
+        request_id: RequestId,
+        origin: PeerInfo,
+        target: NodeId,
+        algorithm: RoutingAlgorithm,
+    ) -> Self {
         LookupRequest {
             request_id,
             origin,
@@ -126,13 +131,17 @@ mod tests {
             id: NodeId(1),
             addr: NodeAddr(1),
             max_level: 0,
-            summary: CharacteristicsSummary::of(&NodeCharacteristics::default(), ChildPolicy::Fixed(4)),
+            summary: CharacteristicsSummary::of(
+                &NodeCharacteristics::default(),
+                ChildPolicy::Fixed(4),
+            ),
         }
     }
 
     #[test]
     fn advance_tracks_path_and_ttl() {
-        let mut req = LookupRequest::new(RequestId(7), origin(), NodeId(99), RoutingAlgorithm::Greedy);
+        let mut req =
+            LookupRequest::new(RequestId(7), origin(), NodeId(99), RoutingAlgorithm::Greedy);
         assert_eq!(req.hops(), 0);
         req.advance(NodeAddr(2));
         req.advance(NodeAddr(3));

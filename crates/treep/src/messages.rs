@@ -7,6 +7,9 @@
 use crate::entry::PeerInfo;
 use crate::id::NodeId;
 use crate::lookup::{LookupRequest, RequestId};
+use crate::multicast::{
+    AggregatePartial, AggregateQuery, KeyRange, MulticastPayload, MulticastPhase,
+};
 use crate::routing::RoutingAlgorithm;
 use serde::{Deserialize, Serialize};
 use simnet::NodeAddr;
@@ -216,6 +219,56 @@ pub enum TreePMessage {
         /// The node that answered.
         responder: PeerInfo,
     },
+
+    // ---- multicast / aggregation --------------------------------------------
+    /// A scoped multicast travelling through the hierarchy: up the
+    /// initiator's ancestor chain, along the top-level bus, and down the
+    /// own-children links of every visited node. Range delegation is
+    /// structural (one parent per node, directional bus walk), so every live
+    /// node in `range` receives the payload at most once.
+    MulticastDown {
+        /// The initiating node (aggregation answers return straight to it).
+        origin: PeerInfo,
+        /// Identifier of the multicast at its origin.
+        request_id: RequestId,
+        /// The contiguous identifier range being addressed.
+        range: KeyRange,
+        /// Payload to deliver, or aggregation query to fold.
+        payload: MulticastPayload,
+        /// Remaining hop budget; the message is discarded at zero.
+        budget: u32,
+        /// Hops travelled so far.
+        hops: u32,
+        /// Current phase of the dissemination.
+        phase: MulticastPhase,
+        /// Bus level of the walk (meaningful in the bus phases; the walk
+        /// visits every node whose maximum level is at least this).
+        bus_level: u32,
+    },
+    /// Convergecast step of an aggregation: a node (or whole delegated
+    /// branch) reports its folded partial to the node that delegated it —
+    /// or, from the descent root, the final fold to the origin.
+    AggregateUp {
+        /// The initiating node (scopes `request_id`).
+        origin: PeerInfo,
+        /// Identifier of the aggregation at its origin.
+        request_id: RequestId,
+        /// The query being folded.
+        query: AggregateQuery,
+        /// Partial result folded over the reporting branch.
+        partial: AggregatePartial,
+        /// True when the reporting branch lost at least one delegated
+        /// sub-branch (its relay hold timer fired): the partial is a lower
+        /// bound, not an authoritative answer. Propagated by OR on the way
+        /// up.
+        truncated: bool,
+        /// True only on the descent root's final fold to the origin. The
+        /// discriminant matters when the origin is itself a relay of its own
+        /// aggregation: a branch partial folds into the relay, the final
+        /// answer resolves the pending request — without the flag the two
+        /// are indistinguishable.
+        final_answer: bool,
+    },
 }
 
 impl TreePMessage {
@@ -239,6 +292,8 @@ impl TreePMessage {
             TreePMessage::DhtPutAck { .. } => "dht_put_ack",
             TreePMessage::DhtGet { .. } => "dht_get",
             TreePMessage::DhtGetReply { .. } => "dht_get_reply",
+            TreePMessage::MulticastDown { .. } => "multicast_down",
+            TreePMessage::AggregateUp { .. } => "aggregate_up",
         }
     }
 
@@ -265,7 +320,10 @@ impl TreePMessage {
     pub fn origin_addr(&self) -> Option<NodeAddr> {
         match self {
             TreePMessage::Lookup(req) => Some(req.origin.addr),
-            TreePMessage::DhtPut { origin, .. } | TreePMessage::DhtGet { origin, .. } => Some(origin.addr),
+            TreePMessage::DhtPut { origin, .. }
+            | TreePMessage::DhtGet { origin, .. }
+            | TreePMessage::MulticastDown { origin, .. }
+            | TreePMessage::AggregateUp { origin, .. } => Some(origin.addr),
             _ => None,
         }
     }
@@ -282,21 +340,30 @@ mod tests {
             id: NodeId(id),
             addr: NodeAddr(id),
             max_level: 0,
-            summary: CharacteristicsSummary::of(&NodeCharacteristics::default(), ChildPolicy::Fixed(4)),
+            summary: CharacteristicsSummary::of(
+                &NodeCharacteristics::default(),
+                ChildPolicy::Fixed(4),
+            ),
         }
     }
 
     #[test]
     fn update_peer_accessor() {
         let p = peer(5);
-        assert_eq!(RoutingUpdate::LevelMember { level: 2, peer: p }.peer().id, NodeId(5));
+        assert_eq!(
+            RoutingUpdate::LevelMember { level: 2, peer: p }.peer().id,
+            NodeId(5)
+        );
         assert_eq!(RoutingUpdate::ParentOf { peer: p }.peer().addr, NodeAddr(5));
         assert_eq!(RoutingUpdate::Contact { peer: p }.peer().id, NodeId(5));
     }
 
     #[test]
     fn maintenance_classification() {
-        let ka = TreePMessage::KeepAlive { sender: peer(1), updates: vec![] };
+        let ka = TreePMessage::KeepAlive {
+            sender: peer(1),
+            updates: vec![],
+        };
         assert!(ka.is_maintenance());
         assert_eq!(ka.kind(), "keep_alive");
         let nf = TreePMessage::LookupNotFound {
@@ -310,10 +377,50 @@ mod tests {
     }
 
     #[test]
+    fn multicast_messages_are_user_traffic() {
+        use crate::multicast::{
+            AggregatePartial, AggregateQuery, KeyRange, MulticastPayload, MulticastPhase,
+        };
+        let down = TreePMessage::MulticastDown {
+            origin: peer(1),
+            request_id: RequestId(7),
+            range: KeyRange::new(NodeId(10), NodeId(90)),
+            payload: MulticastPayload::Data(vec![1, 2, 3]),
+            budget: 32,
+            hops: 0,
+            phase: MulticastPhase::Up,
+            bus_level: 0,
+        };
+        assert_eq!(down.kind(), "multicast_down");
+        assert!(!down.is_maintenance());
+        assert_eq!(down.origin_addr(), Some(NodeAddr(1)));
+
+        let up = TreePMessage::AggregateUp {
+            origin: peer(2),
+            request_id: RequestId(8),
+            query: AggregateQuery::CountNodes,
+            partial: AggregatePartial::Count(5),
+            truncated: false,
+            final_answer: true,
+        };
+        assert_eq!(up.kind(), "aggregate_up");
+        assert!(!up.is_maintenance());
+        assert_eq!(up.origin_addr(), Some(NodeAddr(2)));
+    }
+
+    #[test]
     fn origin_addr_only_for_routed_requests() {
-        let get = TreePMessage::DhtGet { request_id: RequestId(2), origin: peer(9), key: NodeId(1), ttl: 10 };
+        let get = TreePMessage::DhtGet {
+            request_id: RequestId(2),
+            origin: peer(9),
+            key: NodeId(1),
+            ttl: 10,
+        };
         assert_eq!(get.origin_addr(), Some(NodeAddr(9)));
-        let ka = TreePMessage::KeepAlive { sender: peer(1), updates: vec![] };
+        let ka = TreePMessage::KeepAlive {
+            sender: peer(1),
+            updates: vec![],
+        };
         assert_eq!(ka.origin_addr(), None);
     }
 }

@@ -1,0 +1,506 @@
+//! Tree-scoped multicast and subtree aggregation (convergecast).
+//!
+//! TreeP's hierarchy tessellates the 1-D identifier space: a level-k node's
+//! subtree covers a contiguous run of the space. That makes the tree a
+//! natural dissemination and aggregation spine, which the flat baselines
+//! (Chord, Gnutella flooding) lack. This module provides the data types of
+//! that subsystem; the protocol behaviour lives in
+//! [`crate::node::TreePNode`]:
+//!
+//! * **Scoped multicast** — a payload addressed to a contiguous
+//!   [`KeyRange`] of the identifier space travels *up* the initiator's
+//!   ancestor chain to its root, then *down* the spanning forest: the root
+//!   walks the top-level bus in both directions (each top-level node is
+//!   visited at most once per direction) and every visited node fans out to
+//!   its own children. Because every non-root node has exactly one parent
+//!   and the bus walk is directional, **every live node receives the
+//!   payload at most once** — duplicate suppression is structural, not
+//!   state-based, mirroring the zero-duplicate delegation argument of
+//!   "Optimally Efficient Prefix Search and Multicast in Structured P2P
+//!   Networks" (TUD-CS-2008-103).
+//! * **Subtree aggregation** — the same spanning tree run in reverse: an
+//!   [`AggregateQuery`] is multicast down, every node contributes an
+//!   [`AggregatePartial`], and partials are folded *per hop* on the way back
+//!   up (convergecast), so the initiator receives one combined answer
+//!   instead of `n` point responses.
+
+use crate::entry::PeerInfo;
+use crate::id::{IdSpace, NodeId};
+use crate::lookup::RequestId;
+use serde::{Deserialize, Serialize};
+use simnet::{NodeAddr, SimTime};
+
+/// A contiguous, inclusive range `[lo, hi]` of the 1-D identifier space —
+/// the scope of a multicast or aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyRange {
+    /// Lowest identifier in the range.
+    pub lo: NodeId,
+    /// Highest identifier in the range (inclusive).
+    pub hi: NodeId,
+}
+
+impl KeyRange {
+    /// Range between two identifiers (order-normalised).
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        if a.0 <= b.0 {
+            KeyRange { lo: a, hi: b }
+        } else {
+            KeyRange { lo: b, hi: a }
+        }
+    }
+
+    /// The whole identifier space.
+    pub fn full(space: IdSpace) -> Self {
+        KeyRange {
+            lo: NodeId::MIN,
+            hi: space.max_id(),
+        }
+    }
+
+    /// The range centred on `center` with the given radius, clamped to the
+    /// space.
+    pub fn around(space: IdSpace, center: NodeId, radius: u64) -> Self {
+        KeyRange {
+            lo: NodeId(center.0.saturating_sub(radius)),
+            hi: NodeId(center.0.saturating_add(radius).min(space.max_id().0)),
+        }
+    }
+
+    /// True when `id` falls inside the range.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.lo.0 <= id.0 && id.0 <= self.hi.0
+    }
+
+    /// Number of identifiers covered.
+    pub fn width(&self) -> u64 {
+        self.hi.0 - self.lo.0 + 1
+    }
+
+    /// True when this range overlaps `[lo, hi]` (inclusive, saturating).
+    pub fn overlaps_interval(&self, lo: u64, hi: u64) -> bool {
+        self.lo.0 <= hi && lo <= self.hi.0
+    }
+}
+
+/// Direction / stage of a [`crate::messages::TreePMessage::MulticastDown`]
+/// message inside the dissemination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MulticastPhase {
+    /// Climbing the initiator's ancestor chain toward its root (no
+    /// deliveries happen in this phase).
+    Up,
+    /// Walking the bus leftward (decreasing identifiers) at the walk level.
+    BusLeft,
+    /// Walking the bus rightward (increasing identifiers) at the walk level.
+    BusRight,
+    /// Descending a subtree through own-children links.
+    Down,
+}
+
+/// What a multicast carries: an opaque payload to deliver, or an aggregation
+/// query whose answers convergecast back to the initiator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MulticastPayload {
+    /// Application payload delivered to every live node in the range.
+    Data(Vec<u8>),
+    /// Aggregation query; every node in the range contributes a partial.
+    Aggregate(AggregateQuery),
+}
+
+/// The aggregation queries the subsystem answers over a [`KeyRange`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregateQuery {
+    /// Number of live nodes in the range.
+    CountNodes,
+    /// Maximum capability score (milli-units) among live nodes in the range
+    /// — "which subtree has the strongest free machine".
+    MaxCapability,
+    /// Digest (XOR of key hashes + count) of the DHT keys stored by nodes in
+    /// the range — a cheap anti-entropy / key-census primitive.
+    DhtKeyDigest,
+}
+
+impl AggregateQuery {
+    /// Short, stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AggregateQuery::CountNodes => "count_nodes",
+            AggregateQuery::MaxCapability => "max_capability",
+            AggregateQuery::DhtKeyDigest => "dht_key_digest",
+        }
+    }
+}
+
+/// A partial aggregation result, combined hop by hop on the way up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregatePartial {
+    /// Running node count.
+    Count(u64),
+    /// Running maximum capability score in milli-units.
+    MaxCapability(u16),
+    /// Running XOR-of-hashes digest plus stored-key count.
+    Digest {
+        /// XOR of SplitMix64-mixed key coordinates.
+        xor: u64,
+        /// Number of keys folded in.
+        count: u64,
+    },
+}
+
+impl AggregatePartial {
+    /// The neutral element of the query's fold.
+    pub fn identity(query: AggregateQuery) -> Self {
+        match query {
+            AggregateQuery::CountNodes => AggregatePartial::Count(0),
+            AggregateQuery::MaxCapability => AggregatePartial::MaxCapability(0),
+            AggregateQuery::DhtKeyDigest => AggregatePartial::Digest { xor: 0, count: 0 },
+        }
+    }
+
+    /// Fold `other` into `self`. Mismatched kinds (possible only with a
+    /// corrupted or adversarial message) leave `self` unchanged.
+    pub fn combine(&mut self, other: &AggregatePartial) {
+        match (self, other) {
+            (AggregatePartial::Count(a), AggregatePartial::Count(b)) => *a += b,
+            (AggregatePartial::MaxCapability(a), AggregatePartial::MaxCapability(b)) => {
+                *a = (*a).max(*b)
+            }
+            (
+                AggregatePartial::Digest { xor: ax, count: ac },
+                AggregatePartial::Digest { xor: bx, count: bc },
+            ) => {
+                *ax ^= bx;
+                *ac += bc;
+            }
+            _ => {}
+        }
+    }
+
+    /// The count carried by a [`AggregatePartial::Count`], if that is the
+    /// kind.
+    pub fn as_count(&self) -> Option<u64> {
+        match self {
+            AggregatePartial::Count(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// One payload delivery recorded at a node covered by a scoped multicast.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MulticastDelivery {
+    /// The node that initiated the multicast.
+    pub origin: PeerInfo,
+    /// Identifier of the multicast at its origin.
+    pub request_id: RequestId,
+    /// The scoped range.
+    pub range: KeyRange,
+    /// The delivered payload.
+    pub payload: Vec<u8>,
+    /// Overlay hops the payload travelled to reach this node.
+    pub hops: u32,
+    /// When the delivery happened.
+    pub at: SimTime,
+}
+
+/// How an aggregation concluded, recorded at the origin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AggregateOutcome {
+    /// The folded answer arrived.
+    Completed {
+        /// The request.
+        request_id: RequestId,
+        /// The query that was asked.
+        query: AggregateQuery,
+        /// The combined result over the whole reached range.
+        partial: AggregatePartial,
+        /// True when at least one delegated branch never reported before its
+        /// relay's hold timer fired: the partial covers only part of the
+        /// range and must not be treated as authoritative (loss / churn).
+        truncated: bool,
+        /// When the answer arrived.
+        completed_at: SimTime,
+    },
+    /// The origin gave up waiting (loss or a partitioned range).
+    TimedOut {
+        /// The request.
+        request_id: RequestId,
+        /// The query that was asked.
+        query: AggregateQuery,
+        /// When the timeout fired.
+        completed_at: SimTime,
+    },
+}
+
+impl AggregateOutcome {
+    /// The request this outcome belongs to.
+    pub fn request_id(&self) -> RequestId {
+        match self {
+            AggregateOutcome::Completed { request_id, .. }
+            | AggregateOutcome::TimedOut { request_id, .. } => *request_id,
+        }
+    }
+
+    /// True unless the request timed out.
+    pub fn is_success(&self) -> bool {
+        matches!(self, AggregateOutcome::Completed { .. })
+    }
+
+    /// True only for a completed answer that covered every delegated branch
+    /// (no relay hold timer fired anywhere in the convergecast).
+    pub fn is_complete(&self) -> bool {
+        matches!(
+            self,
+            AggregateOutcome::Completed {
+                truncated: false,
+                ..
+            }
+        )
+    }
+
+    /// The combined partial, when the aggregation completed.
+    pub fn partial(&self) -> Option<AggregatePartial> {
+        match self {
+            AggregateOutcome::Completed { partial, .. } => Some(*partial),
+            AggregateOutcome::TimedOut { .. } => None,
+        }
+    }
+}
+
+/// An aggregation the origin is still waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PendingAggregate {
+    /// The query asked.
+    pub query: AggregateQuery,
+    /// The scoped range.
+    pub range: KeyRange,
+    /// When the aggregation started.
+    pub started_at: SimTime,
+}
+
+/// Where a completed relay fold should be reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyTo {
+    /// Fold upward to the node this branch was delegated by.
+    Upstream(NodeAddr),
+    /// This node is the descent root: send the final answer straight to the
+    /// (remote) origin.
+    Origin(NodeAddr),
+    /// This node is the descent root *and* the origin: record the outcome
+    /// locally.
+    SelfOrigin,
+}
+
+/// In-flight convergecast state at a node that delegated an aggregation to
+/// one or more children / bus neighbours and is waiting for their partials.
+#[derive(Debug, Clone)]
+pub struct AggregateRelay {
+    /// The aggregation origin (its address scopes `request_id`).
+    pub origin: PeerInfo,
+    /// The origin-local request identifier.
+    pub request_id: RequestId,
+    /// The query being folded.
+    pub query: AggregateQuery,
+    /// Where the folded result goes when the relay completes.
+    pub reply_to: ReplyTo,
+    /// Partials folded so far (starts at this node's own contribution).
+    pub acc: AggregatePartial,
+    /// Delegations still outstanding.
+    pub expected: usize,
+    /// True once any folded branch was itself truncated; propagated upward
+    /// so the origin can tell a full answer from a lossy one.
+    pub truncated: bool,
+}
+
+/// Bounded insertion-ordered set of `(origin address, request id)` pairs —
+/// the per-node duplicate guard of the multicast descent.
+///
+/// Delegation is structural (one parent per node, directional bus walk), so
+/// in steady state no node is ever visited twice. Under churn, however, a
+/// child can transiently sit in two parents' children tables (the old
+/// parent's entry has not expired yet) and be fanned out twice; this window
+/// turns that race into a suppressed duplicate instead of a broken
+/// exactly-once guarantee. Bounded so long-running nodes cannot leak.
+#[derive(Debug, Clone, Default)]
+pub struct SeenWindow {
+    set: std::collections::BTreeSet<(NodeAddr, RequestId)>,
+    order: std::collections::VecDeque<(NodeAddr, RequestId)>,
+}
+
+/// Multicasts remembered per node for duplicate suppression.
+const SEEN_WINDOW_CAP: usize = 1024;
+
+impl SeenWindow {
+    /// Record `key`; returns false when it was already present (duplicate).
+    pub fn insert(&mut self, key: (NodeAddr, RequestId)) -> bool {
+        if !self.set.insert(key) {
+            return false;
+        }
+        self.order.push_back(key);
+        while self.order.len() > SEEN_WINDOW_CAP {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        true
+    }
+
+    /// Number of remembered multicasts.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_range_normalises_and_contains() {
+        let r = KeyRange::new(NodeId(50), NodeId(10));
+        assert_eq!(r.lo, NodeId(10));
+        assert_eq!(r.hi, NodeId(50));
+        assert!(r.contains(NodeId(10)));
+        assert!(r.contains(NodeId(50)));
+        assert!(r.contains(NodeId(30)));
+        assert!(!r.contains(NodeId(9)));
+        assert!(!r.contains(NodeId(51)));
+        assert_eq!(r.width(), 41);
+    }
+
+    #[test]
+    fn key_range_full_and_around() {
+        let space = IdSpace::new(16);
+        let full = KeyRange::full(space);
+        assert_eq!(full.lo, NodeId(0));
+        assert_eq!(full.hi, NodeId(65535));
+
+        let r = KeyRange::around(space, NodeId(100), 500);
+        assert_eq!(r.lo, NodeId(0), "saturates at the lower bound");
+        assert_eq!(r.hi, NodeId(600));
+        let r2 = KeyRange::around(space, NodeId(65_500), 100);
+        assert_eq!(r2.hi, NodeId(65535), "clamped to the space");
+    }
+
+    #[test]
+    fn overlap_test_is_inclusive() {
+        let r = KeyRange::new(NodeId(100), NodeId(200));
+        assert!(r.overlaps_interval(200, 300));
+        assert!(r.overlaps_interval(0, 100));
+        assert!(!r.overlaps_interval(201, 300));
+        assert!(!r.overlaps_interval(0, 99));
+        assert!(r.overlaps_interval(150, 160));
+        assert!(r.overlaps_interval(0, u64::MAX));
+    }
+
+    #[test]
+    fn partial_identity_and_combine() {
+        let mut c = AggregatePartial::identity(AggregateQuery::CountNodes);
+        c.combine(&AggregatePartial::Count(3));
+        c.combine(&AggregatePartial::Count(4));
+        assert_eq!(c, AggregatePartial::Count(7));
+        assert_eq!(c.as_count(), Some(7));
+
+        let mut m = AggregatePartial::identity(AggregateQuery::MaxCapability);
+        m.combine(&AggregatePartial::MaxCapability(250));
+        m.combine(&AggregatePartial::MaxCapability(100));
+        assert_eq!(m, AggregatePartial::MaxCapability(250));
+
+        let mut d = AggregatePartial::identity(AggregateQuery::DhtKeyDigest);
+        d.combine(&AggregatePartial::Digest {
+            xor: 0b1010,
+            count: 2,
+        });
+        d.combine(&AggregatePartial::Digest {
+            xor: 0b0110,
+            count: 1,
+        });
+        assert_eq!(
+            d,
+            AggregatePartial::Digest {
+                xor: 0b1100,
+                count: 3
+            }
+        );
+
+        // XOR digests cancel: folding the same key set twice detects parity.
+        let mut e = AggregatePartial::Digest { xor: 7, count: 1 };
+        e.combine(&AggregatePartial::Digest { xor: 7, count: 1 });
+        assert_eq!(e, AggregatePartial::Digest { xor: 0, count: 2 });
+    }
+
+    #[test]
+    fn mismatched_partials_are_ignored() {
+        let mut c = AggregatePartial::Count(5);
+        c.combine(&AggregatePartial::MaxCapability(900));
+        assert_eq!(c, AggregatePartial::Count(5));
+        assert_eq!(c.as_count(), Some(5));
+        assert_eq!(AggregatePartial::MaxCapability(1).as_count(), None);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let done = AggregateOutcome::Completed {
+            request_id: RequestId(4),
+            query: AggregateQuery::CountNodes,
+            partial: AggregatePartial::Count(12),
+            truncated: false,
+            completed_at: SimTime::ZERO,
+        };
+        assert!(done.is_success());
+        assert!(done.is_complete());
+        assert_eq!(done.request_id(), RequestId(4));
+        assert_eq!(done.partial(), Some(AggregatePartial::Count(12)));
+
+        let partial_only = AggregateOutcome::Completed {
+            request_id: RequestId(6),
+            query: AggregateQuery::CountNodes,
+            partial: AggregatePartial::Count(3),
+            truncated: true,
+            completed_at: SimTime::ZERO,
+        };
+        assert!(partial_only.is_success());
+        assert!(
+            !partial_only.is_complete(),
+            "a truncated fold is not authoritative"
+        );
+
+        let lost = AggregateOutcome::TimedOut {
+            request_id: RequestId(5),
+            query: AggregateQuery::MaxCapability,
+            completed_at: SimTime::ZERO,
+        };
+        assert!(!lost.is_success());
+        assert!(!lost.is_complete());
+        assert_eq!(lost.partial(), None);
+    }
+
+    #[test]
+    fn seen_window_dedupes_and_stays_bounded() {
+        let mut w = SeenWindow::default();
+        assert!(w.is_empty());
+        let key = (NodeAddr(7), RequestId(1));
+        assert!(w.insert(key));
+        assert!(!w.insert(key), "second insert is a duplicate");
+        // Push past the capacity: the oldest entries are evicted and can be
+        // inserted again.
+        for i in 0..(SEEN_WINDOW_CAP as u64 + 10) {
+            w.insert((NodeAddr(100 + i), RequestId(i)));
+        }
+        assert_eq!(w.len(), SEEN_WINDOW_CAP);
+        assert!(w.insert(key), "evicted entries are forgotten");
+    }
+
+    #[test]
+    fn query_labels_are_stable() {
+        assert_eq!(AggregateQuery::CountNodes.label(), "count_nodes");
+        assert_eq!(AggregateQuery::MaxCapability.label(), "max_capability");
+        assert_eq!(AggregateQuery::DhtKeyDigest.label(), "dht_key_digest");
+    }
+}

@@ -66,7 +66,12 @@ mod tests {
     fn req(origin_id: u64, target: u64) -> LookupRequest {
         LookupRequest::new(
             RequestId(1),
-            PeerInfo { id: NodeId(origin_id), addr: NodeAddr(origin_id), max_level: 0, summary: summary() },
+            PeerInfo {
+                id: NodeId(origin_id),
+                addr: NodeAddr(origin_id),
+                max_level: 0,
+                summary: summary(),
+            },
             NodeId(target),
             RoutingAlgorithm::Greedy,
         )

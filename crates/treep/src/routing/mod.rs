@@ -46,8 +46,11 @@ pub enum RoutingAlgorithm {
 
 impl RoutingAlgorithm {
     /// All algorithms, in the order the paper presents them.
-    pub const ALL: [RoutingAlgorithm; 3] =
-        [RoutingAlgorithm::Greedy, RoutingAlgorithm::NonGreedy, RoutingAlgorithm::NonGreedyFallback];
+    pub const ALL: [RoutingAlgorithm; 3] = [
+        RoutingAlgorithm::Greedy,
+        RoutingAlgorithm::NonGreedy,
+        RoutingAlgorithm::NonGreedyFallback,
+    ];
 
     /// Short label used in reports ("G", "NG", "NGSA").
     pub fn label(self) -> &'static str {
@@ -196,11 +199,28 @@ mod tests {
     }
 
     fn origin(id: u64) -> PeerInfo {
-        PeerInfo { id: NodeId(id), addr: NodeAddr(id), max_level: 0, summary: summary() }
+        PeerInfo {
+            id: NodeId(id),
+            addr: NodeAddr(id),
+            max_level: 0,
+            summary: summary(),
+        }
     }
 
-    fn view<'a>(tables: &'a RoutingTables, dist: &'a HierarchicalDistance, self_id: u64, self_level: u32) -> RouterView<'a> {
-        RouterView { tables, dist, self_id: NodeId(self_id), self_level, self_addr: NodeAddr(self_id), max_ttl: 255 }
+    fn view<'a>(
+        tables: &'a RoutingTables,
+        dist: &'a HierarchicalDistance,
+        self_id: u64,
+        self_level: u32,
+    ) -> RouterView<'a> {
+        RouterView {
+            tables,
+            dist,
+            self_id: NodeId(self_id),
+            self_level,
+            self_addr: NodeAddr(self_id),
+            max_ttl: 255,
+        }
     }
 
     #[test]
@@ -208,7 +228,8 @@ mod tests {
         let tables = RoutingTables::new();
         let dist = HierarchicalDistance::new(IdSpace::new(16), 6);
         let v = view(&tables, &dist, 0, 0);
-        let mut req = LookupRequest::new(RequestId(1), origin(0), NodeId(9), RoutingAlgorithm::Greedy);
+        let mut req =
+            LookupRequest::new(RequestId(1), origin(0), NodeId(9), RoutingAlgorithm::Greedy);
         req.ttl = 255;
         assert_eq!(route(&v, &mut req), RouteDecision::Drop);
     }
@@ -261,13 +282,23 @@ mod tests {
         tables.upsert_superior(entry(50_000, 4));
         tables.upsert_superior(entry(1_000, 5));
         let v = view(&tables, &dist, 10, 0);
-        let req = LookupRequest::new(RequestId(1), origin(10), NodeId(55_000), RoutingAlgorithm::Greedy);
+        let req = LookupRequest::new(
+            RequestId(1),
+            origin(10),
+            NodeId(55_000),
+            RoutingAlgorithm::Greedy,
+        );
         let hop = fallback_hop(&v, &req).unwrap();
         assert_eq!(hop.id, NodeId(50_000), "the improving superior wins");
 
         // If the improving superior was already visited, fall back to the
         // highest-level one.
-        let mut req2 = LookupRequest::new(RequestId(2), origin(10), NodeId(55_000), RoutingAlgorithm::Greedy);
+        let mut req2 = LookupRequest::new(
+            RequestId(2),
+            origin(10),
+            NodeId(55_000),
+            RoutingAlgorithm::Greedy,
+        );
         req2.advance(NodeAddr(50_000));
         let hop2 = fallback_hop(&v, &req2).unwrap();
         assert_eq!(hop2.id, NodeId(1_000));
@@ -280,7 +311,12 @@ mod tests {
         tables.upsert_child(entry(100, 0), true);
         tables.upsert_child(entry(40_000, 0), true);
         let v = view(&tables, &dist, 30_000, 1);
-        let req = LookupRequest::new(RequestId(1), origin(30_000), NodeId(45_000), RoutingAlgorithm::Greedy);
+        let req = LookupRequest::new(
+            RequestId(1),
+            origin(30_000),
+            NodeId(45_000),
+            RoutingAlgorithm::Greedy,
+        );
         assert_eq!(fallback_hop(&v, &req).unwrap().id, NodeId(40_000));
     }
 

@@ -22,7 +22,10 @@ pub fn ngsa_next_hop(view: &RouterView<'_>, req: &mut LookupRequest) -> RouteDec
     let improving = improving_candidates(view, req);
     // Never bounce to somewhere the request has already been: the fall-back
     // list exists precisely to explore *new* branches.
-    let fresh: Vec<_> = improving.into_iter().filter(|e| !req.has_visited(e.addr)).collect();
+    let fresh: Vec<_> = improving
+        .into_iter()
+        .filter(|e| !req.has_visited(e.addr))
+        .collect();
     let mut fresh = fresh.into_iter();
 
     if let Some(best) = fresh.next() {
@@ -92,14 +95,28 @@ mod tests {
     }
 
     fn peer(id: u64) -> PeerInfo {
-        PeerInfo { id: NodeId(id), addr: NodeAddr(id), max_level: 0, summary: summary() }
+        PeerInfo {
+            id: NodeId(id),
+            addr: NodeAddr(id),
+            max_level: 0,
+            summary: summary(),
+        }
     }
 
     fn req(origin_id: u64, target: u64) -> LookupRequest {
-        LookupRequest::new(RequestId(1), peer(origin_id), NodeId(target), RoutingAlgorithm::NonGreedyFallback)
+        LookupRequest::new(
+            RequestId(1),
+            peer(origin_id),
+            NodeId(target),
+            RoutingAlgorithm::NonGreedyFallback,
+        )
     }
 
-    fn view<'a>(tables: &'a RoutingTables, dist: &'a HierarchicalDistance, self_id: u64) -> RouterView<'a> {
+    fn view<'a>(
+        tables: &'a RoutingTables,
+        dist: &'a HierarchicalDistance,
+        self_id: u64,
+    ) -> RouterView<'a> {
         RouterView {
             tables,
             dist,
@@ -149,7 +166,9 @@ mod tests {
         r.fallbacks.push(peer(38_000));
         r.fallbacks.push(peer(20_000));
         match ngsa_next_hop(&v, &mut r) {
-            RouteDecision::Forward(e) => assert_eq!(e.id, NodeId(38_000), "closest fallback is used"),
+            RouteDecision::Forward(e) => {
+                assert_eq!(e.id, NodeId(38_000), "closest fallback is used")
+            }
             other => panic!("expected forward, got {other:?}"),
         }
         assert_eq!(r.fallbacks.len(), 1);

@@ -13,7 +13,10 @@ use crate::lookup::LookupRequest;
 /// Select the best strictly-improving peer by Euclidean distance, or `None`
 /// when no known peer improves on the local node. Shared with the NGSA
 /// variant, which also wants the runners-up.
-pub(crate) fn improving_candidates(view: &RouterView<'_>, req: &LookupRequest) -> Vec<RoutingEntry> {
+pub(crate) fn improving_candidates(
+    view: &RouterView<'_>,
+    req: &LookupRequest,
+) -> Vec<RoutingEntry> {
     let target = req.target;
     let self_d = view.dist.euclidean(view.self_id, target);
     let mut improving: Vec<RoutingEntry> = view
@@ -63,13 +66,22 @@ mod tests {
     fn req(origin_id: u64, target: u64) -> LookupRequest {
         LookupRequest::new(
             RequestId(1),
-            PeerInfo { id: NodeId(origin_id), addr: NodeAddr(origin_id), max_level: 0, summary: summary() },
+            PeerInfo {
+                id: NodeId(origin_id),
+                addr: NodeAddr(origin_id),
+                max_level: 0,
+                summary: summary(),
+            },
             NodeId(target),
             RoutingAlgorithm::NonGreedy,
         )
     }
 
-    fn view<'a>(tables: &'a RoutingTables, dist: &'a HierarchicalDistance, self_id: u64) -> RouterView<'a> {
+    fn view<'a>(
+        tables: &'a RoutingTables,
+        dist: &'a HierarchicalDistance,
+        self_id: u64,
+    ) -> RouterView<'a> {
         RouterView {
             tables,
             dist,

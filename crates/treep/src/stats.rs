@@ -36,6 +36,23 @@ pub struct NodeStats {
     pub entries_pruned: u64,
     /// DHT values currently stored at this node.
     pub dht_values_stored: u64,
+    /// Scoped multicasts this node originated.
+    pub multicasts_initiated: u64,
+    /// Multicast payloads delivered to this node (exactly-once by
+    /// construction; a value above the number of distinct multicasts seen
+    /// indicates a duplicate).
+    pub multicast_deliveries: u64,
+    /// Multicast messages this node forwarded (ascent, bus walk, fan-out).
+    pub multicast_forwards: u64,
+    /// Multicast messages discarded because their hop budget ran out.
+    pub multicast_budget_dropped: u64,
+    /// Duplicate descending multicast visits suppressed by the per-node
+    /// seen-window (non-zero only under churn races).
+    pub multicast_duplicates_suppressed: u64,
+    /// Aggregations this node originated.
+    pub aggregates_initiated: u64,
+    /// Convergecast partials this node folded on behalf of others.
+    pub aggregate_partials_folded: u64,
 }
 
 impl NodeStats {
@@ -59,12 +76,18 @@ impl NodeStats {
         self.sent.values().sum()
     }
 
-    /// Total *maintenance* messages sent (everything except lookup / DHT
-    /// traffic); the quantity the maintenance-overhead ablation reports.
+    /// Total *maintenance* messages sent (everything except lookup / DHT /
+    /// multicast / aggregation traffic); the quantity the
+    /// maintenance-overhead ablation reports.
     pub fn maintenance_sent(&self) -> u64 {
         self.sent
             .iter()
-            .filter(|(k, _)| !k.starts_with("lookup") && !k.starts_with("dht"))
+            .filter(|(k, _)| {
+                !k.starts_with("lookup")
+                    && !k.starts_with("dht")
+                    && !k.starts_with("multicast")
+                    && !k.starts_with("aggregate")
+            })
             .map(|(_, v)| *v)
             .sum()
     }
@@ -87,14 +110,16 @@ mod tests {
     }
 
     #[test]
-    fn maintenance_excludes_lookup_and_dht() {
+    fn maintenance_excludes_user_traffic() {
         let mut s = NodeStats::default();
         s.record_sent("keep_alive");
         s.record_sent("child_report");
         s.record_sent("lookup");
         s.record_sent("lookup_found");
         s.record_sent("dht_put");
+        s.record_sent("multicast_down");
+        s.record_sent("aggregate_up");
         assert_eq!(s.maintenance_sent(), 2);
-        assert_eq!(s.total_sent(), 5);
+        assert_eq!(s.total_sent(), 7);
     }
 }

@@ -18,9 +18,10 @@
 
 use crate::entry::RoutingEntry;
 use crate::id::{IdSpace, NodeId};
+use crate::multicast::KeyRange;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
 use simnet::{SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Bus neighbours at one level `i > 0`.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -34,7 +35,11 @@ impl LevelTable {
     /// `own`) bus neighbours.
     pub fn direct_neighbors(&self, own: NodeId) -> (Option<&RoutingEntry>, Option<&RoutingEntry>) {
         let left = self.entries.range(..own).next_back().map(|(_, e)| e);
-        let right = self.entries.range(NodeId(own.0.saturating_add(1))..).next().map(|(_, e)| e);
+        let right = self
+            .entries
+            .range(NodeId(own.0.saturating_add(1))..)
+            .next()
+            .map(|(_, e)| e);
         (left, right)
     }
 }
@@ -140,7 +145,10 @@ impl RoutingTables {
 
     /// Insert or refresh a bus neighbour at `level` (> 0).
     pub fn upsert_level(&mut self, level: u32, entry: RoutingEntry) {
-        assert!(level > 0, "level tables start at 1; level 0 has its own table");
+        assert!(
+            level > 0,
+            "level tables start at 1; level 0 has its own table"
+        );
         merge_into(&mut self.levels.entry(level).or_default().entries, entry);
     }
 
@@ -155,7 +163,11 @@ impl RoutingTables {
     }
 
     /// Direct left/right bus neighbours of `own` at `level`.
-    pub fn bus_neighbors(&self, level: u32, own: NodeId) -> (Option<&RoutingEntry>, Option<&RoutingEntry>) {
+    pub fn bus_neighbors(
+        &self,
+        level: u32,
+        own: NodeId,
+    ) -> (Option<&RoutingEntry>, Option<&RoutingEntry>) {
         match self.levels.get(&level) {
             Some(t) => t.direct_neighbors(own),
             None => (None, None),
@@ -185,7 +197,9 @@ impl RoutingTables {
 
     /// This node's own children, ordered by ID.
     pub fn own_children(&self) -> impl Iterator<Item = &RoutingEntry> + '_ {
-        self.children.values().filter(move |e| self.own_children.contains(&e.id))
+        self.children
+            .values()
+            .filter(move |e| self.own_children.contains(&e.id))
     }
 
     /// Number of own children (`ca` in Section III.e).
@@ -201,7 +215,46 @@ impl RoutingTables {
     /// The own child closest to `target` (the `Closest_Child(X)` primitive of
     /// the routing algorithm in Figure 3).
     pub fn closest_child(&self, space: IdSpace, target: NodeId) -> Option<&RoutingEntry> {
-        self.own_children().min_by_key(|e| space.distance(e.id, target))
+        self.own_children()
+            .min_by_key(|e| space.distance(e.id, target))
+    }
+
+    /// Multicast fan-out selection: the own children whose subtree could
+    /// intersect `range`, in identifier order.
+    ///
+    /// A child's subtree span is not known exactly (only the child itself
+    /// is), so the estimate is deliberately generous: a level-`j` child's
+    /// descendants are assumed to lie within one tessellation radius of the
+    /// level *above* it, `L / 2^(h - (j+1))`, around the child's coordinate.
+    /// Level-0 children have no descendants and are filtered by their own
+    /// coordinate widened by `level0_slack` — pass 0 for exact scoping
+    /// (payload delivery), or a positive slack when *visiting* a node just
+    /// outside the range matters (DHT key digests: a key inside the range
+    /// can be stored at the closest node slightly outside it).
+    /// Over-approximation costs one extra message down a branch that turns
+    /// out to be empty; it can never cause a duplicate (each node has one
+    /// parent) — only an under-approximation could cause a miss.
+    pub fn multicast_fanout(
+        &self,
+        space: IdSpace,
+        height: u32,
+        range: KeyRange,
+        level0_slack: u64,
+    ) -> Vec<RoutingEntry> {
+        self.own_children()
+            .filter(|child| {
+                let slack = if child.max_level == 0 {
+                    level0_slack
+                } else {
+                    space.coverage_radius(height, (child.max_level + 1).min(height))
+                };
+                range.overlaps_interval(
+                    child.id.0.saturating_sub(slack),
+                    child.id.0.saturating_add(slack),
+                )
+            })
+            .copied()
+            .collect()
     }
 
     // ---- parent ------------------------------------------------------------
@@ -243,7 +296,9 @@ impl RoutingTables {
     /// The superior with the highest known level ("send the request to the
     /// superior node with the highest level").
     pub fn highest_superior(&self) -> Option<&RoutingEntry> {
-        self.superiors.values().max_by_key(|e| (e.max_level, std::cmp::Reverse(e.id)))
+        self.superiors
+            .values()
+            .max_by_key(|e| (e.max_level, std::cmp::Reverse(e.id)))
     }
 
     // ---- cross-table operations ---------------------------------------------
@@ -305,8 +360,10 @@ impl RoutingTables {
 
     /// Remove `id` from every table; reports where it was found.
     pub fn remove_peer(&mut self, id: NodeId) -> RemovalReport {
-        let mut report = RemovalReport::default();
-        report.was_level0 = self.level0.remove(&id).is_some();
+        let mut report = RemovalReport {
+            was_level0: self.level0.remove(&id).is_some(),
+            ..RemovalReport::default()
+        };
         for table in self.levels.values_mut() {
             if table.entries.remove(&id).is_some() {
                 report.was_level_neighbor = true;
@@ -340,8 +397,11 @@ impl RoutingTables {
         if self.level0.len() <= keep {
             return 0;
         }
-        let mut by_distance: Vec<(u64, NodeId)> =
-            self.level0.keys().map(|&id| (space.distance(id, own), id)).collect();
+        let mut by_distance: Vec<(u64, NodeId)> = self
+            .level0
+            .keys()
+            .map(|&id| (space.distance(id, own), id))
+            .collect();
         by_distance.sort_unstable();
         let victims: Vec<NodeId> = by_distance[keep..].iter().map(|&(_, id)| id).collect();
         for id in &victims {
@@ -351,38 +411,78 @@ impl RoutingTables {
     }
 
     /// Expire every entry not refreshed within `ttl` of `now` ("The entry
-    /// will be deleted after the expiration of the timestamp"). Returns the
-    /// identifiers removed, with a report of where each one lived.
+    /// will be deleted after the expiration of the timestamp"). Expiry is
+    /// **per entry**, not per peer: a peer whose superior-list entry went
+    /// stale but whose parent slot is actively refreshed loses only the
+    /// superior entry. (Removing the peer from every table at once lets one
+    /// forgotten gossip entry sever a live parent/child link.) Returns the
+    /// identifiers that lost at least one entry, with a report of which
+    /// tables they were removed from.
     pub fn expire(&mut self, now: SimTime, ttl: SimDuration) -> Vec<(NodeId, RemovalReport)> {
-        let mut stale: BTreeSet<NodeId> = BTreeSet::new();
-        for e in self.level0.values() {
-            if e.is_stale(now, ttl) {
-                stale.insert(e.id);
+        let mut reports: BTreeMap<NodeId, RemovalReport> = BTreeMap::new();
+
+        let stale_level0: Vec<NodeId> = self
+            .level0
+            .values()
+            .filter(|e| e.is_stale(now, ttl))
+            .map(|e| e.id)
+            .collect();
+        for id in stale_level0 {
+            self.level0.remove(&id);
+            reports.entry(id).or_default().was_level0 = true;
+        }
+
+        for table in self.levels.values_mut() {
+            let stale: Vec<NodeId> = table
+                .entries
+                .values()
+                .filter(|e| e.is_stale(now, ttl))
+                .map(|e| e.id)
+                .collect();
+            for id in stale {
+                table.entries.remove(&id);
+                reports.entry(id).or_default().was_level_neighbor = true;
             }
         }
-        for t in self.levels.values() {
-            for e in t.entries.values() {
-                if e.is_stale(now, ttl) {
-                    stale.insert(e.id);
-                }
+        self.levels.retain(|_, t| !t.entries.is_empty());
+
+        let stale_children: Vec<NodeId> = self
+            .children
+            .values()
+            .filter(|e| e.is_stale(now, ttl))
+            .map(|e| e.id)
+            .collect();
+        for id in stale_children {
+            self.children.remove(&id);
+            if self.own_children.remove(&id) {
+                reports.entry(id).or_default().was_own_child = true;
+            } else {
+                reports.entry(id).or_default().was_neighbor_child = true;
             }
         }
-        for e in self.children.values() {
-            if e.is_stale(now, ttl) {
-                stale.insert(e.id);
-            }
+
+        if self
+            .parent
+            .as_ref()
+            .map(|p| p.is_stale(now, ttl))
+            .unwrap_or(false)
+        {
+            let p = self.parent.take().expect("checked above");
+            reports.entry(p.id).or_default().was_parent = true;
         }
-        if let Some(p) = &self.parent {
-            if p.is_stale(now, ttl) {
-                stale.insert(p.id);
-            }
+
+        let stale_superiors: Vec<NodeId> = self
+            .superiors
+            .values()
+            .filter(|e| e.is_stale(now, ttl))
+            .map(|e| e.id)
+            .collect();
+        for id in stale_superiors {
+            self.superiors.remove(&id);
+            reports.entry(id).or_default().was_superior = true;
         }
-        for e in self.superiors.values() {
-            if e.is_stale(now, ttl) {
-                stale.insert(e.id);
-            }
-        }
-        stale.into_iter().map(|id| (id, self.remove_peer(id))).collect()
+
+        reports.into_iter().collect()
     }
 
     /// Every distinct peer known, each reported once with the entry carrying
@@ -528,6 +628,55 @@ mod tests {
     }
 
     #[test]
+    fn multicast_fanout_prunes_disjoint_children() {
+        let mut t = RoutingTables::new();
+        let space = IdSpace::new(16); // 65536 ids, height 6 below
+                                      // Level-0 children: filtered exactly by membership.
+        t.upsert_child(entry(1_000, 0, 1), true);
+        t.upsert_child(entry(5_000, 0, 1), true);
+        // A level-2 child: kept whenever the range overlaps its (generous)
+        // subtree estimate of +/- radius(3) = 8192 around id 40_000.
+        t.upsert_child(entry(40_000, 2, 1), true);
+        // A replicated neighbour child never participates in the fan-out.
+        t.upsert_child(entry(2_000, 0, 1), false);
+
+        let fanout = t.multicast_fanout(space, 6, KeyRange::new(NodeId(900), NodeId(1_100)), 0);
+        assert_eq!(
+            fanout.iter().map(|e| e.id.0).collect::<Vec<_>>(),
+            vec![1_000]
+        );
+
+        let wide = t.multicast_fanout(space, 6, KeyRange::new(NodeId(0), NodeId(65_535)), 0);
+        assert_eq!(
+            wide.iter().map(|e| e.id.0).collect::<Vec<_>>(),
+            vec![1_000, 5_000, 40_000]
+        );
+
+        // 33_000 is 7_000 away from the level-2 child: inside its 8192
+        // estimate, so the branch is explored even though the child's own id
+        // is outside the range.
+        let near = t.multicast_fanout(space, 6, KeyRange::new(NodeId(32_000), NodeId(33_000)), 0);
+        assert_eq!(
+            near.iter().map(|e| e.id.0).collect::<Vec<_>>(),
+            vec![40_000]
+        );
+
+        // 20_000 is far outside every estimate.
+        let far = t.multicast_fanout(space, 6, KeyRange::new(NodeId(20_000), NodeId(20_100)), 0);
+        assert!(far.is_empty());
+
+        // A level-0 slack widens only the level-0 filter: the child at
+        // 1_000 is 100 outside the range but within slack 150.
+        let slacky = t.multicast_fanout(space, 6, KeyRange::new(NodeId(1_100), NodeId(1_200)), 150);
+        assert_eq!(
+            slacky.iter().map(|e| e.id.0).collect::<Vec<_>>(),
+            vec![1_000]
+        );
+        let exact = t.multicast_fanout(space, 6, KeyRange::new(NodeId(1_100), NodeId(1_200)), 0);
+        assert!(exact.is_empty());
+    }
+
+    #[test]
     fn parent_and_superiors() {
         let mut t = RoutingTables::new();
         assert!(t.parent().is_none());
@@ -564,8 +713,14 @@ mod tests {
         t.upsert_child(entry(1, 0, 1), true);
         assert!(t.touch(NodeId(1), SimTime::from_millis(100)));
         assert!(!t.touch(NodeId(9), SimTime::from_millis(100)));
-        assert_eq!(t.level0().next().unwrap().last_seen, SimTime::from_millis(100));
-        assert_eq!(t.children().next().unwrap().last_seen, SimTime::from_millis(100));
+        assert_eq!(
+            t.level0().next().unwrap().last_seen,
+            SimTime::from_millis(100)
+        );
+        assert_eq!(
+            t.children().next().unwrap().last_seen,
+            SimTime::from_millis(100)
+        );
     }
 
     #[test]
@@ -578,8 +733,14 @@ mod tests {
         t.upsert_superior(entry(1, 2, 1));
         let r = t.remove_peer(NodeId(1));
         assert!(r.any());
-        assert!(r.was_level0 && r.was_level_neighbor && r.was_own_child && r.was_parent && r.was_superior);
-        assert!(!t.find(NodeId(1)).is_some());
+        assert!(
+            r.was_level0
+                && r.was_level_neighbor
+                && r.was_own_child
+                && r.was_parent
+                && r.was_superior
+        );
+        assert!(t.find(NodeId(1)).is_none());
         let r2 = t.remove_peer(NodeId(1));
         assert!(!r2.any());
     }

@@ -65,7 +65,11 @@ impl BuiltTopology {
     /// `(address, identifier)` pairs restricted to the nodes still alive in
     /// `sim`.
     pub fn alive_pairs(&self, sim: &Simulation<TreePNode>) -> Vec<(NodeAddr, NodeId)> {
-        self.nodes.iter().filter(|n| sim.is_alive(n.addr)).map(|n| (n.addr, n.id)).collect()
+        self.nodes
+            .iter()
+            .filter(|n| sim.is_alive(n.addr))
+            .map(|n| (n.addr, n.id))
+            .collect()
     }
 
     /// Number of members of each level (a node of level `k` is a member of
@@ -88,7 +92,11 @@ impl BuiltTopology {
     /// Addresses of the nodes sitting at the top level of the built
     /// hierarchy.
     pub fn roots(&self) -> Vec<NodeAddr> {
-        self.nodes.iter().filter(|n| n.level == self.height).map(|n| n.addr).collect()
+        self.nodes
+            .iter()
+            .filter(|n| n.level == self.height)
+            .map(|n| n.addr)
+            .collect()
     }
 }
 
@@ -208,9 +216,18 @@ impl TopologyBuilder {
         let height = plan.iter().map(|e| e.level).max().unwrap_or(0);
         let nodes = plan
             .iter()
-            .map(|e| BuiltNode { addr: e.addr, id: e.id, level: e.level, score: e.score })
+            .map(|e| BuiltNode {
+                addr: e.addr,
+                id: e.id,
+                level: e.level,
+                score: e.score,
+            })
             .collect();
-        BuiltTopology { config: self.config, nodes, height }
+        BuiltTopology {
+            config: self.config,
+            nodes,
+            height,
+        }
     }
 
     // ---- planning --------------------------------------------------------
@@ -340,7 +357,11 @@ impl TopologyBuilder {
                 &children,
                 &parents
                     .iter()
-                    .map(|&p| plan[p].characteristics.max_children(self.config.child_policy) as usize)
+                    .map(|&p| {
+                        plan[p]
+                            .characteristics
+                            .max_children(self.config.child_policy) as usize
+                    })
                     .collect::<Vec<_>>(),
             );
             for (child_pos, parent_pos) in assignment {
@@ -359,6 +380,7 @@ impl TopologyBuilder {
         }
 
         // Superior (ancestor) lists: walk the parent chain upwards.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             let mut ancestors = Vec::new();
             let mut cursor = i;
@@ -402,7 +424,11 @@ fn distribute_children(children: &[usize], capacities: &[usize]) -> Vec<(usize, 
     for (p, &cap) in capacities.iter().enumerate() {
         let want = base + usize::from(p < extra) + spill;
         let is_last = p + 1 == n_parents;
-        let take = if is_last { n_children - next_child } else { want.min(cap.max(2)) };
+        let take = if is_last {
+            n_children - next_child
+        } else {
+            want.min(cap.max(2))
+        };
         spill = want.saturating_sub(take);
         for _ in 0..take {
             if next_child >= n_children {
@@ -466,7 +492,11 @@ mod tests {
     #[test]
     fn hierarchy_has_multiple_levels() {
         let (_sim, topo) = TopologyBuilder::new(200).build_simulation(2);
-        assert!(topo.height >= 2, "200 nodes with nc=4 must produce height >= 2, got {}", topo.height);
+        assert!(
+            topo.height >= 2,
+            "200 nodes with nc=4 must produce height >= 2, got {}",
+            topo.height
+        );
         let pop = topo.level_population();
         assert_eq!(pop[&0], 200);
         for lvl in 1..=topo.height {
@@ -480,7 +510,10 @@ mod tests {
         let pop = topo.level_population();
         // Groups of ~4 ⇒ level 1 holds about a quarter of the population.
         let l1 = pop[&1] as f64;
-        assert!(l1 >= 40.0 && l1 <= 90.0, "level-1 population {l1} far from n/4");
+        assert!(
+            (40.0..=90.0).contains(&l1),
+            "level-1 population {l1} far from n/4"
+        );
     }
 
     #[test]
@@ -497,17 +530,27 @@ mod tests {
 
     #[test]
     fn promoted_nodes_are_the_strong_ones() {
-        let builder = TopologyBuilder::new(120)
-            .with_capabilities(CapabilityDistribution::Bimodal { strong_fraction: 0.3 });
+        let builder =
+            TopologyBuilder::new(120).with_capabilities(CapabilityDistribution::Bimodal {
+                strong_fraction: 0.3,
+            });
         let (_sim, topo) = builder.build_simulation(5);
         let promoted_avg: f64 = {
-            let promoted: Vec<f64> =
-                topo.nodes.iter().filter(|n| n.level > 0).map(|n| n.score).collect();
+            let promoted: Vec<f64> = topo
+                .nodes
+                .iter()
+                .filter(|n| n.level > 0)
+                .map(|n| n.score)
+                .collect();
             promoted.iter().sum::<f64>() / promoted.len() as f64
         };
         let level0_avg: f64 = {
-            let level0: Vec<f64> =
-                topo.nodes.iter().filter(|n| n.level == 0).map(|n| n.score).collect();
+            let level0: Vec<f64> = topo
+                .nodes
+                .iter()
+                .filter(|n| n.level == 0)
+                .map(|n| n.score)
+                .collect();
             level0.iter().sum::<f64>() / level0.len() as f64
         };
         assert!(
@@ -569,7 +612,11 @@ mod tests {
         let members: Vec<usize> = (0..9).collect();
         let groups = partition_into_groups(&members, 4);
         assert_eq!(groups.len(), 2);
-        assert_eq!(groups[1].len(), 5, "tail of one merges into the previous group");
+        assert_eq!(
+            groups[1].len(),
+            5,
+            "tail of one merges into the previous group"
+        );
         assert!(partition_into_groups(&[], 4).is_empty());
     }
 

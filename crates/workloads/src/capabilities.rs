@@ -4,13 +4,14 @@ use simnet::SimRng;
 use treep::NodeCharacteristics;
 
 /// How the resource characteristics of the population are drawn.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum CapabilityDistribution {
     /// Every node gets exactly the same characteristics.
     Homogeneous(NodeCharacteristics),
     /// Characteristics are sampled from the heterogeneous mix of
     /// [`NodeCharacteristics::sample`] (a few server-class peers, a band of
     /// workstations, a long tail of weak desktops).
+    #[default]
     Heterogeneous,
     /// A fixed fraction of strong peers, the rest weak — a caricature useful
     /// for tests that need a predictable capability ordering.
@@ -18,12 +19,6 @@ pub enum CapabilityDistribution {
         /// Fraction of strong peers in `[0, 1]`.
         strong_fraction: f64,
     },
-}
-
-impl Default for CapabilityDistribution {
-    fn default() -> Self {
-        CapabilityDistribution::Heterogeneous
-    }
 }
 
 impl CapabilityDistribution {
@@ -73,8 +68,14 @@ mod tests {
     #[test]
     fn bimodal_respects_fraction_roughly() {
         let mut rng = SimRng::seed_from(3);
-        let pop = CapabilityDistribution::Bimodal { strong_fraction: 0.2 }.sample_population(1000, &mut rng);
-        let strong = pop.iter().filter(|c| **c == NodeCharacteristics::strong()).count();
+        let pop = CapabilityDistribution::Bimodal {
+            strong_fraction: 0.2,
+        }
+        .sample_population(1000, &mut rng);
+        let strong = pop
+            .iter()
+            .filter(|c| **c == NodeCharacteristics::strong())
+            .count();
         assert!((100..330).contains(&strong), "strong = {strong}");
     }
 

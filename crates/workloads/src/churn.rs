@@ -34,7 +34,10 @@ impl Default for ChurnPlan {
 impl ChurnPlan {
     /// The schedule used in the paper: 5 % per step, down to 5 % survivors.
     pub fn paper() -> Self {
-        ChurnPlan { fraction_per_step: 0.05, stop_at_surviving_fraction: 0.05 }
+        ChurnPlan {
+            fraction_per_step: 0.05,
+            stop_at_surviving_fraction: 0.05,
+        }
     }
 
     /// Number of nodes to remove in one step for an initial population of
@@ -48,7 +51,10 @@ impl ChurnPlan {
     pub fn steps(&self, initial: usize) -> Vec<ChurnStep> {
         assert!(initial > 0, "cannot plan churn for an empty network");
         let per_step = self.victims_per_step(initial);
-        let mut steps = vec![ChurnStep { index: 0, failed_fraction: 0.0 }];
+        let mut steps = vec![ChurnStep {
+            index: 0,
+            failed_fraction: 0.0,
+        }];
         let mut removed = 0usize;
         let mut index = 1usize;
         loop {
@@ -58,16 +64,27 @@ impl ChurnPlan {
                 break;
             }
             removed += per_step;
-            steps.push(ChurnStep { index, failed_fraction: removed as f64 / initial as f64 });
+            steps.push(ChurnStep {
+                index,
+                failed_fraction: removed as f64 / initial as f64,
+            });
             index += 1;
         }
         steps
     }
 
     /// Choose the victims of one step uniformly at random among `alive`.
-    pub fn pick_victims(&self, alive: &[NodeAddr], initial: usize, rng: &mut SimRng) -> Vec<NodeAddr> {
+    pub fn pick_victims(
+        &self,
+        alive: &[NodeAddr],
+        initial: usize,
+        rng: &mut SimRng,
+    ) -> Vec<NodeAddr> {
         let k = self.victims_per_step(initial).min(alive.len());
-        rng.sample_indices(alive.len(), k).into_iter().map(|i| alive[i]).collect()
+        rng.sample_indices(alive.len(), k)
+            .into_iter()
+            .map(|i| alive[i])
+            .collect()
     }
 }
 
@@ -81,7 +98,10 @@ mod tests {
         let steps = plan.steps(1000);
         assert_eq!(steps.first().unwrap().failed_fraction, 0.0);
         let last = steps.last().unwrap().failed_fraction;
-        assert!(last >= 0.90 && last <= 0.95, "last failed fraction = {last}");
+        assert!(
+            (0.90..=0.95).contains(&last),
+            "last failed fraction = {last}"
+        );
         // 5% per step -> 19 removal steps + the initial measurement.
         assert_eq!(steps.len(), 20);
         // Fractions increase monotonically.
@@ -123,7 +143,10 @@ mod tests {
 
     #[test]
     fn custom_plan() {
-        let plan = ChurnPlan { fraction_per_step: 0.10, stop_at_surviving_fraction: 0.50 };
+        let plan = ChurnPlan {
+            fraction_per_step: 0.10,
+            stop_at_surviving_fraction: 0.50,
+        };
         let steps = plan.steps(100);
         assert_eq!(steps.len(), 6); // 0%,10%,20%,30%,40%,50% failed
         assert!((steps.last().unwrap().failed_fraction - 0.5).abs() < 1e-9);

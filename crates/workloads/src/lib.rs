@@ -13,6 +13,8 @@
 //!   initial population per step until only 5 % survive.
 //! * [`lookups::LookupWorkload`] — batches of random lookups between
 //!   surviving nodes.
+//! * [`multicast::MulticastWorkload`] — batches of scoped multicasts and
+//!   subtree aggregations over random identifier ranges.
 //! * [`capabilities::CapabilityDistribution`] — homogeneous or heterogeneous
 //!   node-resource populations.
 
@@ -22,8 +24,10 @@ pub mod builder;
 pub mod capabilities;
 pub mod churn;
 pub mod lookups;
+pub mod multicast;
 
 pub use builder::{BuiltNode, BuiltTopology, TopologyBuilder};
 pub use capabilities::CapabilityDistribution;
 pub use churn::{ChurnPlan, ChurnStep};
 pub use lookups::{LookupBatch, LookupWorkload};
+pub use multicast::{MulticastBatch, MulticastOp, MulticastWorkload};

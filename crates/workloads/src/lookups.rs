@@ -26,7 +26,9 @@ pub struct LookupWorkload {
 
 impl Default for LookupWorkload {
     fn default() -> Self {
-        LookupWorkload { lookups_per_step: 200 }
+        LookupWorkload {
+            lookups_per_step: 200,
+        }
     }
 }
 
@@ -51,7 +53,10 @@ impl LookupWorkload {
             while dst_idx == src_idx {
                 dst_idx = rng.gen_range_usize(0..alive.len());
             }
-            batch.push(LookupBatch { source: alive[src_idx].0, target: alive[dst_idx].1 });
+            batch.push(LookupBatch {
+                source: alive[src_idx].0,
+                target: alive[dst_idx].1,
+            });
         }
         batch
     }

@@ -30,13 +30,26 @@ fn main() {
     );
 
     let failed = figures::extract(Figure::A, &result, None);
-    println!("{}", failed.to_table("Failed lookups (%) per routing algorithm").render());
+    println!(
+        "{}",
+        failed
+            .to_table("Failed lookups (%) per routing algorithm")
+            .render()
+    );
 
     let hops = figures::extract(Figure::B, &result, None);
-    println!("{}", hops.to_table("Mean hops per routing algorithm").render());
+    println!(
+        "{}",
+        hops.to_table("Mean hops per routing algorithm").render()
+    );
 
     let envelope = figures::extract(Figure::E, &result, None);
-    println!("{}", envelope.to_table("Min / max hops reached by failed lookups (greedy)").render());
+    println!(
+        "{}",
+        envelope
+            .to_table("Min / max hops reached by failed lookups (greedy)")
+            .render()
+    );
 
     println!("{}", maintenance::to_table(&[&result]).render());
 

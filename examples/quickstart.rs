@@ -52,7 +52,10 @@ fn main() {
 
     let alive: Vec<&TreePNode> = ids.iter().filter_map(|&(a, _)| sim.node(a)).collect();
     let report = audit(alive, &config);
-    println!("after 12 s of virtual time, {} peers self-organised into:", report.nodes);
+    println!(
+        "after 12 s of virtual time, {} peers self-organised into:",
+        report.nodes
+    );
     for (level, population) in &report.level_population {
         println!("  level {level}: {population} members");
     }

@@ -38,7 +38,11 @@ fn main() {
     for i in 1..nodes {
         let id = config.space.uniform_position(i, nodes);
         let characteristics = NodeCharacteristics::sample(&mut rng);
-        addrs.push(sim.add_node(TreePNode::new(config, id, characteristics).with_bootstrap(vec![seed_info])));
+        addrs.push(
+            sim.add_node(
+                TreePNode::new(config, id, characteristics).with_bootstrap(vec![seed_info]),
+            ),
+        );
     }
     sim.run_for(SimDuration::from_secs(10));
     println!("overlay of {nodes} peers is up");
@@ -46,9 +50,18 @@ fn main() {
     // 1. Three providers publish what they offer. Each descriptor is indexed
     //    under one DHT key per attribute, so it can be found by any of them.
     let providers = [
-        ("compute-01", vec![("arch", "x86_64"), ("gpu", "a100"), ("ram", "512G")]),
-        ("compute-02", vec![("arch", "arm64"), ("gpu", "none"), ("ram", "128G")]),
-        ("storage-01", vec![("arch", "x86_64"), ("disk", "1P"), ("ram", "64G")]),
+        (
+            "compute-01",
+            vec![("arch", "x86_64"), ("gpu", "a100"), ("ram", "512G")],
+        ),
+        (
+            "compute-02",
+            vec![("arch", "arm64"), ("gpu", "none"), ("ram", "128G")],
+        ),
+        (
+            "storage-01",
+            vec![("arch", "x86_64"), ("disk", "1P"), ("ram", "64G")],
+        ),
     ];
     for (i, (name, attributes)) in providers.iter().enumerate() {
         let mut descriptor = ResourceDescriptor::new(*name);
@@ -79,7 +92,11 @@ fn main() {
         let outcomes = sim.node_mut(requester).unwrap().drain_dht_outcomes();
         for outcome in outcomes {
             match outcome {
-                DhtOutcome::GetAnswered { value: Some(bytes), responder, .. } => {
+                DhtOutcome::GetAnswered {
+                    value: Some(bytes),
+                    responder,
+                    ..
+                } => {
                     let descriptor = ResourceDescriptor::decode(&bytes).expect("valid descriptor");
                     println!(
                         "query {k}={v}: resource '{}' (stored at peer {}) matches",
@@ -101,6 +118,9 @@ fn main() {
     });
     sim.run_for(SimDuration::from_secs(5));
     for o in sim.node_mut(requester).unwrap().drain_lookup_outcomes() {
-        println!("identifier lookup for {target}: {:?} in {} hops", o.status, o.hops);
+        println!(
+            "identifier lookup for {target}: {:?} in {} hops",
+            o.status, o.hops
+        );
     }
 }

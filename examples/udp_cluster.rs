@@ -27,17 +27,38 @@ fn main() {
     };
 
     println!("starting a 6-node TreeP cluster on UDP loopback…");
-    let seed = UdpNode::bind("127.0.0.1:0", config, NodeId(500_000_000), NodeCharacteristics::strong(), vec![])
-        .expect("bind seed");
+    let seed = UdpNode::bind(
+        "127.0.0.1:0",
+        config,
+        NodeId(500_000_000),
+        NodeCharacteristics::strong(),
+        vec![],
+    )
+    .expect("bind seed");
     println!("  seed    {} (id {})", seed.local_addr(), seed.id());
 
-    let ids = [1_000_000_000u64, 1_500_000_000, 2_500_000_000, 3_200_000_000, 3_900_000_000];
+    let ids = [
+        1_000_000_000u64,
+        1_500_000_000,
+        2_500_000_000,
+        3_200_000_000,
+        3_900_000_000,
+    ];
     let mut peers = Vec::new();
     for (i, id) in ids.into_iter().enumerate() {
-        let characteristics =
-            if i % 2 == 0 { NodeCharacteristics::default() } else { NodeCharacteristics::weak() };
-        let node = UdpNode::bind("127.0.0.1:0", config, NodeId(id), characteristics, vec![seed.peer_info()])
-            .expect("bind peer");
+        let characteristics = if i % 2 == 0 {
+            NodeCharacteristics::default()
+        } else {
+            NodeCharacteristics::weak()
+        };
+        let node = UdpNode::bind(
+            "127.0.0.1:0",
+            config,
+            NodeId(id),
+            characteristics,
+            vec![seed.peer_info()],
+        )
+        .expect("bind peer");
         println!("  peer {i}  {} (id {})", node.local_addr(), node.id());
         peers.push(node);
     }
@@ -53,7 +74,10 @@ fn main() {
                 n.id(),
                 n.max_level(),
                 n.tables().level0_degree(),
-                n.tables().parent().map(|p| p.id.to_string()).unwrap_or_else(|| "none".into()),
+                n.tables()
+                    .parent()
+                    .map(|p| p.id.to_string())
+                    .unwrap_or_else(|| "none".into()),
             );
         });
     }
@@ -65,7 +89,10 @@ fn main() {
     }
     std::thread::sleep(Duration::from_millis(800));
     for outcome in peers[4].drain_lookup_outcomes() {
-        println!("  {} -> {:?} in {} hops", outcome.target, outcome.status, outcome.hops);
+        println!(
+            "  {} -> {:?} in {} hops",
+            outcome.target, outcome.status, outcome.hops
+        );
     }
 
     // A DHT round trip over the real network.
@@ -74,8 +101,17 @@ fn main() {
     peers[3].dht_get(b"cluster/motd");
     std::thread::sleep(Duration::from_millis(400));
     for outcome in peers[3].drain_dht_outcomes() {
-        if let treep::DhtOutcome::GetAnswered { value: Some(v), responder, .. } = outcome {
-            println!("\nDHT get cluster/motd -> \"{}\" (stored at {})", String::from_utf8_lossy(&v), responder.id);
+        if let treep::DhtOutcome::GetAnswered {
+            value: Some(v),
+            responder,
+            ..
+        } = outcome
+        {
+            println!(
+                "\nDHT get cluster/motd -> \"{}\" (stored at {})",
+                String::from_utf8_lossy(&v),
+                responder.id
+            );
         }
     }
 

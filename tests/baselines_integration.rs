@@ -5,7 +5,7 @@ use experiments::compare_overlays;
 
 #[test]
 fn overlay_comparison_reproduces_the_qualitative_story() {
-    let comparison = compare_overlays(130, 7, &[0.0, 0.3], 25);
+    let comparison = compare_overlays(130, 8, &[0.0, 0.3], 25);
     assert_eq!(comparison.rows.len(), 6);
 
     let treep_intact = comparison.overlay_rows("TreeP")[0].clone();
@@ -14,7 +14,12 @@ fn overlay_comparison_reproduces_the_qualitative_story() {
 
     // All three overlays resolve the bulk of lookups when nothing has failed.
     for row in [&treep_intact, &chord_intact, &flood_intact] {
-        assert!(row.success_pct >= 80.0, "{} only resolved {:.0}%", row.overlay, row.success_pct);
+        assert!(
+            row.success_pct >= 80.0,
+            "{} only resolved {:.0}%",
+            row.overlay,
+            row.success_pct
+        );
     }
 
     // Structured overlays need few hops; flooding needs many more messages.

@@ -40,7 +40,10 @@ fn values_published_anywhere_are_retrievable_from_anywhere() {
             }
         }
     }
-    assert!(found >= 8, "only {found}/10 DHT values were retrievable across the overlay");
+    assert!(
+        found >= 8,
+        "only {found}/10 DHT values were retrievable across the overlay"
+    );
 }
 
 #[test]
@@ -73,12 +76,15 @@ fn resource_descriptors_are_discoverable_by_attribute() {
     sim.run_for(SimDuration::from_secs(5));
     let outcomes = sim.node_mut(requester).unwrap().drain_dht_outcomes();
     let resolved = outcomes.iter().any(|o| match o {
-        DhtOutcome::GetAnswered { value: Some(v), .. } => {
-            ResourceDescriptor::decode(v).map(|d| d.name == "gpu-node-17").unwrap_or(false)
-        }
+        DhtOutcome::GetAnswered { value: Some(v), .. } => ResourceDescriptor::decode(v)
+            .map(|d| d.name == "gpu-node-17")
+            .unwrap_or(false),
         _ => false,
     });
-    assert!(resolved, "attribute query must find the published descriptor: {outcomes:?}");
+    assert!(
+        resolved,
+        "attribute query must find the published descriptor: {outcomes:?}"
+    );
 
     // A query for an attribute nobody advertised comes back empty, not lost.
     let missing_key = attribute_query("gpu", "h100");
@@ -87,7 +93,8 @@ fn resource_descriptors_are_discoverable_by_attribute() {
     });
     sim.run_for(SimDuration::from_secs(5));
     let outcomes = sim.node_mut(requester).unwrap().drain_dht_outcomes();
-    assert!(outcomes
-        .iter()
-        .any(|o| matches!(o, DhtOutcome::GetAnswered { value: None, .. } | DhtOutcome::TimedOut { .. })));
+    assert!(outcomes.iter().any(|o| matches!(
+        o,
+        DhtOutcome::GetAnswered { value: None, .. } | DhtOutcome::TimedOut { .. }
+    )));
 }

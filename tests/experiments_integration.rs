@@ -17,8 +17,14 @@ fn failure_rate_grows_with_churn_but_stays_reasonable() {
     for algorithm in RoutingAlgorithm::ALL {
         let early = first.algo(algorithm).unwrap().failed_pct();
         let late = last.algo(algorithm).unwrap().failed_pct();
-        assert!(early <= 15.0, "{algorithm}: {early:.0}% failures before any churn");
-        assert!(late >= early, "{algorithm}: churn cannot improve the failure rate");
+        assert!(
+            early <= 15.0,
+            "{algorithm}: {early:.0}% failures before any churn"
+        );
+        assert!(
+            late >= early,
+            "{algorithm}: churn cannot improve the failure rate"
+        );
     }
 }
 
@@ -32,8 +38,12 @@ fn the_three_algorithms_stay_within_a_band_of_each_other() {
     let result = quick_run();
     let mut averages = Vec::new();
     for algorithm in RoutingAlgorithm::ALL {
-        let rates: Vec<f64> =
-            result.steps.iter().filter_map(|s| s.algo(algorithm)).map(|a| a.failed_pct()).collect();
+        let rates: Vec<f64> = result
+            .steps
+            .iter()
+            .filter_map(|s| s.algo(algorithm))
+            .map(|a| a.failed_pct())
+            .collect();
         averages.push(rates.iter().sum::<f64>() / rates.len().max(1) as f64);
     }
     let min = averages.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -54,7 +64,10 @@ fn hop_surfaces_peak_at_a_small_hop_count() {
         // On the intact topology the bulk of the requests resolve in few hops.
         let (_, intact) = &surface.rows()[0];
         let mode = intact.mode().unwrap_or(0);
-        assert!(mode <= 8, "{algorithm}: hop mode {mode} is far from the paper's 4-5");
+        assert!(
+            mode <= 8,
+            "{algorithm}: hop mode {mode} is far from the paper's 4-5"
+        );
         assert!(intact.cumulative_percentage(10) > 80.0);
     }
 }
@@ -63,15 +76,23 @@ fn hop_surfaces_peak_at_a_small_hop_count() {
 fn every_figure_extracts_and_renders_from_real_runs() {
     let fixed = quick_run();
     let adaptive = run_churn_experiment(
-        &ExperimentParams::quick(150, 2005).with_lookups_per_step(25).with_adaptive_policy(),
+        &ExperimentParams::quick(150, 2005)
+            .with_lookups_per_step(25)
+            .with_adaptive_policy(),
     );
     for figure in Figure::ALL {
         let data = figures::extract(figure, &fixed, Some(&adaptive));
         let table = data.to_table(&format!("Figure {figure}"));
         let rendered = table.render();
-        assert!(rendered.lines().count() >= 3, "figure {figure} rendered almost nothing:\n{rendered}");
+        assert!(
+            rendered.lines().count() >= 3,
+            "figure {figure} rendered almost nothing:\n{rendered}"
+        );
         let csv = data.to_csv().render();
-        assert!(csv.lines().count() >= 2, "figure {figure} produced an empty CSV");
+        assert!(
+            csv.lines().count() >= 2,
+            "figure {figure} produced an empty CSV"
+        );
     }
 }
 
@@ -79,7 +100,9 @@ fn every_figure_extracts_and_renders_from_real_runs() {
 fn fixed_and_adaptive_policies_build_different_hierarchies() {
     let fixed = quick_run();
     let adaptive = run_churn_experiment(
-        &ExperimentParams::quick(150, 2005).with_lookups_per_step(25).with_adaptive_policy(),
+        &ExperimentParams::quick(150, 2005)
+            .with_lookups_per_step(25)
+            .with_adaptive_policy(),
     );
     assert_eq!(fixed.policy_label, "nc=4");
     assert_eq!(adaptive.policy_label, "nc=variable");

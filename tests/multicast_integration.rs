@@ -1,0 +1,222 @@
+//! Cross-crate integration of the multicast / aggregation subsystem: scoped
+//! multicasts on a steady-state multi-level topology must reach every live
+//! node in the target range exactly once (duplicate suppression is
+//! structural), and convergecast aggregations must fold the whole range into
+//! one answer at the origin.
+
+use simnet::{LatencyModel, LinkModel, LossModel, SimConfig, SimDuration, Simulation};
+use treep::{AggregateQuery, KeyRange, NodeId, TreePNode};
+use workloads::TopologyBuilder;
+
+/// Build a topology inside a simulation with the given link model and let
+/// the maintenance protocol settle.
+fn build_with_link(
+    n: usize,
+    seed: u64,
+    link: LinkModel,
+) -> (Simulation<TreePNode>, workloads::BuiltTopology) {
+    let config = SimConfig {
+        link,
+        ..SimConfig::default()
+    };
+    let mut sim: Simulation<TreePNode> = Simulation::new(config, seed);
+    let builder = TopologyBuilder::new(n);
+    let topo = builder.build(&mut sim);
+    sim.run_for(SimDuration::from_secs(3));
+    (sim, topo)
+}
+
+fn loss_free() -> LinkModel {
+    LinkModel {
+        loss: LossModel::None,
+        ..LinkModel::default()
+    }
+}
+
+fn lossy(p: f64) -> LinkModel {
+    LinkModel {
+        latency: LatencyModel::Fixed(SimDuration::from_millis(5)),
+        loss: LossModel::Bernoulli { p },
+    }
+}
+
+/// Count deliveries of one multicast per node; returns
+/// `(nodes_reached, total_deliveries)` over the nodes in `range`.
+fn tally(
+    sim: &mut Simulation<TreePNode>,
+    topo: &workloads::BuiltTopology,
+    range: KeyRange,
+) -> (usize, usize, usize) {
+    let mut reached = 0usize;
+    let mut total = 0usize;
+    let mut targets = 0usize;
+    for node in &topo.nodes {
+        if !sim.is_alive(node.addr) {
+            continue;
+        }
+        let deliveries = sim
+            .node_mut(node.addr)
+            .unwrap()
+            .drain_multicast_deliveries();
+        if range.contains(node.id) {
+            targets += 1;
+            if !deliveries.is_empty() {
+                reached += 1;
+            }
+        } else {
+            assert!(
+                deliveries.is_empty(),
+                "node {:?} outside the range must not receive the payload",
+                node.id
+            );
+        }
+        total += deliveries.len();
+    }
+    (targets, reached, total)
+}
+
+#[test]
+fn scoped_multicast_reaches_every_node_in_range_exactly_once() {
+    let (mut sim, topo) = build_with_link(250, 42, loss_free());
+    assert!(
+        topo.height >= 3,
+        "need a 3-level topology, got height {}",
+        topo.height
+    );
+
+    let space = topo.config.space;
+    // A scoped range covering roughly the middle third of the space.
+    let range = KeyRange::new(NodeId(space.size() / 3), NodeId(2 * (space.size() / 3)));
+    let origin = topo.nodes[2].addr; // an ordinary level-0 node
+    sim.invoke(origin, |node, ctx| {
+        node.start_multicast(range, b"scoped".to_vec(), ctx);
+    });
+    sim.run_for(SimDuration::from_secs(5));
+
+    let (targets, reached, total) = tally(&mut sim, &topo, range);
+    assert!(
+        targets > 50,
+        "the scoped range should hold a meaningful population, got {targets}"
+    );
+    assert_eq!(
+        reached, targets,
+        "coverage must be 100% of live nodes in range"
+    );
+    assert_eq!(
+        total, targets,
+        "duplicate factor must be exactly 1.0 (exactly-once)"
+    );
+}
+
+#[test]
+fn full_space_multicast_is_a_broadcast_with_duplicate_factor_one() {
+    let (mut sim, topo) = build_with_link(200, 7, loss_free());
+    let range = KeyRange::full(topo.config.space);
+    let origin = topo.nodes[0].addr;
+    sim.invoke(origin, |node, ctx| {
+        node.start_multicast(range, b"to-all".to_vec(), ctx);
+    });
+    sim.run_for(SimDuration::from_secs(5));
+
+    let (targets, reached, total) = tally(&mut sim, &topo, range);
+    assert_eq!(targets, 200);
+    assert_eq!(
+        reached, 200,
+        "full-space multicast must reach every live node"
+    );
+    assert_eq!(total, 200, "exactly one delivery per node");
+}
+
+#[test]
+fn multicast_under_ten_percent_loss_stays_exactly_once() {
+    let (mut sim, topo) = build_with_link(250, 42, lossy(0.10));
+    assert!(
+        topo.height >= 3,
+        "need a 3-level topology, got height {}",
+        topo.height
+    );
+
+    let space = topo.config.space;
+    let range = KeyRange::new(NodeId(space.size() / 4), NodeId(3 * (space.size() / 4)));
+    let origin = topo.nodes[5].addr;
+    sim.invoke(origin, |node, ctx| {
+        node.start_multicast(range, b"lossy".to_vec(), ctx);
+    });
+    sim.run_for(SimDuration::from_secs(5));
+
+    // Loss may cut whole branches (coverage below 100%), but structural
+    // delegation means no node can ever see the payload twice — and most of
+    // the range is still reached through the surviving branches.
+    let mut reached = 0usize;
+    let mut targets = 0usize;
+    for node in &topo.nodes {
+        let deliveries = sim
+            .node_mut(node.addr)
+            .unwrap()
+            .drain_multicast_deliveries();
+        assert!(
+            deliveries.len() <= 1,
+            "node {:?} delivered {} times; exactly-once must survive loss",
+            node.id,
+            deliveries.len()
+        );
+        if range.contains(node.id) {
+            targets += 1;
+            reached += usize::from(!deliveries.is_empty());
+        }
+    }
+    assert!(
+        reached as f64 >= targets as f64 * 0.5,
+        "10% per-hop loss should not destroy the dissemination: {reached}/{targets}"
+    );
+}
+
+#[test]
+fn aggregation_counts_the_scoped_population() {
+    let (mut sim, topo) = build_with_link(250, 42, loss_free());
+    let space = topo.config.space;
+    let range = KeyRange::new(NodeId(space.size() / 3), NodeId(2 * (space.size() / 3)));
+    let expected = topo.nodes.iter().filter(|n| range.contains(n.id)).count() as u64;
+
+    let origin = topo.nodes[2].addr;
+    sim.invoke(origin, |node, ctx| {
+        node.start_aggregate(range, AggregateQuery::CountNodes, ctx);
+    });
+    sim.run_for(SimDuration::from_secs(8));
+
+    let outcomes = sim.node_mut(origin).unwrap().drain_aggregate_outcomes();
+    assert_eq!(outcomes.len(), 1);
+    assert!(outcomes[0].is_success(), "{outcomes:?}");
+    assert!(
+        outcomes[0].is_complete(),
+        "loss-free convergecast must not truncate: {outcomes:?}"
+    );
+    assert_eq!(
+        outcomes[0].partial().unwrap().as_count(),
+        Some(expected),
+        "the convergecast must count exactly the live nodes in range"
+    );
+}
+
+#[test]
+fn max_capability_aggregation_finds_the_strongest_node() {
+    let (mut sim, topo) = build_with_link(150, 11, loss_free());
+    let range = KeyRange::full(topo.config.space);
+    let origin = topo.nodes[1].addr;
+    sim.invoke(origin, |node, ctx| {
+        node.start_aggregate(range, AggregateQuery::MaxCapability, ctx);
+    });
+    sim.run_for(SimDuration::from_secs(8));
+
+    let outcomes = sim.node_mut(origin).unwrap().drain_aggregate_outcomes();
+    assert_eq!(outcomes.len(), 1);
+    assert!(outcomes[0].is_success());
+    match outcomes[0].partial().unwrap() {
+        treep::AggregatePartial::MaxCapability(m) => {
+            // The strongest sampled profile in a heterogeneous population of
+            // 150 is always well above the floor.
+            assert!(m > 100, "max capability {m} implausibly low");
+        }
+        other => panic!("expected a MaxCapability partial, got {other:?}"),
+    }
+}

@@ -42,11 +42,26 @@ fn steady_state_topology_routes_all_three_algorithms() {
             }
         }
     }
-    assert_eq!(total, 3 * batches.len(), "every issued lookup must produce an outcome");
+    assert_eq!(
+        total,
+        3 * batches.len(),
+        "every issued lookup must produce an outcome"
+    );
     let success_rate = successes as f64 / total as f64;
-    assert!(success_rate > 0.9, "only {:.0}% of lookups resolved on an intact topology", success_rate * 100.0);
-    assert!(histogram.mean() < 10.0, "mean hops {:.1} is far from the paper's ~5", histogram.mean());
-    assert!(histogram.max().unwrap_or(0) <= 30, "no lookup should need more than 30 hops");
+    assert!(
+        success_rate > 0.9,
+        "only {:.0}% of lookups resolved on an intact topology",
+        success_rate * 100.0
+    );
+    assert!(
+        histogram.mean() < 10.0,
+        "mean hops {:.1} is far from the paper's ~5",
+        histogram.mean()
+    );
+    assert!(
+        histogram.max().unwrap_or(0) <= 30,
+        "no lookup should need more than 30 hops"
+    );
 }
 
 #[test]
@@ -77,7 +92,11 @@ fn hierarchy_survives_moderate_failures() {
     let mut successes = 0usize;
     for &(addr, _) in &alive_pairs {
         if let Some(node) = sim.node_mut(addr) {
-            successes += node.drain_lookup_outcomes().iter().filter(|o| o.status.is_success()).count();
+            successes += node
+                .drain_lookup_outcomes()
+                .iter()
+                .filter(|o| o.status.is_success())
+                .count();
         }
     }
     assert!(
@@ -87,23 +106,33 @@ fn hierarchy_survives_moderate_failures() {
     );
 
     // Dead peers eventually disappear from the survivors' routing tables.
-    let nodes: Vec<&TreePNode> = alive_pairs.iter().filter_map(|&(a, _)| sim.node(a)).collect();
+    let nodes: Vec<&TreePNode> = alive_pairs
+        .iter()
+        .filter_map(|&(a, _)| sim.node(a))
+        .collect();
     let report = audit(nodes, &TreePConfig::paper_case_fixed());
     assert_eq!(report.nodes, alive_pairs.len());
-    assert!(report.avg_active_connections < 25.0, "maintenance kept connection counts bounded");
+    assert!(
+        report.avg_active_connections < 25.0,
+        "maintenance kept connection counts bounded"
+    );
 }
 
 #[test]
 fn adaptive_policy_gives_stronger_nodes_more_children() {
     let builder = TopologyBuilder::new(220)
         .with_config(TreePConfig::paper_case_adaptive())
-        .with_capabilities(CapabilityDistribution::Bimodal { strong_fraction: 0.25 });
+        .with_capabilities(CapabilityDistribution::Bimodal {
+            strong_fraction: 0.25,
+        });
     let (sim, topo) = builder.build_simulation(9);
 
     let mut strong_children = Vec::new();
     let mut weak_children = Vec::new();
     for built in &topo.nodes {
-        let Some(node) = sim.node(built.addr) else { continue };
+        let Some(node) = sim.node(built.addr) else {
+            continue;
+        };
         if node.max_level() == 0 {
             continue;
         }
@@ -123,9 +152,19 @@ fn adaptive_policy_gives_stronger_nodes_more_children() {
         );
     }
     // Parents are on average stronger than leaves (resource-oriented hierarchy).
-    let parent_score: f64 = topo.nodes.iter().filter(|n| n.level > 0).map(|n| n.score).sum::<f64>()
+    let parent_score: f64 = topo
+        .nodes
+        .iter()
+        .filter(|n| n.level > 0)
+        .map(|n| n.score)
+        .sum::<f64>()
         / topo.nodes.iter().filter(|n| n.level > 0).count().max(1) as f64;
-    let leaf_score: f64 = topo.nodes.iter().filter(|n| n.level == 0).map(|n| n.score).sum::<f64>()
+    let leaf_score: f64 = topo
+        .nodes
+        .iter()
+        .filter(|n| n.level == 0)
+        .map(|n| n.score)
+        .sum::<f64>()
         / topo.nodes.iter().filter(|n| n.level == 0).count().max(1) as f64;
     assert!(parent_score > leaf_score);
 }

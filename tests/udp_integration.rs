@@ -19,9 +19,14 @@ fn fast_config() -> TreePConfig {
 #[test]
 fn udp_cluster_self_organises_and_routes() {
     let config = fast_config();
-    let seed =
-        UdpNode::bind("127.0.0.1:0", config, NodeId(100_000_000), NodeCharacteristics::strong(), vec![])
-            .expect("bind seed");
+    let seed = UdpNode::bind(
+        "127.0.0.1:0",
+        config,
+        NodeId(100_000_000),
+        NodeCharacteristics::strong(),
+        vec![],
+    )
+    .expect("bind seed");
 
     let ids = [900_000_000u64, 1_800_000_000, 2_700_000_000, 3_600_000_000];
     let peers: Vec<UdpNode> = ids
@@ -48,7 +53,10 @@ fn udp_cluster_self_organises_and_routes() {
     let any_promoted = std::iter::once(&seed)
         .chain(peers.iter())
         .any(|n| n.with_node(|node| node.max_level() > 0 || node.tables().parent().is_some()));
-    assert!(any_promoted, "after a second of real time some hierarchy structure must exist");
+    assert!(
+        any_promoted,
+        "after a second of real time some hierarchy structure must exist"
+    );
 
     // Lookups across the real network resolve.
     peers[3].lookup(NodeId(900_000_000), RoutingAlgorithm::Greedy);
@@ -57,7 +65,10 @@ fn udp_cluster_self_organises_and_routes() {
     let outcomes = peers[3].drain_lookup_outcomes();
     assert_eq!(outcomes.len(), 2);
     let successes = outcomes.iter().filter(|o| o.status.is_success()).count();
-    assert!(successes >= 1, "at least one UDP lookup must resolve: {outcomes:?}");
+    assert!(
+        successes >= 1,
+        "at least one UDP lookup must resolve: {outcomes:?}"
+    );
 
     for p in peers {
         p.shutdown();
