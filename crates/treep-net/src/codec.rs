@@ -88,9 +88,10 @@ pub fn encode_message(msg: &TreePMessage) -> Vec<u8> {
             put_peer(&mut buf, sender);
             put_updates(&mut buf, updates);
         }
-        TreePMessage::ChildReport { child } => {
+        TreePMessage::ChildReport { child, span } => {
             buf.put_u8(TAG_CHILD_REPORT);
             put_peer(&mut buf, child);
+            put_range(&mut buf, span);
         }
         TreePMessage::ChildReportAck { parent, superiors } => {
             buf.put_u8(TAG_CHILD_REPORT_ACK);
@@ -262,6 +263,7 @@ pub fn decode_message(mut buf: &[u8]) -> Result<TreePMessage> {
         },
         TAG_CHILD_REPORT => TreePMessage::ChildReport {
             child: get_peer(&mut buf)?,
+            span: get_range(&mut buf)?,
         },
         TAG_CHILD_REPORT_ACK => TreePMessage::ChildReportAck {
             parent: get_peer(&mut buf)?,
@@ -730,7 +732,10 @@ mod tests {
                 sender: peer(6, 0),
                 updates: vec![],
             },
-            TreePMessage::ChildReport { child: peer(12, 0) },
+            TreePMessage::ChildReport {
+                child: peer(12, 0),
+                span: KeyRange::new(NodeId(8), NodeId(24)),
+            },
             TreePMessage::ChildReportAck {
                 parent: peer(13, 1),
                 superiors: vec![peer(14, 2)],
@@ -992,6 +997,7 @@ mod proptests {
             },
             4 => TreePMessage::ChildReport {
                 child: arb_peer(state),
+                span: treep::KeyRange::new(NodeId(xorshift(state)), NodeId(xorshift(state))),
             },
             5 => TreePMessage::ChildReportAck {
                 parent: arb_peer(state),

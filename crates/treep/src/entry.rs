@@ -55,12 +55,24 @@ impl RoutingEntry {
         now.saturating_since(self.last_seen) > ttl
     }
 
-    /// Merge newer information about the same peer (higher level, newer
-    /// timestamp, refreshed summary).
+    /// Merge newer information about the same peer (refreshed address,
+    /// higher level, newer timestamp, refreshed summary). Older information
+    /// never rolls the canonical record back — in particular the transport
+    /// address changes only on **strictly newer** evidence, so a peer that
+    /// re-joined under a new address cannot be rolled back to the dead one
+    /// even by a stale gossip copy processed in the same simulation tick.
     pub fn merge(&mut self, other: &RoutingEntry) {
         debug_assert_eq!(self.id, other.id);
-        if other.last_seen >= self.last_seen {
+        if other.last_seen > self.last_seen {
             self.last_seen = other.last_seen;
+            self.addr = other.addr;
+            self.summary = other.summary;
+            self.max_level = other.max_level;
+        } else if other.last_seen == self.last_seen {
+            // Same-instant information: refresh the soft fields but keep
+            // the established address — same-tick copies cannot be ordered,
+            // and flapping to whichever arrived last would let indirect
+            // gossip override a direct contact.
             self.summary = other.summary;
             self.max_level = other.max_level;
         } else {
@@ -175,6 +187,53 @@ mod tests {
         old.merge(&stale_high_level);
         assert_eq!(old.last_seen, SimTime::from_millis(20));
         assert_eq!(old.max_level, 4);
+    }
+
+    #[test]
+    fn merge_adopts_newer_address_but_never_a_stale_one() {
+        let mut e = RoutingEntry::new(
+            NodeId(3),
+            NodeAddr(30),
+            0,
+            summary(),
+            SimTime::from_millis(10),
+        );
+        // The peer re-joined under a new address: newer info wins.
+        let rejoined = RoutingEntry::new(
+            NodeId(3),
+            NodeAddr(31),
+            0,
+            summary(),
+            SimTime::from_millis(20),
+        );
+        e.merge(&rejoined);
+        assert_eq!(e.addr, NodeAddr(31));
+        // A stale gossip copy still carrying the old address is ignored.
+        let stale = RoutingEntry::new(
+            NodeId(3),
+            NodeAddr(30),
+            0,
+            summary(),
+            SimTime::from_millis(15),
+        );
+        e.merge(&stale);
+        assert_eq!(e.addr, NodeAddr(31));
+        // A same-tick copy (equal timestamps are common in the discrete
+        // event simulator) cannot roll the address back either.
+        let same_tick = RoutingEntry::new(
+            NodeId(3),
+            NodeAddr(30),
+            1,
+            summary(),
+            SimTime::from_millis(20),
+        );
+        e.merge(&same_tick);
+        assert_eq!(
+            e.addr,
+            NodeAddr(31),
+            "addr change needs strictly newer evidence"
+        );
+        assert_eq!(e.max_level, 1, "soft fields still refresh on a tie");
     }
 
     #[test]

@@ -89,4 +89,4 @@ pub use multicast::{
 pub use node::TreePNode;
 pub use routing::{RouteDecision, RouterView, RoutingAlgorithm};
 pub use stats::NodeStats;
-pub use tables::{RoutingTables, TableSizes};
+pub use tables::{PeerEntry, RemovalReport, RoutingTables, TableSizes};

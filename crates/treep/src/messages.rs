@@ -103,6 +103,11 @@ pub enum TreePMessage {
     ChildReport {
         /// The reporting child.
         child: PeerInfo,
+        /// Exact extent of the child's subtree in the identifier space (its
+        /// own coordinate joined with its children's reported extents). The
+        /// parent records it and uses it to prune multicast fan-outs
+        /// exactly instead of by the tessellation-radius estimate.
+        span: KeyRange,
     },
     /// Parent's answer to a child report: refreshes the parent entry and
     /// replicates the ancestor chain + the parent's bus neighbours into the

@@ -1,58 +1,72 @@
-//! The TreeP node state machine.
+//! The TreeP node: a layered protocol engine.
 //!
 //! [`TreePNode`] implements [`simnet::Protocol`], so the exact same code is
 //! driven by the discrete-event simulator (for the paper's experiments) and
-//! by the real UDP transport in `treep-net`. Every behaviour of Section III
-//! lives here: joining, the six routing tables and their lazy maintenance,
-//! countdown elections and demotions, the three lookup algorithms, and the
-//! DHT extension.
+//! by the real UDP transport in `treep-net`. The behaviour of Section III is
+//! decomposed into focused protocol layers, each owning its handlers and
+//! timers, behind the thin dispatch in this file:
+//!
+//! * `membership` — joining, keep-alives, child reports, the periodic
+//!   maintenance tick and routing-table gossip.
+//! * `promotion` — countdown elections, promotions and demotions (the
+//!   hierarchy-formation layer).
+//! * `lookup` — the three lookup algorithms' request handling and the DHT
+//!   put/get routing built on them.
+//! * `multicast` — tree-scoped multicast dissemination and convergecast
+//!   aggregation.
+//!
+//! This file owns only construction, the public accessors, the shared
+//! plumbing (request IDs, timer tokens, send accounting) and the
+//! [`Protocol`] dispatch that routes every message and timer to the layer
+//! that handles it. All state lives in one struct — the layers are modules,
+//! not objects — so handlers freely cooperate through `&mut self` while the
+//! file layout keeps each protocol concern reviewable in isolation.
+
+mod lookup;
+mod membership;
+mod multicast;
+mod promotion;
+
+#[cfg(test)]
+mod tests;
 
 use crate::characteristics::{CharacteristicsSummary, NodeCharacteristics};
 use crate::config::TreePConfig;
 use crate::dht::{DhtOutcome, DhtStore, PendingDht};
 use crate::distance::HierarchicalDistance;
 use crate::election::ElectionState;
-use crate::entry::{PeerInfo, RoutingEntry};
-use crate::id::{hash_key, NodeId};
-use crate::lookup::{LookupOutcome, LookupRequest, LookupStatus, PendingLookup, RequestId};
-use crate::messages::{RoutingUpdate, TreePMessage};
+use crate::entry::PeerInfo;
+use crate::id::NodeId;
+use crate::lookup::{LookupOutcome, PendingLookup, RequestId};
+use crate::messages::TreePMessage;
 use crate::multicast::{
-    AggregateOutcome, AggregatePartial, AggregateQuery, AggregateRelay, KeyRange,
-    MulticastDelivery, MulticastPayload, MulticastPhase, PendingAggregate, ReplyTo, SeenWindow,
+    AggregateOutcome, AggregateRelay, KeyRange, MulticastDelivery, PendingAggregate, SeenWindow,
 };
-use crate::routing::{route, RouteDecision, RouterView, RoutingAlgorithm};
+use crate::routing::RouterView;
 use crate::stats::NodeStats;
 use crate::tables::RoutingTables;
 use simnet::{Context, NodeAddr, Protocol, SimDuration, SimTime, TimerToken};
 use std::collections::BTreeMap;
 
 // ---- timer token encoding ---------------------------------------------------
+//
+// Each layer owns the timers listed next to it; the `on_timer` dispatch
+// below routes a decoded token to the owning layer.
 
+/// Maintenance tick (`membership`).
 const TIMER_KEEPALIVE: u64 = 0;
+/// Election countdown (`promotion`).
 const TIMER_ELECTION: u64 = 1;
+/// Demotion countdown (`promotion`).
 const TIMER_DEMOTION: u64 = 2;
+/// Lookup timeout (`lookup`).
 const TIMER_LOOKUP: u64 = 3;
+/// DHT request timeout (`lookup`).
 const TIMER_DHT: u64 = 4;
+/// Aggregation origin timeout (`multicast`).
 const TIMER_AGGREGATE: u64 = 5;
+/// Aggregation relay hold timer (`multicast`).
 const TIMER_AGG_RELAY: u64 = 6;
-
-/// Direction of the top-level bus walk of a multicast descent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum BusDir {
-    Left,
-    Right,
-}
-
-/// How a node participates in a multicast descent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum DescentRole {
-    /// Top of the initiator's tree: starts the bus walk in both directions.
-    Root,
-    /// Reached by the bus walk: continues it in one direction.
-    Bus(BusDir),
-    /// Reached through its parent: fans out to its own children only.
-    Subtree,
-}
 
 fn encode_timer(kind: u64, payload: u64) -> TimerToken {
     TimerToken(kind | (payload << 3))
@@ -238,6 +252,15 @@ impl TreePNode {
         self.characteristics.max_children(self.config.child_policy)
     }
 
+    /// The exact extent of this node's subtree in the identifier space: its
+    /// own coordinate joined with its children's reported extents. Carried
+    /// on every `ChildReport` so the parent can prune multicast fan-outs
+    /// exactly.
+    pub fn subtree_span(&self) -> KeyRange {
+        self.tables
+            .own_subtree_extent(self.id, self.config.space, self.config.height)
+    }
+
     // ---- seeding (used by the steady-state topology builder and tests) -------
 
     /// Force the node's maximum level (topology seeding).
@@ -270,7 +293,7 @@ impl TreePNode {
         self.tables.upsert_superior(peer.into_entry(now));
     }
 
-    // ---- user-facing operations ----------------------------------------------
+    // ---- shared plumbing -----------------------------------------------------
 
     fn fresh_request_id(&mut self) -> RequestId {
         let id = RequestId(self.next_request_id);
@@ -289,1336 +312,9 @@ impl TreePNode {
         }
     }
 
-    /// Originate a lookup for `target` using `algorithm`. The outcome is
-    /// recorded locally (see [`TreePNode::drain_lookup_outcomes`]) when an
-    /// answer arrives or the timeout expires.
-    pub fn start_lookup(
-        &mut self,
-        target: NodeId,
-        algorithm: RoutingAlgorithm,
-        ctx: &mut Context<'_, TreePMessage>,
-    ) -> RequestId {
-        let request_id = self.fresh_request_id();
-        self.stats.lookups_initiated += 1;
-        self.pending_lookups.insert(
-            request_id,
-            PendingLookup {
-                target,
-                algorithm,
-                started_at: ctx.now(),
-            },
-        );
-        ctx.set_timer(
-            self.config.lookup_timeout,
-            encode_timer(TIMER_LOOKUP, request_id.0),
-        );
-
-        let mut req = LookupRequest::new(request_id, self.peer_info(), target, algorithm);
-        if target == self.id || self.tables.find(target).is_some() {
-            // Resolved locally without a single hop.
-            self.complete_lookup(request_id, LookupStatus::Found, 0, ctx.now());
-            return request_id;
-        }
-        let decision = route(&self.router_view(), &mut req);
-        match decision {
-            RouteDecision::Found(_) => {
-                self.complete_lookup(request_id, LookupStatus::Found, 0, ctx.now());
-            }
-            RouteDecision::Forward(next) => {
-                req.advance(self.addr.expect("node not started"));
-                self.send(ctx, next.addr, TreePMessage::Lookup(req));
-            }
-            RouteDecision::NotFound | RouteDecision::Drop => {
-                self.complete_lookup(request_id, LookupStatus::NotFound, 0, ctx.now());
-            }
-        }
-        request_id
-    }
-
-    /// Store `value` in the DHT under an application key.
-    pub fn dht_put(
-        &mut self,
-        key: &[u8],
-        value: Vec<u8>,
-        ctx: &mut Context<'_, TreePMessage>,
-    ) -> RequestId {
-        let coord = hash_key(self.config.space, key);
-        let request_id = self.fresh_request_id();
-        self.pending_dht.insert(
-            request_id,
-            PendingDht {
-                key: coord,
-                started_at: ctx.now(),
-            },
-        );
-        ctx.set_timer(
-            self.config.lookup_timeout,
-            encode_timer(TIMER_DHT, request_id.0),
-        );
-        let msg = TreePMessage::DhtPut {
-            request_id,
-            origin: self.peer_info(),
-            key: coord,
-            value,
-            ttl: 0,
-        };
-        self.route_dht(msg, ctx);
-        request_id
-    }
-
-    /// Retrieve the value stored in the DHT under an application key.
-    pub fn dht_get(&mut self, key: &[u8], ctx: &mut Context<'_, TreePMessage>) -> RequestId {
-        let coord = hash_key(self.config.space, key);
-        let request_id = self.fresh_request_id();
-        self.pending_dht.insert(
-            request_id,
-            PendingDht {
-                key: coord,
-                started_at: ctx.now(),
-            },
-        );
-        ctx.set_timer(
-            self.config.lookup_timeout,
-            encode_timer(TIMER_DHT, request_id.0),
-        );
-        let msg = TreePMessage::DhtGet {
-            request_id,
-            origin: self.peer_info(),
-            key: coord,
-            ttl: 0,
-        };
-        self.route_dht(msg, ctx);
-        request_id
-    }
-
-    /// Multicast `payload` to every live node whose identifier falls in
-    /// `range`. The message climbs to this node's root, walks the top-level
-    /// bus, and descends the spanning forest; structural delegation (one
-    /// parent per node, directional bus walk) delivers the payload to each
-    /// covered node **at most once** with zero duplicate messages. Covered
-    /// nodes record the payload in their
-    /// [`TreePNode::drain_multicast_deliveries`] queue.
-    pub fn start_multicast(
-        &mut self,
-        range: KeyRange,
-        payload: Vec<u8>,
-        ctx: &mut Context<'_, TreePMessage>,
-    ) -> RequestId {
-        let request_id = self.fresh_request_id();
-        self.stats.multicasts_initiated += 1;
-        let me = self.peer_info();
-        self.dispatch_multicast(
-            me.addr,
-            me,
-            request_id,
-            range,
-            MulticastPayload::Data(payload),
-            self.config.multicast_hop_budget,
-            0,
-            MulticastPhase::Up,
-            0,
-            ctx,
-        );
-        request_id
-    }
-
-    /// Fold `query` over every live node in `range` with one scoped
-    /// multicast + convergecast instead of `n` point lookups. The combined
-    /// answer (or a timeout) is recorded at this origin — see
-    /// [`TreePNode::drain_aggregate_outcomes`].
-    pub fn start_aggregate(
-        &mut self,
-        range: KeyRange,
-        query: AggregateQuery,
-        ctx: &mut Context<'_, TreePMessage>,
-    ) -> RequestId {
-        let request_id = self.fresh_request_id();
-        self.stats.aggregates_initiated += 1;
-        self.pending_aggregates.insert(
-            request_id,
-            PendingAggregate {
-                query,
-                range,
-                started_at: ctx.now(),
-            },
-        );
-        ctx.set_timer(
-            self.config.lookup_timeout,
-            encode_timer(TIMER_AGGREGATE, request_id.0),
-        );
-        let me = self.peer_info();
-        self.dispatch_multicast(
-            me.addr,
-            me,
-            request_id,
-            range,
-            MulticastPayload::Aggregate(query),
-            self.config.multicast_hop_budget,
-            0,
-            MulticastPhase::Up,
-            0,
-            ctx,
-        );
-        request_id
-    }
-
-    /// Census of the DHT keys stored across `range`: one scoped aggregation
-    /// folding per-node key digests (see [`DhtStore::digest_range`]).
-    pub fn dht_range_digest(
-        &mut self,
-        range: KeyRange,
-        ctx: &mut Context<'_, TreePMessage>,
-    ) -> RequestId {
-        self.start_aggregate(range, AggregateQuery::DhtKeyDigest, ctx)
-    }
-
-    // ---- internal helpers -----------------------------------------------------
-
     fn send(&mut self, ctx: &mut Context<'_, TreePMessage>, dest: NodeAddr, msg: TreePMessage) {
         self.stats.record_sent(msg.kind());
         ctx.send(dest, msg);
-    }
-
-    fn complete_lookup(
-        &mut self,
-        request_id: RequestId,
-        status: LookupStatus,
-        hops: u32,
-        now: SimTime,
-    ) {
-        if let Some(pending) = self.pending_lookups.remove(&request_id) {
-            self.lookup_outcomes.push(LookupOutcome {
-                request_id,
-                target: pending.target,
-                algorithm: pending.algorithm,
-                status,
-                hops,
-                started_at: pending.started_at,
-                completed_at: now,
-            });
-        }
-    }
-
-    /// The peer strictly closer (Euclidean) to `key` than this node, if any.
-    fn closer_peer_to(&self, key: NodeId) -> Option<RoutingEntry> {
-        let self_addr = self.addr.expect("node not started");
-        let own = self.dist.euclidean(self.id, key);
-        self.tables
-            .all_peers()
-            .into_iter()
-            .filter(|p| p.addr != self_addr)
-            .filter(|p| self.dist.euclidean(p.id, key) < own)
-            .min_by_key(|p| (self.dist.euclidean(p.id, key), p.id))
-    }
-
-    fn route_dht(&mut self, msg: TreePMessage, ctx: &mut Context<'_, TreePMessage>) {
-        let (key, ttl) = match &msg {
-            TreePMessage::DhtPut { key, ttl, .. } | TreePMessage::DhtGet { key, ttl, .. } => {
-                (*key, *ttl)
-            }
-            _ => unreachable!("route_dht only handles DHT requests"),
-        };
-        if ttl >= self.config.max_ttl {
-            return; // dropped; the origin times out
-        }
-        match self.closer_peer_to(key) {
-            Some(next) => {
-                let forwarded = bump_dht_ttl(msg);
-                self.send(ctx, next.addr, forwarded);
-            }
-            None => {
-                // This node is responsible for the key.
-                self.answer_dht_locally(msg, ctx);
-            }
-        }
-    }
-
-    fn answer_dht_locally(&mut self, msg: TreePMessage, ctx: &mut Context<'_, TreePMessage>) {
-        let me = self.peer_info();
-        let self_addr = me.addr;
-        match msg {
-            TreePMessage::DhtPut {
-                request_id,
-                origin,
-                key,
-                value,
-                ..
-            } => {
-                self.store.put(key, value);
-                self.stats.dht_values_stored = self.store.len() as u64;
-                let ack = TreePMessage::DhtPutAck {
-                    request_id,
-                    key,
-                    stored_at: me,
-                };
-                if origin.addr == self_addr {
-                    self.record_dht_ack(request_id, key, me, ctx.now());
-                } else {
-                    self.send(ctx, origin.addr, ack);
-                }
-            }
-            TreePMessage::DhtGet {
-                request_id,
-                origin,
-                key,
-                ..
-            } => {
-                let value = self.store.get(key).cloned();
-                if origin.addr == self_addr {
-                    self.record_dht_answer(request_id, key, value, me, ctx.now());
-                } else {
-                    let reply = TreePMessage::DhtGetReply {
-                        request_id,
-                        key,
-                        value,
-                        responder: me,
-                    };
-                    self.send(ctx, origin.addr, reply);
-                }
-            }
-            _ => unreachable!("answer_dht_locally only handles DHT requests"),
-        }
-    }
-
-    fn record_dht_ack(
-        &mut self,
-        request_id: RequestId,
-        key: NodeId,
-        stored_at: PeerInfo,
-        now: SimTime,
-    ) {
-        if self.pending_dht.remove(&request_id).is_some() {
-            self.dht_outcomes.push(DhtOutcome::PutAcked {
-                request_id,
-                key,
-                stored_at,
-                completed_at: now,
-            });
-        }
-    }
-
-    fn record_dht_answer(
-        &mut self,
-        request_id: RequestId,
-        key: NodeId,
-        value: Option<Vec<u8>>,
-        responder: PeerInfo,
-        now: SimTime,
-    ) {
-        if self.pending_dht.remove(&request_id).is_some() {
-            self.dht_outcomes.push(DhtOutcome::GetAnswered {
-                request_id,
-                key,
-                value,
-                responder,
-                completed_at: now,
-            });
-        }
-    }
-
-    /// Record (or refresh) knowledge about a peer we just heard from.
-    fn learn_peer(&mut self, peer: PeerInfo, now: SimTime) {
-        if !self.tables.touch(peer.id, now) {
-            self.tables.upsert_level0(peer.into_entry(now));
-        } else {
-            // Refresh the stored level information too.
-            self.tables.upsert_level0(peer.into_entry(now));
-        }
-        // If we share a level (> 0) with the sender, it is also a bus contact.
-        if peer.max_level > 0 && peer.max_level <= self.max_level {
-            self.tables
-                .upsert_level(peer.max_level, peer.into_entry(now));
-        }
-    }
-
-    fn apply_update(&mut self, update: RoutingUpdate, now: SimTime) {
-        match update {
-            RoutingUpdate::Contact { peer } => {
-                if peer.id != self.id {
-                    self.tables.upsert_level0(peer.into_entry(now));
-                }
-            }
-            RoutingUpdate::LevelMember { level, peer } => {
-                if peer.id == self.id {
-                    return;
-                }
-                if level <= self.max_level && level > 0 {
-                    self.tables.upsert_level(level, peer.into_entry(now));
-                } else {
-                    self.tables.upsert_superior(peer.into_entry(now));
-                }
-            }
-            RoutingUpdate::ParentOf { peer } => {
-                if peer.id == self.id {
-                    return;
-                }
-                self.tables.upsert_superior(peer.into_entry(now));
-            }
-            RoutingUpdate::ChildOf { peer } => {
-                if peer.id == self.id {
-                    return;
-                }
-                if self.max_level > 0 {
-                    self.tables.upsert_child(peer.into_entry(now), false);
-                } else {
-                    self.tables.upsert_level0(peer.into_entry(now));
-                }
-            }
-            RoutingUpdate::Superior { peer } => {
-                if peer.id != self.id {
-                    self.tables.upsert_superior(peer.into_entry(now));
-                }
-            }
-        }
-    }
-
-    /// The updates this node piggy-backs on keep-alives: its parent, its own
-    /// level membership, and (for parents) a sample of its children.
-    fn my_updates(&self) -> Vec<RoutingUpdate> {
-        let mut updates = Vec::new();
-        if let Some(p) = self.tables.parent() {
-            updates.push(RoutingUpdate::ParentOf {
-                peer: PeerInfo::from_entry(p),
-            });
-        }
-        if self.max_level > 0 {
-            if self.addr.is_some() {
-                updates.push(RoutingUpdate::LevelMember {
-                    level: self.max_level,
-                    peer: self.peer_info(),
-                });
-            }
-            for child in self.tables.own_children().take(4) {
-                updates.push(RoutingUpdate::ChildOf {
-                    peer: PeerInfo::from_entry(child),
-                });
-            }
-        }
-        for sup in self.tables.superiors().take(4) {
-            updates.push(RoutingUpdate::Superior {
-                peer: PeerInfo::from_entry(sup),
-            });
-        }
-        updates
-    }
-
-    /// Superiors advertised to children in a [`TreePMessage::ChildReportAck`]:
-    /// our own parent, our ancestors, and our direct bus neighbours.
-    fn superiors_for_children(&self) -> Vec<PeerInfo> {
-        let mut sup: Vec<PeerInfo> = Vec::new();
-        if let Some(p) = self.tables.parent() {
-            sup.push(PeerInfo::from_entry(p));
-        }
-        for s in self.tables.superiors().take(6) {
-            sup.push(PeerInfo::from_entry(s));
-        }
-        if self.max_level > 0 {
-            let (l, r) = self.tables.bus_neighbors(self.max_level, self.id);
-            if let Some(l) = l {
-                sup.push(PeerInfo::from_entry(l));
-            }
-            if let Some(r) = r {
-                sup.push(PeerInfo::from_entry(r));
-            }
-        }
-        sup
-    }
-
-    // ---- maintenance tick ------------------------------------------------------
-
-    fn maintenance_tick(&mut self, ctx: &mut Context<'_, TreePMessage>) {
-        let now = ctx.now();
-        if let Some(last) = self.last_tick {
-            self.characteristics
-                .add_uptime(now.saturating_since(last).as_secs());
-        }
-        self.last_tick = Some(now);
-        self.stats.keepalive_rounds += 1;
-
-        // 1. Expire stale entries, then prune gossip-learned level-0 contacts
-        //    beyond the configured budget so the keep-alive fan-out stays
-        //    bounded regardless of the network size.
-        let expired = self.tables.expire(now, self.config.entry_ttl);
-        self.stats.entries_expired += expired.len() as u64;
-        self.stats.entries_pruned += self.tables.prune_level0(
-            self.config.space,
-            self.id,
-            self.config.max_level0_connections,
-        ) as u64;
-
-        // 2. Trigger an election when we have degree >= 2 and no parent.
-        //    Nodes already sitting at the top of the hierarchy (the root) do
-        //    not need a parent and never call one.
-        if self.tables.parent().is_none()
-            && self.max_level < self.config.height
-            && self.tables.level0_degree() >= self.config.min_level0_connections
-            && self.election.election().is_none()
-        {
-            self.trigger_election(ctx);
-        }
-
-        // 3. Parents with fewer than two children run the demotion countdown.
-        if self.max_level > 0 {
-            if self.tables.own_children_count() < 2 {
-                if self.election.demotion().is_none() {
-                    let (delay, round) = self.election.start_demotion(
-                        &self.characteristics,
-                        self.config.demotion_base,
-                        now,
-                    );
-                    ctx.set_timer(delay, encode_timer(TIMER_DEMOTION, round));
-                }
-            } else {
-                self.election.cancel_demotion();
-            }
-        }
-
-        // 4. Keep-alives to level-0 neighbours.
-        let updates = self.my_updates();
-        let me = self.peer_info();
-        let level0: Vec<NodeAddr> = self.tables.level0().map(|e| e.addr).collect();
-        for addr in level0 {
-            if addr == me.addr {
-                continue;
-            }
-            self.send(
-                ctx,
-                addr,
-                TreePMessage::KeepAlive {
-                    sender: me,
-                    updates: updates.clone(),
-                },
-            );
-        }
-
-        // 5. Keep-alives to direct bus neighbours at every level we belong to.
-        for level in 1..=self.max_level {
-            let (l, r) = self.tables.bus_neighbors(level, self.id);
-            let targets: Vec<NodeAddr> = [l, r]
-                .into_iter()
-                .flatten()
-                .map(|e| e.addr)
-                .filter(|a| *a != me.addr)
-                .collect();
-            for addr in targets {
-                self.send(
-                    ctx,
-                    addr,
-                    TreePMessage::KeepAlive {
-                        sender: me,
-                        updates: updates.clone(),
-                    },
-                );
-            }
-        }
-
-        // 6. Report to the parent ("if they do not report regularly they
-        //    will simply be deleted from its routing table").
-        if let Some(parent) = self.tables.parent().map(|p| p.addr) {
-            self.send(ctx, parent, TreePMessage::ChildReport { child: me });
-        }
-
-        // 7. Re-arm the tick.
-        ctx.set_timer(
-            self.config.keepalive_interval,
-            encode_timer(TIMER_KEEPALIVE, 0),
-        );
-    }
-
-    fn trigger_election(&mut self, ctx: &mut Context<'_, TreePMessage>) {
-        let level = self.max_level + 1;
-        let now = ctx.now();
-        let (delay, round) = self.election.start_election(
-            level,
-            &self.characteristics,
-            self.config.election_base,
-            now,
-        );
-        self.stats.elections_joined += 1;
-        ctx.set_timer(delay, encode_timer(TIMER_ELECTION, round));
-        let me = self.peer_info();
-        let neighbors: Vec<NodeAddr> = self.tables.level0().map(|e| e.addr).collect();
-        for addr in neighbors {
-            if addr != me.addr {
-                self.send(ctx, addr, TreePMessage::ElectionCall { level, caller: me });
-            }
-        }
-    }
-
-    fn win_election(&mut self, level: u32, ctx: &mut Context<'_, TreePMessage>) {
-        let level = level.min(self.config.height);
-        let prior_level = self.max_level;
-        self.max_level = self.max_level.max(level);
-        self.stats.promotions += 1;
-        let me = self.peer_info();
-        // Announce to the level-0 neighbours *and* to the bus neighbours of
-        // every level held before the promotion: a same-level ex-peer is
-        // exactly the node that needs the new parent (it can only adopt a
-        // parent one level above itself), and it is often not a level-0
-        // neighbour of the winner.
-        let mut notify: Vec<NodeAddr> = self.tables.level0().map(|e| e.addr).collect();
-        for lvl in 1..=prior_level {
-            let (l, r) = self.tables.bus_neighbors(lvl, self.id);
-            notify.extend([l, r].into_iter().flatten().map(|e| e.addr));
-        }
-        notify.sort_unstable();
-        notify.dedup();
-        for addr in notify {
-            if addr != me.addr {
-                self.send(
-                    ctx,
-                    addr,
-                    TreePMessage::ParentAnnounce { level, parent: me },
-                );
-            }
-        }
-    }
-
-    fn demote(&mut self, ctx: &mut Context<'_, TreePMessage>) {
-        let from_level = self.max_level;
-        if from_level == 0 {
-            return;
-        }
-        self.max_level = 0;
-        self.stats.demotions += 1;
-        let me = self.peer_info();
-        let mut notify: Vec<NodeAddr> = Vec::new();
-        notify.extend(self.tables.children().map(|e| e.addr));
-        for level in 1..=from_level {
-            let (l, r) = self.tables.bus_neighbors(level, self.id);
-            notify.extend([l, r].into_iter().flatten().map(|e| e.addr));
-        }
-        if let Some(p) = self.tables.parent() {
-            notify.push(p.addr);
-        }
-        notify.sort_unstable();
-        notify.dedup();
-        for addr in notify {
-            if addr != me.addr {
-                self.send(
-                    ctx,
-                    addr,
-                    TreePMessage::Demotion {
-                        node: me,
-                        from_level,
-                    },
-                );
-            }
-        }
-        // Back to an ordinary level-0 node: the hierarchy-specific state goes
-        // away; the old parent is kept only as a superior hint.
-        if let Some(old_parent) = self.tables.clear_parent() {
-            self.tables.upsert_superior(old_parent);
-        }
-        let own_children: Vec<NodeId> = self.tables.own_children().map(|e| e.id).collect();
-        for child in own_children {
-            self.tables.remove_peer(child);
-        }
-    }
-
-    // ---- multicast / aggregation engine ----------------------------------------
-
-    /// Central multicast state machine, shared by the origin (`from` is the
-    /// node's own address) and by `on_message`.
-    #[allow(clippy::too_many_arguments)]
-    fn dispatch_multicast(
-        &mut self,
-        from: NodeAddr,
-        origin: PeerInfo,
-        request_id: RequestId,
-        range: KeyRange,
-        payload: MulticastPayload,
-        budget: u32,
-        hops: u32,
-        phase: MulticastPhase,
-        bus_level: u32,
-        ctx: &mut Context<'_, TreePMessage>,
-    ) {
-        match phase {
-            MulticastPhase::Up => {
-                // An exhausted budget ends the ascent early: the node acts as
-                // a (degraded) descent root so the message still delivers
-                // locally instead of silently vanishing.
-                if let Some(parent) = self.tables.parent().map(|p| p.addr).filter(|_| budget > 0) {
-                    self.stats.multicast_forwards += 1;
-                    self.send(
-                        ctx,
-                        parent,
-                        TreePMessage::MulticastDown {
-                            origin,
-                            request_id,
-                            range,
-                            payload,
-                            budget: budget - 1,
-                            hops: hops + 1,
-                            phase: MulticastPhase::Up,
-                            bus_level: 0,
-                        },
-                    );
-                } else {
-                    // No parent: this node is the root of its tree and
-                    // becomes the descent root.
-                    self.descend(
-                        from,
-                        origin,
-                        request_id,
-                        range,
-                        payload,
-                        budget,
-                        hops,
-                        DescentRole::Root,
-                        0,
-                        ctx,
-                    );
-                }
-            }
-            MulticastPhase::BusLeft => self.descend(
-                from,
-                origin,
-                request_id,
-                range,
-                payload,
-                budget,
-                hops,
-                DescentRole::Bus(BusDir::Left),
-                bus_level,
-                ctx,
-            ),
-            MulticastPhase::BusRight => self.descend(
-                from,
-                origin,
-                request_id,
-                range,
-                payload,
-                budget,
-                hops,
-                DescentRole::Bus(BusDir::Right),
-                bus_level,
-                ctx,
-            ),
-            MulticastPhase::Down => self.descend(
-                from,
-                origin,
-                request_id,
-                range,
-                payload,
-                budget,
-                hops,
-                DescentRole::Subtree,
-                bus_level,
-                ctx,
-            ),
-        }
-    }
-
-    /// Deliver locally, fan out to the selected children, continue the bus
-    /// walk, and (for aggregations) set up the convergecast relay.
-    #[allow(clippy::too_many_arguments)]
-    fn descend(
-        &mut self,
-        from: NodeAddr,
-        origin: PeerInfo,
-        request_id: RequestId,
-        range: KeyRange,
-        payload: MulticastPayload,
-        budget: u32,
-        hops: u32,
-        role: DescentRole,
-        bus_level: u32,
-        ctx: &mut Context<'_, TreePMessage>,
-    ) {
-        let me_addr = self.addr.expect("node not started");
-        // Duplicate guard. Delegation is structural, so a second descending
-        // visit for the same multicast can only be a churn race (a child
-        // transiently in two parents' tables). Suppress it entirely: no
-        // delivery, no forwarding (a duplicate delegator's relay recovers
-        // through its hold timer).
-        if !self.multicast_seen.insert((origin.addr, request_id)) {
-            self.stats.multicast_duplicates_suppressed += 1;
-            return;
-        }
-        // Collect the outgoing edges first (bus continuation + children), so
-        // the aggregate relay knows how many partials to expect.
-        let mut edges: Vec<(NodeAddr, MulticastPhase)> = Vec::new();
-
-        // 1. Bus walk. The descent root starts the walk in both directions
-        //    at its own top level; a bus-visited node continues in the
-        //    direction it was reached from; subtree nodes never walk. The
-        //    walk is not range-pruned: the top bus is short and walking it
-        //    fully is what guarantees every tree of the forest is reached.
-        let walking: &[BusDir] = match role {
-            DescentRole::Root => &[BusDir::Left, BusDir::Right],
-            DescentRole::Bus(BusDir::Left) => &[BusDir::Left],
-            DescentRole::Bus(BusDir::Right) => &[BusDir::Right],
-            DescentRole::Subtree => &[],
-        };
-        let walk_level = match role {
-            DescentRole::Root => self.max_level,
-            DescentRole::Bus(_) | DescentRole::Subtree => bus_level,
-        };
-        if walk_level > 0 {
-            let (left, right) = {
-                let (l, r) = self.tables.bus_neighbors(walk_level, self.id);
-                (l.map(|e| e.addr), r.map(|e| e.addr))
-            };
-            for dir in walking {
-                let (next, phase) = match dir {
-                    BusDir::Left => (left, MulticastPhase::BusLeft),
-                    BusDir::Right => (right, MulticastPhase::BusRight),
-                };
-                if let Some(next) = next {
-                    if next != me_addr && next != from {
-                        edges.push((next, phase));
-                    }
-                }
-            }
-        }
-
-        // 2. Children fan-out: own children whose (estimated) subtree can
-        //    intersect the range. Children at or above the walk level are on
-        //    the bus and are reached by the walk itself — fanning them out
-        //    too would be the one way to create a duplicate, so they are
-        //    excluded.
-        // Note: `from` is deliberately NOT excluded here. When the descent
-        // root is reached by its own child's ascent, that child is exactly
-        // the branch the origin lives in — skipping it would sever it. A
-        // child can never be the delegating parent or a bus neighbour, so
-        // including it cannot bounce a message back where it came from.
-        //
-        // DHT-key-digest aggregations widen the level-0 filter by one
-        // level-1 tessellation radius: a key inside the range is stored at
-        // the node *closest* to it, which can sit just outside the range.
-        // Visiting such a node is one extra message and never a duplicate;
-        // its own contribution is still clipped to `range` by
-        // `DhtStore::digest_range`.
-        let level0_slack = match &payload {
-            MulticastPayload::Aggregate(AggregateQuery::DhtKeyDigest) => {
-                self.config.space.coverage_radius(self.config.height, 1)
-            }
-            _ => 0,
-        };
-        let fanout: Vec<NodeAddr> = self
-            .tables
-            .multicast_fanout(self.config.space, self.config.height, range, level0_slack)
-            .into_iter()
-            .filter(|c| c.max_level < walk_level || walk_level == 0)
-            .map(|c| c.addr)
-            .filter(|a| *a != me_addr)
-            .collect();
-        for addr in fanout {
-            edges.push((addr, MulticastPhase::Down));
-        }
-
-        // The hop budget limits *forwarding*, never receipt: an arriving
-        // message always delivers locally. An exhausted budget prunes the
-        // outgoing edges (for aggregates the empty edge set completes the
-        // branch immediately with the local contribution).
-        if budget == 0 && !edges.is_empty() {
-            self.stats.multicast_budget_dropped += 1;
-            edges.clear();
-        }
-
-        // 3. Local delivery / contribution.
-        let in_range = range.contains(self.id);
-        match &payload {
-            MulticastPayload::Data(data) => {
-                if in_range {
-                    self.stats.multicast_deliveries += 1;
-                    self.multicast_deliveries.push(MulticastDelivery {
-                        origin,
-                        request_id,
-                        range,
-                        payload: data.clone(),
-                        hops,
-                        at: ctx.now(),
-                    });
-                }
-            }
-            MulticastPayload::Aggregate(query) => {
-                let acc = self.aggregate_contribution(*query, range);
-                let reply_to = match role {
-                    // The descent root reports the final fold straight to
-                    // the origin (`from` is an ascent hop, not a delegator).
-                    DescentRole::Root => {
-                        if origin.addr == me_addr {
-                            ReplyTo::SelfOrigin
-                        } else {
-                            ReplyTo::Origin(origin.addr)
-                        }
-                    }
-                    DescentRole::Bus(_) | DescentRole::Subtree => ReplyTo::Upstream(from),
-                };
-                if edges.is_empty() {
-                    self.finish_aggregate_branch(
-                        origin, request_id, *query, acc, false, reply_to, ctx,
-                    );
-                } else {
-                    let round = self.next_relay_round;
-                    self.next_relay_round += 1;
-                    self.relays.insert(
-                        round,
-                        AggregateRelay {
-                            origin,
-                            request_id,
-                            query: *query,
-                            reply_to,
-                            acc,
-                            expected: edges.len(),
-                            truncated: false,
-                        },
-                    );
-                    ctx.set_timer(
-                        self.config.aggregate_relay_timeout,
-                        encode_timer(TIMER_AGG_RELAY, round),
-                    );
-                }
-            }
-        }
-
-        // 4. Forward along the collected edges.
-        for (dest, phase) in edges {
-            self.stats.multicast_forwards += 1;
-            self.send(
-                ctx,
-                dest,
-                TreePMessage::MulticastDown {
-                    origin,
-                    request_id,
-                    range,
-                    payload: payload.clone(),
-                    budget: budget - 1,
-                    hops: hops + 1,
-                    phase,
-                    bus_level: walk_level,
-                },
-            );
-        }
-    }
-
-    /// This node's own contribution to an aggregation over `range`.
-    fn aggregate_contribution(&self, query: AggregateQuery, range: KeyRange) -> AggregatePartial {
-        let in_range = range.contains(self.id);
-        match query {
-            AggregateQuery::CountNodes => AggregatePartial::Count(u64::from(in_range)),
-            AggregateQuery::MaxCapability => AggregatePartial::MaxCapability(if in_range {
-                CharacteristicsSummary::of(&self.characteristics, self.config.child_policy)
-                    .score_milli
-            } else {
-                0
-            }),
-            AggregateQuery::DhtKeyDigest => {
-                // Keys in range can be stored at a node just outside it (the
-                // responsible node is the *closest* to the key), so the
-                // store is consulted regardless of the node's own position.
-                let (xor, count) = self.store.digest_range(range);
-                AggregatePartial::Digest { xor, count }
-            }
-        }
-    }
-
-    /// Report a completed (or truncated) convergecast branch.
-    #[allow(clippy::too_many_arguments)]
-    fn finish_aggregate_branch(
-        &mut self,
-        origin: PeerInfo,
-        request_id: RequestId,
-        query: AggregateQuery,
-        acc: AggregatePartial,
-        truncated: bool,
-        reply_to: ReplyTo,
-        ctx: &mut Context<'_, TreePMessage>,
-    ) {
-        match reply_to {
-            ReplyTo::SelfOrigin => {
-                self.record_aggregate_outcome(request_id, query, acc, truncated, ctx.now())
-            }
-            ReplyTo::Origin(addr) => {
-                self.send(
-                    ctx,
-                    addr,
-                    TreePMessage::AggregateUp {
-                        origin,
-                        request_id,
-                        query,
-                        partial: acc,
-                        truncated,
-                        final_answer: true,
-                    },
-                );
-            }
-            ReplyTo::Upstream(addr) => {
-                self.send(
-                    ctx,
-                    addr,
-                    TreePMessage::AggregateUp {
-                        origin,
-                        request_id,
-                        query,
-                        partial: acc,
-                        truncated,
-                        final_answer: false,
-                    },
-                );
-            }
-        }
-    }
-
-    fn record_aggregate_outcome(
-        &mut self,
-        request_id: RequestId,
-        query: AggregateQuery,
-        partial: AggregatePartial,
-        truncated: bool,
-        now: SimTime,
-    ) {
-        if self.pending_aggregates.remove(&request_id).is_some() {
-            self.aggregate_outcomes.push(AggregateOutcome::Completed {
-                request_id,
-                query,
-                partial,
-                truncated,
-                completed_at: now,
-            });
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn handle_aggregate_up(
-        &mut self,
-        origin: PeerInfo,
-        request_id: RequestId,
-        query: AggregateQuery,
-        partial: AggregatePartial,
-        truncated: bool,
-        final_answer: bool,
-        ctx: &mut Context<'_, TreePMessage>,
-    ) {
-        // The descent root's final fold resolves the pending request at the
-        // origin; it must never be confused with a branch partial (the
-        // origin can simultaneously be a relay of its own aggregation).
-        if final_answer {
-            if origin.addr == self.addr.expect("node not started") {
-                self.record_aggregate_outcome(request_id, query, partial, truncated, ctx.now());
-            }
-            return;
-        }
-        // A relay waiting on this branch folds the partial in.
-        let matching = self
-            .relays
-            .iter()
-            .find(|(_, r)| r.origin.addr == origin.addr && r.request_id == request_id)
-            .map(|(round, _)| *round);
-        if let Some(round) = matching {
-            let done = {
-                let relay = self.relays.get_mut(&round).expect("found above");
-                relay.acc.combine(&partial);
-                relay.truncated |= truncated;
-                relay.expected = relay.expected.saturating_sub(1);
-                self.stats.aggregate_partials_folded += 1;
-                relay.expected == 0
-            };
-            if done {
-                let relay = self.relays.remove(&round).expect("found above");
-                self.finish_aggregate_branch(
-                    relay.origin,
-                    relay.request_id,
-                    relay.query,
-                    relay.acc,
-                    relay.truncated,
-                    relay.reply_to,
-                    ctx,
-                );
-            }
-        }
-        // A branch partial with no matching relay is one that arrived after
-        // the relay's hold timer already folded up without it: nothing to do.
-    }
-
-    // ---- message handlers -------------------------------------------------------
-
-    fn handle_lookup(&mut self, mut req: LookupRequest, ctx: &mut Context<'_, TreePMessage>) {
-        let now = ctx.now();
-        let me = self.peer_info();
-        self.stats.lookups_forwarded += 1;
-
-        // The target might be this very node.
-        if req.target == self.id {
-            self.stats.lookups_answered += 1;
-            let answer = TreePMessage::LookupFound {
-                request_id: req.request_id,
-                target: req.target,
-                result: me,
-                hops: req.hops(),
-                algorithm: req.algorithm,
-            };
-            if req.origin.addr == me.addr {
-                self.complete_lookup(req.request_id, LookupStatus::Found, req.hops(), now);
-            } else {
-                self.send(ctx, req.origin.addr, answer);
-            }
-            return;
-        }
-
-        let decision = route(&self.router_view(), &mut req);
-        match decision {
-            RouteDecision::Found(entry) => {
-                self.stats.lookups_answered += 1;
-                let answer = TreePMessage::LookupFound {
-                    request_id: req.request_id,
-                    target: req.target,
-                    result: PeerInfo::from_entry(&entry),
-                    hops: req.hops(),
-                    algorithm: req.algorithm,
-                };
-                if req.origin.addr == me.addr {
-                    self.complete_lookup(req.request_id, LookupStatus::Found, req.hops(), now);
-                } else {
-                    self.send(ctx, req.origin.addr, answer);
-                }
-            }
-            RouteDecision::Forward(next) => {
-                req.advance(me.addr);
-                self.send(ctx, next.addr, TreePMessage::Lookup(req));
-            }
-            RouteDecision::NotFound => {
-                self.stats.lookups_dead_ended += 1;
-                let answer = TreePMessage::LookupNotFound {
-                    request_id: req.request_id,
-                    target: req.target,
-                    hops: req.hops(),
-                    algorithm: req.algorithm,
-                };
-                if req.origin.addr == me.addr {
-                    self.complete_lookup(req.request_id, LookupStatus::NotFound, req.hops(), now);
-                } else {
-                    self.send(ctx, req.origin.addr, answer);
-                }
-            }
-            RouteDecision::Drop => {
-                self.stats.lookups_ttl_dropped += 1;
-            }
-        }
-    }
-
-    fn handle_join_request(&mut self, joiner: PeerInfo, ctx: &mut Context<'_, TreePMessage>) {
-        let now = ctx.now();
-        self.tables.upsert_level0(joiner.into_entry(now));
-        let me = self.peer_info();
-        // Suggest up to three existing contacts close to the joiner's ID.
-        let mut contacts: Vec<PeerInfo> = self
-            .tables
-            .level0()
-            .filter(|e| e.id != joiner.id)
-            .map(PeerInfo::from_entry)
-            .collect();
-        contacts.sort_by_key(|p| self.dist.euclidean(p.id, joiner.id));
-        contacts.truncate(3);
-        // Offer ourselves as a parent when we cover the joiner and have
-        // capacity; otherwise pass along our own parent as a hint.
-        let parent = if self.max_level > 0
-            && self.dist.covers(self.id, self.max_level, joiner.id)
-            && (self.tables.own_children_count() as u32) < self.max_children()
-        {
-            self.tables.upsert_child(joiner.into_entry(now), true);
-            Some(me)
-        } else {
-            self.tables.parent().map(PeerInfo::from_entry)
-        };
-        self.send(
-            ctx,
-            joiner.addr,
-            TreePMessage::JoinAck {
-                responder: me,
-                contacts,
-                parent,
-            },
-        );
-    }
-
-    fn handle_join_ack(
-        &mut self,
-        responder: PeerInfo,
-        contacts: Vec<PeerInfo>,
-        parent: Option<PeerInfo>,
-        ctx: &mut Context<'_, TreePMessage>,
-    ) {
-        let now = ctx.now();
-        self.learn_peer(responder, now);
-        for c in contacts {
-            if c.id != self.id {
-                self.tables.upsert_level0(c.into_entry(now));
-            }
-        }
-        if let Some(p) = parent {
-            if self.tables.parent().is_none() && p.id != self.id {
-                self.tables.set_parent(p.into_entry(now));
-                let me = self.peer_info();
-                self.send(ctx, p.addr, TreePMessage::ParentAccept { child: me });
-            }
-        }
-    }
-
-    fn handle_keep_alive(
-        &mut self,
-        sender: PeerInfo,
-        updates: Vec<RoutingUpdate>,
-        reply: bool,
-        ctx: &mut Context<'_, TreePMessage>,
-    ) {
-        let now = ctx.now();
-        self.learn_peer(sender, now);
-        for u in updates {
-            self.apply_update(u, now);
-        }
-        // A parentless node adopts a suitable advertised parent straight
-        // away (cheap healing path; the full election still exists for the
-        // case where no parent is advertised at all).
-        if self.tables.parent().is_none() {
-            let candidate = self
-                .tables
-                .superiors()
-                .filter(|s| s.max_level == self.max_level + 1)
-                .min_by_key(|s| self.dist.euclidean(s.id, self.id))
-                .copied();
-            if let Some(p) = candidate {
-                self.tables.set_parent(p);
-                self.election.cancel_election();
-                let me = self.peer_info();
-                self.send(ctx, p.addr, TreePMessage::ParentAccept { child: me });
-            }
-        }
-        if reply {
-            let me = self.peer_info();
-            let my_updates = self.my_updates();
-            self.send(
-                ctx,
-                sender.addr,
-                TreePMessage::KeepAliveAck {
-                    sender: me,
-                    updates: my_updates,
-                },
-            );
-        }
-    }
-
-    fn handle_child_report(&mut self, child: PeerInfo, ctx: &mut Context<'_, TreePMessage>) {
-        let now = ctx.now();
-        if self.max_level == 0 {
-            // We are not a parent (any more); ignore — the child's parent
-            // entry will expire and it will look for a new one.
-            self.tables.upsert_level0(child.into_entry(now));
-            return;
-        }
-        let already_mine = self.tables.is_own_child(child.id);
-        let capacity_left = (self.tables.own_children_count() as u32) < self.max_children();
-        if already_mine || capacity_left {
-            self.tables.upsert_child(child.into_entry(now), true);
-        } else {
-            self.tables.upsert_child(child.into_entry(now), false);
-        }
-        if self.tables.own_children_count() >= 2 {
-            self.election.cancel_demotion();
-        }
-        let me = self.peer_info();
-        let superiors = self.superiors_for_children();
-        self.send(
-            ctx,
-            child.addr,
-            TreePMessage::ChildReportAck {
-                parent: me,
-                superiors,
-            },
-        );
-    }
-
-    fn handle_child_report_ack(
-        &mut self,
-        parent: PeerInfo,
-        superiors: Vec<PeerInfo>,
-        _ctx: &mut Context<'_, TreePMessage>,
-        now: SimTime,
-    ) {
-        self.tables.set_parent(parent.into_entry(now));
-        self.election.cancel_election();
-        for s in superiors {
-            if s.id != self.id {
-                self.tables.upsert_superior(s.into_entry(now));
-            }
-        }
-    }
-
-    fn handle_election_call(
-        &mut self,
-        level: u32,
-        caller: PeerInfo,
-        ctx: &mut Context<'_, TreePMessage>,
-    ) {
-        let now = ctx.now();
-        self.learn_peer(caller, now);
-        // Only nodes one level below the seat being filled, without a parent
-        // and with enough connections, participate.
-        let eligible = self.max_level + 1 == level
-            && level <= self.config.height
-            && self.tables.parent().is_none()
-            && self.tables.level0_degree() >= self.config.min_level0_connections;
-        if eligible && self.election.election().is_none() {
-            let (delay, round) = self.election.start_election(
-                level,
-                &self.characteristics,
-                self.config.election_base,
-                now,
-            );
-            self.stats.elections_joined += 1;
-            ctx.set_timer(delay, encode_timer(TIMER_ELECTION, round));
-        }
-    }
-
-    fn handle_parent_announce(
-        &mut self,
-        level: u32,
-        parent: PeerInfo,
-        ctx: &mut Context<'_, TreePMessage>,
-    ) {
-        let now = ctx.now();
-        self.learn_peer(parent, now);
-        // The election is decided.
-        self.election.cancel_election();
-        if parent.id == self.id {
-            return;
-        }
-        if level == self.max_level + 1 && self.tables.parent().is_none() {
-            self.tables.set_parent(parent.into_entry(now));
-            let me = self.peer_info();
-            self.send(ctx, parent.addr, TreePMessage::ParentAccept { child: me });
-        } else {
-            self.tables.upsert_superior(parent.into_entry(now));
-        }
-    }
-
-    fn handle_parent_accept(
-        &mut self,
-        child: PeerInfo,
-        _ctx: &mut Context<'_, TreePMessage>,
-        now: SimTime,
-    ) {
-        if self.max_level == 0 {
-            // We announced and then demoted in the meantime; treat as contact.
-            self.tables.upsert_level0(child.into_entry(now));
-            return;
-        }
-        self.tables.upsert_child(child.into_entry(now), true);
-        if self.tables.own_children_count() >= 2 {
-            self.election.cancel_demotion();
-        }
-    }
-
-    fn handle_demotion(&mut self, node: PeerInfo, _from_level: u32, now: SimTime) {
-        let report = self.tables.remove_peer(node.id);
-        // It is still a live level-0 peer.
-        let mut downgraded = node;
-        downgraded.max_level = 0;
-        self.tables.upsert_level0(downgraded.into_entry(now));
-        let _ = report;
     }
 }
 
@@ -1655,6 +351,7 @@ impl Protocol for TreePNode {
         self.stats.record_received(msg.kind());
         let now = ctx.now();
         match msg {
+            // ---- membership layer --------------------------------------
             TreePMessage::JoinRequest { joiner } => self.handle_join_request(joiner, ctx),
             TreePMessage::JoinAck {
                 responder,
@@ -1667,10 +364,11 @@ impl Protocol for TreePNode {
             TreePMessage::KeepAliveAck { sender, updates } => {
                 self.handle_keep_alive(sender, updates, false, ctx)
             }
-            TreePMessage::ChildReport { child } => self.handle_child_report(child, ctx),
+            TreePMessage::ChildReport { child, span } => self.handle_child_report(child, span, ctx),
             TreePMessage::ChildReportAck { parent, superiors } => {
                 self.handle_child_report_ack(parent, superiors, ctx, now)
             }
+            // ---- promotion layer ---------------------------------------
             TreePMessage::ElectionCall { level, caller } => {
                 self.handle_election_call(level, caller, ctx)
             }
@@ -1681,16 +379,17 @@ impl Protocol for TreePNode {
             TreePMessage::Demotion { node, from_level } => {
                 self.handle_demotion(node, from_level, now)
             }
+            // ---- lookup / DHT layer ------------------------------------
             TreePMessage::Lookup(req) => self.handle_lookup(req, ctx),
             TreePMessage::LookupFound {
                 request_id, hops, ..
             } => {
-                self.complete_lookup(request_id, LookupStatus::Found, hops, now);
+                self.complete_lookup(request_id, crate::lookup::LookupStatus::Found, hops, now);
             }
             TreePMessage::LookupNotFound {
                 request_id, hops, ..
             } => {
-                self.complete_lookup(request_id, LookupStatus::NotFound, hops, now);
+                self.complete_lookup(request_id, crate::lookup::LookupStatus::NotFound, hops, now);
             }
             TreePMessage::DhtPut { .. } | TreePMessage::DhtGet { .. } => {
                 self.route_dht(msg, ctx);
@@ -1710,6 +409,7 @@ impl Protocol for TreePNode {
             } => {
                 self.record_dht_answer(request_id, key, value, responder, now);
             }
+            // ---- multicast / aggregation layer -------------------------
             TreePMessage::MulticastDown {
                 origin,
                 request_id,
@@ -1749,1067 +449,13 @@ impl Protocol for TreePNode {
         let (kind, payload) = decode_timer(token);
         match kind {
             TIMER_KEEPALIVE => self.maintenance_tick(ctx),
-            TIMER_ELECTION if self.election.election_timer_is_current(payload) => {
-                if let Some(level) = self.election.win_election() {
-                    self.win_election(level, ctx);
-                }
-            }
-            TIMER_DEMOTION => {
-                if self.election.demotion_timer_is_current(payload)
-                    && self.tables.own_children_count() < 2
-                    && self.election.complete_demotion()
-                {
-                    self.demote(ctx);
-                } else {
-                    self.election.cancel_demotion();
-                }
-            }
-            TIMER_LOOKUP => {
-                let request_id = RequestId(payload);
-                if self.pending_lookups.contains_key(&request_id) {
-                    self.complete_lookup(request_id, LookupStatus::TimedOut, 0, ctx.now());
-                }
-            }
-            TIMER_DHT => {
-                let request_id = RequestId(payload);
-                if let Some(pending) = self.pending_dht.remove(&request_id) {
-                    self.dht_outcomes.push(DhtOutcome::TimedOut {
-                        request_id,
-                        key: pending.key,
-                        completed_at: ctx.now(),
-                    });
-                }
-            }
-            TIMER_AGGREGATE => {
-                let request_id = RequestId(payload);
-                if let Some(pending) = self.pending_aggregates.remove(&request_id) {
-                    self.aggregate_outcomes.push(AggregateOutcome::TimedOut {
-                        request_id,
-                        query: pending.query,
-                        completed_at: ctx.now(),
-                    });
-                }
-            }
-            TIMER_AGG_RELAY => {
-                // A delegated branch never reported: fold up whatever
-                // arrived so the rest of the convergecast can complete,
-                // marked truncated so the origin knows the answer is a
-                // lower bound.
-                if let Some(relay) = self.relays.remove(&payload) {
-                    let truncated = relay.truncated || relay.expected > 0;
-                    self.finish_aggregate_branch(
-                        relay.origin,
-                        relay.request_id,
-                        relay.query,
-                        relay.acc,
-                        truncated,
-                        relay.reply_to,
-                        ctx,
-                    );
-                }
-            }
+            TIMER_ELECTION => self.election_timer_fired(payload, ctx),
+            TIMER_DEMOTION => self.demotion_timer_fired(payload, ctx),
+            TIMER_LOOKUP => self.lookup_timer_fired(payload, ctx),
+            TIMER_DHT => self.dht_timer_fired(payload, ctx),
+            TIMER_AGGREGATE => self.aggregate_timer_fired(payload, ctx),
+            TIMER_AGG_RELAY => self.relay_timer_fired(payload, ctx),
             _ => {}
         }
-    }
-}
-
-fn bump_dht_ttl(msg: TreePMessage) -> TreePMessage {
-    match msg {
-        TreePMessage::DhtPut {
-            request_id,
-            origin,
-            key,
-            value,
-            ttl,
-        } => TreePMessage::DhtPut {
-            request_id,
-            origin,
-            key,
-            value,
-            ttl: ttl + 1,
-        },
-        TreePMessage::DhtGet {
-            request_id,
-            origin,
-            key,
-            ttl,
-        } => TreePMessage::DhtGet {
-            request_id,
-            origin,
-            key,
-            ttl: ttl + 1,
-        },
-        other => other,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::ChildPolicy;
-
-    fn peer(id: u64, level: u32) -> PeerInfo {
-        PeerInfo {
-            id: NodeId(id),
-            addr: NodeAddr(id),
-            max_level: level,
-            summary: CharacteristicsSummary::of(
-                &NodeCharacteristics::default(),
-                ChildPolicy::Fixed(4),
-            ),
-        }
-    }
-
-    fn started_node(id: u64) -> (TreePNode, simnet::SimRng) {
-        let node = TreePNode::new(
-            TreePConfig::default(),
-            NodeId(id),
-            NodeCharacteristics::default(),
-        )
-        .with_addr(NodeAddr(id));
-        (node, simnet::SimRng::seed_from(1))
-    }
-
-    #[test]
-    fn timer_token_round_trip() {
-        for kind in 0..5u64 {
-            for payload in [0u64, 1, 7, 12345] {
-                let t = encode_timer(kind, payload);
-                assert_eq!(decode_timer(t), (kind, payload));
-            }
-        }
-    }
-
-    #[test]
-    fn peer_info_reflects_state() {
-        let (mut node, _) = started_node(42);
-        node.seed_max_level(3);
-        let info = node.peer_info();
-        assert_eq!(info.id, NodeId(42));
-        assert_eq!(info.addr, NodeAddr(42));
-        assert_eq!(info.max_level, 3);
-    }
-
-    #[test]
-    fn seeding_populates_tables() {
-        let (mut node, _) = started_node(10);
-        node.seed_level0_neighbor(peer(1, 0), SimTime::ZERO);
-        node.seed_level0_neighbor(peer(2, 0), SimTime::ZERO);
-        node.seed_parent(peer(3, 1), SimTime::ZERO);
-        node.seed_child(peer(4, 0), true, SimTime::ZERO);
-        node.seed_superior(peer(5, 2), SimTime::ZERO);
-        node.seed_level_neighbor(1, peer(6, 1), SimTime::ZERO);
-        assert_eq!(node.tables().level0_degree(), 2);
-        assert_eq!(node.tables().parent().unwrap().id, NodeId(3));
-        assert_eq!(node.tables().own_children_count(), 1);
-        assert!(node.tables().has_superiors());
-        assert!(node.tables().find(NodeId(6)).is_some());
-    }
-
-    #[test]
-    fn start_lookup_resolves_locally_when_target_known() {
-        let (mut node, mut rng) = started_node(10);
-        node.seed_level0_neighbor(peer(99, 0), SimTime::ZERO);
-        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(10), &mut rng);
-        node.start_lookup(NodeId(99), RoutingAlgorithm::Greedy, &mut ctx);
-        let outcomes = node.drain_lookup_outcomes();
-        assert_eq!(outcomes.len(), 1);
-        assert_eq!(outcomes[0].status, LookupStatus::Found);
-        assert_eq!(outcomes[0].hops, 0);
-    }
-
-    #[test]
-    fn start_lookup_forwards_toward_target() {
-        let (mut node, mut rng) = started_node(10);
-        // A neighbour much closer to the target.
-        node.seed_level0_neighbor(peer(4_000_000_000, 0), SimTime::ZERO);
-        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(10), &mut rng);
-        node.start_lookup(NodeId(4_000_000_100), RoutingAlgorithm::Greedy, &mut ctx);
-        let actions = ctx.into_actions();
-        // One timer (timeout) + one forwarded lookup.
-        let sends: Vec<_> = actions
-            .iter()
-            .filter_map(|a| match a {
-                simnet::Action::Send { dest, msg } => Some((*dest, msg.clone())),
-                _ => None,
-            })
-            .collect();
-        assert_eq!(sends.len(), 1);
-        assert_eq!(sends[0].0, NodeAddr(4_000_000_000));
-        assert!(matches!(sends[0].1, TreePMessage::Lookup(_)));
-        assert_eq!(node.pending_lookup_count(), 1);
-    }
-
-    #[test]
-    fn lookup_with_empty_tables_fails_immediately() {
-        let (mut node, mut rng) = started_node(10);
-        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(10), &mut rng);
-        node.start_lookup(NodeId(12345), RoutingAlgorithm::NonGreedy, &mut ctx);
-        let outcomes = node.drain_lookup_outcomes();
-        assert_eq!(outcomes.len(), 1);
-        assert_eq!(outcomes[0].status, LookupStatus::NotFound);
-    }
-
-    #[test]
-    fn lookup_timeout_records_outcome() {
-        let (mut node, mut rng) = started_node(10);
-        node.seed_level0_neighbor(peer(4_000_000_000, 0), SimTime::ZERO);
-        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(10), &mut rng);
-        let req_id = node.start_lookup(NodeId(4_000_000_100), RoutingAlgorithm::Greedy, &mut ctx);
-        drop(ctx);
-        assert_eq!(node.pending_lookup_count(), 1);
-        let mut ctx2 = Context::new(SimTime::from_secs(20), NodeAddr(10), &mut rng);
-        node.on_timer(encode_timer(TIMER_LOOKUP, req_id.0), &mut ctx2);
-        let outcomes = node.drain_lookup_outcomes();
-        assert_eq!(outcomes.len(), 1);
-        assert_eq!(outcomes[0].status, LookupStatus::TimedOut);
-    }
-
-    #[test]
-    fn lookup_found_reply_completes_pending() {
-        let (mut node, mut rng) = started_node(10);
-        node.seed_level0_neighbor(peer(4_000_000_000, 0), SimTime::ZERO);
-        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(10), &mut rng);
-        let req_id = node.start_lookup(NodeId(4_000_000_100), RoutingAlgorithm::Greedy, &mut ctx);
-        drop(ctx);
-        let mut ctx2 = Context::new(SimTime::from_millis(50), NodeAddr(10), &mut rng);
-        node.on_message(
-            NodeAddr(77),
-            TreePMessage::LookupFound {
-                request_id: req_id,
-                target: NodeId(4_000_000_100),
-                result: peer(4_000_000_100, 0),
-                hops: 4,
-                algorithm: RoutingAlgorithm::Greedy,
-            },
-            &mut ctx2,
-        );
-        let outcomes = node.drain_lookup_outcomes();
-        assert_eq!(outcomes.len(), 1);
-        assert_eq!(outcomes[0].status, LookupStatus::Found);
-        assert_eq!(outcomes[0].hops, 4);
-        // A late timeout for the same request is ignored.
-        let mut ctx3 = Context::new(SimTime::from_secs(20), NodeAddr(10), &mut rng);
-        node.on_timer(encode_timer(TIMER_LOOKUP, req_id.0), &mut ctx3);
-        assert!(node.drain_lookup_outcomes().is_empty());
-    }
-
-    #[test]
-    fn forwarded_lookup_answers_when_target_is_self() {
-        let (mut node, mut rng) = started_node(500);
-        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(500), &mut rng);
-        let mut req = LookupRequest::new(
-            RequestId(9),
-            peer(1, 0),
-            NodeId(500),
-            RoutingAlgorithm::Greedy,
-        );
-        req.advance(NodeAddr(1));
-        node.on_message(NodeAddr(1), TreePMessage::Lookup(req), &mut ctx);
-        let actions = ctx.into_actions();
-        let found = actions.iter().any(|a| {
-            matches!(a, simnet::Action::Send { dest, msg: TreePMessage::LookupFound { hops: 1, .. } } if *dest == NodeAddr(1))
-        });
-        assert!(found, "node must answer the origin with LookupFound");
-    }
-
-    #[test]
-    fn keep_alive_learns_sender_and_updates() {
-        let (mut node, mut rng) = started_node(10);
-        let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
-        let updates = vec![
-            RoutingUpdate::ParentOf { peer: peer(100, 1) },
-            RoutingUpdate::Contact { peer: peer(7, 0) },
-        ];
-        node.on_message(
-            NodeAddr(3),
-            TreePMessage::KeepAlive {
-                sender: peer(3, 0),
-                updates,
-            },
-            &mut ctx,
-        );
-        assert!(node.tables().is_level0_neighbor(NodeId(3)));
-        assert!(node.tables().is_level0_neighbor(NodeId(7)));
-        assert!(node.tables().find(NodeId(100)).is_some());
-        // It must have replied with an ack.
-        let actions = ctx.into_actions();
-        assert!(actions.iter().any(|a| matches!(
-            a,
-            simnet::Action::Send {
-                msg: TreePMessage::KeepAliveAck { .. },
-                ..
-            }
-        )));
-    }
-
-    #[test]
-    fn keep_alive_ack_does_not_reply() {
-        let (mut node, mut rng) = started_node(10);
-        let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
-        node.on_message(
-            NodeAddr(3),
-            TreePMessage::KeepAliveAck {
-                sender: peer(3, 0),
-                updates: vec![],
-            },
-            &mut ctx,
-        );
-        let actions = ctx.into_actions();
-        assert!(actions
-            .iter()
-            .all(|a| !matches!(a, simnet::Action::Send { .. })));
-    }
-
-    #[test]
-    fn parentless_node_adopts_advertised_parent() {
-        let (mut node, mut rng) = started_node(10);
-        assert!(node.tables().parent().is_none());
-        let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
-        let updates = vec![RoutingUpdate::ParentOf { peer: peer(100, 1) }];
-        node.on_message(
-            NodeAddr(3),
-            TreePMessage::KeepAlive {
-                sender: peer(3, 0),
-                updates,
-            },
-            &mut ctx,
-        );
-        assert_eq!(node.tables().parent().unwrap().id, NodeId(100));
-        let actions = ctx.into_actions();
-        assert!(actions.iter().any(|a| matches!(
-            a,
-            simnet::Action::Send { dest, msg: TreePMessage::ParentAccept { .. } } if *dest == NodeAddr(100)
-        )));
-    }
-
-    #[test]
-    fn child_report_registers_child_and_acks() {
-        let (mut node, mut rng) = started_node(10);
-        node.seed_max_level(1);
-        let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
-        node.on_message(
-            NodeAddr(4),
-            TreePMessage::ChildReport { child: peer(4, 0) },
-            &mut ctx,
-        );
-        assert!(node.tables().is_own_child(NodeId(4)));
-        let actions = ctx.into_actions();
-        assert!(actions.iter().any(|a| matches!(
-            a,
-            simnet::Action::Send { dest, msg: TreePMessage::ChildReportAck { .. } } if *dest == NodeAddr(4)
-        )));
-    }
-
-    #[test]
-    fn child_report_to_level0_node_is_not_acked() {
-        let (mut node, mut rng) = started_node(10);
-        let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
-        node.on_message(
-            NodeAddr(4),
-            TreePMessage::ChildReport { child: peer(4, 0) },
-            &mut ctx,
-        );
-        assert_eq!(node.tables().own_children_count(), 0);
-        let actions = ctx.into_actions();
-        assert!(actions
-            .iter()
-            .all(|a| !matches!(a, simnet::Action::Send { .. })));
-    }
-
-    #[test]
-    fn capacity_limits_own_children() {
-        let cfg = TreePConfig {
-            child_policy: ChildPolicy::Fixed(2),
-            ..TreePConfig::default()
-        };
-        let mut node =
-            TreePNode::new(cfg, NodeId(10), NodeCharacteristics::default()).with_addr(NodeAddr(10));
-        node.seed_max_level(1);
-        let mut rng = simnet::SimRng::seed_from(1);
-        for child in [1u64, 2, 3] {
-            let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
-            node.on_message(
-                NodeAddr(child),
-                TreePMessage::ChildReport {
-                    child: peer(child, 0),
-                },
-                &mut ctx,
-            );
-        }
-        assert_eq!(
-            node.tables().own_children_count(),
-            2,
-            "third child exceeds capacity"
-        );
-        // But it is still known as a neighbour child.
-        assert!(node.tables().find(NodeId(3)).is_some());
-    }
-
-    #[test]
-    fn parent_announce_is_adopted_by_orphans() {
-        let (mut node, mut rng) = started_node(10);
-        let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
-        node.on_message(
-            NodeAddr(9),
-            TreePMessage::ParentAnnounce {
-                level: 1,
-                parent: peer(9, 1),
-            },
-            &mut ctx,
-        );
-        assert_eq!(node.tables().parent().unwrap().id, NodeId(9));
-        // A second announcement at a non-adjacent level goes to the superiors.
-        let mut ctx2 = Context::new(SimTime::from_millis(6), NodeAddr(10), &mut rng);
-        node.on_message(
-            NodeAddr(20),
-            TreePMessage::ParentAnnounce {
-                level: 3,
-                parent: peer(20, 3),
-            },
-            &mut ctx2,
-        );
-        assert_eq!(node.tables().parent().unwrap().id, NodeId(9));
-        assert!(node.tables().superiors().any(|s| s.id == NodeId(20)));
-    }
-
-    #[test]
-    fn demotion_message_removes_peer_from_hierarchy_tables() {
-        let (mut node, mut rng) = started_node(10);
-        node.seed_parent(peer(50, 1), SimTime::ZERO);
-        let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
-        node.on_message(
-            NodeAddr(50),
-            TreePMessage::Demotion {
-                node: peer(50, 1),
-                from_level: 1,
-            },
-            &mut ctx,
-        );
-        assert!(node.tables().parent().is_none());
-        // Still known as a level-0 contact.
-        assert!(node.tables().is_level0_neighbor(NodeId(50)));
-    }
-
-    #[test]
-    fn election_call_starts_countdown_for_eligible_nodes() {
-        let (mut node, mut rng) = started_node(10);
-        node.seed_level0_neighbor(peer(1, 0), SimTime::ZERO);
-        node.seed_level0_neighbor(peer(2, 0), SimTime::ZERO);
-        let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
-        node.on_message(
-            NodeAddr(1),
-            TreePMessage::ElectionCall {
-                level: 1,
-                caller: peer(1, 0),
-            },
-            &mut ctx,
-        );
-        assert!(node.election.election().is_some());
-        assert_eq!(node.stats().elections_joined, 1);
-        // A node that already has a parent does not participate.
-        let (mut node2, mut rng2) = started_node(11);
-        node2.seed_parent(peer(50, 1), SimTime::ZERO);
-        let mut ctx2 = Context::new(SimTime::from_millis(5), NodeAddr(11), &mut rng2);
-        node2.on_message(
-            NodeAddr(1),
-            TreePMessage::ElectionCall {
-                level: 1,
-                caller: peer(1, 0),
-            },
-            &mut ctx2,
-        );
-        assert!(node2.election.election().is_none());
-    }
-
-    #[test]
-    fn winning_an_election_promotes_and_announces() {
-        let (mut node, mut rng) = started_node(10);
-        node.seed_level0_neighbor(peer(1, 0), SimTime::ZERO);
-        node.seed_level0_neighbor(peer(2, 0), SimTime::ZERO);
-        let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
-        node.on_message(
-            NodeAddr(1),
-            TreePMessage::ElectionCall {
-                level: 1,
-                caller: peer(1, 0),
-            },
-            &mut ctx,
-        );
-        drop(ctx);
-        let round = node.election.election().unwrap().round;
-        let mut ctx2 = Context::new(SimTime::from_millis(500), NodeAddr(10), &mut rng);
-        node.on_timer(encode_timer(TIMER_ELECTION, round), &mut ctx2);
-        assert_eq!(node.max_level(), 1);
-        assert_eq!(node.stats().promotions, 1);
-        let actions = ctx2.into_actions();
-        let announces = actions
-            .iter()
-            .filter(|a| {
-                matches!(
-                    a,
-                    simnet::Action::Send {
-                        msg: TreePMessage::ParentAnnounce { .. },
-                        ..
-                    }
-                )
-            })
-            .count();
-        assert_eq!(announces, 2, "announce to both level-0 neighbours");
-    }
-
-    #[test]
-    fn stale_election_timer_is_ignored() {
-        let (mut node, mut rng) = started_node(10);
-        node.seed_level0_neighbor(peer(1, 0), SimTime::ZERO);
-        node.seed_level0_neighbor(peer(2, 0), SimTime::ZERO);
-        let mut ctx = Context::new(SimTime::from_millis(5), NodeAddr(10), &mut rng);
-        node.on_message(
-            NodeAddr(1),
-            TreePMessage::ElectionCall {
-                level: 1,
-                caller: peer(1, 0),
-            },
-            &mut ctx,
-        );
-        drop(ctx);
-        let round = node.election.election().unwrap().round;
-        // Someone else wins first.
-        let mut ctx2 = Context::new(SimTime::from_millis(100), NodeAddr(10), &mut rng);
-        node.on_message(
-            NodeAddr(2),
-            TreePMessage::ParentAnnounce {
-                level: 1,
-                parent: peer(2, 1),
-            },
-            &mut ctx2,
-        );
-        drop(ctx2);
-        let mut ctx3 = Context::new(SimTime::from_millis(500), NodeAddr(10), &mut rng);
-        node.on_timer(encode_timer(TIMER_ELECTION, round), &mut ctx3);
-        assert_eq!(node.max_level(), 0, "losing node must not promote itself");
-    }
-
-    #[test]
-    fn demotion_timer_demotes_underpopulated_parent() {
-        let (mut node, mut rng) = started_node(10);
-        node.seed_max_level(2);
-        node.seed_child(peer(1, 0), true, SimTime::ZERO);
-        node.seed_parent(peer(90, 3), SimTime::ZERO);
-        let now = SimTime::from_millis(5);
-        let (_, round) = node.election.start_demotion(
-            &NodeCharacteristics::default(),
-            SimDuration::from_millis(800),
-            now,
-        );
-        let mut ctx = Context::new(SimTime::from_secs(5), NodeAddr(10), &mut rng);
-        node.on_timer(encode_timer(TIMER_DEMOTION, round), &mut ctx);
-        assert_eq!(node.max_level(), 0);
-        assert_eq!(node.stats().demotions, 1);
-        assert!(node.tables().parent().is_none());
-        let actions = ctx.into_actions();
-        assert!(actions.iter().any(|a| matches!(
-            a,
-            simnet::Action::Send {
-                msg: TreePMessage::Demotion { .. },
-                ..
-            }
-        )));
-    }
-
-    #[test]
-    fn demotion_timer_cancelled_by_recovered_children() {
-        let (mut node, mut rng) = started_node(10);
-        node.seed_max_level(1);
-        node.seed_child(peer(1, 0), true, SimTime::ZERO);
-        node.seed_child(peer(2, 0), true, SimTime::ZERO);
-        let (_, round) = node.election.start_demotion(
-            &NodeCharacteristics::default(),
-            SimDuration::from_millis(800),
-            SimTime::ZERO,
-        );
-        let mut ctx = Context::new(SimTime::from_secs(5), NodeAddr(10), &mut rng);
-        node.on_timer(encode_timer(TIMER_DEMOTION, round), &mut ctx);
-        assert_eq!(node.max_level(), 1, "two children keep the parent in place");
-        assert_eq!(node.stats().demotions, 0);
-    }
-
-    #[test]
-    fn maintenance_tick_sends_keepalives_and_child_report() {
-        let (mut node, mut rng) = started_node(10);
-        node.seed_level0_neighbor(peer(1, 0), SimTime::ZERO);
-        node.seed_level0_neighbor(peer(2, 0), SimTime::ZERO);
-        node.seed_parent(peer(50, 1), SimTime::ZERO);
-        let mut ctx = Context::new(SimTime::from_millis(500), NodeAddr(10), &mut rng);
-        node.on_timer(encode_timer(TIMER_KEEPALIVE, 0), &mut ctx);
-        let actions = ctx.into_actions();
-        let keepalives = actions
-            .iter()
-            .filter(|a| {
-                matches!(
-                    a,
-                    simnet::Action::Send {
-                        msg: TreePMessage::KeepAlive { .. },
-                        ..
-                    }
-                )
-            })
-            .count();
-        let reports = actions
-            .iter()
-            .filter(|a| {
-                matches!(
-                    a,
-                    simnet::Action::Send {
-                        msg: TreePMessage::ChildReport { .. },
-                        ..
-                    }
-                )
-            })
-            .count();
-        let timers = actions
-            .iter()
-            .filter(|a| matches!(a, simnet::Action::SetTimer { .. }))
-            .count();
-        assert_eq!(keepalives, 2);
-        assert_eq!(reports, 1);
-        assert!(timers >= 1, "the periodic tick must be re-armed");
-        assert_eq!(node.stats().keepalive_rounds, 1);
-    }
-
-    #[test]
-    fn maintenance_tick_expires_stale_entries_and_triggers_election() {
-        let cfg = TreePConfig::default();
-        let (mut node, mut rng) = started_node(10);
-        // Neighbours last seen at t=0; parent also stale.
-        node.seed_level0_neighbor(peer(1, 0), SimTime::ZERO);
-        node.seed_level0_neighbor(peer(2, 0), SimTime::from_secs(100));
-        node.seed_level0_neighbor(peer(3, 0), SimTime::from_secs(100));
-        node.seed_parent(peer(50, 1), SimTime::ZERO);
-        let now = SimTime::from_secs(100);
-        let mut ctx = Context::new(now, NodeAddr(10), &mut rng);
-        node.on_timer(encode_timer(TIMER_KEEPALIVE, 0), &mut ctx);
-        // Stale entries (1 and the parent) are gone, fresh ones remain.
-        assert!(!node.tables().is_level0_neighbor(NodeId(1)));
-        assert!(node.tables().is_level0_neighbor(NodeId(2)));
-        assert!(node.tables().parent().is_none());
-        assert!(node.stats().entries_expired >= 2);
-        // Having lost the parent with degree >= 2, an election is triggered.
-        assert!(node.election.election().is_some());
-        let actions = ctx.into_actions();
-        assert!(actions.iter().any(|a| matches!(
-            a,
-            simnet::Action::Send {
-                msg: TreePMessage::ElectionCall { .. },
-                ..
-            }
-        )));
-        let _ = cfg;
-    }
-
-    #[test]
-    fn dht_put_and_get_resolve_locally_on_isolated_node() {
-        let (mut node, mut rng) = started_node(10);
-        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(10), &mut rng);
-        node.dht_put(b"service/web", b"10.0.0.1:80".to_vec(), &mut ctx);
-        node.dht_get(b"service/web", &mut ctx);
-        let outcomes = node.drain_dht_outcomes();
-        assert_eq!(outcomes.len(), 2);
-        assert!(outcomes.iter().all(|o| o.is_success()));
-        match &outcomes[1] {
-            DhtOutcome::GetAnswered { value, .. } => {
-                assert_eq!(value.as_deref(), Some(b"10.0.0.1:80".as_slice()));
-            }
-            other => panic!("expected GetAnswered, got {other:?}"),
-        }
-        assert_eq!(node.dht_store().len(), 1);
-    }
-
-    #[test]
-    fn dht_request_is_forwarded_to_closer_peer() {
-        let (mut node, mut rng) = started_node(10);
-        let key_coord = hash_key(TreePConfig::default().space, b"k");
-        // A peer whose id is exactly the key coordinate is certainly closer.
-        let closer = PeerInfo {
-            id: key_coord,
-            addr: NodeAddr(777),
-            max_level: 0,
-            summary: CharacteristicsSummary::of(
-                &NodeCharacteristics::default(),
-                ChildPolicy::Fixed(4),
-            ),
-        };
-        node.seed_level0_neighbor(closer, SimTime::ZERO);
-        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(10), &mut rng);
-        node.dht_put(b"k", b"v".to_vec(), &mut ctx);
-        let actions = ctx.into_actions();
-        assert!(actions.iter().any(|a| matches!(
-            a,
-            simnet::Action::Send { dest, msg: TreePMessage::DhtPut { .. } } if *dest == NodeAddr(777)
-        )));
-        assert_eq!(node.dht_store().len(), 0, "value is not stored locally");
-    }
-
-    #[test]
-    fn on_start_joins_through_bootstrap() {
-        let node = TreePNode::new(
-            TreePConfig::default(),
-            NodeId(5),
-            NodeCharacteristics::default(),
-        )
-        .with_bootstrap(vec![peer(1, 0), peer(2, 0)]);
-        let mut node = node;
-        let mut rng = simnet::SimRng::seed_from(3);
-        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(5), &mut rng);
-        node.on_start(&mut ctx);
-        assert_eq!(node.addr(), Some(NodeAddr(5)));
-        let actions = ctx.into_actions();
-        let joins = actions
-            .iter()
-            .filter(|a| {
-                matches!(
-                    a,
-                    simnet::Action::Send {
-                        msg: TreePMessage::JoinRequest { .. },
-                        ..
-                    }
-                )
-            })
-            .count();
-        assert_eq!(joins, 2);
-    }
-
-    #[test]
-    fn multicast_on_isolated_node_delivers_locally_when_in_range() {
-        let (mut node, mut rng) = started_node(100);
-        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(100), &mut rng);
-        node.start_multicast(
-            KeyRange::new(NodeId(50), NodeId(150)),
-            b"hi".to_vec(),
-            &mut ctx,
-        );
-        let deliveries = node.drain_multicast_deliveries();
-        assert_eq!(deliveries.len(), 1);
-        assert_eq!(deliveries[0].payload, b"hi".to_vec());
-        assert_eq!(deliveries[0].hops, 0);
-
-        // Out-of-range multicast delivers nothing.
-        let mut ctx2 = Context::new(SimTime::ZERO, NodeAddr(100), &mut rng);
-        node.start_multicast(
-            KeyRange::new(NodeId(500), NodeId(600)),
-            b"no".to_vec(),
-            &mut ctx2,
-        );
-        assert!(node.drain_multicast_deliveries().is_empty());
-        assert_eq!(node.stats().multicasts_initiated, 2);
-    }
-
-    #[test]
-    fn exhausted_budget_still_delivers_locally() {
-        // The hop budget limits forwarding, never receipt: a node receiving
-        // a descending multicast with budget 0 delivers the payload but
-        // forwards nothing.
-        let (mut node, mut rng) = started_node(1000);
-        node.seed_max_level(1);
-        node.seed_child(peer(500, 0), true, SimTime::ZERO);
-        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(1000), &mut rng);
-        node.on_message(
-            NodeAddr(7),
-            TreePMessage::MulticastDown {
-                origin: peer(7, 0),
-                request_id: RequestId(1),
-                range: KeyRange::new(NodeId(0), NodeId(2000)),
-                payload: crate::multicast::MulticastPayload::Data(b"last-hop".to_vec()),
-                budget: 0,
-                hops: 9,
-                phase: MulticastPhase::Down,
-                bus_level: 3,
-            },
-            &mut ctx,
-        );
-        assert_eq!(node.drain_multicast_deliveries().len(), 1);
-        let actions = ctx.into_actions();
-        assert!(
-            actions
-                .iter()
-                .all(|a| !matches!(a, simnet::Action::Send { .. })),
-            "no forwarding on an exhausted budget"
-        );
-        assert_eq!(node.stats().multicast_budget_dropped, 1);
-    }
-
-    #[test]
-    fn aggregate_on_isolated_node_completes_immediately() {
-        let (mut node, mut rng) = started_node(100);
-        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(100), &mut rng);
-        node.start_aggregate(
-            KeyRange::new(NodeId(0), NodeId(200)),
-            AggregateQuery::CountNodes,
-            &mut ctx,
-        );
-        let outcomes = node.drain_aggregate_outcomes();
-        assert_eq!(outcomes.len(), 1);
-        assert!(outcomes[0].is_success());
-        assert_eq!(outcomes[0].partial().unwrap().as_count(), Some(1));
-
-        // A range that excludes the node itself counts zero but still
-        // completes.
-        let mut ctx2 = Context::new(SimTime::ZERO, NodeAddr(100), &mut rng);
-        node.start_aggregate(
-            KeyRange::new(NodeId(500), NodeId(600)),
-            AggregateQuery::CountNodes,
-            &mut ctx2,
-        );
-        let outcomes = node.drain_aggregate_outcomes();
-        assert_eq!(outcomes[0].partial().unwrap().as_count(), Some(0));
-    }
-
-    #[test]
-    fn multicast_with_parent_climbs_first() {
-        let (mut node, mut rng) = started_node(100);
-        node.seed_parent(peer(900, 1), SimTime::ZERO);
-        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(100), &mut rng);
-        node.start_multicast(
-            KeyRange::new(NodeId(0), NodeId(5000)),
-            b"up".to_vec(),
-            &mut ctx,
-        );
-        let actions = ctx.into_actions();
-        let ups: Vec<_> = actions
-            .iter()
-            .filter_map(|a| match a {
-                simnet::Action::Send {
-                    dest,
-                    msg:
-                        TreePMessage::MulticastDown {
-                            phase: MulticastPhase::Up,
-                            hops,
-                            ..
-                        },
-                } => Some((*dest, *hops)),
-                _ => None,
-            })
-            .collect();
-        assert_eq!(ups, vec![(NodeAddr(900), 1)]);
-        // Nothing delivered locally during the ascent.
-        assert!(node.drain_multicast_deliveries().is_empty());
-    }
-
-    #[test]
-    fn descent_root_fans_out_to_children_in_range_only() {
-        let (mut node, mut rng) = started_node(1000);
-        node.seed_max_level(1);
-        node.seed_child(peer(500, 0), true, SimTime::ZERO);
-        node.seed_child(peer(1500, 0), true, SimTime::ZERO);
-        node.seed_child(peer(4_000_000_000, 0), true, SimTime::ZERO);
-        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(1000), &mut rng);
-        node.start_multicast(
-            KeyRange::new(NodeId(0), NodeId(2000)),
-            b"m".to_vec(),
-            &mut ctx,
-        );
-        let actions = ctx.into_actions();
-        let downs: Vec<NodeAddr> = actions
-            .iter()
-            .filter_map(|a| match a {
-                simnet::Action::Send {
-                    dest,
-                    msg:
-                        TreePMessage::MulticastDown {
-                            phase: MulticastPhase::Down,
-                            ..
-                        },
-                } => Some(*dest),
-                _ => None,
-            })
-            .collect();
-        assert_eq!(
-            downs,
-            vec![NodeAddr(500), NodeAddr(1500)],
-            "out-of-range child pruned"
-        );
-        // The root itself is in range: delivered locally, exactly once.
-        assert_eq!(node.drain_multicast_deliveries().len(), 1);
-    }
-
-    #[test]
-    fn aggregate_convergecast_folds_children_partials() {
-        let (mut node, mut rng) = started_node(1000);
-        node.seed_max_level(1);
-        node.seed_child(peer(500, 0), true, SimTime::ZERO);
-        node.seed_child(peer(1500, 0), true, SimTime::ZERO);
-        let range = KeyRange::new(NodeId(0), NodeId(2000));
-        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(1000), &mut rng);
-        let req = node.start_aggregate(range, AggregateQuery::CountNodes, &mut ctx);
-        drop(ctx);
-        // Two branches outstanding: no outcome yet.
-        assert!(node.drain_aggregate_outcomes().is_empty());
-        let me = node.peer_info();
-        for child in [500u64, 1500] {
-            let mut cctx = Context::new(SimTime::from_millis(5), NodeAddr(1000), &mut rng);
-            node.on_message(
-                NodeAddr(child),
-                TreePMessage::AggregateUp {
-                    origin: me,
-                    request_id: req,
-                    query: AggregateQuery::CountNodes,
-                    partial: AggregatePartial::Count(1),
-                    truncated: false,
-                    final_answer: false,
-                },
-                &mut cctx,
-            );
-        }
-        let outcomes = node.drain_aggregate_outcomes();
-        assert_eq!(outcomes.len(), 1);
-        // Own contribution (1) + the two children (1 each).
-        assert_eq!(outcomes[0].partial().unwrap().as_count(), Some(3));
-        assert!(outcomes[0].is_complete(), "no branch was lost");
-        assert_eq!(node.pending_aggregate_count(), 0);
-    }
-
-    #[test]
-    fn aggregate_relay_timer_folds_up_partial_results() {
-        let (mut node, mut rng) = started_node(1000);
-        node.seed_max_level(1);
-        node.seed_child(peer(500, 0), true, SimTime::ZERO);
-        node.seed_child(peer(1500, 0), true, SimTime::ZERO);
-        let range = KeyRange::new(NodeId(0), NodeId(2000));
-        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(1000), &mut rng);
-        let req = node.start_aggregate(range, AggregateQuery::CountNodes, &mut ctx);
-        drop(ctx);
-        let me = node.peer_info();
-        // Only one child answers; the other branch is lost.
-        let mut cctx = Context::new(SimTime::from_millis(5), NodeAddr(1000), &mut rng);
-        node.on_message(
-            NodeAddr(500),
-            TreePMessage::AggregateUp {
-                origin: me,
-                request_id: req,
-                query: AggregateQuery::CountNodes,
-                partial: AggregatePartial::Count(1),
-                truncated: false,
-                final_answer: false,
-            },
-            &mut cctx,
-        );
-        drop(cctx);
-        assert!(node.drain_aggregate_outcomes().is_empty());
-        // The relay hold timer fires: the fold completes with what arrived.
-        let mut tctx = Context::new(SimTime::from_secs(1), NodeAddr(1000), &mut rng);
-        node.on_timer(encode_timer(TIMER_AGG_RELAY, 0), &mut tctx);
-        let outcomes = node.drain_aggregate_outcomes();
-        assert_eq!(outcomes.len(), 1);
-        assert_eq!(outcomes[0].partial().unwrap().as_count(), Some(2));
-        assert!(
-            !outcomes[0].is_complete(),
-            "a fold missing a branch must be marked truncated"
-        );
-    }
-
-    #[test]
-    fn aggregate_origin_timeout_records_failure() {
-        let (mut node, mut rng) = started_node(100);
-        node.seed_parent(peer(900, 1), SimTime::ZERO);
-        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(100), &mut rng);
-        let req = node.start_aggregate(
-            KeyRange::new(NodeId(0), NodeId(5000)),
-            AggregateQuery::CountNodes,
-            &mut ctx,
-        );
-        drop(ctx);
-        assert_eq!(node.pending_aggregate_count(), 1);
-        let mut tctx = Context::new(SimTime::from_secs(20), NodeAddr(100), &mut rng);
-        node.on_timer(encode_timer(TIMER_AGGREGATE, req.0), &mut tctx);
-        let outcomes = node.drain_aggregate_outcomes();
-        assert_eq!(outcomes.len(), 1);
-        assert!(!outcomes[0].is_success());
-    }
-
-    #[test]
-    fn bus_walk_continues_in_one_direction() {
-        // A level-2 node in the middle of its bus, visited by a rightward
-        // walk: it must continue right only and fan out its children.
-        let (mut node, mut rng) = started_node(10_000);
-        node.seed_max_level(2);
-        node.seed_level_neighbor(2, peer(5_000, 2), SimTime::ZERO);
-        node.seed_level_neighbor(2, peer(15_000, 2), SimTime::ZERO);
-        node.seed_child(peer(9_000, 1), true, SimTime::ZERO);
-        let range = KeyRange::new(NodeId(0), NodeId(4_000_000_000));
-        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(10_000), &mut rng);
-        node.on_message(
-            NodeAddr(5_000),
-            TreePMessage::MulticastDown {
-                origin: peer(1, 0),
-                request_id: RequestId(3),
-                range,
-                payload: crate::multicast::MulticastPayload::Data(b"walk".to_vec()),
-                budget: 16,
-                hops: 3,
-                phase: MulticastPhase::BusRight,
-                bus_level: 2,
-            },
-            &mut ctx,
-        );
-        let actions = ctx.into_actions();
-        let sends: Vec<(NodeAddr, MulticastPhase)> = actions
-            .iter()
-            .filter_map(|a| match a {
-                simnet::Action::Send {
-                    dest,
-                    msg: TreePMessage::MulticastDown { phase, .. },
-                } => Some((*dest, *phase)),
-                _ => None,
-            })
-            .collect();
-        assert!(
-            sends.contains(&(NodeAddr(15_000), MulticastPhase::BusRight)),
-            "{sends:?}"
-        );
-        assert!(
-            sends.contains(&(NodeAddr(9_000), MulticastPhase::Down)),
-            "{sends:?}"
-        );
-        assert!(
-            !sends.iter().any(|(d, _)| *d == NodeAddr(5_000)),
-            "the walk never goes back where it came from: {sends:?}"
-        );
-        assert_eq!(node.drain_multicast_deliveries().len(), 1);
-    }
-
-    #[test]
-    fn join_handshake_establishes_mutual_contact() {
-        let (mut responder, mut rng) = started_node(100);
-        responder.seed_max_level(1);
-        responder.seed_level0_neighbor(peer(7, 0), SimTime::ZERO);
-        let mut ctx = Context::new(SimTime::ZERO, NodeAddr(100), &mut rng);
-        // The responder covers the whole space at level 1? Only if close; use
-        // a joiner near the responder's id.
-        let joiner = peer(101, 0);
-        responder.on_message(
-            NodeAddr(101),
-            TreePMessage::JoinRequest { joiner },
-            &mut ctx,
-        );
-        assert!(responder.tables().is_level0_neighbor(NodeId(101)));
-        let actions = ctx.into_actions();
-        let ack = actions.iter().find_map(|a| match a {
-            simnet::Action::Send {
-                dest,
-                msg:
-                    TreePMessage::JoinAck {
-                        contacts, parent, ..
-                    },
-            } => Some((*dest, contacts.clone(), *parent)),
-            _ => None,
-        });
-        let (dest, contacts, parent) = ack.expect("JoinAck must be sent");
-        assert_eq!(dest, NodeAddr(101));
-        assert!(contacts.iter().any(|c| c.id == NodeId(7)));
-        assert!(
-            parent.is_some(),
-            "covering parent with capacity offers itself"
-        );
-        assert!(responder.tables().is_own_child(NodeId(101)));
     }
 }

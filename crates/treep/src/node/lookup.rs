@@ -1,0 +1,376 @@
+//! Lookup / DHT layer: routed lookups and the key-value extension.
+//!
+//! This layer owns the origination and handling of
+//! [`TreePMessage::Lookup`] requests (routed by the three Section III.f
+//! algorithms via [`crate::routing::route`]), their answers, and the DHT
+//! put/get requests that ride the same greedy routing toward a key's
+//! coordinate. The [`super::TIMER_LOOKUP`] and [`super::TIMER_DHT`]
+//! timeouts that resolve abandoned requests at the origin are owned here.
+
+use super::*;
+use crate::dht::PendingDht;
+use crate::id::hash_key;
+use crate::lookup::{LookupRequest, LookupStatus, PendingLookup};
+use crate::routing::{route, RouteDecision, RoutingAlgorithm};
+
+impl TreePNode {
+    /// Originate a lookup for `target` using `algorithm`. The outcome is
+    /// recorded locally (see [`TreePNode::drain_lookup_outcomes`]) when an
+    /// answer arrives or the timeout expires.
+    pub fn start_lookup(
+        &mut self,
+        target: NodeId,
+        algorithm: RoutingAlgorithm,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) -> RequestId {
+        let request_id = self.fresh_request_id();
+        self.stats.lookups_initiated += 1;
+        self.pending_lookups.insert(
+            request_id,
+            PendingLookup {
+                target,
+                algorithm,
+                started_at: ctx.now(),
+            },
+        );
+        ctx.set_timer(
+            self.config.lookup_timeout,
+            encode_timer(TIMER_LOOKUP, request_id.0),
+        );
+
+        let mut req = LookupRequest::new(request_id, self.peer_info(), target, algorithm);
+        if target == self.id || self.tables.find(target).is_some() {
+            // Resolved locally without a single hop.
+            self.complete_lookup(request_id, LookupStatus::Found, 0, ctx.now());
+            return request_id;
+        }
+        let decision = route(&self.router_view(), &mut req);
+        match decision {
+            RouteDecision::Found(_) => {
+                self.complete_lookup(request_id, LookupStatus::Found, 0, ctx.now());
+            }
+            RouteDecision::Forward(next) => {
+                req.advance(self.addr.expect("node not started"));
+                self.send(ctx, next.addr, TreePMessage::Lookup(req));
+            }
+            RouteDecision::NotFound | RouteDecision::Drop => {
+                self.complete_lookup(request_id, LookupStatus::NotFound, 0, ctx.now());
+            }
+        }
+        request_id
+    }
+
+    /// Store `value` in the DHT under an application key.
+    pub fn dht_put(
+        &mut self,
+        key: &[u8],
+        value: Vec<u8>,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) -> RequestId {
+        let coord = hash_key(self.config.space, key);
+        let request_id = self.fresh_request_id();
+        self.pending_dht.insert(
+            request_id,
+            PendingDht {
+                key: coord,
+                started_at: ctx.now(),
+            },
+        );
+        ctx.set_timer(
+            self.config.lookup_timeout,
+            encode_timer(TIMER_DHT, request_id.0),
+        );
+        let msg = TreePMessage::DhtPut {
+            request_id,
+            origin: self.peer_info(),
+            key: coord,
+            value,
+            ttl: 0,
+        };
+        self.route_dht(msg, ctx);
+        request_id
+    }
+
+    /// Retrieve the value stored in the DHT under an application key.
+    pub fn dht_get(&mut self, key: &[u8], ctx: &mut Context<'_, TreePMessage>) -> RequestId {
+        let coord = hash_key(self.config.space, key);
+        let request_id = self.fresh_request_id();
+        self.pending_dht.insert(
+            request_id,
+            PendingDht {
+                key: coord,
+                started_at: ctx.now(),
+            },
+        );
+        ctx.set_timer(
+            self.config.lookup_timeout,
+            encode_timer(TIMER_DHT, request_id.0),
+        );
+        let msg = TreePMessage::DhtGet {
+            request_id,
+            origin: self.peer_info(),
+            key: coord,
+            ttl: 0,
+        };
+        self.route_dht(msg, ctx);
+        request_id
+    }
+
+    // ---- lookup internals ------------------------------------------------------
+
+    pub(super) fn complete_lookup(
+        &mut self,
+        request_id: RequestId,
+        status: LookupStatus,
+        hops: u32,
+        now: SimTime,
+    ) {
+        if let Some(pending) = self.pending_lookups.remove(&request_id) {
+            self.lookup_outcomes.push(LookupOutcome {
+                request_id,
+                target: pending.target,
+                algorithm: pending.algorithm,
+                status,
+                hops,
+                started_at: pending.started_at,
+                completed_at: now,
+            });
+        }
+    }
+
+    pub(super) fn handle_lookup(
+        &mut self,
+        mut req: LookupRequest,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        let now = ctx.now();
+        let me = self.peer_info();
+        self.stats.lookups_forwarded += 1;
+
+        // The target might be this very node.
+        if req.target == self.id {
+            self.stats.lookups_answered += 1;
+            let answer = TreePMessage::LookupFound {
+                request_id: req.request_id,
+                target: req.target,
+                result: me,
+                hops: req.hops(),
+                algorithm: req.algorithm,
+            };
+            if req.origin.addr == me.addr {
+                self.complete_lookup(req.request_id, LookupStatus::Found, req.hops(), now);
+            } else {
+                self.send(ctx, req.origin.addr, answer);
+            }
+            return;
+        }
+
+        let decision = route(&self.router_view(), &mut req);
+        match decision {
+            RouteDecision::Found(entry) => {
+                self.stats.lookups_answered += 1;
+                let answer = TreePMessage::LookupFound {
+                    request_id: req.request_id,
+                    target: req.target,
+                    result: PeerInfo::from_entry(&entry),
+                    hops: req.hops(),
+                    algorithm: req.algorithm,
+                };
+                if req.origin.addr == me.addr {
+                    self.complete_lookup(req.request_id, LookupStatus::Found, req.hops(), now);
+                } else {
+                    self.send(ctx, req.origin.addr, answer);
+                }
+            }
+            RouteDecision::Forward(next) => {
+                req.advance(me.addr);
+                self.send(ctx, next.addr, TreePMessage::Lookup(req));
+            }
+            RouteDecision::NotFound => {
+                self.stats.lookups_dead_ended += 1;
+                let answer = TreePMessage::LookupNotFound {
+                    request_id: req.request_id,
+                    target: req.target,
+                    hops: req.hops(),
+                    algorithm: req.algorithm,
+                };
+                if req.origin.addr == me.addr {
+                    self.complete_lookup(req.request_id, LookupStatus::NotFound, req.hops(), now);
+                } else {
+                    self.send(ctx, req.origin.addr, answer);
+                }
+            }
+            RouteDecision::Drop => {
+                self.stats.lookups_ttl_dropped += 1;
+            }
+        }
+    }
+
+    // ---- DHT internals ---------------------------------------------------------
+
+    /// The peer strictly closer (Euclidean) to `key` than this node, if any:
+    /// an ordered neighbour probe on the registry, not a scan.
+    fn closer_peer_to(&self, key: NodeId) -> Option<crate::entry::RoutingEntry> {
+        let self_addr = self.addr.expect("node not started");
+        let own = self.dist.euclidean(self.id, key);
+        self.tables
+            .closest_peer(self.config.space, key, self_addr)
+            .filter(|p| self.dist.euclidean(p.id, key) < own)
+            .copied()
+    }
+
+    pub(super) fn route_dht(&mut self, msg: TreePMessage, ctx: &mut Context<'_, TreePMessage>) {
+        let (key, ttl) = match &msg {
+            TreePMessage::DhtPut { key, ttl, .. } | TreePMessage::DhtGet { key, ttl, .. } => {
+                (*key, *ttl)
+            }
+            _ => unreachable!("route_dht only handles DHT requests"),
+        };
+        if ttl >= self.config.max_ttl {
+            return; // dropped; the origin times out
+        }
+        match self.closer_peer_to(key) {
+            Some(next) => {
+                let forwarded = bump_dht_ttl(msg);
+                self.send(ctx, next.addr, forwarded);
+            }
+            None => {
+                // This node is responsible for the key.
+                self.answer_dht_locally(msg, ctx);
+            }
+        }
+    }
+
+    fn answer_dht_locally(&mut self, msg: TreePMessage, ctx: &mut Context<'_, TreePMessage>) {
+        let me = self.peer_info();
+        let self_addr = me.addr;
+        match msg {
+            TreePMessage::DhtPut {
+                request_id,
+                origin,
+                key,
+                value,
+                ..
+            } => {
+                self.store.put(key, value);
+                self.stats.dht_values_stored = self.store.len() as u64;
+                let ack = TreePMessage::DhtPutAck {
+                    request_id,
+                    key,
+                    stored_at: me,
+                };
+                if origin.addr == self_addr {
+                    self.record_dht_ack(request_id, key, me, ctx.now());
+                } else {
+                    self.send(ctx, origin.addr, ack);
+                }
+            }
+            TreePMessage::DhtGet {
+                request_id,
+                origin,
+                key,
+                ..
+            } => {
+                let value = self.store.get(key).cloned();
+                if origin.addr == self_addr {
+                    self.record_dht_answer(request_id, key, value, me, ctx.now());
+                } else {
+                    let reply = TreePMessage::DhtGetReply {
+                        request_id,
+                        key,
+                        value,
+                        responder: me,
+                    };
+                    self.send(ctx, origin.addr, reply);
+                }
+            }
+            _ => unreachable!("answer_dht_locally only handles DHT requests"),
+        }
+    }
+
+    pub(super) fn record_dht_ack(
+        &mut self,
+        request_id: RequestId,
+        key: NodeId,
+        stored_at: PeerInfo,
+        now: SimTime,
+    ) {
+        if self.pending_dht.remove(&request_id).is_some() {
+            self.dht_outcomes.push(DhtOutcome::PutAcked {
+                request_id,
+                key,
+                stored_at,
+                completed_at: now,
+            });
+        }
+    }
+
+    pub(super) fn record_dht_answer(
+        &mut self,
+        request_id: RequestId,
+        key: NodeId,
+        value: Option<Vec<u8>>,
+        responder: PeerInfo,
+        now: SimTime,
+    ) {
+        if self.pending_dht.remove(&request_id).is_some() {
+            self.dht_outcomes.push(DhtOutcome::GetAnswered {
+                request_id,
+                key,
+                value,
+                responder,
+                completed_at: now,
+            });
+        }
+    }
+
+    // ---- timers ----------------------------------------------------------------
+
+    pub(super) fn lookup_timer_fired(&mut self, payload: u64, ctx: &mut Context<'_, TreePMessage>) {
+        let request_id = RequestId(payload);
+        if self.pending_lookups.contains_key(&request_id) {
+            self.complete_lookup(request_id, LookupStatus::TimedOut, 0, ctx.now());
+        }
+    }
+
+    pub(super) fn dht_timer_fired(&mut self, payload: u64, ctx: &mut Context<'_, TreePMessage>) {
+        let request_id = RequestId(payload);
+        if let Some(pending) = self.pending_dht.remove(&request_id) {
+            self.dht_outcomes.push(DhtOutcome::TimedOut {
+                request_id,
+                key: pending.key,
+                completed_at: ctx.now(),
+            });
+        }
+    }
+}
+
+fn bump_dht_ttl(msg: TreePMessage) -> TreePMessage {
+    match msg {
+        TreePMessage::DhtPut {
+            request_id,
+            origin,
+            key,
+            value,
+            ttl,
+        } => TreePMessage::DhtPut {
+            request_id,
+            origin,
+            key,
+            value,
+            ttl: ttl + 1,
+        },
+        TreePMessage::DhtGet {
+            request_id,
+            origin,
+            key,
+            ttl,
+        } => TreePMessage::DhtGet {
+            request_id,
+            origin,
+            key,
+            ttl: ttl + 1,
+        },
+        other => other,
+    }
+}

@@ -1,0 +1,388 @@
+//! Membership layer: joining, keep-alives, child reports and the periodic
+//! maintenance tick.
+//!
+//! This layer owns everything that keeps the overlay's *edges* alive:
+//! the join handshake ([`TreePMessage::JoinRequest`] /
+//! [`TreePMessage::JoinAck`]), the periodic keep-alives with piggy-backed
+//! [`RoutingUpdate`] gossip, the child → parent report cycle
+//! ([`TreePMessage::ChildReport`] / [`TreePMessage::ChildReportAck`]) and
+//! the [`TIMER_KEEPALIVE`] maintenance tick that expires stale registry
+//! entries, prunes the gossip-learned level-0 contacts and re-arms itself.
+//!
+//! Child reports carry the reporting child's **exact subtree span**
+//! ([`TreePNode::subtree_span`]); the parent records it in the registry so
+//! the multicast layer can prune fan-outs by exact extents instead of
+//! tessellation-radius estimates.
+
+use super::*;
+use crate::messages::RoutingUpdate;
+
+impl TreePNode {
+    /// Record (or refresh) knowledge about a peer we just heard from.
+    pub(super) fn learn_peer(&mut self, peer: PeerInfo, now: SimTime) {
+        self.tables.upsert_level0(peer.into_entry(now));
+        // If we share a level (> 0) with the sender, it is also a bus contact.
+        if peer.max_level > 0 && peer.max_level <= self.max_level {
+            self.tables
+                .upsert_level(peer.max_level, peer.into_entry(now));
+        }
+    }
+
+    fn apply_update(&mut self, update: RoutingUpdate, now: SimTime) {
+        match update {
+            RoutingUpdate::Contact { peer } => {
+                if peer.id != self.id {
+                    self.tables.upsert_level0(peer.into_entry(now));
+                }
+            }
+            RoutingUpdate::LevelMember { level, peer } => {
+                if peer.id == self.id {
+                    return;
+                }
+                if level <= self.max_level && level > 0 {
+                    self.tables.upsert_level(level, peer.into_entry(now));
+                } else {
+                    self.tables.upsert_superior(peer.into_entry(now));
+                }
+            }
+            RoutingUpdate::ParentOf { peer } => {
+                if peer.id == self.id {
+                    return;
+                }
+                self.tables.upsert_superior(peer.into_entry(now));
+            }
+            RoutingUpdate::ChildOf { peer } => {
+                if peer.id == self.id {
+                    return;
+                }
+                if self.max_level > 0 {
+                    self.tables.upsert_child(peer.into_entry(now), false);
+                } else {
+                    self.tables.upsert_level0(peer.into_entry(now));
+                }
+            }
+            RoutingUpdate::Superior { peer } => {
+                if peer.id != self.id {
+                    self.tables.upsert_superior(peer.into_entry(now));
+                }
+            }
+        }
+    }
+
+    /// The updates this node piggy-backs on keep-alives: its parent, its own
+    /// level membership, and (for parents) a sample of its children.
+    fn my_updates(&self) -> Vec<RoutingUpdate> {
+        let mut updates = Vec::new();
+        if let Some(p) = self.tables.parent() {
+            updates.push(RoutingUpdate::ParentOf {
+                peer: PeerInfo::from_entry(p),
+            });
+        }
+        if self.max_level > 0 {
+            if self.addr.is_some() {
+                updates.push(RoutingUpdate::LevelMember {
+                    level: self.max_level,
+                    peer: self.peer_info(),
+                });
+            }
+            for child in self.tables.own_children().take(4) {
+                updates.push(RoutingUpdate::ChildOf {
+                    peer: PeerInfo::from_entry(child),
+                });
+            }
+        }
+        for sup in self.tables.superiors().take(4) {
+            updates.push(RoutingUpdate::Superior {
+                peer: PeerInfo::from_entry(sup),
+            });
+        }
+        updates
+    }
+
+    /// Superiors advertised to children in a [`TreePMessage::ChildReportAck`]:
+    /// our own parent, our ancestors, and our direct bus neighbours.
+    fn superiors_for_children(&self) -> Vec<PeerInfo> {
+        let mut sup: Vec<PeerInfo> = Vec::new();
+        if let Some(p) = self.tables.parent() {
+            sup.push(PeerInfo::from_entry(p));
+        }
+        for s in self.tables.superiors().take(6) {
+            sup.push(PeerInfo::from_entry(s));
+        }
+        if self.max_level > 0 {
+            let (l, r) = self.tables.bus_neighbors(self.max_level, self.id);
+            if let Some(l) = l {
+                sup.push(PeerInfo::from_entry(l));
+            }
+            if let Some(r) = r {
+                sup.push(PeerInfo::from_entry(r));
+            }
+        }
+        sup
+    }
+
+    // ---- maintenance tick ------------------------------------------------------
+
+    pub(super) fn maintenance_tick(&mut self, ctx: &mut Context<'_, TreePMessage>) {
+        let now = ctx.now();
+        if let Some(last) = self.last_tick {
+            self.characteristics
+                .add_uptime(now.saturating_since(last).as_secs());
+        }
+        self.last_tick = Some(now);
+        self.stats.keepalive_rounds += 1;
+
+        // 1. Expire stale entries (one canonical registry sweep), then prune
+        //    gossip-learned level-0 contacts beyond the configured budget so
+        //    the keep-alive fan-out stays bounded regardless of the network
+        //    size.
+        let expired = self.tables.expire(now, self.config.entry_ttl);
+        self.stats.entries_expired += expired.len() as u64;
+        self.stats.entries_pruned += self.tables.prune_level0(
+            self.config.space,
+            self.id,
+            self.config.max_level0_connections,
+        ) as u64;
+
+        // 2. Trigger an election when we have degree >= 2 and no parent.
+        //    Nodes already sitting at the top of the hierarchy (the root) do
+        //    not need a parent and never call one.
+        if self.tables.parent().is_none()
+            && self.max_level < self.config.height
+            && self.tables.level0_degree() >= self.config.min_level0_connections
+            && self.election.election().is_none()
+        {
+            self.trigger_election(ctx);
+        }
+
+        // 3. Parents with fewer than two children run the demotion countdown.
+        if self.max_level > 0 {
+            if self.tables.own_children_count() < 2 {
+                if self.election.demotion().is_none() {
+                    let (delay, round) = self.election.start_demotion(
+                        &self.characteristics,
+                        self.config.demotion_base,
+                        now,
+                    );
+                    ctx.set_timer(delay, encode_timer(TIMER_DEMOTION, round));
+                }
+            } else {
+                self.election.cancel_demotion();
+            }
+        }
+
+        // 4. Keep-alives to level-0 neighbours.
+        let updates = self.my_updates();
+        let me = self.peer_info();
+        let level0: Vec<NodeAddr> = self.tables.level0().map(|e| e.addr).collect();
+        for addr in level0 {
+            if addr == me.addr {
+                continue;
+            }
+            self.send(
+                ctx,
+                addr,
+                TreePMessage::KeepAlive {
+                    sender: me,
+                    updates: updates.clone(),
+                },
+            );
+        }
+
+        // 5. Keep-alives to direct bus neighbours at every level we belong to.
+        for level in 1..=self.max_level {
+            let (l, r) = self.tables.bus_neighbors(level, self.id);
+            let targets: Vec<NodeAddr> = [l, r]
+                .into_iter()
+                .flatten()
+                .map(|e| e.addr)
+                .filter(|a| *a != me.addr)
+                .collect();
+            for addr in targets {
+                self.send(
+                    ctx,
+                    addr,
+                    TreePMessage::KeepAlive {
+                        sender: me,
+                        updates: updates.clone(),
+                    },
+                );
+            }
+        }
+
+        // 6. Report to the parent ("if they do not report regularly they
+        //    will simply be deleted from its routing table"), carrying the
+        //    exact extent of this node's subtree for fan-out pruning.
+        if let Some(parent) = self.tables.parent().map(|p| p.addr) {
+            let span = self.subtree_span();
+            self.send(ctx, parent, TreePMessage::ChildReport { child: me, span });
+        }
+
+        // 7. Re-arm the tick.
+        ctx.set_timer(
+            self.config.keepalive_interval,
+            encode_timer(TIMER_KEEPALIVE, 0),
+        );
+    }
+
+    // ---- message handlers ------------------------------------------------------
+
+    pub(super) fn handle_join_request(
+        &mut self,
+        joiner: PeerInfo,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        let now = ctx.now();
+        self.tables.upsert_level0(joiner.into_entry(now));
+        let me = self.peer_info();
+        // Suggest up to three existing contacts close to the joiner's ID.
+        let mut contacts: Vec<PeerInfo> = self
+            .tables
+            .level0()
+            .filter(|e| e.id != joiner.id)
+            .map(PeerInfo::from_entry)
+            .collect();
+        contacts.sort_by_key(|p| self.dist.euclidean(p.id, joiner.id));
+        contacts.truncate(3);
+        // Offer ourselves as a parent when we cover the joiner and have
+        // capacity; otherwise pass along our own parent as a hint.
+        let parent = if self.max_level > 0
+            && self.dist.covers(self.id, self.max_level, joiner.id)
+            && (self.tables.own_children_count() as u32) < self.max_children()
+        {
+            self.tables.upsert_child(joiner.into_entry(now), true);
+            Some(me)
+        } else {
+            self.tables.parent().map(PeerInfo::from_entry)
+        };
+        self.send(
+            ctx,
+            joiner.addr,
+            TreePMessage::JoinAck {
+                responder: me,
+                contacts,
+                parent,
+            },
+        );
+    }
+
+    pub(super) fn handle_join_ack(
+        &mut self,
+        responder: PeerInfo,
+        contacts: Vec<PeerInfo>,
+        parent: Option<PeerInfo>,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        let now = ctx.now();
+        self.learn_peer(responder, now);
+        for c in contacts {
+            if c.id != self.id {
+                self.tables.upsert_level0(c.into_entry(now));
+            }
+        }
+        if let Some(p) = parent {
+            if self.tables.parent().is_none() && p.id != self.id {
+                self.tables.set_parent(p.into_entry(now));
+                let me = self.peer_info();
+                self.send(ctx, p.addr, TreePMessage::ParentAccept { child: me });
+            }
+        }
+    }
+
+    pub(super) fn handle_keep_alive(
+        &mut self,
+        sender: PeerInfo,
+        updates: Vec<RoutingUpdate>,
+        reply: bool,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        let now = ctx.now();
+        self.learn_peer(sender, now);
+        for u in updates {
+            self.apply_update(u, now);
+        }
+        // A parentless node adopts a suitable advertised parent straight
+        // away (cheap healing path; the full election still exists for the
+        // case where no parent is advertised at all).
+        if self.tables.parent().is_none() {
+            let candidate = self
+                .tables
+                .superiors()
+                .filter(|s| s.max_level == self.max_level + 1)
+                .min_by_key(|s| self.dist.euclidean(s.id, self.id))
+                .copied();
+            if let Some(p) = candidate {
+                self.tables.set_parent(p);
+                self.election.cancel_election();
+                let me = self.peer_info();
+                self.send(ctx, p.addr, TreePMessage::ParentAccept { child: me });
+            }
+        }
+        if reply {
+            let me = self.peer_info();
+            let my_updates = self.my_updates();
+            self.send(
+                ctx,
+                sender.addr,
+                TreePMessage::KeepAliveAck {
+                    sender: me,
+                    updates: my_updates,
+                },
+            );
+        }
+    }
+
+    pub(super) fn handle_child_report(
+        &mut self,
+        child: PeerInfo,
+        span: KeyRange,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        let now = ctx.now();
+        if self.max_level == 0 {
+            // We are not a parent (any more); ignore — the child's parent
+            // entry will expire and it will look for a new one.
+            self.tables.upsert_level0(child.into_entry(now));
+            return;
+        }
+        let already_mine = self.tables.is_own_child(child.id);
+        let capacity_left = (self.tables.own_children_count() as u32) < self.max_children();
+        if already_mine || capacity_left {
+            self.tables.upsert_child(child.into_entry(now), true);
+            // Exact subtree-span bookkeeping: remember how far this child's
+            // branch extends so multicast fan-outs prune exactly.
+            self.tables.record_child_span(child.id, span);
+        } else {
+            self.tables.upsert_child(child.into_entry(now), false);
+        }
+        if self.tables.own_children_count() >= 2 {
+            self.election.cancel_demotion();
+        }
+        let me = self.peer_info();
+        let superiors = self.superiors_for_children();
+        self.send(
+            ctx,
+            child.addr,
+            TreePMessage::ChildReportAck {
+                parent: me,
+                superiors,
+            },
+        );
+    }
+
+    pub(super) fn handle_child_report_ack(
+        &mut self,
+        parent: PeerInfo,
+        superiors: Vec<PeerInfo>,
+        _ctx: &mut Context<'_, TreePMessage>,
+        now: SimTime,
+    ) {
+        self.tables.set_parent(parent.into_entry(now));
+        self.election.cancel_election();
+        for s in superiors {
+            if s.id != self.id {
+                self.tables.upsert_superior(s.into_entry(now));
+            }
+        }
+    }
+}

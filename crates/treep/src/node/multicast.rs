@@ -1,0 +1,577 @@
+//! Multicast / aggregation layer: tree-scoped dissemination and
+//! convergecast folding.
+//!
+//! A payload addressed to a contiguous identifier range climbs the
+//! initiator's ancestor chain ([`MulticastPhase::Up`]), walks the top-level
+//! bus in both directions, and descends the own-children links of every
+//! visited node — structural delegation (one parent per node, directional
+//! bus walk) delivers to each covered node at most once. Fan-outs are
+//! pruned by each child's **exact reported subtree span** when one is known
+//! (see the membership layer's child reports), falling back to the generous
+//! tessellation-radius estimate. Aggregation queries ride the same descent
+//! and convergecast back up with per-hop combining
+//! ([`TreePMessage::AggregateUp`]); this layer owns the
+//! [`super::TIMER_AGGREGATE`] origin timeout and the
+//! [`super::TIMER_AGG_RELAY`] per-relay hold timer that folds up truncated
+//! branches.
+
+use super::*;
+use crate::multicast::{
+    AggregatePartial, AggregateQuery, MulticastPayload, MulticastPhase, ReplyTo,
+};
+
+/// Direction of the top-level bus walk of a multicast descent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BusDir {
+    Left,
+    Right,
+}
+
+/// How a node participates in a multicast descent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DescentRole {
+    /// Top of the initiator's tree: starts the bus walk in both directions.
+    Root,
+    /// Reached by the bus walk: continues it in one direction.
+    Bus(BusDir),
+    /// Reached through its parent: fans out to its own children only.
+    Subtree,
+}
+
+impl TreePNode {
+    /// Multicast `payload` to every live node whose identifier falls in
+    /// `range`. The message climbs to this node's root, walks the top-level
+    /// bus, and descends the spanning forest; structural delegation (one
+    /// parent per node, directional bus walk) delivers the payload to each
+    /// covered node **at most once** with zero duplicate messages. Covered
+    /// nodes record the payload in their
+    /// [`TreePNode::drain_multicast_deliveries`] queue.
+    pub fn start_multicast(
+        &mut self,
+        range: KeyRange,
+        payload: Vec<u8>,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) -> RequestId {
+        let request_id = self.fresh_request_id();
+        self.stats.multicasts_initiated += 1;
+        let me = self.peer_info();
+        self.dispatch_multicast(
+            me.addr,
+            me,
+            request_id,
+            range,
+            MulticastPayload::Data(payload),
+            self.config.multicast_hop_budget,
+            0,
+            MulticastPhase::Up,
+            0,
+            ctx,
+        );
+        request_id
+    }
+
+    /// Fold `query` over every live node in `range` with one scoped
+    /// multicast + convergecast instead of `n` point lookups. The combined
+    /// answer (or a timeout) is recorded at this origin — see
+    /// [`TreePNode::drain_aggregate_outcomes`].
+    pub fn start_aggregate(
+        &mut self,
+        range: KeyRange,
+        query: AggregateQuery,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) -> RequestId {
+        let request_id = self.fresh_request_id();
+        self.stats.aggregates_initiated += 1;
+        self.pending_aggregates.insert(
+            request_id,
+            PendingAggregate {
+                query,
+                range,
+                started_at: ctx.now(),
+            },
+        );
+        ctx.set_timer(
+            self.config.lookup_timeout,
+            encode_timer(TIMER_AGGREGATE, request_id.0),
+        );
+        let me = self.peer_info();
+        self.dispatch_multicast(
+            me.addr,
+            me,
+            request_id,
+            range,
+            MulticastPayload::Aggregate(query),
+            self.config.multicast_hop_budget,
+            0,
+            MulticastPhase::Up,
+            0,
+            ctx,
+        );
+        request_id
+    }
+
+    /// Census of the DHT keys stored across `range`: one scoped aggregation
+    /// folding per-node key digests (see [`crate::dht::DhtStore::digest_range`]).
+    pub fn dht_range_digest(
+        &mut self,
+        range: KeyRange,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) -> RequestId {
+        self.start_aggregate(range, AggregateQuery::DhtKeyDigest, ctx)
+    }
+
+    // ---- dissemination engine ---------------------------------------------------
+
+    /// Central multicast state machine, shared by the origin (`from` is the
+    /// node's own address) and by the message dispatch.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn dispatch_multicast(
+        &mut self,
+        from: NodeAddr,
+        origin: PeerInfo,
+        request_id: RequestId,
+        range: KeyRange,
+        payload: MulticastPayload,
+        budget: u32,
+        hops: u32,
+        phase: MulticastPhase,
+        bus_level: u32,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        match phase {
+            MulticastPhase::Up => {
+                // An exhausted budget ends the ascent early: the node acts as
+                // a (degraded) descent root so the message still delivers
+                // locally instead of silently vanishing.
+                if let Some(parent) = self.tables.parent().map(|p| p.addr).filter(|_| budget > 0) {
+                    self.stats.multicast_forwards += 1;
+                    self.send(
+                        ctx,
+                        parent,
+                        TreePMessage::MulticastDown {
+                            origin,
+                            request_id,
+                            range,
+                            payload,
+                            budget: budget - 1,
+                            hops: hops + 1,
+                            phase: MulticastPhase::Up,
+                            bus_level: 0,
+                        },
+                    );
+                } else {
+                    // No parent: this node is the root of its tree and
+                    // becomes the descent root.
+                    self.descend(
+                        from,
+                        origin,
+                        request_id,
+                        range,
+                        payload,
+                        budget,
+                        hops,
+                        DescentRole::Root,
+                        0,
+                        ctx,
+                    );
+                }
+            }
+            MulticastPhase::BusLeft => self.descend(
+                from,
+                origin,
+                request_id,
+                range,
+                payload,
+                budget,
+                hops,
+                DescentRole::Bus(BusDir::Left),
+                bus_level,
+                ctx,
+            ),
+            MulticastPhase::BusRight => self.descend(
+                from,
+                origin,
+                request_id,
+                range,
+                payload,
+                budget,
+                hops,
+                DescentRole::Bus(BusDir::Right),
+                bus_level,
+                ctx,
+            ),
+            MulticastPhase::Down => self.descend(
+                from,
+                origin,
+                request_id,
+                range,
+                payload,
+                budget,
+                hops,
+                DescentRole::Subtree,
+                bus_level,
+                ctx,
+            ),
+        }
+    }
+
+    /// Deliver locally, fan out to the selected children, continue the bus
+    /// walk, and (for aggregations) set up the convergecast relay.
+    #[allow(clippy::too_many_arguments)]
+    fn descend(
+        &mut self,
+        from: NodeAddr,
+        origin: PeerInfo,
+        request_id: RequestId,
+        range: KeyRange,
+        payload: MulticastPayload,
+        budget: u32,
+        hops: u32,
+        role: DescentRole,
+        bus_level: u32,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        let me_addr = self.addr.expect("node not started");
+        // Duplicate guard. Delegation is structural, so a second descending
+        // visit for the same multicast can only be a churn race (a child
+        // transiently in two parents' tables). Suppress it entirely: no
+        // delivery, no forwarding (a duplicate delegator's relay recovers
+        // through its hold timer).
+        if !self.multicast_seen.insert((origin.addr, request_id)) {
+            self.stats.multicast_duplicates_suppressed += 1;
+            return;
+        }
+        // Collect the outgoing edges first (bus continuation + children), so
+        // the aggregate relay knows how many partials to expect.
+        let mut edges: Vec<(NodeAddr, MulticastPhase)> = Vec::new();
+
+        // 1. Bus walk. The descent root starts the walk in both directions
+        //    at its own top level; a bus-visited node continues in the
+        //    direction it was reached from; subtree nodes never walk. The
+        //    walk is not range-pruned: the top bus is short and walking it
+        //    fully is what guarantees every tree of the forest is reached.
+        let walking: &[BusDir] = match role {
+            DescentRole::Root => &[BusDir::Left, BusDir::Right],
+            DescentRole::Bus(BusDir::Left) => &[BusDir::Left],
+            DescentRole::Bus(BusDir::Right) => &[BusDir::Right],
+            DescentRole::Subtree => &[],
+        };
+        let walk_level = match role {
+            DescentRole::Root => self.max_level,
+            DescentRole::Bus(_) | DescentRole::Subtree => bus_level,
+        };
+        if walk_level > 0 {
+            let (left, right) = {
+                let (l, r) = self.tables.bus_neighbors(walk_level, self.id);
+                (l.map(|e| e.addr), r.map(|e| e.addr))
+            };
+            for dir in walking {
+                let (next, phase) = match dir {
+                    BusDir::Left => (left, MulticastPhase::BusLeft),
+                    BusDir::Right => (right, MulticastPhase::BusRight),
+                };
+                if let Some(next) = next {
+                    if next != me_addr && next != from {
+                        edges.push((next, phase));
+                    }
+                }
+            }
+        }
+
+        // 2. Children fan-out: own children whose subtree (exact reported
+        //    span, or the generous estimate) can intersect the range.
+        //    Children at or above the walk level are on the bus and are
+        //    reached by the walk itself — fanning them out too would be the
+        //    one way to create a duplicate, so they are excluded.
+        // Note: `from` is deliberately NOT excluded here. When the descent
+        // root is reached by its own child's ascent, that child is exactly
+        // the branch the origin lives in — skipping it would sever it. A
+        // child can never be the delegating parent or a bus neighbour, so
+        // including it cannot bounce a message back where it came from.
+        //
+        // DHT-key-digest aggregations widen the filter by one level-1
+        // tessellation radius: a key inside the range is stored at the node
+        // *closest* to it, which can sit just outside the range. Visiting
+        // such a node is one extra message and never a duplicate; its own
+        // contribution is still clipped to `range` by
+        // [`crate::dht::DhtStore::digest_range`].
+        let level0_slack = match &payload {
+            MulticastPayload::Aggregate(AggregateQuery::DhtKeyDigest) => {
+                self.config.space.coverage_radius(self.config.height, 1)
+            }
+            _ => 0,
+        };
+        let fanout: Vec<NodeAddr> = self
+            .tables
+            .multicast_fanout(self.config.space, self.config.height, range, level0_slack)
+            .into_iter()
+            .filter(|c| c.max_level < walk_level || walk_level == 0)
+            .map(|c| c.addr)
+            .filter(|a| *a != me_addr)
+            .collect();
+        for addr in fanout {
+            edges.push((addr, MulticastPhase::Down));
+        }
+
+        // The hop budget limits *forwarding*, never receipt: an arriving
+        // message always delivers locally. An exhausted budget prunes the
+        // outgoing edges (for aggregates the empty edge set completes the
+        // branch immediately with the local contribution).
+        if budget == 0 && !edges.is_empty() {
+            self.stats.multicast_budget_dropped += 1;
+            edges.clear();
+        }
+
+        // 3. Local delivery / contribution.
+        let in_range = range.contains(self.id);
+        match &payload {
+            MulticastPayload::Data(data) => {
+                if in_range {
+                    self.stats.multicast_deliveries += 1;
+                    self.multicast_deliveries.push(MulticastDelivery {
+                        origin,
+                        request_id,
+                        range,
+                        payload: data.clone(),
+                        hops,
+                        at: ctx.now(),
+                    });
+                }
+            }
+            MulticastPayload::Aggregate(query) => {
+                let acc = self.aggregate_contribution(*query, range);
+                let reply_to = match role {
+                    // The descent root reports the final fold straight to
+                    // the origin (`from` is an ascent hop, not a delegator).
+                    DescentRole::Root => {
+                        if origin.addr == me_addr {
+                            ReplyTo::SelfOrigin
+                        } else {
+                            ReplyTo::Origin(origin.addr)
+                        }
+                    }
+                    DescentRole::Bus(_) | DescentRole::Subtree => ReplyTo::Upstream(from),
+                };
+                if edges.is_empty() {
+                    self.finish_aggregate_branch(
+                        origin, request_id, *query, acc, false, reply_to, ctx,
+                    );
+                } else {
+                    let round = self.next_relay_round;
+                    self.next_relay_round += 1;
+                    self.relays.insert(
+                        round,
+                        AggregateRelay {
+                            origin,
+                            request_id,
+                            query: *query,
+                            reply_to,
+                            acc,
+                            expected: edges.len(),
+                            truncated: false,
+                        },
+                    );
+                    ctx.set_timer(
+                        self.config.aggregate_relay_timeout,
+                        encode_timer(TIMER_AGG_RELAY, round),
+                    );
+                }
+            }
+        }
+
+        // 4. Forward along the collected edges.
+        for (dest, phase) in edges {
+            self.stats.multicast_forwards += 1;
+            self.send(
+                ctx,
+                dest,
+                TreePMessage::MulticastDown {
+                    origin,
+                    request_id,
+                    range,
+                    payload: payload.clone(),
+                    budget: budget - 1,
+                    hops: hops + 1,
+                    phase,
+                    bus_level: walk_level,
+                },
+            );
+        }
+    }
+
+    // ---- convergecast ----------------------------------------------------------
+
+    /// This node's own contribution to an aggregation over `range`.
+    fn aggregate_contribution(&self, query: AggregateQuery, range: KeyRange) -> AggregatePartial {
+        let in_range = range.contains(self.id);
+        match query {
+            AggregateQuery::CountNodes => AggregatePartial::Count(u64::from(in_range)),
+            AggregateQuery::MaxCapability => AggregatePartial::MaxCapability(if in_range {
+                CharacteristicsSummary::of(&self.characteristics, self.config.child_policy)
+                    .score_milli
+            } else {
+                0
+            }),
+            AggregateQuery::DhtKeyDigest => {
+                // Keys in range can be stored at a node just outside it (the
+                // responsible node is the *closest* to the key), so the
+                // store is consulted regardless of the node's own position.
+                let (xor, count) = self.store.digest_range(range);
+                AggregatePartial::Digest { xor, count }
+            }
+        }
+    }
+
+    /// Report a completed (or truncated) convergecast branch.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_aggregate_branch(
+        &mut self,
+        origin: PeerInfo,
+        request_id: RequestId,
+        query: AggregateQuery,
+        acc: AggregatePartial,
+        truncated: bool,
+        reply_to: ReplyTo,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        match reply_to {
+            ReplyTo::SelfOrigin => {
+                self.record_aggregate_outcome(request_id, query, acc, truncated, ctx.now())
+            }
+            ReplyTo::Origin(addr) => {
+                self.send(
+                    ctx,
+                    addr,
+                    TreePMessage::AggregateUp {
+                        origin,
+                        request_id,
+                        query,
+                        partial: acc,
+                        truncated,
+                        final_answer: true,
+                    },
+                );
+            }
+            ReplyTo::Upstream(addr) => {
+                self.send(
+                    ctx,
+                    addr,
+                    TreePMessage::AggregateUp {
+                        origin,
+                        request_id,
+                        query,
+                        partial: acc,
+                        truncated,
+                        final_answer: false,
+                    },
+                );
+            }
+        }
+    }
+
+    fn record_aggregate_outcome(
+        &mut self,
+        request_id: RequestId,
+        query: AggregateQuery,
+        partial: AggregatePartial,
+        truncated: bool,
+        now: SimTime,
+    ) {
+        if self.pending_aggregates.remove(&request_id).is_some() {
+            self.aggregate_outcomes.push(AggregateOutcome::Completed {
+                request_id,
+                query,
+                partial,
+                truncated,
+                completed_at: now,
+            });
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn handle_aggregate_up(
+        &mut self,
+        origin: PeerInfo,
+        request_id: RequestId,
+        query: AggregateQuery,
+        partial: AggregatePartial,
+        truncated: bool,
+        final_answer: bool,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        // The descent root's final fold resolves the pending request at the
+        // origin; it must never be confused with a branch partial (the
+        // origin can simultaneously be a relay of its own aggregation).
+        if final_answer {
+            if origin.addr == self.addr.expect("node not started") {
+                self.record_aggregate_outcome(request_id, query, partial, truncated, ctx.now());
+            }
+            return;
+        }
+        // A relay waiting on this branch folds the partial in.
+        let matching = self
+            .relays
+            .iter()
+            .find(|(_, r)| r.origin.addr == origin.addr && r.request_id == request_id)
+            .map(|(round, _)| *round);
+        if let Some(round) = matching {
+            let done = {
+                let relay = self.relays.get_mut(&round).expect("found above");
+                relay.acc.combine(&partial);
+                relay.truncated |= truncated;
+                relay.expected = relay.expected.saturating_sub(1);
+                self.stats.aggregate_partials_folded += 1;
+                relay.expected == 0
+            };
+            if done {
+                let relay = self.relays.remove(&round).expect("found above");
+                self.finish_aggregate_branch(
+                    relay.origin,
+                    relay.request_id,
+                    relay.query,
+                    relay.acc,
+                    relay.truncated,
+                    relay.reply_to,
+                    ctx,
+                );
+            }
+        }
+        // A branch partial with no matching relay is one that arrived after
+        // the relay's hold timer already folded up without it: nothing to do.
+    }
+
+    // ---- timers ----------------------------------------------------------------
+
+    pub(super) fn aggregate_timer_fired(
+        &mut self,
+        payload: u64,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        let request_id = RequestId(payload);
+        if let Some(pending) = self.pending_aggregates.remove(&request_id) {
+            self.aggregate_outcomes.push(AggregateOutcome::TimedOut {
+                request_id,
+                query: pending.query,
+                completed_at: ctx.now(),
+            });
+        }
+    }
+
+    pub(super) fn relay_timer_fired(&mut self, payload: u64, ctx: &mut Context<'_, TreePMessage>) {
+        // A delegated branch never reported: fold up whatever arrived so the
+        // rest of the convergecast can complete, marked truncated so the
+        // origin knows the answer is a lower bound.
+        if let Some(relay) = self.relays.remove(&payload) {
+            let truncated = relay.truncated || relay.expected > 0;
+            self.finish_aggregate_branch(
+                relay.origin,
+                relay.request_id,
+                relay.query,
+                relay.acc,
+                truncated,
+                relay.reply_to,
+                ctx,
+            );
+        }
+    }
+}

@@ -1,6 +1,7 @@
-//! The six-table routing-table system of Section III.c.
+//! The six-table routing-table system of Section III.c, rebuilt as a single
+//! **canonical peer registry** with role indexes.
 //!
-//! Every peer maintains:
+//! Every peer maintains, conceptually:
 //!
 //! 1. **Level-0 table** — its direct level-0 neighbours (every node has one).
 //! 2. **Level-i tables** (`i > 0`) — direct and indirect bus neighbours at
@@ -15,6 +16,44 @@
 //!    provides a higher degree of robustness at minimum cost").
 //! 6. Every entry carries a freshness **timestamp** and is deleted when it
 //!    expires (the sixth "table" of the paper is this timestamp bookkeeping).
+//!
+//! ## Registry design
+//!
+//! Earlier revisions stored an independent [`RoutingEntry`] copy in every
+//! table a peer appeared in. The same peer could then carry different
+//! addresses, levels and freshness timestamps depending on which table was
+//! consulted first — [`RoutingTables::find`] surfaced whichever copy a scan
+//! hit, and expiry had to visit every table separately (the seed's
+//! table-severing expire bug was exactly this duplication going stale out of
+//! sync).
+//!
+//! The rewrite keeps each peer's metadata **exactly once**, in a canonical
+//! `NodeId → `[`PeerEntry`] map (`registry`). The six tables become *role
+//! indexes* — ordered ID sets pointing into the registry:
+//!
+//! * `level0`, `children`, `own_children`, `superiors`: `BTreeSet<NodeId>`,
+//! * `levels`: per-level `BTreeSet<NodeId>` (the bus rings),
+//! * `parent`: `Option<NodeId>`.
+//!
+//! Consequences:
+//!
+//! * [`RoutingTables::find`] and [`RoutingTables::touch`] are a single
+//!   `O(log n)` map operation and always return/refresh the one freshest
+//!   entry, no matter how many roles the peer holds.
+//! * [`RoutingTables::expire`] is a single freshness sweep over the
+//!   registry; a peer either stays (in all of its roles) or is removed from
+//!   all of them — roles can never desynchronize.
+//! * [`RoutingTables::closest_child`], [`RoutingTables::bus_neighbors`] and
+//!   [`RoutingTables::multicast_fanout`] are ordered-range queries over the
+//!   ID indexes instead of linear scans.
+//! * A peer present in no index is dropped from the registry, so memory is
+//!   bounded by the number of *roles*, not the number of (peer, role) pairs.
+//!
+//! The registry additionally records the **exact subtree extent** each own
+//! child reported ([`RoutingTables::record_child_span`], piggy-backed on
+//! `ChildReport`); `multicast_fanout` prefers the exact span over the
+//! tessellation-radius estimate, closing the ROADMAP "tessellation radius"
+//! modelling gap.
 
 use crate::entry::RoutingEntry;
 use crate::id::{IdSpace, NodeId};
@@ -22,27 +61,13 @@ use crate::multicast::KeyRange;
 use serde::{Deserialize, Serialize};
 use simnet::{SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
 
-/// Bus neighbours at one level `i > 0`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct LevelTable {
-    /// Direct and indirect neighbours on the level bus, ordered by ID.
-    pub entries: BTreeMap<NodeId, RoutingEntry>,
-}
-
-impl LevelTable {
-    /// The direct left (largest ID below `own`) and right (smallest ID above
-    /// `own`) bus neighbours.
-    pub fn direct_neighbors(&self, own: NodeId) -> (Option<&RoutingEntry>, Option<&RoutingEntry>) {
-        let left = self.entries.range(..own).next_back().map(|(_, e)| e);
-        let right = self
-            .entries
-            .range(NodeId(own.0.saturating_add(1))..)
-            .next()
-            .map(|(_, e)| e);
-        (left, right)
-    }
-}
+/// The canonical registry record: one per known peer, holding the peer's
+/// address, characteristics summary, maximum level and freshness timestamp
+/// exactly once (role membership lives in the indexes of
+/// [`RoutingTables`]).
+pub type PeerEntry = RoutingEntry;
 
 /// Which tables a peer appears in; returned by [`RoutingTables::remove_peer`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -102,15 +127,33 @@ impl TableSizes {
     }
 }
 
-/// The complete routing-table state of one peer.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// The complete routing-table state of one peer: a canonical peer registry
+/// plus ordered role indexes (see the module documentation).
+#[derive(Debug, Clone, Default)]
 pub struct RoutingTables {
-    level0: BTreeMap<NodeId, RoutingEntry>,
-    levels: BTreeMap<u32, LevelTable>,
-    children: BTreeMap<NodeId, RoutingEntry>,
+    /// Canonical peer metadata, exactly one entry per known peer.
+    registry: BTreeMap<NodeId, PeerEntry>,
+    /// Level-0 ring membership.
+    level0: BTreeSet<NodeId>,
+    /// Bus membership per level `> 0`.
+    levels: BTreeMap<u32, BTreeSet<NodeId>>,
+    /// All known children (own and replicated neighbours').
+    children: BTreeSet<NodeId>,
+    /// The subset of `children` in this node's own tessellation.
     own_children: BTreeSet<NodeId>,
-    parent: Option<RoutingEntry>,
-    superiors: BTreeMap<NodeId, RoutingEntry>,
+    /// The immediate parent.
+    parent: Option<NodeId>,
+    /// Superior-node list membership.
+    superiors: BTreeSet<NodeId>,
+    /// Exact subtree extents reported by own children (`ChildReport`).
+    child_spans: BTreeMap<NodeId, KeyRange>,
+    /// Largest one-sided reach (`max(id - lo, hi - id)`) over
+    /// `child_spans`; monotone over-approximation used to bound the
+    /// `multicast_fanout` range query. Recomputed when a span is dropped.
+    span_reach: u64,
+    /// Highest `max_level` ever seen on an own child; monotone
+    /// over-approximation, recomputed when an own child is removed.
+    max_child_level: u32,
 }
 
 impl RoutingTables {
@@ -119,16 +162,115 @@ impl RoutingTables {
         Self::default()
     }
 
+    // ---- registry core ---------------------------------------------------
+
+    /// Merge `entry` into the registry (insert, or fold newer information
+    /// into the canonical record) and return its ID.
+    fn upsert(&mut self, entry: PeerEntry) -> NodeId {
+        let id = entry.id;
+        match self.registry.get_mut(&id) {
+            Some(existing) => {
+                existing.merge(&entry);
+                // An own child's level can rise through *any* role's upsert
+                // (a keep-alive, a gossip update); the fan-out window bound
+                // must keep covering it.
+                if self.own_children.contains(&id) {
+                    self.max_child_level = self.max_child_level.max(existing.max_level);
+                }
+            }
+            None => {
+                self.registry.insert(id, entry);
+            }
+        }
+        id
+    }
+
+    /// The registry entry a role index points at. Panics if an index is
+    /// dangling — the invariant the whole design maintains.
+    fn entry_of(&self, id: NodeId) -> &PeerEntry {
+        self.registry
+            .get(&id)
+            .expect("role index points at a peer missing from the registry")
+    }
+
+    /// True when `id` still holds at least one role.
+    fn has_role(&self, id: NodeId) -> bool {
+        self.parent == Some(id)
+            || self.level0.contains(&id)
+            || self.children.contains(&id)
+            || self.superiors.contains(&id)
+            || self.levels.values().any(|bus| bus.contains(&id))
+    }
+
+    /// Drop the registry record once the last role is gone.
+    fn drop_if_roleless(&mut self, id: NodeId) {
+        if !self.has_role(id) {
+            self.registry.remove(&id);
+        }
+    }
+
+    /// Canonical lookup: the single freshest entry for `id`, whatever roles
+    /// it holds ("IF target X is in the routing table"). `O(log n)`.
+    pub fn find(&self, id: NodeId) -> Option<&PeerEntry> {
+        self.registry.get(&id)
+    }
+
+    /// Refresh the canonical timestamp of `id`. Returns true if the peer was
+    /// known. `O(log n)` — one map lookup, regardless of role count.
+    pub fn touch(&mut self, id: NodeId, now: SimTime) -> bool {
+        match self.registry.get_mut(&id) {
+            Some(e) => {
+                e.touch(now);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Every distinct peer known, each exactly once (the canonical entry).
+    pub fn all_peers(&self) -> Vec<PeerEntry> {
+        self.registry.values().copied().collect()
+    }
+
+    /// The known peer closest to `key` in the 1-D space (excluding the one
+    /// at `exclude_addr`), found by an ordered neighbour probe around `key`
+    /// instead of a full scan. Ties prefer the smaller identifier.
+    pub fn closest_peer(
+        &self,
+        space: IdSpace,
+        key: NodeId,
+        exclude_addr: simnet::NodeAddr,
+    ) -> Option<&PeerEntry> {
+        let below = self
+            .registry
+            .range(..=key)
+            .rev()
+            .map(|(_, e)| e)
+            .find(|e| e.addr != exclude_addr);
+        let above = self
+            .registry
+            .range((Bound::Excluded(key), Bound::Unbounded))
+            .map(|(_, e)| e)
+            .find(|e| e.addr != exclude_addr);
+        nearer_of(
+            space,
+            key,
+            below.map(|e| (e.id, e)),
+            above.map(|e| (e.id, e)),
+        )
+    }
+
     // ---- level 0 ---------------------------------------------------------
 
     /// Insert or refresh a level-0 neighbour.
-    pub fn upsert_level0(&mut self, entry: RoutingEntry) {
-        merge_into(&mut self.level0, entry);
+    pub fn upsert_level0(&mut self, entry: PeerEntry) {
+        let id = self.upsert(entry);
+        self.level0.insert(id);
     }
 
     /// All level-0 neighbours, ordered by ID.
-    pub fn level0(&self) -> impl Iterator<Item = &RoutingEntry> {
-        self.level0.values()
+    pub fn level0(&self) -> impl Iterator<Item = &PeerEntry> {
+        self.level0.iter().map(|id| self.entry_of(*id))
     }
 
     /// Number of level-0 connections (`l0` in Section III.e).
@@ -138,23 +280,27 @@ impl RoutingTables {
 
     /// True when `id` is a direct level-0 neighbour.
     pub fn is_level0_neighbor(&self, id: NodeId) -> bool {
-        self.level0.contains_key(&id)
+        self.level0.contains(&id)
     }
 
     // ---- levels i > 0 ------------------------------------------------------
 
     /// Insert or refresh a bus neighbour at `level` (> 0).
-    pub fn upsert_level(&mut self, level: u32, entry: RoutingEntry) {
+    pub fn upsert_level(&mut self, level: u32, entry: PeerEntry) {
         assert!(
             level > 0,
             "level tables start at 1; level 0 has its own table"
         );
-        merge_into(&mut self.levels.entry(level).or_default().entries, entry);
+        let id = self.upsert(entry);
+        self.levels.entry(level).or_default().insert(id);
     }
 
-    /// The bus table for `level`, if any entries are known.
-    pub fn level(&self, level: u32) -> Option<&LevelTable> {
-        self.levels.get(&level)
+    /// Members of the level-`level` bus known to this node, ordered by ID.
+    pub fn level_members(&self, level: u32) -> impl Iterator<Item = &PeerEntry> {
+        self.levels
+            .get(&level)
+            .into_iter()
+            .flat_map(|bus| bus.iter().map(|id| self.entry_of(*id)))
     }
 
     /// Levels (> 0) for which we know at least one bus neighbour.
@@ -162,44 +308,54 @@ impl RoutingTables {
         self.levels.keys().copied()
     }
 
-    /// Direct left/right bus neighbours of `own` at `level`.
+    /// Direct left (largest ID below `own`) and right (smallest ID above
+    /// `own`) bus neighbours at `level`: an ordered-range query on the bus
+    /// index.
     pub fn bus_neighbors(
         &self,
         level: u32,
         own: NodeId,
-    ) -> (Option<&RoutingEntry>, Option<&RoutingEntry>) {
+    ) -> (Option<&PeerEntry>, Option<&PeerEntry>) {
         match self.levels.get(&level) {
-            Some(t) => t.direct_neighbors(own),
+            Some(bus) => {
+                let left = bus.range(..own).next_back().map(|id| self.entry_of(*id));
+                let right = bus
+                    .range((Bound::Excluded(own), Bound::Unbounded))
+                    .next()
+                    .map(|id| self.entry_of(*id));
+                (left, right)
+            }
             None => (None, None),
         }
     }
 
     /// Total number of bus-neighbour entries over all levels `> 0`.
     pub fn level_neighbor_count(&self) -> usize {
-        self.levels.values().map(|t| t.entries.len()).sum()
+        self.levels.values().map(|bus| bus.len()).sum()
     }
 
     // ---- children ----------------------------------------------------------
 
     /// Insert or refresh a child entry. `own` marks children of this node's
     /// tessellation (as opposed to replicated children of bus neighbours).
-    pub fn upsert_child(&mut self, entry: RoutingEntry, own: bool) {
+    pub fn upsert_child(&mut self, entry: PeerEntry, own: bool) {
+        let id = self.upsert(entry);
+        self.children.insert(id);
         if own {
-            self.own_children.insert(entry.id);
+            self.own_children.insert(id);
+            let level = self.entry_of(id).max_level;
+            self.max_child_level = self.max_child_level.max(level);
         }
-        merge_into(&mut self.children, entry);
     }
 
-    /// All known children (own and neighbours').
-    pub fn children(&self) -> impl Iterator<Item = &RoutingEntry> {
-        self.children.values()
+    /// All known children (own and neighbours'), ordered by ID.
+    pub fn children(&self) -> impl Iterator<Item = &PeerEntry> {
+        self.children.iter().map(|id| self.entry_of(*id))
     }
 
     /// This node's own children, ordered by ID.
-    pub fn own_children(&self) -> impl Iterator<Item = &RoutingEntry> + '_ {
-        self.children
-            .values()
-            .filter(move |e| self.own_children.contains(&e.id))
+    pub fn own_children(&self) -> impl Iterator<Item = &PeerEntry> + '_ {
+        self.own_children.iter().map(|id| self.entry_of(*id))
     }
 
     /// Number of own children (`ca` in Section III.e).
@@ -213,45 +369,153 @@ impl RoutingTables {
     }
 
     /// The own child closest to `target` (the `Closest_Child(X)` primitive of
-    /// the routing algorithm in Figure 3).
-    pub fn closest_child(&self, space: IdSpace, target: NodeId) -> Option<&RoutingEntry> {
-        self.own_children()
-            .min_by_key(|e| space.distance(e.id, target))
+    /// the routing algorithm in Figure 3): an ordered neighbour probe on the
+    /// own-children index, ties preferring the smaller identifier.
+    pub fn closest_child(&self, space: IdSpace, target: NodeId) -> Option<&PeerEntry> {
+        let below = self.own_children.range(..=target).next_back();
+        let above = self
+            .own_children
+            .range((Bound::Excluded(target), Bound::Unbounded))
+            .next();
+        nearer_of(
+            space,
+            target,
+            below.map(|&id| (id, id)),
+            above.map(|&id| (id, id)),
+        )
+        .map(|id| self.entry_of(id))
+    }
+
+    // ---- subtree spans -----------------------------------------------------
+
+    /// Record the exact subtree extent an own child reported (piggy-backed on
+    /// `ChildReport`). Ignored for peers that are not own children. Returns
+    /// true when the span was recorded.
+    ///
+    /// Spans are as fresh as the last report: a descendant that joined the
+    /// child's subtree *since* is covered only after the next report round
+    /// per tree level (the same eventual-consistency window as every other
+    /// table entry in the protocol's lazy maintenance). Until then a
+    /// multicast into the not-yet-reported sliver of the subtree can be
+    /// pruned; the steady-state exactly-once/full-coverage guarantees are
+    /// unaffected. An event-driven child report on adoption would close the
+    /// window (see ROADMAP).
+    pub fn record_child_span(&mut self, child: NodeId, span: KeyRange) -> bool {
+        if !self.own_children.contains(&child) {
+            return false;
+        }
+        let reach = (child.0.saturating_sub(span.lo.0)).max(span.hi.0.saturating_sub(child.0));
+        self.span_reach = self.span_reach.max(reach);
+        self.child_spans.insert(child, span);
+        true
+    }
+
+    /// The exact subtree extent reported by own child `id`, if any.
+    pub fn child_span(&self, id: NodeId) -> Option<KeyRange> {
+        self.child_spans.get(&id).copied()
+    }
+
+    /// The identifier interval an own child's subtree can intersect, and
+    /// whether the level-0 visiting slack applies to it: the exact reported
+    /// span when known, the child's own coordinate for level-0 children, or
+    /// the generous tessellation-radius estimate otherwise.
+    fn child_extent(&self, child: &PeerEntry, space: IdSpace, height: u32) -> (u64, u64, bool) {
+        if let Some(span) = self.child_spans.get(&child.id) {
+            return (span.lo.0, span.hi.0, true);
+        }
+        if child.max_level == 0 {
+            return (child.id.0, child.id.0, true);
+        }
+        let radius = space.coverage_radius(height, (child.max_level + 1).min(height));
+        (
+            child.id.0.saturating_sub(radius),
+            child.id.0.saturating_add(radius),
+            false,
+        )
+    }
+
+    /// The extent of this node's own subtree: its own coordinate joined with
+    /// every own child's extent (exact span when reported, estimate
+    /// otherwise), clipped to the identifier space. This is the span a node
+    /// piggy-backs on its `ChildReport` so its parent can prune fan-outs
+    /// exactly.
+    pub fn own_subtree_extent(&self, own: NodeId, space: IdSpace, height: u32) -> KeyRange {
+        let mut lo = own.0;
+        let mut hi = own.0;
+        for id in &self.own_children {
+            let child = self.entry_of(*id);
+            let (clo, chi, _) = self.child_extent(child, space, height);
+            lo = lo.min(clo);
+            hi = hi.max(chi);
+        }
+        KeyRange::new(NodeId(lo), NodeId(hi.min(space.max_id().0)))
+    }
+
+    /// Recompute the caches invalidated by removing an own child (the cached
+    /// values are monotone over-approximations, so staleness only ever costs
+    /// a slightly wider pre-filter, never a missed child).
+    fn recompute_child_caches(&mut self) {
+        self.span_reach = self
+            .child_spans
+            .iter()
+            .map(|(id, span)| (id.0.saturating_sub(span.lo.0)).max(span.hi.0.saturating_sub(id.0)))
+            .max()
+            .unwrap_or(0);
+        self.max_child_level = self
+            .own_children
+            .iter()
+            .map(|id| self.entry_of(*id).max_level)
+            .max()
+            .unwrap_or(0);
     }
 
     /// Multicast fan-out selection: the own children whose subtree could
     /// intersect `range`, in identifier order.
     ///
-    /// A child's subtree span is not known exactly (only the child itself
-    /// is), so the estimate is deliberately generous: a level-`j` child's
-    /// descendants are assumed to lie within one tessellation radius of the
-    /// level *above* it, `L / 2^(h - (j+1))`, around the child's coordinate.
-    /// Level-0 children have no descendants and are filtered by their own
-    /// coordinate widened by `level0_slack` — pass 0 for exact scoping
-    /// (payload delivery), or a positive slack when *visiting* a node just
-    /// outside the range matters (DHT key digests: a key inside the range
-    /// can be stored at the closest node slightly outside it).
-    /// Over-approximation costs one extra message down a branch that turns
-    /// out to be empty; it can never cause a duplicate (each node has one
-    /// parent) — only an under-approximation could cause a miss.
+    /// Implemented as an ordered-range query on the own-children index: only
+    /// children whose coordinate lies within the maximum possible reach of
+    /// the range are examined at all, then each candidate is filtered by its
+    /// exact extent. A child's extent is its **reported subtree span** when
+    /// one arrived via `ChildReport` (exact bookkeeping); otherwise the
+    /// deliberately generous estimate that a level-`j` child's descendants
+    /// lie within one tessellation radius of the level above it,
+    /// `L / 2^(h - (j+1))`, around the child's coordinate. Level-0 children
+    /// without a span are filtered by their own coordinate widened by
+    /// `level0_slack` — pass 0 for exact scoping (payload delivery), or a
+    /// positive slack when *visiting* a node just outside the range matters
+    /// (DHT key digests: a key inside the range can be stored at the closest
+    /// node slightly outside it); the slack also widens exact spans, since
+    /// such a node can live anywhere in a subtree. Over-approximation costs
+    /// one extra message down a branch that turns out to be empty; it can
+    /// never cause a duplicate (each node has one parent) — only an
+    /// under-approximation could cause a miss.
     pub fn multicast_fanout(
         &self,
         space: IdSpace,
         height: u32,
         range: KeyRange,
         level0_slack: u64,
-    ) -> Vec<RoutingEntry> {
-        self.own_children()
+    ) -> Vec<PeerEntry> {
+        if self.own_children.is_empty() {
+            return Vec::new();
+        }
+        let estimate_reach = if self.max_child_level == 0 {
+            0
+        } else {
+            space.coverage_radius(height, (self.max_child_level + 1).min(height))
+        };
+        let reach = estimate_reach
+            .max(self.span_reach)
+            .saturating_add(level0_slack);
+        let window_lo = NodeId(range.lo.0.saturating_sub(reach));
+        let window_hi = NodeId(range.hi.0.saturating_add(reach));
+        self.own_children
+            .range(window_lo..=window_hi)
+            .map(|id| self.entry_of(*id))
             .filter(|child| {
-                let slack = if child.max_level == 0 {
-                    level0_slack
-                } else {
-                    space.coverage_radius(height, (child.max_level + 1).min(height))
-                };
-                range.overlaps_interval(
-                    child.id.0.saturating_sub(slack),
-                    child.id.0.saturating_add(slack),
-                )
+                let (lo, hi, slack_applies) = self.child_extent(child, space, height);
+                let slack = if slack_applies { level0_slack } else { 0 };
+                range.overlaps_interval(lo.saturating_sub(slack), hi.saturating_add(slack))
             })
             .copied()
             .collect()
@@ -260,31 +524,40 @@ impl RoutingTables {
     // ---- parent ------------------------------------------------------------
 
     /// Record `entry` as the immediate parent.
-    pub fn set_parent(&mut self, entry: RoutingEntry) {
-        self.parent = Some(entry);
+    pub fn set_parent(&mut self, entry: PeerEntry) {
+        let id = self.upsert(entry);
+        if let Some(old) = self.parent.replace(id) {
+            if old != id {
+                self.drop_if_roleless(old);
+            }
+        }
     }
 
     /// Forget the parent (it left or expired).
-    pub fn clear_parent(&mut self) -> Option<RoutingEntry> {
-        self.parent.take()
+    pub fn clear_parent(&mut self) -> Option<PeerEntry> {
+        let id = self.parent.take()?;
+        let entry = *self.entry_of(id);
+        self.drop_if_roleless(id);
+        Some(entry)
     }
 
     /// The immediate parent, if known.
-    pub fn parent(&self) -> Option<&RoutingEntry> {
-        self.parent.as_ref()
+    pub fn parent(&self) -> Option<&PeerEntry> {
+        self.parent.map(|id| self.entry_of(id))
     }
 
     // ---- superiors ---------------------------------------------------------
 
     /// Insert or refresh an entry of the superior-node list (ancestors and
     /// direct neighbours of the immediate parent).
-    pub fn upsert_superior(&mut self, entry: RoutingEntry) {
-        merge_into(&mut self.superiors, entry);
+    pub fn upsert_superior(&mut self, entry: PeerEntry) {
+        let id = self.upsert(entry);
+        self.superiors.insert(id);
     }
 
     /// The superior-node list, ordered by ID.
-    pub fn superiors(&self) -> impl Iterator<Item = &RoutingEntry> {
-        self.superiors.values()
+    pub fn superiors(&self) -> impl Iterator<Item = &PeerEntry> {
+        self.superiors.iter().map(|id| self.entry_of(*id))
     }
 
     /// True when the superior-node list is non-empty (the
@@ -295,230 +568,136 @@ impl RoutingTables {
 
     /// The superior with the highest known level ("send the request to the
     /// superior node with the highest level").
-    pub fn highest_superior(&self) -> Option<&RoutingEntry> {
-        self.superiors
-            .values()
+    pub fn highest_superior(&self) -> Option<&PeerEntry> {
+        self.superiors()
             .max_by_key(|e| (e.max_level, std::cmp::Reverse(e.id)))
     }
 
     // ---- cross-table operations ---------------------------------------------
 
-    /// Search every table for `id` ("IF target X is in the routing table").
-    pub fn find(&self, id: NodeId) -> Option<&RoutingEntry> {
-        if let Some(e) = self.level0.get(&id) {
-            return Some(e);
-        }
-        if let Some(p) = &self.parent {
-            if p.id == id {
-                return Some(p);
-            }
-        }
-        if let Some(e) = self.children.get(&id) {
-            return Some(e);
-        }
-        if let Some(e) = self.superiors.get(&id) {
-            return Some(e);
-        }
-        for table in self.levels.values() {
-            if let Some(e) = table.entries.get(&id) {
-                return Some(e);
-            }
-        }
-        None
-    }
-
-    /// Refresh the timestamp of `id` everywhere it appears. Returns true if
-    /// the peer was known.
-    pub fn touch(&mut self, id: NodeId, now: SimTime) -> bool {
-        let mut found = false;
-        if let Some(e) = self.level0.get_mut(&id) {
-            e.touch(now);
-            found = true;
-        }
-        if let Some(p) = self.parent.as_mut() {
-            if p.id == id {
-                p.touch(now);
-                found = true;
-            }
-        }
-        if let Some(e) = self.children.get_mut(&id) {
-            e.touch(now);
-            found = true;
-        }
-        if let Some(e) = self.superiors.get_mut(&id) {
-            e.touch(now);
-            found = true;
-        }
-        for table in self.levels.values_mut() {
-            if let Some(e) = table.entries.get_mut(&id) {
-                e.touch(now);
-                found = true;
-            }
-        }
-        found
-    }
-
-    /// Remove `id` from every table; reports where it was found.
+    /// Remove `id` from every role index and the registry; reports where it
+    /// was found.
     pub fn remove_peer(&mut self, id: NodeId) -> RemovalReport {
+        let report = self.remove_peer_deferred(id);
+        if report.was_own_child {
+            self.recompute_child_caches();
+        }
+        report
+    }
+
+    /// [`RoutingTables::remove_peer`] without the child-cache recompute, so
+    /// batch removals ([`RoutingTables::expire`]) can recompute once at the
+    /// end instead of once per removed own child.
+    fn remove_peer_deferred(&mut self, id: NodeId) -> RemovalReport {
         let mut report = RemovalReport {
-            was_level0: self.level0.remove(&id).is_some(),
+            was_level0: self.level0.remove(&id),
             ..RemovalReport::default()
         };
-        for table in self.levels.values_mut() {
-            if table.entries.remove(&id).is_some() {
+        let mut emptied_a_level = false;
+        for bus in self.levels.values_mut() {
+            if bus.remove(&id) {
                 report.was_level_neighbor = true;
+                emptied_a_level |= bus.is_empty();
             }
         }
-        self.levels.retain(|_, t| !t.entries.is_empty());
-        if self.children.remove(&id).is_some() {
+        if emptied_a_level {
+            self.levels.retain(|_, bus| !bus.is_empty());
+        }
+        if self.children.remove(&id) {
             if self.own_children.remove(&id) {
                 report.was_own_child = true;
+                self.child_spans.remove(&id);
             } else {
                 report.was_neighbor_child = true;
             }
         }
-        if self.parent.as_ref().map(|p| p.id == id).unwrap_or(false) {
+        if self.parent == Some(id) {
             self.parent = None;
             report.was_parent = true;
         }
-        report.was_superior = self.superiors.remove(&id).is_some();
+        report.was_superior = self.superiors.remove(&id);
+        if report.any() {
+            self.registry.remove(&id);
+        }
         report
     }
 
     /// Keep only the `keep` level-0 neighbours closest to `own` in the 1-D
-    /// identifier space, removing the rest **from the level-0 table only**
-    /// (entries that are also a parent, child, bus neighbour or superior are
-    /// untouched in those tables). Returns the number of pruned entries.
+    /// identifier space, removing the rest **from the level-0 index only**
+    /// (peers that are also a parent, child, bus neighbour or superior keep
+    /// those roles and their registry entry). Returns the number of pruned
+    /// entries.
     ///
     /// This implements the paper's "avoid maintaining unnecessary edges"
     /// rule: contacts picked up through gossip beyond the configured budget
-    /// are dropped so the keep-alive fan-out stays bounded.
+    /// are dropped so the keep-alive fan-out stays bounded. The survivors
+    /// are selected by walking the ordered index outward from `own` (two
+    /// cursors), not by sorting the whole table.
     pub fn prune_level0(&mut self, space: IdSpace, own: NodeId, keep: usize) -> usize {
         if self.level0.len() <= keep {
             return 0;
         }
-        let mut by_distance: Vec<(u64, NodeId)> = self
-            .level0
-            .keys()
-            .map(|&id| (space.distance(id, own), id))
-            .collect();
-        by_distance.sort_unstable();
-        let victims: Vec<NodeId> = by_distance[keep..].iter().map(|&(_, id)| id).collect();
+        let mut below = self.level0.range(..own).rev().copied().peekable();
+        let mut above = self.level0.range(own..).copied().peekable();
+        let mut kept = 0usize;
+        let mut victims: Vec<NodeId> = Vec::with_capacity(self.level0.len() - keep);
+        loop {
+            // Ties prefer the smaller identifier (the one below `own`),
+            // matching a sort by (distance, id).
+            let next = match (below.peek(), above.peek()) {
+                (Some(&b), Some(&a)) => {
+                    if space.distance(b, own) <= space.distance(a, own) {
+                        below.next()
+                    } else {
+                        above.next()
+                    }
+                }
+                (Some(_), None) => below.next(),
+                (None, Some(_)) => above.next(),
+                (None, None) => break,
+            };
+            let id = next.expect("peeked above");
+            if kept < keep {
+                kept += 1;
+            } else {
+                victims.push(id);
+            }
+        }
         for id in &victims {
             self.level0.remove(id);
+            self.drop_if_roleless(*id);
         }
         victims.len()
     }
 
-    /// Expire every entry not refreshed within `ttl` of `now` ("The entry
-    /// will be deleted after the expiration of the timestamp"). Expiry is
-    /// **per entry**, not per peer: a peer whose superior-list entry went
-    /// stale but whose parent slot is actively refreshed loses only the
-    /// superior entry. (Removing the peer from every table at once lets one
-    /// forgotten gossip entry sever a live parent/child link.) Returns the
-    /// identifiers that lost at least one entry, with a report of which
-    /// tables they were removed from.
+    /// Expire every peer not refreshed within `ttl` of `now` ("The entry
+    /// will be deleted after the expiration of the timestamp"). With the
+    /// canonical registry this is a **single freshness sweep**: each peer
+    /// has exactly one timestamp, so it either stays in all of its roles or
+    /// leaves all of them — the role indexes can never desynchronize (the
+    /// seed's bug where one stale gossip copy severed a live parent link is
+    /// structurally impossible). Returns the removed identifiers with a
+    /// report of which roles each held.
     pub fn expire(&mut self, now: SimTime, ttl: SimDuration) -> Vec<(NodeId, RemovalReport)> {
-        let mut reports: BTreeMap<NodeId, RemovalReport> = BTreeMap::new();
-
-        let stale_level0: Vec<NodeId> = self
-            .level0
+        let stale: Vec<NodeId> = self
+            .registry
             .values()
             .filter(|e| e.is_stale(now, ttl))
             .map(|e| e.id)
             .collect();
-        for id in stale_level0 {
-            self.level0.remove(&id);
-            reports.entry(id).or_default().was_level0 = true;
-        }
-
-        for table in self.levels.values_mut() {
-            let stale: Vec<NodeId> = table
-                .entries
-                .values()
-                .filter(|e| e.is_stale(now, ttl))
-                .map(|e| e.id)
-                .collect();
-            for id in stale {
-                table.entries.remove(&id);
-                reports.entry(id).or_default().was_level_neighbor = true;
-            }
-        }
-        self.levels.retain(|_, t| !t.entries.is_empty());
-
-        let stale_children: Vec<NodeId> = self
-            .children
-            .values()
-            .filter(|e| e.is_stale(now, ttl))
-            .map(|e| e.id)
+        let mut lost_own_child = false;
+        let reports: Vec<(NodeId, RemovalReport)> = stale
+            .into_iter()
+            .map(|id| {
+                let report = self.remove_peer_deferred(id);
+                lost_own_child |= report.was_own_child;
+                (id, report)
+            })
             .collect();
-        for id in stale_children {
-            self.children.remove(&id);
-            if self.own_children.remove(&id) {
-                reports.entry(id).or_default().was_own_child = true;
-            } else {
-                reports.entry(id).or_default().was_neighbor_child = true;
-            }
+        if lost_own_child {
+            self.recompute_child_caches();
         }
-
-        if self
-            .parent
-            .as_ref()
-            .map(|p| p.is_stale(now, ttl))
-            .unwrap_or(false)
-        {
-            let p = self.parent.take().expect("checked above");
-            reports.entry(p.id).or_default().was_parent = true;
-        }
-
-        let stale_superiors: Vec<NodeId> = self
-            .superiors
-            .values()
-            .filter(|e| e.is_stale(now, ttl))
-            .map(|e| e.id)
-            .collect();
-        for id in stale_superiors {
-            self.superiors.remove(&id);
-            reports.entry(id).or_default().was_superior = true;
-        }
-
-        reports.into_iter().collect()
-    }
-
-    /// Every distinct peer known, each reported once with the entry carrying
-    /// the highest known level (used by the routing candidate selection).
-    pub fn all_peers(&self) -> Vec<RoutingEntry> {
-        let mut best: BTreeMap<NodeId, RoutingEntry> = BTreeMap::new();
-        let mut consider = |e: &RoutingEntry| match best.get_mut(&e.id) {
-            Some(existing) => {
-                if e.max_level > existing.max_level
-                    || (e.max_level == existing.max_level && e.last_seen > existing.last_seen)
-                {
-                    *existing = *e;
-                }
-            }
-            None => {
-                best.insert(e.id, *e);
-            }
-        };
-        for e in self.level0.values() {
-            consider(e);
-        }
-        for t in self.levels.values() {
-            for e in t.entries.values() {
-                consider(e);
-            }
-        }
-        for e in self.children.values() {
-            consider(e);
-        }
-        if let Some(p) = &self.parent {
-            consider(p);
-        }
-        for e in self.superiors.values() {
-            consider(e);
-        }
-        best.into_values().collect()
+        reports
     }
 
     /// Per-table sizes for the Section III.e audit.
@@ -544,20 +723,91 @@ impl RoutingTables {
                 let (l, r) = self.bus_neighbors(lvl, own);
                 n += usize::from(l.is_some()) + usize::from(r.is_some());
             }
-            n += usize::from(self.parent.is_some());
-        } else {
-            n += usize::from(self.parent.is_some());
         }
-        n
+        n + usize::from(self.parent.is_some())
+    }
+
+    /// Check the structural invariants of the registry design; returns a
+    /// description of the first violation found. Used by the property tests
+    /// (and available to embedders for debugging):
+    ///
+    /// 1. every role-index member has a registry entry,
+    /// 2. every registry entry holds at least one role,
+    /// 3. own children are children, spans belong to own children,
+    /// 4. no bus index is empty.
+    pub fn validate_invariants(&self) -> Result<(), String> {
+        let check = |id: &NodeId, role: &str| -> Result<(), String> {
+            if self.registry.contains_key(id) {
+                Ok(())
+            } else {
+                Err(format!("{role} index references {id:?} not in registry"))
+            }
+        };
+        for id in &self.level0 {
+            check(id, "level0")?;
+        }
+        for (lvl, bus) in &self.levels {
+            if bus.is_empty() {
+                return Err(format!("bus index for level {lvl} is empty"));
+            }
+            for id in bus {
+                check(id, "bus")?;
+            }
+        }
+        for id in &self.children {
+            check(id, "children")?;
+        }
+        for id in &self.own_children {
+            check(id, "own_children")?;
+            if !self.children.contains(id) {
+                return Err(format!("own child {id:?} missing from children index"));
+            }
+        }
+        if let Some(p) = self.parent {
+            check(&p, "parent")?;
+        }
+        for id in &self.superiors {
+            check(id, "superiors")?;
+        }
+        for id in self.child_spans.keys() {
+            if !self.own_children.contains(id) {
+                return Err(format!("span recorded for non-own-child {id:?}"));
+            }
+        }
+        for (id, entry) in &self.registry {
+            if *id != entry.id {
+                return Err(format!("registry key {id:?} != entry id {:?}", entry.id));
+            }
+            if !self.has_role(*id) {
+                return Err(format!("registry entry {id:?} holds no role"));
+            }
+        }
+        Ok(())
     }
 }
 
-fn merge_into(map: &mut BTreeMap<NodeId, RoutingEntry>, entry: RoutingEntry) {
-    match map.get_mut(&entry.id) {
-        Some(existing) => existing.merge(&entry),
-        None => {
-            map.insert(entry.id, entry);
+/// Of the nearest candidate below (`<= key`) and above (`> key`) an ordered
+/// index, the one closer to `key` in the 1-D space; ties prefer the one
+/// below (the smaller identifier), matching a sort by `(distance, id)`.
+/// Shared by [`RoutingTables::closest_peer`] and
+/// [`RoutingTables::closest_child`] so the probe contract lives in one
+/// place.
+fn nearer_of<T>(
+    space: IdSpace,
+    key: NodeId,
+    below: Option<(NodeId, T)>,
+    above: Option<(NodeId, T)>,
+) -> Option<T> {
+    match (below, above) {
+        (Some((b, bt)), Some((a, at))) => {
+            if space.distance(b, key) <= space.distance(a, key) {
+                Some(bt)
+            } else {
+                Some(at)
+            }
         }
+        (Some((_, t)), None) | (None, Some((_, t))) => Some(t),
+        (None, None) => None,
     }
 }
 
@@ -578,6 +828,16 @@ mod tests {
         )
     }
 
+    fn entry_at_addr(id: u64, addr: u64, level: u32, at_ms: u64) -> RoutingEntry {
+        RoutingEntry::new(
+            NodeId(id),
+            NodeAddr(addr),
+            level,
+            CharacteristicsSummary::of(&NodeCharacteristics::default(), ChildPolicy::Fixed(4)),
+            SimTime::from_millis(at_ms),
+        )
+    }
+
     #[test]
     fn level0_upsert_and_degree() {
         let mut t = RoutingTables::new();
@@ -589,6 +849,7 @@ mod tests {
         assert!(!t.is_level0_neighbor(NodeId(30)));
         let ids: Vec<u64> = t.level0().map(|e| e.id.0).collect();
         assert_eq!(ids, vec![10, 20]);
+        t.validate_invariants().unwrap();
     }
 
     #[test]
@@ -610,6 +871,8 @@ mod tests {
         // Unknown level.
         let (l, r) = t.bus_neighbors(7, NodeId(250));
         assert!(l.is_none() && r.is_none());
+        assert_eq!(t.level_members(2).count(), 4);
+        assert_eq!(t.level_members(7).count(), 0);
     }
 
     #[test]
@@ -625,6 +888,11 @@ mod tests {
         let space = IdSpace::default();
         assert_eq!(t.closest_child(space, NodeId(100)).unwrap().id, NodeId(6));
         assert_eq!(t.closest_child(space, NodeId(0)).unwrap().id, NodeId(5));
+        // Equidistant targets prefer the smaller identifier, like the old
+        // (distance, id) ordering.
+        t.upsert_child(entry(10, 0, 1), true);
+        assert_eq!(t.closest_child(space, NodeId(8)).unwrap().id, NodeId(6));
+        t.validate_invariants().unwrap();
     }
 
     #[test]
@@ -677,6 +945,89 @@ mod tests {
     }
 
     #[test]
+    fn fanout_window_tracks_child_level_learned_through_other_roles() {
+        // Regression: the fan-out window bound is derived from the cached
+        // maximum own-child level. A child adopted at level 0 whose real
+        // level is later learned through a *keep-alive* (an `upsert_level0`
+        // merge, not an `upsert_child`) must still widen the window, or its
+        // whole subtree silently misses narrow multicasts.
+        let mut t = RoutingTables::new();
+        let space = IdSpace::new(16);
+        t.upsert_child(entry(40_000, 0, 1), true);
+        // Level 2 arrives via gossip refresh of the level-0 role.
+        t.upsert_level0(entry(40_000, 2, 2));
+        assert_eq!(t.find(NodeId(40_000)).unwrap().max_level, 2);
+        // Range outside the child's coordinate but inside its level-2
+        // estimate (radius(3) = 8192): the branch must be explored.
+        let fanout = t.multicast_fanout(space, 6, KeyRange::new(NodeId(32_000), NodeId(33_000)), 0);
+        assert_eq!(
+            fanout.iter().map(|e| e.id.0).collect::<Vec<_>>(),
+            vec![40_000],
+            "window bound must cover the child's gossip-learned level"
+        );
+    }
+
+    #[test]
+    fn exact_spans_prune_tighter_than_estimates() {
+        let mut t = RoutingTables::new();
+        let space = IdSpace::new(16);
+        // A level-2 child whose estimate (radius 8192) would match almost
+        // anything nearby...
+        t.upsert_child(entry(40_000, 2, 1), true);
+        let estimated =
+            t.multicast_fanout(space, 6, KeyRange::new(NodeId(32_000), NodeId(33_000)), 0);
+        assert_eq!(estimated.len(), 1, "estimate explores the branch");
+
+        // ...until it reports its exact subtree span [38_000, 42_000]: the
+        // same range is now provably disjoint and the branch is pruned.
+        assert!(t.record_child_span(
+            NodeId(40_000),
+            KeyRange::new(NodeId(38_000), NodeId(42_000))
+        ));
+        assert_eq!(t.child_span(NodeId(40_000)).unwrap().lo, NodeId(38_000));
+        let pruned = t.multicast_fanout(space, 6, KeyRange::new(NodeId(32_000), NodeId(33_000)), 0);
+        assert!(pruned.is_empty(), "exact span prunes the empty branch");
+        // A range inside the span is still explored.
+        let kept = t.multicast_fanout(space, 6, KeyRange::new(NodeId(41_000), NodeId(41_500)), 0);
+        assert_eq!(kept.len(), 1);
+
+        // Spans are only accepted for own children.
+        assert!(!t.record_child_span(NodeId(9_999), KeyRange::new(NodeId(0), NodeId(1))));
+        t.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn own_subtree_extent_joins_children() {
+        let mut t = RoutingTables::new();
+        let space = IdSpace::new(16);
+        let own = NodeId(30_000);
+        // Leaf: the extent is the node itself.
+        assert_eq!(t.own_subtree_extent(own, space, 6), KeyRange::new(own, own));
+        // A level-0 child extends the extent to its coordinate exactly.
+        t.upsert_child(entry(29_000, 0, 1), true);
+        assert_eq!(
+            t.own_subtree_extent(own, space, 6),
+            KeyRange::new(NodeId(29_000), own)
+        );
+        // A level-1 child without a reported span contributes its generous
+        // estimate (radius(2) = 4096 on both sides)...
+        t.upsert_child(entry(33_000, 1, 1), true);
+        assert_eq!(
+            t.own_subtree_extent(own, space, 6),
+            KeyRange::new(NodeId(28_904), NodeId(37_096))
+        );
+        // ...and its exact span once it reported one.
+        t.record_child_span(
+            NodeId(33_000),
+            KeyRange::new(NodeId(32_500), NodeId(34_000)),
+        );
+        assert_eq!(
+            t.own_subtree_extent(own, space, 6),
+            KeyRange::new(NodeId(29_000), NodeId(34_000))
+        );
+    }
+
+    #[test]
     fn parent_and_superiors() {
         let mut t = RoutingTables::new();
         assert!(t.parent().is_none());
@@ -690,10 +1041,27 @@ mod tests {
         assert_eq!(t.highest_superior().unwrap().id, NodeId(70));
         assert_eq!(t.clear_parent().unwrap().id, NodeId(50));
         assert!(t.parent().is_none());
+        // The old parent held no other role: its registry record is gone.
+        assert!(t.find(NodeId(50)).is_none());
+        t.validate_invariants().unwrap();
     }
 
     #[test]
-    fn find_searches_every_table() {
+    fn replacing_the_parent_releases_the_old_record() {
+        let mut t = RoutingTables::new();
+        t.set_parent(entry(50, 1, 1));
+        t.set_parent(entry(60, 1, 2));
+        assert_eq!(t.parent().unwrap().id, NodeId(60));
+        assert!(t.find(NodeId(50)).is_none(), "roleless peer is dropped");
+        // A peer with another role survives a parent change.
+        t.upsert_level0(entry(60, 1, 2));
+        t.set_parent(entry(70, 1, 3));
+        assert!(t.find(NodeId(60)).is_some());
+        t.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn find_searches_every_role() {
         let mut t = RoutingTables::new();
         t.upsert_level0(entry(1, 0, 1));
         t.upsert_level(1, entry(2, 1, 1));
@@ -707,12 +1075,14 @@ mod tests {
     }
 
     #[test]
-    fn touch_refreshes_everywhere() {
+    fn touch_refreshes_the_canonical_entry() {
         let mut t = RoutingTables::new();
         t.upsert_level0(entry(1, 0, 1));
         t.upsert_child(entry(1, 0, 1), true);
         assert!(t.touch(NodeId(1), SimTime::from_millis(100)));
         assert!(!t.touch(NodeId(9), SimTime::from_millis(100)));
+        // Every role observes the same refreshed timestamp: there is only
+        // one entry.
         assert_eq!(
             t.level0().next().unwrap().last_seen,
             SimTime::from_millis(100)
@@ -721,6 +1091,35 @@ mod tests {
             t.children().next().unwrap().last_seen,
             SimTime::from_millis(100)
         );
+    }
+
+    #[test]
+    fn registry_returns_one_canonical_freshest_entry() {
+        // Regression test for duplicate-entry drift: a peer known in several
+        // roles used to keep an independent copy per table, and `find` /
+        // `all_peers` surfaced whichever table was scanned first — possibly
+        // a stale address. The registry must hold exactly one entry carrying
+        // the newest address/level/timestamp, whatever the upsert order.
+        let mut t = RoutingTables::new();
+        t.upsert_level0(entry_at_addr(7, 700, 0, 10));
+        // The same peer re-appears as a superior with a *newer* address.
+        t.upsert_superior(entry_at_addr(7, 701, 2, 20));
+        let found = t.find(NodeId(7)).unwrap();
+        assert_eq!(found.addr, NodeAddr(701), "newest address wins");
+        assert_eq!(found.max_level, 2);
+        assert_eq!(found.last_seen, SimTime::from_millis(20));
+        // Every role surfaces the same canonical record.
+        assert_eq!(t.level0().next().unwrap().addr, NodeAddr(701));
+        assert_eq!(t.superiors().next().unwrap().addr, NodeAddr(701));
+        // Stale information arriving later does not roll the address back.
+        t.upsert_child(entry_at_addr(7, 700, 0, 5), false);
+        assert_eq!(t.find(NodeId(7)).unwrap().addr, NodeAddr(701));
+        assert_eq!(t.find(NodeId(7)).unwrap().max_level, 2);
+        // And all_peers reports the peer exactly once.
+        let peers = t.all_peers();
+        assert_eq!(peers.len(), 1);
+        assert_eq!(peers[0].addr, NodeAddr(701));
+        t.validate_invariants().unwrap();
     }
 
     #[test]
@@ -743,10 +1142,11 @@ mod tests {
         assert!(t.find(NodeId(1)).is_none());
         let r2 = t.remove_peer(NodeId(1));
         assert!(!r2.any());
+        t.validate_invariants().unwrap();
     }
 
     #[test]
-    fn expire_removes_only_stale_entries() {
+    fn expire_is_a_single_canonical_sweep() {
         let mut t = RoutingTables::new();
         t.upsert_level0(entry(1, 0, 0));
         t.upsert_level0(entry(2, 0, 900));
@@ -759,10 +1159,47 @@ mod tests {
         assert!(t.find(NodeId(2)).is_some());
         assert!(t.find(NodeId(4)).is_some());
         assert!(t.parent().is_none());
+        t.validate_invariants().unwrap();
     }
 
     #[test]
-    fn all_peers_dedupes_and_prefers_highest_level() {
+    fn a_touched_peer_survives_expiry_in_every_role() {
+        // The seed bug this design closes for good: a peer whose gossip
+        // entry went stale while its parent link stayed fresh used to lose
+        // the role whose copy happened to be stale. With one canonical
+        // timestamp, a refresh through *any* channel keeps the peer alive in
+        // *all* roles.
+        let mut t = RoutingTables::new();
+        t.upsert_superior(entry(5, 1, 0)); // learned via gossip at t=0
+        t.set_parent(entry(5, 1, 0)); // adopted as parent
+        t.touch(NodeId(5), SimTime::from_millis(950)); // keep-alive refresh
+        let removed = t.expire(SimTime::from_millis(1000), SimDuration::from_millis(500));
+        assert!(removed.is_empty());
+        assert!(t.parent().is_some());
+        assert!(t.has_superiors());
+    }
+
+    #[test]
+    fn prune_keeps_the_closest_and_preserves_other_roles() {
+        let mut t = RoutingTables::new();
+        let space = IdSpace::default();
+        for id in [100u64, 200, 300, 400, 500] {
+            t.upsert_level0(entry(id, 0, 1));
+        }
+        // 400 is also our parent: pruning must not lose the registry entry.
+        t.set_parent(entry(400, 1, 1));
+        let pruned = t.prune_level0(space, NodeId(250), 2);
+        assert_eq!(pruned, 3);
+        let ids: Vec<u64> = t.level0().map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![200, 300]);
+        assert!(t.find(NodeId(100)).is_none(), "roleless peer dropped");
+        assert!(t.find(NodeId(400)).is_some(), "parent entry survives");
+        assert_eq!(t.parent().unwrap().id, NodeId(400));
+        t.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn all_peers_reports_each_peer_once_with_canonical_level() {
         let mut t = RoutingTables::new();
         t.upsert_level0(entry(1, 0, 1));
         t.upsert_superior(entry(1, 3, 1)); // same peer known as a superior at level 3
@@ -771,6 +1208,31 @@ mod tests {
         assert_eq!(peers.len(), 2);
         let p1 = peers.iter().find(|e| e.id == NodeId(1)).unwrap();
         assert_eq!(p1.max_level, 3);
+    }
+
+    #[test]
+    fn closest_peer_probes_ordered_neighbors() {
+        let mut t = RoutingTables::new();
+        let space = IdSpace::default();
+        t.upsert_level0(entry(100, 0, 1));
+        t.upsert_superior(entry(900, 2, 1));
+        t.upsert_child(entry(520, 0, 1), true);
+        let c = t
+            .closest_peer(space, NodeId(510), NodeAddr(u64::MAX))
+            .unwrap();
+        assert_eq!(c.id, NodeId(520));
+        // Excluding the nearest falls back to the next-nearest.
+        let c2 = t.closest_peer(space, NodeId(510), NodeAddr(520)).unwrap();
+        assert_eq!(c2.id, NodeId(900));
+        // Ties prefer the smaller identifier.
+        t.upsert_level0(entry(500, 0, 1));
+        let tie = t
+            .closest_peer(space, NodeId(510), NodeAddr(u64::MAX))
+            .unwrap();
+        assert_eq!(tie.id, NodeId(500));
+        assert!(RoutingTables::new()
+            .closest_peer(space, NodeId(1), NodeAddr(0))
+            .is_none());
     }
 
     #[test]
@@ -798,5 +1260,15 @@ mod tests {
         // Level-1 node at id 3.5 (direct bus neighbours 3 and 4): l0 + ca + bus + parent.
         let conns = t.active_connections(NodeId(3), 1);
         assert_eq!(conns, 2 + 1 + 1 + 1); // right neighbour 4 only (3 is own id)
+    }
+
+    #[test]
+    fn emptied_bus_levels_are_dropped() {
+        let mut t = RoutingTables::new();
+        t.upsert_level(3, entry(9, 3, 1));
+        assert_eq!(t.known_levels().collect::<Vec<_>>(), vec![3]);
+        t.remove_peer(NodeId(9));
+        assert!(t.known_levels().next().is_none());
+        t.validate_invariants().unwrap();
     }
 }

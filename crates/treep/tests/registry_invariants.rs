@@ -1,0 +1,385 @@
+//! Property-style tests for the indexed peer registry behind
+//! [`RoutingTables`].
+//!
+//! Randomized operation traces (seeded [`simnet::SimRng`], so failures are
+//! reproducible) are replayed simultaneously against the registry and
+//! against a deliberately naive reference model that stores one canonical
+//! record per peer plus plain role sets and implements every query by
+//! linear scan. After each operation the registry's structural invariants
+//! are checked ([`RoutingTables::validate_invariants`]) and the observable
+//! behaviour — find, role membership, sizes, closest-child and fan-out
+//! selection, expiry — must match the model exactly.
+
+use simnet::{NodeAddr, SimDuration, SimRng, SimTime};
+use treep::{
+    CharacteristicsSummary, ChildPolicy, IdSpace, KeyRange, NodeCharacteristics, NodeId,
+    RoutingEntry, RoutingTables,
+};
+
+fn space() -> IdSpace {
+    IdSpace::new(16)
+}
+const HEIGHT: u32 = 6;
+const TTL_MS: u64 = 500;
+
+fn summary() -> CharacteristicsSummary {
+    CharacteristicsSummary::of(&NodeCharacteristics::default(), ChildPolicy::Fixed(4))
+}
+
+/// The naive reference: canonical entries + role sets, every query a scan.
+#[derive(Default)]
+struct Model {
+    peers: std::collections::BTreeMap<NodeId, RoutingEntry>,
+    level0: std::collections::BTreeSet<NodeId>,
+    levels: std::collections::BTreeMap<u32, std::collections::BTreeSet<NodeId>>,
+    children: std::collections::BTreeSet<NodeId>,
+    own_children: std::collections::BTreeSet<NodeId>,
+    parent: Option<NodeId>,
+    superiors: std::collections::BTreeSet<NodeId>,
+}
+
+impl Model {
+    fn upsert(&mut self, entry: RoutingEntry) {
+        match self.peers.get_mut(&entry.id) {
+            Some(existing) => existing.merge(&entry),
+            None => {
+                self.peers.insert(entry.id, entry);
+            }
+        }
+    }
+
+    fn has_role(&self, id: NodeId) -> bool {
+        self.level0.contains(&id)
+            || self.children.contains(&id)
+            || self.superiors.contains(&id)
+            || self.parent == Some(id)
+            || self.levels.values().any(|s| s.contains(&id))
+    }
+
+    fn gc(&mut self, id: NodeId) {
+        if !self.has_role(id) {
+            self.peers.remove(&id);
+        }
+    }
+
+    fn remove(&mut self, id: NodeId) {
+        self.level0.remove(&id);
+        for s in self.levels.values_mut() {
+            s.remove(&id);
+        }
+        self.levels.retain(|_, s| !s.is_empty());
+        self.children.remove(&id);
+        self.own_children.remove(&id);
+        if self.parent == Some(id) {
+            self.parent = None;
+        }
+        self.superiors.remove(&id);
+        self.peers.remove(&id);
+    }
+
+    fn expire(&mut self, now: SimTime, ttl: SimDuration) -> Vec<NodeId> {
+        let stale: Vec<NodeId> = self
+            .peers
+            .values()
+            .filter(|e| e.is_stale(now, ttl))
+            .map(|e| e.id)
+            .collect();
+        for id in &stale {
+            self.remove(*id);
+        }
+        stale
+    }
+
+    fn prune_level0(&mut self, own: NodeId, keep: usize) {
+        if self.level0.len() <= keep {
+            return;
+        }
+        let mut by_distance: Vec<(u64, NodeId)> = self
+            .level0
+            .iter()
+            .map(|&id| (space().distance(id, own), id))
+            .collect();
+        by_distance.sort_unstable();
+        for &(_, id) in &by_distance[keep..] {
+            self.level0.remove(&id);
+            self.gc(id);
+        }
+    }
+
+    fn closest_child(&self, target: NodeId) -> Option<NodeId> {
+        self.own_children
+            .iter()
+            .copied()
+            .min_by_key(|id| (space().distance(*id, target), *id))
+    }
+}
+
+fn compare(tables: &RoutingTables, model: &Model, op: &str) {
+    tables
+        .validate_invariants()
+        .unwrap_or_else(|e| panic!("invariant violated after {op}: {e}"));
+
+    let got_l0: Vec<NodeId> = tables.level0().map(|e| e.id).collect();
+    let want_l0: Vec<NodeId> = model.level0.iter().copied().collect();
+    assert_eq!(got_l0, want_l0, "level0 mismatch after {op}");
+
+    let got_children: Vec<NodeId> = tables.children().map(|e| e.id).collect();
+    let want_children: Vec<NodeId> = model.children.iter().copied().collect();
+    assert_eq!(got_children, want_children, "children mismatch after {op}");
+
+    let got_own: Vec<NodeId> = tables.own_children().map(|e| e.id).collect();
+    let want_own: Vec<NodeId> = model.own_children.iter().copied().collect();
+    assert_eq!(got_own, want_own, "own children mismatch after {op}");
+
+    assert_eq!(
+        tables.parent().map(|e| e.id),
+        model.parent,
+        "parent mismatch after {op}"
+    );
+
+    let got_sup: Vec<NodeId> = tables.superiors().map(|e| e.id).collect();
+    let want_sup: Vec<NodeId> = model.superiors.iter().copied().collect();
+    assert_eq!(got_sup, want_sup, "superiors mismatch after {op}");
+
+    // Per-level bus indexes, in both directions: every model bus matches
+    // member-for-member, and the tables know no extra levels.
+    let got_levels: Vec<u32> = tables.known_levels().collect();
+    let want_levels: Vec<u32> = model.levels.keys().copied().collect();
+    assert_eq!(got_levels, want_levels, "bus level set mismatch after {op}");
+    for (lvl, want_bus) in &model.levels {
+        let got_bus: Vec<NodeId> = tables.level_members(*lvl).map(|e| e.id).collect();
+        let want_bus: Vec<NodeId> = want_bus.iter().copied().collect();
+        assert_eq!(got_bus, want_bus, "bus {lvl} mismatch after {op}");
+    }
+
+    // Canonical lookups: one freshest entry per peer, everywhere.
+    assert_eq!(
+        tables.all_peers().len(),
+        model.peers.len(),
+        "all_peers length mismatch after {op}"
+    );
+    for (id, want) in &model.peers {
+        let got = tables
+            .find(*id)
+            .unwrap_or_else(|| panic!("{id:?} missing from registry after {op}"));
+        assert_eq!(got.addr, want.addr, "stale addr for {id:?} after {op}");
+        assert_eq!(got.max_level, want.max_level, "level drift after {op}");
+        assert_eq!(got.last_seen, want.last_seen, "timestamp drift after {op}");
+    }
+
+    let sizes = tables.sizes();
+    assert_eq!(sizes.level0, model.level0.len(), "sizes.level0 after {op}");
+    assert_eq!(
+        sizes.own_children,
+        model.own_children.len(),
+        "sizes.own_children after {op}"
+    );
+    assert_eq!(
+        sizes.superiors,
+        model.superiors.len(),
+        "sizes.superiors after {op}"
+    );
+    assert_eq!(
+        sizes.neighbor_children,
+        model.children.len() - model.own_children.len(),
+        "sizes.neighbor_children after {op}"
+    );
+    assert_eq!(
+        sizes.level_neighbors,
+        model.levels.values().map(|s| s.len()).sum::<usize>(),
+        "sizes.level_neighbors after {op}"
+    );
+}
+
+fn random_trace(seed: u64, steps: usize) {
+    let mut rng = SimRng::seed_from(seed);
+    let mut tables = RoutingTables::new();
+    let mut model = Model::default();
+    let mut now_ms: u64 = 0;
+
+    for step in 0..steps {
+        // Mostly-forward clock with occasional stale-information arrivals.
+        now_ms += rng.gen_range_u64(0..40);
+        let id = NodeId(1 + rng.gen_range_u64(0..48));
+        // Addresses drift over time so canonical-freshness is exercised.
+        let addr = NodeAddr(id.0 * 1000 + rng.gen_range_u64(0..3));
+        let level = rng.gen_range_u64(0..4) as u32;
+        let at_ms = if rng.gen_range_u64(0..5) == 0 {
+            now_ms.saturating_sub(rng.gen_range_u64(0..200))
+        } else {
+            now_ms
+        };
+        let entry = RoutingEntry::new(id, addr, level, summary(), SimTime::from_millis(at_ms));
+
+        let op = rng.gen_range_u64(0..12);
+        let name = match op {
+            0 | 1 => {
+                tables.upsert_level0(entry);
+                model.upsert(entry);
+                model.level0.insert(id);
+                "upsert_level0"
+            }
+            2 => {
+                let lvl = 1 + rng.gen_range_u64(0..3) as u32;
+                tables.upsert_level(lvl, entry);
+                model.upsert(entry);
+                model.levels.entry(lvl).or_default().insert(id);
+                "upsert_level"
+            }
+            3 | 4 => {
+                let own = rng.gen_range_u64(0..2) == 0;
+                tables.upsert_child(entry, own);
+                model.upsert(entry);
+                model.children.insert(id);
+                if own {
+                    model.own_children.insert(id);
+                }
+                "upsert_child"
+            }
+            5 => {
+                tables.set_parent(entry);
+                model.upsert(entry);
+                let old = model.parent.replace(id);
+                if let Some(old) = old {
+                    if old != id {
+                        model.gc(old);
+                    }
+                }
+                "set_parent"
+            }
+            6 => {
+                tables.upsert_superior(entry);
+                model.upsert(entry);
+                model.superiors.insert(id);
+                "upsert_superior"
+            }
+            7 => {
+                let t = SimTime::from_millis(now_ms);
+                let got = tables.touch(id, t);
+                let want = model.peers.contains_key(&id);
+                assert_eq!(got, want, "touch known-ness diverged");
+                if let Some(e) = model.peers.get_mut(&id) {
+                    e.touch(t);
+                }
+                "touch"
+            }
+            8 => {
+                let report = tables.remove_peer(id);
+                assert_eq!(
+                    report.any(),
+                    model.peers.contains_key(&id),
+                    "removal report diverged"
+                );
+                model.remove(id);
+                "remove_peer"
+            }
+            9 => {
+                let t = SimTime::from_millis(now_ms);
+                let ttl = SimDuration::from_millis(TTL_MS);
+                let removed: Vec<NodeId> = tables
+                    .expire(t, ttl)
+                    .into_iter()
+                    .map(|(id, _)| id)
+                    .collect();
+                let want = model.expire(t, ttl);
+                assert_eq!(removed, want, "expire victim set diverged");
+                "expire"
+            }
+            10 => {
+                let keep = rng.gen_range_usize(0..12);
+                tables.prune_level0(space(), id, keep);
+                model.prune_level0(id, keep);
+                "prune_level0"
+            }
+            _ => {
+                let a = NodeId(rng.gen_range_u64(0..50_000));
+                let b = NodeId(a.0 + rng.gen_range_u64(0..5_000));
+                let range = KeyRange::new(a, b);
+                // Fan-out soundness: results are own children, and every
+                // own child whose own coordinate is covered is included (an
+                // extent always contains the child's coordinate, so a
+                // covered child can never be pruned).
+                let fanout = tables.multicast_fanout(space(), HEIGHT, range, 0);
+                for e in &fanout {
+                    assert!(model.own_children.contains(&e.id), "fanout non-child");
+                }
+                for id in &model.own_children {
+                    if range.contains(*id) {
+                        assert!(
+                            fanout.iter().any(|e| e.id == *id),
+                            "covered own child {id:?} pruned from fanout"
+                        );
+                    }
+                }
+                // Closest-child agreement with the naive scan.
+                let target = NodeId(rng.gen_range_u64(0..60_000));
+                assert_eq!(
+                    tables.closest_child(space(), target).map(|e| e.id),
+                    model.closest_child(target),
+                    "closest_child diverged"
+                );
+                "queries"
+            }
+        };
+        compare(
+            &tables,
+            &model,
+            &format!("step {step}: {name} (seed {seed})"),
+        );
+    }
+}
+
+#[test]
+fn randomized_traces_uphold_registry_invariants() {
+    for seed in 1..=20 {
+        random_trace(seed, 400);
+    }
+}
+
+#[test]
+fn long_trace_with_heavy_churn() {
+    random_trace(0xC0FFEE, 3_000);
+}
+
+#[test]
+fn expiry_never_severs_roles_of_touched_peers() {
+    // Directed property on top of the random traces: whatever roles a peer
+    // holds, touching it through any channel protects all of them from the
+    // next sweep, and letting it go stale removes all of them at once.
+    let mut rng = SimRng::seed_from(7);
+    for _ in 0..200 {
+        let mut t = RoutingTables::new();
+        let id = NodeId(1 + rng.gen_range_u64(0..1000));
+        let entry = RoutingEntry::new(id, NodeAddr(id.0), 1, summary(), SimTime::ZERO);
+        let mut roles = 0;
+        if rng.gen_range_u64(0..2) == 0 {
+            t.upsert_level0(entry);
+            roles += 1;
+        }
+        if rng.gen_range_u64(0..2) == 0 {
+            t.upsert_child(entry, true);
+            roles += 1;
+        }
+        if rng.gen_range_u64(0..2) == 0 {
+            t.set_parent(entry);
+            roles += 1;
+        }
+        if rng.gen_range_u64(0..2) == 0 || roles == 0 {
+            t.upsert_superior(entry);
+        }
+        let touched = rng.gen_range_u64(0..2) == 0;
+        if touched {
+            t.touch(id, SimTime::from_millis(900));
+        }
+        let removed = t.expire(SimTime::from_millis(1000), SimDuration::from_millis(TTL_MS));
+        if touched {
+            assert!(removed.is_empty());
+            assert!(t.find(id).is_some());
+        } else {
+            assert_eq!(removed.len(), 1);
+            assert!(t.find(id).is_none(), "all roles leave together");
+            assert!(t.parent().is_none());
+        }
+        t.validate_invariants().unwrap();
+    }
+}
