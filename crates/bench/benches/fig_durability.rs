@@ -1,0 +1,25 @@
+//! Figure R — DHT durability under churn: availability vs failed fraction
+//! for replication factors k = 1 vs k = 3, plus repair convergence.
+//!
+//! The bench prints the comparison table, then measures the cost of one
+//! smoke-profile durability run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::durability::{run_durability, DurabilityParams};
+use std::hint::black_box;
+
+fn bench_fig_durability(c: &mut Criterion) {
+    let params = DurabilityParams::smoke(2005);
+    let report = run_durability(&params);
+    println!("{}", report.to_table().render());
+
+    let mut group = c.benchmark_group("fig_durability");
+    group.sample_size(10);
+    group.bench_function("durability_smoke_n120", |b| {
+        b.iter(|| black_box(run_durability(&params)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig_durability);
+criterion_main!(benches);

@@ -3,17 +3,22 @@
 //! ```text
 //! reproduce [--figure A|B|...|I|all] [--nodes N] [--seed S] [--lookups K]
 //!           [--quick] [--table-routing] [--baselines] [--maintenance]
-//!           [--out DIR]
+//!           [--durability] [--smoke] [--out DIR]
 //! ```
 //!
 //! Without arguments the binary runs every figure plus the Section III.e
 //! routing-table report with a moderate population (800 nodes). `--quick`
-//! shrinks the run for smoke tests; `--out DIR` additionally writes one CSV
-//! per figure into `DIR`.
+//! shrinks the run for smoke tests; `--durability` adds the replication
+//! durability comparison (Figure R); `--smoke` switches to a bounded smoke
+//! profile and, unless figures were requested explicitly, skips the default
+//! figure suite (so `--durability --smoke` runs only the durability
+//! experiment, which is what CI exercises); `--out DIR` additionally writes
+//! one CSV per figure into `DIR`.
 
 use experiments::{
     compare_multicast, compare_overlays, figures, maintenance, routing_table_report,
-    run_churn_experiment, ChurnRunResult, ExperimentParams, Figure, MulticastParams,
+    run_churn_experiment, run_durability, ChurnRunResult, DurabilityParams, ExperimentParams,
+    Figure, MulticastParams,
 };
 
 struct Cli {
@@ -26,6 +31,8 @@ struct Cli {
     baselines: bool,
     maintenance: bool,
     multicast: bool,
+    durability: bool,
+    smoke: bool,
     out: Option<String>,
 }
 
@@ -41,6 +48,8 @@ impl Cli {
             baselines: false,
             maintenance: false,
             multicast: false,
+            durability: false,
+            smoke: false,
             out: None,
         };
         let mut explicit_figures: Vec<Figure> = Vec::new();
@@ -86,6 +95,8 @@ impl Cli {
                 "--baselines" => cli.baselines = true,
                 "--maintenance" => cli.maintenance = true,
                 "--multicast" => cli.multicast = true,
+                "--durability" => cli.durability = true,
+                "--smoke" => cli.smoke = true,
                 "--help" | "-h" => return Err(usage()),
                 other => return Err(format!("unknown argument '{other}'\n\n{}", usage())),
             }
@@ -93,8 +104,12 @@ impl Cli {
         }
         if !explicit_figures.is_empty() {
             cli.figures = explicit_figures;
+        } else if cli.smoke {
+            // Smoke runs are bounded: only what was asked for explicitly.
+            cli.figures = Vec::new();
+            cli.table_routing = false;
         }
-        if cli.quick {
+        if cli.quick || cli.smoke {
             cli.nodes = cli.nodes.min(200);
             cli.lookups = cli.lookups.min(20);
         }
@@ -104,7 +119,8 @@ impl Cli {
 
 fn usage() -> String {
     "usage: reproduce [--figure A..I|all] [--nodes N] [--seed S] [--lookups K] \
-     [--quick] [--baselines] [--maintenance] [--multicast] [--no-table-routing] [--out DIR]"
+     [--quick] [--smoke] [--baselines] [--maintenance] [--multicast] [--durability] \
+     [--no-table-routing] [--out DIR]"
         .to_string()
 }
 
@@ -145,17 +161,23 @@ fn main() {
     }
 
     let needs_adaptive = cli.figures.iter().any(|f| f.needs_adaptive_run());
+    let needs_churn_run = !cli.figures.is_empty() || cli.maintenance;
 
     eprintln!(
         "# TreeP reproduction — n = {}, seed = {}, {} lookups/step/algorithm",
         cli.nodes, cli.seed, cli.lookups
     );
-    eprintln!("# running fixed-nc churn experiment (nc = 4, h = 6)…");
-    let fixed: ChurnRunResult = run_churn_experiment(&fixed_params);
-    eprintln!(
-        "#   steady state: height {}, {} orphans, avg {:.1} children/parent",
-        fixed.steady_state.height, fixed.steady_state.orphans, fixed.steady_state.avg_children
-    );
+    let fixed: Option<ChurnRunResult> = if needs_churn_run {
+        eprintln!("# running fixed-nc churn experiment (nc = 4, h = 6)…");
+        let fixed = run_churn_experiment(&fixed_params);
+        eprintln!(
+            "#   steady state: height {}, {} orphans, avg {:.1} children/parent",
+            fixed.steady_state.height, fixed.steady_state.orphans, fixed.steady_state.avg_children
+        );
+        Some(fixed)
+    } else {
+        None
+    };
     let adaptive: Option<ChurnRunResult> = if needs_adaptive {
         eprintln!("# running variable-nc churn experiment…");
         Some(run_churn_experiment(&adaptive_params))
@@ -164,7 +186,8 @@ fn main() {
     };
 
     for &figure in &cli.figures {
-        let data = figures::extract(figure, &fixed, adaptive.as_ref());
+        let fixed = fixed.as_ref().expect("figures imply the churn run");
+        let data = figures::extract(figure, fixed, adaptive.as_ref());
         let title = format!("Figure {figure} — {}", figure.description());
         println!("{}", data.to_table(&title).render());
         println!("  ({})\n", paper_expectation(figure));
@@ -190,7 +213,10 @@ fn main() {
     }
 
     if cli.maintenance {
-        let mut runs: Vec<&ChurnRunResult> = vec![&fixed];
+        let mut runs: Vec<&ChurnRunResult> = Vec::new();
+        if let Some(f) = fixed.as_ref() {
+            runs.push(f);
+        }
         if let Some(a) = adaptive.as_ref() {
             runs.push(a);
         }
@@ -208,5 +234,48 @@ fn main() {
         eprintln!("# running multicast comparison (scoped multicast vs flooding broadcast)…");
         let comparison = compare_multicast(&MulticastParams::new(cli.nodes.min(400), cli.seed));
         println!("{}", comparison.to_table().render());
+    }
+
+    if cli.durability {
+        eprintln!("# running durability experiment (k = 1 vs k = 3 replication under churn)…");
+        let params = if cli.smoke {
+            DurabilityParams::smoke(cli.seed)
+        } else {
+            DurabilityParams::new(cli.nodes.min(400), cli.seed)
+        };
+        let report = run_durability(&params);
+        println!("{}", report.to_table().render());
+        // The smoke profile doubles as a regression gate: replication must
+        // demonstrably keep keys alive where single copies die. The gate
+        // fails hard when its acceptance point is missing (a schedule or
+        // factor-list edit must not silently disable it).
+        let k1 = report.row_at(1, 0.3);
+        let k3 = report.row_at(3, 0.3);
+        if let (Some(k1), Some(k3)) = (k1, k3) {
+            eprintln!(
+                "#   at {:.0}% failed: k=1 {:.1}% available, k=3 {:.1}% available ({} repair windows, converged: {})",
+                k3.failed_fraction * 100.0,
+                k1.availability_pct(),
+                k3.availability_pct(),
+                k3.repair_windows,
+                k3.converged
+            );
+            if cli.smoke {
+                let at_acceptance_point = (k3.failed_fraction - 0.3).abs() < 1e-9;
+                if !at_acceptance_point || k3.availability_pct() < 99.0 || !k3.converged {
+                    eprintln!("error: durability smoke gate failed: {k3:?}");
+                    std::process::exit(1);
+                }
+            }
+        } else if cli.smoke {
+            eprintln!("error: durability smoke gate needs k=1 and k=3 rows, got neither");
+            std::process::exit(1);
+        }
+        if let Some(dir) = &cli.out {
+            let path = format!("{dir}/figure_r_durability.csv");
+            if let Err(e) = report.to_csv().write_to(&path) {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
     }
 }

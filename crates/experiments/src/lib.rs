@@ -17,6 +17,9 @@
 //!   workloads.
 //! * [`multicast_compare`] — scoped multicast vs flooding broadcast at equal
 //!   reach (coverage, duplicate factor, messages per delivery).
+//! * [`durability`] — DHT durability under churn: availability vs failed
+//!   fraction for replication factors k = 1 vs k = 3, plus anti-entropy
+//!   repair convergence.
 //!
 //! The `reproduce` binary drives all of the above from the command line; the
 //! Criterion benches in `crates/bench` wrap the same entry points.
@@ -24,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline_compare;
+pub mod durability;
 pub mod figures;
 pub mod maintenance;
 pub mod multicast_compare;
@@ -32,11 +36,14 @@ pub mod runner;
 pub mod table_routing;
 
 pub use baseline_compare::{compare_overlays, OverlayComparison, OverlayRow};
+pub use durability::{run_durability, DurabilityParams, DurabilityReport, DurabilityRow};
 pub use figures::{Figure, FigureData};
 pub use maintenance::{maintenance_series, MaintenancePoint};
 pub use multicast_compare::{
     compare_multicast, MulticastComparison, MulticastParams, MulticastRow,
 };
 pub use params::ExperimentParams;
-pub use runner::{run_churn_experiment, AlgoStepStats, ChurnRunResult, StepMeasurement};
+pub use runner::{
+    run_churn_experiment, AlgoStepStats, ChurnRunResult, MulticastStepStats, StepMeasurement,
+};
 pub use table_routing::{routing_table_report, LevelTableRow, RoutingTableReport};

@@ -17,6 +17,10 @@ pub struct ExperimentParams {
     pub capabilities: CapabilityDistribution,
     /// Random lookups issued per churn step *per routing algorithm*.
     pub lookups_per_step: usize,
+    /// Scoped multicast probes issued per churn step to measure coverage
+    /// under churn (0 disables the measurement entirely and keeps the run
+    /// byte-identical to a probe-free one).
+    pub multicast_probes_per_step: usize,
     /// The failure schedule.
     pub churn: ChurnPlan,
     /// Virtual time the network is given after each batch of failures, so
@@ -38,6 +42,7 @@ impl ExperimentParams {
             config,
             capabilities: CapabilityDistribution::Heterogeneous,
             lookups_per_step: 100,
+            multicast_probes_per_step: 0,
             churn: ChurnPlan::paper(),
             settle_per_step: SimDuration::from_secs(3),
             drain_per_step: SimDuration::from_millis(2_500),
@@ -79,6 +84,13 @@ impl ExperimentParams {
     /// Override the number of lookups per step per algorithm.
     pub fn with_lookups_per_step(mut self, lookups_per_step: usize) -> Self {
         self.lookups_per_step = lookups_per_step;
+        self
+    }
+
+    /// Enable the multicast coverage measurement: issue this many scoped
+    /// multicast probes per churn step and record per-step coverage.
+    pub fn with_multicast_probes(mut self, probes_per_step: usize) -> Self {
+        self.multicast_probes_per_step = probes_per_step;
         self
     }
 

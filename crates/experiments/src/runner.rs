@@ -2,9 +2,10 @@
 
 use crate::params::ExperimentParams;
 use analysis::{HopHistogram, SummaryStats};
-use simnet::Simulation;
-use treep::{audit, HierarchyAudit, LookupStatus, RoutingAlgorithm, TreePNode};
-use workloads::{LookupWorkload, TopologyBuilder};
+use simnet::{NodeAddr, SimRng, Simulation};
+use treep::lookup::RequestId;
+use treep::{audit, HierarchyAudit, KeyRange, LookupStatus, RoutingAlgorithm, TreePNode};
+use workloads::{LookupWorkload, MulticastOp, MulticastWorkload, TopologyBuilder};
 
 /// Per-algorithm statistics of one churn step.
 #[derive(Debug, Clone)]
@@ -43,6 +44,32 @@ impl AlgoStepStats {
     }
 }
 
+/// Coverage of the scoped multicast probes issued at one churn step —
+/// the dissemination counterpart of the lookup failure curves, measured
+/// under the same failure schedule (the PR 1 follow-up: multicast and
+/// replication durability share one churn harness).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MulticastStepStats {
+    /// Scoped multicasts issued this step.
+    pub probes: usize,
+    /// Total in-range live nodes over all probes (the delivery obligations).
+    pub targets: usize,
+    /// Obligations actually delivered.
+    pub delivered: usize,
+}
+
+impl MulticastStepStats {
+    /// Fraction of delivery obligations met, in percent (100 for a step
+    /// with no targets).
+    pub fn coverage_pct(&self) -> f64 {
+        if self.targets == 0 {
+            100.0
+        } else {
+            self.delivered as f64 * 100.0 / self.targets as f64
+        }
+    }
+}
+
 /// Everything measured at one churn step.
 #[derive(Debug, Clone)]
 pub struct StepMeasurement {
@@ -59,6 +86,9 @@ pub struct StepMeasurement {
     pub maintenance_messages: u64,
     /// Maintenance messages per alive node during the settle window.
     pub maintenance_per_node: f64,
+    /// Multicast probe coverage, when
+    /// [`ExperimentParams::multicast_probes_per_step`] is non-zero.
+    pub multicast: Option<MulticastStepStats>,
 }
 
 impl StepMeasurement {
@@ -117,6 +147,9 @@ pub fn run_churn_experiment(params: &ExperimentParams) -> ChurnRunResult {
     let schedule = params.churn.steps(params.nodes);
     let workload = LookupWorkload::new(params.lookups_per_step);
     let mut rng = sim.rng_mut().fork();
+    // Forked only when probes are on, so a probe-free run stays
+    // byte-identical to one predating the measurement.
+    let mut probe_rng = (params.multicast_probes_per_step > 0).then(|| sim.rng_mut().fork());
 
     let mut steps = Vec::with_capacity(schedule.len());
     for churn_step in schedule {
@@ -165,6 +198,11 @@ pub fn run_churn_experiment(params: &ExperimentParams) -> ChurnRunResult {
             }
         }
 
+        // 5. Optionally probe multicast coverage over the same survivors.
+        let multicast = probe_rng
+            .as_mut()
+            .map(|prng| measure_multicast_coverage(&mut sim, &alive_pairs, params, prng));
+
         steps.push(StepMeasurement {
             index: churn_step.index,
             failed_fraction: churn_step.failed_fraction,
@@ -179,6 +217,7 @@ pub fn run_churn_experiment(params: &ExperimentParams) -> ChurnRunResult {
             } else {
                 maintenance_messages as f64 / alive_nodes as f64
             },
+            multicast,
         });
     }
 
@@ -189,6 +228,56 @@ pub fn run_churn_experiment(params: &ExperimentParams) -> ChurnRunResult {
         steady_state,
         steps,
     }
+}
+
+/// Issue one batch of scoped multicast probes among the survivors and
+/// measure how many in-range live nodes each payload reached.
+fn measure_multicast_coverage(
+    sim: &mut Simulation<TreePNode>,
+    alive_pairs: &[(NodeAddr, treep::NodeId)],
+    params: &ExperimentParams,
+    rng: &mut SimRng,
+) -> MulticastStepStats {
+    let workload =
+        MulticastWorkload::new(params.multicast_probes_per_step).with_aggregate_fraction(0.0);
+    let batch = workload.generate(params.config.space, alive_pairs, rng);
+    let mut probes: Vec<(NodeAddr, RequestId, KeyRange)> = Vec::with_capacity(batch.len());
+    for b in &batch {
+        let MulticastOp::Data(payload) = b.op.clone() else {
+            unreachable!("aggregate fraction is zero");
+        };
+        let range = b.range;
+        let request_id = sim.invoke(b.source, move |node, ctx| {
+            node.start_multicast(range, payload, ctx)
+        });
+        if let Some(request_id) = request_id {
+            probes.push((b.source, request_id, b.range));
+        }
+    }
+    sim.run_for(params.drain_per_step);
+
+    let mut stats = MulticastStepStats {
+        probes: probes.len(),
+        targets: 0,
+        delivered: 0,
+    };
+    for &(addr, id) in alive_pairs {
+        let Some(node) = sim.node_mut(addr) else {
+            continue;
+        };
+        let received: std::collections::BTreeSet<(NodeAddr, RequestId)> = node
+            .drain_multicast_deliveries()
+            .into_iter()
+            .map(|d| (d.origin.addr, d.request_id))
+            .collect();
+        for &(source, request_id, range) in &probes {
+            if range.contains(id) {
+                stats.targets += 1;
+                stats.delivered += usize::from(received.contains(&(source, request_id)));
+            }
+        }
+    }
+    stats
 }
 
 /// Audit the currently alive nodes of a simulation.
@@ -329,6 +418,33 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn multicast_coverage_absent_without_probes() {
+        let result = quick_result();
+        assert!(result.steps.iter().all(|s| s.multicast.is_none()));
+    }
+
+    #[test]
+    fn multicast_coverage_is_measured_under_churn() {
+        let params = ExperimentParams::quick(100, 9)
+            .with_lookups_per_step(5)
+            .with_multicast_probes(4);
+        let result = run_churn_experiment(&params);
+        for step in &result.steps {
+            let m = step.multicast.expect("probes enabled => coverage measured");
+            assert_eq!(m.probes, 4);
+            assert!(m.delivered <= m.targets);
+            assert!(m.coverage_pct() <= 100.0);
+        }
+        let intact = result.steps[0].multicast.unwrap();
+        assert!(intact.targets > 0);
+        assert!(
+            (intact.coverage_pct() - 100.0).abs() < 1e-9,
+            "intact steady state must cover every in-range node, got {:.1}%",
+            intact.coverage_pct()
+        );
     }
 
     #[test]

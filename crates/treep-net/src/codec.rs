@@ -11,7 +11,7 @@ use simnet::NodeAddr;
 use treep::lookup::{LookupRequest, RequestId};
 use treep::{
     AggregatePartial, AggregateQuery, CharacteristicsSummary, KeyRange, MulticastPayload,
-    MulticastPhase, NodeId, PeerInfo, RoutingAlgorithm, RoutingUpdate, TreePMessage,
+    MulticastPhase, NodeId, PeerInfo, ReplicaEntry, RoutingAlgorithm, RoutingUpdate, TreePMessage,
 };
 
 /// Decoding failure.
@@ -57,6 +57,9 @@ const TAG_DHT_GET: u8 = 16;
 const TAG_DHT_GET_REPLY: u8 = 17;
 const TAG_MULTICAST_DOWN: u8 = 18;
 const TAG_AGGREGATE_UP: u8 = 19;
+const TAG_REPLICA_PUT: u8 = 20;
+const TAG_REPLICA_SYNC_REQUEST: u8 = 21;
+const TAG_REPLICA_SYNC_REPLY: u8 = 22;
 
 // ---- public API -------------------------------------------------------------
 
@@ -201,6 +204,38 @@ pub fn encode_message(msg: &TreePMessage) -> Vec<u8> {
             }
             put_peer(&mut buf, responder);
         }
+        TreePMessage::ReplicaPut { sender, key, value } => {
+            buf.put_u8(TAG_REPLICA_PUT);
+            put_peer(&mut buf, sender);
+            buf.put_u64_le(key.0);
+            put_bytes(&mut buf, value);
+        }
+        TreePMessage::ReplicaSyncRequest {
+            sender,
+            range,
+            keys,
+        } => {
+            buf.put_u8(TAG_REPLICA_SYNC_REQUEST);
+            put_peer(&mut buf, sender);
+            put_range(&mut buf, range);
+            put_node_ids(&mut buf, keys);
+        }
+        TreePMessage::ReplicaSyncReply {
+            sender,
+            range,
+            entries,
+            want,
+        } => {
+            buf.put_u8(TAG_REPLICA_SYNC_REPLY);
+            put_peer(&mut buf, sender);
+            put_range(&mut buf, range);
+            buf.put_u32_le(entries.len() as u32);
+            for entry in entries {
+                buf.put_u64_le(entry.key.0);
+                put_bytes(&mut buf, &entry.value);
+            }
+            put_node_ids(&mut buf, want);
+        }
         TreePMessage::MulticastDown {
             origin,
             request_id,
@@ -327,6 +362,32 @@ pub fn decode_message(mut buf: &[u8]) -> Result<TreePMessage> {
                 }
             },
             responder: get_peer(&mut buf)?,
+        },
+        TAG_REPLICA_PUT => TreePMessage::ReplicaPut {
+            sender: get_peer(&mut buf)?,
+            key: NodeId(get_u64(&mut buf)?),
+            value: get_bytes(&mut buf)?,
+        },
+        TAG_REPLICA_SYNC_REQUEST => TreePMessage::ReplicaSyncRequest {
+            sender: get_peer(&mut buf)?,
+            range: get_range(&mut buf)?,
+            keys: get_node_ids(&mut buf)?,
+        },
+        TAG_REPLICA_SYNC_REPLY => TreePMessage::ReplicaSyncReply {
+            sender: get_peer(&mut buf)?,
+            range: get_range(&mut buf)?,
+            entries: {
+                let n = get_u32(&mut buf)? as usize;
+                let mut out = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    out.push(ReplicaEntry {
+                        key: NodeId(get_u64(&mut buf)?),
+                        value: get_bytes(&mut buf)?,
+                    });
+                }
+                out
+            },
+            want: get_node_ids(&mut buf)?,
         },
         TAG_MULTICAST_DOWN => TreePMessage::MulticastDown {
             origin: get_peer(&mut buf)?,
@@ -625,6 +686,22 @@ fn get_lookup_request(buf: &mut &[u8]) -> Result<LookupRequest> {
     Ok(req)
 }
 
+fn put_node_ids(buf: &mut BytesMut, ids: &[NodeId]) {
+    buf.put_u32_le(ids.len() as u32);
+    for id in ids {
+        buf.put_u64_le(id.0);
+    }
+}
+
+fn get_node_ids(buf: &mut &[u8]) -> Result<Vec<NodeId>> {
+    let n = get_u32(buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(NodeId(get_u64(buf)?));
+    }
+    Ok(out)
+}
+
 fn put_bytes(buf: &mut BytesMut, bytes: &[u8]) {
     buf.put_u32_le(bytes.len() as u32);
     buf.put_slice(bytes);
@@ -797,6 +874,42 @@ mod tests {
                 value: None,
                 responder: peer(24, 0),
             },
+            TreePMessage::ReplicaPut {
+                sender: peer(30, 0),
+                key: NodeId(80),
+                value: b"copy".to_vec(),
+            },
+            TreePMessage::ReplicaSyncRequest {
+                sender: peer(31, 0),
+                range: KeyRange::new(NodeId(10), NodeId(90)),
+                keys: vec![NodeId(20), NodeId(40)],
+            },
+            TreePMessage::ReplicaSyncRequest {
+                sender: peer(31, 0),
+                range: KeyRange::new(NodeId(10), NodeId(90)),
+                keys: vec![],
+            },
+            TreePMessage::ReplicaSyncReply {
+                sender: peer(32, 1),
+                range: KeyRange::new(NodeId(10), NodeId(90)),
+                entries: vec![
+                    ReplicaEntry {
+                        key: NodeId(30),
+                        value: b"v30".to_vec(),
+                    },
+                    ReplicaEntry {
+                        key: NodeId(50),
+                        value: vec![],
+                    },
+                ],
+                want: vec![NodeId(20)],
+            },
+            TreePMessage::ReplicaSyncReply {
+                sender: peer(32, 1),
+                range: KeyRange::new(NodeId(0), NodeId(0)),
+                entries: vec![],
+                want: vec![],
+            },
             TreePMessage::MulticastDown {
                 origin: peer(25, 0),
                 request_id: RequestId(105),
@@ -967,7 +1080,7 @@ mod proptests {
     /// One random instance of the message variant with index `variant`.
     /// Keep `VARIANTS` in sync when adding messages: the exhaustiveness test
     /// below fails if a new variant is not mapped here.
-    const VARIANTS: usize = 19;
+    const VARIANTS: usize = 22;
 
     fn arb_message(variant: usize, state: &mut u64) -> TreePMessage {
         match variant {
@@ -1087,6 +1200,31 @@ mod proptests {
                 truncated: xorshift(state).is_multiple_of(2),
                 final_answer: xorshift(state).is_multiple_of(2),
             },
+            19 => TreePMessage::ReplicaPut {
+                sender: arb_peer(state),
+                key: NodeId(xorshift(state)),
+                value: arb_bytes(state, 256),
+            },
+            20 => TreePMessage::ReplicaSyncRequest {
+                sender: arb_peer(state),
+                range: treep::KeyRange::new(NodeId(xorshift(state)), NodeId(xorshift(state))),
+                keys: (0..xorshift(state) % 8)
+                    .map(|_| NodeId(xorshift(state)))
+                    .collect(),
+            },
+            21 => TreePMessage::ReplicaSyncReply {
+                sender: arb_peer(state),
+                range: treep::KeyRange::new(NodeId(xorshift(state)), NodeId(xorshift(state))),
+                entries: (0..xorshift(state) % 5)
+                    .map(|_| ReplicaEntry {
+                        key: NodeId(xorshift(state)),
+                        value: arb_bytes(state, 64),
+                    })
+                    .collect(),
+                want: (0..xorshift(state) % 8)
+                    .map(|_| NodeId(xorshift(state)))
+                    .collect(),
+            },
             other => panic!("variant index {other} not mapped; update arb_message"),
         }
     }
@@ -1149,6 +1287,9 @@ mod proptests {
             TreePMessage::DhtGetReply { .. } => 16,
             TreePMessage::MulticastDown { .. } => 17,
             TreePMessage::AggregateUp { .. } => 18,
+            TreePMessage::ReplicaPut { .. } => 19,
+            TreePMessage::ReplicaSyncRequest { .. } => 20,
+            TreePMessage::ReplicaSyncReply { .. } => 21,
         }
     }
 
@@ -1164,7 +1305,7 @@ mod proptests {
         }
         // `variant_index` is exhaustive, so `VARIANTS` must equal the
         // number of match arms above.
-        assert_eq!(VARIANTS, 19);
+        assert_eq!(VARIANTS, 22);
     }
 
     #[test]

@@ -85,6 +85,17 @@ pub struct TreePConfig {
     /// branches before folding up whatever has arrived (bounds the damage of
     /// a lost `AggregateUp` under churn).
     pub aggregate_relay_timeout: SimDuration,
+    /// Number of copies of every DHT value the overlay maintains: the
+    /// responsible node plus its `k - 1` nearest registry neighbours of the
+    /// key coordinate (see [`crate::replication`]). `1` disables replication
+    /// entirely (the paper's single-copy DHT): no replica pushes, no
+    /// anti-entropy timer, byte-identical behaviour to the unreplicated
+    /// protocol.
+    pub replication_factor: u32,
+    /// Interval between anti-entropy rounds of the replication subsystem
+    /// (digest probe, pairwise range sync, handoff / garbage collection).
+    /// Only armed when `replication_factor > 1`.
+    pub replica_sync_interval: SimDuration,
 }
 
 impl Default for TreePConfig {
@@ -103,6 +114,8 @@ impl Default for TreePConfig {
             lookup_timeout: SimDuration::from_secs(10),
             multicast_hop_budget: 512,
             aggregate_relay_timeout: SimDuration::from_millis(700),
+            replication_factor: 1,
+            replica_sync_interval: SimDuration::from_millis(900),
         }
     }
 }
@@ -172,6 +185,14 @@ impl TreePConfig {
                 "multicast_hop_budget ({}) must exceed the hierarchy height ({}) or no ascent can complete",
                 self.multicast_hop_budget, self.height
             ));
+        }
+        if self.replication_factor == 0 {
+            return Err("replication_factor must be at least 1 (1 = no replication)".into());
+        }
+        if self.replication_factor > 1 && self.replica_sync_interval.as_micros() == 0 {
+            return Err(
+                "replica_sync_interval must be positive when replication is enabled".into(),
+            );
         }
         Ok(())
     }
@@ -248,6 +269,15 @@ mod tests {
             },
             TreePConfig {
                 multicast_hop_budget: 6,
+                ..TreePConfig::default()
+            },
+            TreePConfig {
+                replication_factor: 0,
+                ..TreePConfig::default()
+            },
+            TreePConfig {
+                replication_factor: 3,
+                replica_sync_interval: SimDuration::from_micros(0),
                 ..TreePConfig::default()
             },
         ];

@@ -58,6 +58,26 @@ impl DhtStore {
         self.values.iter()
     }
 
+    /// True when a value is stored under `key`.
+    pub fn contains(&self, key: NodeId) -> bool {
+        self.values.contains_key(&key)
+    }
+
+    /// The key coordinates stored inside `range`, in key order. This is the
+    /// key list a [`crate::messages::TreePMessage::ReplicaSyncRequest`]
+    /// carries.
+    pub fn keys_in_range(&self, range: KeyRange) -> Vec<NodeId> {
+        self.values
+            .range(range.lo..=range.hi)
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// The `(key, value)` pairs stored inside `range`, in key order.
+    pub fn entries_in_range(&self, range: KeyRange) -> impl Iterator<Item = (&NodeId, &Vec<u8>)> {
+        self.values.range(range.lo..=range.hi)
+    }
+
     /// Digest of the keys stored inside `range`: XOR of the SplitMix64-mixed
     /// key coordinates plus their count. This is the local contribution of
     /// the [`crate::multicast::AggregateQuery::DhtKeyDigest`] aggregation —
@@ -182,6 +202,25 @@ mod tests {
         let (xor_hi, _) = s.digest_range(KeyRange::new(NodeId(16), NodeId(100)));
         let (xor_all, _) = s.digest_range(KeyRange::new(NodeId(0), NodeId(100)));
         assert_eq!(xor_lo ^ xor_hi, xor_all);
+    }
+
+    #[test]
+    fn range_helpers_clip_to_the_range() {
+        let mut s = DhtStore::new();
+        s.put(NodeId(10), vec![1]);
+        s.put(NodeId(20), vec![2]);
+        s.put(NodeId(30), vec![3]);
+        assert!(s.contains(NodeId(20)));
+        assert!(!s.contains(NodeId(21)));
+        assert_eq!(
+            s.keys_in_range(KeyRange::new(NodeId(15), NodeId(30))),
+            vec![NodeId(20), NodeId(30)]
+        );
+        let entries: Vec<(u64, u8)> = s
+            .entries_in_range(KeyRange::new(NodeId(0), NodeId(20)))
+            .map(|(k, v)| (k.0, v[0]))
+            .collect();
+        assert_eq!(entries, vec![(10, 1), (20, 2)]);
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //! by keep-alives. Lookups are routed with a hierarchical distance function
 //! and resolved in `O(log n)` hops by one of three algorithms (greedy,
 //! non-greedy, non-greedy with fall-back). A DHT / resource-discovery layer
-//! sits on top of the same routing. The hierarchy doubles as a
+//! sits on top of the same routing; with `replication_factor = k` every
+//! stored value is kept on the responsible node plus its `k - 1` nearest
+//! registry neighbours and continuously repaired by a digest-probed
+//! anti-entropy engine ([`replication`]). The hierarchy doubles as a
 //! dissemination and aggregation spine ([`multicast`]): a payload addressed
 //! to a contiguous identifier range climbs to the initiator's root, walks
 //! the top-level bus, and descends the own-children links — reaching every
@@ -68,6 +71,7 @@ pub mod lookup;
 pub mod messages;
 pub mod multicast;
 pub mod node;
+pub mod replication;
 pub mod routing;
 pub mod stats;
 pub mod tables;
@@ -87,6 +91,7 @@ pub use multicast::{
     MulticastPayload, MulticastPhase,
 };
 pub use node::TreePNode;
+pub use replication::{audit_replication, ReplicaEntry, ReplicationAudit};
 pub use routing::{RouteDecision, RouterView, RoutingAlgorithm};
 pub use stats::NodeStats;
 pub use tables::{PeerEntry, RemovalReport, RoutingTables, TableSizes};

@@ -10,6 +10,7 @@ use crate::lookup::{LookupRequest, RequestId};
 use crate::multicast::{
     AggregatePartial, AggregateQuery, KeyRange, MulticastPayload, MulticastPhase,
 };
+use crate::replication::ReplicaEntry;
 use crate::routing::RoutingAlgorithm;
 use serde::{Deserialize, Serialize};
 use simnet::NodeAddr;
@@ -225,6 +226,46 @@ pub enum TreePMessage {
         responder: PeerInfo,
     },
 
+    // ---- replication ---------------------------------------------------------
+    /// Push one replicated `(key, value)` copy to a member of the key's
+    /// replica set (the k nearest registry neighbours of the key
+    /// coordinate). Sent by the responsible node when a `DhtPut` lands, by
+    /// the anti-entropy round when a partner's `want` list requests it, and
+    /// as the handoff before a node drops a key it is no longer responsible
+    /// for. Fire-and-forget: a lost copy is repaired by the next sync round.
+    ReplicaPut {
+        /// The pushing node.
+        sender: PeerInfo,
+        /// The key coordinate.
+        key: NodeId,
+        /// The replicated value.
+        value: Vec<u8>,
+    },
+    /// Pairwise anti-entropy: "these are the keys I hold in `range` — send
+    /// me what I lack, ask for what you lack."
+    ReplicaSyncRequest {
+        /// The syncing node (the reply goes back to it).
+        sender: PeerInfo,
+        /// The key-space interval being reconciled (the sender's replica
+        /// range).
+        range: KeyRange,
+        /// Every key the sender stores inside `range`, in key order.
+        keys: Vec<NodeId>,
+    },
+    /// Answer to a [`TreePMessage::ReplicaSyncRequest`]: the values the
+    /// requester was missing, plus the keys the responder is missing (which
+    /// the requester answers with [`TreePMessage::ReplicaPut`]s).
+    ReplicaSyncReply {
+        /// The responding node.
+        sender: PeerInfo,
+        /// The reconciled interval (echoed from the request).
+        range: KeyRange,
+        /// Values the responder holds in `range` that the requester lacked.
+        entries: Vec<ReplicaEntry>,
+        /// Keys the requester listed that the responder lacks.
+        want: Vec<NodeId>,
+    },
+
     // ---- multicast / aggregation --------------------------------------------
     /// A scoped multicast travelling through the hierarchy: up the
     /// initiator's ancestor chain, along the top-level bus, and down the
@@ -297,6 +338,9 @@ impl TreePMessage {
             TreePMessage::DhtPutAck { .. } => "dht_put_ack",
             TreePMessage::DhtGet { .. } => "dht_get",
             TreePMessage::DhtGetReply { .. } => "dht_get_reply",
+            TreePMessage::ReplicaPut { .. } => "replica_put",
+            TreePMessage::ReplicaSyncRequest { .. } => "replica_sync_request",
+            TreePMessage::ReplicaSyncReply { .. } => "replica_sync_reply",
             TreePMessage::MulticastDown { .. } => "multicast_down",
             TreePMessage::AggregateUp { .. } => "aggregate_up",
         }
@@ -317,6 +361,9 @@ impl TreePMessage {
                 | TreePMessage::ParentAnnounce { .. }
                 | TreePMessage::ParentAccept { .. }
                 | TreePMessage::Demotion { .. }
+                | TreePMessage::ReplicaPut { .. }
+                | TreePMessage::ReplicaSyncRequest { .. }
+                | TreePMessage::ReplicaSyncReply { .. }
         )
     }
 
@@ -411,6 +458,37 @@ mod tests {
         assert_eq!(up.kind(), "aggregate_up");
         assert!(!up.is_maintenance());
         assert_eq!(up.origin_addr(), Some(NodeAddr(2)));
+    }
+
+    #[test]
+    fn replica_messages_are_maintenance() {
+        use crate::replication::ReplicaEntry;
+        let put = TreePMessage::ReplicaPut {
+            sender: peer(3),
+            key: NodeId(9),
+            value: vec![1, 2],
+        };
+        assert_eq!(put.kind(), "replica_put");
+        assert!(put.is_maintenance(), "repair traffic is maintenance");
+        let req = TreePMessage::ReplicaSyncRequest {
+            sender: peer(3),
+            range: KeyRange::new(NodeId(0), NodeId(10)),
+            keys: vec![NodeId(9)],
+        };
+        assert_eq!(req.kind(), "replica_sync_request");
+        assert!(req.is_maintenance());
+        let reply = TreePMessage::ReplicaSyncReply {
+            sender: peer(4),
+            range: KeyRange::new(NodeId(0), NodeId(10)),
+            entries: vec![ReplicaEntry {
+                key: NodeId(5),
+                value: vec![7],
+            }],
+            want: vec![NodeId(9)],
+        };
+        assert_eq!(reply.kind(), "replica_sync_reply");
+        assert!(reply.is_maintenance());
+        assert_eq!(reply.origin_addr(), None);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!   put/get routing built on them.
 //! * `multicast` — tree-scoped multicast dissemination and convergecast
 //!   aggregation.
+//! * `replication` — k-way DHT replica placement, digest-probed anti-entropy
+//!   repair and key handoff (see [`crate::replication`]).
 //!
 //! This file owns only construction, the public accessors, the shared
 //! plumbing (request IDs, timer tokens, send accounting) and the
@@ -26,6 +28,7 @@ mod lookup;
 mod membership;
 mod multicast;
 mod promotion;
+mod replication;
 
 #[cfg(test)]
 mod tests;
@@ -67,6 +70,8 @@ const TIMER_DHT: u64 = 4;
 const TIMER_AGGREGATE: u64 = 5;
 /// Aggregation relay hold timer (`multicast`).
 const TIMER_AGG_RELAY: u64 = 6;
+/// Anti-entropy round (`replication`). Last free 3-bit timer kind.
+const TIMER_REPLICA: u64 = 7;
 
 fn encode_timer(kind: u64, payload: u64) -> TimerToken {
     TimerToken(kind | (payload << 3))
@@ -99,6 +104,12 @@ pub struct TreePNode {
     aggregate_outcomes: Vec<AggregateOutcome>,
     relays: BTreeMap<u64, AggregateRelay>,
     next_relay_round: u64,
+    /// Replication repair state: true when the next anti-entropy round must
+    /// run a pairwise sync instead of the cheap digest probe.
+    replica_dirty: bool,
+    /// In-flight digest probes: probe request id → the `(xor, count)` the
+    /// convergecast is expected to fold if the replica range is healthy.
+    replica_digest_probes: BTreeMap<RequestId, (u64, u64)>,
     stats: NodeStats,
     last_tick: Option<SimTime>,
 }
@@ -132,6 +143,8 @@ impl TreePNode {
             aggregate_outcomes: Vec::new(),
             relays: BTreeMap::new(),
             next_relay_round: 0,
+            replica_dirty: true,
+            replica_digest_probes: BTreeMap::new(),
             stats: NodeStats::default(),
             last_tick: None,
         }
@@ -332,6 +345,17 @@ impl Protocol for TreePNode {
             SimDuration::from_micros(jitter),
             encode_timer(TIMER_KEEPALIVE, 0),
         );
+        // Anti-entropy rounds run only when replication is on, so `k = 1`
+        // deployments stay byte-identical to the unreplicated protocol
+        // (no extra timers, no extra RNG draws).
+        if self.config.replication_factor > 1 {
+            let interval = self.config.replica_sync_interval.as_micros().max(1);
+            let replica_jitter = ctx.rng().gen_range_u64(0..interval);
+            ctx.set_timer(
+                SimDuration::from_micros(interval + replica_jitter),
+                encode_timer(TIMER_REPLICA, 0),
+            );
+        }
         let me = self.peer_info();
         let bootstrap = std::mem::take(&mut self.bootstrap);
         for contact in bootstrap {
@@ -409,6 +433,21 @@ impl Protocol for TreePNode {
             } => {
                 self.record_dht_answer(request_id, key, value, responder, now);
             }
+            // ---- replication layer -------------------------------------
+            TreePMessage::ReplicaPut { sender, key, value } => {
+                self.handle_replica_put(sender, key, value, ctx)
+            }
+            TreePMessage::ReplicaSyncRequest {
+                sender,
+                range,
+                keys,
+            } => self.handle_replica_sync_request(sender, range, keys, ctx),
+            TreePMessage::ReplicaSyncReply {
+                sender,
+                range,
+                entries,
+                want,
+            } => self.handle_replica_sync_reply(sender, range, entries, want, ctx),
             // ---- multicast / aggregation layer -------------------------
             TreePMessage::MulticastDown {
                 origin,
@@ -455,6 +494,7 @@ impl Protocol for TreePNode {
             TIMER_DHT => self.dht_timer_fired(payload, ctx),
             TIMER_AGGREGATE => self.aggregate_timer_fired(payload, ctx),
             TIMER_AGG_RELAY => self.relay_timer_fired(payload, ctx),
+            TIMER_REPLICA => self.replication_tick(ctx),
             _ => {}
         }
     }

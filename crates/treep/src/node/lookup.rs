@@ -252,6 +252,9 @@ impl TreePNode {
                 value,
                 ..
             } => {
+                // Responsible node: store locally and place the k-1 replica
+                // copies on the key's nearest registry neighbours.
+                self.push_replicas(key, &value, ctx);
                 self.store.put(key, value);
                 self.stats.dht_values_stored = self.store.len() as u64;
                 let ack = TreePMessage::DhtPutAck {

@@ -18,6 +18,67 @@ use super::*;
 use crate::messages::RoutingUpdate;
 
 impl TreePNode {
+    /// Register with a freshly adopted parent: the `ParentAccept` handshake
+    /// plus an immediate, event-driven `ChildReport` carrying this node's
+    /// exact subtree span. Without the report the parent would learn the
+    /// span only at the next periodic report round — a one-round-per-level
+    /// churn window in which a narrow multicast (or a replica placement
+    /// probing the subtree) could miss a freshly adopted branch.
+    pub(super) fn register_with_parent(
+        &mut self,
+        parent_addr: NodeAddr,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        let me = self.peer_info();
+        self.send(ctx, parent_addr, TreePMessage::ParentAccept { child: me });
+        let span = self.subtree_span();
+        self.send(
+            ctx,
+            parent_addr,
+            TreePMessage::ChildReport { child: me, span },
+        );
+    }
+
+    // ---- gossip freshness -------------------------------------------------------
+    //
+    // Knowledge arrives through two channels: **direct contact** (the peer
+    // itself sent us a message — stamped `now`) and **gossip** (a third
+    // party mentioned the peer). Gossip must not extend a peer's liveness:
+    // if it did, a dead peer's entry could bounce between registries
+    // forever, each hop re-stamping it fresh — an immortal ghost that
+    // attracts routed traffic and defeats the expiry sweep entirely. Two
+    // rules break the echo chamber:
+    //
+    // 1. gossiped entries are stamped `gossip_penalty` in the past, so they
+    //    expire unless re-gossiped (or directly heard from) soon;
+    // 2. only entries heard from *directly* within `gossip_penalty` are
+    //    advertised onward, so second-hand knowledge never re-enters the
+    //    gossip stream — after a death, only the peer's own neighbours keep
+    //    advertising it, and only for one penalty window.
+    //
+    // Net effect: a dead peer vanishes from every registry within roughly
+    // `entry_ttl` of its death, while live peers (directly refreshed by
+    // their own neighbours every keep-alive round) circulate unhindered.
+
+    /// The age stamped onto gossiped entries, and the freshness bar an entry
+    /// must clear to be advertised onward (two keep-alive rounds).
+    fn gossip_penalty(&self) -> SimDuration {
+        self.config.keepalive_interval.saturating_mul(2)
+    }
+
+    /// The timestamp given to entries learned through gossip.
+    fn gossip_time(&self, now: SimTime) -> SimTime {
+        SimTime::from_micros(
+            now.as_micros()
+                .saturating_sub(self.gossip_penalty().as_micros()),
+        )
+    }
+
+    /// True when `entry` is fresh enough to be advertised to other peers.
+    fn advertisable(&self, entry: &crate::entry::RoutingEntry, now: SimTime) -> bool {
+        !entry.is_stale(now, self.gossip_penalty())
+    }
+
     /// Record (or refresh) knowledge about a peer we just heard from.
     pub(super) fn learn_peer(&mut self, peer: PeerInfo, now: SimTime) {
         self.tables.upsert_level0(peer.into_entry(now));
@@ -29,10 +90,13 @@ impl TreePNode {
     }
 
     fn apply_update(&mut self, update: RoutingUpdate, now: SimTime) {
+        // Third-party knowledge: stamped in the past so it expires unless
+        // the peer is heard from (directly, or through fresh gossip) again.
+        let at = self.gossip_time(now);
         match update {
             RoutingUpdate::Contact { peer } => {
-                if peer.id != self.id {
-                    self.tables.upsert_level0(peer.into_entry(now));
+                if peer.id != self.id && self.tightens_ring(peer.id) {
+                    self.tables.upsert_level0(peer.into_entry(at));
                 }
             }
             RoutingUpdate::LevelMember { level, peer } => {
@@ -40,40 +104,61 @@ impl TreePNode {
                     return;
                 }
                 if level <= self.max_level && level > 0 {
-                    self.tables.upsert_level(level, peer.into_entry(now));
+                    self.tables.upsert_level(level, peer.into_entry(at));
                 } else {
-                    self.tables.upsert_superior(peer.into_entry(now));
+                    self.tables.upsert_superior(peer.into_entry(at));
                 }
             }
             RoutingUpdate::ParentOf { peer } => {
                 if peer.id == self.id {
                     return;
                 }
-                self.tables.upsert_superior(peer.into_entry(now));
+                self.tables.upsert_superior(peer.into_entry(at));
             }
             RoutingUpdate::ChildOf { peer } => {
                 if peer.id == self.id {
                     return;
                 }
                 if self.max_level > 0 {
-                    self.tables.upsert_child(peer.into_entry(now), false);
+                    self.tables.upsert_child(peer.into_entry(at), false);
                 } else {
-                    self.tables.upsert_level0(peer.into_entry(now));
+                    self.tables.upsert_level0(peer.into_entry(at));
                 }
             }
             RoutingUpdate::Superior { peer } => {
                 if peer.id != self.id {
-                    self.tables.upsert_superior(peer.into_entry(now));
+                    self.tables.upsert_superior(peer.into_entry(at));
                 }
             }
         }
     }
 
+    /// True when adopting `candidate` as a level-0 contact would tighten
+    /// this node's ring neighbourhood: it is closer than (or completes) the
+    /// four identifier-nearest peers already known. Keeps gossiped contacts
+    /// at ring scale — a gap left by a failed neighbour is re-stitched, but
+    /// the level-0 table does not accumulate every contact the gossip
+    /// stream ever mentions (the Section III.e connection bound).
+    fn tightens_ring(&self, candidate: NodeId) -> bool {
+        let Some(addr) = self.addr else {
+            return true;
+        };
+        let space = self.config.space;
+        let near = self.tables.nearest_peers(space, self.id, 4, addr);
+        near.len() < 4
+            || near
+                .iter()
+                .any(|e| space.distance(candidate, self.id) < space.distance(e.id, self.id))
+    }
+
     /// The updates this node piggy-backs on keep-alives: its parent, its own
-    /// level membership, and (for parents) a sample of its children.
-    fn my_updates(&self) -> Vec<RoutingUpdate> {
+    /// level membership, and (for parents) a sample of its children — but
+    /// only entries heard from *directly* within the gossip-freshness
+    /// window, so second-hand knowledge (and with it any dead peer) never
+    /// re-enters the gossip stream.
+    fn my_updates(&self, now: SimTime) -> Vec<RoutingUpdate> {
         let mut updates = Vec::new();
-        if let Some(p) = self.tables.parent() {
+        if let Some(p) = self.tables.parent().filter(|p| self.advertisable(p, now)) {
             updates.push(RoutingUpdate::ParentOf {
                 peer: PeerInfo::from_entry(p),
             });
@@ -85,37 +170,71 @@ impl TreePNode {
                     peer: self.peer_info(),
                 });
             }
-            for child in self.tables.own_children().take(4) {
+            for child in self
+                .tables
+                .own_children()
+                .filter(|c| self.advertisable(c, now))
+                .take(4)
+            {
                 updates.push(RoutingUpdate::ChildOf {
                     peer: PeerInfo::from_entry(child),
                 });
             }
         }
-        for sup in self.tables.superiors().take(4) {
+        for sup in self
+            .tables
+            .superiors()
+            .filter(|s| self.advertisable(s, now))
+            .take(4)
+        {
             updates.push(RoutingUpdate::Superior {
                 peer: PeerInfo::from_entry(sup),
             });
+        }
+        // Ring repair: advertise the identifier-nearest peers we have heard
+        // from directly, so the neighbours of a failed peer stitch the
+        // level-0 ring back together within a few rounds instead of waiting
+        // for a shared parent's child gossip. Without this, a ring gap left
+        // by churn can make greedy DHT routing bottom out at a node that
+        // never learns its new predecessor.
+        if let Some(addr) = self.addr {
+            for near in self
+                .tables
+                .nearest_peers(self.config.space, self.id, 4, addr)
+                .iter()
+                .filter(|e| self.advertisable(e, now))
+            {
+                updates.push(RoutingUpdate::Contact {
+                    peer: PeerInfo::from_entry(near),
+                });
+            }
         }
         updates
     }
 
     /// Superiors advertised to children in a [`TreePMessage::ChildReportAck`]:
-    /// our own parent, our ancestors, and our direct bus neighbours.
-    fn superiors_for_children(&self) -> Vec<PeerInfo> {
+    /// our own parent, our ancestors, and our direct bus neighbours —
+    /// gated by the same directly-heard freshness bar as every other
+    /// advertisement.
+    fn superiors_for_children(&self, now: SimTime) -> Vec<PeerInfo> {
         let mut sup: Vec<PeerInfo> = Vec::new();
-        if let Some(p) = self.tables.parent() {
+        if let Some(p) = self.tables.parent().filter(|p| self.advertisable(p, now)) {
             sup.push(PeerInfo::from_entry(p));
         }
-        for s in self.tables.superiors().take(6) {
+        for s in self
+            .tables
+            .superiors()
+            .filter(|s| self.advertisable(s, now))
+            .take(6)
+        {
             sup.push(PeerInfo::from_entry(s));
         }
         if self.max_level > 0 {
             let (l, r) = self.tables.bus_neighbors(self.max_level, self.id);
-            if let Some(l) = l {
-                sup.push(PeerInfo::from_entry(l));
-            }
-            if let Some(r) = r {
-                sup.push(PeerInfo::from_entry(r));
+            for e in [l, r].into_iter().flatten() {
+                if self.advertisable(e, now) {
+                    sup.push(PeerInfo::from_entry(e));
+                }
             }
         }
         sup
@@ -171,42 +290,40 @@ impl TreePNode {
             }
         }
 
-        // 4. Keep-alives to level-0 neighbours.
-        let updates = self.my_updates();
+        // 4. Keep-alives to level-0 neighbours, sent straight off the
+        //    registry iterator: `tables` (read) and `stats` (write) are
+        //    disjoint field borrows, so no address buffer is allocated per
+        //    tick (ROADMAP registry follow-up; the only per-message
+        //    allocation left is the keep-alive's own `updates` payload).
+        let updates = self.my_updates(now);
         let me = self.peer_info();
-        let level0: Vec<NodeAddr> = self.tables.level0().map(|e| e.addr).collect();
-        for addr in level0 {
-            if addr == me.addr {
+        let stats = &mut self.stats;
+        for entry in self.tables.level0() {
+            if entry.addr == me.addr {
                 continue;
             }
-            self.send(
-                ctx,
-                addr,
-                TreePMessage::KeepAlive {
-                    sender: me,
-                    updates: updates.clone(),
-                },
-            );
+            let msg = TreePMessage::KeepAlive {
+                sender: me,
+                updates: updates.clone(),
+            };
+            stats.record_sent(msg.kind());
+            ctx.send(entry.addr, msg);
         }
 
-        // 5. Keep-alives to direct bus neighbours at every level we belong to.
+        // 5. Keep-alives to direct bus neighbours at every level we belong
+        //    to — same borrow split, no `Vec` of targets.
         for level in 1..=self.max_level {
             let (l, r) = self.tables.bus_neighbors(level, self.id);
-            let targets: Vec<NodeAddr> = [l, r]
-                .into_iter()
-                .flatten()
-                .map(|e| e.addr)
-                .filter(|a| *a != me.addr)
-                .collect();
-            for addr in targets {
-                self.send(
-                    ctx,
-                    addr,
-                    TreePMessage::KeepAlive {
-                        sender: me,
-                        updates: updates.clone(),
-                    },
-                );
+            for entry in [l, r].into_iter().flatten() {
+                if entry.addr == me.addr {
+                    continue;
+                }
+                let msg = TreePMessage::KeepAlive {
+                    sender: me,
+                    updates: updates.clone(),
+                };
+                stats.record_sent(msg.kind());
+                ctx.send(entry.addr, msg);
             }
         }
 
@@ -235,11 +352,12 @@ impl TreePNode {
         let now = ctx.now();
         self.tables.upsert_level0(joiner.into_entry(now));
         let me = self.peer_info();
-        // Suggest up to three existing contacts close to the joiner's ID.
+        // Suggest up to three existing contacts close to the joiner's ID —
+        // only directly-fresh ones, so a joiner is never pointed at a ghost.
         let mut contacts: Vec<PeerInfo> = self
             .tables
             .level0()
-            .filter(|e| e.id != joiner.id)
+            .filter(|e| e.id != joiner.id && self.advertisable(e, now))
             .map(PeerInfo::from_entry)
             .collect();
         contacts.sort_by_key(|p| self.dist.euclidean(p.id, joiner.id));
@@ -253,7 +371,10 @@ impl TreePNode {
             self.tables.upsert_child(joiner.into_entry(now), true);
             Some(me)
         } else {
-            self.tables.parent().map(PeerInfo::from_entry)
+            self.tables
+                .parent()
+                .filter(|p| self.advertisable(p, now))
+                .map(PeerInfo::from_entry)
         };
         self.send(
             ctx,
@@ -275,16 +396,19 @@ impl TreePNode {
     ) {
         let now = ctx.now();
         self.learn_peer(responder, now);
+        let at = self.gossip_time(now);
         for c in contacts {
             if c.id != self.id {
-                self.tables.upsert_level0(c.into_entry(now));
+                self.tables.upsert_level0(c.into_entry(at));
             }
         }
         if let Some(p) = parent {
             if self.tables.parent().is_none() && p.id != self.id {
-                self.tables.set_parent(p.into_entry(now));
-                let me = self.peer_info();
-                self.send(ctx, p.addr, TreePMessage::ParentAccept { child: me });
+                // Direct when the responder adopted us itself, gossip when
+                // it only passed its own parent along as a hint.
+                let stamp = if p.id == responder.id { now } else { at };
+                self.tables.set_parent(p.into_entry(stamp));
+                self.register_with_parent(p.addr, ctx);
             }
         }
     }
@@ -314,13 +438,12 @@ impl TreePNode {
             if let Some(p) = candidate {
                 self.tables.set_parent(p);
                 self.election.cancel_election();
-                let me = self.peer_info();
-                self.send(ctx, p.addr, TreePMessage::ParentAccept { child: me });
+                self.register_with_parent(p.addr, ctx);
             }
         }
         if reply {
             let me = self.peer_info();
-            let my_updates = self.my_updates();
+            let my_updates = self.my_updates(now);
             self.send(
                 ctx,
                 sender.addr,
@@ -359,7 +482,7 @@ impl TreePNode {
             self.election.cancel_demotion();
         }
         let me = self.peer_info();
-        let superiors = self.superiors_for_children();
+        let superiors = self.superiors_for_children(now);
         self.send(
             ctx,
             child.addr,
@@ -379,9 +502,10 @@ impl TreePNode {
     ) {
         self.tables.set_parent(parent.into_entry(now));
         self.election.cancel_election();
+        let at = self.gossip_time(now);
         for s in superiors {
             if s.id != self.id {
-                self.tables.upsert_superior(s.into_entry(now));
+                self.tables.upsert_superior(s.into_entry(at));
             }
         }
     }

@@ -478,13 +478,19 @@ impl TreePNode {
         now: SimTime,
     ) {
         if self.pending_aggregates.remove(&request_id).is_some() {
-            self.aggregate_outcomes.push(AggregateOutcome::Completed {
+            let outcome = AggregateOutcome::Completed {
                 request_id,
                 query,
                 partial,
                 truncated,
                 completed_at: now,
-            });
+            };
+            // Replication digest probes are internal: the replication layer
+            // consumes them instead of the embedder's outcome queue.
+            if self.intercept_replica_digest(&outcome) {
+                return;
+            }
+            self.aggregate_outcomes.push(outcome);
         }
     }
 
@@ -549,11 +555,15 @@ impl TreePNode {
     ) {
         let request_id = RequestId(payload);
         if let Some(pending) = self.pending_aggregates.remove(&request_id) {
-            self.aggregate_outcomes.push(AggregateOutcome::TimedOut {
+            let outcome = AggregateOutcome::TimedOut {
                 request_id,
                 query: pending.query,
                 completed_at: ctx.now(),
-            });
+            };
+            if self.intercept_replica_digest(&outcome) {
+                return;
+            }
+            self.aggregate_outcomes.push(outcome);
         }
     }
 

@@ -169,8 +169,7 @@ impl TreePNode {
         }
         if level == self.max_level + 1 && self.tables.parent().is_none() {
             self.tables.set_parent(parent.into_entry(now));
-            let me = self.peer_info();
-            self.send(ctx, parent.addr, TreePMessage::ParentAccept { child: me });
+            self.register_with_parent(parent.addr, ctx);
         } else {
             self.tables.upsert_superior(parent.into_entry(now));
         }

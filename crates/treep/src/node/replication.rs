@@ -1,0 +1,382 @@
+//! Replication layer: k-way replica placement, digest-probed anti-entropy
+//! repair and key handoff.
+//!
+//! The placement rule, the digest hierarchy and the repair state machine
+//! are documented in [`crate::replication`]; this layer implements them:
+//!
+//! * [`TreePNode::push_replicas`] places `k - 1` copies the moment a
+//!   `DhtPut` lands at the responsible node.
+//! * The [`super::TIMER_REPLICA`] round alternates between the cheap
+//!   subtree [`AggregateQuery::DhtKeyDigest`] probe over the node's primary
+//!   range (clean state) and pairwise
+//!   [`TreePMessage::ReplicaSyncRequest`] range reconciliation (dirty
+//!   state), and every round hands off keys with at least `2k` known
+//!   strictly-closer peers — pushing the value to the key's whole replica
+//!   set *before* dropping it, so a responsibility transfer never reduces
+//!   the number of live copies.
+//! * Digest-probe answers are intercepted before they reach the embedder's
+//!   aggregate-outcome queue ([`TreePNode::intercept_replica_digest`]): a
+//!   mismatching, truncated or timed-out probe marks the node dirty.
+//!
+//! The whole layer is inert when `replication_factor <= 1`: no timer is
+//! armed, no message is ever sent, and the node behaves exactly like the
+//! paper's single-copy DHT.
+
+use super::*;
+use crate::multicast::AggregateQuery;
+use crate::replication::ReplicaEntry;
+
+impl TreePNode {
+    fn replication_enabled(&self) -> bool {
+        self.config.replication_factor > 1
+    }
+
+    /// The interval of the key space this node can be responsible for
+    /// replicating: keys for which it is among the `k` nearest peers all lie
+    /// between its `k`-th registry neighbour below and above (unbounded
+    /// sides extend to the edge of the identifier space).
+    pub fn replica_range(&self) -> KeyRange {
+        let k = self.config.replication_factor as usize;
+        let (below, above) = self.tables.kth_neighbor_ids(self.id, k);
+        KeyRange::new(
+            below.unwrap_or(NodeId::MIN),
+            above.unwrap_or(self.config.space.max_id()),
+        )
+    }
+
+    /// The interval of keys this node is *primary* (closest known peer)
+    /// for: from just past the midpoint to its nearest registry neighbour
+    /// below, to the midpoint to its nearest neighbour above. Midpoint ties
+    /// prefer the smaller identifier, matching the ordered-probe tie-break
+    /// everywhere else in the routing.
+    fn primary_range(&self) -> KeyRange {
+        let space = self.config.space;
+        let (below, above) = self.tables.kth_neighbor_ids(self.id, 1);
+        let lo = below
+            .map(|p| NodeId(space.midpoint(p, self.id).0 + 1))
+            .unwrap_or(NodeId::MIN);
+        let hi = above
+            .map(|s| space.midpoint(self.id, s))
+            .unwrap_or(space.max_id());
+        KeyRange::new(lo, hi)
+    }
+
+    /// Number of known peers strictly closer (Euclidean) to `key` than the
+    /// peer with identifier `subject_id` at `subject_addr`, counted up to
+    /// `cap`. When judging a remote subject, this node itself counts too —
+    /// it knows its own position even though it is absent from its registry.
+    fn replica_rank(
+        &self,
+        key: NodeId,
+        subject_id: NodeId,
+        subject_addr: NodeAddr,
+        cap: usize,
+    ) -> usize {
+        let space = self.config.space;
+        let subject_dist = space.distance(subject_id, key);
+        let mut rank = self
+            .tables
+            .nearest_peers(space, key, cap, subject_addr)
+            .iter()
+            .filter(|e| space.distance(e.id, key) < subject_dist)
+            .count();
+        if subject_id != self.id && space.distance(self.id, key) < subject_dist {
+            rank += 1;
+        }
+        rank.min(cap)
+    }
+
+    /// True when, as far as this node knows, the peer `(subject_id,
+    /// subject_addr)` belongs to `key`'s replica set (fewer than `k` known
+    /// peers are strictly closer). Imperfect knowledge errs toward `true`:
+    /// an extra copy is always safe, a missing one never is.
+    fn in_replica_set(&self, key: NodeId, subject_id: NodeId, subject_addr: NodeAddr) -> bool {
+        let k = self.config.replication_factor as usize;
+        self.replica_rank(key, subject_id, subject_addr, k) < k
+    }
+
+    /// Push one copy of `(key, value)` to each of the `k - 1` nearest known
+    /// peers of the key coordinate. Called by the responsible node when a
+    /// `DhtPut` lands; fire-and-forget, the anti-entropy rounds repair any
+    /// lost copy.
+    pub(super) fn push_replicas(
+        &mut self,
+        key: NodeId,
+        value: &[u8],
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        if !self.replication_enabled() {
+            return;
+        }
+        let me = self.peer_info();
+        let targets: Vec<NodeAddr> = self
+            .tables
+            .nearest_peers(
+                self.config.space,
+                key,
+                self.config.replication_factor as usize - 1,
+                me.addr,
+            )
+            .into_iter()
+            .map(|e| e.addr)
+            .collect();
+        for addr in targets {
+            self.send(
+                ctx,
+                addr,
+                TreePMessage::ReplicaPut {
+                    sender: me,
+                    key,
+                    value: value.to_vec(),
+                },
+            );
+        }
+        // Storing a fresh put marks the node dirty: the placement pushes
+        // are fire-and-forget, so the next round verifies them with a
+        // pairwise sync instead of waiting for a probe to notice a loss.
+        self.replica_dirty = true;
+    }
+
+    // ---- message handlers ------------------------------------------------------
+
+    pub(super) fn handle_replica_put(
+        &mut self,
+        sender: PeerInfo,
+        key: NodeId,
+        value: Vec<u8>,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        self.learn_peer(sender, ctx.now());
+        self.stats.replica_values_received += 1;
+        // Stored unconditionally: the sender chose this node as a replica
+        // target, and a misplaced copy is corrected by the handoff sweep,
+        // while a rejected copy could be the key's last. A *new* value
+        // means repair is in flight — go dirty so the next round spreads
+        // it with a pairwise sync.
+        if self.store.get(key) != Some(&value) {
+            self.replica_dirty = true;
+        }
+        self.store.put(key, value);
+        self.stats.dht_values_stored = self.store.len() as u64;
+    }
+
+    pub(super) fn handle_replica_sync_request(
+        &mut self,
+        sender: PeerInfo,
+        range: KeyRange,
+        keys: Vec<NodeId>,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        self.learn_peer(sender, ctx.now());
+        let me = self.peer_info();
+        let offered: std::collections::BTreeSet<NodeId> = keys.iter().copied().collect();
+        // Values the requester lacks — but only those it is actually a
+        // replica of, so copies do not creep beyond the placement rule.
+        let entries: Vec<ReplicaEntry> = self
+            .store
+            .entries_in_range(range)
+            .filter(|(k, _)| !offered.contains(k))
+            .filter(|(k, _)| self.in_replica_set(**k, sender.id, sender.addr))
+            .map(|(k, v)| ReplicaEntry {
+                key: *k,
+                value: v.clone(),
+            })
+            .collect();
+        // Keys the requester offered that this node lacks and should hold.
+        let want: Vec<NodeId> = keys
+            .into_iter()
+            .filter(|k| !self.store.contains(*k))
+            .filter(|k| self.in_replica_set(*k, self.id, me.addr))
+            .collect();
+        if !entries.is_empty() || !want.is_empty() {
+            self.send(
+                ctx,
+                sender.addr,
+                TreePMessage::ReplicaSyncReply {
+                    sender: me,
+                    range,
+                    entries,
+                    want,
+                },
+            );
+        }
+    }
+
+    pub(super) fn handle_replica_sync_reply(
+        &mut self,
+        sender: PeerInfo,
+        _range: KeyRange,
+        entries: Vec<ReplicaEntry>,
+        want: Vec<NodeId>,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        self.learn_peer(sender, ctx.now());
+        for entry in entries {
+            self.stats.replica_values_received += 1;
+            if self.store.get(entry.key) != Some(&entry.value) {
+                self.replica_dirty = true;
+            }
+            self.store.put(entry.key, entry.value);
+        }
+        self.stats.dht_values_stored = self.store.len() as u64;
+        let me = self.peer_info();
+        for key in want {
+            if let Some(value) = self.store.get(key).cloned() {
+                self.send(
+                    ctx,
+                    sender.addr,
+                    TreePMessage::ReplicaPut {
+                        sender: me,
+                        key,
+                        value,
+                    },
+                );
+            }
+        }
+    }
+
+    // ---- the anti-entropy round -------------------------------------------------
+
+    pub(super) fn replication_tick(&mut self, ctx: &mut Context<'_, TreePMessage>) {
+        if !self.replication_enabled() {
+            return;
+        }
+        self.stats.replica_sync_rounds += 1;
+        self.handoff_misplaced_keys(ctx);
+        // A probe still unanswered after a whole interval is as good as a
+        // mismatch: fall back to pairwise sync rather than stalling. Its
+        // late answer is still swallowed by the intercept.
+        let probe_in_flight = !self.replica_digest_probes.is_empty();
+        if self.replica_dirty || probe_in_flight {
+            self.run_pairwise_sync(ctx);
+            // Optimistically clean: the next round's digest probe verifies.
+            self.replica_dirty = false;
+        } else {
+            self.start_digest_probe(ctx);
+        }
+        ctx.set_timer(
+            self.config.replica_sync_interval,
+            encode_timer(TIMER_REPLICA, 0),
+        );
+    }
+
+    /// Steady-state divergence detection: fold one `DhtKeyDigest`
+    /// convergecast over this node's **primary range** — the subinterval of
+    /// keys it is the closest peer of, where its own store is authoritative
+    /// (it must hold *every* key there, each replicated `k` times
+    /// network-wide). A healthy fold therefore answers exactly
+    /// `k · |own keys in range|` with the own XOR repeated `k` times
+    /// (`own_xor` for odd `k`, `0` for even — XOR self-cancels pairwise).
+    /// Every key in the space lies in exactly one node's primary range, so
+    /// the probes tile the whole key space with no false mismatch from
+    /// overlap: a wider range (e.g. the full replica range) would fold in
+    /// keys the prober legitimately does not hold and never match.
+    fn start_digest_probe(&mut self, ctx: &mut Context<'_, TreePMessage>) {
+        let range = self.primary_range();
+        let k = u64::from(self.config.replication_factor);
+        let (own_xor, own_count) = self.store.digest_range(range);
+        let expect = (if k % 2 == 1 { own_xor } else { 0 }, k * own_count);
+        let request_id = self.start_aggregate(range, AggregateQuery::DhtKeyDigest, ctx);
+        self.stats.replica_digest_probes += 1;
+        self.replica_digest_probes.insert(request_id, expect);
+    }
+
+    /// Swallow the answer of a digest probe before it reaches the
+    /// embedder's aggregate-outcome queue. Returns true when `outcome`
+    /// belonged to a probe. Anything but a complete, exactly-matching
+    /// digest marks the node dirty.
+    pub(super) fn intercept_replica_digest(&mut self, outcome: &AggregateOutcome) -> bool {
+        let Some((expect_xor, expect_count)) =
+            self.replica_digest_probes.remove(&outcome.request_id())
+        else {
+            return false;
+        };
+        let healthy = outcome.is_complete()
+            && outcome.partial()
+                == Some(crate::multicast::AggregatePartial::Digest {
+                    xor: expect_xor,
+                    count: expect_count,
+                });
+        if !healthy {
+            self.stats.replica_digest_mismatches += 1;
+            self.replica_dirty = true;
+        }
+        true
+    }
+
+    /// Reconcile the replica range with the replica partners: the `2k`
+    /// nearest registry neighbours of this node's own coordinate, which
+    /// together cover the replica set of every key this node can be
+    /// responsible for.
+    fn run_pairwise_sync(&mut self, ctx: &mut Context<'_, TreePMessage>) {
+        let me = self.peer_info();
+        let range = self.replica_range();
+        let keys = self.store.keys_in_range(range);
+        let partner_count = 2 * self.config.replication_factor as usize;
+        let partners: Vec<NodeAddr> = self
+            .tables
+            .nearest_peers(self.config.space, self.id, partner_count, me.addr)
+            .into_iter()
+            .map(|e| e.addr)
+            .collect();
+        for addr in partners {
+            self.stats.replica_syncs_sent += 1;
+            self.send(
+                ctx,
+                addr,
+                TreePMessage::ReplicaSyncRequest {
+                    sender: me,
+                    range,
+                    keys: keys.clone(),
+                },
+            );
+        }
+    }
+
+    /// Hand off stored keys this node has clearly left the replica set of —
+    /// at least `2k` known peers strictly closer: push the value to the
+    /// key's whole replica set first, then drop the local copy, so the
+    /// transfer itself can only *increase* the number of live copies. The
+    /// `2k` slack (not `k`) is deliberate: right after a failure batch the
+    /// registry can still hold up-to-`entry_ttl`-stale entries for dead
+    /// closer peers, and a `k` threshold could push a key's **last** copy
+    /// to k corpses and delete it. Over-retention is always safe,
+    /// under-retention never is; unknown closer peers only ever delay a
+    /// handoff.
+    fn handoff_misplaced_keys(&mut self, ctx: &mut Context<'_, TreePMessage>) {
+        let me = self.peer_info();
+        let k = self.config.replication_factor as usize;
+        let space = self.config.space;
+        let victims: Vec<(NodeId, Vec<u8>)> = self
+            .store
+            .iter()
+            .filter(|(key, _)| self.replica_rank(**key, self.id, me.addr, 2 * k) >= 2 * k)
+            .map(|(key, value)| (*key, value.clone()))
+            .collect();
+        for (key, value) in victims {
+            let targets: Vec<NodeAddr> = self
+                .tables
+                .nearest_peers(space, key, k, me.addr)
+                .into_iter()
+                .map(|e| e.addr)
+                .collect();
+            if targets.is_empty() {
+                continue; // nowhere to hand off to: keep the copy
+            }
+            self.stats.replica_handoffs += 1;
+            for addr in targets {
+                self.send(
+                    ctx,
+                    addr,
+                    TreePMessage::ReplicaPut {
+                        sender: me,
+                        key,
+                        value: value.clone(),
+                    },
+                );
+            }
+            self.store.remove(key);
+        }
+        self.stats.dht_values_stored = self.store.len() as u64;
+    }
+}

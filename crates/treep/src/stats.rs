@@ -53,6 +53,20 @@ pub struct NodeStats {
     pub aggregates_initiated: u64,
     /// Convergecast partials this node folded on behalf of others.
     pub aggregate_partials_folded: u64,
+    /// Anti-entropy rounds this node executed.
+    pub replica_sync_rounds: u64,
+    /// Replicated values received (`ReplicaPut` and sync-reply entries).
+    pub replica_values_received: u64,
+    /// Pairwise `ReplicaSyncRequest`s this node sent.
+    pub replica_syncs_sent: u64,
+    /// Digest probes (subtree `DhtKeyDigest` convergecasts) this node
+    /// started in place of a pairwise sync.
+    pub replica_digest_probes: u64,
+    /// Digest probes that came back mismatching, truncated or timed out.
+    pub replica_digest_mismatches: u64,
+    /// Keys handed off (pushed to the replica set, then dropped locally)
+    /// because this node left the key's replica set.
+    pub replica_handoffs: u64,
 }
 
 impl NodeStats {

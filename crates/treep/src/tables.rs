@@ -260,6 +260,79 @@ impl RoutingTables {
         )
     }
 
+    /// Up to `count` known peers nearest to `key` in the 1-D space
+    /// (excluding the one at `exclude_addr`), ordered by `(distance, id)` —
+    /// ties prefer the smaller identifier, matching every other probe of the
+    /// registry. Implemented as a two-cursor merge walk outward from `key`
+    /// over the ordered registry, so the cost is `O(count + log n)`, not a
+    /// scan.
+    ///
+    /// This is the successor query the replication subsystem places replicas
+    /// with: the `k` nearest registry neighbours of a key coordinate are the
+    /// key's replica set.
+    pub fn nearest_peers(
+        &self,
+        space: IdSpace,
+        key: NodeId,
+        count: usize,
+        exclude_addr: simnet::NodeAddr,
+    ) -> Vec<PeerEntry> {
+        let mut below = self
+            .registry
+            .range(..=key)
+            .rev()
+            .map(|(_, e)| e)
+            .filter(|e| e.addr != exclude_addr)
+            .peekable();
+        let mut above = self
+            .registry
+            .range((Bound::Excluded(key), Bound::Unbounded))
+            .map(|(_, e)| e)
+            .filter(|e| e.addr != exclude_addr)
+            .peekable();
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let next = match (below.peek(), above.peek()) {
+                (Some(b), Some(a)) => {
+                    if space.distance(b.id, key) <= space.distance(a.id, key) {
+                        below.next()
+                    } else {
+                        above.next()
+                    }
+                }
+                (Some(_), None) => below.next(),
+                (None, Some(_)) => above.next(),
+                (None, None) => break,
+            };
+            out.push(*next.expect("peeked above"));
+        }
+        out
+    }
+
+    /// The identifiers of the `k`-th registry neighbour strictly below and
+    /// strictly above `own` (`None` when fewer than `k` exist on that side).
+    /// Any key for which `own` is among the `k` nearest known peers must lie
+    /// between these two identifiers, so the pair bounds a node's **replica
+    /// range** — the interval of the key space it can be responsible for
+    /// replicating.
+    pub fn kth_neighbor_ids(&self, own: NodeId, k: usize) -> (Option<NodeId>, Option<NodeId>) {
+        if k == 0 {
+            return (None, None);
+        }
+        let below = self
+            .registry
+            .range(..own)
+            .rev()
+            .nth(k - 1)
+            .map(|(id, _)| *id);
+        let above = self
+            .registry
+            .range((Bound::Excluded(own), Bound::Unbounded))
+            .nth(k - 1)
+            .map(|(id, _)| *id);
+        (below, above)
+    }
+
     // ---- level 0 ---------------------------------------------------------
 
     /// Insert or refresh a level-0 neighbour.
@@ -1233,6 +1306,60 @@ mod tests {
         assert!(RoutingTables::new()
             .closest_peer(space, NodeId(1), NodeAddr(0))
             .is_none());
+    }
+
+    #[test]
+    fn nearest_peers_walks_outward_in_distance_order() {
+        let mut t = RoutingTables::new();
+        let space = IdSpace::default();
+        for id in [100u64, 480, 520, 560, 900] {
+            t.upsert_level0(entry(id, 0, 1));
+        }
+        let near = t.nearest_peers(space, NodeId(500), 3, NodeAddr(u64::MAX));
+        assert_eq!(
+            near.iter().map(|e| e.id.0).collect::<Vec<_>>(),
+            vec![480, 520, 560]
+        );
+        // Ties prefer the smaller identifier (the peer below).
+        let tie = t.nearest_peers(space, NodeId(500), 2, NodeAddr(u64::MAX));
+        assert_eq!(tie[0].id, NodeId(480));
+        // Exclusion skips the excluded address but keeps walking.
+        let excl = t.nearest_peers(space, NodeId(500), 2, NodeAddr(480));
+        assert_eq!(
+            excl.iter().map(|e| e.id.0).collect::<Vec<_>>(),
+            vec![520, 560]
+        );
+        // Asking for more than exist returns everything.
+        assert_eq!(
+            t.nearest_peers(space, NodeId(0), 10, NodeAddr(u64::MAX))
+                .len(),
+            5
+        );
+        assert!(RoutingTables::new()
+            .nearest_peers(space, NodeId(1), 3, NodeAddr(0))
+            .is_empty());
+    }
+
+    #[test]
+    fn kth_neighbor_ids_bound_the_replica_range() {
+        let mut t = RoutingTables::new();
+        for id in [100u64, 200, 300, 400, 500] {
+            t.upsert_level0(entry(id, 0, 1));
+        }
+        assert_eq!(
+            t.kth_neighbor_ids(NodeId(300), 2),
+            (Some(NodeId(100)), Some(NodeId(500)))
+        );
+        assert_eq!(
+            t.kth_neighbor_ids(NodeId(300), 1),
+            (Some(NodeId(200)), Some(NodeId(400)))
+        );
+        // Fewer than k on a side: unbounded there.
+        assert_eq!(
+            t.kth_neighbor_ids(NodeId(150), 2),
+            (None, Some(NodeId(300)))
+        );
+        assert_eq!(t.kth_neighbor_ids(NodeId(300), 0), (None, None));
     }
 
     #[test]

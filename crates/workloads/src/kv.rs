@@ -1,0 +1,108 @@
+//! Put/get key-value workload for the DHT durability experiments.
+//!
+//! A deterministic corpus of `(key, value)` pairs: key `i` is the string
+//! `kv-key-<i>`, its value `kv-value-<i>`, so any observer can recompute the
+//! expected value (and the key's coordinate via [`treep::hash_key`]) without
+//! carrying state through the simulation. Batches pick a random surviving
+//! origin per operation, mirroring [`crate::lookups::LookupWorkload`].
+
+use simnet::{NodeAddr, SimRng};
+use treep::{hash_key, IdSpace, NodeId};
+
+/// One put or get to issue: the origin node and the corpus index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvOp {
+    /// The node that originates the request.
+    pub source: NodeAddr,
+    /// Index of the key in the corpus.
+    pub index: usize,
+}
+
+/// Deterministic key-value corpus plus batch generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvWorkload {
+    /// Number of keys in the corpus.
+    pub keys: usize,
+}
+
+impl KvWorkload {
+    /// A corpus of `keys` deterministic pairs.
+    pub fn new(keys: usize) -> Self {
+        KvWorkload { keys }
+    }
+
+    /// The byte string of key `index`.
+    pub fn key_bytes(&self, index: usize) -> Vec<u8> {
+        format!("kv-key-{index}").into_bytes()
+    }
+
+    /// The byte string of key `index`'s value.
+    pub fn value_bytes(&self, index: usize) -> Vec<u8> {
+        format!("kv-value-{index}").into_bytes()
+    }
+
+    /// The coordinate key `index` hashes to in `space`.
+    pub fn coordinate(&self, space: IdSpace, index: usize) -> NodeId {
+        hash_key(space, &self.key_bytes(index))
+    }
+
+    /// One operation per corpus key, each from a random member of `alive`.
+    pub fn batch(&self, alive: &[(NodeAddr, NodeId)], rng: &mut SimRng) -> Vec<KvOp> {
+        if alive.is_empty() {
+            return Vec::new();
+        }
+        (0..self.keys)
+            .map(|index| KvOp {
+                source: alive[rng.gen_range_usize(0..alive.len())].0,
+                index,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn population(n: u64) -> Vec<(NodeAddr, NodeId)> {
+        (0..n).map(|i| (NodeAddr(i), NodeId(i * 100))).collect()
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_distinct() {
+        let wl = KvWorkload::new(50);
+        let space = IdSpace::default();
+        assert_eq!(wl.key_bytes(7), b"kv-key-7".to_vec());
+        assert_eq!(wl.value_bytes(7), b"kv-value-7".to_vec());
+        assert_eq!(wl.coordinate(space, 7), wl.coordinate(space, 7));
+        let mut coords: Vec<NodeId> = (0..50).map(|i| wl.coordinate(space, i)).collect();
+        coords.sort_unstable();
+        coords.dedup();
+        assert_eq!(coords.len(), 50, "50 keys must hash to 50 coordinates");
+    }
+
+    #[test]
+    fn batches_cover_every_key_once() {
+        let wl = KvWorkload::new(20);
+        let mut rng = SimRng::seed_from(5);
+        let pop = population(9);
+        let batch = wl.batch(&pop, &mut rng);
+        assert_eq!(batch.len(), 20);
+        let mut indices: Vec<usize> = batch.iter().map(|op| op.index).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..20).collect::<Vec<_>>());
+        assert!(batch
+            .iter()
+            .all(|op| pop.iter().any(|(a, _)| *a == op.source)));
+        assert!(wl.batch(&[], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_a_given_seed() {
+        let wl = KvWorkload::new(15);
+        let pop = population(12);
+        let a = wl.batch(&pop, &mut SimRng::seed_from(3));
+        let b = wl.batch(&pop, &mut SimRng::seed_from(3));
+        assert_eq!(a, b);
+    }
+}

@@ -15,6 +15,8 @@
 //!   surviving nodes.
 //! * [`multicast::MulticastWorkload`] — batches of scoped multicasts and
 //!   subtree aggregations over random identifier ranges.
+//! * [`kv::KvWorkload`] — a deterministic put/get key-value corpus for the
+//!   DHT durability-under-churn experiment.
 //! * [`capabilities::CapabilityDistribution`] — homogeneous or heterogeneous
 //!   node-resource populations.
 
@@ -23,11 +25,13 @@
 pub mod builder;
 pub mod capabilities;
 pub mod churn;
+pub mod kv;
 pub mod lookups;
 pub mod multicast;
 
 pub use builder::{BuiltNode, BuiltTopology, TopologyBuilder};
 pub use capabilities::CapabilityDistribution;
 pub use churn::{ChurnPlan, ChurnStep};
+pub use kv::{KvOp, KvWorkload};
 pub use lookups::{LookupBatch, LookupWorkload};
 pub use multicast::{MulticastBatch, MulticastOp, MulticastWorkload};
