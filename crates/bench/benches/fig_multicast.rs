@@ -1,11 +1,14 @@
 //! Figure M — tree-scoped multicast vs Gnutella flooding broadcast at equal
-//! reach: coverage %, duplicate factor and messages per delivery.
+//! reach (coverage %, duplicate factor, messages per delivery) — and
+//! Figure L, the reliability layer's coverage-vs-loss sweep.
 //!
-//! The bench prints the comparison table, then measures the cost of one full
-//! multicast comparison run.
+//! The bench prints both tables, then measures the cost of one full run of
+//! each driver.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use experiments::multicast_compare::{compare_multicast, MulticastParams};
+use experiments::multicast_compare::{
+    compare_multicast, sweep_multicast_loss, LossSweepParams, MulticastParams,
+};
 use std::hint::black_box;
 
 fn params() -> MulticastParams {
@@ -16,11 +19,17 @@ fn bench_fig_multicast(c: &mut Criterion) {
     let p = params();
     let comparison = compare_multicast(&p);
     println!("{}", comparison.to_table().render());
+    let loss_params = LossSweepParams::smoke(2005);
+    let sweep = sweep_multicast_loss(&loss_params);
+    println!("{}", sweep.to_table().render());
 
     let mut group = c.benchmark_group("fig_multicast");
     group.sample_size(10);
     group.bench_function("compare_multicast_n200", |b| {
         b.iter(|| black_box(compare_multicast(&p)))
+    });
+    group.bench_function("loss_sweep_smoke", |b| {
+        b.iter(|| black_box(sweep_multicast_loss(&loss_params)))
     });
     group.finish();
 }

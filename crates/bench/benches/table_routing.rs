@@ -9,9 +9,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use experiments::{routing_table_report, ExperimentParams};
 use simnet::{NodeAddr, SimDuration, SimTime};
 use std::hint::black_box;
+use treep::lookup::{LookupRequest, RequestId};
+use treep::routing::{route, RouterView};
 use treep::{
-    CharacteristicsSummary, ChildPolicy, IdSpace, KeyRange, NodeCharacteristics, NodeId,
-    RoutingEntry, RoutingTables,
+    CharacteristicsSummary, ChildPolicy, HierarchicalDistance, IdSpace, KeyRange,
+    NodeCharacteristics, NodeId, PeerInfo, RoutingAlgorithm, RoutingEntry, RoutingTables,
 };
 
 fn bench_table_routing(c: &mut Criterion) {
@@ -94,6 +96,40 @@ fn bench_registry_scaling(c: &mut Criterion) {
         });
         group.bench_function("bus_neighbors", |b| {
             b.iter(|| black_box(tables.bus_neighbors(1, NodeId(2_000_000_000))))
+        });
+        // Next-hop selection over the registry's ordered outward walk (the
+        // PR-4 routing-scan cleanup): greedy still examines every peer but
+        // copies nothing; the NG scan stops at the first non-improving
+        // peer, so its cost tracks the improving prefix, not the registry.
+        let dist = HierarchicalDistance::new(space, 6);
+        let view = RouterView {
+            tables: &tables,
+            dist: &dist,
+            self_id: NodeId(2),
+            self_level: 0,
+            self_addr: NodeAddr(2),
+            max_ttl: 255,
+        };
+        let target = NodeId(3_000_000_017);
+        let origin = PeerInfo {
+            id: NodeId(2),
+            addr: NodeAddr(2),
+            max_level: 0,
+            summary: summary(),
+        };
+        group.bench_function("next_hop_greedy", |b| {
+            b.iter(|| {
+                let mut req =
+                    LookupRequest::new(RequestId(1), origin, target, RoutingAlgorithm::Greedy);
+                black_box(route(&view, &mut req))
+            })
+        });
+        group.bench_function("next_hop_non_greedy", |b| {
+            b.iter(|| {
+                let mut req =
+                    LookupRequest::new(RequestId(1), origin, target, RoutingAlgorithm::NonGreedy);
+                black_box(route(&view, &mut req))
+            })
         });
         // The sweep is O(n) by necessity (it must look at every entry once);
         // the win over the old per-table expiry is the single pass over one

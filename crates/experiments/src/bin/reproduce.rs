@@ -3,22 +3,24 @@
 //! ```text
 //! reproduce [--figure A|B|...|I|all] [--nodes N] [--seed S] [--lookups K]
 //!           [--quick] [--table-routing] [--baselines] [--maintenance]
-//!           [--durability] [--smoke] [--out DIR]
+//!           [--multicast] [--lossy] [--durability] [--smoke] [--out DIR]
 //! ```
 //!
 //! Without arguments the binary runs every figure plus the Section III.e
 //! routing-table report with a moderate population (800 nodes). `--quick`
 //! shrinks the run for smoke tests; `--durability` adds the replication
-//! durability comparison (Figure R); `--smoke` switches to a bounded smoke
-//! profile and, unless figures were requested explicitly, skips the default
-//! figure suite (so `--durability --smoke` runs only the durability
-//! experiment, which is what CI exercises); `--out DIR` additionally writes
-//! one CSV per figure into `DIR`.
+//! durability comparison (Figure R); `--multicast --lossy` adds the
+//! coverage-vs-loss sweep of the multicast reliability layer (Figure L);
+//! `--smoke` switches to a bounded smoke profile and, unless figures were
+//! requested explicitly, skips the default figure suite (so `--durability
+//! --smoke` runs only the durability gate and `--multicast --lossy
+//! --smoke` only the lossy-multicast gate, which is what CI exercises);
+//! `--out DIR` additionally writes one CSV per figure into `DIR`.
 
 use experiments::{
     compare_multicast, compare_overlays, figures, maintenance, routing_table_report,
-    run_churn_experiment, run_durability, ChurnRunResult, DurabilityParams, ExperimentParams,
-    Figure, MulticastParams,
+    run_churn_experiment, run_durability, sweep_multicast_loss, ChurnRunResult, DurabilityParams,
+    ExperimentParams, Figure, LossSweepParams, MulticastParams,
 };
 
 struct Cli {
@@ -31,6 +33,7 @@ struct Cli {
     baselines: bool,
     maintenance: bool,
     multicast: bool,
+    lossy: bool,
     durability: bool,
     smoke: bool,
     out: Option<String>,
@@ -48,6 +51,7 @@ impl Cli {
             baselines: false,
             maintenance: false,
             multicast: false,
+            lossy: false,
             durability: false,
             smoke: false,
             out: None,
@@ -95,6 +99,7 @@ impl Cli {
                 "--baselines" => cli.baselines = true,
                 "--maintenance" => cli.maintenance = true,
                 "--multicast" => cli.multicast = true,
+                "--lossy" => cli.lossy = true,
                 "--durability" => cli.durability = true,
                 "--smoke" => cli.smoke = true,
                 "--help" | "-h" => return Err(usage()),
@@ -113,14 +118,17 @@ impl Cli {
             cli.nodes = cli.nodes.min(200);
             cli.lookups = cli.lookups.min(20);
         }
+        if cli.lossy && !cli.multicast {
+            return Err("--lossy is a mode of the multicast driver; pass --multicast too".into());
+        }
         Ok(cli)
     }
 }
 
 fn usage() -> String {
     "usage: reproduce [--figure A..I|all] [--nodes N] [--seed S] [--lookups K] \
-     [--quick] [--smoke] [--baselines] [--maintenance] [--multicast] [--durability] \
-     [--no-table-routing] [--out DIR]"
+     [--quick] [--smoke] [--baselines] [--maintenance] [--multicast] [--lossy] \
+     [--durability] [--no-table-routing] [--out DIR]"
         .to_string()
 }
 
@@ -231,9 +239,55 @@ fn main() {
     }
 
     if cli.multicast {
-        eprintln!("# running multicast comparison (scoped multicast vs flooding broadcast)…");
-        let comparison = compare_multicast(&MulticastParams::new(cli.nodes.min(400), cli.seed));
-        println!("{}", comparison.to_table().render());
+        if cli.smoke && !cli.lossy {
+            // `--multicast --smoke` without the lossy sweep still measures
+            // something: the bounded flooding comparison (never a silent
+            // green no-op).
+            eprintln!("# running bounded multicast comparison (smoke profile)…");
+            let comparison = compare_multicast(&MulticastParams::quick(cli.nodes, cli.seed));
+            println!("{}", comparison.to_table().render());
+        } else if !cli.smoke {
+            eprintln!("# running multicast comparison (scoped multicast vs flooding broadcast)…");
+            let comparison = compare_multicast(&MulticastParams::new(cli.nodes.min(400), cli.seed));
+            println!("{}", comparison.to_table().render());
+        }
+        if cli.lossy {
+            eprintln!("# running multicast loss sweep (reliability off vs on under per-hop loss)…");
+            let params = if cli.smoke {
+                LossSweepParams::smoke(cli.seed)
+            } else {
+                LossSweepParams::new(cli.nodes.min(400), cli.seed)
+            };
+            let sweep = sweep_multicast_loss(&params);
+            println!("{}", sweep.to_table().render());
+            // The smoke profile doubles as the lossy-multicast regression
+            // gate: at 10% per-hop loss the reliability layer must hold
+            // >= 99% coverage at app-layer duplicate factor 1.0 with a
+            // bounded retransmission overhead. Missing acceptance rows
+            // fail hard so a loss-level edit cannot silently disable the
+            // gate.
+            if cli.smoke {
+                let Some(reliable) = sweep.row(10.0, true) else {
+                    eprintln!("error: lossy smoke gate needs the 10% reliability-on row");
+                    std::process::exit(1);
+                };
+                eprintln!(
+                    "#   at 10% per-hop loss: reliability on {:.1}% coverage, dup factor {:.2}, \
+                     {:.2} retx/msg ({} reroutes)",
+                    reliable.coverage_pct(),
+                    reliable.duplicate_factor,
+                    reliable.retransmit_overhead(),
+                    reliable.reroutes
+                );
+                if reliable.coverage_pct() < 99.0
+                    || (reliable.duplicate_factor - 1.0).abs() > 1e-9
+                    || reliable.retransmit_overhead() >= 1.0
+                {
+                    eprintln!("error: lossy multicast smoke gate failed: {reliable:?}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 
     if cli.durability {

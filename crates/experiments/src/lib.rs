@@ -40,7 +40,8 @@ pub use durability::{run_durability, DurabilityParams, DurabilityReport, Durabil
 pub use figures::{Figure, FigureData};
 pub use maintenance::{maintenance_series, MaintenancePoint};
 pub use multicast_compare::{
-    compare_multicast, MulticastComparison, MulticastParams, MulticastRow,
+    compare_multicast, sweep_multicast_loss, LossRow, LossSweep, LossSweepParams,
+    MulticastComparison, MulticastParams, MulticastRow,
 };
 pub use params::ExperimentParams;
 pub use runner::{

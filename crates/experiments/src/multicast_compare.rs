@@ -1,9 +1,10 @@
-//! Figure M — tree-scoped multicast vs Gnutella-style flooding broadcast.
+//! Figure M — tree-scoped multicast vs Gnutella-style flooding broadcast —
+//! and Figure L, the reliability layer's coverage-vs-loss sweep.
 //!
 //! TreeP's hierarchy lets a node address a contiguous identifier range with
 //! structural exactly-once delegation; an unstructured overlay can only
-//! flood everyone and suppress duplicates after the fact. This driver runs
-//! both at equal reach and reports, per scope width:
+//! flood everyone and suppress duplicates after the fact. The Figure M
+//! driver runs both at equal reach and reports, per scope width:
 //!
 //! * **coverage %** — live nodes of the target range that received the
 //!   payload;
@@ -11,12 +12,20 @@
 //!   (1.0 = exactly once);
 //! * **messages / delivery** — overlay messages spent per distinct in-range
 //!   delivery (the headline efficiency number).
+//!
+//! The Figure L sweep ([`sweep_multicast_loss`]) measures the same overlay
+//! under Bernoulli per-hop loss, with the reliability layer off (the
+//! single-shot baseline — coverage collapses as loss eats the ascent) and
+//! on (per-hop acks + retransmission + re-route — coverage pinned at 100 %
+//! for a bounded retransmission overhead). This is the measured curve the
+//! ROADMAP's old "known limit" paragraph became.
 
 use analysis::AsciiTable;
 use baselines::FloodingBuilder;
-use simnet::{SimDuration, Simulation};
+use simnet::{LatencyModel, LinkModel, LossModel, NodeAddr, SimConfig, SimDuration, Simulation};
+use treep::lookup::RequestId;
 use treep::{KeyRange, NodeId, TreePNode};
-use workloads::TopologyBuilder;
+use workloads::{MulticastOp, MulticastWorkload, TopologyBuilder};
 
 /// Parameters of one multicast comparison run.
 #[derive(Debug, Clone)]
@@ -111,6 +120,265 @@ impl MulticastComparison {
             ]);
         }
         table
+    }
+}
+
+// ---- Figure L: coverage vs per-hop loss ------------------------------------
+
+/// Parameters of one coverage-vs-loss sweep.
+#[derive(Debug, Clone)]
+pub struct LossSweepParams {
+    /// Population size.
+    pub nodes: usize,
+    /// Seed for topology construction, link loss and probe placement.
+    pub seed: u64,
+    /// Per-hop Bernoulli loss probabilities to measure.
+    pub loss_levels: Vec<f64>,
+    /// `max_retransmits` of the reliability-on leg (the off leg always
+    /// runs with 0).
+    pub max_retransmits: u32,
+    /// Scoped multicast probes issued per cell.
+    pub probes: usize,
+    /// Width of each probe's range as a fraction of the identifier space.
+    pub range_fraction: f64,
+    /// Virtual time after issuing the probes before coverage is tallied
+    /// (must exceed the full retransmission backoff plus one re-route).
+    pub drain: SimDuration,
+}
+
+impl LossSweepParams {
+    /// The default sweep: 0 % / 10 % / 20 % per-hop loss.
+    pub fn new(nodes: usize, seed: u64) -> Self {
+        LossSweepParams {
+            nodes,
+            seed,
+            loss_levels: vec![0.0, 0.10, 0.20],
+            max_retransmits: 5,
+            probes: 8,
+            range_fraction: 0.5,
+            drain: SimDuration::from_secs(20),
+        }
+    }
+
+    /// Bounded profile for the CI gate (`reproduce --multicast --lossy
+    /// --smoke`): small population, the 10 % acceptance point plus the
+    /// lossless sanity point.
+    pub fn smoke(seed: u64) -> Self {
+        LossSweepParams {
+            loss_levels: vec![0.0, 0.10],
+            probes: 6,
+            ..Self::new(150, seed)
+        }
+    }
+}
+
+/// One (loss level, reliability) cell of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossRow {
+    /// Per-hop loss probability, in percent.
+    pub loss_pct: f64,
+    /// True for the reliability-on leg.
+    pub reliable: bool,
+    /// Probes issued.
+    pub probes: usize,
+    /// Total delivery obligations (alive in-range nodes over all probes).
+    pub targets: usize,
+    /// Obligations met.
+    pub delivered: usize,
+    /// App-layer copies per met obligation (1.0 = exactly once; the
+    /// reliability layer must never push this above 1.0).
+    pub duplicate_factor: f64,
+    /// First transmissions of `MulticastDown` (excluding retransmitted
+    /// copies).
+    pub data_messages: u64,
+    /// Retransmitted `MulticastDown` copies.
+    pub retransmits: u64,
+    /// Hops re-routed after a destination was declared dead.
+    pub reroutes: u64,
+    /// `MulticastAck` messages (the fixed per-hop cost of reliability).
+    pub acks: u64,
+    /// All multicast traffic (data + retransmits + acks) per met
+    /// obligation.
+    pub messages_per_delivery: f64,
+}
+
+impl LossRow {
+    /// Fraction of delivery obligations met, in percent.
+    pub fn coverage_pct(&self) -> f64 {
+        if self.targets == 0 {
+            100.0
+        } else {
+            self.delivered as f64 * 100.0 / self.targets as f64
+        }
+    }
+
+    /// Retransmitted copies per first transmission — the marginal overhead
+    /// the reliability layer pays at this loss level.
+    pub fn retransmit_overhead(&self) -> f64 {
+        if self.data_messages == 0 {
+            0.0
+        } else {
+            self.retransmits as f64 / self.data_messages as f64
+        }
+    }
+}
+
+/// The full coverage-vs-loss sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossSweep {
+    /// Population size shared by every cell.
+    pub nodes: usize,
+    /// One row per (loss level, reliability) cell.
+    pub rows: Vec<LossRow>,
+}
+
+impl LossSweep {
+    /// The cell at `loss_pct` (exact match) for the given leg.
+    pub fn row(&self, loss_pct: f64, reliable: bool) -> Option<&LossRow> {
+        self.rows
+            .iter()
+            .find(|r| (r.loss_pct - loss_pct).abs() < 1e-9 && r.reliable == reliable)
+    }
+
+    /// Render the sweep as an aligned table.
+    pub fn to_table(&self) -> AsciiTable {
+        let mut table = AsciiTable::new(format!(
+            "Figure L — multicast coverage vs per-hop loss (n = {})",
+            self.nodes
+        ))
+        .header([
+            "loss %",
+            "reliability",
+            "coverage %",
+            "dup factor",
+            "retx/msg",
+            "reroutes",
+            "msgs/delivery",
+        ]);
+        for row in &self.rows {
+            table.push_row([
+                format!("{:.0}", row.loss_pct),
+                if row.reliable { "on" } else { "off" }.to_string(),
+                format!("{:.1}", row.coverage_pct()),
+                format!("{:.2}", row.duplicate_factor),
+                format!("{:.2}", row.retransmit_overhead()),
+                row.reroutes.to_string(),
+                format!("{:.2}", row.messages_per_delivery),
+            ]);
+        }
+        table
+    }
+}
+
+/// Run one cell: a fresh topology under the given link loss, `probes`
+/// scoped multicasts, coverage / duplicate / overhead tallies.
+fn measure_loss_cell(params: &LossSweepParams, loss: f64, reliable: bool) -> LossRow {
+    let link = LinkModel {
+        latency: LatencyModel::Fixed(SimDuration::from_millis(5)),
+        loss: if loss > 0.0 {
+            LossModel::Bernoulli { p: loss }
+        } else {
+            LossModel::None
+        },
+    };
+    let retransmits = if reliable { params.max_retransmits } else { 0 };
+    let config = treep::TreePConfig::paper_case_fixed().with_reliability(retransmits);
+    let mut sim: Simulation<TreePNode> = Simulation::new(
+        SimConfig {
+            link,
+            ..SimConfig::default()
+        },
+        params.seed,
+    );
+    let topo = TopologyBuilder::new(params.nodes)
+        .with_config(config)
+        .build(&mut sim);
+    sim.run_for(SimDuration::from_secs(3));
+
+    let alive = topo.alive_pairs(&sim);
+    let mut rng = sim.rng_mut().fork();
+    let workload =
+        MulticastWorkload::data_only(params.probes).with_range_fraction(params.range_fraction);
+    let batch = workload.generate(topo.config.space, &alive, &mut rng);
+    let mut probes: Vec<(NodeAddr, RequestId, KeyRange)> = Vec::with_capacity(batch.len());
+    for b in &batch {
+        let MulticastOp::Data(payload) = b.op.clone() else {
+            unreachable!("data-only workload");
+        };
+        let range = b.range;
+        if let Some(request_id) = sim.invoke(b.source, move |node, ctx| {
+            node.start_multicast(range, payload, ctx)
+        }) {
+            probes.push((b.source, request_id, b.range));
+        }
+    }
+    sim.run_for(params.drain);
+
+    let mut targets = 0usize;
+    let mut delivered = 0usize;
+    let mut copies = 0usize;
+    let mut data_sends = 0u64;
+    let mut retx = 0u64;
+    let mut reroutes = 0u64;
+    let mut acks = 0u64;
+    for &(addr, id) in &alive {
+        let Some(node) = sim.node_mut(addr) else {
+            continue;
+        };
+        let mut per_probe: std::collections::BTreeMap<(NodeAddr, RequestId), usize> =
+            std::collections::BTreeMap::new();
+        for d in node.drain_multicast_deliveries() {
+            *per_probe.entry((d.origin.addr, d.request_id)).or_insert(0) += 1;
+        }
+        for &(source, request_id, range) in &probes {
+            if range.contains(id) {
+                targets += 1;
+                let got = per_probe.get(&(source, request_id)).copied().unwrap_or(0);
+                delivered += usize::from(got > 0);
+                copies += got;
+            }
+        }
+        let stats = node.stats();
+        data_sends += stats.sent.get("multicast_down").copied().unwrap_or(0);
+        retx += stats.multicast_retransmits;
+        reroutes += stats.multicast_reroutes;
+        acks += stats.sent.get("multicast_ack").copied().unwrap_or(0);
+    }
+    LossRow {
+        loss_pct: loss * 100.0,
+        reliable,
+        probes: probes.len(),
+        targets,
+        delivered,
+        duplicate_factor: if delivered == 0 {
+            0.0
+        } else {
+            copies as f64 / delivered as f64
+        },
+        data_messages: data_sends - retx,
+        retransmits: retx,
+        reroutes,
+        acks,
+        messages_per_delivery: if delivered == 0 {
+            f64::INFINITY
+        } else {
+            (data_sends + acks) as f64 / delivered as f64
+        },
+    }
+}
+
+/// Run the coverage-vs-loss sweep: every loss level with the reliability
+/// layer off (single-shot baseline) and on.
+pub fn sweep_multicast_loss(params: &LossSweepParams) -> LossSweep {
+    let mut rows = Vec::new();
+    for &loss in &params.loss_levels {
+        for reliable in [false, true] {
+            rows.push(measure_loss_cell(params, loss, reliable));
+        }
+    }
+    LossSweep {
+        nodes: params.nodes,
+        rows,
     }
 }
 
@@ -343,5 +611,62 @@ mod tests {
         let quick = MulticastParams::quick(100, 1);
         let full = MulticastParams::new(100, 1);
         assert!(quick.scopes.len() < full.scopes.len());
+    }
+
+    #[test]
+    fn loss_sweep_reliability_restores_coverage() {
+        let sweep = sweep_multicast_loss(&LossSweepParams::smoke(7));
+        assert_eq!(sweep.rows.len(), 4, "2 loss levels x 2 legs");
+
+        // Lossless sanity: both legs cover everything, nothing retransmits,
+        // and the off leg sends not a single ack (the byte-identical path).
+        let l0_off = sweep.row(0.0, false).unwrap();
+        let l0_on = sweep.row(0.0, true).unwrap();
+        assert!((l0_off.coverage_pct() - 100.0).abs() < 1e-9);
+        assert!((l0_on.coverage_pct() - 100.0).abs() < 1e-9);
+        assert_eq!(l0_off.acks, 0, "reliability off must send no acks");
+        assert_eq!(l0_off.retransmits, 0);
+        assert_eq!(l0_on.retransmits, 0, "no loss, no retransmissions");
+        assert!(l0_on.acks > 0, "reliability on acks every hop");
+
+        // The 10% acceptance point: the single-shot baseline loses
+        // deliveries, the reliable leg restores >= 99% coverage at
+        // duplicate factor exactly 1.0 and bounded overhead.
+        let base = sweep.row(10.0, false).unwrap();
+        let rel = sweep.row(10.0, true).unwrap();
+        assert!(
+            base.coverage_pct() < 99.0,
+            "baseline at 10% loss should lose coverage, got {:.1}%",
+            base.coverage_pct()
+        );
+        assert!(
+            rel.coverage_pct() >= 99.0,
+            "reliability at 10% loss must reach >= 99% coverage, got {:.1}%",
+            rel.coverage_pct()
+        );
+        assert!(
+            (rel.duplicate_factor - 1.0).abs() < 1e-9,
+            "app-layer duplicate factor must stay exactly 1.0, got {}",
+            rel.duplicate_factor
+        );
+        assert!(
+            rel.retransmits > 0,
+            "the lossy leg must exercise retransmission"
+        );
+        assert!(
+            rel.retransmit_overhead() < 1.0,
+            "overhead must stay below one retransmitted copy per first transmission"
+        );
+    }
+
+    #[test]
+    fn loss_sweep_table_renders_every_row() {
+        let sweep = sweep_multicast_loss(&LossSweepParams {
+            loss_levels: vec![0.0],
+            probes: 2,
+            ..LossSweepParams::new(80, 3)
+        });
+        assert_eq!(sweep.to_table().len(), sweep.rows.len());
+        assert!(sweep.row(50.0, true).is_none());
     }
 }

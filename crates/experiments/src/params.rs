@@ -21,6 +21,11 @@ pub struct ExperimentParams {
     /// under churn (0 disables the measurement entirely and keeps the run
     /// byte-identical to a probe-free one).
     pub multicast_probes_per_step: usize,
+    /// Per-hop Bernoulli loss probability of every link in the run
+    /// (`0.0` = the lossless links every figure of the paper uses; a
+    /// positive value exercises the multicast reliability layer under
+    /// churn *and* loss at once).
+    pub link_loss: f64,
     /// The failure schedule.
     pub churn: ChurnPlan,
     /// Virtual time the network is given after each batch of failures, so
@@ -43,6 +48,7 @@ impl ExperimentParams {
             capabilities: CapabilityDistribution::Heterogeneous,
             lookups_per_step: 100,
             multicast_probes_per_step: 0,
+            link_loss: 0.0,
             churn: ChurnPlan::paper(),
             settle_per_step: SimDuration::from_secs(3),
             drain_per_step: SimDuration::from_millis(2_500),
@@ -91,6 +97,21 @@ impl ExperimentParams {
     /// multicast probes per churn step and record per-step coverage.
     pub fn with_multicast_probes(mut self, probes_per_step: usize) -> Self {
         self.multicast_probes_per_step = probes_per_step;
+        self
+    }
+
+    /// Enable the multicast reliability layer (per-hop acks, up to
+    /// `max_retransmits` retransmissions, dead-hop re-routing) for every
+    /// node of the run.
+    pub fn with_reliability(mut self, max_retransmits: u32) -> Self {
+        self.config.max_retransmits = max_retransmits;
+        self
+    }
+
+    /// Drop every message independently with probability `p` (per-hop
+    /// Bernoulli loss on all links).
+    pub fn with_link_loss(mut self, p: f64) -> Self {
+        self.link_loss = p.clamp(0.0, 1.0);
         self
     }
 

@@ -56,6 +56,12 @@ pub struct MulticastStepStats {
     pub targets: usize,
     /// Obligations actually delivered.
     pub delivered: usize,
+    /// Reliable-hop retransmissions spent during this step's probe window
+    /// (always 0 when the configuration has `max_retransmits = 0`).
+    pub retransmits: u64,
+    /// Hops re-routed after a destination was declared dead during this
+    /// step's probe window.
+    pub reroutes: u64,
 }
 
 impl MulticastStepStats {
@@ -141,7 +147,22 @@ pub fn run_churn_experiment(params: &ExperimentParams) -> ChurnRunResult {
     let builder = TopologyBuilder::new(params.nodes)
         .with_config(params.config)
         .with_capabilities(params.capabilities);
-    let (mut sim, topo) = builder.build_simulation(params.seed);
+    let (mut sim, topo) = if params.link_loss > 0.0 {
+        // A lossy run: identical topology build and settle, but every link
+        // drops messages independently.
+        let sim_config = simnet::SimConfig {
+            link: simnet::LinkModel {
+                loss: simnet::LossModel::Bernoulli {
+                    p: params.link_loss,
+                },
+                ..simnet::LinkModel::default()
+            },
+            ..simnet::SimConfig::default()
+        };
+        builder.build_simulation_with(sim_config, params.seed)
+    } else {
+        builder.build_simulation(params.seed)
+    };
 
     let steady_state = audit_alive(&sim);
     let schedule = params.churn.steps(params.nodes);
@@ -238,8 +259,8 @@ fn measure_multicast_coverage(
     params: &ExperimentParams,
     rng: &mut SimRng,
 ) -> MulticastStepStats {
-    let workload =
-        MulticastWorkload::new(params.multicast_probes_per_step).with_aggregate_fraction(0.0);
+    let workload = MulticastWorkload::data_only(params.multicast_probes_per_step);
+    let reliability_before = reliability_counters(sim, alive_pairs);
     let batch = workload.generate(params.config.space, alive_pairs, rng);
     let mut probes: Vec<(NodeAddr, RequestId, KeyRange)> = Vec::with_capacity(batch.len());
     for b in &batch {
@@ -256,10 +277,13 @@ fn measure_multicast_coverage(
     }
     sim.run_for(params.drain_per_step);
 
+    let reliability_after = reliability_counters(sim, alive_pairs);
     let mut stats = MulticastStepStats {
         probes: probes.len(),
         targets: 0,
         delivered: 0,
+        retransmits: reliability_after.0.saturating_sub(reliability_before.0),
+        reroutes: reliability_after.1.saturating_sub(reliability_before.1),
     };
     for &(addr, id) in alive_pairs {
         let Some(node) = sim.node_mut(addr) else {
@@ -278,6 +302,24 @@ fn measure_multicast_coverage(
         }
     }
     stats
+}
+
+/// Sum of (retransmits, reroutes) over the given nodes — measured as a
+/// before/after delta around the probe window so each step reports only its
+/// own reliability spend.
+fn reliability_counters(
+    sim: &Simulation<TreePNode>,
+    alive_pairs: &[(NodeAddr, treep::NodeId)],
+) -> (u64, u64) {
+    let mut retransmits = 0u64;
+    let mut reroutes = 0u64;
+    for &(addr, _) in alive_pairs {
+        if let Some(node) = sim.node(addr) {
+            retransmits += node.stats().multicast_retransmits;
+            reroutes += node.stats().multicast_reroutes;
+        }
+    }
+    (retransmits, reroutes)
 }
 
 /// Audit the currently alive nodes of a simulation.
@@ -444,6 +486,68 @@ mod tests {
             (intact.coverage_pct() - 100.0).abs() < 1e-9,
             "intact steady state must cover every in-range node, got {:.1}%",
             intact.coverage_pct()
+        );
+    }
+
+    #[test]
+    fn reliability_restores_lossy_multicast_coverage_under_churn() {
+        // The Section-IV churn harness at 10% per-hop loss: the single-shot
+        // baseline loses a large share of its probe deliveries, reliability
+        // restores >= 99% on the intact topology and never does worse than
+        // the baseline across the whole failure schedule.
+        let base_params = ExperimentParams::quick(100, 9)
+            .with_lookups_per_step(5)
+            .with_multicast_probes(4)
+            .with_link_loss(0.10);
+        let reliable_params = base_params.with_reliability(3);
+        let base = run_churn_experiment(&base_params);
+        let reliable = run_churn_experiment(&reliable_params);
+
+        let intact = reliable.steps[0].multicast.expect("probes enabled");
+        assert!(
+            intact.coverage_pct() >= 99.0,
+            "churn runner at 10% per-hop loss with reliability on must \
+             cover >= 99% of the intact topology, got {:.1}%",
+            intact.coverage_pct()
+        );
+        let intact_base = base.steps[0].multicast.expect("probes enabled");
+        assert!(
+            intact_base.coverage_pct() < 99.0,
+            "the unacknowledged baseline should lose probe deliveries at \
+             10% per-hop loss, got {:.1}%",
+            intact_base.coverage_pct()
+        );
+
+        let coverage = |r: &ChurnRunResult| {
+            let (mut delivered, mut targets) = (0usize, 0usize);
+            for step in &r.steps {
+                let m = step.multicast.expect("probes enabled");
+                delivered += m.delivered;
+                targets += m.targets;
+            }
+            delivered as f64 / targets.max(1) as f64
+        };
+        assert!(
+            coverage(&reliable) >= coverage(&base),
+            "reliability must not reduce churn coverage: {:.3} vs {:.3}",
+            coverage(&reliable),
+            coverage(&base)
+        );
+        let total_retx = |r: &ChurnRunResult| -> u64 {
+            r.steps
+                .iter()
+                .filter_map(|s| s.multicast)
+                .map(|m| m.retransmits)
+                .sum()
+        };
+        assert_eq!(
+            total_retx(&base),
+            0,
+            "max_retransmits = 0 must never retransmit"
+        );
+        assert!(
+            total_retx(&reliable) > 0,
+            "a lossy run with reliability on must exercise retransmission"
         );
     }
 

@@ -60,6 +60,8 @@ const TAG_AGGREGATE_UP: u8 = 19;
 const TAG_REPLICA_PUT: u8 = 20;
 const TAG_REPLICA_SYNC_REQUEST: u8 = 21;
 const TAG_REPLICA_SYNC_REPLY: u8 = 22;
+const TAG_MULTICAST_ACK: u8 = 23;
+const TAG_AGGREGATE_ACK: u8 = 24;
 
 // ---- public API -------------------------------------------------------------
 
@@ -272,6 +274,16 @@ pub fn encode_message(msg: &TreePMessage) -> Vec<u8> {
             buf.put_u8(u8::from(*truncated));
             buf.put_u8(u8::from(*final_answer));
         }
+        TreePMessage::MulticastAck { origin, request_id } => {
+            buf.put_u8(TAG_MULTICAST_ACK);
+            buf.put_u64_le(origin.0);
+            buf.put_u64_le(request_id.0);
+        }
+        TreePMessage::AggregateAck { origin, request_id } => {
+            buf.put_u8(TAG_AGGREGATE_ACK);
+            buf.put_u64_le(origin.0);
+            buf.put_u64_le(request_id.0);
+        }
     }
     buf.to_vec()
 }
@@ -406,6 +418,14 @@ pub fn decode_message(mut buf: &[u8]) -> Result<TreePMessage> {
             partial: get_partial(&mut buf)?,
             truncated: get_bool(&mut buf)?,
             final_answer: get_bool(&mut buf)?,
+        },
+        TAG_MULTICAST_ACK => TreePMessage::MulticastAck {
+            origin: NodeAddr(get_u64(&mut buf)?),
+            request_id: RequestId(get_u64(&mut buf)?),
+        },
+        TAG_AGGREGATE_ACK => TreePMessage::AggregateAck {
+            origin: NodeAddr(get_u64(&mut buf)?),
+            request_id: RequestId(get_u64(&mut buf)?),
         },
         other => return Err(CodecError::UnknownTag(other)),
     };
@@ -959,6 +979,14 @@ mod tests {
                 truncated: true,
                 final_answer: true,
             },
+            TreePMessage::MulticastAck {
+                origin: NodeAddr(76),
+                request_id: RequestId(105),
+            },
+            TreePMessage::AggregateAck {
+                origin: NodeAddr(79),
+                request_id: RequestId(108),
+            },
         ]
     }
 
@@ -1004,6 +1032,215 @@ mod tests {
             encode_message(&keepalive).len() < 64,
             "keep-alives must fit comfortably in one datagram"
         );
+    }
+}
+
+#[cfg(test)]
+mod wire_compat {
+    //! Golden wire-format test: the encodings of the pre-reliability
+    //! message set (tags 1–22) are pinned by a checksum, guarding the
+    //! `max_retransmits = 0` off-path — a deployment that never sends acks
+    //! must stay byte-identical on the wire to one built before the
+    //! reliability layer existed. Adding new tags (23+) is fine; changing
+    //! any byte an old tag produces is not.
+    use super::*;
+
+    /// A peer with fully literal fields (no helpers whose defaults could
+    /// drift), so the golden bytes depend only on the codec.
+    fn peer(id: u64, addr: u64, level: u32) -> PeerInfo {
+        PeerInfo {
+            id: NodeId(id),
+            addr: NodeAddr(addr),
+            max_level: level,
+            summary: CharacteristicsSummary {
+                score_milli: 640,
+                max_children: 4,
+            },
+        }
+    }
+
+    /// One deterministic message per legacy tag, in tag order 1–22.
+    fn legacy_messages() -> Vec<TreePMessage> {
+        let mut req = LookupRequest::new(
+            RequestId(900),
+            peer(31, 131, 0),
+            NodeId(4_242),
+            RoutingAlgorithm::NonGreedyFallback,
+        );
+        req.advance(NodeAddr(5));
+        req.fallbacks.push(peer(32, 132, 2));
+        vec![
+            TreePMessage::JoinRequest {
+                joiner: peer(1, 101, 0),
+            },
+            TreePMessage::JoinAck {
+                responder: peer(2, 102, 1),
+                contacts: vec![peer(3, 103, 0)],
+                parent: Some(peer(4, 104, 1)),
+            },
+            TreePMessage::KeepAlive {
+                sender: peer(5, 105, 0),
+                updates: vec![
+                    RoutingUpdate::Contact {
+                        peer: peer(6, 106, 0),
+                    },
+                    RoutingUpdate::LevelMember {
+                        level: 2,
+                        peer: peer(7, 107, 2),
+                    },
+                    RoutingUpdate::ParentOf {
+                        peer: peer(8, 108, 1),
+                    },
+                    RoutingUpdate::ChildOf {
+                        peer: peer(9, 109, 0),
+                    },
+                    RoutingUpdate::Superior {
+                        peer: peer(10, 110, 3),
+                    },
+                ],
+            },
+            TreePMessage::KeepAliveAck {
+                sender: peer(11, 111, 0),
+                updates: vec![],
+            },
+            TreePMessage::ChildReport {
+                child: peer(12, 112, 0),
+                span: KeyRange::new(NodeId(100), NodeId(900)),
+            },
+            TreePMessage::ChildReportAck {
+                parent: peer(13, 113, 1),
+                superiors: vec![peer(14, 114, 2)],
+            },
+            TreePMessage::ElectionCall {
+                level: 3,
+                caller: peer(15, 115, 2),
+            },
+            TreePMessage::ParentAnnounce {
+                level: 1,
+                parent: peer(16, 116, 1),
+            },
+            TreePMessage::ParentAccept {
+                child: peer(17, 117, 0),
+            },
+            TreePMessage::Demotion {
+                node: peer(18, 118, 2),
+                from_level: 2,
+            },
+            TreePMessage::Lookup(req),
+            TreePMessage::LookupFound {
+                request_id: RequestId(901),
+                target: NodeId(55),
+                result: peer(19, 119, 0),
+                hops: 4,
+                algorithm: RoutingAlgorithm::Greedy,
+            },
+            TreePMessage::LookupNotFound {
+                request_id: RequestId(902),
+                target: NodeId(56),
+                hops: 7,
+                algorithm: RoutingAlgorithm::NonGreedy,
+            },
+            TreePMessage::DhtPut {
+                request_id: RequestId(903),
+                origin: peer(20, 120, 0),
+                key: NodeId(77),
+                value: b"wire".to_vec(),
+                ttl: 3,
+            },
+            TreePMessage::DhtPutAck {
+                request_id: RequestId(903),
+                key: NodeId(77),
+                stored_at: peer(21, 121, 1),
+            },
+            TreePMessage::DhtGet {
+                request_id: RequestId(904),
+                origin: peer(22, 122, 0),
+                key: NodeId(78),
+                ttl: 9,
+            },
+            TreePMessage::DhtGetReply {
+                request_id: RequestId(904),
+                key: NodeId(78),
+                value: Some(b"v".to_vec()),
+                responder: peer(23, 123, 0),
+            },
+            TreePMessage::MulticastDown {
+                origin: peer(24, 124, 0),
+                request_id: RequestId(905),
+                range: KeyRange::new(NodeId(10), NodeId(90)),
+                payload: MulticastPayload::Data(b"mc".to_vec()),
+                budget: 64,
+                hops: 2,
+                phase: MulticastPhase::BusRight,
+                bus_level: 3,
+            },
+            TreePMessage::AggregateUp {
+                origin: peer(25, 125, 0),
+                request_id: RequestId(906),
+                query: AggregateQuery::DhtKeyDigest,
+                partial: AggregatePartial::Digest { xor: 77, count: 3 },
+                truncated: true,
+                final_answer: false,
+            },
+            TreePMessage::ReplicaPut {
+                sender: peer(26, 126, 0),
+                key: NodeId(80),
+                value: b"copy".to_vec(),
+            },
+            TreePMessage::ReplicaSyncRequest {
+                sender: peer(27, 127, 0),
+                range: KeyRange::new(NodeId(10), NodeId(90)),
+                keys: vec![NodeId(20), NodeId(40)],
+            },
+            TreePMessage::ReplicaSyncReply {
+                sender: peer(28, 128, 1),
+                range: KeyRange::new(NodeId(10), NodeId(90)),
+                entries: vec![ReplicaEntry {
+                    key: NodeId(30),
+                    value: b"e".to_vec(),
+                }],
+                want: vec![NodeId(20)],
+            },
+        ]
+    }
+
+    fn fnv1a64(bytes: &[u8]) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    #[test]
+    fn legacy_tags_encode_byte_identically() {
+        let messages = legacy_messages();
+        assert_eq!(messages.len(), 22, "one fixture per legacy tag");
+        let mut all = Vec::new();
+        for (i, msg) in messages.iter().enumerate() {
+            let encoded = encode_message(msg);
+            assert_eq!(
+                encoded[0],
+                (i + 1) as u8,
+                "fixture {i} must encode with tag {}",
+                i + 1
+            );
+            all.extend_from_slice(&(encoded.len() as u32).to_le_bytes());
+            all.extend_from_slice(&encoded);
+            assert_eq!(&decode_message(&encoded).unwrap(), msg);
+        }
+        // The pinned digest of every legacy encoding. If this assertion
+        // fails, the wire format of a pre-reliability message changed —
+        // which breaks `max_retransmits = 0` interoperability with already
+        // deployed nodes. Extend the protocol with new tags instead.
+        assert_eq!(
+            fnv1a64(&all),
+            0x1A2D_D1FA_DD8A_2D1F_u64,
+            "legacy wire encoding changed (total {} bytes)",
+            all.len()
+        );
+        assert_eq!(all.len(), 1278, "legacy encodings changed length");
     }
 }
 
@@ -1080,7 +1317,7 @@ mod proptests {
     /// One random instance of the message variant with index `variant`.
     /// Keep `VARIANTS` in sync when adding messages: the exhaustiveness test
     /// below fails if a new variant is not mapped here.
-    const VARIANTS: usize = 22;
+    const VARIANTS: usize = 24;
 
     fn arb_message(variant: usize, state: &mut u64) -> TreePMessage {
         match variant {
@@ -1225,6 +1462,14 @@ mod proptests {
                     .map(|_| NodeId(xorshift(state)))
                     .collect(),
             },
+            22 => TreePMessage::MulticastAck {
+                origin: NodeAddr(xorshift(state)),
+                request_id: RequestId(xorshift(state)),
+            },
+            23 => TreePMessage::AggregateAck {
+                origin: NodeAddr(xorshift(state)),
+                request_id: RequestId(xorshift(state)),
+            },
             other => panic!("variant index {other} not mapped; update arb_message"),
         }
     }
@@ -1290,6 +1535,8 @@ mod proptests {
             TreePMessage::ReplicaPut { .. } => 19,
             TreePMessage::ReplicaSyncRequest { .. } => 20,
             TreePMessage::ReplicaSyncReply { .. } => 21,
+            TreePMessage::MulticastAck { .. } => 22,
+            TreePMessage::AggregateAck { .. } => 23,
         }
     }
 
@@ -1305,7 +1552,7 @@ mod proptests {
         }
         // `variant_index` is exhaustive, so `VARIANTS` must equal the
         // number of match arms above.
-        assert_eq!(VARIANTS, 22);
+        assert_eq!(VARIANTS, 24);
     }
 
     #[test]

@@ -96,6 +96,18 @@ pub struct TreePConfig {
     /// (digest probe, pairwise range sync, handoff / garbage collection).
     /// Only armed when `replication_factor > 1`.
     pub replica_sync_interval: SimDuration,
+    /// Maximum number of times an unacknowledged multicast / convergecast
+    /// hop is retransmitted before the peer is declared dead and the
+    /// dissemination re-routed (see the reliability layer in
+    /// `node::multicast`). `0` disables the reliability layer entirely: no
+    /// acks are sent, no retransmission state is kept, and the protocol is
+    /// byte-identical to the unacknowledged single-shot dissemination.
+    pub max_retransmits: u32,
+    /// Base retransmission timeout of the reliability layer; doubled after
+    /// every unacknowledged attempt (exponential backoff). Must comfortably
+    /// exceed one round-trip time. Only meaningful when `max_retransmits >
+    /// 0`.
+    pub retransmit_timeout: SimDuration,
 }
 
 impl Default for TreePConfig {
@@ -116,6 +128,8 @@ impl Default for TreePConfig {
             aggregate_relay_timeout: SimDuration::from_millis(700),
             replication_factor: 1,
             replica_sync_interval: SimDuration::from_millis(900),
+            max_retransmits: 0,
+            retransmit_timeout: SimDuration::from_millis(120),
         }
     }
 }
@@ -194,7 +208,20 @@ impl TreePConfig {
                 "replica_sync_interval must be positive when replication is enabled".into(),
             );
         }
+        if self.max_retransmits > 0 && self.retransmit_timeout.as_micros() == 0 {
+            return Err(
+                "retransmit_timeout must be positive when the reliability layer is enabled".into(),
+            );
+        }
         Ok(())
+    }
+
+    /// Enable the multicast reliability layer: per-hop acks with up to
+    /// `max_retransmits` exponential-backoff retransmissions per hop, and
+    /// re-routing once a hop is declared dead.
+    pub fn with_reliability(mut self, max_retransmits: u32) -> Self {
+        self.max_retransmits = max_retransmits;
+        self
     }
 
     /// The analytic height bound of Section III.e: `h <= log_t((n+1)/2)`
@@ -280,6 +307,11 @@ mod tests {
                 replica_sync_interval: SimDuration::from_micros(0),
                 ..TreePConfig::default()
             },
+            TreePConfig {
+                max_retransmits: 3,
+                retransmit_timeout: SimDuration::from_micros(0),
+                ..TreePConfig::default()
+            },
         ];
         for (i, config) in bad.into_iter().enumerate() {
             assert!(
@@ -301,6 +333,16 @@ mod tests {
         assert!(
             TreePConfig::expected_height(100_000, 4.0) > TreePConfig::expected_height(1_000, 4.0)
         );
+    }
+
+    #[test]
+    fn reliability_is_off_by_default_and_composes() {
+        let c = TreePConfig::default();
+        assert_eq!(c.max_retransmits, 0, "reliability defaults to off");
+        let r = TreePConfig::default().with_reliability(4);
+        assert_eq!(r.max_retransmits, 4);
+        assert!(r.retransmit_timeout.as_micros() > 0);
+        assert!(r.validate().is_ok());
     }
 
     #[test]

@@ -29,7 +29,11 @@
 //! live node in the range **exactly once** with zero duplicate messages —
 //! while aggregation queries (node census, max free capacity, DHT key
 //! digests) convergecast back up with per-hop combining, turning a range
-//! query into one scoped multicast instead of `n` point lookups.
+//! query into one scoped multicast instead of `n` point lookups. On lossy
+//! links, `max_retransmits > 0` arms a hop-by-hop reliability layer
+//! (per-hop acks, exponential-backoff retransmission, dead-hop
+//! re-routing) that holds full coverage through heavy per-hop loss while
+//! keeping application-layer delivery exactly-once.
 //!
 //! ## Quick start
 //!

@@ -315,6 +315,30 @@ pub enum TreePMessage {
         /// are indistinguishable.
         final_answer: bool,
     },
+    /// Per-hop acknowledgement of a received
+    /// [`TreePMessage::MulticastDown`], sent back to the forwarding peer the
+    /// moment the message arrives (before any duplicate suppression, so a
+    /// retransmitted copy is re-acked and the sender's retransmission state
+    /// drains). Only exchanged when the reliability layer is enabled
+    /// (`max_retransmits > 0` in the configuration); the `(origin,
+    /// request_id)` pair identifies the pending transmission at the sender,
+    /// which never sends the same multicast twice to the same peer.
+    MulticastAck {
+        /// Address of the multicast's initiator (scopes `request_id`).
+        origin: NodeAddr,
+        /// Identifier of the multicast at its origin.
+        request_id: RequestId,
+    },
+    /// Per-hop acknowledgement of a received
+    /// [`TreePMessage::AggregateUp`], the convergecast counterpart of
+    /// [`TreePMessage::MulticastAck`]. Only exchanged when the reliability
+    /// layer is enabled.
+    AggregateAck {
+        /// Address of the aggregation's initiator (scopes `request_id`).
+        origin: NodeAddr,
+        /// Identifier of the aggregation at its origin.
+        request_id: RequestId,
+    },
 }
 
 impl TreePMessage {
@@ -343,6 +367,8 @@ impl TreePMessage {
             TreePMessage::ReplicaSyncReply { .. } => "replica_sync_reply",
             TreePMessage::MulticastDown { .. } => "multicast_down",
             TreePMessage::AggregateUp { .. } => "aggregate_up",
+            TreePMessage::MulticastAck { .. } => "multicast_ack",
+            TreePMessage::AggregateAck { .. } => "aggregate_ack",
         }
     }
 
@@ -458,6 +484,27 @@ mod tests {
         assert_eq!(up.kind(), "aggregate_up");
         assert!(!up.is_maintenance());
         assert_eq!(up.origin_addr(), Some(NodeAddr(2)));
+    }
+
+    #[test]
+    fn acks_are_user_traffic_without_peer_origin() {
+        let mack = TreePMessage::MulticastAck {
+            origin: NodeAddr(3),
+            request_id: RequestId(9),
+        };
+        assert_eq!(mack.kind(), "multicast_ack");
+        assert!(
+            !mack.is_maintenance(),
+            "ack overhead is accounted to the multicast, not to maintenance"
+        );
+        assert_eq!(mack.origin_addr(), None, "acks are point-to-point");
+        let aack = TreePMessage::AggregateAck {
+            origin: NodeAddr(4),
+            request_id: RequestId(10),
+        };
+        assert_eq!(aack.kind(), "aggregate_ack");
+        assert!(!aack.is_maintenance());
+        assert_eq!(aack.origin_addr(), None);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::entry::PeerInfo;
 use crate::id::{IdSpace, NodeId};
 use crate::lookup::RequestId;
 use serde::{Deserialize, Serialize};
-use simnet::{NodeAddr, SimTime};
+use simnet::{NodeAddr, SimDuration, SimTime};
 
 /// A contiguous, inclusive range `[lo, hi]` of the 1-D identifier space —
 /// the scope of a multicast or aggregation.
@@ -313,27 +313,40 @@ pub struct AggregateRelay {
     pub truncated: bool,
 }
 
-/// Bounded insertion-ordered set of `(origin address, request id)` pairs —
-/// the per-node duplicate guard of the multicast descent.
+/// Bounded insertion-ordered set of identification keys — the per-node
+/// duplicate guard of the multicast descent (keyed by `(origin address,
+/// request id)`) and, when the reliability layer retransmits, of the
+/// convergecast fold (keyed by `(sender, origin address, request id)`).
 ///
 /// Delegation is structural (one parent per node, directional bus walk), so
 /// in steady state no node is ever visited twice. Under churn, however, a
 /// child can transiently sit in two parents' children tables (the old
-/// parent's entry has not expired yet) and be fanned out twice; this window
-/// turns that race into a suppressed duplicate instead of a broken
-/// exactly-once guarantee. Bounded so long-running nodes cannot leak.
-#[derive(Debug, Clone, Default)]
-pub struct SeenWindow {
-    set: std::collections::BTreeSet<(NodeAddr, RequestId)>,
-    order: std::collections::VecDeque<(NodeAddr, RequestId)>,
+/// parent's entry has not expired yet) and be fanned out twice — and with
+/// acks enabled, a lost ack makes the sender retransmit a copy the receiver
+/// already processed. This window turns both races into a suppressed
+/// duplicate instead of a broken exactly-once guarantee. Bounded so
+/// long-running nodes cannot leak.
+#[derive(Debug, Clone)]
+pub struct SeenWindow<K: Ord + Copy = (NodeAddr, RequestId)> {
+    set: std::collections::BTreeSet<K>,
+    order: std::collections::VecDeque<K>,
 }
 
-/// Multicasts remembered per node for duplicate suppression.
+/// Keys remembered per window for duplicate suppression.
 const SEEN_WINDOW_CAP: usize = 1024;
 
-impl SeenWindow {
+impl<K: Ord + Copy> Default for SeenWindow<K> {
+    fn default() -> Self {
+        SeenWindow {
+            set: std::collections::BTreeSet::new(),
+            order: std::collections::VecDeque::new(),
+        }
+    }
+}
+
+impl<K: Ord + Copy> SeenWindow<K> {
     /// Record `key`; returns false when it was already present (duplicate).
-    pub fn insert(&mut self, key: (NodeAddr, RequestId)) -> bool {
+    pub fn insert(&mut self, key: K) -> bool {
         if !self.set.insert(key) {
             return false;
         }
@@ -346,7 +359,7 @@ impl SeenWindow {
         true
     }
 
-    /// Number of remembered multicasts.
+    /// Number of remembered keys.
     pub fn len(&self) -> usize {
         self.set.len()
     }
@@ -355,6 +368,55 @@ impl SeenWindow {
     pub fn is_empty(&self) -> bool {
         self.set.is_empty()
     }
+}
+
+// ---- reliability layer state ------------------------------------------------
+
+/// Which reliable message class a pending transmission belongs to. The same
+/// peer can legitimately owe acks for a delegated descent
+/// ([`crate::messages::TreePMessage::MulticastDown`]) *and* a convergecast
+/// report ([`crate::messages::TreePMessage::AggregateUp`]) of the same
+/// multicast — e.g. a descent root reached by its own child's ascent fans
+/// the descent out to that child and later reports the final fold to it when
+/// the child is the origin — so the kind is part of the pending key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RetxKind {
+    /// A delegated dissemination hop (`MulticastDown`).
+    Down,
+    /// A convergecast report hop (`AggregateUp`).
+    Up,
+}
+
+/// One unacknowledged reliable transmission, waiting in a node's bounded
+/// retransmission queue (see the state machine in
+/// [`crate::node`]'s multicast layer). Identified at the sender by
+/// `(kind, dest, origin, request_id)`: a node never sends the same
+/// multicast (or fold) twice to the same peer, so an arriving ack maps to
+/// exactly one pending entry.
+#[derive(Debug, Clone)]
+pub struct PendingRetx {
+    /// Which reliable message class the transmission belongs to.
+    pub kind: RetxKind,
+    /// The peer whose ack is awaited.
+    pub dest: NodeAddr,
+    /// The destination's overlay identifier, when the sender knows it (it
+    /// always does for dissemination hops, which are routed by registry
+    /// entries). Used to aim the re-route once the hop is declared dead.
+    pub dest_id: Option<NodeId>,
+    /// Address of the multicast's initiator (scopes `request_id`).
+    pub origin: NodeAddr,
+    /// Identifier of the multicast at its origin.
+    pub request_id: RequestId,
+    /// The exact message to retransmit.
+    pub msg: crate::messages::TreePMessage,
+    /// Retransmissions still allowed before the hop is declared dead.
+    pub attempts_left: u32,
+    /// Delay until the next retransmission; doubled after every attempt.
+    pub backoff: SimDuration,
+    /// True once this transmission is itself a re-route of a dead hop; a
+    /// rerouted hop that dies too is abandoned (one detour per delegation
+    /// bounds the work a pathological registry can cause).
+    pub rerouted: bool,
 }
 
 #[cfg(test)]
@@ -495,6 +557,16 @@ mod tests {
         }
         assert_eq!(w.len(), SEEN_WINDOW_CAP);
         assert!(w.insert(key), "evicted entries are forgotten");
+    }
+
+    #[test]
+    fn seen_window_supports_convergecast_keys() {
+        // The reliability layer dedups folds by (sender, origin, request).
+        let mut w: SeenWindow<(NodeAddr, NodeAddr, RequestId)> = SeenWindow::default();
+        assert!(w.insert((NodeAddr(1), NodeAddr(2), RequestId(3))));
+        assert!(!w.insert((NodeAddr(1), NodeAddr(2), RequestId(3))));
+        assert!(w.insert((NodeAddr(4), NodeAddr(2), RequestId(3))));
+        assert_eq!(w.len(), 2);
     }
 
     #[test]

@@ -43,7 +43,8 @@ use crate::id::NodeId;
 use crate::lookup::{LookupOutcome, PendingLookup, RequestId};
 use crate::messages::TreePMessage;
 use crate::multicast::{
-    AggregateOutcome, AggregateRelay, KeyRange, MulticastDelivery, PendingAggregate, SeenWindow,
+    AggregateOutcome, AggregateRelay, KeyRange, MulticastDelivery, PendingAggregate, PendingRetx,
+    SeenWindow,
 };
 use crate::routing::RouterView;
 use crate::stats::NodeStats;
@@ -70,15 +71,17 @@ const TIMER_DHT: u64 = 4;
 const TIMER_AGGREGATE: u64 = 5;
 /// Aggregation relay hold timer (`multicast`).
 const TIMER_AGG_RELAY: u64 = 6;
-/// Anti-entropy round (`replication`). Last free 3-bit timer kind.
+/// Anti-entropy round (`replication`).
 const TIMER_REPLICA: u64 = 7;
+/// Retransmission backoff of one pending reliable hop (`multicast`).
+const TIMER_RETX: u64 = 8;
 
 fn encode_timer(kind: u64, payload: u64) -> TimerToken {
-    TimerToken(kind | (payload << 3))
+    TimerToken(kind | (payload << 4))
 }
 
 fn decode_timer(token: TimerToken) -> (u64, u64) {
-    (token.0 & 0b111, token.0 >> 3)
+    (token.0 & 0b1111, token.0 >> 4)
 }
 
 /// A TreeP peer.
@@ -100,10 +103,19 @@ pub struct TreePNode {
     store: DhtStore,
     multicast_deliveries: Vec<MulticastDelivery>,
     multicast_seen: SeenWindow,
+    /// Convergecast fold dedup (sender, origin, request): only populated
+    /// when the reliability layer is on, where a lost ack can make a relay
+    /// retransmit a partial the receiver already folded.
+    aggregate_seen: SeenWindow<(NodeAddr, NodeAddr, RequestId)>,
     pending_aggregates: BTreeMap<RequestId, PendingAggregate>,
     aggregate_outcomes: Vec<AggregateOutcome>,
     relays: BTreeMap<u64, AggregateRelay>,
     next_relay_round: u64,
+    /// The bounded retransmission queue of the reliability layer: one entry
+    /// per unacknowledged reliable hop, keyed by the retransmission id its
+    /// backoff timer carries. Always empty when `max_retransmits == 0`.
+    retx_pending: BTreeMap<u64, PendingRetx>,
+    next_retx_id: u64,
     /// Replication repair state: true when the next anti-entropy round must
     /// run a pairwise sync instead of the cheap digest probe.
     replica_dirty: bool,
@@ -139,10 +151,13 @@ impl TreePNode {
             store: DhtStore::new(),
             multicast_deliveries: Vec::new(),
             multicast_seen: SeenWindow::default(),
+            aggregate_seen: SeenWindow::default(),
             pending_aggregates: BTreeMap::new(),
             aggregate_outcomes: Vec::new(),
             relays: BTreeMap::new(),
             next_relay_round: 0,
+            retx_pending: BTreeMap::new(),
+            next_retx_id: 0,
             replica_dirty: true,
             replica_digest_probes: BTreeMap::new(),
             stats: NodeStats::default(),
@@ -238,6 +253,14 @@ impl TreePNode {
     /// Number of aggregations this node originated and not yet resolved.
     pub fn pending_aggregate_count(&self) -> usize {
         self.pending_aggregates.len()
+    }
+
+    /// Number of reliable hops whose acknowledgement is still outstanding —
+    /// the size of the reliability layer's retransmission queue. Always `0`
+    /// when `max_retransmits == 0`, and drains back to `0` after quiescence
+    /// (every entry is removed by an ack, a give-up or a re-route).
+    pub fn pending_retransmit_count(&self) -> usize {
+        self.retx_pending.len()
     }
 
     /// This node's contact information as carried in protocol messages.
@@ -472,6 +495,7 @@ impl Protocol for TreePNode {
                 final_answer,
             } => {
                 self.handle_aggregate_up(
+                    from,
                     origin,
                     request_id,
                     query,
@@ -480,6 +504,12 @@ impl Protocol for TreePNode {
                     final_answer,
                     ctx,
                 );
+            }
+            TreePMessage::MulticastAck { origin, request_id } => {
+                self.handle_multicast_ack(from, origin, request_id);
+            }
+            TreePMessage::AggregateAck { origin, request_id } => {
+                self.handle_aggregate_ack(from, origin, request_id);
             }
         }
     }
@@ -495,6 +525,7 @@ impl Protocol for TreePNode {
             TIMER_AGGREGATE => self.aggregate_timer_fired(payload, ctx),
             TIMER_AGG_RELAY => self.relay_timer_fired(payload, ctx),
             TIMER_REPLICA => self.replication_tick(ctx),
+            TIMER_RETX => self.retransmit_timer_fired(payload, ctx),
             _ => {}
         }
     }

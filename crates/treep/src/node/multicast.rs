@@ -1,5 +1,5 @@
 //! Multicast / aggregation layer: tree-scoped dissemination and
-//! convergecast folding.
+//! convergecast folding, with an optional per-hop reliability layer.
 //!
 //! A payload addressed to a contiguous identifier range climbs the
 //! initiator's ancestor chain ([`MulticastPhase::Up`]), walks the top-level
@@ -14,10 +14,56 @@
 //! [`super::TIMER_AGGREGATE`] origin timeout and the
 //! [`super::TIMER_AGG_RELAY`] per-relay hold timer that folds up truncated
 //! branches.
+//!
+//! # Reliability layer (`max_retransmits > 0`)
+//!
+//! With the default `max_retransmits = 0` every hop is one unacknowledged
+//! datagram: at 10 % per-hop loss roughly a quarter of multicasts die on
+//! the ascent alone. Setting `max_retransmits = r` arms a hop-by-hop
+//! ack/retransmit state machine around the exact same dissemination:
+//!
+//! * **Acks.** Every received [`TreePMessage::MulticastDown`] /
+//!   [`TreePMessage::AggregateUp`] is acknowledged to the forwarding peer
+//!   *on receipt, before duplicate suppression* — a retransmitted copy is
+//!   re-acked, so a lost ack can delay but never wedge the sender.
+//! * **Retransmission queue.** Each reliable send registers a
+//!   [`PendingRetx`] in a per-node queue keyed by `(kind, dest, origin,
+//!   request id)` and arms a [`super::TIMER_RETX`] backoff timer
+//!   (`retransmit_timeout`, doubled after every attempt — exponential
+//!   backoff). An arriving ack removes the entry; a firing timer
+//!   retransmits until `r` attempts are spent. The queue provably drains:
+//!   every entry is removed by exactly one of ack, re-route or
+//!   abandonment, and an orphaned timer finds no entry and does nothing.
+//! * **Re-route rule.** A hop that exhausts its budget is declared dead
+//!   (for this dissemination only — the peer is *not* evicted, since at
+//!   high loss a live peer can lose every ack by chance, and severing a
+//!   live link would damage every later dissemination; a genuinely dead
+//!   peer expires via `entry_ttl` as usual), and
+//!   * a dead **parent** mid-ascent makes the sender a *degraded descent
+//!     root* — it starts the bus walk / fan-out itself, so the subtree
+//!     below it still gets the payload (folds from a degraded root are
+//!     marked truncated, since the range above it may be uncovered);
+//!   * a dead **descent or bus hop** is retried once through the
+//!     registry's next-nearest peer of the dead peer's coordinate
+//!     ([`RoutingTables::closest_peer`], which prefers a sibling whose
+//!     recorded subtree span covers the orphaned interval); a re-routed
+//!     hop that dies too is abandoned;
+//!   * a dead **convergecast upstream** is abandoned — its delegator's
+//!     relay hold timer already accounts the branch as truncated.
+//! * **Exactly-once.** Retransmission introduces duplicate *transport*
+//!   deliveries, never duplicate *application* deliveries: descent copies
+//!   are deduplicated by the per-node seen-window (as churn races always
+//!   were), and convergecast folds by an equivalent `(sender, origin,
+//!   request)` window, so a partial is folded into a relay at most once.
+//!
+//! With `max_retransmits = 0` none of this state exists: no acks are sent,
+//! no timers armed, no entries queued — the wire traffic is byte-identical
+//! to the unacknowledged protocol.
 
 use super::*;
 use crate::multicast::{
-    AggregatePartial, AggregateQuery, MulticastPayload, MulticastPhase, ReplyTo,
+    AggregatePartial, AggregateQuery, MulticastPayload, MulticastPhase, PendingRetx, ReplyTo,
+    RetxKind,
 };
 
 /// Direction of the top-level bus walk of a multicast descent.
@@ -138,26 +184,51 @@ impl TreePNode {
         bus_level: u32,
         ctx: &mut Context<'_, TreePMessage>,
     ) {
+        // Reliability: acknowledge every network-received copy on receipt —
+        // *before* any duplicate suppression — so the sender's pending
+        // transmission drains even when its previous copy (or our previous
+        // ack) was lost. `from == self` marks a locally initiated dispatch.
+        if self.reliability_enabled() && from != self.addr.expect("node not started") {
+            self.send(
+                ctx,
+                from,
+                TreePMessage::MulticastAck {
+                    origin: origin.addr,
+                    request_id,
+                },
+            );
+        }
         match phase {
             MulticastPhase::Up => {
                 // An exhausted budget ends the ascent early: the node acts as
                 // a (degraded) descent root so the message still delivers
                 // locally instead of silently vanishing.
-                if let Some(parent) = self.tables.parent().map(|p| p.addr).filter(|_| budget > 0) {
+                if let Some((parent_addr, parent_id)) = self
+                    .tables
+                    .parent()
+                    .map(|p| (p.addr, p.id))
+                    .filter(|_| budget > 0)
+                {
                     self.stats.multicast_forwards += 1;
-                    self.send(
+                    let msg = TreePMessage::MulticastDown {
+                        origin,
+                        request_id,
+                        range,
+                        payload,
+                        budget: budget - 1,
+                        hops: hops + 1,
+                        phase: MulticastPhase::Up,
+                        bus_level: 0,
+                    };
+                    self.send_reliable(
+                        parent_addr,
+                        Some(parent_id),
+                        RetxKind::Down,
+                        origin.addr,
+                        request_id,
+                        msg,
+                        false,
                         ctx,
-                        parent,
-                        TreePMessage::MulticastDown {
-                            origin,
-                            request_id,
-                            range,
-                            payload,
-                            budget: budget - 1,
-                            hops: hops + 1,
-                            phase: MulticastPhase::Up,
-                            bus_level: 0,
-                        },
                     );
                 } else {
                     // No parent: this node is the root of its tree and
@@ -172,6 +243,7 @@ impl TreePNode {
                         hops,
                         DescentRole::Root,
                         0,
+                        false,
                         ctx,
                     );
                 }
@@ -186,6 +258,7 @@ impl TreePNode {
                 hops,
                 DescentRole::Bus(BusDir::Left),
                 bus_level,
+                false,
                 ctx,
             ),
             MulticastPhase::BusRight => self.descend(
@@ -198,6 +271,7 @@ impl TreePNode {
                 hops,
                 DescentRole::Bus(BusDir::Right),
                 bus_level,
+                false,
                 ctx,
             ),
             MulticastPhase::Down => self.descend(
@@ -210,6 +284,7 @@ impl TreePNode {
                 hops,
                 DescentRole::Subtree,
                 bus_level,
+                false,
                 ctx,
             ),
         }
@@ -217,6 +292,11 @@ impl TreePNode {
 
     /// Deliver locally, fan out to the selected children, continue the bus
     /// walk, and (for aggregations) set up the convergecast relay.
+    ///
+    /// `degraded` marks a descent started by the reliability layer after the
+    /// ascent died (the parent was declared dead): the fold of such a
+    /// descent covers only this node's reach, so aggregations start out
+    /// truncated.
     #[allow(clippy::too_many_arguments)]
     fn descend(
         &mut self,
@@ -229,21 +309,24 @@ impl TreePNode {
         hops: u32,
         role: DescentRole,
         bus_level: u32,
+        degraded: bool,
         ctx: &mut Context<'_, TreePMessage>,
     ) {
         let me_addr = self.addr.expect("node not started");
         // Duplicate guard. Delegation is structural, so a second descending
         // visit for the same multicast can only be a churn race (a child
-        // transiently in two parents' tables). Suppress it entirely: no
-        // delivery, no forwarding (a duplicate delegator's relay recovers
-        // through its hold timer).
+        // transiently in two parents' tables) or a reliability-layer
+        // retransmission whose predecessor did arrive. Suppress it entirely:
+        // no delivery, no forwarding (a duplicate delegator's relay recovers
+        // through its hold timer; a retransmitting sender was already
+        // re-acked before this guard ran).
         if !self.multicast_seen.insert((origin.addr, request_id)) {
             self.stats.multicast_duplicates_suppressed += 1;
             return;
         }
         // Collect the outgoing edges first (bus continuation + children), so
         // the aggregate relay knows how many partials to expect.
-        let mut edges: Vec<(NodeAddr, MulticastPhase)> = Vec::new();
+        let mut edges: Vec<(NodeAddr, NodeId, MulticastPhase)> = Vec::new();
 
         // 1. Bus walk. The descent root starts the walk in both directions
         //    at its own top level; a bus-visited node continues in the
@@ -263,16 +346,16 @@ impl TreePNode {
         if walk_level > 0 {
             let (left, right) = {
                 let (l, r) = self.tables.bus_neighbors(walk_level, self.id);
-                (l.map(|e| e.addr), r.map(|e| e.addr))
+                (l.map(|e| (e.addr, e.id)), r.map(|e| (e.addr, e.id)))
             };
             for dir in walking {
                 let (next, phase) = match dir {
                     BusDir::Left => (left, MulticastPhase::BusLeft),
                     BusDir::Right => (right, MulticastPhase::BusRight),
                 };
-                if let Some(next) = next {
+                if let Some((next, next_id)) = next {
                     if next != me_addr && next != from {
-                        edges.push((next, phase));
+                        edges.push((next, next_id, phase));
                     }
                 }
             }
@@ -301,16 +384,16 @@ impl TreePNode {
             }
             _ => 0,
         };
-        let fanout: Vec<NodeAddr> = self
+        let fanout: Vec<(NodeAddr, NodeId)> = self
             .tables
             .multicast_fanout(self.config.space, self.config.height, range, level0_slack)
             .into_iter()
             .filter(|c| c.max_level < walk_level || walk_level == 0)
-            .map(|c| c.addr)
-            .filter(|a| *a != me_addr)
+            .map(|c| (c.addr, c.id))
+            .filter(|(a, _)| *a != me_addr)
             .collect();
-        for addr in fanout {
-            edges.push((addr, MulticastPhase::Down));
+        for (addr, id) in fanout {
+            edges.push((addr, id, MulticastPhase::Down));
         }
 
         // The hop budget limits *forwarding*, never receipt: an arriving
@@ -354,7 +437,7 @@ impl TreePNode {
                 };
                 if edges.is_empty() {
                     self.finish_aggregate_branch(
-                        origin, request_id, *query, acc, false, reply_to, ctx,
+                        origin, request_id, *query, acc, degraded, reply_to, ctx,
                     );
                 } else {
                     let round = self.next_relay_round;
@@ -368,7 +451,7 @@ impl TreePNode {
                             reply_to,
                             acc,
                             expected: edges.len(),
-                            truncated: false,
+                            truncated: degraded,
                         },
                     );
                     ctx.set_timer(
@@ -380,21 +463,27 @@ impl TreePNode {
         }
 
         // 4. Forward along the collected edges.
-        for (dest, phase) in edges {
+        for (dest, dest_id, phase) in edges {
             self.stats.multicast_forwards += 1;
-            self.send(
-                ctx,
+            let msg = TreePMessage::MulticastDown {
+                origin,
+                request_id,
+                range,
+                payload: payload.clone(),
+                budget: budget - 1,
+                hops: hops + 1,
+                phase,
+                bus_level: walk_level,
+            };
+            self.send_reliable(
                 dest,
-                TreePMessage::MulticastDown {
-                    origin,
-                    request_id,
-                    range,
-                    payload: payload.clone(),
-                    budget: budget - 1,
-                    hops: hops + 1,
-                    phase,
-                    bus_level: walk_level,
-                },
+                Some(dest_id),
+                RetxKind::Down,
+                origin.addr,
+                request_id,
+                msg,
+                false,
+                ctx,
             );
         }
     }
@@ -439,31 +528,46 @@ impl TreePNode {
                 self.record_aggregate_outcome(request_id, query, acc, truncated, ctx.now())
             }
             ReplyTo::Origin(addr) => {
-                self.send(
-                    ctx,
+                let msg = TreePMessage::AggregateUp {
+                    origin,
+                    request_id,
+                    query,
+                    partial: acc,
+                    truncated,
+                    final_answer: true,
+                };
+                self.send_reliable(
                     addr,
-                    TreePMessage::AggregateUp {
-                        origin,
-                        request_id,
-                        query,
-                        partial: acc,
-                        truncated,
-                        final_answer: true,
-                    },
+                    Some(origin.id),
+                    RetxKind::Up,
+                    origin.addr,
+                    request_id,
+                    msg,
+                    false,
+                    ctx,
                 );
             }
             ReplyTo::Upstream(addr) => {
-                self.send(
-                    ctx,
+                let msg = TreePMessage::AggregateUp {
+                    origin,
+                    request_id,
+                    query,
+                    partial: acc,
+                    truncated,
+                    final_answer: false,
+                };
+                // The delegator's overlay id is not tracked through the
+                // relay; a dead upstream is abandoned (its own hold timer
+                // marks the branch truncated), so no id is needed.
+                self.send_reliable(
                     addr,
-                    TreePMessage::AggregateUp {
-                        origin,
-                        request_id,
-                        query,
-                        partial: acc,
-                        truncated,
-                        final_answer: false,
-                    },
+                    None,
+                    RetxKind::Up,
+                    origin.addr,
+                    request_id,
+                    msg,
+                    false,
+                    ctx,
                 );
             }
         }
@@ -497,6 +601,7 @@ impl TreePNode {
     #[allow(clippy::too_many_arguments)]
     pub(super) fn handle_aggregate_up(
         &mut self,
+        from: NodeAddr,
         origin: PeerInfo,
         request_id: RequestId,
         query: AggregateQuery,
@@ -505,6 +610,22 @@ impl TreePNode {
         final_answer: bool,
         ctx: &mut Context<'_, TreePMessage>,
     ) {
+        // Reliability: ack the fold on receipt, then suppress retransmitted
+        // copies — a partial folded twice would corrupt the relay's
+        // accumulator and expected-count, breaking the exactly-once fold.
+        if self.reliability_enabled() {
+            self.send(
+                ctx,
+                from,
+                TreePMessage::AggregateAck {
+                    origin: origin.addr,
+                    request_id,
+                },
+            );
+            if !self.aggregate_seen.insert((from, origin.addr, request_id)) {
+                return;
+            }
+        }
         // The descent root's final fold resolves the pending request at the
         // origin; it must never be confused with a branch partial (the
         // origin can simultaneously be a relay of its own aggregation).
@@ -582,6 +703,215 @@ impl TreePNode {
                 relay.reply_to,
                 ctx,
             );
+        }
+    }
+
+    // ---- reliability layer -----------------------------------------------------
+
+    fn reliability_enabled(&self) -> bool {
+        self.config.max_retransmits > 0
+    }
+
+    /// Send `msg` to `dest`; when the reliability layer is on, additionally
+    /// register the transmission in the retransmission queue and arm its
+    /// backoff timer. With `max_retransmits = 0` this is a plain send — no
+    /// state, no timer, no clone.
+    #[allow(clippy::too_many_arguments)]
+    fn send_reliable(
+        &mut self,
+        dest: NodeAddr,
+        dest_id: Option<NodeId>,
+        kind: RetxKind,
+        origin: NodeAddr,
+        request_id: RequestId,
+        msg: TreePMessage,
+        rerouted: bool,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        if !self.reliability_enabled() {
+            self.send(ctx, dest, msg);
+            return;
+        }
+        self.send(ctx, dest, msg.clone());
+        let retx_id = self.next_retx_id;
+        self.next_retx_id += 1;
+        self.retx_pending.insert(
+            retx_id,
+            PendingRetx {
+                kind,
+                dest,
+                dest_id,
+                origin,
+                request_id,
+                msg,
+                attempts_left: self.config.max_retransmits,
+                backoff: self.config.retransmit_timeout,
+                rerouted,
+            },
+        );
+        ctx.set_timer(
+            self.config.retransmit_timeout,
+            encode_timer(TIMER_RETX, retx_id),
+        );
+    }
+
+    /// Drop the pending transmission an ack refers to, if it is still
+    /// queued (late acks after a give-up find nothing — harmless).
+    fn clear_pending(
+        &mut self,
+        kind: RetxKind,
+        dest: NodeAddr,
+        origin: NodeAddr,
+        request_id: RequestId,
+    ) {
+        let key = self
+            .retx_pending
+            .iter()
+            .find(|(_, p)| {
+                p.kind == kind && p.dest == dest && p.origin == origin && p.request_id == request_id
+            })
+            .map(|(id, _)| *id);
+        if let Some(id) = key {
+            self.retx_pending.remove(&id);
+        }
+    }
+
+    pub(super) fn handle_multicast_ack(
+        &mut self,
+        from: NodeAddr,
+        origin: NodeAddr,
+        request_id: RequestId,
+    ) {
+        self.clear_pending(RetxKind::Down, from, origin, request_id);
+    }
+
+    pub(super) fn handle_aggregate_ack(
+        &mut self,
+        from: NodeAddr,
+        origin: NodeAddr,
+        request_id: RequestId,
+    ) {
+        self.clear_pending(RetxKind::Up, from, origin, request_id);
+    }
+
+    /// Backoff timer of one pending transmission: retransmit while attempts
+    /// remain, declare the hop dead once they are spent. A timer whose
+    /// entry was already acked (or abandoned) finds nothing and does
+    /// nothing — timers are never re-armed for a removed entry, so the
+    /// queue always drains.
+    pub(super) fn retransmit_timer_fired(
+        &mut self,
+        retx_id: u64,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        let Some(entry) = self.retx_pending.get_mut(&retx_id) else {
+            return; // acked in the meantime
+        };
+        if entry.attempts_left == 0 {
+            let entry = self
+                .retx_pending
+                .remove(&retx_id)
+                .expect("entry checked above");
+            self.hop_declared_dead(entry, ctx);
+            return;
+        }
+        entry.attempts_left -= 1;
+        let backoff = SimDuration::from_micros(entry.backoff.as_micros().saturating_mul(2).max(1));
+        entry.backoff = backoff;
+        let dest = entry.dest;
+        let kind = entry.kind;
+        let msg = entry.msg.clone();
+        match kind {
+            RetxKind::Down => self.stats.multicast_retransmits += 1,
+            RetxKind::Up => self.stats.aggregate_retransmits += 1,
+        }
+        self.send(ctx, dest, msg);
+        ctx.set_timer(backoff, encode_timer(TIMER_RETX, retx_id));
+    }
+
+    /// A hop exhausted its retransmission budget: apply the re-route rule
+    /// (see the module documentation). The unresponsive peer is *not*
+    /// evicted from the tables — at high loss a live peer whose acks were
+    /// all unlucky would be declared dead every so often, and severing a
+    /// live parent/child link damages every later dissemination. A falsely
+    /// declared peer costs one redundant (duplicate-suppressed) re-route;
+    /// a genuinely dead one stops refreshing and expires via `entry_ttl`
+    /// like everywhere else in the protocol.
+    fn hop_declared_dead(&mut self, entry: PendingRetx, ctx: &mut Context<'_, TreePMessage>) {
+        let PendingRetx {
+            dest,
+            dest_id,
+            origin,
+            request_id,
+            msg,
+            rerouted,
+            ..
+        } = entry;
+        match msg {
+            TreePMessage::MulticastDown {
+                origin,
+                request_id,
+                range,
+                payload,
+                budget,
+                hops,
+                phase: MulticastPhase::Up,
+                ..
+            } => {
+                // Dead parent mid-ascent: become a degraded descent root so
+                // the reachable part of the range is still served.
+                self.stats.multicast_reroutes += 1;
+                let me = self.addr.expect("node not started");
+                self.descend(
+                    me,
+                    origin,
+                    request_id,
+                    range,
+                    payload,
+                    budget,
+                    hops,
+                    DescentRole::Root,
+                    0,
+                    true,
+                    ctx,
+                );
+            }
+            msg @ TreePMessage::MulticastDown { .. } => {
+                // Dead descent / bus hop: retry once through the registry's
+                // next-nearest peer of the dead peer's coordinate — with the
+                // dead peer's address excluded, `closest_peer` lands on the
+                // sibling whose recorded span sits closest to the orphaned
+                // interval.
+                let me = self.addr.expect("node not started");
+                let alt = (!rerouted)
+                    .then_some(dest_id)
+                    .flatten()
+                    .and_then(|coord| self.tables.closest_peer(self.config.space, coord, dest))
+                    .filter(|e| e.addr != me)
+                    .map(|e| (e.addr, e.id));
+                match alt {
+                    Some((alt_addr, alt_id)) => {
+                        self.stats.multicast_reroutes += 1;
+                        self.send_reliable(
+                            alt_addr,
+                            Some(alt_id),
+                            RetxKind::Down,
+                            origin,
+                            request_id,
+                            msg,
+                            true,
+                            ctx,
+                        );
+                    }
+                    None => self.stats.multicast_retx_abandoned += 1,
+                }
+            }
+            _ => {
+                // A convergecast report with a dead upstream: the
+                // delegator's relay hold timer already folds the branch up
+                // as truncated; there is nothing useful to re-route to.
+                self.stats.multicast_retx_abandoned += 1;
+            }
         }
     }
 }

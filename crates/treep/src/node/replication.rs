@@ -18,6 +18,14 @@
 //!   aggregate-outcome queue ([`TreePNode::intercept_replica_digest`]): a
 //!   mismatching, truncated or timed-out probe marks the node dirty.
 //!
+//! The digest probe is a `DhtKeyDigest` convergecast, so with
+//! `max_retransmits > 0` it automatically rides the multicast reliability
+//! layer (per-hop acks, retransmission, re-route — see the multicast
+//! layer's module documentation): on lossy links the probe's dissemination
+//! and fold no longer die to a single dropped datagram, which means far
+//! fewer spurious truncated outcomes — and a truncated outcome marks the
+//! node dirty, so reliability directly cuts needless pairwise-sync rounds.
+//!
 //! The whole layer is inert when `replication_factor <= 1`: no timer is
 //! armed, no message is ever sent, and the node behaves exactly like the
 //! paper's single-copy DHT.

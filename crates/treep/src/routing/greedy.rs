@@ -8,11 +8,21 @@ use crate::lookup::LookupRequest;
 /// distance to the target, subject to the halving criterion
 /// `D(n, x) <= D(a, x) / 2`. Falls back to the superior list / closest child
 /// when no peer halves the distance.
+///
+/// The candidate scan walks the registry's ordered neighbours of the target
+/// outward ([`RouterView::tables`]'s `peers_outward_from`) instead of
+/// copying every entry into a scratch `Vec` (the old `all_peers()` scan).
+/// The hierarchical metric is not monotone in identifier distance (a
+/// high-level peer's coverage radius can zero its distance from far away),
+/// so every peer is still *examined* — but the walk visits them in
+/// `(euclid, id)` order, which makes the tie-break free: the first peer
+/// achieving the minimal metric is the old scan's `(metric, euclid, id)`
+/// winner.
 pub fn greedy_next_hop(view: &RouterView<'_>, req: &mut LookupRequest) -> RouteDecision {
     let target = req.target;
     let self_metric = view.self_metric(target, req.ttl);
-    let mut best: Option<(u64, u64, RoutingEntry)> = None; // (metric, euclid, entry)
-    for peer in view.tables.all_peers() {
+    let mut best: Option<(u64, RoutingEntry)> = None; // (metric, entry)
+    for peer in view.tables.peers_outward_from(target) {
         if peer.addr == view.self_addr {
             continue;
         }
@@ -20,20 +30,13 @@ pub fn greedy_next_hop(view: &RouterView<'_>, req: &mut LookupRequest) -> RouteD
         if metric > self_metric / 2 {
             continue;
         }
-        let euclid = view.dist.euclidean(peer.id, target);
-        let candidate = (metric, euclid, peer);
-        best = match best {
-            None => Some(candidate),
-            Some(cur) => {
-                if (candidate.0, candidate.1, candidate.2.id) < (cur.0, cur.1, cur.2.id) {
-                    Some(candidate)
-                } else {
-                    Some(cur)
-                }
-            }
-        };
+        // Iteration is in (euclid, id) order, so a strictly smaller metric
+        // is the only way to displace the incumbent.
+        if best.is_none_or(|(cur, _)| metric < cur) {
+            best = Some((metric, *peer));
+        }
     }
-    if let Some((_, _, entry)) = best {
+    if let Some((_, entry)) = best {
         return RouteDecision::Forward(entry);
     }
     match fallback_hop(view, req) {

@@ -10,24 +10,28 @@ use super::{fallback_hop, RouteDecision, RouterView};
 use crate::entry::RoutingEntry;
 use crate::lookup::LookupRequest;
 
-/// Select the best strictly-improving peer by Euclidean distance, or `None`
-/// when no known peer improves on the local node. Shared with the NGSA
-/// variant, which also wants the runners-up.
+/// The strictly-improving peers by Euclidean distance, closest first, or
+/// empty when no known peer improves on the local node. Shared with the
+/// NGSA variant, which also wants the runners-up.
+///
+/// The registry's ordered outward walk from the target yields peers in
+/// exactly the `(euclidean distance, id)` order the old
+/// `all_peers()`-copy-then-sort produced — so the scan needs no allocation
+/// beyond the result, no sort, and **stops at the first non-improving
+/// peer**: every peer after it in walk order is at least as far from the
+/// target, so the old scan would have filtered it too.
 pub(crate) fn improving_candidates(
     view: &RouterView<'_>,
     req: &LookupRequest,
 ) -> Vec<RoutingEntry> {
     let target = req.target;
     let self_d = view.dist.euclidean(view.self_id, target);
-    let mut improving: Vec<RoutingEntry> = view
-        .tables
-        .all_peers()
-        .into_iter()
+    view.tables
+        .peers_outward_from(target)
+        .take_while(|p| view.dist.euclidean(p.id, target) < self_d)
         .filter(|p| p.addr != view.self_addr)
-        .filter(|p| view.dist.euclidean(p.id, target) < self_d)
-        .collect();
-    improving.sort_by_key(|p| (view.dist.euclidean(p.id, target), p.id));
-    improving
+        .copied()
+        .collect()
 }
 
 /// Pick the next hop for the NG algorithm.

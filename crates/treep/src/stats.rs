@@ -49,6 +49,21 @@ pub struct NodeStats {
     /// Duplicate descending multicast visits suppressed by the per-node
     /// seen-window (non-zero only under churn races).
     pub multicast_duplicates_suppressed: u64,
+    /// Reliable dissemination hops (`MulticastDown`) this node
+    /// retransmitted after a missing acknowledgement (non-zero only with
+    /// `max_retransmits > 0`). Convergecast retransmissions are counted
+    /// separately in [`NodeStats::aggregate_retransmits`], so overhead
+    /// ratios against `multicast_down` send counts stay well-defined.
+    pub multicast_retransmits: u64,
+    /// Reliable convergecast hops (`AggregateUp`) this node retransmitted
+    /// after a missing acknowledgement.
+    pub aggregate_retransmits: u64,
+    /// Dissemination hops re-routed through another covering peer after the
+    /// original destination exhausted its retransmission budget.
+    pub multicast_reroutes: u64,
+    /// Reliable hops abandoned for good: the destination was declared dead
+    /// and no (further) re-route was possible.
+    pub multicast_retx_abandoned: u64,
     /// Aggregations this node originated.
     pub aggregates_initiated: u64,
     /// Convergecast partials this node folded on behalf of others.

@@ -232,6 +232,34 @@ impl RoutingTables {
         self.registry.values().copied().collect()
     }
 
+    /// Every known peer, walked **outward from `key` in 1-D distance
+    /// order** (nearest first; ties prefer the smaller identifier, matching
+    /// every other probe of the registry). A two-cursor merge over the
+    /// ordered registry: no allocation, no copy, and a consumer that stops
+    /// early — like the non-greedy next-hop scan, which only wants peers
+    /// strictly closer to the target than the local node — pays only for
+    /// the prefix it reads.
+    pub fn peers_outward_from(&self, key: NodeId) -> impl Iterator<Item = &PeerEntry> {
+        let mut below = self.registry.range(..=key).rev().map(|(_, e)| e).peekable();
+        let mut above = self
+            .registry
+            .range((Bound::Excluded(key), Bound::Unbounded))
+            .map(|(_, e)| e)
+            .peekable();
+        std::iter::from_fn(move || match (below.peek(), above.peek()) {
+            (Some(b), Some(a)) => {
+                if b.id.0.abs_diff(key.0) <= a.id.0.abs_diff(key.0) {
+                    below.next()
+                } else {
+                    above.next()
+                }
+            }
+            (Some(_), None) => below.next(),
+            (None, Some(_)) => above.next(),
+            (None, None) => None,
+        })
+    }
+
     /// The known peer closest to `key` in the 1-D space (excluding the one
     /// at `exclude_addr`), found by an ordered neighbour probe around `key`
     /// instead of a full scan. Ties prefer the smaller identifier.
@@ -1338,6 +1366,26 @@ mod tests {
         assert!(RoutingTables::new()
             .nearest_peers(space, NodeId(1), 3, NodeAddr(0))
             .is_empty());
+    }
+
+    #[test]
+    fn peers_outward_walk_is_distance_ordered() {
+        let mut t = RoutingTables::new();
+        for id in [100u64, 480, 520, 560, 900] {
+            t.upsert_level0(entry(id, 0, 1));
+        }
+        // Distances from 500: 480 and 520 tie at 20 (below wins), then 560
+        // (60), then 100 and 900 tie at 400 (below wins).
+        let ids: Vec<u64> = t.peers_outward_from(NodeId(500)).map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![480, 520, 560, 100, 900]);
+        // An exact hit comes first.
+        let ids: Vec<u64> = t.peers_outward_from(NodeId(520)).map(|e| e.id.0).collect();
+        assert_eq!(ids[0], 520);
+        assert_eq!(ids.len(), 5, "the walk visits every peer exactly once");
+        assert!(RoutingTables::new()
+            .peers_outward_from(NodeId(1))
+            .next()
+            .is_none());
     }
 
     #[test]

@@ -185,7 +185,18 @@ impl TopologyBuilder {
     /// Create a fresh simulation with the given seed, build the topology into
     /// it, run the network for the settle period, and return both.
     pub fn build_simulation(&self, seed: u64) -> (Simulation<TreePNode>, BuiltTopology) {
-        let mut sim = Simulation::new(SimConfig::default(), seed);
+        self.build_simulation_with(SimConfig::default(), seed)
+    }
+
+    /// [`TopologyBuilder::build_simulation`] under a caller-chosen simulator
+    /// configuration (e.g. a lossy link model), sharing the same settle
+    /// period so lossless and lossy legs of one experiment stay comparable.
+    pub fn build_simulation_with(
+        &self,
+        config: SimConfig,
+        seed: u64,
+    ) -> (Simulation<TreePNode>, BuiltTopology) {
+        let mut sim = Simulation::new(config, seed);
         let topo = self.build(&mut sim);
         sim.run_for(self.settle);
         (sim, topo)

@@ -61,6 +61,13 @@ impl MulticastWorkload {
         }
     }
 
+    /// A payload-only workload (no aggregation queries): what the coverage
+    /// probes of the churn runner and the loss sweep issue, where every
+    /// operation must leave a countable delivery at each covered node.
+    pub fn data_only(ops_per_step: usize) -> Self {
+        Self::new(ops_per_step).with_aggregate_fraction(0.0)
+    }
+
     /// Override the scoped-range width as a fraction of the space.
     pub fn with_range_fraction(mut self, range_fraction: f64) -> Self {
         self.range_fraction = range_fraction.clamp(1e-6, 1.0);
@@ -144,6 +151,11 @@ mod tests {
 
         let wl = MulticastWorkload::new(300).with_aggregate_fraction(0.0);
         let batch = wl.generate(IdSpace::default(), &population(10), &mut rng);
+        assert!(batch.iter().all(|b| matches!(b.op, MulticastOp::Data(_))));
+
+        let wl = MulticastWorkload::data_only(50);
+        let batch = wl.generate(IdSpace::default(), &population(10), &mut rng);
+        assert_eq!(batch.len(), 50);
         assert!(batch.iter().all(|b| matches!(b.op, MulticastOp::Data(_))));
     }
 
