@@ -3,7 +3,8 @@
 //! ```text
 //! reproduce [--figure A|B|...|I|all] [--nodes N] [--seed S] [--lookups K]
 //!           [--quick] [--table-routing] [--baselines] [--maintenance]
-//!           [--multicast] [--lossy] [--durability] [--smoke] [--out DIR]
+//!           [--multicast] [--lossy] [--durability] [--readpath] [--smoke]
+//!           [--out DIR]
 //! ```
 //!
 //! Without arguments the binary runs every figure plus the Section III.e
@@ -11,16 +12,20 @@
 //! shrinks the run for smoke tests; `--durability` adds the replication
 //! durability comparison (Figure R); `--multicast --lossy` adds the
 //! coverage-vs-loss sweep of the multicast reliability layer (Figure L);
-//! `--smoke` switches to a bounded smoke profile and, unless figures were
-//! requested explicitly, skips the default figure suite (so `--durability
-//! --smoke` runs only the durability gate and `--multicast --lossy
-//! --smoke` only the lossy-multicast gate, which is what CI exercises);
-//! `--out DIR` additionally writes one CSV per figure into `DIR`.
+//! `--readpath` adds the Zipf read-storm comparison of the read-path
+//! serving layer (Figure S) and writes `BENCH_readpath.json`; `--smoke`
+//! switches to a bounded smoke profile and, unless figures were requested
+//! explicitly, skips the default figure suite (so `--durability --smoke`
+//! runs only the durability gate, `--multicast --lossy --smoke` only the
+//! lossy-multicast gate and `--readpath --smoke` only the read-path gate,
+//! which is what CI exercises); `--out DIR` additionally writes one CSV
+//! per figure into `DIR`. An unknown flag prints the full experiment flag
+//! list and exits non-zero; `--help` prints it and exits zero.
 
 use experiments::{
     compare_multicast, compare_overlays, figures, maintenance, routing_table_report,
-    run_churn_experiment, run_durability, sweep_multicast_loss, ChurnRunResult, DurabilityParams,
-    ExperimentParams, Figure, LossSweepParams, MulticastParams,
+    run_churn_experiment, run_durability, run_read_storm, sweep_multicast_loss, ChurnRunResult,
+    DurabilityParams, ExperimentParams, Figure, LossSweepParams, MulticastParams, ReadStormParams,
 };
 
 struct Cli {
@@ -35,12 +40,21 @@ struct Cli {
     multicast: bool,
     lossy: bool,
     durability: bool,
+    readpath: bool,
     smoke: bool,
     out: Option<String>,
 }
 
+/// How argument parsing can end without a runnable configuration: a help
+/// request (exit 0) or a genuine error (exit 2). Both print the full flag
+/// list, so a typo never silently runs the wrong experiment suite.
+enum CliError {
+    Help,
+    Bad(String),
+}
+
 impl Cli {
-    fn parse(args: &[String]) -> Result<Cli, String> {
+    fn parse(args: &[String]) -> Result<Cli, CliError> {
         let mut cli = Cli {
             figures: Figure::ALL.to_vec(),
             nodes: 800,
@@ -53,6 +67,7 @@ impl Cli {
             multicast: false,
             lossy: false,
             durability: false,
+            readpath: false,
             smoke: false,
             out: None,
         };
@@ -60,11 +75,11 @@ impl Cli {
         let mut i = 0;
         while i < args.len() {
             let arg = args[i].clone();
-            let mut value = |name: &str| -> Result<String, String> {
+            let mut value = |name: &str| -> Result<String, CliError> {
                 i += 1;
                 args.get(i)
                     .cloned()
-                    .ok_or_else(|| format!("{name} expects a value"))
+                    .ok_or_else(|| CliError::Bad(format!("{name} expects a value")))
             };
             match arg.as_str() {
                 "--figure" | "-f" => {
@@ -73,24 +88,25 @@ impl Cli {
                         explicit_figures = Figure::ALL.to_vec();
                     } else {
                         explicit_figures.push(
-                            Figure::parse(&v).ok_or_else(|| format!("unknown figure '{v}'"))?,
+                            Figure::parse(&v)
+                                .ok_or_else(|| CliError::Bad(format!("unknown figure '{v}'")))?,
                         );
                     }
                 }
                 "--nodes" | "-n" => {
                     cli.nodes = value("--nodes")?
                         .parse()
-                        .map_err(|e| format!("--nodes: {e}"))?
+                        .map_err(|e| CliError::Bad(format!("--nodes: {e}")))?
                 }
                 "--seed" | "-s" => {
                     cli.seed = value("--seed")?
                         .parse()
-                        .map_err(|e| format!("--seed: {e}"))?
+                        .map_err(|e| CliError::Bad(format!("--seed: {e}")))?
                 }
                 "--lookups" | "-l" => {
                     cli.lookups = value("--lookups")?
                         .parse()
-                        .map_err(|e| format!("--lookups: {e}"))?
+                        .map_err(|e| CliError::Bad(format!("--lookups: {e}")))?
                 }
                 "--out" | "-o" => cli.out = Some(value("--out")?),
                 "--quick" => cli.quick = true,
@@ -101,9 +117,15 @@ impl Cli {
                 "--multicast" => cli.multicast = true,
                 "--lossy" => cli.lossy = true,
                 "--durability" => cli.durability = true,
+                "--readpath" => cli.readpath = true,
                 "--smoke" => cli.smoke = true,
-                "--help" | "-h" => return Err(usage()),
-                other => return Err(format!("unknown argument '{other}'\n\n{}", usage())),
+                "--help" | "-h" => return Err(CliError::Help),
+                other => {
+                    return Err(CliError::Bad(format!(
+                        "unknown argument '{other}'\n\n{}",
+                        usage()
+                    )))
+                }
             }
             i += 1;
         }
@@ -119,16 +141,35 @@ impl Cli {
             cli.lookups = cli.lookups.min(20);
         }
         if cli.lossy && !cli.multicast {
-            return Err("--lossy is a mode of the multicast driver; pass --multicast too".into());
+            return Err(CliError::Bad(
+                "--lossy is a mode of the multicast driver; pass --multicast too".into(),
+            ));
         }
         Ok(cli)
     }
 }
 
 fn usage() -> String {
-    "usage: reproduce [--figure A..I|all] [--nodes N] [--seed S] [--lookups K] \
-     [--quick] [--smoke] [--baselines] [--maintenance] [--multicast] [--lossy] \
-     [--durability] [--no-table-routing] [--out DIR]"
+    "usage: reproduce [flags]
+
+  --figure A..I|all     run one paper figure (repeatable) instead of the suite
+  --nodes N   (-n)      initial population size (default 800)
+  --seed S    (-s)      deterministic seed (default 2005)
+  --lookups K (-l)      lookups per churn step per algorithm (default 100)
+  --quick               shrink the churn schedule for fast runs
+  --smoke               bounded smoke profile; runs only the gates asked for
+  --table-routing       Section III.e routing-table report (default on)
+  --no-table-routing    skip the routing-table report
+  --baselines           TreeP vs Chord vs flooding comparison
+  --maintenance         maintenance-overhead ablation
+  --multicast           scoped multicast vs flooding broadcast
+  --lossy               per-hop-loss sweep of multicast reliability (Figure L;
+                        requires --multicast)
+  --durability          DHT durability under churn, k = 1 vs k = 3 (Figure R)
+  --readpath            Zipf read storm: hot-key cache off vs on (Figure S;
+                        writes BENCH_readpath.json)
+  --out DIR   (-o)      also write one CSV per figure into DIR
+  --help      (-h)      print this list and exit"
         .to_string()
 }
 
@@ -150,7 +191,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match Cli::parse(&args) {
         Ok(cli) => cli,
-        Err(msg) => {
+        Err(CliError::Help) => {
+            println!("{}", usage());
+            std::process::exit(0);
+        }
+        Err(CliError::Bad(msg)) => {
             eprintln!("{msg}");
             std::process::exit(2);
         }
@@ -329,6 +374,63 @@ fn main() {
             let path = format!("{dir}/figure_r_durability.csv");
             if let Err(e) = report.to_csv().write_to(&path) {
                 eprintln!("warning: could not write {path}: {e}");
+            }
+        }
+    }
+
+    if cli.readpath {
+        eprintln!("# running read-storm experiment (Zipf reads, hot-key cache off vs on)…");
+        let params = if cli.smoke {
+            ReadStormParams::smoke(cli.seed)
+        } else {
+            ReadStormParams::new(cli.nodes.min(400), cli.seed)
+        };
+        let report = run_read_storm(&params);
+        println!("{}", report.to_table().render());
+        let bench_path = match &cli.out {
+            Some(dir) => format!("{dir}/BENCH_readpath.json"),
+            None => "BENCH_readpath.json".to_string(),
+        };
+        if let Err(e) = std::fs::write(&bench_path, report.to_json()) {
+            eprintln!("warning: could not write {bench_path}: {e}");
+        } else {
+            eprintln!("#   wrote {bench_path}");
+        }
+        if let Some(dir) = &cli.out {
+            let path = format!("{dir}/figure_s_readpath.csv");
+            if let Err(e) = report.to_csv().write_to(&path) {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
+        // The smoke profile doubles as the read-path regression gate: at
+        // equal completion the cache must exercise (hits > 0) and must not
+        // lengthen the hop tail. Missing rows fail hard so a load-level
+        // edit cannot silently disable the gate.
+        if cli.smoke {
+            let offered = *params.load_levels.first().expect("smoke has a load level");
+            let (Some(off), Some(on)) =
+                (report.row_at(false, offered), report.row_at(true, offered))
+            else {
+                eprintln!("error: read-path smoke gate needs cached and uncached rows");
+                std::process::exit(1);
+            };
+            eprintln!(
+                "#   at {} gets/round: uncached p99 {:.1} hops / max load {}, \
+                 cached p99 {:.1} hops / max load {} ({} cache hits)",
+                offered,
+                off.p99_hops,
+                off.max_node_load,
+                on.p99_hops,
+                on.max_node_load,
+                on.cache_hits
+            );
+            if off.completion_pct() < 99.0
+                || on.completion_pct() < 99.0
+                || on.cache_hits == 0
+                || on.p99_hops > off.p99_hops
+            {
+                eprintln!("error: read-path smoke gate failed: off {off:?} on {on:?}");
+                std::process::exit(1);
             }
         }
     }

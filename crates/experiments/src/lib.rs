@@ -20,6 +20,8 @@
 //! * [`durability`] — DHT durability under churn: availability vs failed
 //!   fraction for replication factors k = 1 vs k = 3, plus anti-entropy
 //!   repair convergence.
+//! * [`readpath`] — the read-path serving layer under a Zipf-skewed read
+//!   storm: p99 hops and per-node max load, hot-key cache off vs on.
 //!
 //! The `reproduce` binary drives all of the above from the command line; the
 //! Criterion benches in `crates/bench` wrap the same entry points.
@@ -32,6 +34,7 @@ pub mod figures;
 pub mod maintenance;
 pub mod multicast_compare;
 pub mod params;
+pub mod readpath;
 pub mod runner;
 pub mod table_routing;
 
@@ -44,7 +47,9 @@ pub use multicast_compare::{
     MulticastComparison, MulticastParams, MulticastRow,
 };
 pub use params::ExperimentParams;
+pub use readpath::{run_read_storm, ReadStormParams, ReadStormReport, ReadStormRow};
 pub use runner::{
-    run_churn_experiment, AlgoStepStats, ChurnRunResult, MulticastStepStats, StepMeasurement,
+    run_churn_experiment, AlgoStepStats, ChurnRunResult, MulticastStepStats, ReadPathStepStats,
+    StepMeasurement,
 };
 pub use table_routing::{routing_table_report, LevelTableRow, RoutingTableReport};

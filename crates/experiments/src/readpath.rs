@@ -1,0 +1,580 @@
+//! Figure S — the read-path serving layer under a Zipf-skewed read storm.
+//!
+//! A routed `DhtGet` funnels every request for a key to the one responsible
+//! node, so a skewed read workload concentrates load brutally: the hotter
+//! the key, the busier its home. The read-path layer counters this two
+//! ways — replicas answer gets mid-route, and every hop on the route keeps
+//! a small versioned hot-key cache filled on the reply path. This driver
+//! measures what that buys at equal workload:
+//!
+//! * **p50 / p99 hops per answered get** — the cache answers hot keys close
+//!   to the requester, so the tail hop count must drop;
+//! * **per-node max load** — messages received by the busiest node during
+//!   the measurement window, the load-concentration metric;
+//! * **read-path counters** — cache hits/fills/evictions, replica-served
+//!   gets and read-repairs, to attribute *why* the curves move.
+//!
+//! Both modes run the identical seeded workload (same topology, same Zipf
+//! draw sequence): `cached = false` runs replica-first reads alone
+//! (`cache_capacity = 0`), `cached = true` adds the hot-key cache. The
+//! smoke profile doubles as the CI regression gate: cached p99 hops must
+//! not exceed uncached at equal completion.
+
+use analysis::{AsciiTable, Csv, SummaryStats};
+use simnet::{NodeAddr, SimDuration};
+use treep::lookup::RequestId;
+use treep::{ReadOutcome, TreePConfig, TreePNode};
+use workloads::{KvWorkload, TopologyBuilder, ZipfSampler};
+
+/// Parameters of one read-storm comparison.
+#[derive(Debug, Clone)]
+pub struct ReadStormParams {
+    /// Population size.
+    pub nodes: usize,
+    /// Seed for topology, corpus placement and the Zipf draws.
+    pub seed: u64,
+    /// Size of the key corpus (and of the Zipf rank space).
+    pub keys: usize,
+    /// Zipf skew exponent of the read popularity.
+    pub alpha: f64,
+    /// Offered-load levels: versioned gets issued per measured round.
+    pub load_levels: Vec<usize>,
+    /// Measured rounds per load level.
+    pub rounds: usize,
+    /// Cache-warming rounds per load level, excluded from the statistics.
+    pub warmup_rounds: usize,
+    /// Hot-key cache capacity of the cached mode (per node).
+    pub cache_capacity: usize,
+    /// Cache line time-to-live. Must comfortably exceed the per-round
+    /// drain or the warmed lines expire before the measured rounds read
+    /// them (the protocol default of 500 ms is tuned for steady request
+    /// streams, not the bursty round structure used here).
+    pub cache_ttl: SimDuration,
+    /// Virtual time after seeding the corpus before reads start.
+    pub settle: SimDuration,
+    /// Virtual time each round's gets are given to resolve. Must exceed
+    /// the configured lookup timeout.
+    pub drain: SimDuration,
+}
+
+impl ReadStormParams {
+    /// The headline comparison: a hot corpus read at three offered-load
+    /// levels, α = 0.99 (the classic YCSB-style skew).
+    pub fn new(nodes: usize, seed: u64) -> Self {
+        ReadStormParams {
+            nodes,
+            seed,
+            keys: 200,
+            alpha: 0.99,
+            load_levels: vec![100, 200, 400],
+            rounds: 3,
+            warmup_rounds: 2,
+            cache_capacity: 32,
+            cache_ttl: SimDuration::from_secs(30),
+            settle: SimDuration::from_secs(3),
+            drain: SimDuration::from_millis(2_500),
+        }
+    }
+
+    /// Bounded smoke profile for CI and unit tests: one load level, a
+    /// small population, still enough skewed volume to warm the caches.
+    pub fn smoke(seed: u64) -> Self {
+        ReadStormParams {
+            nodes: 100,
+            keys: 64,
+            load_levels: vec![150],
+            rounds: 2,
+            ..Self::new(100, seed)
+        }
+    }
+
+    /// The protocol configuration one mode's simulation runs with: both
+    /// modes read replica-first with read-repair; only the cache differs.
+    fn config(&self, cached: bool) -> TreePConfig {
+        let mut config = TreePConfig::paper_case_fixed();
+        config.lookup_timeout = SimDuration::from_secs(2);
+        config.replication_factor = 3;
+        let mut config = config.with_read_path(if cached { self.cache_capacity } else { 0 });
+        config.cache_ttl = self.cache_ttl;
+        config
+    }
+}
+
+/// One `(mode, offered load)` measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadStormRow {
+    /// True when the hot-key cache was enabled.
+    pub cached: bool,
+    /// Gets issued per measured round.
+    pub offered: usize,
+    /// Gets issued over all measured rounds.
+    pub issued: usize,
+    /// Gets answered with a value (the coverage numerator).
+    pub completed: usize,
+    /// Median hops per answered get.
+    pub p50_hops: f64,
+    /// 99th-percentile hops per answered get.
+    pub p99_hops: f64,
+    /// Mean hops per answered get.
+    pub mean_hops: f64,
+    /// Read-path messages (versioned gets/puts, replies, verifies,
+    /// repairs) received by the busiest node during the measurement window
+    /// — the load-concentration metric. Background maintenance traffic is
+    /// excluded so the hot-key funnel is visible at smoke-test volumes.
+    pub max_node_load: u64,
+    /// Mean read-path messages received per live node during the window.
+    pub mean_node_load: f64,
+    /// Cache hits during the window.
+    pub cache_hits: u64,
+    /// Cache fills during the window.
+    pub cache_fills: u64,
+    /// Cache evictions during the window.
+    pub cache_evictions: u64,
+    /// Replica-served gets during the window.
+    pub replica_served: u64,
+    /// Read-repairs issued during the window.
+    pub read_repairs: u64,
+}
+
+impl ReadStormRow {
+    /// Fraction of issued gets answered with a value, in percent.
+    pub fn completion_pct(&self) -> f64 {
+        if self.issued == 0 {
+            100.0
+        } else {
+            self.completed as f64 * 100.0 / self.issued as f64
+        }
+    }
+}
+
+/// The full cached-vs-uncached comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadStormReport {
+    /// Population size.
+    pub nodes: usize,
+    /// Corpus size.
+    pub keys: usize,
+    /// Zipf exponent.
+    pub alpha: f64,
+    /// One row per (mode, load level); uncached rows first.
+    pub rows: Vec<ReadStormRow>,
+}
+
+impl ReadStormReport {
+    /// The row of one mode at one offered-load level.
+    pub fn row_at(&self, cached: bool, offered: usize) -> Option<&ReadStormRow> {
+        self.rows
+            .iter()
+            .find(|r| r.cached == cached && r.offered == offered)
+    }
+
+    /// Export the rows as CSV.
+    pub fn to_csv(&self) -> Csv {
+        let mut csv = Csv::new([
+            "cached",
+            "offered",
+            "issued",
+            "completion_pct",
+            "p50_hops",
+            "p99_hops",
+            "mean_hops",
+            "max_node_load",
+            "mean_node_load",
+            "cache_hits",
+            "cache_fills",
+            "cache_evictions",
+            "replica_served",
+            "read_repairs",
+        ]);
+        for row in &self.rows {
+            csv.push_row([
+                u8::from(row.cached).to_string(),
+                row.offered.to_string(),
+                row.issued.to_string(),
+                format!("{:.2}", row.completion_pct()),
+                format!("{:.2}", row.p50_hops),
+                format!("{:.2}", row.p99_hops),
+                format!("{:.2}", row.mean_hops),
+                row.max_node_load.to_string(),
+                format!("{:.2}", row.mean_node_load),
+                row.cache_hits.to_string(),
+                row.cache_fills.to_string(),
+                row.cache_evictions.to_string(),
+                row.replica_served.to_string(),
+                row.read_repairs.to_string(),
+            ]);
+        }
+        csv
+    }
+
+    /// Render the comparison as an aligned table.
+    pub fn to_table(&self) -> AsciiTable {
+        let mut table = AsciiTable::new(format!(
+            "Figure S — Zipf({:.2}) read storm (n = {}, {} keys): hot-key cache off vs on",
+            self.alpha, self.nodes, self.keys
+        ))
+        .header([
+            "cache",
+            "offered",
+            "compl %",
+            "p50 hops",
+            "p99 hops",
+            "max load",
+            "mean load",
+            "hits",
+            "repl-served",
+            "repairs",
+        ]);
+        for row in &self.rows {
+            table.push_row([
+                if row.cached { "on" } else { "off" }.to_string(),
+                row.offered.to_string(),
+                format!("{:.1}", row.completion_pct()),
+                format!("{:.1}", row.p50_hops),
+                format!("{:.1}", row.p99_hops),
+                row.max_node_load.to_string(),
+                format!("{:.1}", row.mean_node_load),
+                row.cache_hits.to_string(),
+                row.replica_served.to_string(),
+                row.read_repairs.to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// The benchmark summary as a JSON document (hand-formatted: the
+    /// workspace deliberately carries no JSON dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"readpath\",\n");
+        out.push_str(&format!("  \"nodes\": {},\n", self.nodes));
+        out.push_str(&format!("  \"keys\": {},\n", self.keys));
+        out.push_str(&format!("  \"alpha\": {:.3},\n", self.alpha));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"cached\": {}, \"offered\": {}, \"issued\": {}, \
+                 \"completion_pct\": {:.2}, \"p50_hops\": {:.2}, \"p99_hops\": {:.2}, \
+                 \"mean_hops\": {:.3}, \"max_node_load\": {}, \"mean_node_load\": {:.2}, \
+                 \"cache_hits\": {}, \"cache_fills\": {}, \"cache_evictions\": {}, \
+                 \"replica_served\": {}, \"read_repairs\": {}}}{}\n",
+                row.cached,
+                row.offered,
+                row.issued,
+                row.completion_pct(),
+                row.p50_hops,
+                row.p99_hops,
+                row.mean_hops,
+                row.max_node_load,
+                row.mean_node_load,
+                row.cache_hits,
+                row.cache_fills,
+                row.cache_evictions,
+                row.replica_served,
+                row.read_repairs,
+                if i + 1 < self.rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Run the read-storm comparison: one simulation per mode over the same
+/// seed, topology and workload sequence.
+pub fn run_read_storm(params: &ReadStormParams) -> ReadStormReport {
+    let mut rows = Vec::new();
+    for cached in [false, true] {
+        rows.extend(run_one_mode(params, cached));
+    }
+    ReadStormReport {
+        nodes: params.nodes,
+        keys: params.keys,
+        alpha: params.alpha,
+        rows,
+    }
+}
+
+fn run_one_mode(params: &ReadStormParams, cached: bool) -> Vec<ReadStormRow> {
+    let config = params.config(cached);
+    let builder = TopologyBuilder::new(params.nodes).with_config(config);
+    let (mut sim, topo) = builder.build_simulation(params.seed);
+    let kv = KvWorkload::new(params.keys);
+    let sampler = ZipfSampler::new(params.keys, params.alpha);
+    let mut rng = sim.rng_mut().fork();
+
+    // Seed the corpus with versioned puts and let the placement finish.
+    let alive = topo.alive_pairs(&sim);
+    for op in kv.batch(&alive, &mut rng) {
+        let key = kv.key_bytes(op.index);
+        let value = kv.value_bytes(op.index);
+        sim.invoke(op.source, move |node, ctx| {
+            node.dht_put_versioned(&key, value, ctx);
+        });
+    }
+    sim.run_for(params.settle);
+    drain_outcomes(&mut sim, &alive);
+
+    let mut rows = Vec::new();
+    for &offered in &params.load_levels {
+        // Warm-up: identical skewed traffic, outcomes discarded. The
+        // uncached mode runs it too, so both modes measure the same
+        // workload position in the RNG stream.
+        for _ in 0..params.warmup_rounds {
+            issue_round(&mut sim, &topo, &kv, &sampler, offered, &mut rng, params);
+            let pairs = topo.alive_pairs(&sim);
+            drain_outcomes(&mut sim, &pairs);
+        }
+
+        // Measure: per-node received-message and counter deltas bracket
+        // the window so warm-up and corpus seeding are excluded.
+        let alive_pairs = topo.alive_pairs(&sim);
+        let load_before = node_loads(&sim, &alive_pairs);
+        let counters_before = readpath_totals(&sim, &alive_pairs);
+        let mut issued = 0usize;
+        let mut completed = 0usize;
+        let mut hops: Vec<f64> = Vec::new();
+        for _ in 0..params.rounds {
+            issued += issue_round(&mut sim, &topo, &kv, &sampler, offered, &mut rng, params);
+            for outcome in drain_outcomes(&mut sim, &alive_pairs) {
+                if let ReadOutcome::Got {
+                    value: Some(_),
+                    hops: h,
+                    ..
+                } = outcome
+                {
+                    completed += 1;
+                    hops.push(h as f64);
+                }
+            }
+        }
+        let load_after = node_loads(&sim, &alive_pairs);
+        let counters_after = readpath_totals(&sim, &alive_pairs);
+
+        let deltas: Vec<u64> = load_after
+            .iter()
+            .zip(&load_before)
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        let stats = SummaryStats::of(&hops);
+        rows.push(ReadStormRow {
+            cached,
+            offered,
+            issued,
+            completed,
+            p50_hops: SummaryStats::percentile(&hops, 50.0),
+            p99_hops: SummaryStats::percentile(&hops, 99.0),
+            mean_hops: stats.mean,
+            max_node_load: deltas.iter().copied().max().unwrap_or(0),
+            mean_node_load: if deltas.is_empty() {
+                0.0
+            } else {
+                deltas.iter().sum::<u64>() as f64 / deltas.len() as f64
+            },
+            cache_hits: counters_after.0.saturating_sub(counters_before.0),
+            cache_fills: counters_after.1.saturating_sub(counters_before.1),
+            cache_evictions: counters_after.2.saturating_sub(counters_before.2),
+            replica_served: counters_after.3.saturating_sub(counters_before.3),
+            read_repairs: counters_after.4.saturating_sub(counters_before.4),
+        });
+    }
+    rows
+}
+
+/// Issue one round of Zipf-distributed versioned gets and drain it.
+/// Returns the number of gets issued.
+fn issue_round(
+    sim: &mut simnet::Simulation<TreePNode>,
+    topo: &workloads::BuiltTopology,
+    kv: &KvWorkload,
+    sampler: &ZipfSampler,
+    offered: usize,
+    rng: &mut simnet::SimRng,
+    params: &ReadStormParams,
+) -> usize {
+    let alive_pairs = topo.alive_pairs(sim);
+    let batch = kv.zipf_batch(&alive_pairs, sampler, offered, rng);
+    let issued = batch.len();
+    for op in batch {
+        let key = kv.key_bytes(op.index);
+        let _: Option<RequestId> = sim.invoke(op.source, move |node, ctx| {
+            node.dht_get_versioned(&key, ctx)
+        });
+    }
+    sim.run_for(params.drain);
+    issued
+}
+
+/// Drain every node's read outcomes.
+fn drain_outcomes(
+    sim: &mut simnet::Simulation<TreePNode>,
+    alive_pairs: &[(NodeAddr, treep::NodeId)],
+) -> Vec<ReadOutcome> {
+    let mut out = Vec::new();
+    for &(addr, _) in alive_pairs {
+        if let Some(node) = sim.node_mut(addr) {
+            out.extend(node.drain_read_outcomes());
+        }
+    }
+    out
+}
+
+/// Per-node read-path received-message counts, in `alive_pairs` order.
+/// Only the serving-layer kinds count: the experiment compares how the
+/// *read* load concentrates, not the (identical) background maintenance.
+fn node_loads(
+    sim: &simnet::Simulation<TreePNode>,
+    alive_pairs: &[(NodeAddr, treep::NodeId)],
+) -> Vec<u64> {
+    alive_pairs
+        .iter()
+        .map(|&(addr, _)| {
+            sim.node(addr)
+                .map(|n| {
+                    n.stats()
+                        .received
+                        .iter()
+                        .filter(|(k, _)| {
+                            k.starts_with("get_versioned")
+                                || k.starts_with("put_versioned")
+                                || k.starts_with("read_")
+                        })
+                        .map(|(_, v)| *v)
+                        .sum()
+                })
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Summed (cache_hits, cache_fills, cache_evictions, replica_served_gets,
+/// read_repairs_issued) over the given nodes.
+fn readpath_totals(
+    sim: &simnet::Simulation<TreePNode>,
+    alive_pairs: &[(NodeAddr, treep::NodeId)],
+) -> (u64, u64, u64, u64, u64) {
+    let mut t = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for &(addr, _) in alive_pairs {
+        if let Some(node) = sim.node(addr) {
+            let s = node.stats();
+            t.0 += s.cache_hits;
+            t.1 += s.cache_fills;
+            t.2 += s.cache_evictions;
+            t.3 += s.replica_served_gets;
+            t.4 += s.read_repairs_issued;
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_profile_is_bounded() {
+        let smoke = ReadStormParams::smoke(1);
+        let full = ReadStormParams::new(800, 1);
+        assert!(smoke.nodes < full.nodes);
+        assert!(smoke.keys < full.keys);
+        assert!(smoke.load_levels.len() < full.load_levels.len());
+        assert!(smoke.drain.as_micros() > smoke.config(true).lookup_timeout.as_micros());
+        assert!(smoke.config(true).cache_capacity > 0);
+        assert_eq!(smoke.config(false).cache_capacity, 0);
+        assert!(smoke.config(false).replica_reads);
+    }
+
+    #[test]
+    fn caching_cuts_tail_hops_and_load_concentration() {
+        let report = run_read_storm(&ReadStormParams::smoke(2005));
+        let offered = 150;
+        let off = report.row_at(false, offered).expect("uncached row");
+        let on = report.row_at(true, offered).expect("cached row");
+        // Equal coverage first: the comparison is meaningless if one mode
+        // drops gets.
+        for (label, row) in [("uncached", off), ("cached", on)] {
+            assert!(
+                row.completion_pct() >= 99.0,
+                "{label}: completion {:.1}% ({} of {})",
+                row.completion_pct(),
+                row.completed,
+                row.issued
+            );
+        }
+        assert!(on.cache_hits > 0, "cached mode must exercise the cache");
+        assert_eq!(off.cache_hits, 0, "capacity 0 must never hit");
+        assert!(
+            on.p99_hops <= off.p99_hops,
+            "cache must not lengthen the hop tail: p99 {} vs {}",
+            on.p99_hops,
+            off.p99_hops
+        );
+        assert!(
+            on.max_node_load < off.max_node_load,
+            "cache must spread the hot-key load: busiest node {} vs {}",
+            on.max_node_load,
+            off.max_node_load
+        );
+    }
+
+    #[test]
+    fn report_accessors_table_and_json() {
+        let report = ReadStormReport {
+            nodes: 10,
+            keys: 5,
+            alpha: 1.0,
+            rows: vec![
+                ReadStormRow {
+                    cached: false,
+                    offered: 20,
+                    issued: 40,
+                    completed: 40,
+                    p50_hops: 3.0,
+                    p99_hops: 6.0,
+                    mean_hops: 3.2,
+                    max_node_load: 100,
+                    mean_node_load: 30.0,
+                    cache_hits: 0,
+                    cache_fills: 0,
+                    cache_evictions: 0,
+                    replica_served: 7,
+                    read_repairs: 1,
+                },
+                ReadStormRow {
+                    cached: true,
+                    offered: 20,
+                    issued: 40,
+                    completed: 38,
+                    p50_hops: 1.0,
+                    p99_hops: 4.0,
+                    mean_hops: 1.5,
+                    max_node_load: 60,
+                    mean_node_load: 28.0,
+                    cache_hits: 25,
+                    cache_fills: 12,
+                    cache_evictions: 3,
+                    replica_served: 4,
+                    read_repairs: 0,
+                },
+            ],
+        };
+        assert_eq!(report.row_at(true, 20).unwrap().cache_hits, 25);
+        assert!(report.row_at(true, 99).is_none());
+        assert_eq!(report.to_table().len(), 2);
+        assert_eq!(report.to_csv().len(), 2);
+        assert!((report.rows[1].completion_pct() - 95.0).abs() < 1e-9);
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"readpath\""));
+        assert!(json.contains("\"cached\": true"));
+        assert!(json.contains("\"p99_hops\": 4.00"));
+        // Balanced braces/brackets — the cheap well-formedness check
+        // available without a JSON parser in the workspace.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close} in {json}"
+            );
+        }
+    }
+}

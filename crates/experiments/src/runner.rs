@@ -76,6 +76,21 @@ impl MulticastStepStats {
     }
 }
 
+/// Read-path counter deltas accumulated over one churn step (all zero
+/// unless the configuration enables `replica_reads` / the hot-key cache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadPathStepStats {
+    /// Versioned gets answered from hot-key caches during the step.
+    pub cache_hits: u64,
+    /// Cache lines evicted during the step.
+    pub cache_evictions: u64,
+    /// Versioned gets answered from replica stores (server not
+    /// responsible for the key).
+    pub replica_served_gets: u64,
+    /// Read-repairs issued by responsible nodes during the step.
+    pub read_repairs_issued: u64,
+}
+
 /// Everything measured at one churn step.
 #[derive(Debug, Clone)]
 pub struct StepMeasurement {
@@ -95,6 +110,8 @@ pub struct StepMeasurement {
     /// Multicast probe coverage, when
     /// [`ExperimentParams::multicast_probes_per_step`] is non-zero.
     pub multicast: Option<MulticastStepStats>,
+    /// Read-path counter deltas over the whole step window.
+    pub readpath: ReadPathStepStats,
 }
 
 impl StepMeasurement {
@@ -185,6 +202,7 @@ pub fn run_churn_experiment(params: &ExperimentParams) -> ChurnRunResult {
 
         // 2. Let keep-alives, expiry, elections and demotions react.
         let before = sim.metrics();
+        let readpath_before = readpath_counters(&sim);
         sim.run_for(params.settle_per_step);
         let maintenance_messages = sim.metrics().messages_sent - before.messages_sent;
 
@@ -224,6 +242,22 @@ pub fn run_churn_experiment(params: &ExperimentParams) -> ChurnRunResult {
             .as_mut()
             .map(|prng| measure_multicast_coverage(&mut sim, &alive_pairs, params, prng));
 
+        let readpath_after = readpath_counters(&sim);
+        let readpath = ReadPathStepStats {
+            cache_hits: readpath_after
+                .cache_hits
+                .saturating_sub(readpath_before.cache_hits),
+            cache_evictions: readpath_after
+                .cache_evictions
+                .saturating_sub(readpath_before.cache_evictions),
+            replica_served_gets: readpath_after
+                .replica_served_gets
+                .saturating_sub(readpath_before.replica_served_gets),
+            read_repairs_issued: readpath_after
+                .read_repairs_issued
+                .saturating_sub(readpath_before.read_repairs_issued),
+        };
+
         steps.push(StepMeasurement {
             index: churn_step.index,
             failed_fraction: churn_step.failed_fraction,
@@ -239,6 +273,7 @@ pub fn run_churn_experiment(params: &ExperimentParams) -> ChurnRunResult {
                 maintenance_messages as f64 / alive_nodes as f64
             },
             multicast,
+            readpath,
         });
     }
 
@@ -302,6 +337,23 @@ fn measure_multicast_coverage(
         }
     }
     stats
+}
+
+/// Sum of the read-path counters over every live node; per-step deltas
+/// come from sampling before and after the step window (fallen nodes take
+/// their counters with them, hence the saturating subtraction above).
+fn readpath_counters(sim: &Simulation<TreePNode>) -> ReadPathStepStats {
+    let mut totals = ReadPathStepStats::default();
+    for addr in sim.alive_nodes() {
+        if let Some(node) = sim.node(addr) {
+            let stats = node.stats();
+            totals.cache_hits += stats.cache_hits;
+            totals.cache_evictions += stats.cache_evictions;
+            totals.replica_served_gets += stats.replica_served_gets;
+            totals.read_repairs_issued += stats.read_repairs_issued;
+        }
+    }
+    totals
 }
 
 /// Sum of (retransmits, reroutes) over the given nodes — measured as a
@@ -466,6 +518,18 @@ mod tests {
     fn multicast_coverage_absent_without_probes() {
         let result = quick_result();
         assert!(result.steps.iter().all(|s| s.multicast.is_none()));
+    }
+
+    #[test]
+    fn readpath_counters_stay_zero_with_the_read_path_off() {
+        // The churn runner never issues versioned reads and the default
+        // configuration disables the serving tiers, so every per-step
+        // delta must be exactly zero — any non-zero value means the
+        // defaults-off guarantee broke.
+        let result = quick_result();
+        for step in &result.steps {
+            assert_eq!(step.readpath, ReadPathStepStats::default());
+        }
     }
 
     #[test]

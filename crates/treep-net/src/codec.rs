@@ -11,7 +11,8 @@ use simnet::NodeAddr;
 use treep::lookup::{LookupRequest, RequestId};
 use treep::{
     AggregatePartial, AggregateQuery, CharacteristicsSummary, KeyRange, MulticastPayload,
-    MulticastPhase, NodeId, PeerInfo, ReplicaEntry, RoutingAlgorithm, RoutingUpdate, TreePMessage,
+    MulticastPhase, NodeId, PeerInfo, ReadSource, ReplicaEntry, RoutingAlgorithm, RoutingUpdate,
+    StampedValue, TreePMessage, VersionStamp,
 };
 
 /// Decoding failure.
@@ -62,6 +63,12 @@ const TAG_REPLICA_SYNC_REQUEST: u8 = 21;
 const TAG_REPLICA_SYNC_REPLY: u8 = 22;
 const TAG_MULTICAST_ACK: u8 = 23;
 const TAG_AGGREGATE_ACK: u8 = 24;
+const TAG_GET_VERSIONED: u8 = 25;
+const TAG_GET_VERSIONED_REPLY: u8 = 26;
+const TAG_PUT_VERSIONED: u8 = 27;
+const TAG_PUT_VERSIONED_ACK: u8 = 28;
+const TAG_READ_REPAIR: u8 = 29;
+const TAG_READ_VERIFY: u8 = 30;
 
 // ---- public API -------------------------------------------------------------
 
@@ -284,6 +291,107 @@ pub fn encode_message(msg: &TreePMessage) -> Vec<u8> {
             buf.put_u64_le(origin.0);
             buf.put_u64_le(request_id.0);
         }
+        TreePMessage::GetVersioned {
+            request_id,
+            origin,
+            key,
+            ttl,
+            min_stamp,
+            path,
+        } => {
+            buf.put_u8(TAG_GET_VERSIONED);
+            buf.put_u64_le(request_id.0);
+            put_peer(&mut buf, origin);
+            buf.put_u64_le(key.0);
+            buf.put_u32_le(*ttl);
+            match min_stamp {
+                Some(s) => {
+                    buf.put_u8(1);
+                    put_stamp(&mut buf, s);
+                }
+                None => buf.put_u8(0),
+            }
+            put_addrs(&mut buf, path);
+        }
+        TreePMessage::GetVersionedReply {
+            request_id,
+            origin,
+            key,
+            value,
+            source,
+            hops,
+            responder,
+            path,
+        } => {
+            buf.put_u8(TAG_GET_VERSIONED_REPLY);
+            buf.put_u64_le(request_id.0);
+            buf.put_u64_le(origin.0);
+            buf.put_u64_le(key.0);
+            match value {
+                Some(sv) => {
+                    buf.put_u8(1);
+                    put_stamp(&mut buf, &sv.stamp);
+                    put_bytes(&mut buf, &sv.value);
+                }
+                None => buf.put_u8(0),
+            }
+            buf.put_u8(source_tag(*source));
+            buf.put_u32_le(*hops);
+            put_peer(&mut buf, responder);
+            put_addrs(&mut buf, path);
+        }
+        TreePMessage::PutVersioned {
+            request_id,
+            origin,
+            key,
+            stamp,
+            value,
+            ttl,
+        } => {
+            buf.put_u8(TAG_PUT_VERSIONED);
+            buf.put_u64_le(request_id.0);
+            put_peer(&mut buf, origin);
+            buf.put_u64_le(key.0);
+            put_stamp(&mut buf, stamp);
+            put_bytes(&mut buf, value);
+            buf.put_u32_le(*ttl);
+        }
+        TreePMessage::PutVersionedAck {
+            request_id,
+            key,
+            stamp,
+            stored_at,
+        } => {
+            buf.put_u8(TAG_PUT_VERSIONED_ACK);
+            buf.put_u64_le(request_id.0);
+            buf.put_u64_le(key.0);
+            put_stamp(&mut buf, stamp);
+            put_peer(&mut buf, stored_at);
+        }
+        TreePMessage::ReadRepair {
+            sender,
+            key,
+            stamp,
+            value,
+        } => {
+            buf.put_u8(TAG_READ_REPAIR);
+            put_peer(&mut buf, sender);
+            buf.put_u64_le(key.0);
+            put_stamp(&mut buf, stamp);
+            put_bytes(&mut buf, value);
+        }
+        TreePMessage::ReadVerify {
+            server,
+            key,
+            served_stamp,
+            ttl,
+        } => {
+            buf.put_u8(TAG_READ_VERIFY);
+            put_peer(&mut buf, server);
+            buf.put_u64_le(key.0);
+            put_stamp(&mut buf, served_stamp);
+            buf.put_u32_le(*ttl);
+        }
     }
     buf.to_vec()
 }
@@ -426,6 +534,65 @@ pub fn decode_message(mut buf: &[u8]) -> Result<TreePMessage> {
         TAG_AGGREGATE_ACK => TreePMessage::AggregateAck {
             origin: NodeAddr(get_u64(&mut buf)?),
             request_id: RequestId(get_u64(&mut buf)?),
+        },
+        TAG_GET_VERSIONED => TreePMessage::GetVersioned {
+            request_id: RequestId(get_u64(&mut buf)?),
+            origin: get_peer(&mut buf)?,
+            key: NodeId(get_u64(&mut buf)?),
+            ttl: get_u32(&mut buf)?,
+            min_stamp: {
+                if get_u8(&mut buf)? == 1 {
+                    Some(get_stamp(&mut buf)?)
+                } else {
+                    None
+                }
+            },
+            path: get_addrs(&mut buf)?,
+        },
+        TAG_GET_VERSIONED_REPLY => TreePMessage::GetVersionedReply {
+            request_id: RequestId(get_u64(&mut buf)?),
+            origin: NodeAddr(get_u64(&mut buf)?),
+            key: NodeId(get_u64(&mut buf)?),
+            value: {
+                if get_u8(&mut buf)? == 1 {
+                    Some(StampedValue {
+                        stamp: get_stamp(&mut buf)?,
+                        value: get_bytes(&mut buf)?,
+                    })
+                } else {
+                    None
+                }
+            },
+            source: source_from_tag(get_u8(&mut buf)?)?,
+            hops: get_u32(&mut buf)?,
+            responder: get_peer(&mut buf)?,
+            path: get_addrs(&mut buf)?,
+        },
+        TAG_PUT_VERSIONED => TreePMessage::PutVersioned {
+            request_id: RequestId(get_u64(&mut buf)?),
+            origin: get_peer(&mut buf)?,
+            key: NodeId(get_u64(&mut buf)?),
+            stamp: get_stamp(&mut buf)?,
+            value: get_bytes(&mut buf)?,
+            ttl: get_u32(&mut buf)?,
+        },
+        TAG_PUT_VERSIONED_ACK => TreePMessage::PutVersionedAck {
+            request_id: RequestId(get_u64(&mut buf)?),
+            key: NodeId(get_u64(&mut buf)?),
+            stamp: get_stamp(&mut buf)?,
+            stored_at: get_peer(&mut buf)?,
+        },
+        TAG_READ_REPAIR => TreePMessage::ReadRepair {
+            sender: get_peer(&mut buf)?,
+            key: NodeId(get_u64(&mut buf)?),
+            stamp: get_stamp(&mut buf)?,
+            value: get_bytes(&mut buf)?,
+        },
+        TAG_READ_VERIFY => TreePMessage::ReadVerify {
+            server: get_peer(&mut buf)?,
+            key: NodeId(get_u64(&mut buf)?),
+            served_stamp: get_stamp(&mut buf)?,
+            ttl: get_u32(&mut buf)?,
         },
         other => return Err(CodecError::UnknownTag(other)),
     };
@@ -704,6 +871,51 @@ fn get_lookup_request(buf: &mut &[u8]) -> Result<LookupRequest> {
     req.visited = visited;
     req.fallbacks = fallbacks;
     Ok(req)
+}
+
+fn put_stamp(buf: &mut BytesMut, stamp: &VersionStamp) {
+    buf.put_u64_le(stamp.version);
+    buf.put_u64_le(stamp.origin.0);
+}
+
+fn get_stamp(buf: &mut &[u8]) -> Result<VersionStamp> {
+    Ok(VersionStamp {
+        version: get_u64(buf)?,
+        origin: NodeId(get_u64(buf)?),
+    })
+}
+
+fn source_tag(source: ReadSource) -> u8 {
+    match source {
+        ReadSource::Responsible => 0,
+        ReadSource::Replica => 1,
+        ReadSource::Cache => 2,
+    }
+}
+
+fn source_from_tag(tag: u8) -> Result<ReadSource> {
+    match tag {
+        0 => Ok(ReadSource::Responsible),
+        1 => Ok(ReadSource::Replica),
+        2 => Ok(ReadSource::Cache),
+        other => Err(CodecError::UnknownTag(other)),
+    }
+}
+
+fn put_addrs(buf: &mut BytesMut, addrs: &[NodeAddr]) {
+    buf.put_u32_le(addrs.len() as u32);
+    for a in addrs {
+        buf.put_u64_le(a.0);
+    }
+}
+
+fn get_addrs(buf: &mut &[u8]) -> Result<Vec<NodeAddr>> {
+    let n = get_u32(buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(NodeAddr(get_u64(buf)?));
+    }
+    Ok(out)
 }
 
 fn put_node_ids(buf: &mut BytesMut, ids: &[NodeId]) {
@@ -987,6 +1199,89 @@ mod tests {
                 origin: NodeAddr(79),
                 request_id: RequestId(108),
             },
+            TreePMessage::GetVersioned {
+                request_id: RequestId(110),
+                origin: peer(30, 0),
+                key: NodeId(88),
+                ttl: 12,
+                min_stamp: Some(VersionStamp {
+                    version: 3,
+                    origin: NodeId(30),
+                }),
+                path: vec![NodeAddr(91), NodeAddr(94)],
+            },
+            TreePMessage::GetVersioned {
+                request_id: RequestId(111),
+                origin: peer(31, 0),
+                key: NodeId(89),
+                ttl: 12,
+                min_stamp: None,
+                path: vec![],
+            },
+            TreePMessage::GetVersionedReply {
+                request_id: RequestId(110),
+                origin: NodeAddr(91),
+                key: NodeId(88),
+                value: Some(StampedValue {
+                    stamp: VersionStamp {
+                        version: 4,
+                        origin: NodeId(32),
+                    },
+                    value: b"cached".to_vec(),
+                }),
+                source: ReadSource::Cache,
+                hops: 2,
+                responder: peer(33, 1),
+                path: vec![NodeAddr(91)],
+            },
+            TreePMessage::GetVersionedReply {
+                request_id: RequestId(111),
+                origin: NodeAddr(94),
+                key: NodeId(89),
+                value: None,
+                source: ReadSource::Responsible,
+                hops: 5,
+                responder: peer(34, 0),
+                path: vec![],
+            },
+            TreePMessage::PutVersioned {
+                request_id: RequestId(112),
+                origin: peer(35, 0),
+                key: NodeId(90),
+                stamp: VersionStamp {
+                    version: 7,
+                    origin: NodeId(35),
+                },
+                value: b"fresh".to_vec(),
+                ttl: 9,
+            },
+            TreePMessage::PutVersionedAck {
+                request_id: RequestId(112),
+                key: NodeId(90),
+                stamp: VersionStamp {
+                    version: 7,
+                    origin: NodeId(35),
+                },
+                stored_at: peer(36, 1),
+            },
+            TreePMessage::ReadRepair {
+                sender: peer(37, 1),
+                key: NodeId(90),
+                stamp: VersionStamp {
+                    version: 7,
+                    origin: NodeId(35),
+                },
+                value: b"fresh".to_vec(),
+            },
+            TreePMessage::ReadVerify {
+                server: peer(38, 0),
+                key: NodeId(90),
+                served_stamp: VersionStamp {
+                    version: 6,
+                    origin: NodeId(20),
+                },
+                ttl: 8,
+            },
         ]
     }
 
@@ -1245,6 +1540,138 @@ mod wire_compat {
 }
 
 #[cfg(test)]
+mod wire_compat_readpath {
+    //! Second golden wire-format test: pins the encodings of the
+    //! reliability tags (23–24) and the read-path tags (25–30) introduced
+    //! after the legacy golden above was frozen. With `replica_reads`,
+    //! `read_repair` and the hot-key cache all defaulting to off, a node
+    //! never emits these tags — but once two deployments opt in they must
+    //! agree on every byte, so the new tags get their own checksum.
+    use super::*;
+
+    /// Fully literal peer, mirroring the legacy golden's helper.
+    fn peer(id: u64, addr: u64, level: u32) -> PeerInfo {
+        PeerInfo {
+            id: NodeId(id),
+            addr: NodeAddr(addr),
+            max_level: level,
+            summary: CharacteristicsSummary {
+                score_milli: 640,
+                max_children: 4,
+            },
+        }
+    }
+
+    fn stamp(version: u64, origin: u64) -> VersionStamp {
+        VersionStamp {
+            version,
+            origin: NodeId(origin),
+        }
+    }
+
+    /// One deterministic message per post-legacy tag, in tag order 23–30.
+    /// Optional fields appear once populated and once empty where a single
+    /// fixture cannot cover both.
+    fn readpath_messages() -> Vec<TreePMessage> {
+        vec![
+            TreePMessage::MulticastAck {
+                origin: NodeAddr(501),
+                request_id: RequestId(901),
+            },
+            TreePMessage::AggregateAck {
+                origin: NodeAddr(502),
+                request_id: RequestId(902),
+            },
+            TreePMessage::GetVersioned {
+                request_id: RequestId(903),
+                origin: peer(41, 141, 0),
+                key: NodeId(7_000),
+                ttl: 16,
+                min_stamp: Some(stamp(5, 41)),
+                path: vec![NodeAddr(142), NodeAddr(143)],
+            },
+            TreePMessage::GetVersionedReply {
+                request_id: RequestId(903),
+                origin: NodeAddr(141),
+                key: NodeId(7_000),
+                value: Some(StampedValue {
+                    stamp: stamp(6, 42),
+                    value: b"pinned".to_vec(),
+                }),
+                source: ReadSource::Replica,
+                hops: 3,
+                responder: peer(42, 142, 1),
+                path: vec![NodeAddr(142)],
+            },
+            TreePMessage::GetVersionedReply {
+                request_id: RequestId(904),
+                origin: NodeAddr(144),
+                key: NodeId(7_001),
+                value: None,
+                source: ReadSource::Responsible,
+                hops: 4,
+                responder: peer(43, 143, 0),
+                path: vec![],
+            },
+            TreePMessage::PutVersioned {
+                request_id: RequestId(905),
+                origin: peer(44, 144, 0),
+                key: NodeId(7_002),
+                stamp: stamp(9, 44),
+                value: b"payload".to_vec(),
+                ttl: 11,
+            },
+            TreePMessage::PutVersionedAck {
+                request_id: RequestId(905),
+                key: NodeId(7_002),
+                stamp: stamp(9, 44),
+                stored_at: peer(45, 145, 2),
+            },
+            TreePMessage::ReadRepair {
+                sender: peer(46, 146, 1),
+                key: NodeId(7_002),
+                stamp: stamp(9, 44),
+                value: b"payload".to_vec(),
+            },
+            TreePMessage::ReadVerify {
+                server: peer(47, 147, 0),
+                key: NodeId(7_002),
+                served_stamp: stamp(8, 30),
+                ttl: 10,
+            },
+        ]
+    }
+
+    fn fnv1a64(bytes: &[u8]) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    #[test]
+    fn readpath_tag_encodings_are_frozen() {
+        let messages = readpath_messages();
+        let expected_tags: &[u8] = &[23, 24, 25, 26, 26, 27, 28, 29, 30];
+        let mut all = Vec::new();
+        for (msg, want_tag) in messages.iter().zip(expected_tags) {
+            let encoded = encode_message(msg);
+            assert_eq!(encoded[0], *want_tag, "tag byte moved for {:?}", msg.kind());
+            assert_eq!(decode_message(&encoded).as_ref(), Ok(msg));
+            all.extend_from_slice(&encoded);
+        }
+        assert_eq!(
+            (fnv1a64(&all), all.len()),
+            (0xCD5D_0BB9_4CB2_16A3_u64, 524),
+            "read-path wire format changed; if intentional, bump the \
+             protocol notes and re-pin this checksum"
+        );
+    }
+}
+
+#[cfg(test)]
 mod proptests {
     //! Randomised round-trip checks over every message variant. The offline
     //! build has no `proptest`, so a deterministic xorshift drives many
@@ -1317,7 +1744,7 @@ mod proptests {
     /// One random instance of the message variant with index `variant`.
     /// Keep `VARIANTS` in sync when adding messages: the exhaustiveness test
     /// below fails if a new variant is not mapped here.
-    const VARIANTS: usize = 24;
+    const VARIANTS: usize = 30;
 
     fn arb_message(variant: usize, state: &mut u64) -> TreePMessage {
         match variant {
@@ -1470,7 +1897,77 @@ mod proptests {
                 origin: NodeAddr(xorshift(state)),
                 request_id: RequestId(xorshift(state)),
             },
+            24 => TreePMessage::GetVersioned {
+                request_id: RequestId(xorshift(state)),
+                origin: arb_peer(state),
+                key: NodeId(xorshift(state)),
+                ttl: (xorshift(state) % 32) as u32,
+                min_stamp: if xorshift(state).is_multiple_of(2) {
+                    Some(arb_stamp(state))
+                } else {
+                    None
+                },
+                path: (0..xorshift(state) % 5)
+                    .map(|_| NodeAddr(xorshift(state)))
+                    .collect(),
+            },
+            25 => TreePMessage::GetVersionedReply {
+                request_id: RequestId(xorshift(state)),
+                origin: NodeAddr(xorshift(state)),
+                key: NodeId(xorshift(state)),
+                value: if xorshift(state).is_multiple_of(2) {
+                    Some(StampedValue {
+                        stamp: arb_stamp(state),
+                        value: arb_bytes(state, 64),
+                    })
+                } else {
+                    None
+                },
+                source: match xorshift(state) % 3 {
+                    0 => ReadSource::Responsible,
+                    1 => ReadSource::Replica,
+                    _ => ReadSource::Cache,
+                },
+                hops: (xorshift(state) % 256) as u32,
+                responder: arb_peer(state),
+                path: (0..xorshift(state) % 5)
+                    .map(|_| NodeAddr(xorshift(state)))
+                    .collect(),
+            },
+            26 => TreePMessage::PutVersioned {
+                request_id: RequestId(xorshift(state)),
+                origin: arb_peer(state),
+                key: NodeId(xorshift(state)),
+                stamp: arb_stamp(state),
+                value: arb_bytes(state, 64),
+                ttl: (xorshift(state) % 32) as u32,
+            },
+            27 => TreePMessage::PutVersionedAck {
+                request_id: RequestId(xorshift(state)),
+                key: NodeId(xorshift(state)),
+                stamp: arb_stamp(state),
+                stored_at: arb_peer(state),
+            },
+            28 => TreePMessage::ReadRepair {
+                sender: arb_peer(state),
+                key: NodeId(xorshift(state)),
+                stamp: arb_stamp(state),
+                value: arb_bytes(state, 64),
+            },
+            29 => TreePMessage::ReadVerify {
+                server: arb_peer(state),
+                key: NodeId(xorshift(state)),
+                served_stamp: arb_stamp(state),
+                ttl: (xorshift(state) % 32) as u32,
+            },
             other => panic!("variant index {other} not mapped; update arb_message"),
+        }
+    }
+
+    fn arb_stamp(state: &mut u64) -> VersionStamp {
+        VersionStamp {
+            version: xorshift(state),
+            origin: NodeId(xorshift(state)),
         }
     }
 
@@ -1537,6 +2034,12 @@ mod proptests {
             TreePMessage::ReplicaSyncReply { .. } => 21,
             TreePMessage::MulticastAck { .. } => 22,
             TreePMessage::AggregateAck { .. } => 23,
+            TreePMessage::GetVersioned { .. } => 24,
+            TreePMessage::GetVersionedReply { .. } => 25,
+            TreePMessage::PutVersioned { .. } => 26,
+            TreePMessage::PutVersionedAck { .. } => 27,
+            TreePMessage::ReadRepair { .. } => 28,
+            TreePMessage::ReadVerify { .. } => 29,
         }
     }
 
@@ -1552,7 +2055,7 @@ mod proptests {
         }
         // `variant_index` is exhaustive, so `VARIANTS` must equal the
         // number of match arms above.
-        assert_eq!(VARIANTS, 24);
+        assert_eq!(VARIANTS, 30);
     }
 
     #[test]

@@ -108,6 +108,25 @@ pub struct TreePConfig {
     /// exceed one round-trip time. Only meaningful when `max_retransmits >
     /// 0`.
     pub retransmit_timeout: SimDuration,
+    /// Read-path: let a routed versioned get be answered by the *first*
+    /// node on the route holding a replica whose stamp satisfies the
+    /// client, instead of only by the responsible node (see
+    /// [`crate::readpath`]). `false` keeps the single-responder behaviour.
+    pub replica_reads: bool,
+    /// Read-path: after a replica-served get, probe the responsible node
+    /// with the served stamp; a fresher authoritative copy is pushed back
+    /// to the serving node and the key's replica set. `false` leaves
+    /// reconciliation entirely to the anti-entropy rounds.
+    pub read_repair: bool,
+    /// Read-path: number of lines of the per-node hot-key cache filled on
+    /// the reply path of versioned gets. `0` disables the cache entirely:
+    /// no lines are kept, replies travel straight back to the origin, and
+    /// the node's behaviour is byte-identical to the cacheless protocol.
+    pub cache_capacity: usize,
+    /// Read-path: lifetime of a hot-key cache line after its last fill.
+    /// Bounds how stale a cache-served value can be (cache hits do not send
+    /// read-repair probes). Only meaningful when `cache_capacity > 0`.
+    pub cache_ttl: SimDuration,
 }
 
 impl Default for TreePConfig {
@@ -130,6 +149,10 @@ impl Default for TreePConfig {
             replica_sync_interval: SimDuration::from_millis(900),
             max_retransmits: 0,
             retransmit_timeout: SimDuration::from_millis(120),
+            replica_reads: false,
+            read_repair: false,
+            cache_capacity: 0,
+            cache_ttl: SimDuration::from_millis(500),
         }
     }
 }
@@ -213,6 +236,14 @@ impl TreePConfig {
                 "retransmit_timeout must be positive when the reliability layer is enabled".into(),
             );
         }
+        if self.cache_capacity > 0 && self.cache_ttl.as_micros() == 0 {
+            return Err("cache_ttl must be positive when the hot-key cache is enabled".into());
+        }
+        if self.read_repair && !self.replica_reads {
+            return Err(
+                "read_repair needs replica_reads: only replica-served gets are verified".into(),
+            );
+        }
         Ok(())
     }
 
@@ -221,6 +252,16 @@ impl TreePConfig {
     /// re-routing once a hop is declared dead.
     pub fn with_reliability(mut self, max_retransmits: u32) -> Self {
         self.max_retransmits = max_retransmits;
+        self
+    }
+
+    /// Enable the full read-path serving layer: replica-first gets with
+    /// read-repair, and (when `cache_capacity > 0`) the per-hop hot-key
+    /// cache of that many lines (see [`crate::readpath`]).
+    pub fn with_read_path(mut self, cache_capacity: usize) -> Self {
+        self.replica_reads = true;
+        self.read_repair = true;
+        self.cache_capacity = cache_capacity;
         self
     }
 
@@ -312,6 +353,16 @@ mod tests {
                 retransmit_timeout: SimDuration::from_micros(0),
                 ..TreePConfig::default()
             },
+            TreePConfig {
+                cache_capacity: 64,
+                cache_ttl: SimDuration::from_micros(0),
+                ..TreePConfig::default()
+            },
+            TreePConfig {
+                read_repair: true,
+                replica_reads: false,
+                ..TreePConfig::default()
+            },
         ];
         for (i, config) in bad.into_iter().enumerate() {
             assert!(
@@ -343,6 +394,21 @@ mod tests {
         assert_eq!(r.max_retransmits, 4);
         assert!(r.retransmit_timeout.as_micros() > 0);
         assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn read_path_is_off_by_default_and_composes() {
+        let c = TreePConfig::default();
+        assert!(!c.replica_reads, "replica reads default to off");
+        assert!(!c.read_repair, "read repair defaults to off");
+        assert_eq!(c.cache_capacity, 0, "hot-key cache defaults to off");
+        let r = TreePConfig::default().with_read_path(64);
+        assert!(r.replica_reads && r.read_repair);
+        assert_eq!(r.cache_capacity, 64);
+        assert!(r.cache_ttl.as_micros() > 0);
+        assert!(r.validate().is_ok());
+        // Cache-off but replica-first is a valid intermediate deployment.
+        assert!(TreePConfig::default().with_read_path(0).validate().is_ok());
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub mod lookup;
 pub mod messages;
 pub mod multicast;
 pub mod node;
+pub mod readpath;
 pub mod replication;
 pub mod routing;
 pub mod stats;
@@ -95,6 +96,9 @@ pub use multicast::{
     MulticastPayload, MulticastPhase,
 };
 pub use node::TreePNode;
+pub use readpath::{
+    CacheFill, HotKeyCache, PendingRead, ReadOutcome, ReadSource, StampedValue, VersionStamp,
+};
 pub use replication::{audit_replication, ReplicaEntry, ReplicationAudit};
 pub use routing::{RouteDecision, RouterView, RoutingAlgorithm};
 pub use stats::NodeStats;

@@ -10,6 +10,7 @@ use crate::lookup::{LookupRequest, RequestId};
 use crate::multicast::{
     AggregatePartial, AggregateQuery, KeyRange, MulticastPayload, MulticastPhase,
 };
+use crate::readpath::{ReadSource, StampedValue, VersionStamp};
 use crate::replication::ReplicaEntry;
 use crate::routing::RoutingAlgorithm;
 use serde::{Deserialize, Serialize};
@@ -339,6 +340,115 @@ pub enum TreePMessage {
         /// Identifier of the aggregation at its origin.
         request_id: RequestId,
     },
+
+    // ---- read path -----------------------------------------------------------
+    /// A versioned get, routed greedily toward the key's coordinate but
+    /// servable by any node on the route holding a satisfying copy (see
+    /// [`crate::readpath`]).
+    GetVersioned {
+        /// Request identifier (scoped by `origin` — identifiers are
+        /// per-node counters).
+        request_id: RequestId,
+        /// Origin of the request.
+        origin: PeerInfo,
+        /// Key coordinate.
+        key: NodeId,
+        /// Remaining TTL.
+        ttl: u32,
+        /// The highest stamp the client has already observed for the key:
+        /// replica / cache copies with a staler stamp are treated as misses
+        /// (monotonic reads per client). `None` accepts any copy.
+        min_stamp: Option<VersionStamp>,
+        /// Addresses of the caching hops the request traversed, origin
+        /// first. The reply walks this path backwards, filling each hop's
+        /// hot-key cache; hops with the cache disabled never append
+        /// themselves, so a cacheless deployment gets a direct reply.
+        path: Vec<NodeAddr>,
+    },
+    /// Answer to a [`TreePMessage::GetVersioned`], walking the recorded
+    /// caching path backwards toward the origin.
+    GetVersionedReply {
+        /// Request identifier.
+        request_id: RequestId,
+        /// Address of the request's origin. Required on the walk-back:
+        /// request identifiers are per-node counters, so a relay must not
+        /// mistake a passing reply for one of its own requests.
+        origin: NodeAddr,
+        /// Key coordinate.
+        key: NodeId,
+        /// The stamped value, if any node on the route had a satisfying
+        /// copy.
+        value: Option<StampedValue>,
+        /// Which serving tier answered.
+        source: ReadSource,
+        /// Overlay hops the request travelled before being served.
+        hops: u32,
+        /// The node that answered.
+        responder: PeerInfo,
+        /// Remaining walk-back path; each relay pops itself off the tail.
+        path: Vec<NodeAddr>,
+    },
+    /// A versioned put: store `(stamp, value)` at the node responsible for
+    /// `key`, last-write-wins against whatever stamp it already holds.
+    PutVersioned {
+        /// Request identifier.
+        request_id: RequestId,
+        /// Origin of the request.
+        origin: PeerInfo,
+        /// Key coordinate.
+        key: NodeId,
+        /// The write stamp (version + writer identifier).
+        stamp: VersionStamp,
+        /// Opaque value.
+        value: Vec<u8>,
+        /// Remaining TTL.
+        ttl: u32,
+    },
+    /// Acknowledgement of a [`TreePMessage::PutVersioned`], sent by the
+    /// responsible node whether or not the write won its last-write-wins
+    /// comparison (a losing write is still durably resolved).
+    PutVersionedAck {
+        /// Request identifier.
+        request_id: RequestId,
+        /// Key coordinate.
+        key: NodeId,
+        /// The stamp the put carried (echoed for the origin's bookkeeping).
+        stamp: VersionStamp,
+        /// The responsible node.
+        stored_at: PeerInfo,
+    },
+    /// Push one fresh stamped copy to a node holding (or about to hold) a
+    /// stale or missing one: sent by the responsible node to repair a
+    /// lagging server after a [`TreePMessage::ReadVerify`] mismatch, and as
+    /// the stamped replica placement of versioned puts. Receivers apply it
+    /// last-write-wins to their store and refresh any matching hot-key
+    /// cache line. Fire-and-forget.
+    ReadRepair {
+        /// The pushing node.
+        sender: PeerInfo,
+        /// The key coordinate.
+        key: NodeId,
+        /// The stamp of the pushed value.
+        stamp: VersionStamp,
+        /// The fresh value.
+        value: Vec<u8>,
+    },
+    /// Probe sent onward to the responsible node after a replica served a
+    /// versioned get (`read_repair` enabled): "I answered with this stamp —
+    /// was it fresh?" A responsible node holding a strictly fresher copy
+    /// answers the server (and the key's replica set) with
+    /// [`TreePMessage::ReadRepair`]; one holding a staler copy marks its
+    /// own repair state dirty for the next anti-entropy round.
+    ReadVerify {
+        /// The node that served the get (the repair target).
+        server: PeerInfo,
+        /// The key coordinate.
+        key: NodeId,
+        /// The stamp the server answered with.
+        served_stamp: VersionStamp,
+        /// Remaining TTL of the probe's descent.
+        ttl: u32,
+    },
 }
 
 impl TreePMessage {
@@ -369,6 +479,12 @@ impl TreePMessage {
             TreePMessage::AggregateUp { .. } => "aggregate_up",
             TreePMessage::MulticastAck { .. } => "multicast_ack",
             TreePMessage::AggregateAck { .. } => "aggregate_ack",
+            TreePMessage::GetVersioned { .. } => "get_versioned",
+            TreePMessage::GetVersionedReply { .. } => "get_versioned_reply",
+            TreePMessage::PutVersioned { .. } => "put_versioned",
+            TreePMessage::PutVersionedAck { .. } => "put_versioned_ack",
+            TreePMessage::ReadRepair { .. } => "read_repair",
+            TreePMessage::ReadVerify { .. } => "read_verify",
         }
     }
 
@@ -390,6 +506,7 @@ impl TreePMessage {
                 | TreePMessage::ReplicaPut { .. }
                 | TreePMessage::ReplicaSyncRequest { .. }
                 | TreePMessage::ReplicaSyncReply { .. }
+                | TreePMessage::ReadRepair { .. }
         )
     }
 
@@ -401,7 +518,10 @@ impl TreePMessage {
             TreePMessage::DhtPut { origin, .. }
             | TreePMessage::DhtGet { origin, .. }
             | TreePMessage::MulticastDown { origin, .. }
-            | TreePMessage::AggregateUp { origin, .. } => Some(origin.addr),
+            | TreePMessage::AggregateUp { origin, .. }
+            | TreePMessage::GetVersioned { origin, .. }
+            | TreePMessage::PutVersioned { origin, .. } => Some(origin.addr),
+            TreePMessage::GetVersionedReply { origin, .. } => Some(*origin),
             _ => None,
         }
     }
@@ -536,6 +656,86 @@ mod tests {
         assert_eq!(reply.kind(), "replica_sync_reply");
         assert!(reply.is_maintenance());
         assert_eq!(reply.origin_addr(), None);
+    }
+
+    #[test]
+    fn read_path_messages_classify_correctly() {
+        let stamp = VersionStamp {
+            version: 3,
+            origin: NodeId(7),
+        };
+        let get = TreePMessage::GetVersioned {
+            request_id: RequestId(1),
+            origin: peer(9),
+            key: NodeId(5),
+            ttl: 0,
+            min_stamp: Some(stamp),
+            path: vec![NodeAddr(9)],
+        };
+        assert_eq!(get.kind(), "get_versioned");
+        assert!(!get.is_maintenance(), "versioned gets are user traffic");
+        assert_eq!(get.origin_addr(), Some(NodeAddr(9)));
+
+        let reply = TreePMessage::GetVersionedReply {
+            request_id: RequestId(1),
+            origin: NodeAddr(9),
+            key: NodeId(5),
+            value: Some(StampedValue {
+                stamp,
+                value: vec![1],
+            }),
+            source: ReadSource::Replica,
+            hops: 2,
+            responder: peer(4),
+            path: vec![NodeAddr(9)],
+        };
+        assert_eq!(reply.kind(), "get_versioned_reply");
+        assert!(!reply.is_maintenance());
+        assert_eq!(reply.origin_addr(), Some(NodeAddr(9)));
+
+        let put = TreePMessage::PutVersioned {
+            request_id: RequestId(2),
+            origin: peer(9),
+            key: NodeId(5),
+            stamp,
+            value: vec![2],
+            ttl: 0,
+        };
+        assert_eq!(put.kind(), "put_versioned");
+        assert!(!put.is_maintenance());
+        assert_eq!(put.origin_addr(), Some(NodeAddr(9)));
+
+        let ack = TreePMessage::PutVersionedAck {
+            request_id: RequestId(2),
+            key: NodeId(5),
+            stamp,
+            stored_at: peer(4),
+        };
+        assert_eq!(ack.kind(), "put_versioned_ack");
+        assert!(!ack.is_maintenance());
+        assert_eq!(ack.origin_addr(), None, "acks travel point-to-point");
+
+        let repair = TreePMessage::ReadRepair {
+            sender: peer(4),
+            key: NodeId(5),
+            stamp,
+            value: vec![3],
+        };
+        assert_eq!(repair.kind(), "read_repair");
+        assert!(repair.is_maintenance(), "repair traffic is maintenance");
+
+        let verify = TreePMessage::ReadVerify {
+            server: peer(4),
+            key: NodeId(5),
+            served_stamp: stamp,
+            ttl: 1,
+        };
+        assert_eq!(verify.kind(), "read_verify");
+        assert!(
+            !verify.is_maintenance(),
+            "verify probes are accounted to the get that caused them"
+        );
+        assert_eq!(verify.origin_addr(), None);
     }
 
     #[test]

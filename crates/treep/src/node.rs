@@ -16,6 +16,8 @@
 //!   aggregation.
 //! * `replication` — k-way DHT replica placement, digest-probed anti-entropy
 //!   repair and key handoff (see [`crate::replication`]).
+//! * `readpath` — versioned puts/gets, replica-first serving, read-repair
+//!   and the per-hop hot-key cache (see [`crate::readpath`]).
 //!
 //! This file owns only construction, the public accessors, the shared
 //! plumbing (request IDs, timer tokens, send accounting) and the
@@ -28,6 +30,7 @@ mod lookup;
 mod membership;
 mod multicast;
 mod promotion;
+mod readpath;
 mod replication;
 
 #[cfg(test)]
@@ -46,6 +49,7 @@ use crate::multicast::{
     AggregateOutcome, AggregateRelay, KeyRange, MulticastDelivery, PendingAggregate, PendingRetx,
     SeenWindow,
 };
+use crate::readpath::{HotKeyCache, PendingRead, ReadOutcome, VersionStamp};
 use crate::routing::RouterView;
 use crate::stats::NodeStats;
 use crate::tables::RoutingTables;
@@ -75,6 +79,8 @@ const TIMER_AGG_RELAY: u64 = 6;
 const TIMER_REPLICA: u64 = 7;
 /// Retransmission backoff of one pending reliable hop (`multicast`).
 const TIMER_RETX: u64 = 8;
+/// Versioned read/write timeout (`readpath`).
+const TIMER_READ: u64 = 9;
 
 fn encode_timer(kind: u64, payload: u64) -> TimerToken {
     TimerToken(kind | (payload << 4))
@@ -122,6 +128,20 @@ pub struct TreePNode {
     /// In-flight digest probes: probe request id → the `(xor, count)` the
     /// convergecast is expected to fold if the replica range is healthy.
     replica_digest_probes: BTreeMap<RequestId, (u64, u64)>,
+    /// Read path: last-write-wins stamp of every stored value that arrived
+    /// through a versioned write (side table, so [`DhtStore`] and the
+    /// replication audit stay unchanged; absent keys carry the legacy floor
+    /// stamp).
+    versions: BTreeMap<NodeId, VersionStamp>,
+    /// Read path: highest stamp this node has observed per key as a
+    /// *client* — sent as `min_stamp` on its gets (monotonic reads) and
+    /// bumped to produce fresh put stamps.
+    observed: BTreeMap<NodeId, VersionStamp>,
+    /// Read path: the per-hop hot-key cache (inert at capacity 0).
+    cache: HotKeyCache,
+    /// Read path: versioned requests this origin is still waiting on.
+    pending_reads: BTreeMap<RequestId, PendingRead>,
+    read_outcomes: Vec<ReadOutcome>,
     stats: NodeStats,
     last_tick: Option<SimTime>,
 }
@@ -160,6 +180,11 @@ impl TreePNode {
             next_retx_id: 0,
             replica_dirty: true,
             replica_digest_probes: BTreeMap::new(),
+            versions: BTreeMap::new(),
+            observed: BTreeMap::new(),
+            cache: HotKeyCache::new(config.cache_capacity, config.cache_ttl),
+            pending_reads: BTreeMap::new(),
+            read_outcomes: Vec::new(),
             stats: NodeStats::default(),
             last_tick: None,
         }
@@ -253,6 +278,23 @@ impl TreePNode {
     /// Number of aggregations this node originated and not yet resolved.
     pub fn pending_aggregate_count(&self) -> usize {
         self.pending_aggregates.len()
+    }
+
+    /// Drain the completed versioned read/write outcomes recorded at this
+    /// origin.
+    pub fn drain_read_outcomes(&mut self) -> Vec<ReadOutcome> {
+        std::mem::take(&mut self.read_outcomes)
+    }
+
+    /// Number of versioned requests this node originated and not yet
+    /// resolved.
+    pub fn pending_read_count(&self) -> usize {
+        self.pending_reads.len()
+    }
+
+    /// Number of live lines in this node's hot-key cache.
+    pub fn hot_cache_len(&self) -> usize {
+        self.cache.len()
     }
 
     /// Number of reliable hops whose acknowledgement is still outstanding —
@@ -511,6 +553,30 @@ impl Protocol for TreePNode {
             TreePMessage::AggregateAck { origin, request_id } => {
                 self.handle_aggregate_ack(from, origin, request_id);
             }
+            // ---- read-path layer ---------------------------------------
+            TreePMessage::GetVersioned { .. } => self.route_get_versioned(msg, ctx),
+            TreePMessage::GetVersionedReply { .. } => self.handle_get_versioned_reply(msg, ctx),
+            TreePMessage::PutVersioned { .. } => self.route_put_versioned(msg, ctx),
+            TreePMessage::PutVersionedAck {
+                request_id,
+                key,
+                stamp,
+                stored_at,
+            } => {
+                self.record_put_versioned_ack(request_id, key, stamp, stored_at.addr, now);
+            }
+            TreePMessage::ReadRepair {
+                sender,
+                key,
+                stamp,
+                value,
+            } => self.handle_read_repair(sender, key, stamp, value, ctx),
+            TreePMessage::ReadVerify {
+                server,
+                key,
+                served_stamp,
+                ttl,
+            } => self.handle_read_verify(server, key, served_stamp, ttl, ctx),
         }
     }
 
@@ -526,6 +592,7 @@ impl Protocol for TreePNode {
             TIMER_AGG_RELAY => self.relay_timer_fired(payload, ctx),
             TIMER_REPLICA => self.replication_tick(ctx),
             TIMER_RETX => self.retransmit_timer_fired(payload, ctx),
+            TIMER_READ => self.read_timer_fired(payload, ctx),
             _ => {}
         }
     }

@@ -209,8 +209,9 @@ impl TreePNode {
     // ---- DHT internals ---------------------------------------------------------
 
     /// The peer strictly closer (Euclidean) to `key` than this node, if any:
-    /// an ordered neighbour probe on the registry, not a scan.
-    fn closer_peer_to(&self, key: NodeId) -> Option<crate::entry::RoutingEntry> {
+    /// an ordered neighbour probe on the registry, not a scan. Shared with
+    /// the read-path layer, whose versioned requests ride the same descent.
+    pub(super) fn closer_peer_to(&self, key: NodeId) -> Option<crate::entry::RoutingEntry> {
         let self_addr = self.addr.expect("node not started");
         let own = self.dist.euclidean(self.id, key);
         self.tables

@@ -1,0 +1,617 @@
+//! Read-path layer: versioned puts/gets, replica-first serving, read-repair
+//! and the per-hop hot-key cache.
+//!
+//! The data types, the serving-tier priority and the invariants (monotonic
+//! reads per client, stamps never regress, defaults-off wire compatibility)
+//! are documented in [`crate::readpath`]; this layer implements them on the
+//! greedy DHT descent of the lookup layer:
+//!
+//! * [`TreePNode::dht_put_versioned`] / [`TreePNode::dht_get_versioned`]
+//!   originate stamped requests; outcomes land in the queue drained by
+//!   [`TreePNode::drain_read_outcomes`], resolved by an answer or the
+//!   [`super::TIMER_READ`] timeout.
+//! * Every hop of a `GetVersioned` tries, in order: its hot-key cache, its
+//!   replica store (`replica_reads`), then forwards toward the key; the
+//!   node with no closer peer answers from its authoritative store. A
+//!   replica serve sends a `ReadVerify` probe onward to the responsible
+//!   node (`read_repair`); a cache serve does not — its staleness is
+//!   bounded by `cache_ttl` and repaired in place by passing `ReadRepair`s.
+//! * The reply walks the request's recorded caching path backwards, each
+//!   relay version-check-filling its own cache, so the cacheless
+//!   configuration (empty path) gets a direct reply and identical wire
+//!   behaviour.
+
+use super::*;
+use crate::id::hash_key;
+use crate::readpath::{PendingRead, ReadOutcome, ReadSource, StampedValue, VersionStamp};
+
+impl TreePNode {
+    /// Store `value` in the DHT under an application key with a fresh
+    /// last-write-wins stamp (one past the highest stamp this node has
+    /// observed for the key, tiebroken by this node's identifier).
+    pub fn dht_put_versioned(
+        &mut self,
+        key: &[u8],
+        value: Vec<u8>,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) -> RequestId {
+        let coord = hash_key(self.config.space, key);
+        let stamp = VersionStamp::next(self.observed.get(&coord).copied(), self.id);
+        self.observe_stamp(coord, stamp);
+        let request_id = self.fresh_request_id();
+        self.pending_reads.insert(
+            request_id,
+            PendingRead {
+                key: coord,
+                is_put: true,
+                started_at: ctx.now(),
+            },
+        );
+        ctx.set_timer(
+            self.config.lookup_timeout,
+            encode_timer(TIMER_READ, request_id.0),
+        );
+        let msg = TreePMessage::PutVersioned {
+            request_id,
+            origin: self.peer_info(),
+            key: coord,
+            stamp,
+            value,
+            ttl: 0,
+        };
+        self.route_put_versioned(msg, ctx);
+        request_id
+    }
+
+    /// Retrieve the value stored under an application key through the
+    /// read-path serving tiers, demanding a stamp at least as fresh as the
+    /// highest this node has observed for the key (monotonic reads).
+    pub fn dht_get_versioned(
+        &mut self,
+        key: &[u8],
+        ctx: &mut Context<'_, TreePMessage>,
+    ) -> RequestId {
+        let coord = hash_key(self.config.space, key);
+        let request_id = self.fresh_request_id();
+        self.pending_reads.insert(
+            request_id,
+            PendingRead {
+                key: coord,
+                is_put: false,
+                started_at: ctx.now(),
+            },
+        );
+        ctx.set_timer(
+            self.config.lookup_timeout,
+            encode_timer(TIMER_READ, request_id.0),
+        );
+        let msg = TreePMessage::GetVersioned {
+            request_id,
+            origin: self.peer_info(),
+            key: coord,
+            ttl: 0,
+            min_stamp: self.observed.get(&coord).copied(),
+            path: Vec::new(),
+        };
+        self.route_get_versioned(msg, ctx);
+        request_id
+    }
+
+    /// The stamp of the locally stored copy of `key`, if any (values stored
+    /// by the unversioned paths carry [`VersionStamp::LEGACY`]).
+    pub fn stored_stamp(&self, key: NodeId) -> Option<VersionStamp> {
+        if self.store.contains(key) {
+            Some(
+                self.versions
+                    .get(&key)
+                    .copied()
+                    .unwrap_or(VersionStamp::LEGACY),
+            )
+        } else {
+            None
+        }
+    }
+
+    fn stored_value(&self, key: NodeId) -> Option<StampedValue> {
+        let stamp = self.stored_stamp(key)?;
+        self.store.get(key).map(|v| StampedValue {
+            stamp,
+            value: v.clone(),
+        })
+    }
+
+    /// Merge `stamp` into the highest-observed table (monotonic-reads
+    /// bookkeeping at the origin).
+    fn observe_stamp(&mut self, key: NodeId, stamp: VersionStamp) {
+        let slot = self.observed.entry(key).or_insert(stamp);
+        if stamp > *slot {
+            *slot = stamp;
+        }
+    }
+
+    /// Apply `(stamp, value)` to the local store last-write-wins: a
+    /// strictly staler stamp is rejected, anything else is stored, the
+    /// version table updated and any matching hot-key cache line refreshed
+    /// in place. Returns true when the write was applied.
+    pub(super) fn store_stamped(
+        &mut self,
+        key: NodeId,
+        stamp: VersionStamp,
+        value: &[u8],
+        now: SimTime,
+    ) -> bool {
+        if self.stored_stamp(key).is_some_and(|cur| cur > stamp) {
+            return false;
+        }
+        self.store.put(key, value.to_vec());
+        self.versions.insert(key, stamp);
+        self.stats.dht_values_stored = self.store.len() as u64;
+        if self.config.cache_capacity > 0 {
+            self.cache.repair(key, stamp, value, now);
+        }
+        true
+    }
+
+    // ---- request routing -------------------------------------------------------
+
+    pub(super) fn route_get_versioned(
+        &mut self,
+        msg: TreePMessage,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        let TreePMessage::GetVersioned {
+            request_id,
+            origin,
+            key,
+            ttl,
+            min_stamp,
+            mut path,
+        } = msg
+        else {
+            unreachable!("route_get_versioned only handles GetVersioned")
+        };
+        if ttl >= self.config.max_ttl {
+            return; // dropped; the origin times out
+        }
+        let now = ctx.now();
+        let satisfies = |stamp: VersionStamp| min_stamp.is_none_or(|m| stamp >= m);
+        match self.closer_peer_to(key) {
+            None => {
+                // Responsible node: the store is authoritative here, so the
+                // cache (which could lag it) is not consulted.
+                let value = self.stored_value(key);
+                self.serve_read(
+                    request_id,
+                    origin,
+                    key,
+                    value,
+                    ReadSource::Responsible,
+                    ttl,
+                    path,
+                    ctx,
+                );
+            }
+            Some(next) => {
+                if let Some((stamp, value)) = self.cache.get(key, now) {
+                    if satisfies(stamp) {
+                        let value = value.clone();
+                        self.stats.cache_hits += 1;
+                        self.serve_read(
+                            request_id,
+                            origin,
+                            key,
+                            Some(StampedValue { stamp, value }),
+                            ReadSource::Cache,
+                            ttl,
+                            path,
+                            ctx,
+                        );
+                        return;
+                    }
+                }
+                if self.config.replica_reads {
+                    if let Some(sv) = self.stored_value(key) {
+                        if satisfies(sv.stamp) {
+                            self.stats.replica_served_gets += 1;
+                            let served_stamp = sv.stamp;
+                            self.serve_read(
+                                request_id,
+                                origin,
+                                key,
+                                Some(sv),
+                                ReadSource::Replica,
+                                ttl,
+                                path,
+                                ctx,
+                            );
+                            if self.config.read_repair {
+                                let me = self.peer_info();
+                                self.send(
+                                    ctx,
+                                    next.addr,
+                                    TreePMessage::ReadVerify {
+                                        server: me,
+                                        key,
+                                        served_stamp,
+                                        ttl: ttl + 1,
+                                    },
+                                );
+                            }
+                            return;
+                        }
+                    }
+                }
+                // Miss: record this hop on the caching path (only if it can
+                // actually cache) and forward toward the key.
+                if self.config.cache_capacity > 0 {
+                    path.push(self.addr.expect("node not started"));
+                }
+                self.send(
+                    ctx,
+                    next.addr,
+                    TreePMessage::GetVersioned {
+                        request_id,
+                        origin,
+                        key,
+                        ttl: ttl + 1,
+                        min_stamp,
+                        path,
+                    },
+                );
+            }
+        }
+    }
+
+    pub(super) fn route_put_versioned(
+        &mut self,
+        msg: TreePMessage,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        let TreePMessage::PutVersioned {
+            request_id,
+            origin,
+            key,
+            stamp,
+            value,
+            ttl,
+        } = msg
+        else {
+            unreachable!("route_put_versioned only handles PutVersioned")
+        };
+        if ttl >= self.config.max_ttl {
+            return; // dropped; the origin times out
+        }
+        match self.closer_peer_to(key) {
+            Some(next) => {
+                self.send(
+                    ctx,
+                    next.addr,
+                    TreePMessage::PutVersioned {
+                        request_id,
+                        origin,
+                        key,
+                        stamp,
+                        value,
+                        ttl: ttl + 1,
+                    },
+                );
+            }
+            None => {
+                // Responsible node: apply last-write-wins, place stamped
+                // replica copies, and acknowledge either way (a losing
+                // write is still durably resolved).
+                if self.store_stamped(key, stamp, &value, ctx.now()) {
+                    self.push_stamped_replicas(key, stamp, &value, ctx);
+                }
+                let me = self.peer_info();
+                if origin.addr == me.addr {
+                    self.record_put_versioned_ack(request_id, key, stamp, me.addr, ctx.now());
+                } else {
+                    self.send(
+                        ctx,
+                        origin.addr,
+                        TreePMessage::PutVersionedAck {
+                            request_id,
+                            key,
+                            stamp,
+                            stored_at: me,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Stamped replica placement: push the fresh copy to the key's `k - 1`
+    /// nearest registry neighbours as `ReadRepair`s (which preserve the
+    /// stamp, unlike the unversioned `ReplicaPut`).
+    fn push_stamped_replicas(
+        &mut self,
+        key: NodeId,
+        stamp: VersionStamp,
+        value: &[u8],
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        if self.config.replication_factor <= 1 {
+            return;
+        }
+        let me = self.peer_info();
+        let targets: Vec<NodeAddr> = self
+            .tables
+            .nearest_peers(
+                self.config.space,
+                key,
+                self.config.replication_factor as usize - 1,
+                me.addr,
+            )
+            .into_iter()
+            .map(|e| e.addr)
+            .collect();
+        for addr in targets {
+            self.send(
+                ctx,
+                addr,
+                TreePMessage::ReadRepair {
+                    sender: me,
+                    key,
+                    stamp,
+                    value: value.to_vec(),
+                },
+            );
+        }
+        // Fire-and-forget placement, same as the unversioned path: the next
+        // anti-entropy round verifies with a pairwise sync.
+        self.replica_dirty = true;
+    }
+
+    // ---- reply path ------------------------------------------------------------
+
+    /// Answer a `GetVersioned` from this node: record locally when this node
+    /// is the origin, otherwise start the reply down the recorded caching
+    /// path (or straight to the origin when no hop can cache).
+    #[allow(clippy::too_many_arguments)]
+    fn serve_read(
+        &mut self,
+        request_id: RequestId,
+        origin: PeerInfo,
+        key: NodeId,
+        value: Option<StampedValue>,
+        source: ReadSource,
+        hops: u32,
+        mut path: Vec<NodeAddr>,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        let me = self.peer_info();
+        if origin.addr == me.addr {
+            self.record_read_answer(request_id, key, value, source, hops, me.addr, ctx.now());
+            return;
+        }
+        let dest = path.pop().unwrap_or(origin.addr);
+        self.send(
+            ctx,
+            dest,
+            TreePMessage::GetVersionedReply {
+                request_id,
+                origin: origin.addr,
+                key,
+                value,
+                source,
+                hops,
+                responder: me,
+                path,
+            },
+        );
+    }
+
+    /// A reply on its walk back to the origin: fill this hop's cache, then
+    /// consume it (origin) or relay it to the previous hop.
+    pub(super) fn handle_get_versioned_reply(
+        &mut self,
+        msg: TreePMessage,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        let TreePMessage::GetVersionedReply {
+            request_id,
+            origin,
+            key,
+            value,
+            source,
+            hops,
+            responder,
+            mut path,
+        } = msg
+        else {
+            unreachable!("handle_get_versioned_reply only handles GetVersionedReply")
+        };
+        if self.config.cache_capacity > 0 {
+            if let Some(sv) = &value {
+                let fill = self.cache.fill(key, sv.stamp, &sv.value, ctx.now());
+                if fill.stored {
+                    self.stats.cache_fills += 1;
+                }
+                if fill.evicted {
+                    self.stats.cache_evictions += 1;
+                }
+            }
+        }
+        if origin == self.addr.expect("node not started") {
+            self.record_read_answer(
+                request_id,
+                key,
+                value,
+                source,
+                hops,
+                responder.addr,
+                ctx.now(),
+            );
+        } else {
+            let dest = path.pop().unwrap_or(origin);
+            self.send(
+                ctx,
+                dest,
+                TreePMessage::GetVersionedReply {
+                    request_id,
+                    origin,
+                    key,
+                    value,
+                    source,
+                    hops,
+                    responder,
+                    path,
+                },
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record_read_answer(
+        &mut self,
+        request_id: RequestId,
+        key: NodeId,
+        value: Option<StampedValue>,
+        source: ReadSource,
+        hops: u32,
+        responder: NodeAddr,
+        now: SimTime,
+    ) {
+        if self.pending_reads.remove(&request_id).is_some() {
+            if let Some(sv) = &value {
+                self.observe_stamp(key, sv.stamp);
+            }
+            self.read_outcomes.push(ReadOutcome::Got {
+                request_id,
+                key,
+                value,
+                source,
+                hops,
+                responder,
+                completed_at: now,
+            });
+        }
+    }
+
+    pub(super) fn record_put_versioned_ack(
+        &mut self,
+        request_id: RequestId,
+        key: NodeId,
+        stamp: VersionStamp,
+        stored_at: NodeAddr,
+        now: SimTime,
+    ) {
+        if self.pending_reads.remove(&request_id).is_some() {
+            self.observe_stamp(key, stamp);
+            self.read_outcomes.push(ReadOutcome::PutAcked {
+                request_id,
+                key,
+                stamp,
+                stored_at,
+                completed_at: now,
+            });
+        }
+    }
+
+    // ---- repair ----------------------------------------------------------------
+
+    /// A fresh stamped copy pushed at this node: refresh any matching cache
+    /// line in place, and apply it to the store last-write-wins — but only
+    /// if this node already holds the key or belongs to its replica set, so
+    /// repairing a far-away cache server never plants a misplaced store
+    /// copy.
+    pub(super) fn handle_read_repair(
+        &mut self,
+        sender: PeerInfo,
+        key: NodeId,
+        stamp: VersionStamp,
+        value: Vec<u8>,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        let now = ctx.now();
+        self.learn_peer(sender, now);
+        if self.config.cache_capacity > 0 {
+            self.cache.repair(key, stamp, &value, now);
+        }
+        let me_addr = self.addr.expect("node not started");
+        if self.store.contains(key) || self.in_replica_set(key, self.id, me_addr) {
+            self.stats.replica_values_received += 1;
+            let changed = self.stored_stamp(key) != Some(stamp);
+            if self.store_stamped(key, stamp, &value, now) && changed {
+                self.replica_dirty = true;
+            }
+        }
+    }
+
+    /// A replica-serve probe arriving at (or routing through) this node:
+    /// forward toward the key, or — as the responsible node — compare the
+    /// served stamp against the authoritative copy and repair whichever
+    /// side lags.
+    pub(super) fn handle_read_verify(
+        &mut self,
+        server: PeerInfo,
+        key: NodeId,
+        served_stamp: VersionStamp,
+        ttl: u32,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        if ttl >= self.config.max_ttl {
+            return;
+        }
+        match self.closer_peer_to(key) {
+            Some(next) => {
+                self.send(
+                    ctx,
+                    next.addr,
+                    TreePMessage::ReadVerify {
+                        server,
+                        key,
+                        served_stamp,
+                        ttl: ttl + 1,
+                    },
+                );
+            }
+            None => match self.stored_stamp(key) {
+                Some(fresh) if fresh > served_stamp => {
+                    // The server answered stale: push the authoritative copy
+                    // to it and re-place it on the replica set, so one stale
+                    // observation repairs every lagging replica.
+                    self.stats.read_repairs_issued += 1;
+                    let value = self.store.get(key).cloned().expect("stamped key is stored");
+                    let me = self.peer_info();
+                    self.send(
+                        ctx,
+                        server.addr,
+                        TreePMessage::ReadRepair {
+                            sender: me,
+                            key,
+                            stamp: fresh,
+                            value: value.clone(),
+                        },
+                    );
+                    self.push_stamped_replicas(key, fresh, &value, ctx);
+                }
+                Some(fresh) if fresh < served_stamp => {
+                    // The authoritative copy is the stale one: let the next
+                    // anti-entropy round pull the newer value.
+                    self.replica_dirty = true;
+                }
+                Some(_) => {} // equal stamps: healthy
+                None => {
+                    // A replica holds a copy the responsible node lacks.
+                    self.replica_dirty = true;
+                }
+            },
+        }
+    }
+
+    // ---- timers ----------------------------------------------------------------
+
+    pub(super) fn read_timer_fired(&mut self, payload: u64, ctx: &mut Context<'_, TreePMessage>) {
+        let request_id = RequestId(payload);
+        if let Some(pending) = self.pending_reads.remove(&request_id) {
+            self.read_outcomes.push(ReadOutcome::TimedOut {
+                request_id,
+                key: pending.key,
+                completed_at: ctx.now(),
+            });
+        }
+    }
+}

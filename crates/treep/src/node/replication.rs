@@ -98,7 +98,12 @@ impl TreePNode {
     /// subject_addr)` belongs to `key`'s replica set (fewer than `k` known
     /// peers are strictly closer). Imperfect knowledge errs toward `true`:
     /// an extra copy is always safe, a missing one never is.
-    fn in_replica_set(&self, key: NodeId, subject_id: NodeId, subject_addr: NodeAddr) -> bool {
+    pub(super) fn in_replica_set(
+        &self,
+        key: NodeId,
+        subject_id: NodeId,
+        subject_addr: NodeAddr,
+    ) -> bool {
         let k = self.config.replication_factor as usize;
         self.replica_rank(key, subject_id, subject_addr, k) < k
     }
@@ -156,11 +161,20 @@ impl TreePNode {
     ) {
         self.learn_peer(sender, ctx.now());
         self.stats.replica_values_received += 1;
-        // Stored unconditionally: the sender chose this node as a replica
-        // target, and a misplaced copy is corrected by the handoff sweep,
-        // while a rejected copy could be the key's last. A *new* value
-        // means repair is in flight — go dirty so the next round spreads
-        // it with a pairwise sync.
+        // An unstamped copy never replaces a versioned one: the stamped
+        // value is the read path's last-write-wins winner, and this push
+        // carries no stamp to beat it with (see `crate::readpath`).
+        if self
+            .stored_stamp(key)
+            .is_some_and(|s| s > crate::readpath::VersionStamp::LEGACY)
+        {
+            return;
+        }
+        // Otherwise stored unconditionally: the sender chose this node as a
+        // replica target, and a misplaced copy is corrected by the handoff
+        // sweep, while a rejected copy could be the key's last. A *new*
+        // value means repair is in flight — go dirty so the next round
+        // spreads it with a pairwise sync.
         if self.store.get(key) != Some(&value) {
             self.replica_dirty = true;
         }
@@ -180,16 +194,37 @@ impl TreePNode {
         let offered: std::collections::BTreeSet<NodeId> = keys.iter().copied().collect();
         // Values the requester lacks — but only those it is actually a
         // replica of, so copies do not creep beyond the placement rule.
-        let entries: Vec<ReplicaEntry> = self
+        // Stamped values travel separately as `ReadRepair` so the version
+        // survives the transfer; only unstamped (legacy) values ride in
+        // the reply's entry list, keeping the pre-versioning wire bytes.
+        let mut entries: Vec<ReplicaEntry> = Vec::new();
+        let mut stamped: Vec<(NodeId, crate::readpath::VersionStamp, Vec<u8>)> = Vec::new();
+        for (k, v) in self
             .store
             .entries_in_range(range)
             .filter(|(k, _)| !offered.contains(k))
             .filter(|(k, _)| self.in_replica_set(**k, sender.id, sender.addr))
-            .map(|(k, v)| ReplicaEntry {
-                key: *k,
-                value: v.clone(),
-            })
-            .collect();
+        {
+            match self.versions.get(k).copied().filter(|s| s.version > 0) {
+                Some(stamp) => stamped.push((*k, stamp, v.clone())),
+                None => entries.push(ReplicaEntry {
+                    key: *k,
+                    value: v.clone(),
+                }),
+            }
+        }
+        for (key, stamp, value) in stamped {
+            self.send(
+                ctx,
+                sender.addr,
+                TreePMessage::ReadRepair {
+                    sender: me,
+                    key,
+                    stamp,
+                    value,
+                },
+            );
+        }
         // Keys the requester offered that this node lacks and should hold.
         let want: Vec<NodeId> = keys
             .into_iter()
@@ -221,6 +256,14 @@ impl TreePNode {
         self.learn_peer(sender, ctx.now());
         for entry in entries {
             self.stats.replica_values_received += 1;
+            // Same guard as `handle_replica_put`: unstamped sync entries
+            // never replace a versioned value.
+            if self
+                .stored_stamp(entry.key)
+                .is_some_and(|s| s > crate::readpath::VersionStamp::LEGACY)
+            {
+                continue;
+            }
             if self.store.get(entry.key) != Some(&entry.value) {
                 self.replica_dirty = true;
             }
@@ -230,15 +273,23 @@ impl TreePNode {
         let me = self.peer_info();
         for key in want {
             if let Some(value) = self.store.get(key).cloned() {
-                self.send(
-                    ctx,
-                    sender.addr,
-                    TreePMessage::ReplicaPut {
+                // A stamped copy travels as `ReadRepair` so the stamp
+                // survives the transfer; unstamped values keep the legacy
+                // wire message.
+                let msg = match self.stored_stamp(key).filter(|s| s.version > 0) {
+                    Some(stamp) => TreePMessage::ReadRepair {
+                        sender: me,
+                        key,
+                        stamp,
+                        value,
+                    },
+                    None => TreePMessage::ReplicaPut {
                         sender: me,
                         key,
                         value,
                     },
-                );
+                };
+                self.send(ctx, sender.addr, msg);
             }
         }
     }
@@ -372,18 +423,27 @@ impl TreePNode {
                 continue; // nowhere to hand off to: keep the copy
             }
             self.stats.replica_handoffs += 1;
+            // Hand stamped keys off as `ReadRepair` so the responsibility
+            // transfer preserves the last-write-wins stamp.
+            let stamp = self.stored_stamp(key).filter(|s| s.version > 0);
             for addr in targets {
-                self.send(
-                    ctx,
-                    addr,
-                    TreePMessage::ReplicaPut {
+                let msg = match stamp {
+                    Some(stamp) => TreePMessage::ReadRepair {
+                        sender: me,
+                        key,
+                        stamp,
+                        value: value.clone(),
+                    },
+                    None => TreePMessage::ReplicaPut {
                         sender: me,
                         key,
                         value: value.clone(),
                     },
-                );
+                };
+                self.send(ctx, addr, msg);
             }
             self.store.remove(key);
+            self.versions.remove(&key);
         }
         self.stats.dht_values_stored = self.store.len() as u64;
     }

@@ -82,6 +82,19 @@ pub struct NodeStats {
     /// Keys handed off (pushed to the replica set, then dropped locally)
     /// because this node left the key's replica set.
     pub replica_handoffs: u64,
+    /// Versioned gets this node answered from its hot-key cache.
+    pub cache_hits: u64,
+    /// Hot-key cache lines filled (inserted or refreshed) on the reply
+    /// path of versioned gets.
+    pub cache_fills: u64,
+    /// Hot-key cache lines evicted to make room for a fill.
+    pub cache_evictions: u64,
+    /// Versioned gets this node answered from its replica store while not
+    /// being the responsible node.
+    pub replica_served_gets: u64,
+    /// Read-repairs this node issued as the responsible node after a
+    /// `ReadVerify` probe revealed a stale serve.
+    pub read_repairs_issued: u64,
 }
 
 impl NodeStats {
@@ -116,6 +129,9 @@ impl NodeStats {
                     && !k.starts_with("dht")
                     && !k.starts_with("multicast")
                     && !k.starts_with("aggregate")
+                    && !k.starts_with("get_versioned")
+                    && !k.starts_with("put_versioned")
+                    && !k.starts_with("read_verify")
             })
             .map(|(_, v)| *v)
             .sum()
@@ -148,7 +164,14 @@ mod tests {
         s.record_sent("dht_put");
         s.record_sent("multicast_down");
         s.record_sent("aggregate_up");
-        assert_eq!(s.maintenance_sent(), 2);
-        assert_eq!(s.total_sent(), 7);
+        s.record_sent("get_versioned");
+        s.record_sent("get_versioned_reply");
+        s.record_sent("put_versioned_ack");
+        s.record_sent("read_verify");
+        // Repair pushes are maintenance, like the rest of the replication
+        // repair traffic.
+        s.record_sent("read_repair");
+        assert_eq!(s.maintenance_sent(), 3);
+        assert_eq!(s.total_sent(), 12);
     }
 }

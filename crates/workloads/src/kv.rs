@@ -6,6 +6,7 @@
 //! carrying state through the simulation. Batches pick a random surviving
 //! origin per operation, mirroring [`crate::lookups::LookupWorkload`].
 
+use crate::zipf::ZipfSampler;
 use simnet::{NodeAddr, SimRng};
 use treep::{hash_key, IdSpace, NodeId};
 
@@ -58,6 +59,35 @@ impl KvWorkload {
             })
             .collect()
     }
+
+    /// `count` operations whose key indices follow the Zipf rank sampler
+    /// (rank 0 = corpus key 0 = hottest), each issued from a random member
+    /// of `alive`. The read-storm experiment uses this for skewed gets.
+    ///
+    /// The sampler must not cover more ranks than the corpus has keys.
+    pub fn zipf_batch(
+        &self,
+        alive: &[(NodeAddr, NodeId)],
+        sampler: &ZipfSampler,
+        count: usize,
+        rng: &mut SimRng,
+    ) -> Vec<KvOp> {
+        assert!(
+            sampler.len() <= self.keys,
+            "sampler ranks ({}) exceed corpus keys ({})",
+            sampler.len(),
+            self.keys
+        );
+        if alive.is_empty() {
+            return Vec::new();
+        }
+        (0..count)
+            .map(|_| KvOp {
+                source: alive[rng.gen_range_usize(0..alive.len())].0,
+                index: sampler.sample(rng),
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +125,24 @@ mod tests {
             .iter()
             .all(|op| pop.iter().any(|(a, _)| *a == op.source)));
         assert!(wl.batch(&[], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn zipf_batches_skew_toward_the_head() {
+        let wl = KvWorkload::new(64);
+        let sampler = ZipfSampler::new(64, 1.0);
+        let pop = population(8);
+        let mut rng = SimRng::seed_from(17);
+        let batch = wl.zipf_batch(&pop, &sampler, 5_000, &mut rng);
+        assert_eq!(batch.len(), 5_000);
+        assert!(batch.iter().all(|op| op.index < 64));
+        let head = batch.iter().filter(|op| op.index < 4).count();
+        let tail = batch.iter().filter(|op| op.index >= 32).count();
+        assert!(
+            head > tail,
+            "Zipf(1.0): top-4 keys ({head}) must out-draw the cold half ({tail})"
+        );
+        assert!(wl.zipf_batch(&[], &sampler, 10, &mut rng).is_empty());
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   subtree aggregations over random identifier ranges.
 //! * [`kv::KvWorkload`] — a deterministic put/get key-value corpus for the
 //!   DHT durability-under-churn experiment.
+//! * [`zipf::ZipfSampler`] — a seeded Zipf(α) rank sampler for skewed
+//!   read-storm key popularity.
 //! * [`capabilities::CapabilityDistribution`] — homogeneous or heterogeneous
 //!   node-resource populations.
 
@@ -28,6 +30,7 @@ pub mod churn;
 pub mod kv;
 pub mod lookups;
 pub mod multicast;
+pub mod zipf;
 
 pub use builder::{BuiltNode, BuiltTopology, TopologyBuilder};
 pub use capabilities::CapabilityDistribution;
@@ -35,3 +38,4 @@ pub use churn::{ChurnPlan, ChurnStep};
 pub use kv::{KvOp, KvWorkload};
 pub use lookups::{LookupBatch, LookupWorkload};
 pub use multicast::{MulticastBatch, MulticastOp, MulticastWorkload};
+pub use zipf::ZipfSampler;
