@@ -1,0 +1,154 @@
+//! Engine microbenchmarks for the million-node simulation core: the
+//! hierarchical timer wheel vs the retained binary-heap scheduler at 10⁴
+//! and 10⁶ pending events (steady-state pop+reschedule, plus full
+//! fill+drain), and generation-tagged arena slot lookup vs the `HashMap`
+//! node table it replaced.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::{Arena, EventKind, Handle, HeapScheduler, NodeAddr, Scheduler, SimRng, SimTime};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+/// Keep-alive-like offsets: most events land near the horizon (wheel
+/// levels 0–1), a few far out (far heap / deep heap sift).
+fn offset_us(rng: &mut SimRng) -> u64 {
+    match rng.gen_range_u64(0..8) {
+        0 => rng.gen_range_u64(0..256),
+        1..=5 => rng.gen_range_u64(5_000..50_000),
+        6 => rng.gen_range_u64(0..1_000_000),
+        _ => rng.gen_range_u64(1_000_000..30_000_000),
+    }
+}
+
+fn prefill_wheel(n: usize, rng: &mut SimRng) -> Scheduler<u64> {
+    let mut s: Scheduler<u64> = Scheduler::new();
+    for i in 0..n {
+        let at = SimTime::from_micros(offset_us(rng));
+        s.schedule(
+            at,
+            EventKind::Start {
+                node: NodeAddr(i as u64),
+            },
+        );
+    }
+    s
+}
+
+fn prefill_heap(n: usize, rng: &mut SimRng) -> HeapScheduler<u64> {
+    let mut s: HeapScheduler<u64> = HeapScheduler::new();
+    for i in 0..n {
+        let at = SimTime::from_micros(offset_us(rng));
+        s.schedule(
+            at,
+            EventKind::Start {
+                node: NodeAddr(i as u64),
+            },
+        );
+    }
+    s
+}
+
+/// Steady-state scheduler churn: pop the next event, reschedule one at a
+/// workload-like offset from the new clock. The pending-set size stays at
+/// `n`, which is what bounds the heap's sift depth.
+fn bench_scheduler_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine_scheduler");
+    for n in [10_000usize, 1_000_000] {
+        group.bench_function(format!("wheel_pop_push_pending_{n}"), |b| {
+            let mut rng = SimRng::seed_from(7);
+            let mut s = prefill_wheel(n, &mut rng);
+            b.iter(|| {
+                for _ in 0..1024 {
+                    let e = s.pop().expect("steady state is never empty");
+                    let at = SimTime::from_micros(e.at.as_micros() + offset_us(&mut rng));
+                    black_box(s.schedule(at, e.kind));
+                }
+            })
+        });
+        group.bench_function(format!("heap_pop_push_pending_{n}"), |b| {
+            let mut rng = SimRng::seed_from(7);
+            let mut s = prefill_heap(n, &mut rng);
+            b.iter(|| {
+                for _ in 0..1024 {
+                    let e = s.pop().expect("steady state is never empty");
+                    let at = SimTime::from_micros(e.at.as_micros() + offset_us(&mut rng));
+                    black_box(s.schedule(at, e.kind));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fill-then-drain: schedule 10⁴ events and pop them all, the pattern of
+/// a burst (e.g. a churn step failing thousands of nodes at once).
+fn bench_scheduler_fill_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine_burst");
+    group.bench_function("wheel_fill_drain_10k", |b| {
+        let mut rng = SimRng::seed_from(11);
+        b.iter(|| {
+            let mut s = prefill_wheel(10_000, &mut rng);
+            let mut count = 0u64;
+            while s.pop().is_some() {
+                count += 1;
+            }
+            black_box(count)
+        })
+    });
+    group.bench_function("heap_fill_drain_10k", |b| {
+        let mut rng = SimRng::seed_from(11);
+        b.iter(|| {
+            let mut s = prefill_heap(10_000, &mut rng);
+            let mut count = 0u64;
+            while s.pop().is_some() {
+                count += 1;
+            }
+            black_box(count)
+        })
+    });
+    group.finish();
+}
+
+/// Node-slot lookup: dense-index arena (two bounds-checked loads and a
+/// generation compare) vs the SipHash `HashMap` table the engine used
+/// before, at the population the dispatch loop sees per event.
+fn bench_slot_lookup(c: &mut Criterion) {
+    const N: usize = 100_000;
+    let mut group = c.benchmark_group("sim_engine_slots");
+
+    let mut arena: Arena<u64> = Arena::new();
+    let handles: Vec<Handle> = (0..N).map(|i| arena.insert(i as u64)).collect();
+    group.bench_function("arena_lookup_100k", |b| {
+        let mut rng = SimRng::seed_from(3);
+        b.iter(|| {
+            let mut sum = 0u64;
+            for _ in 0..1024 {
+                let h = handles[rng.gen_range_usize(0..N)];
+                sum = sum.wrapping_add(*arena.get(h).expect("live slot"));
+            }
+            black_box(sum)
+        })
+    });
+
+    let map: HashMap<NodeAddr, u64> = (0..N).map(|i| (NodeAddr(i as u64), i as u64)).collect();
+    group.bench_function("hashmap_lookup_100k", |b| {
+        let mut rng = SimRng::seed_from(3);
+        b.iter(|| {
+            let mut sum = 0u64;
+            for _ in 0..1024 {
+                let addr = NodeAddr(rng.gen_range_u64(0..N as u64));
+                sum = sum.wrapping_add(*map.get(&addr).expect("live slot"));
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler_steady_state,
+    bench_scheduler_fill_drain,
+    bench_slot_lookup
+);
+criterion_main!(benches);

@@ -3,8 +3,8 @@
 //! ```text
 //! reproduce [--figure A|B|...|I|all] [--nodes N] [--seed S] [--lookups K]
 //!           [--quick] [--table-routing] [--baselines] [--maintenance]
-//!           [--multicast] [--lossy] [--durability] [--readpath] [--smoke]
-//!           [--out DIR]
+//!           [--multicast] [--lossy] [--durability] [--readpath] [--scale]
+//!           [--smoke] [--out DIR]
 //! ```
 //!
 //! Without arguments the binary runs every figure plus the Section III.e
@@ -13,7 +13,9 @@
 //! durability comparison (Figure R); `--multicast --lossy` adds the
 //! coverage-vs-loss sweep of the multicast reliability layer (Figure L);
 //! `--readpath` adds the Zipf read-storm comparison of the read-path
-//! serving layer (Figure S) and writes `BENCH_readpath.json`; `--smoke`
+//! serving layer (Figure S) and writes `BENCH_readpath.json`; `--scale`
+//! runs the engine scale sweep (legacy vs timer-wheel vs sharded, up to
+//! n = 10⁶) and writes `BENCH_scale.json`; `--smoke`
 //! switches to a bounded smoke profile and, unless figures were requested
 //! explicitly, skips the default figure suite (so `--durability --smoke`
 //! runs only the durability gate, `--multicast --lossy --smoke` only the
@@ -24,8 +26,9 @@
 
 use experiments::{
     compare_multicast, compare_overlays, figures, maintenance, routing_table_report,
-    run_churn_experiment, run_durability, run_read_storm, sweep_multicast_loss, ChurnRunResult,
-    DurabilityParams, ExperimentParams, Figure, LossSweepParams, MulticastParams, ReadStormParams,
+    run_churn_experiment, run_durability, run_read_storm, run_scale, sweep_multicast_loss,
+    ChurnRunResult, DurabilityParams, ExperimentParams, Figure, LossSweepParams, MulticastParams,
+    ReadStormParams, ScaleParams,
 };
 
 struct Cli {
@@ -41,6 +44,7 @@ struct Cli {
     lossy: bool,
     durability: bool,
     readpath: bool,
+    scale: bool,
     smoke: bool,
     out: Option<String>,
 }
@@ -68,6 +72,7 @@ impl Cli {
             lossy: false,
             durability: false,
             readpath: false,
+            scale: false,
             smoke: false,
             out: None,
         };
@@ -118,6 +123,7 @@ impl Cli {
                 "--lossy" => cli.lossy = true,
                 "--durability" => cli.durability = true,
                 "--readpath" => cli.readpath = true,
+                "--scale" => cli.scale = true,
                 "--smoke" => cli.smoke = true,
                 "--help" | "-h" => return Err(CliError::Help),
                 other => {
@@ -168,6 +174,8 @@ fn usage() -> String {
   --durability          DHT durability under churn, k = 1 vs k = 3 (Figure R)
   --readpath            Zipf read storm: hot-key cache off vs on (Figure S;
                         writes BENCH_readpath.json)
+  --scale               engine scale sweep, legacy vs timer-wheel vs sharded
+                        up to n = 10^6 (writes BENCH_scale.json)
   --out DIR   (-o)      also write one CSV per figure into DIR
   --help      (-h)      print this list and exit"
         .to_string()
@@ -430,6 +438,65 @@ fn main() {
                 || on.p99_hops > off.p99_hops
             {
                 eprintln!("error: read-path smoke gate failed: off {off:?} on {on:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if cli.scale {
+        eprintln!("# running engine scale sweep (legacy vs timer-wheel vs sharded)…");
+        let params = if cli.smoke {
+            ScaleParams::smoke(cli.seed)
+        } else {
+            ScaleParams::full(cli.seed)
+        };
+        let report = run_scale(&params);
+        println!("{}", report.to_table().render());
+        let bench_path = match &cli.out {
+            Some(dir) => format!("{dir}/BENCH_scale.json"),
+            None => "BENCH_scale.json".to_string(),
+        };
+        if let Err(e) = std::fs::write(&bench_path, report.to_json()) {
+            eprintln!("warning: could not write {bench_path}: {e}");
+        } else {
+            eprintln!("#   wrote {bench_path}");
+        }
+        // The smoke profile doubles as the engine regression gate: every
+        // leg must replay bit-identically under the same seed, the wheel
+        // engine must dispatch the exact event sequence of the legacy
+        // reference, and single-thread throughput must hold a conservative
+        // steps/sec floor. Missing rows fail hard so a population-list
+        // edit cannot silently disable the gate.
+        if cli.smoke {
+            let gate_n = 10_000;
+            let (Some(wheel), Some(legacy)) =
+                (report.row(gate_n, "wheel"), report.row(gate_n, "legacy"))
+            else {
+                eprintln!("error: scale smoke gate needs wheel and legacy rows at n = {gate_n}");
+                std::process::exit(1);
+            };
+            eprintln!(
+                "#   at n = {gate_n}: legacy {:.0} ksteps/s, wheel {:.0} ksteps/s \
+                 ({:.1}x), engines agree: {:?}",
+                legacy.steps_per_sec / 1e3,
+                wheel.steps_per_sec / 1e3,
+                report.wheel_speedup_at(gate_n).unwrap_or(0.0),
+                report.engines_agree_at(gate_n)
+            );
+            if report.rows.iter().any(|row| !row.deterministic) {
+                eprintln!("error: scale smoke gate failed: non-deterministic replay");
+                std::process::exit(1);
+            }
+            if report.engines_agree_at(gate_n) != Some(true) {
+                eprintln!("error: scale smoke gate failed: wheel digest diverges from legacy");
+                std::process::exit(1);
+            }
+            const STEPS_PER_SEC_FLOOR: f64 = 250_000.0;
+            if wheel.steps_per_sec < STEPS_PER_SEC_FLOOR {
+                eprintln!(
+                    "error: scale smoke gate failed: wheel {:.0} steps/s below floor {:.0}",
+                    wheel.steps_per_sec, STEPS_PER_SEC_FLOOR
+                );
                 std::process::exit(1);
             }
         }

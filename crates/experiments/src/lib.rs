@@ -22,6 +22,9 @@
 //!   repair convergence.
 //! * [`readpath`] — the read-path serving layer under a Zipf-skewed read
 //!   storm: p99 hops and per-node max load, hot-key cache off vs on.
+//! * [`scale`] — the engine scale sweep (n = 10³ … 10⁶): steps/sec,
+//!   bytes/node and peak RSS of the legacy, timer-wheel and sharded
+//!   simulation engines under an identical keep-alive workload.
 //!
 //! The `reproduce` binary drives all of the above from the command line; the
 //! Criterion benches in `crates/bench` wrap the same entry points.
@@ -36,6 +39,7 @@ pub mod multicast_compare;
 pub mod params;
 pub mod readpath;
 pub mod runner;
+pub mod scale;
 pub mod table_routing;
 
 pub use baseline_compare::{compare_overlays, OverlayComparison, OverlayRow};
@@ -52,4 +56,5 @@ pub use runner::{
     run_churn_experiment, AlgoStepStats, ChurnRunResult, MulticastStepStats, ReadPathStepStats,
     StepMeasurement,
 };
+pub use scale::{run_scale, ScaleParams, ScaleReport, ScaleRow};
 pub use table_routing::{routing_table_report, LevelTableRow, RoutingTableReport};

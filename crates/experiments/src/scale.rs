@@ -1,0 +1,682 @@
+//! Engine scale sweep: steps/sec, bytes/node and peak RSS from n = 10³ to
+//! n = 10⁶ (`reproduce --scale`, `BENCH_scale.json`).
+//!
+//! Three engines run the **identical seeded workload**:
+//!
+//! * `legacy` — a faithful replica of the pre-timer-wheel engine: the
+//!   retained [`HeapScheduler`] (binary heap, O(log n) per op), a
+//!   `HashMap<NodeAddr, _>` node table (SipHash per event) and a freshly
+//!   allocated action `Vec` per callback. This is the baseline the tentpole
+//!   optimisations are measured against.
+//! * `wheel` — the current single-threaded [`Simulation`]: hierarchical
+//!   timer wheel, arena-backed slots, recycled action buffer.
+//! * `sharded` — [`ShardedSimulation`] across OS threads with the
+//!   conservative time-barrier protocol.
+//!
+//! Every leg runs **twice** with the same seed and asserts the FNV event
+//! digests match (`deterministic`). The legacy and wheel engines share the
+//! digest scheme, so equal digests additionally prove the new engine
+//! dispatches byte-for-byte the same event sequence as the old one
+//! (`matches_reference`).
+//!
+//! The workload models TreeP keep-alive traffic: nodes form groups of 256
+//! arranged as arity-4 trees (computed arithmetically — no per-node
+//! topology state), every node pings its parent once per second with a
+//! keep-alive answered by an ack, and group roots report to the global
+//! root. Timer-dominated near-horizon scheduling is exactly the regime the
+//! timer wheel targets.
+
+use analysis::AsciiTable;
+use simnet::{
+    Action, Context, EventKind, HeapScheduler, LatencyModel, LinkModel, LossModel, NodeAddr,
+    Protocol, ShardedSimulation, SimConfig, SimDuration, SimRng, SimTime, Simulation, TimerToken,
+};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Keep-alive period of the workload (1 virtual second).
+const KEEPALIVE_US: u64 = 1_000_000;
+/// Nodes per local tree group.
+const GROUP: u64 = 256;
+/// Tree arity inside a group.
+const ARITY: u64 = 4;
+/// Nominal encoded size of one keep-alive / ack datagram (the codec's
+/// encoded keep-alive is < 64 bytes; see `encoding_is_compact`).
+const NOMINAL_MSG_BYTES: u64 = 48;
+
+/// Parameters of one scale sweep.
+#[derive(Debug, Clone)]
+pub struct ScaleParams {
+    /// Population sizes to sweep, ascending.
+    pub populations: Vec<usize>,
+    /// Virtual time horizon of each run.
+    pub horizon: SimDuration,
+    /// Deterministic seed shared by every leg.
+    pub seed: u64,
+    /// Thread count of the sharded legs.
+    pub shard_threads: usize,
+    /// Largest n the legacy baseline runs at (it is the slowest engine;
+    /// capping it bounds sweep wall-time without touching the new engines).
+    pub legacy_max_n: usize,
+}
+
+impl ScaleParams {
+    /// The full sweep: n = 10³ … 10⁶.
+    pub fn full(seed: u64) -> ScaleParams {
+        ScaleParams {
+            populations: vec![1_000, 10_000, 100_000, 1_000_000],
+            horizon: SimDuration::from_secs(5),
+            seed,
+            shard_threads: 4,
+            legacy_max_n: 1_000_000,
+        }
+    }
+
+    /// Bounded smoke profile used by CI.
+    pub fn smoke(seed: u64) -> ScaleParams {
+        ScaleParams {
+            populations: vec![1_000, 10_000],
+            horizon: SimDuration::from_secs(2),
+            seed,
+            shard_threads: 4,
+            legacy_max_n: 10_000,
+        }
+    }
+}
+
+/// The keep-alive workload protocol (see module docs for the topology).
+pub struct ScaleProto {
+    acks: u32,
+}
+
+impl ScaleProto {
+    fn new() -> ScaleProto {
+        ScaleProto { acks: 0 }
+    }
+
+    /// Keep-alive destination of `me`: the arity-4 parent inside the group,
+    /// the global root for group roots, nothing for the global root itself.
+    fn keepalive_target(me: u64) -> Option<NodeAddr> {
+        let local = me % GROUP;
+        if local == 0 {
+            if me == 0 {
+                None
+            } else {
+                Some(NodeAddr(0))
+            }
+        } else {
+            Some(NodeAddr(me - local + (local - 1) / ARITY))
+        }
+    }
+}
+
+/// Workload message: a keep-alive or its ack.
+#[derive(Clone, Debug)]
+pub enum ScaleMsg {
+    /// Periodic liveness ping to the parent.
+    KeepAlive,
+    /// Parent's answer.
+    Ack,
+}
+
+impl Protocol for ScaleProto {
+    type Message = ScaleMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ScaleMsg>) {
+        // Spread first fires uniformly over one period so load is steady
+        // rather than phase-locked.
+        let jitter = ctx.rng().gen_range_u64(0..KEEPALIVE_US);
+        ctx.set_timer(SimDuration::from_micros(jitter), TimerToken(1));
+    }
+
+    fn on_timer(&mut self, _token: TimerToken, ctx: &mut Context<'_, ScaleMsg>) {
+        if let Some(parent) = Self::keepalive_target(ctx.self_addr().0) {
+            ctx.send(parent, ScaleMsg::KeepAlive);
+        }
+        ctx.set_timer(SimDuration::from_micros(KEEPALIVE_US), TimerToken(1));
+    }
+
+    fn on_message(&mut self, from: NodeAddr, msg: ScaleMsg, ctx: &mut Context<'_, ScaleMsg>) {
+        match msg {
+            ScaleMsg::KeepAlive => ctx.send(from, ScaleMsg::Ack),
+            ScaleMsg::Ack => self.acks += 1,
+        }
+    }
+}
+
+// ---- legacy engine replica -------------------------------------------------
+
+// FNV-1a constants, identical to the simulation's digest so legacy and
+// wheel digests are directly comparable.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(digest: u64, word: u64) -> u64 {
+    (digest ^ word).wrapping_mul(FNV_PRIME)
+}
+
+fn fold_event<M>(digest: u64, at: SimTime, seq: u64, kind: &EventKind<M>) -> u64 {
+    let (tag, node) = match kind {
+        EventKind::Deliver { src, dest, .. } => (0u64, dest.0 ^ (src.0 << 1)),
+        EventKind::Timer { node, token } => (1, node.0 ^ (token.0 << 1)),
+        EventKind::Start { node } => (2, node.0),
+        EventKind::Fail { node } => (3, node.0),
+        EventKind::Stop { node } => (4, node.0),
+    };
+    let mut d = fnv_fold(digest, at.as_micros());
+    d = fnv_fold(d, seq);
+    d = fnv_fold(d, tag);
+    fnv_fold(d, node)
+}
+
+struct LegacySlot<P> {
+    proto: P,
+    alive: bool,
+    started: bool,
+}
+
+/// The pre-PR engine, preserved verbatim in its three measured costs:
+/// [`HeapScheduler`] (O(log n) schedule/pop), `HashMap` node lookup per
+/// event, and a fresh action `Vec` per callback ([`Context::new`]).
+struct LegacySimulation<P: Protocol> {
+    config: SimConfig,
+    scheduler: HeapScheduler<P::Message>,
+    nodes: HashMap<NodeAddr, LegacySlot<P>>,
+    next_addr: u64,
+    rng: SimRng,
+    events: u64,
+    messages_sent: u64,
+    digest: u64,
+}
+
+impl<P: Protocol> LegacySimulation<P> {
+    fn new(config: SimConfig, seed: u64) -> Self {
+        LegacySimulation {
+            config,
+            scheduler: HeapScheduler::new(),
+            nodes: HashMap::new(),
+            next_addr: 0,
+            rng: SimRng::seed_from(seed),
+            events: 0,
+            messages_sent: 0,
+            digest: FNV_OFFSET,
+        }
+    }
+
+    fn add_node(&mut self, proto: P) -> NodeAddr {
+        let addr = NodeAddr(self.next_addr);
+        self.next_addr += 1;
+        self.nodes.insert(
+            addr,
+            LegacySlot {
+                proto,
+                alive: true,
+                started: false,
+            },
+        );
+        self.scheduler
+            .schedule(SimTime::ZERO, EventKind::Start { node: addr });
+        addr
+    }
+
+    fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.scheduler.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    fn step(&mut self) -> bool {
+        let Some(event) = self.scheduler.pop() else {
+            return false;
+        };
+        self.events += 1;
+        self.digest = fold_event(self.digest, event.at, event.seq, &event.kind);
+        let now = event.at;
+        match event.kind {
+            EventKind::Start { node } => {
+                let Some(slot) = self.nodes.get_mut(&node) else {
+                    return true;
+                };
+                if !slot.alive || slot.started {
+                    return true;
+                }
+                slot.started = true;
+                let mut ctx = Context::new(now, node, &mut self.rng);
+                slot.proto.on_start(&mut ctx);
+                let actions = ctx.into_actions();
+                self.apply(node, actions, now);
+            }
+            EventKind::Timer { node, token } => {
+                let Some(slot) = self.nodes.get_mut(&node) else {
+                    return true;
+                };
+                if !slot.alive {
+                    return true;
+                }
+                let mut ctx = Context::new(now, node, &mut self.rng);
+                slot.proto.on_timer(token, &mut ctx);
+                let actions = ctx.into_actions();
+                self.apply(node, actions, now);
+            }
+            EventKind::Deliver { src, dest, msg } => {
+                let Some(slot) = self.nodes.get_mut(&dest) else {
+                    return true;
+                };
+                if !slot.alive || !slot.started {
+                    return true;
+                }
+                let mut ctx = Context::new(now, dest, &mut self.rng);
+                slot.proto.on_message(src, msg, &mut ctx);
+                let actions = ctx.into_actions();
+                self.apply(dest, actions, now);
+            }
+            EventKind::Fail { node } | EventKind::Stop { node } => {
+                if let Some(slot) = self.nodes.get_mut(&node) {
+                    slot.alive = false;
+                }
+            }
+        }
+        true
+    }
+
+    fn apply(&mut self, origin: NodeAddr, actions: Vec<Action<P::Message>>, now: SimTime) {
+        for action in actions {
+            match action {
+                Action::Send { dest, msg } => {
+                    self.messages_sent += 1;
+                    if let Some(latency) = self.config.link.transmit(origin, dest, &mut self.rng) {
+                        self.scheduler.schedule(
+                            now + latency,
+                            EventKind::Deliver {
+                                src: origin,
+                                dest,
+                                msg,
+                            },
+                        );
+                    }
+                }
+                Action::SetTimer { delay, token } => {
+                    self.scheduler.schedule(
+                        now + delay,
+                        EventKind::Timer {
+                            node: origin,
+                            token,
+                        },
+                    );
+                }
+                Action::Shutdown => {}
+            }
+        }
+    }
+}
+
+// ---- measurement -----------------------------------------------------------
+
+/// One measured leg of the sweep.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Population size.
+    pub n: usize,
+    /// Engine: `legacy`, `wheel` or `sharded`.
+    pub engine: &'static str,
+    /// OS threads stepping the simulation.
+    pub threads: usize,
+    /// Events dispatched in one run.
+    pub events: u64,
+    /// Wall-clock of the best of the two runs, milliseconds.
+    pub wall_ms: f64,
+    /// Events per wall-clock second (best run).
+    pub steps_per_sec: f64,
+    /// Nominal wire bytes per node over the horizon.
+    pub bytes_per_node: f64,
+    /// Process peak RSS after the leg (`VmHWM`; cumulative high-water
+    /// mark, so legs run in ascending n order).
+    pub peak_rss_bytes: u64,
+    /// FNV event digest of the run.
+    pub digest: u64,
+    /// Both same-seed runs produced the same digest.
+    pub deterministic: bool,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// One row per (n, engine) leg.
+    pub rows: Vec<ScaleRow>,
+    /// Seed shared by every leg.
+    pub seed: u64,
+    /// Virtual horizon per run, seconds.
+    pub horizon_secs: u64,
+    /// `std::thread::available_parallelism` of the measuring host. When
+    /// this is below `shard_threads`, sharded legs measure protocol
+    /// correctness and barrier overhead, not parallel speedup.
+    pub hardware_threads: usize,
+    /// Threads used by sharded legs.
+    pub shard_threads: usize,
+}
+
+fn config() -> SimConfig {
+    SimConfig {
+        link: LinkModel {
+            latency: LatencyModel::Uniform {
+                min: SimDuration::from_millis(5),
+                max: SimDuration::from_millis(50),
+            },
+            loss: LossModel::None,
+        },
+        max_events: u64::MAX,
+    }
+}
+
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmHWM:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+fn row_from_runs(
+    n: usize,
+    engine: &'static str,
+    threads: usize,
+    runs: [(u64, u64, u64, f64); 2],
+) -> ScaleRow {
+    let [(events, sent, digest, wall_a), (_, _, digest_b, wall_b)] = runs;
+    let wall = wall_a.min(wall_b);
+    ScaleRow {
+        n,
+        engine,
+        threads,
+        events,
+        wall_ms: wall * 1e3,
+        steps_per_sec: if wall > 0.0 {
+            events as f64 / wall
+        } else {
+            0.0
+        },
+        bytes_per_node: (sent * NOMINAL_MSG_BYTES) as f64 / n as f64,
+        peak_rss_bytes: peak_rss_bytes(),
+        digest,
+        deterministic: digest == digest_b,
+    }
+}
+
+fn run_legacy(params: &ScaleParams, n: usize) -> ScaleRow {
+    let deadline = SimTime::from_micros(params.horizon.as_micros());
+    let run = || {
+        let mut sim: LegacySimulation<ScaleProto> = LegacySimulation::new(config(), params.seed);
+        for _ in 0..n {
+            sim.add_node(ScaleProto::new());
+        }
+        let started = Instant::now();
+        sim.run_until(deadline);
+        let wall = started.elapsed().as_secs_f64();
+        (sim.events, sim.messages_sent, sim.digest, wall)
+    };
+    row_from_runs(n, "legacy", 1, [run(), run()])
+}
+
+fn run_wheel(params: &ScaleParams, n: usize) -> ScaleRow {
+    let deadline = SimTime::from_micros(params.horizon.as_micros());
+    let run = || {
+        let mut sim: Simulation<ScaleProto> = Simulation::new(config(), params.seed);
+        sim.enable_digest();
+        sim.reserve_nodes(n);
+        for _ in 0..n {
+            sim.add_node(ScaleProto::new());
+        }
+        let started = Instant::now();
+        sim.run_until(deadline);
+        let wall = started.elapsed().as_secs_f64();
+        (
+            sim.metrics().events_dispatched,
+            sim.metrics().messages_sent,
+            sim.event_digest().expect("digest enabled"),
+            wall,
+        )
+    };
+    row_from_runs(n, "wheel", 1, [run(), run()])
+}
+
+fn run_sharded(params: &ScaleParams, n: usize) -> ScaleRow {
+    let deadline = SimTime::from_micros(params.horizon.as_micros());
+    let run = || {
+        let mut sim: ShardedSimulation<ScaleProto> =
+            ShardedSimulation::new(config(), params.seed, n, params.shard_threads);
+        sim.enable_digest();
+        for _ in 0..n {
+            sim.add_node(ScaleProto::new());
+        }
+        let started = Instant::now();
+        sim.run_until(deadline);
+        let wall = started.elapsed().as_secs_f64();
+        let m = sim.metrics();
+        (
+            m.events_dispatched,
+            m.messages_sent,
+            sim.event_digest().expect("digest enabled"),
+            wall,
+        )
+    };
+    row_from_runs(n, "sharded", params.shard_threads, [run(), run()])
+}
+
+/// Run the sweep: per population, the legacy baseline (up to
+/// `legacy_max_n`), the single-threaded wheel engine and the sharded
+/// engine, each twice for the determinism assertion.
+pub fn run_scale(params: &ScaleParams) -> ScaleReport {
+    let mut rows = Vec::new();
+    for &n in &params.populations {
+        if n <= params.legacy_max_n {
+            eprintln!("#   scale: n = {n}, legacy engine…");
+            rows.push(run_legacy(params, n));
+        }
+        eprintln!("#   scale: n = {n}, wheel engine…");
+        rows.push(run_wheel(params, n));
+        eprintln!("#   scale: n = {n}, sharded engine…");
+        rows.push(run_sharded(params, n));
+    }
+    ScaleReport {
+        rows,
+        seed: params.seed,
+        horizon_secs: params.horizon.as_secs(),
+        hardware_threads: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        shard_threads: params.shard_threads,
+    }
+}
+
+impl ScaleReport {
+    /// The row for `(n, engine)`, if that leg ran.
+    pub fn row(&self, n: usize, engine: &str) -> Option<&ScaleRow> {
+        self.rows.iter().find(|r| r.n == n && r.engine == engine)
+    }
+
+    /// steps/sec ratio of the wheel engine over the legacy baseline at `n`.
+    pub fn wheel_speedup_at(&self, n: usize) -> Option<f64> {
+        let wheel = self.row(n, "wheel")?;
+        let legacy = self.row(n, "legacy")?;
+        (legacy.steps_per_sec > 0.0).then(|| wheel.steps_per_sec / legacy.steps_per_sec)
+    }
+
+    /// steps/sec ratio of the sharded engine over the wheel engine at `n`.
+    pub fn sharded_speedup_at(&self, n: usize) -> Option<f64> {
+        let sharded = self.row(n, "sharded")?;
+        let wheel = self.row(n, "wheel")?;
+        (wheel.steps_per_sec > 0.0).then(|| sharded.steps_per_sec / wheel.steps_per_sec)
+    }
+
+    /// Do the legacy and wheel digests agree at `n`? (They share the FNV
+    /// scheme and must dispatch identical event sequences.) `None` when
+    /// either leg is missing.
+    pub fn engines_agree_at(&self, n: usize) -> Option<bool> {
+        Some(self.row(n, "wheel")?.digest == self.row(n, "legacy")?.digest)
+    }
+
+    /// Render the sweep as a table.
+    pub fn to_table(&self) -> AsciiTable {
+        let mut table = AsciiTable::new(format!(
+            "Engine scale sweep (seed = {}, horizon = {}s, host threads = {})",
+            self.seed, self.horizon_secs, self.hardware_threads
+        ))
+        .header([
+            "n",
+            "engine",
+            "threads",
+            "events",
+            "ksteps/s",
+            "bytes/node",
+            "peak RSS MB",
+            "deterministic",
+        ]);
+        for row in &self.rows {
+            table.push_row([
+                row.n.to_string(),
+                row.engine.to_string(),
+                row.threads.to_string(),
+                row.events.to_string(),
+                format!("{:.0}", row.steps_per_sec / 1e3),
+                format!("{:.0}", row.bytes_per_node),
+                format!("{:.0}", row.peak_rss_bytes as f64 / (1024.0 * 1024.0)),
+                row.deterministic.to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// Serialise to the `BENCH_scale.json` format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"scale\",\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"horizon_secs\": {},\n", self.horizon_secs));
+        out.push_str(&format!(
+            "  \"hardware_threads\": {},\n",
+            self.hardware_threads
+        ));
+        out.push_str(&format!("  \"shard_threads\": {},\n", self.shard_threads));
+        if let Some(speedup) = self.wheel_speedup_at(10_000) {
+            out.push_str(&format!(
+                "  \"wheel_speedup_vs_legacy_n10k\": {speedup:.2},\n"
+            ));
+        }
+        if let Some(speedup) = self.sharded_speedup_at(10_000) {
+            out.push_str(&format!(
+                "  \"sharded_speedup_vs_wheel_n10k\": {speedup:.2},\n"
+            ));
+        }
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"n\": {}, \"engine\": \"{}\", \"threads\": {}, \"events\": {}, \
+                 \"wall_ms\": {:.1}, \"steps_per_sec\": {:.0}, \"bytes_per_node\": {:.1}, \
+                 \"peak_rss_bytes\": {}, \"digest\": \"0x{:016x}\", \"deterministic\": {}}}{}\n",
+                row.n,
+                row.engine,
+                row.threads,
+                row.events,
+                row.wall_ms,
+                row.steps_per_sec,
+                row.bytes_per_node,
+                row.peak_rss_bytes,
+                row.digest,
+                row.deterministic,
+                if i + 1 < self.rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_params() -> ScaleParams {
+        ScaleParams {
+            populations: vec![300],
+            horizon: SimDuration::from_secs(2),
+            seed: 9,
+            shard_threads: 2,
+            legacy_max_n: 300,
+        }
+    }
+
+    #[test]
+    fn sweep_runs_all_engines_and_is_deterministic() {
+        let report = run_scale(&tiny_params());
+        assert_eq!(report.rows.len(), 3);
+        for row in &report.rows {
+            assert!(row.deterministic, "{} leg must replay: {row:?}", row.engine);
+            assert!(row.events > 0);
+            assert!(row.steps_per_sec > 0.0);
+            assert!(row.bytes_per_node > 0.0);
+        }
+    }
+
+    #[test]
+    fn wheel_engine_matches_legacy_reference_exactly() {
+        let report = run_scale(&tiny_params());
+        assert_eq!(
+            report.engines_agree_at(300),
+            Some(true),
+            "wheel and legacy engines must dispatch identical event sequences"
+        );
+        let legacy = report.row(300, "legacy").unwrap();
+        let wheel = report.row(300, "wheel").unwrap();
+        assert_eq!(legacy.events, wheel.events);
+        assert!((legacy.bytes_per_node - wheel.bytes_per_node).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_is_balanced_and_carries_rows() {
+        let report = run_scale(&tiny_params());
+        let json = report.to_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON:\n{json}"
+        );
+        assert!(json.contains("\"engine\": \"wheel\""));
+        assert!(json.contains("\"engine\": \"sharded\""));
+        assert!(json.contains("\"deterministic\": true"));
+    }
+
+    #[test]
+    fn keepalive_targets_form_a_rooted_forest() {
+        assert_eq!(ScaleProto::keepalive_target(0), None);
+        // In-group tree edges.
+        assert_eq!(ScaleProto::keepalive_target(1), Some(NodeAddr(0)));
+        assert_eq!(ScaleProto::keepalive_target(5), Some(NodeAddr(1)));
+        assert_eq!(
+            ScaleProto::keepalive_target(GROUP + 9),
+            Some(NodeAddr(GROUP + 2))
+        );
+        // Group roots report to the global root.
+        assert_eq!(ScaleProto::keepalive_target(GROUP), Some(NodeAddr(0)));
+        assert_eq!(ScaleProto::keepalive_target(3 * GROUP), Some(NodeAddr(0)));
+        // Every node eventually reaches node 0.
+        for start in [7u64, 255, 256, 300, 1023, 5000] {
+            let mut cur = start;
+            let mut hops = 0;
+            while let Some(next) = ScaleProto::keepalive_target(cur) {
+                cur = next.0;
+                hops += 1;
+                assert!(hops < 64, "cycle detected from {start}");
+            }
+            assert_eq!(cur, 0);
+        }
+    }
+}

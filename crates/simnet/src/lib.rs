@@ -41,22 +41,26 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod event;
 pub mod link;
 pub mod metrics;
 pub mod protocol;
 pub mod rng;
 pub mod scheduler;
+pub mod shard;
 pub mod sim;
 pub mod time;
 pub mod trace;
 
+pub use arena::{Arena, Handle};
 pub use event::{Event, EventKind};
 pub use link::{LatencyModel, LinkModel, LossModel};
 pub use metrics::SimMetrics;
 pub use protocol::{Action, Context, NodeAddr, Protocol, TimerToken};
 pub use rng::SimRng;
-pub use scheduler::Scheduler;
+pub use scheduler::{HeapScheduler, Scheduler};
+pub use shard::ShardedSimulation;
 pub use sim::{SimConfig, Simulation};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceSink};

@@ -69,11 +69,27 @@ pub struct Context<'a, M> {
 impl<'a, M> Context<'a, M> {
     /// Create a context. Used by simulation / transport hosts.
     pub fn new(now: SimTime, self_addr: NodeAddr, rng: &'a mut SimRng) -> Self {
+        Context::with_buffer(now, self_addr, rng, Vec::new())
+    }
+
+    /// Create a context that records actions into a recycled buffer.
+    ///
+    /// The hot dispatch path runs one context per event; reusing one
+    /// cleared `Vec` across events removes a malloc/free per callback. The
+    /// buffer is cleared here, so callers may hand back whatever
+    /// [`Context::into_actions`] previously returned.
+    pub fn with_buffer(
+        now: SimTime,
+        self_addr: NodeAddr,
+        rng: &'a mut SimRng,
+        mut buffer: Vec<Action<M>>,
+    ) -> Self {
+        buffer.clear();
         Context {
             now,
             self_addr,
             rng,
-            actions: Vec::new(),
+            actions: buffer,
         }
     }
 

@@ -1,4 +1,43 @@
-//! The event queue: a priority queue ordered by `(time, sequence)`.
+//! The event queue: a hierarchical timer wheel with exact `(time, seq)`
+//! FIFO ordering.
+//!
+//! # Why a wheel
+//!
+//! The original scheduler was a single `BinaryHeap` over every pending
+//! event. At million-node scale the queue holds one keep-alive timer per
+//! node plus every in-flight message, so each `schedule`/`pop` paid
+//! `O(log n)` comparisons over a cache-hostile heap of ~10⁶ entries. The
+//! wheel replaces that with `O(1)` amortized bucket pushes for the
+//! near-horizon timers that dominate keep-alive traffic, while an explicit
+//! far-horizon heap keeps arbitrarily distant timers correct.
+//!
+//! # Layout
+//!
+//! Virtual time is bucketed into **granules** of `2^8` µs (256 µs). Pending
+//! events live in exactly one of four tiers, ordered by distance from the
+//! cursor:
+//!
+//! 1. **`current`** — a small binary heap holding every event whose granule
+//!    is at or before the cursor granule. This is the only tier that pops,
+//!    so global `(time, seq)` order reduces to the heap's comparator.
+//! 2. **Level 0** — 256 slots of one granule each (a 65.5 ms span). A slot
+//!    is an unordered `Vec`; it is heapified wholesale into `current` when
+//!    the cursor reaches it.
+//! 3. **Level 1** — 256 slots of 256 granules each (a 16.8 s span). When
+//!    the level-0 window is exhausted, the next non-empty level-1 slot is
+//!    redistributed into level-0 slots (each event cascades at most once).
+//! 4. **Far heap** — a `BinaryHeap` for everything beyond the level-1
+//!    window. When both wheel levels drain, the far heap re-seeds the
+//!    level-1 window around its earliest event.
+//!
+//! Scheduling routes an event to the outermost tier that can hold it;
+//! popping always takes the minimum of `current`, which is the global
+//! minimum because every other tier only holds strictly later granules.
+//! Events scheduled *behind* the cursor granule (the clamped-to-now case,
+//! and sub-granule message latencies) fall into `current` directly, where
+//! the comparator restores exact ordering — so the wheel's pop sequence is
+//! byte-identical to the reference heap's, ties included (pinned by
+//! `tests/scheduler_equivalence.rs`).
 
 use crate::event::{Event, EventKind, EventSeq};
 use crate::time::SimTime;
@@ -31,13 +70,46 @@ impl<M> Ord for Entry<M> {
     }
 }
 
-/// Discrete-event scheduler.
+/// log2 of the level-0 granule in microseconds (256 µs).
+const L0_SHIFT: u32 = 8;
+/// log2 of the level-1 granule in microseconds (65.536 ms).
+const L1_SHIFT: u32 = 16;
+/// Slots per wheel level (so level 0 spans one level-1 granule exactly).
+const SLOTS: usize = 1 << (L1_SHIFT - L0_SHIFT);
+
+#[inline]
+fn g0(at: SimTime) -> u64 {
+    at.as_micros() >> L0_SHIFT
+}
+
+#[inline]
+fn g1(at: SimTime) -> u64 {
+    at.as_micros() >> L1_SHIFT
+}
+
+/// Discrete-event scheduler (hierarchical timer wheel).
 ///
 /// Events inserted with [`Scheduler::schedule`] are popped in non-decreasing
 /// time order; events with equal timestamps are popped in insertion (FIFO)
-/// order, which keeps simulations deterministic.
+/// order, which keeps simulations deterministic. The pop sequence is exactly
+/// that of [`HeapScheduler`], the retained reference implementation.
 pub struct Scheduler<M> {
-    heap: BinaryHeap<Entry<M>>,
+    /// Events with granule ≤ `cursor0`, popped directly.
+    current: BinaryHeap<Entry<M>>,
+    /// Level-0 slots: one granule each, window `[base0, base0 + SLOTS)`.
+    level0: Vec<Vec<Entry<M>>>,
+    /// Level-1 slots: `SLOTS` granules each, window `[base1, base1 + SLOTS)`
+    /// in level-1 granule units.
+    level1: Vec<Vec<Entry<M>>>,
+    /// Everything at or beyond the end of the level-1 window.
+    far: BinaryHeap<Entry<M>>,
+    /// All level-0 granules ≤ `cursor0` have been routed to `current`.
+    cursor0: u64,
+    /// Start of the level-0 window, in level-0 granules.
+    base0: u64,
+    /// Start of the level-1 window, in level-1 granules.
+    base1: u64,
+    len: usize,
     next_seq: EventSeq,
     now: SimTime,
     scheduled_total: u64,
@@ -53,6 +125,210 @@ impl<M> Scheduler<M> {
     /// Create an empty scheduler at time zero.
     pub fn new() -> Self {
         Scheduler {
+            current: BinaryHeap::new(),
+            level0: (0..SLOTS).map(|_| Vec::new()).collect(),
+            level1: (0..SLOTS).map(|_| Vec::new()).collect(),
+            far: BinaryHeap::new(),
+            cursor0: 0,
+            base0: 0,
+            base1: 0,
+            len: 0,
+            next_seq: 0,
+            now: SimTime::ZERO,
+            scheduled_total: 0,
+        }
+    }
+
+    /// The current virtual time (time of the most recently popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Schedule `kind` for dispatch at time `at`.
+    ///
+    /// Scheduling in the past is clamped to the current time: the event will
+    /// be dispatched "now", after any events already scheduled for the
+    /// current instant.
+    pub fn schedule(&mut self, at: SimTime, kind: EventKind<M>) -> EventSeq {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.len += 1;
+        let entry = Entry {
+            event: Event::new(at, seq, kind),
+        };
+        let eg0 = g0(at);
+        if eg0 <= self.cursor0 {
+            self.current.push(entry);
+        } else if eg0 < self.base0 + SLOTS as u64 {
+            self.level0[(eg0 as usize) & (SLOTS - 1)].push(entry);
+        } else {
+            let eg1 = g1(at);
+            if eg1 < self.base1 + SLOTS as u64 {
+                self.level1[(eg1 as usize) & (SLOTS - 1)].push(entry);
+            } else {
+                self.far.push(entry);
+            }
+        }
+        // Keep the invariant "`current` is non-empty whenever the scheduler
+        // is non-empty" so `peek_time` stays O(1) with `&self`.
+        if self.current.is_empty() {
+            self.advance();
+        }
+        seq
+    }
+
+    /// Pull the next non-empty tier into `current`. Called only when
+    /// `current` is empty; afterwards `current` is non-empty iff any event
+    /// is pending.
+    ///
+    /// Window invariants maintained here and relied on by `schedule`:
+    /// `base0` is always a multiple of `SLOTS` (so slot indices never
+    /// alias), `base0 >= (base1 << (L1_SHIFT - L0_SHIFT)) - SLOTS` (so an
+    /// event past the level-0 window is never below the level-1 window),
+    /// and level-0 slots at granules `<= cursor0` are empty (they route to
+    /// `current` instead).
+    fn advance(&mut self) {
+        debug_assert!(self.current.is_empty());
+        if self.len == 0 {
+            return;
+        }
+        loop {
+            // Phase 1: scan the remainder of the level-0 window.
+            let w0_end = self.base0 + SLOTS as u64;
+            let start = (self.cursor0 + 1).max(self.base0);
+            for g in start..w0_end {
+                let idx = (g as usize) & (SLOTS - 1);
+                if !self.level0[idx].is_empty() {
+                    // Recycle the drained heap's buffer into the slot so
+                    // steady-state operation stops allocating.
+                    let bucket = std::mem::take(&mut self.level0[idx]);
+                    let spare = std::mem::replace(&mut self.current, BinaryHeap::from(bucket));
+                    self.level0[idx] = spare.into_vec();
+                    self.cursor0 = g;
+                    return;
+                }
+            }
+            self.cursor0 = self.cursor0.max(w0_end - 1);
+            // Phase 2: level 0 exhausted — cascade the next non-empty
+            // level-1 slot into fresh level-0 slots (each event cascades at
+            // most once).
+            let w1_end = self.base1 + SLOTS as u64;
+            let start1 = (w0_end >> (L1_SHIFT - L0_SHIFT)).max(self.base1);
+            let mut cascaded = false;
+            for gg in start1..w1_end {
+                let idx = (gg as usize) & (SLOTS - 1);
+                if !self.level1[idx].is_empty() {
+                    let items = std::mem::take(&mut self.level1[idx]);
+                    self.base0 = gg << (L1_SHIFT - L0_SHIFT);
+                    self.cursor0 = self.cursor0.max(self.base0 - 1);
+                    for entry in items {
+                        let eg0 = g0(entry.event.at);
+                        debug_assert!(eg0 >= self.base0 && eg0 < self.base0 + SLOTS as u64);
+                        self.level0[(eg0 as usize) & (SLOTS - 1)].push(entry);
+                    }
+                    cascaded = true;
+                    break;
+                }
+            }
+            if cascaded {
+                continue;
+            }
+            // Phase 3: both wheel levels exhausted — re-seed the level-1
+            // window at the far heap's earliest event (each event migrates
+            // out of `far` at most once).
+            let Some(first) = self.far.peek() else {
+                debug_assert_eq!(self.len, 0, "events lost outside every tier");
+                return;
+            };
+            self.base1 = g1(first.event.at);
+            let new_w1_end = self.base1 + SLOTS as u64;
+            while let Some(e) = self.far.peek() {
+                if g1(e.event.at) >= new_w1_end {
+                    break;
+                }
+                let entry = self.far.pop().expect("peeked");
+                let idx = (g1(entry.event.at) as usize) & (SLOTS - 1);
+                self.level1[idx].push(entry);
+            }
+            // Park the level-0 window one span *before* the new level-1
+            // window, so the next phase-2 scan starts exactly at `base1`
+            // and finds the slot just seeded.
+            self.base0 = (self.base1 << (L1_SHIFT - L0_SHIFT)) - SLOTS as u64;
+        }
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.current.peek().map(|e| e.event.at)
+    }
+
+    /// Pop the next event, advancing the current time to its timestamp.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        let entry = self.current.pop()?;
+        self.len -= 1;
+        if self.current.is_empty() {
+            self.advance();
+        }
+        debug_assert!(entry.event.at >= self.now, "time went backwards");
+        self.now = entry.event.at;
+        Some(entry.event)
+    }
+
+    /// Drop every pending event (used when tearing a simulation down early).
+    pub fn clear(&mut self) {
+        self.current.clear();
+        for slot in &mut self.level0 {
+            slot.clear();
+        }
+        for slot in &mut self.level1 {
+            slot.clear();
+        }
+        self.far.clear();
+        self.len = 0;
+    }
+}
+
+/// The retained `BinaryHeap` reference scheduler (the pre-wheel engine).
+///
+/// It exists for two reasons: the equivalence property tests replay seeded
+/// random traces against it to pin the wheel's exact pop order, and the
+/// `sim_engine` benchmarks report wheel-vs-heap throughput side by side.
+/// Its semantics are the documented contract: pop in `(time, seq)` order,
+/// clamp past schedules to `now`.
+pub struct HeapScheduler<M> {
+    heap: BinaryHeap<Entry<M>>,
+    next_seq: EventSeq,
+    now: SimTime,
+    scheduled_total: u64,
+}
+
+impl<M> Default for HeapScheduler<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> HeapScheduler<M> {
+    /// Create an empty scheduler at time zero.
+    pub fn new() -> Self {
+        HeapScheduler {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
@@ -80,11 +356,7 @@ impl<M> Scheduler<M> {
         self.scheduled_total
     }
 
-    /// Schedule `kind` for dispatch at time `at`.
-    ///
-    /// Scheduling in the past is clamped to the current time: the event will
-    /// be dispatched "now", after any events already scheduled for the
-    /// current instant.
+    /// Schedule `kind` for dispatch at time `at` (past times clamp to now).
     pub fn schedule(&mut self, at: SimTime, kind: EventKind<M>) -> EventSeq {
         let at = at.max(self.now);
         let seq = self.next_seq;
@@ -109,7 +381,7 @@ impl<M> Scheduler<M> {
         Some(entry.event)
     }
 
-    /// Drop every pending event (used when tearing a simulation down early).
+    /// Drop every pending event.
     pub fn clear(&mut self) {
         self.heap.clear();
     }
@@ -173,6 +445,78 @@ mod tests {
         assert_eq!(s.peek_time(), Some(SimTime::from_millis(1)));
         s.clear();
         assert!(s.is_empty());
+        assert_eq!(s.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn events_across_every_tier_pop_in_order() {
+        // One event per tier: current granule, level 0, level 1, far — plus
+        // ties at each boundary.
+        let mut s: Scheduler<()> = Scheduler::new();
+        let times: Vec<u64> = vec![
+            0,              // current (granule 0)
+            100,            // current (granule 0, 256 µs granule)
+            1_000,          // level 0
+            60_000,         // level 0 (near window end)
+            100_000,        // level 1
+            10_000_000,     // level 1 (10 s)
+            20_000_000_000, // far (20000 s)
+            20_000_000_001, // far tie-breaker neighbour
+        ];
+        // Schedule in reverse so insertion order disagrees with time order.
+        for (i, &t) in times.iter().enumerate().rev() {
+            s.schedule(SimTime::from_micros(t), start(i as u64));
+        }
+        // Equal-time FIFO probes at a few of those instants.
+        s.schedule(SimTime::from_micros(100), start(100));
+        s.schedule(SimTime::from_micros(10_000_000), start(101));
+        let popped: Vec<(u64, u64)> = std::iter::from_fn(|| s.pop())
+            .map(|e| (e.at.as_micros(), e.target().0))
+            .collect();
+        let expect: Vec<(u64, u64)> = vec![
+            (0, 0),
+            (100, 1),
+            (100, 100),
+            (1_000, 2),
+            (60_000, 3),
+            (100_000, 4),
+            (10_000_000, 5),
+            (10_000_000, 101),
+            (20_000_000_000, 6),
+            (20_000_000_001, 7),
+        ];
+        assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_keeps_order() {
+        // Pop a far event, then schedule behind the advanced cursor: the
+        // late event must still pop in correct time order.
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule(SimTime::from_secs(5), start(1));
+        let e = s.pop().unwrap();
+        assert_eq!(e.target(), NodeAddr(1));
+        // now = 5 s; schedule 5 s + 10 µs and 5 s + 300 ms: one lands behind
+        // the (rebased) cursor granule, one ahead.
+        s.schedule(SimTime::from_micros(5_000_010), start(2));
+        s.schedule(SimTime::from_micros(5_300_000), start(3));
+        s.schedule(SimTime::from_micros(5_000_010), start(4));
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop())
+            .map(|e| e.target().0)
+            .collect();
+        assert_eq!(order, vec![2, 4, 3]);
+    }
+
+    #[test]
+    fn heap_reference_matches_basic_contract() {
+        let mut s: HeapScheduler<()> = HeapScheduler::new();
+        s.schedule(SimTime::from_millis(2), start(2));
+        s.schedule(SimTime::from_millis(1), start(1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.peek_time(), Some(SimTime::from_millis(1)));
+        assert_eq!(s.pop().unwrap().target(), NodeAddr(1));
+        assert_eq!(s.pop().unwrap().target(), NodeAddr(2));
+        assert!(s.pop().is_none());
         assert_eq!(s.scheduled_total(), 2);
     }
 }

@@ -1,6 +1,26 @@
 //! The simulation host: owns nodes, virtual time, the event queue and the
 //! link model, and drives [`Protocol`] state machines.
+//!
+//! # Engine layout (million-node scale)
+//!
+//! The host is built so the per-event dispatch path does no hashing and no
+//! allocation:
+//!
+//! * events come off a hierarchical timer wheel ([`Scheduler`]) in exact
+//!   `(time, seq)` order;
+//! * node state lives in a generation-tagged [`Arena`]; the sim assigns
+//!   dense `NodeAddr`s, so resolving an address is two `Vec` indexes
+//!   (`addr → handle → slot`) instead of a `HashMap` probe;
+//! * each callback's actions are recorded into one recycled buffer
+//!   ([`Context::with_buffer`]) instead of a fresh `Vec` per event.
+//!
+//! Node sweeps ([`Simulation::alive_nodes`], [`Simulation::all_nodes`],
+//! metrics, shutdown) iterate the arena in index order, which equals
+//! address order — deterministic by construction, with nothing to sort.
+//! An optional FNV-1a [`Simulation::event_digest`] folds every dispatched
+//! event so two runs can be compared for identical event order cheaply.
 
+use crate::arena::{Arena, Handle};
 use crate::event::EventKind;
 use crate::link::LinkModel;
 use crate::metrics::SimMetrics;
@@ -9,7 +29,6 @@ use crate::rng::SimRng;
 use crate::scheduler::Scheduler;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{MemoryTrace, TraceEvent, TraceSink};
-use std::collections::HashMap;
 
 /// Configuration of a simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -37,15 +56,53 @@ struct NodeSlot<P> {
     started: bool,
 }
 
+/// Seed for the 64-bit FNV-1a-style event digest.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One xor-multiply round over a whole 64-bit word. A byte-wise FNV would
+/// cost 32 serially dependent multiplies per event on the dispatch hot
+/// path; the word-level variant keeps the avalanche we need (any event
+/// reordering flips the digest) at one multiply per word.
+#[inline]
+pub(crate) fn fnv_fold(digest: u64, word: u64) -> u64 {
+    (digest ^ word).wrapping_mul(FNV_PRIME)
+}
+
+/// Fold one dispatched event into a digest: its time, FIFO sequence,
+/// target node and kind discriminant. Two runs with equal digests
+/// dispatched the same events in the same order.
+#[inline]
+pub(crate) fn fold_event<M>(digest: u64, at: SimTime, seq: u64, kind: &EventKind<M>) -> u64 {
+    let (tag, node) = match kind {
+        EventKind::Deliver { src, dest, .. } => (0u64, dest.0 ^ (src.0 << 1)),
+        EventKind::Timer { node, token } => (1, node.0 ^ (token.0 << 1)),
+        EventKind::Start { node } => (2, node.0),
+        EventKind::Fail { node } => (3, node.0),
+        EventKind::Stop { node } => (4, node.0),
+    };
+    let mut d = fnv_fold(digest, at.as_micros());
+    d = fnv_fold(d, seq);
+    d = fnv_fold(d, tag);
+    fnv_fold(d, node)
+}
+
 /// A discrete-event simulation hosting nodes of one protocol type.
 pub struct Simulation<P: Protocol> {
     config: SimConfig,
     scheduler: Scheduler<P::Message>,
-    nodes: HashMap<NodeAddr, NodeSlot<P>>,
+    /// Node state, in a slab arena addressed by dense index handles.
+    nodes: Arena<NodeSlot<P>>,
+    /// `NodeAddr.0 → Handle`. Addresses are assigned densely by the sim,
+    /// so this is a plain `Vec` — no hashing on the dispatch path.
+    handles: Vec<Handle>,
     rng: SimRng,
     metrics: SimMetrics,
-    next_addr: u64,
     trace: Option<MemoryTrace>,
+    /// Recycled action buffer threaded through every [`Context`].
+    action_buf: Vec<Action<P::Message>>,
+    /// FNV-1a fold over dispatched events; `None` until enabled.
+    digest: Option<u64>,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -54,12 +111,20 @@ impl<P: Protocol> Simulation<P> {
         Simulation {
             config,
             scheduler: Scheduler::new(),
-            nodes: HashMap::new(),
+            nodes: Arena::new(),
+            handles: Vec::new(),
             rng: SimRng::seed_from(seed),
             metrics: SimMetrics::default(),
-            next_addr: 0,
             trace: None,
+            action_buf: Vec::new(),
+            digest: None,
         }
+    }
+
+    /// Pre-size the node storage (avoids re-allocation while adding large
+    /// populations).
+    pub fn reserve_nodes(&mut self, additional: usize) {
+        self.handles.reserve(additional);
     }
 
     /// Enable in-memory tracing (used by tests and debugging sessions).
@@ -70,6 +135,19 @@ impl<P: Protocol> Simulation<P> {
     /// The recorded trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&MemoryTrace> {
         self.trace.as_ref()
+    }
+
+    /// Start folding every dispatched event into an order-sensitive FNV-1a
+    /// digest (see [`Simulation::event_digest`]).
+    pub fn enable_digest(&mut self) {
+        self.digest.get_or_insert(FNV_OFFSET);
+    }
+
+    /// The event digest so far, if [`Simulation::enable_digest`] was
+    /// called. Equal digests ⇒ identical dispatch sequence, which is the
+    /// determinism regression check used by `reproduce --scale`.
+    pub fn event_digest(&self) -> Option<u64> {
+        self.digest
     }
 
     /// The current virtual time.
@@ -95,60 +173,69 @@ impl<P: Protocol> Simulation<P> {
 
     /// Add a node and schedule its start at `at`.
     pub fn add_node_at(&mut self, proto: P, at: SimTime) -> NodeAddr {
-        let addr = NodeAddr(self.next_addr);
-        self.next_addr += 1;
-        self.nodes.insert(
-            addr,
-            NodeSlot {
-                proto,
-                alive: true,
-                started: false,
-            },
-        );
+        let addr = NodeAddr(self.handles.len() as u64);
+        let handle = self.nodes.insert(NodeSlot {
+            proto,
+            alive: true,
+            started: false,
+        });
+        self.handles.push(handle);
         self.scheduler.schedule(at, EventKind::Start { node: addr });
         addr
+    }
+
+    #[inline]
+    fn slot(&self, addr: NodeAddr) -> Option<&NodeSlot<P>> {
+        let handle = *self.handles.get(addr.0 as usize)?;
+        self.nodes.get(handle)
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, addr: NodeAddr) -> Option<&mut NodeSlot<P>> {
+        let handle = *self.handles.get(addr.0 as usize)?;
+        self.nodes.get_mut(handle)
     }
 
     /// Immutable access to a node's protocol state (dead nodes remain
     /// inspectable).
     pub fn node(&self, addr: NodeAddr) -> Option<&P> {
-        self.nodes.get(&addr).map(|s| &s.proto)
+        self.slot(addr).map(|s| &s.proto)
     }
 
     /// Mutable access to a node's protocol state without dispatching actions.
     /// Prefer [`Simulation::invoke`] when the mutation should produce
     /// messages or timers.
     pub fn node_mut(&mut self, addr: NodeAddr) -> Option<&mut P> {
-        self.nodes.get_mut(&addr).map(|s| &mut s.proto)
+        self.slot_mut(addr).map(|s| &mut s.proto)
     }
 
     /// Is the node currently alive?
     pub fn is_alive(&self, addr: NodeAddr) -> bool {
-        self.nodes.get(&addr).map(|s| s.alive).unwrap_or(false)
+        self.slot(addr).map(|s| s.alive).unwrap_or(false)
     }
 
-    /// Addresses of all currently alive nodes, in address order.
+    /// Addresses of all currently alive nodes, in address order (arena
+    /// index order — no sort needed).
     pub fn alive_nodes(&self) -> Vec<NodeAddr> {
-        let mut v: Vec<NodeAddr> = self
-            .nodes
+        self.handles
             .iter()
-            .filter(|(_, s)| s.alive)
-            .map(|(a, _)| *a)
-            .collect();
-        v.sort_unstable();
-        v
+            .enumerate()
+            .filter(|(_, &h)| self.nodes.get(h).map(|s| s.alive).unwrap_or(false))
+            .map(|(i, _)| NodeAddr(i as u64))
+            .collect()
     }
 
     /// Addresses of every node ever added, in address order.
     pub fn all_nodes(&self) -> Vec<NodeAddr> {
-        let mut v: Vec<NodeAddr> = self.nodes.keys().copied().collect();
-        v.sort_unstable();
-        v
+        (0..self.handles.len() as u64).map(NodeAddr).collect()
     }
 
     /// Number of alive nodes.
     pub fn alive_count(&self) -> usize {
-        self.nodes.values().filter(|s| s.alive).count()
+        self.handles
+            .iter()
+            .filter(|&&h| self.nodes.get(h).map(|s| s.alive).unwrap_or(false))
+            .count()
     }
 
     /// Crash-fail `addr` immediately: the node stops receiving messages and
@@ -181,11 +268,13 @@ impl<P: Protocol> Simulation<P> {
         addr: NodeAddr,
         f: impl FnOnce(&mut P, &mut Context<'_, P::Message>) -> R,
     ) -> Option<R> {
-        let slot = self.nodes.get_mut(&addr)?;
+        let handle = *self.handles.get(addr.0 as usize)?;
+        let slot = self.nodes.get_mut(handle)?;
         if !slot.alive {
             return None;
         }
-        let mut ctx = Context::new(self.scheduler.now(), addr, &mut self.rng);
+        let buf = std::mem::take(&mut self.action_buf);
+        let mut ctx = Context::with_buffer(self.scheduler.now(), addr, &mut self.rng, buf);
         let out = f(&mut slot.proto, &mut ctx);
         let actions = ctx.into_actions();
         self.apply_actions(addr, actions);
@@ -203,6 +292,9 @@ impl<P: Protocol> Simulation<P> {
             "simulation exceeded max_events = {} (runaway protocol?)",
             self.config.max_events
         );
+        if let Some(d) = self.digest.as_mut() {
+            *d = fold_event(*d, event.at, event.seq, &event.kind);
+        }
         let now = event.at;
         match event.kind {
             EventKind::Start { node } => self.dispatch_start(node, now),
@@ -250,15 +342,25 @@ impl<P: Protocol> Simulation<P> {
     }
 
     fn dispatch_start(&mut self, node: NodeAddr, now: SimTime) {
-        let Some(slot) = self.nodes.get_mut(&node) else {
+        let buf = std::mem::take(&mut self.action_buf);
+        // Field-level lookup (not `slot_mut`) so `self.rng` / `self.metrics`
+        // stay independently borrowable alongside the slot.
+        let Some(slot) = self
+            .handles
+            .get(node.0 as usize)
+            .copied()
+            .and_then(|h| self.nodes.get_mut(h))
+        else {
+            self.action_buf = buf;
             return;
         };
         if !slot.alive || slot.started {
+            self.action_buf = buf;
             return;
         }
         slot.started = true;
         self.metrics.nodes_started += 1;
-        let mut ctx = Context::new(now, node, &mut self.rng);
+        let mut ctx = Context::with_buffer(now, node, &mut self.rng, buf);
         slot.proto.on_start(&mut ctx);
         let actions = ctx.into_actions();
         self.record(TraceEvent::NodeStarted { at: now, node });
@@ -266,7 +368,14 @@ impl<P: Protocol> Simulation<P> {
     }
 
     fn dispatch_fail(&mut self, node: NodeAddr, now: SimTime) {
-        let Some(slot) = self.nodes.get_mut(&node) else {
+        // Field-level lookup (not `slot_mut`) so `self.rng` / `self.metrics`
+        // stay independently borrowable alongside the slot.
+        let Some(slot) = self
+            .handles
+            .get(node.0 as usize)
+            .copied()
+            .and_then(|h| self.nodes.get_mut(h))
+        else {
             return;
         };
         if !slot.alive {
@@ -278,13 +387,23 @@ impl<P: Protocol> Simulation<P> {
     }
 
     fn dispatch_stop(&mut self, node: NodeAddr, now: SimTime) {
-        let Some(slot) = self.nodes.get_mut(&node) else {
+        let buf = std::mem::take(&mut self.action_buf);
+        // Field-level lookup (not `slot_mut`) so `self.rng` / `self.metrics`
+        // stay independently borrowable alongside the slot.
+        let Some(slot) = self
+            .handles
+            .get(node.0 as usize)
+            .copied()
+            .and_then(|h| self.nodes.get_mut(h))
+        else {
+            self.action_buf = buf;
             return;
         };
         if !slot.alive {
+            self.action_buf = buf;
             return;
         }
-        let mut ctx = Context::new(now, node, &mut self.rng);
+        let mut ctx = Context::with_buffer(now, node, &mut self.rng, buf);
         slot.proto.on_stop(&mut ctx);
         let actions = ctx.into_actions();
         slot.alive = false;
@@ -297,16 +416,26 @@ impl<P: Protocol> Simulation<P> {
     }
 
     fn dispatch_timer(&mut self, node: NodeAddr, token: TimerToken, now: SimTime) {
-        let Some(slot) = self.nodes.get_mut(&node) else {
+        let buf = std::mem::take(&mut self.action_buf);
+        // Field-level lookup (not `slot_mut`) so `self.rng` / `self.metrics`
+        // stay independently borrowable alongside the slot.
+        let Some(slot) = self
+            .handles
+            .get(node.0 as usize)
+            .copied()
+            .and_then(|h| self.nodes.get_mut(h))
+        else {
             self.metrics.timers_dropped += 1;
+            self.action_buf = buf;
             return;
         };
         if !slot.alive {
             self.metrics.timers_dropped += 1;
+            self.action_buf = buf;
             return;
         }
         self.metrics.timers_fired += 1;
-        let mut ctx = Context::new(now, node, &mut self.rng);
+        let mut ctx = Context::with_buffer(now, node, &mut self.rng, buf);
         slot.proto.on_timer(token, &mut ctx);
         let actions = ctx.into_actions();
         self.record(TraceEvent::TimerFired {
@@ -318,27 +447,35 @@ impl<P: Protocol> Simulation<P> {
     }
 
     fn dispatch_deliver(&mut self, src: NodeAddr, dest: NodeAddr, msg: P::Message, now: SimTime) {
-        let alive = self
-            .nodes
-            .get(&dest)
-            .map(|s| s.alive && s.started)
-            .unwrap_or(false);
-        if !alive {
+        let buf = std::mem::take(&mut self.action_buf);
+        let Some(slot) = self
+            .handles
+            .get(dest.0 as usize)
+            .copied()
+            .and_then(|h| self.nodes.get_mut(h))
+        else {
             self.metrics.messages_to_dead += 1;
+            self.action_buf = buf;
+            return;
+        };
+        if !slot.alive || !slot.started {
+            self.metrics.messages_to_dead += 1;
+            self.action_buf = buf;
             return;
         }
         self.metrics.messages_delivered += 1;
-        self.record(TraceEvent::Delivered { at: now, src, dest });
-        let slot = self.nodes.get_mut(&dest).expect("checked above");
-        let mut ctx = Context::new(now, dest, &mut self.rng);
+        let mut ctx = Context::with_buffer(now, dest, &mut self.rng, buf);
         slot.proto.on_message(src, msg, &mut ctx);
         let actions = ctx.into_actions();
+        self.record(TraceEvent::Delivered { at: now, src, dest });
         self.apply_actions(dest, actions);
     }
 
-    fn apply_actions(&mut self, origin: NodeAddr, actions: Vec<Action<P::Message>>) {
+    /// Dispatch recorded actions, then keep the (drained) buffer for the
+    /// next callback.
+    fn apply_actions(&mut self, origin: NodeAddr, mut actions: Vec<Action<P::Message>>) {
         let now = self.scheduler.now();
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { dest, msg } => {
                     self.metrics.messages_sent += 1;
@@ -383,6 +520,7 @@ impl<P: Protocol> Simulation<P> {
                 }
             }
         }
+        self.action_buf = actions;
     }
 }
 
@@ -573,14 +711,41 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        fn run(seed: u64) -> (u64, u64) {
+        fn run(seed: u64) -> (u64, u64, Option<u64>) {
             let mut sim: Simulation<PingPong> = Simulation::new(SimConfig::default(), seed);
+            sim.enable_digest();
             for _ in 0..10 {
                 sim.add_node(PingPong::default());
             }
             sim.run_until_idle();
-            (sim.metrics().messages_delivered, sim.now().as_micros())
+            (
+                sim.metrics().messages_delivered,
+                sim.now().as_micros(),
+                sim.event_digest(),
+            )
         }
         assert_eq!(run(7), run(7));
+        assert!(run(7).2.is_some());
+    }
+
+    #[test]
+    fn node_sweeps_are_index_ordered() {
+        let mut sim: Simulation<PingPong> = Simulation::new(ideal_config(), 1);
+        for _ in 0..5 {
+            sim.add_node(PingPong::default());
+        }
+        sim.run_until_idle();
+        sim.fail_node(NodeAddr(2));
+        sim.run_until_idle();
+        assert_eq!(
+            sim.all_nodes(),
+            (0..5).map(NodeAddr).collect::<Vec<_>>(),
+            "all_nodes is address-ordered"
+        );
+        assert_eq!(
+            sim.alive_nodes(),
+            vec![NodeAddr(0), NodeAddr(1), NodeAddr(3), NodeAddr(4)],
+            "alive_nodes is address-ordered with dead nodes skipped"
+        );
     }
 }

@@ -12,7 +12,7 @@
 //! under the same lock that protects the node, so the state machine observes
 //! the same single-threaded semantics it has under simulation.
 
-use crate::codec::{decode_message, encode_message};
+use crate::codec::{decode_datagram, encode_batch_frames, encode_message};
 use simnet::{Action, Context, NodeAddr, Protocol, SimRng, SimTime, TimerToken};
 use std::collections::BinaryHeap;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, ToSocketAddrs, UdpSocket};
@@ -123,11 +123,22 @@ impl Shared {
     }
 
     fn dispatch(&self, actions: Vec<Action<treep::TreePMessage>>) {
+        // Sends are grouped per destination and flushed as batch frames at
+        // the end: one callback often emits several messages to the same
+        // peer (keep-alive + piggybacked updates, multicast fan-out), and
+        // one datagram per destination beats one per message. Grouping
+        // preserves per-destination order; a destination with a single
+        // message goes out as a plain frame, byte-identical to the
+        // unbatched wire format.
+        let mut sends: Vec<(NodeAddr, Vec<Vec<u8>>)> = Vec::new();
         for action in actions {
             match action {
                 Action::Send { dest, msg } => {
                     let bytes = encode_message(&msg);
-                    let _ = self.socket.send_to(&bytes, node_addr_to_socket(dest));
+                    match sends.iter_mut().find(|(d, _)| *d == dest) {
+                        Some((_, frames)) => frames.push(bytes),
+                        None => sends.push((dest, vec![bytes])),
+                    }
                 }
                 Action::SetTimer { delay, token } => {
                     let mut seq = self.timer_seq.lock();
@@ -145,8 +156,40 @@ impl Shared {
                 }
             }
         }
+        for (dest, frames) in sends {
+            self.flush_to(dest, &frames);
+        }
+    }
+
+    /// Send `frames` to one destination, packing consecutive frames into
+    /// batch datagrams capped at [`MAX_DATAGRAM_BYTES`]. A single frame is
+    /// sent bare (no batch envelope) so unbatched peers interoperate.
+    fn flush_to(&self, dest: NodeAddr, frames: &[Vec<u8>]) {
+        let sock_dest = node_addr_to_socket(dest);
+        let mut start = 0;
+        while start < frames.len() {
+            // Greedily extend the chunk while it fits in one datagram.
+            let mut end = start + 1;
+            let mut payload = 4 + frames[start].len();
+            while end < frames.len() && 5 + payload + 4 + frames[end].len() <= MAX_DATAGRAM_BYTES {
+                payload += 4 + frames[end].len();
+                end += 1;
+            }
+            if end - start == 1 {
+                let _ = self.socket.send_to(&frames[start], sock_dest);
+            } else {
+                let datagram = encode_batch_frames(&frames[start..end]);
+                let _ = self.socket.send_to(&datagram, sock_dest);
+            }
+            start = end;
+        }
     }
 }
+
+/// Upper bound on an outgoing datagram. Loopback and modern LANs handle
+/// 64 KiB UDP; staying a little under leaves room for the batch envelope
+/// and keeps each datagram within the receive buffer used by the read loop.
+const MAX_DATAGRAM_BYTES: usize = 60 * 1024;
 
 /// A TreeP peer bound to a real UDP socket.
 ///
@@ -196,9 +239,12 @@ impl UdpNode {
             while recv_shared.running.load(Ordering::SeqCst) {
                 match recv_shared.socket.recv_from(&mut buf) {
                     Ok((len, from)) => {
-                        if let Ok(msg) = decode_message(&buf[..len]) {
+                        if let Ok(msgs) = decode_datagram(&buf[..len]) {
                             let from_addr = addr_to_node_addr(from);
-                            recv_shared.with_node(|node, ctx| node.on_message(from_addr, msg, ctx));
+                            for msg in msgs {
+                                recv_shared
+                                    .with_node(|node, ctx| node.on_message(from_addr, msg, ctx));
+                            }
                         }
                     }
                     Err(ref e)
