@@ -3,8 +3,8 @@
 //! ```text
 //! reproduce [--figure A|B|...|I|all] [--nodes N] [--seed S] [--lookups K]
 //!           [--quick] [--table-routing] [--baselines] [--maintenance]
-//!           [--multicast] [--lossy] [--durability] [--readpath] [--scale]
-//!           [--smoke] [--out DIR]
+//!           [--multicast] [--lossy] [--durability] [--readpath] [--pubsub]
+//!           [--scale] [--smoke] [--out DIR]
 //! ```
 //!
 //! Without arguments the binary runs every figure plus the Section III.e
@@ -13,7 +13,9 @@
 //! durability comparison (Figure R); `--multicast --lossy` adds the
 //! coverage-vs-loss sweep of the multicast reliability layer (Figure L);
 //! `--readpath` adds the Zipf read-storm comparison of the read-path
-//! serving layer (Figure S) and writes `BENCH_readpath.json`; `--scale`
+//! serving layer (Figure S) and writes `BENCH_readpath.json`; `--pubsub`
+//! adds the subscription-pruned-publish vs flooding comparison (Figure P)
+//! and writes `BENCH_pubsub.json`; `--scale`
 //! runs the engine scale sweep (legacy vs timer-wheel vs sharded, up to
 //! n = 10⁶) and writes `BENCH_scale.json`; `--smoke`
 //! switches to a bounded smoke profile and, unless figures were requested
@@ -25,10 +27,10 @@
 //! list and exits non-zero; `--help` prints it and exits zero.
 
 use experiments::{
-    compare_multicast, compare_overlays, figures, maintenance, routing_table_report,
-    run_churn_experiment, run_durability, run_read_storm, run_scale, sweep_multicast_loss,
-    ChurnRunResult, DurabilityParams, ExperimentParams, Figure, LossSweepParams, MulticastParams,
-    ReadStormParams, ScaleParams,
+    compare_multicast, compare_overlays, compare_pubsub, figures, maintenance,
+    routing_table_report, run_churn_experiment, run_durability, run_read_storm, run_scale,
+    sweep_multicast_loss, ChurnRunResult, DurabilityParams, ExperimentParams, Figure,
+    LossSweepParams, MulticastParams, PubSubParams, ReadStormParams, ScaleParams,
 };
 
 struct Cli {
@@ -44,6 +46,7 @@ struct Cli {
     lossy: bool,
     durability: bool,
     readpath: bool,
+    pubsub: bool,
     scale: bool,
     smoke: bool,
     out: Option<String>,
@@ -72,6 +75,7 @@ impl Cli {
             lossy: false,
             durability: false,
             readpath: false,
+            pubsub: false,
             scale: false,
             smoke: false,
             out: None,
@@ -123,6 +127,7 @@ impl Cli {
                 "--lossy" => cli.lossy = true,
                 "--durability" => cli.durability = true,
                 "--readpath" => cli.readpath = true,
+                "--pubsub" => cli.pubsub = true,
                 "--scale" => cli.scale = true,
                 "--smoke" => cli.smoke = true,
                 "--help" | "-h" => return Err(CliError::Help),
@@ -174,6 +179,8 @@ fn usage() -> String {
   --durability          DHT durability under churn, k = 1 vs k = 3 (Figure R)
   --readpath            Zipf read storm: hot-key cache off vs on (Figure S;
                         writes BENCH_readpath.json)
+  --pubsub              subscription-pruned publish vs flooding across
+                        fan-out tiers (Figure P; writes BENCH_pubsub.json)
   --scale               engine scale sweep, legacy vs timer-wheel vs sharded
                         up to n = 10^6 (writes BENCH_scale.json)
   --out DIR   (-o)      also write one CSV per figure into DIR
@@ -439,6 +446,58 @@ fn main() {
             {
                 eprintln!("error: read-path smoke gate failed: off {off:?} on {on:?}");
                 std::process::exit(1);
+            }
+        }
+    }
+
+    if cli.pubsub {
+        eprintln!("# running pub/sub comparison (subscription-pruned publish vs flooding)…");
+        let params = if cli.smoke {
+            PubSubParams::smoke(cli.seed)
+        } else {
+            PubSubParams::new(cli.nodes.min(400), cli.seed)
+        };
+        let comparison = compare_pubsub(&params);
+        println!("{}", comparison.to_table().render());
+        let bench_path = match &cli.out {
+            Some(dir) => format!("{dir}/BENCH_pubsub.json"),
+            None => "BENCH_pubsub.json".to_string(),
+        };
+        if let Err(e) = std::fs::write(&bench_path, comparison.to_json()) {
+            eprintln!("warning: could not write {bench_path}: {e}");
+        } else {
+            eprintln!("#   wrote {bench_path}");
+        }
+        // The smoke profile doubles as the pub/sub regression gate: at every
+        // fan-out tier the pruned publish must reach every subscriber exactly
+        // once (100% coverage, duplicate factor 1.0) while spending strictly
+        // fewer messages per delivery than the flooding baseline. Missing
+        // rows fail hard so a tier-list edit cannot silently disable it.
+        if cli.smoke {
+            let treep = comparison.overlay_rows("TreeP");
+            let flooding = comparison.overlay_rows("Flooding");
+            if treep.is_empty() || treep.len() != flooding.len() {
+                eprintln!("error: pub/sub smoke gate needs paired TreeP/Flooding rows per tier");
+                std::process::exit(1);
+            }
+            for (t, f) in treep.iter().zip(&flooding) {
+                eprintln!(
+                    "#   fanout {}: coverage {:.1}%, dup factor {:.2}, \
+                     {:.2} msgs/delivery vs flooding {:.2} ({} branches pruned)",
+                    t.subscribers,
+                    t.coverage_pct(),
+                    t.duplicate_factor,
+                    t.messages_per_delivery,
+                    f.messages_per_delivery,
+                    t.branches_pruned
+                );
+                if (t.coverage_pct() - 100.0).abs() > 1e-9
+                    || (t.duplicate_factor - 1.0).abs() > 1e-9
+                    || t.messages_per_delivery >= f.messages_per_delivery
+                {
+                    eprintln!("error: pub/sub smoke gate failed: treep {t:?} flooding {f:?}");
+                    std::process::exit(1);
+                }
             }
         }
     }

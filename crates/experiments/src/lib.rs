@@ -22,6 +22,8 @@
 //!   repair convergence.
 //! * [`readpath`] — the read-path serving layer under a Zipf-skewed read
 //!   storm: p99 hops and per-node max load, hot-key cache off vs on.
+//! * [`pubsub_compare`] — subscription-pruned topic publish vs flooding
+//!   broadcast across subscriber fan-out tiers (Figure P).
 //! * [`scale`] — the engine scale sweep (n = 10³ … 10⁶): steps/sec,
 //!   bytes/node and peak RSS of the legacy, timer-wheel and sharded
 //!   simulation engines under an identical keep-alive workload.
@@ -37,6 +39,7 @@ pub mod figures;
 pub mod maintenance;
 pub mod multicast_compare;
 pub mod params;
+pub mod pubsub_compare;
 pub mod readpath;
 pub mod runner;
 pub mod scale;
@@ -51,6 +54,7 @@ pub use multicast_compare::{
     MulticastComparison, MulticastParams, MulticastRow,
 };
 pub use params::ExperimentParams;
+pub use pubsub_compare::{compare_pubsub, PubSubComparison, PubSubParams, PubSubRow};
 pub use readpath::{run_read_storm, ReadStormParams, ReadStormReport, ReadStormRow};
 pub use runner::{
     run_churn_experiment, AlgoStepStats, ChurnRunResult, MulticastStepStats, ReadPathStepStats,

@@ -1,0 +1,429 @@
+//! Figure P — subscription-pruned topic publish vs flooding broadcast
+//! across subscriber fan-out tiers.
+//!
+//! A topic publish rides the scoped-multicast spine, but its descent is
+//! pruned by the subscription filters the tree summarises upward: branches
+//! whose recorded filters provably hold no subscribers are skipped. The
+//! interesting axis is the **fan-out** — how many live nodes subscribe to
+//! the published topic. At fan-out 1 the publish should collapse to
+//! little more than a root-to-subscriber path; at fan-out ≈ n it degrades
+//! gracefully to the plain scoped broadcast. A flooding overlay spends the
+//! same ~n·degree messages at every tier, so its cost *per interested
+//! subscriber* explodes as fan-out shrinks.
+//!
+//! Per `(overlay, fan-out)` cell the driver reports:
+//!
+//! * **coverage %** — subscriber delivery obligations met (every live
+//!   subscriber must receive every publish);
+//! * **duplicate factor** — copies per met obligation (1.0 = exactly
+//!   once, structural for TreeP);
+//! * **messages / delivery** — overlay messages spent per met obligation,
+//!   the headline number the pruning must win;
+//! * **branches pruned** (TreeP only) — fan-out edges skipped on filter
+//!   evidence.
+
+use analysis::AsciiTable;
+use baselines::FloodingBuilder;
+use simnet::{NodeAddr, SimDuration};
+use treep::lookup::RequestId;
+use treep::{topic_key, TreePConfig};
+use workloads::TopologyBuilder;
+
+/// Parameters of one pub/sub comparison run.
+#[derive(Debug, Clone)]
+pub struct PubSubParams {
+    /// Population size shared by both overlays.
+    pub nodes: usize,
+    /// Seed for topology construction and subscriber/source placement.
+    pub seed: u64,
+    /// Subscriber fan-out tiers to measure (clamped to the live
+    /// population; duplicate tiers after clamping collapse into one).
+    pub fanouts: Vec<usize>,
+    /// Publishes issued per cell, each from a random live source.
+    pub publishes: usize,
+    /// Flood TTL (high enough to reach the whole random graph).
+    pub flood_ttl: u32,
+    /// Virtual time after the publishes before deliveries are tallied.
+    pub drain: SimDuration,
+}
+
+impl PubSubParams {
+    /// Default comparison: fan-out tiers 10⁰–10⁴ (clamped to `nodes`).
+    pub fn new(nodes: usize, seed: u64) -> Self {
+        PubSubParams {
+            nodes,
+            seed,
+            fanouts: vec![1, 10, 100, 1_000, 10_000],
+            publishes: 6,
+            flood_ttl: 32,
+            drain: SimDuration::from_secs(10),
+        }
+    }
+
+    /// Bounded profile for the CI gate (`reproduce --pubsub --smoke`):
+    /// small population, three tiers, fewer publishes.
+    pub fn smoke(seed: u64) -> Self {
+        PubSubParams {
+            fanouts: vec![1, 10, 100],
+            publishes: 4,
+            ..Self::new(150, seed)
+        }
+    }
+}
+
+/// One overlay measured at one fan-out tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PubSubRow {
+    /// Overlay name ("TreeP" or "Flooding").
+    pub overlay: String,
+    /// Live subscribers of the published topic in this cell.
+    pub subscribers: usize,
+    /// Delivery obligations (`subscribers × publishes`).
+    pub targets: usize,
+    /// Obligations met.
+    pub delivered: usize,
+    /// Copies received per met obligation (1.0 = exactly once).
+    pub duplicate_factor: f64,
+    /// Overlay messages sent per met obligation.
+    pub messages_per_delivery: f64,
+    /// Fan-out edges skipped on subscription-filter evidence (TreeP only;
+    /// 0 for the flooding baseline, which cannot prune).
+    pub branches_pruned: u64,
+}
+
+impl PubSubRow {
+    /// Fraction of delivery obligations met, in percent.
+    pub fn coverage_pct(&self) -> f64 {
+        if self.targets == 0 {
+            100.0
+        } else {
+            self.delivered as f64 * 100.0 / self.targets as f64
+        }
+    }
+}
+
+/// The full comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PubSubComparison {
+    /// Population size shared by both overlays.
+    pub nodes: usize,
+    /// One row per (overlay, fan-out tier).
+    pub rows: Vec<PubSubRow>,
+}
+
+impl PubSubComparison {
+    /// All rows of one overlay, in tier order.
+    pub fn overlay_rows(&self, overlay: &str) -> Vec<&PubSubRow> {
+        self.rows.iter().filter(|r| r.overlay == overlay).collect()
+    }
+
+    /// Serialize the comparison as a `BENCH_pubsub.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"pubsub\",\n");
+        out.push_str(&format!("  \"nodes\": {},\n", self.nodes));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"overlay\": \"{}\", \"subscribers\": {}, \"targets\": {}, \
+                 \"delivered\": {}, \"coverage_pct\": {:.2}, \"duplicate_factor\": {:.3}, \
+                 \"messages_per_delivery\": {:.3}, \"branches_pruned\": {}}}{}\n",
+                row.overlay,
+                row.subscribers,
+                row.targets,
+                row.delivered,
+                row.coverage_pct(),
+                row.duplicate_factor,
+                row.messages_per_delivery,
+                row.branches_pruned,
+                if i + 1 < self.rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Render the comparison as an aligned table.
+    pub fn to_table(&self) -> AsciiTable {
+        let mut table = AsciiTable::new(format!(
+            "Figure P — subscription-pruned publish vs flooding (n = {})",
+            self.nodes
+        ))
+        .header([
+            "overlay",
+            "fanout",
+            "coverage %",
+            "dup factor",
+            "msgs/delivery",
+            "pruned",
+        ]);
+        for row in &self.rows {
+            table.push_row([
+                row.overlay.clone(),
+                row.subscribers.to_string(),
+                format!("{:.1}", row.coverage_pct()),
+                format!("{:.2}", row.duplicate_factor),
+                format!("{:.2}", row.messages_per_delivery),
+                row.branches_pruned.to_string(),
+            ]);
+        }
+        table
+    }
+}
+
+/// Run the comparison: every fan-out tier on both overlays.
+pub fn compare_pubsub(params: &PubSubParams) -> PubSubComparison {
+    let mut tiers: Vec<usize> = params
+        .fanouts
+        .iter()
+        .map(|&s| s.clamp(1, params.nodes))
+        .collect();
+    tiers.dedup();
+    let mut rows = Vec::new();
+    for &fanout in &tiers {
+        rows.push(measure_treep(params, fanout));
+        rows.push(measure_flooding(params, fanout));
+    }
+    PubSubComparison {
+        nodes: params.nodes,
+        rows,
+    }
+}
+
+fn measure_treep(params: &PubSubParams, fanout: usize) -> PubSubRow {
+    let config = TreePConfig::paper_case_fixed().with_pubsub();
+    let builder = TopologyBuilder::new(params.nodes).with_config(config);
+    let (mut sim, topo) = builder.build_simulation(params.seed);
+    let space = topo.config.space;
+    let topic = topic_key(space, "figure-p");
+    let alive = topo.alive_pairs(&sim);
+    let mut rng = sim.rng_mut().fork();
+
+    // Subscriber placement: `fanout` distinct live nodes.
+    let fanout = fanout.min(alive.len());
+    let subscribers: Vec<NodeAddr> = rng
+        .sample_indices(alive.len(), fanout)
+        .into_iter()
+        .map(|i| alive[i].0)
+        .collect();
+    for &addr in &subscribers {
+        sim.invoke(addr, move |node, ctx| {
+            node.start_subscribe(topic, ctx);
+        });
+    }
+    // Settle: directory registration plus the event-driven filter ascent.
+    sim.run_for(SimDuration::from_secs(3));
+
+    let sends_before = multicast_down_sends(&sim, &alive);
+    let pruned_before = branches_pruned(&sim, &alive);
+    let mut probes: Vec<(NodeAddr, RequestId)> = Vec::with_capacity(params.publishes);
+    for i in 0..params.publishes {
+        let source = alive[rng.gen_range_usize(0..alive.len())].0;
+        let payload = format!("figure-p-{i}").into_bytes();
+        if let Some(request_id) = sim.invoke(source, move |node, ctx| {
+            node.start_publish(topic, payload, ctx)
+        }) {
+            probes.push((source, request_id));
+        }
+    }
+    sim.run_for(params.drain);
+
+    let targets = subscribers.len() * probes.len();
+    let mut delivered = 0usize;
+    let mut copies = 0usize;
+    for &addr in &subscribers {
+        let Some(node) = sim.node_mut(addr) else {
+            continue;
+        };
+        let mut per_probe: std::collections::BTreeMap<(NodeAddr, RequestId), usize> =
+            std::collections::BTreeMap::new();
+        for d in node.drain_topic_deliveries() {
+            *per_probe.entry((d.origin.addr, d.request_id)).or_insert(0) += 1;
+        }
+        for probe in &probes {
+            let got = per_probe.get(probe).copied().unwrap_or(0);
+            delivered += usize::from(got > 0);
+            copies += got;
+        }
+    }
+    let messages = multicast_down_sends(&sim, &alive) - sends_before;
+    PubSubRow {
+        overlay: "TreeP".to_string(),
+        subscribers: subscribers.len(),
+        targets,
+        delivered,
+        duplicate_factor: if delivered == 0 {
+            0.0
+        } else {
+            copies as f64 / delivered as f64
+        },
+        messages_per_delivery: if delivered == 0 {
+            f64::INFINITY
+        } else {
+            messages as f64 / delivered as f64
+        },
+        branches_pruned: branches_pruned(&sim, &alive) - pruned_before,
+    }
+}
+
+fn multicast_down_sends(
+    sim: &simnet::Simulation<treep::TreePNode>,
+    alive: &[(NodeAddr, treep::NodeId)],
+) -> u64 {
+    alive
+        .iter()
+        .filter_map(|&(addr, _)| sim.node(addr))
+        .map(|node| {
+            node.stats()
+                .sent
+                .get("multicast_down")
+                .copied()
+                .unwrap_or(0)
+        })
+        .sum()
+}
+
+fn branches_pruned(
+    sim: &simnet::Simulation<treep::TreePNode>,
+    alive: &[(NodeAddr, treep::NodeId)],
+) -> u64 {
+    alive
+        .iter()
+        .filter_map(|&(addr, _)| sim.node(addr))
+        .map(|node| node.stats().pubsub_branches_pruned)
+        .sum()
+}
+
+fn measure_flooding(params: &PubSubParams, fanout: usize) -> PubSubRow {
+    let (mut sim, pairs) = FloodingBuilder::new(params.nodes)
+        .with_ttl(params.flood_ttl)
+        .build_simulation(params.seed);
+    sim.run_until_idle();
+    let mut rng = sim.rng_mut().fork();
+    let fanout = fanout.min(pairs.len());
+    let subscribers: Vec<NodeAddr> = rng
+        .sample_indices(pairs.len(), fanout)
+        .into_iter()
+        .map(|i| pairs[i].0)
+        .collect();
+
+    let sent_before = sim.metrics().messages_sent;
+    for _ in 0..params.publishes {
+        let source = pairs[rng.gen_range_usize(0..pairs.len())].0;
+        sim.invoke(source, |node, ctx| {
+            node.start_broadcast(ctx);
+        });
+        sim.run_until_idle();
+    }
+    let messages = sim.metrics().messages_sent - sent_before;
+
+    // A flooding overlay has no notion of a topic: every broadcast reaches
+    // everyone, and only the copies landing on the `fanout` notional
+    // subscribers count as useful.
+    let targets = subscribers.len() * params.publishes;
+    let mut delivered = 0usize;
+    let mut copies = 0usize;
+    for &addr in &subscribers {
+        let node = sim.node(addr).expect("intact run");
+        delivered += (node.broadcasts_delivered as usize).min(params.publishes);
+        copies += node.broadcast_receipts as usize;
+    }
+    PubSubRow {
+        overlay: "Flooding".to_string(),
+        subscribers: subscribers.len(),
+        targets,
+        delivered,
+        duplicate_factor: if delivered == 0 {
+            0.0
+        } else {
+            copies as f64 / delivered as f64
+        },
+        messages_per_delivery: if delivered == 0 {
+            f64::INFINITY
+        } else {
+            messages as f64 / delivered as f64
+        },
+        branches_pruned: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comparison() -> PubSubComparison {
+        compare_pubsub(&PubSubParams::smoke(23))
+    }
+
+    #[test]
+    fn every_tier_measured_on_both_overlays() {
+        let c = comparison();
+        assert_eq!(c.rows.len(), 6, "3 tiers x 2 overlays");
+        assert_eq!(c.overlay_rows("TreeP").len(), 3);
+        assert_eq!(c.overlay_rows("Flooding").len(), 3);
+    }
+
+    #[test]
+    fn treep_delivers_every_publish_to_every_subscriber_exactly_once() {
+        let c = comparison();
+        for row in c.overlay_rows("TreeP") {
+            assert!(
+                (row.coverage_pct() - 100.0).abs() < 1e-9,
+                "fanout {}: coverage {:.1}%",
+                row.subscribers,
+                row.coverage_pct()
+            );
+            assert!(
+                (row.duplicate_factor - 1.0).abs() < 1e-9,
+                "fanout {}: duplicate factor {:.2}",
+                row.subscribers,
+                row.duplicate_factor
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_publish_beats_flooding_at_every_fanout() {
+        let c = comparison();
+        for (t, f) in c
+            .overlay_rows("TreeP")
+            .iter()
+            .zip(c.overlay_rows("Flooding"))
+        {
+            assert_eq!(t.subscribers, f.subscribers);
+            assert!(
+                t.messages_per_delivery < f.messages_per_delivery,
+                "fanout {}: TreeP {:.2} msgs/delivery must beat flooding {:.2}",
+                t.subscribers,
+                t.messages_per_delivery,
+                f.messages_per_delivery
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_fanout_actually_prunes_branches() {
+        let c = comparison();
+        let rows = c.overlay_rows("TreeP");
+        assert!(
+            rows[0].branches_pruned > 0,
+            "fanout 1 must skip empty branches, pruned {}",
+            rows[0].branches_pruned
+        );
+        // Narrower interest must not cost more messages in total.
+        let total = |r: &&PubSubRow| r.messages_per_delivery * r.delivered.max(1) as f64;
+        assert!(total(&rows[0]) <= total(&rows[2]));
+    }
+
+    #[test]
+    fn table_renders_all_rows_and_tiers_collapse_when_clamped() {
+        let c = comparison();
+        assert_eq!(c.to_table().len(), c.rows.len());
+        let clamped = compare_pubsub(&PubSubParams {
+            fanouts: vec![200, 400],
+            publishes: 1,
+            ..PubSubParams::smoke(3)
+        });
+        assert_eq!(clamped.rows.len(), 2, "both tiers clamp to n and collapse");
+    }
+}

@@ -10,6 +10,12 @@
 
 use std::ops::Range;
 
+/// Samples generated per refill of the internal block buffer. Refilling in
+/// blocks keeps the xoshiro state in registers across 64 steps, which is
+/// what makes the per-hop latency draws in the simulation hot path cheap;
+/// the emitted stream is bit-identical to stepping one sample at a time.
+const BLOCK: usize = 64;
+
 /// A small, fast, seedable RNG used throughout the simulator.
 ///
 /// The public API is deliberately narrow: the handful of helpers the
@@ -18,6 +24,9 @@ use std::ops::Range;
 #[derive(Debug, Clone)]
 pub struct SimRng {
     state: [u64; 4],
+    /// Pre-generated samples; `buf[pos..]` are still unread.
+    buf: [u64; BLOCK],
+    pos: usize,
 }
 
 fn splitmix64(x: &mut u64) -> u64 {
@@ -41,6 +50,8 @@ impl SimRng {
                 splitmix64(&mut s),
                 splitmix64(&mut s),
             ],
+            buf: [0; BLOCK],
+            pos: BLOCK,
         }
     }
 
@@ -50,18 +61,38 @@ impl SimRng {
         SimRng::seed_from(self.next_u64())
     }
 
-    /// A raw 64-bit sample (xoshiro256++ step).
+    /// A raw 64-bit sample (xoshiro256++ step), served from the block
+    /// buffer. Draw-for-draw identical to an unbuffered stepper: the refill
+    /// runs the same recurrence, just 64 steps at a time with the state
+    /// held in locals.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let [s0, s1, s2, s3] = self.state;
-        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
-        let t = s1 << 17;
-        let mut n2 = s2 ^ s0;
-        let n3 = s3 ^ s1;
-        let n1 = s1 ^ n2;
-        let n0 = s0 ^ n3;
-        n2 ^= t;
-        self.state = [n0, n1, n2, n3.rotate_left(45)];
-        result
+        let i = self.pos;
+        if i < BLOCK {
+            // The explicit `i < BLOCK` guard doubles as the bounds check.
+            self.pos = i + 1;
+            return self.buf[i];
+        }
+        self.refill();
+        self.pos = 1;
+        self.buf[0]
+    }
+
+    #[cold]
+    fn refill(&mut self) {
+        let [mut s0, mut s1, mut s2, mut s3] = self.state;
+        for slot in &mut self.buf {
+            *slot = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            s2 ^= s0;
+            s3 ^= s1;
+            s1 ^= s2;
+            s0 ^= s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+        }
+        self.state = [s0, s1, s2, s3];
+        self.pos = 0;
     }
 
     /// Uniform `u64` in `range` (Lemire-style rejection-free enough for
@@ -127,6 +158,73 @@ impl SimRng {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The pre-buffering stepper, kept verbatim as the reference the block
+    /// refill must match draw-for-draw.
+    struct Reference {
+        state: [u64; 4],
+    }
+
+    impl Reference {
+        fn seed_from(seed: u64) -> Self {
+            let mut s = seed;
+            Reference {
+                state: [
+                    splitmix64(&mut s),
+                    splitmix64(&mut s),
+                    splitmix64(&mut s),
+                    splitmix64(&mut s),
+                ],
+            }
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut n2 = s2 ^ s0;
+            let n3 = s3 ^ s1;
+            let n1 = s1 ^ n2;
+            let n0 = s0 ^ n3;
+            n2 ^= t;
+            self.state = [n0, n1, n2, n3.rotate_left(45)];
+            result
+        }
+    }
+
+    #[test]
+    fn buffered_stream_matches_unbuffered_reference() {
+        for seed in [0u64, 1, 123, 0xDEAD_BEEF] {
+            let mut buffered = SimRng::seed_from(seed);
+            let mut reference = Reference::seed_from(seed);
+            // Several refills plus a partial block, so both the block
+            // boundary and mid-block positions are compared.
+            for i in 0..(BLOCK * 3 + 17) {
+                assert_eq!(
+                    buffered.next_u64(),
+                    reference.next_u64(),
+                    "seed {seed} draw {i} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_digest_is_pinned() {
+        // Freezes the emitted stream across refactors of the buffering:
+        // any change to what `next_u64` returns invalidates every recorded
+        // figure digest, so it must show up here first.
+        let mut rng = SimRng::seed_from(123);
+        let digest = (0..1000).fold(0u64, |acc, _| {
+            acc.rotate_left(7) ^ rng.next_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        });
+        let mut reference = Reference::seed_from(123);
+        let expected = (0..1000).fold(0u64, |acc, _| {
+            acc.rotate_left(7) ^ reference.next_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        });
+        assert_eq!(digest, expected);
+        assert_eq!(digest, 0x157E_014A_0B3F_ED95, "re-pin only with cause");
+    }
 
     #[test]
     fn same_seed_same_stream() {

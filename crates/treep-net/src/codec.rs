@@ -69,6 +69,10 @@ const TAG_PUT_VERSIONED: u8 = 27;
 const TAG_PUT_VERSIONED_ACK: u8 = 28;
 const TAG_READ_REPAIR: u8 = 29;
 const TAG_READ_VERIFY: u8 = 30;
+const TAG_SUBSCRIBE: u8 = 31;
+const TAG_SUBSCRIBE_ACK: u8 = 32;
+const TAG_UNSUBSCRIBE: u8 = 33;
+const TAG_FILTER_REPORT: u8 = 34;
 
 // ---- public API -------------------------------------------------------------
 
@@ -392,6 +396,52 @@ pub fn encode_message(msg: &TreePMessage) -> Vec<u8> {
             put_stamp(&mut buf, served_stamp);
             buf.put_u32_le(*ttl);
         }
+        TreePMessage::Subscribe {
+            request_id,
+            origin,
+            topic,
+            ttl,
+        } => {
+            buf.put_u8(TAG_SUBSCRIBE);
+            buf.put_u64_le(request_id.0);
+            put_peer(&mut buf, origin);
+            buf.put_u64_le(topic.0);
+            buf.put_u32_le(*ttl);
+        }
+        TreePMessage::SubscribeAck {
+            request_id,
+            topic,
+            subscribers,
+            stored_at,
+        } => {
+            buf.put_u8(TAG_SUBSCRIBE_ACK);
+            buf.put_u64_le(request_id.0);
+            buf.put_u64_le(topic.0);
+            buf.put_u32_le(*subscribers);
+            put_peer(&mut buf, stored_at);
+        }
+        TreePMessage::Unsubscribe {
+            request_id,
+            origin,
+            topic,
+            ttl,
+        } => {
+            buf.put_u8(TAG_UNSUBSCRIBE);
+            buf.put_u64_le(request_id.0);
+            put_peer(&mut buf, origin);
+            buf.put_u64_le(topic.0);
+            buf.put_u32_le(*ttl);
+        }
+        TreePMessage::FilterReport {
+            child,
+            topics,
+            overflow,
+        } => {
+            buf.put_u8(TAG_FILTER_REPORT);
+            put_peer(&mut buf, child);
+            put_node_ids(&mut buf, topics);
+            buf.put_u8(u8::from(*overflow));
+        }
     }
     buf.to_vec()
 }
@@ -594,6 +644,29 @@ pub fn decode_message(mut buf: &[u8]) -> Result<TreePMessage> {
             served_stamp: get_stamp(&mut buf)?,
             ttl: get_u32(&mut buf)?,
         },
+        TAG_SUBSCRIBE => TreePMessage::Subscribe {
+            request_id: RequestId(get_u64(&mut buf)?),
+            origin: get_peer(&mut buf)?,
+            topic: NodeId(get_u64(&mut buf)?),
+            ttl: get_u32(&mut buf)?,
+        },
+        TAG_SUBSCRIBE_ACK => TreePMessage::SubscribeAck {
+            request_id: RequestId(get_u64(&mut buf)?),
+            topic: NodeId(get_u64(&mut buf)?),
+            subscribers: get_u32(&mut buf)?,
+            stored_at: get_peer(&mut buf)?,
+        },
+        TAG_UNSUBSCRIBE => TreePMessage::Unsubscribe {
+            request_id: RequestId(get_u64(&mut buf)?),
+            origin: get_peer(&mut buf)?,
+            topic: NodeId(get_u64(&mut buf)?),
+            ttl: get_u32(&mut buf)?,
+        },
+        TAG_FILTER_REPORT => TreePMessage::FilterReport {
+            child: get_peer(&mut buf)?,
+            topics: get_node_ids(&mut buf)?,
+            overflow: get_bool(&mut buf)?,
+        },
         other => return Err(CodecError::UnknownTag(other)),
     };
     Ok(msg)
@@ -602,7 +675,7 @@ pub fn decode_message(mut buf: &[u8]) -> Result<TreePMessage> {
 // ---- batch frames ----------------------------------------------------------
 
 /// Tag byte marking a batch frame: several messages bundled into one
-/// datagram. Chosen far above the per-message tags (1–30) so a batch can
+/// datagram. Chosen far above the per-message tags (1–34) so a batch can
 /// never be confused with a single message.
 const TAG_BATCH: u8 = 255;
 
@@ -816,6 +889,7 @@ fn query_tag(query: AggregateQuery) -> u8 {
         AggregateQuery::CountNodes => 0,
         AggregateQuery::MaxCapability => 1,
         AggregateQuery::DhtKeyDigest => 2,
+        AggregateQuery::KeysInRange => 3,
     }
 }
 
@@ -824,6 +898,7 @@ fn query_from_tag(tag: u8) -> Result<AggregateQuery> {
         0 => Ok(AggregateQuery::CountNodes),
         1 => Ok(AggregateQuery::MaxCapability),
         2 => Ok(AggregateQuery::DhtKeyDigest),
+        3 => Ok(AggregateQuery::KeysInRange),
         other => Err(CodecError::UnknownTag(other)),
     }
 }
@@ -839,6 +914,7 @@ fn get_range(buf: &mut &[u8]) -> Result<KeyRange> {
 
 const PAYLOAD_DATA: u8 = 0;
 const PAYLOAD_AGGREGATE: u8 = 1;
+const PAYLOAD_TOPIC: u8 = 2;
 
 fn put_multicast_payload(buf: &mut BytesMut, payload: &MulticastPayload) {
     match payload {
@@ -850,6 +926,11 @@ fn put_multicast_payload(buf: &mut BytesMut, payload: &MulticastPayload) {
             buf.put_u8(PAYLOAD_AGGREGATE);
             buf.put_u8(query_tag(*query));
         }
+        MulticastPayload::Topic { topic, data } => {
+            buf.put_u8(PAYLOAD_TOPIC);
+            buf.put_u64_le(topic.0);
+            put_bytes(buf, data);
+        }
     }
 }
 
@@ -857,6 +938,10 @@ fn get_multicast_payload(buf: &mut &[u8]) -> Result<MulticastPayload> {
     match get_u8(buf)? {
         PAYLOAD_DATA => Ok(MulticastPayload::Data(get_bytes(buf)?)),
         PAYLOAD_AGGREGATE => Ok(MulticastPayload::Aggregate(query_from_tag(get_u8(buf)?)?)),
+        PAYLOAD_TOPIC => Ok(MulticastPayload::Topic {
+            topic: NodeId(get_u64(buf)?),
+            data: get_bytes(buf)?,
+        }),
         other => Err(CodecError::UnknownTag(other)),
     }
 }
@@ -864,6 +949,7 @@ fn get_multicast_payload(buf: &mut &[u8]) -> Result<MulticastPayload> {
 const PARTIAL_COUNT: u8 = 0;
 const PARTIAL_MAX_CAPABILITY: u8 = 1;
 const PARTIAL_DIGEST: u8 = 2;
+const PARTIAL_KEYS: u8 = 3;
 
 fn put_partial(buf: &mut BytesMut, partial: &AggregatePartial) {
     match partial {
@@ -880,6 +966,10 @@ fn put_partial(buf: &mut BytesMut, partial: &AggregatePartial) {
             buf.put_u64_le(*xor);
             buf.put_u64_le(*count);
         }
+        AggregatePartial::Keys(keys) => {
+            buf.put_u8(PARTIAL_KEYS);
+            put_node_ids(buf, keys);
+        }
     }
 }
 
@@ -891,6 +981,7 @@ fn get_partial(buf: &mut &[u8]) -> Result<AggregatePartial> {
             xor: get_u64(buf)?,
             count: get_u64(buf)?,
         }),
+        PARTIAL_KEYS => Ok(AggregatePartial::Keys(get_node_ids(buf)?)),
         other => Err(CodecError::UnknownTag(other)),
     }
 }
@@ -1761,6 +1852,115 @@ mod wire_compat_readpath {
 }
 
 #[cfg(test)]
+mod wire_compat_pubsub {
+    //! Third golden wire-format test: pins the pub/sub tags (31–34) plus
+    //! the pub/sub extensions threaded through pre-existing tags — the
+    //! `Topic` multicast payload, the `KeysInRange` aggregate query and the
+    //! `Keys` convergecast partial. With `pubsub_enabled` defaulting to
+    //! off a node never emits any of these, so the legacy and read-path
+    //! goldens stay byte-identical; this checksum freezes what opted-in
+    //! deployments exchange.
+    use super::*;
+
+    /// Fully literal peer, mirroring the other goldens' helper.
+    fn peer(id: u64, addr: u64, level: u32) -> PeerInfo {
+        PeerInfo {
+            id: NodeId(id),
+            addr: NodeAddr(addr),
+            max_level: level,
+            summary: CharacteristicsSummary {
+                score_milli: 640,
+                max_children: 4,
+            },
+        }
+    }
+
+    /// One deterministic message per pub/sub tag in tag order 31–34, then
+    /// the extended payload/query/partial encodings under tags 18–19.
+    fn pubsub_messages() -> Vec<TreePMessage> {
+        vec![
+            TreePMessage::Subscribe {
+                request_id: RequestId(911),
+                origin: peer(51, 151, 0),
+                topic: NodeId(8_000),
+                ttl: 2,
+            },
+            TreePMessage::SubscribeAck {
+                request_id: RequestId(911),
+                topic: NodeId(8_000),
+                subscribers: 3,
+                stored_at: peer(52, 152, 1),
+            },
+            TreePMessage::Unsubscribe {
+                request_id: RequestId(912),
+                origin: peer(51, 151, 0),
+                topic: NodeId(8_000),
+                ttl: 1,
+            },
+            TreePMessage::FilterReport {
+                child: peer(53, 153, 0),
+                topics: vec![NodeId(8_000), NodeId(8_001)],
+                overflow: false,
+            },
+            TreePMessage::FilterReport {
+                child: peer(54, 154, 1),
+                topics: vec![],
+                overflow: true,
+            },
+            TreePMessage::MulticastDown {
+                origin: peer(55, 155, 0),
+                request_id: RequestId(913),
+                range: KeyRange::new(NodeId(0), NodeId(u64::MAX)),
+                payload: MulticastPayload::Topic {
+                    topic: NodeId(8_000),
+                    data: b"published".to_vec(),
+                },
+                budget: 64,
+                hops: 2,
+                phase: MulticastPhase::Down,
+                bus_level: 1,
+            },
+            TreePMessage::AggregateUp {
+                origin: peer(56, 156, 0),
+                request_id: RequestId(914),
+                query: AggregateQuery::KeysInRange,
+                partial: AggregatePartial::Keys(vec![NodeId(10), NodeId(20), NodeId(30)]),
+                truncated: false,
+                final_answer: true,
+            },
+        ]
+    }
+
+    fn fnv1a64(bytes: &[u8]) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    #[test]
+    fn pubsub_tag_encodings_are_frozen() {
+        let messages = pubsub_messages();
+        let expected_tags: &[u8] = &[31, 32, 33, 34, 34, 18, 19];
+        let mut all = Vec::new();
+        for (msg, want_tag) in messages.iter().zip(expected_tags) {
+            let encoded = encode_message(msg);
+            assert_eq!(encoded[0], *want_tag, "tag byte moved for {:?}", msg.kind());
+            assert_eq!(decode_message(&encoded).as_ref(), Ok(msg));
+            all.extend_from_slice(&encoded);
+        }
+        assert_eq!(
+            (fnv1a64(&all), all.len()),
+            (0x144D_4923_C44D_035B_u64, 374),
+            "pub/sub wire format changed; if intentional, bump the \
+             protocol notes and re-pin this checksum"
+        );
+    }
+}
+
+#[cfg(test)]
 mod proptests {
     //! Randomised round-trip checks over every message variant. The offline
     //! build has no `proptest`, so a deterministic xorshift drives many
@@ -1833,7 +2033,7 @@ mod proptests {
     /// One random instance of the message variant with index `variant`.
     /// Keep `VARIANTS` in sync when adding messages: the exhaustiveness test
     /// below fails if a new variant is not mapped here.
-    const VARIANTS: usize = 30;
+    const VARIANTS: usize = 34;
 
     fn arb_message(variant: usize, state: &mut u64) -> TreePMessage {
         match variant {
@@ -1930,10 +2130,13 @@ mod proptests {
                 origin: arb_peer(state),
                 request_id: RequestId(xorshift(state)),
                 range: treep::KeyRange::new(NodeId(xorshift(state)), NodeId(xorshift(state))),
-                payload: if xorshift(state).is_multiple_of(2) {
-                    treep::MulticastPayload::Data(arb_bytes(state, 256))
-                } else {
-                    treep::MulticastPayload::Aggregate(arb_query(state))
+                payload: match xorshift(state) % 3 {
+                    0 => treep::MulticastPayload::Data(arb_bytes(state, 256)),
+                    1 => treep::MulticastPayload::Aggregate(arb_query(state)),
+                    _ => treep::MulticastPayload::Topic {
+                        topic: NodeId(xorshift(state)),
+                        data: arb_bytes(state, 256),
+                    },
                 },
                 budget: (xorshift(state) % 256) as u32,
                 hops: (xorshift(state) % 256) as u32,
@@ -2049,6 +2252,31 @@ mod proptests {
                 served_stamp: arb_stamp(state),
                 ttl: (xorshift(state) % 32) as u32,
             },
+            30 => TreePMessage::Subscribe {
+                request_id: RequestId(xorshift(state)),
+                origin: arb_peer(state),
+                topic: NodeId(xorshift(state)),
+                ttl: (xorshift(state) % 32) as u32,
+            },
+            31 => TreePMessage::SubscribeAck {
+                request_id: RequestId(xorshift(state)),
+                topic: NodeId(xorshift(state)),
+                subscribers: (xorshift(state) % 4096) as u32,
+                stored_at: arb_peer(state),
+            },
+            32 => TreePMessage::Unsubscribe {
+                request_id: RequestId(xorshift(state)),
+                origin: arb_peer(state),
+                topic: NodeId(xorshift(state)),
+                ttl: (xorshift(state) % 32) as u32,
+            },
+            33 => TreePMessage::FilterReport {
+                child: arb_peer(state),
+                topics: (0..xorshift(state) % 8)
+                    .map(|_| NodeId(xorshift(state)))
+                    .collect(),
+                overflow: xorshift(state).is_multiple_of(2),
+            },
             other => panic!("variant index {other} not mapped; update arb_message"),
         }
     }
@@ -2061,21 +2289,27 @@ mod proptests {
     }
 
     fn arb_query(state: &mut u64) -> treep::AggregateQuery {
-        match xorshift(state) % 3 {
+        match xorshift(state) % 4 {
             0 => treep::AggregateQuery::CountNodes,
             1 => treep::AggregateQuery::MaxCapability,
-            _ => treep::AggregateQuery::DhtKeyDigest,
+            2 => treep::AggregateQuery::DhtKeyDigest,
+            _ => treep::AggregateQuery::KeysInRange,
         }
     }
 
     fn arb_partial(state: &mut u64) -> treep::AggregatePartial {
-        match xorshift(state) % 3 {
+        match xorshift(state) % 4 {
             0 => treep::AggregatePartial::Count(xorshift(state)),
             1 => treep::AggregatePartial::MaxCapability((xorshift(state) % 1001) as u16),
-            _ => treep::AggregatePartial::Digest {
+            2 => treep::AggregatePartial::Digest {
                 xor: xorshift(state),
                 count: xorshift(state),
             },
+            _ => treep::AggregatePartial::Keys(
+                (0..xorshift(state) % 8)
+                    .map(|_| NodeId(xorshift(state)))
+                    .collect(),
+            ),
         }
     }
 
@@ -2129,6 +2363,10 @@ mod proptests {
             TreePMessage::PutVersionedAck { .. } => 27,
             TreePMessage::ReadRepair { .. } => 28,
             TreePMessage::ReadVerify { .. } => 29,
+            TreePMessage::Subscribe { .. } => 30,
+            TreePMessage::SubscribeAck { .. } => 31,
+            TreePMessage::Unsubscribe { .. } => 32,
+            TreePMessage::FilterReport { .. } => 33,
         }
     }
 
@@ -2144,7 +2382,7 @@ mod proptests {
         }
         // `variant_index` is exhaustive, so `VARIANTS` must equal the
         // number of match arms above.
-        assert_eq!(VARIANTS, 30);
+        assert_eq!(VARIANTS, 34);
     }
 
     #[test]

@@ -127,6 +127,21 @@ pub struct TreePConfig {
     /// Bounds how stale a cache-served value can be (cache hits do not send
     /// read-repair probes). Only meaningful when `cache_capacity > 0`.
     pub cache_ttl: SimDuration,
+    /// Pub/sub: enable the topic layer (see [`crate::pubsub`]). When off —
+    /// the default — no filter reports are sent, no subscription state is
+    /// kept, and the protocol is byte-identical to a deployment without
+    /// the layer.
+    pub pubsub_enabled: bool,
+    /// Pub/sub: largest number of topics a per-child subscription filter
+    /// lists exactly; beyond it the filter degrades to "assume every
+    /// topic" (overflow), trading pruning for bounded summary size. Only
+    /// meaningful when `pubsub_enabled`.
+    pub max_filter_topics: usize,
+    /// Pub/sub: how long a subscriber waits for the directory
+    /// acknowledgement of a `Subscribe`/`Unsubscribe` before reporting the
+    /// registration as timed out (local delivery state is unaffected).
+    /// Only meaningful when `pubsub_enabled`.
+    pub subscribe_timeout: SimDuration,
 }
 
 impl Default for TreePConfig {
@@ -153,6 +168,9 @@ impl Default for TreePConfig {
             read_repair: false,
             cache_capacity: 0,
             cache_ttl: SimDuration::from_millis(500),
+            pubsub_enabled: false,
+            max_filter_topics: 64,
+            subscribe_timeout: SimDuration::from_secs(10),
         }
     }
 }
@@ -244,6 +262,17 @@ impl TreePConfig {
                 "read_repair needs replica_reads: only replica-served gets are verified".into(),
             );
         }
+        if self.pubsub_enabled {
+            if self.max_filter_topics == 0 {
+                return Err(
+                    "max_filter_topics must be positive when pub/sub is enabled (every filter would overflow)"
+                        .into(),
+                );
+            }
+            if self.subscribe_timeout.as_micros() == 0 {
+                return Err("subscribe_timeout must be positive when pub/sub is enabled".into());
+            }
+        }
         Ok(())
     }
 
@@ -262,6 +291,15 @@ impl TreePConfig {
         self.replica_reads = true;
         self.read_repair = true;
         self.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// Enable the topic-based pub/sub layer: subscription filters reported
+    /// up the tree next to child spans, subscriber directories as
+    /// replicated DHT state, and subscription-aware fan-out pruning of
+    /// topic publishes (see [`crate::pubsub`]).
+    pub fn with_pubsub(mut self) -> Self {
+        self.pubsub_enabled = true;
         self
     }
 
@@ -363,6 +401,16 @@ mod tests {
                 replica_reads: false,
                 ..TreePConfig::default()
             },
+            TreePConfig {
+                pubsub_enabled: true,
+                max_filter_topics: 0,
+                ..TreePConfig::default()
+            },
+            TreePConfig {
+                pubsub_enabled: true,
+                subscribe_timeout: SimDuration::from_micros(0),
+                ..TreePConfig::default()
+            },
         ];
         for (i, config) in bad.into_iter().enumerate() {
             assert!(
@@ -409,6 +457,23 @@ mod tests {
         assert!(r.validate().is_ok());
         // Cache-off but replica-first is a valid intermediate deployment.
         assert!(TreePConfig::default().with_read_path(0).validate().is_ok());
+    }
+
+    #[test]
+    fn pubsub_is_off_by_default_and_composes() {
+        let c = TreePConfig::default();
+        assert!(!c.pubsub_enabled, "pub/sub defaults to off");
+        let p = TreePConfig::default().with_pubsub();
+        assert!(p.pubsub_enabled);
+        assert!(p.max_filter_topics > 0);
+        assert!(p.subscribe_timeout.as_micros() > 0);
+        assert!(p.validate().is_ok());
+        // Off-mode tolerates degenerate pub/sub knobs: they are inert.
+        let inert = TreePConfig {
+            max_filter_topics: 0,
+            ..TreePConfig::default()
+        };
+        assert!(inert.validate().is_ok());
     }
 
     #[test]

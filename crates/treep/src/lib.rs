@@ -75,6 +75,7 @@ pub mod lookup;
 pub mod messages;
 pub mod multicast;
 pub mod node;
+pub mod pubsub;
 pub mod readpath;
 pub mod replication;
 pub mod routing;
@@ -96,6 +97,10 @@ pub use multicast::{
     MulticastPayload, MulticastPhase,
 };
 pub use node::TreePNode;
+pub use pubsub::{
+    decode_subscriber_set, encode_subscriber_set, topic_key, PendingSubscribe, SubscribeOutcome,
+    TopicDelivery, TopicFilter,
+};
 pub use readpath::{
     CacheFill, HotKeyCache, PendingRead, ReadOutcome, ReadSource, StampedValue, VersionStamp,
 };

@@ -449,6 +449,63 @@ pub enum TreePMessage {
         /// Remaining TTL of the probe's descent.
         ttl: u32,
     },
+
+    // ---- pub/sub -------------------------------------------------------------
+    /// Register `origin` as a subscriber of `topic`: routed greedily toward
+    /// the topic coordinate; the responsible node adds the origin to the
+    /// topic's replicated subscriber directory (see [`crate::pubsub`]).
+    /// The origin's *delivery* state is local and immediate — this message
+    /// only maintains the directory.
+    Subscribe {
+        /// Request identifier (for the origin's bookkeeping).
+        request_id: RequestId,
+        /// The subscribing node.
+        origin: PeerInfo,
+        /// The topic coordinate ([`crate::pubsub::topic_key`]).
+        topic: NodeId,
+        /// Remaining TTL of the greedy route.
+        ttl: u32,
+    },
+    /// Acknowledgement of a [`TreePMessage::Subscribe`] or
+    /// [`TreePMessage::Unsubscribe`], sent by the node holding the topic's
+    /// directory.
+    SubscribeAck {
+        /// Request identifier.
+        request_id: RequestId,
+        /// The topic coordinate.
+        topic: NodeId,
+        /// Directory size after the update.
+        subscribers: u32,
+        /// The node holding the directory.
+        stored_at: PeerInfo,
+    },
+    /// Remove `origin` from `topic`'s subscriber directory; the mirror of
+    /// [`TreePMessage::Subscribe`].
+    Unsubscribe {
+        /// Request identifier.
+        request_id: RequestId,
+        /// The unsubscribing node.
+        origin: PeerInfo,
+        /// The topic coordinate.
+        topic: NodeId,
+        /// Remaining TTL of the greedy route.
+        ttl: u32,
+    },
+    /// Topic-subscription summary of a child's whole subtree, reported to
+    /// the parent next to the [`TreePMessage::ChildReport`] span — both
+    /// periodically and immediately when the summary changes. The parent
+    /// records it and prunes topic-publish fan-outs into branches whose
+    /// summary provably excludes the topic.
+    FilterReport {
+        /// The reporting child.
+        child: PeerInfo,
+        /// Topics present in the child's subtree (exact unless `overflow`),
+        /// in identifier order.
+        topics: Vec<NodeId>,
+        /// True when the subtree holds more topics than the summary bound:
+        /// the filter excludes nothing and the branch is never pruned.
+        overflow: bool,
+    },
 }
 
 impl TreePMessage {
@@ -485,6 +542,10 @@ impl TreePMessage {
             TreePMessage::PutVersionedAck { .. } => "put_versioned_ack",
             TreePMessage::ReadRepair { .. } => "read_repair",
             TreePMessage::ReadVerify { .. } => "read_verify",
+            TreePMessage::Subscribe { .. } => "subscribe",
+            TreePMessage::SubscribeAck { .. } => "subscribe_ack",
+            TreePMessage::Unsubscribe { .. } => "unsubscribe",
+            TreePMessage::FilterReport { .. } => "filter_report",
         }
     }
 
@@ -507,6 +568,7 @@ impl TreePMessage {
                 | TreePMessage::ReplicaSyncRequest { .. }
                 | TreePMessage::ReplicaSyncReply { .. }
                 | TreePMessage::ReadRepair { .. }
+                | TreePMessage::FilterReport { .. }
         )
     }
 
@@ -520,7 +582,9 @@ impl TreePMessage {
             | TreePMessage::MulticastDown { origin, .. }
             | TreePMessage::AggregateUp { origin, .. }
             | TreePMessage::GetVersioned { origin, .. }
-            | TreePMessage::PutVersioned { origin, .. } => Some(origin.addr),
+            | TreePMessage::PutVersioned { origin, .. }
+            | TreePMessage::Subscribe { origin, .. }
+            | TreePMessage::Unsubscribe { origin, .. } => Some(origin.addr),
             TreePMessage::GetVersionedReply { origin, .. } => Some(*origin),
             _ => None,
         }
@@ -736,6 +800,51 @@ mod tests {
             "verify probes are accounted to the get that caused them"
         );
         assert_eq!(verify.origin_addr(), None);
+    }
+
+    #[test]
+    fn pubsub_messages_classify_correctly() {
+        let sub = TreePMessage::Subscribe {
+            request_id: RequestId(1),
+            origin: peer(9),
+            topic: NodeId(5),
+            ttl: 10,
+        };
+        assert_eq!(sub.kind(), "subscribe");
+        assert!(!sub.is_maintenance(), "subscriptions are user traffic");
+        assert_eq!(sub.origin_addr(), Some(NodeAddr(9)));
+
+        let ack = TreePMessage::SubscribeAck {
+            request_id: RequestId(1),
+            topic: NodeId(5),
+            subscribers: 3,
+            stored_at: peer(4),
+        };
+        assert_eq!(ack.kind(), "subscribe_ack");
+        assert!(!ack.is_maintenance());
+        assert_eq!(ack.origin_addr(), None, "acks travel point-to-point");
+
+        let unsub = TreePMessage::Unsubscribe {
+            request_id: RequestId(2),
+            origin: peer(9),
+            topic: NodeId(5),
+            ttl: 10,
+        };
+        assert_eq!(unsub.kind(), "unsubscribe");
+        assert!(!unsub.is_maintenance());
+        assert_eq!(unsub.origin_addr(), Some(NodeAddr(9)));
+
+        let report = TreePMessage::FilterReport {
+            child: peer(3),
+            topics: vec![NodeId(5)],
+            overflow: false,
+        };
+        assert_eq!(report.kind(), "filter_report");
+        assert!(
+            report.is_maintenance(),
+            "filter summaries ride the maintenance cycle like child reports"
+        );
+        assert_eq!(report.origin_addr(), None);
     }
 
     #[test]

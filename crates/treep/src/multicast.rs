@@ -106,6 +106,16 @@ pub enum MulticastPayload {
     Data(Vec<u8>),
     /// Aggregation query; every node in the range contributes a partial.
     Aggregate(AggregateQuery),
+    /// Topic publish (see [`crate::pubsub`]): delivered only to nodes in
+    /// the range holding a local subscription of `topic`, and pruned during
+    /// the descent out of branches whose recorded subscription filter
+    /// provably excludes the topic.
+    Topic {
+        /// The topic coordinate ([`crate::pubsub::topic_key`]).
+        topic: NodeId,
+        /// The published payload.
+        data: Vec<u8>,
+    },
 }
 
 /// The aggregation queries the subsystem answers over a [`KeyRange`].
@@ -119,6 +129,11 @@ pub enum AggregateQuery {
     /// Digest (XOR of key hashes + count) of the DHT keys stored by nodes in
     /// the range — a cheap anti-entropy / key-census primitive.
     DhtKeyDigest,
+    /// The DHT keys stored inside the multicast's scoped range — the range
+    /// query of [`crate::pubsub`]: the fan-out visits only subtrees whose
+    /// exact spans intersect the range, and the matching keys fold back up
+    /// as a deduplicated [`AggregatePartial::Keys`] list.
+    KeysInRange,
 }
 
 impl AggregateQuery {
@@ -128,12 +143,13 @@ impl AggregateQuery {
             AggregateQuery::CountNodes => "count_nodes",
             AggregateQuery::MaxCapability => "max_capability",
             AggregateQuery::DhtKeyDigest => "dht_key_digest",
+            AggregateQuery::KeysInRange => "keys_in_range",
         }
     }
 }
 
 /// A partial aggregation result, combined hop by hop on the way up.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AggregatePartial {
     /// Running node count.
     Count(u64),
@@ -146,6 +162,11 @@ pub enum AggregatePartial {
         /// Number of keys folded in.
         count: u64,
     },
+    /// Running deduplicated list of DHT keys found inside the range, in key
+    /// order. Bounded by [`crate::pubsub::MAX_RANGE_KEYS`]: a fold that
+    /// reaches the bound may have dropped keys, which callers can detect
+    /// through [`AggregatePartial::keys_at_capacity`].
+    Keys(Vec<NodeId>),
 }
 
 impl AggregatePartial {
@@ -155,6 +176,7 @@ impl AggregatePartial {
             AggregateQuery::CountNodes => AggregatePartial::Count(0),
             AggregateQuery::MaxCapability => AggregatePartial::MaxCapability(0),
             AggregateQuery::DhtKeyDigest => AggregatePartial::Digest { xor: 0, count: 0 },
+            AggregateQuery::KeysInRange => AggregatePartial::Keys(Vec::new()),
         }
     }
 
@@ -173,6 +195,45 @@ impl AggregatePartial {
                 *ax ^= bx;
                 *ac += bc;
             }
+            (AggregatePartial::Keys(a), AggregatePartial::Keys(b)) => {
+                // Sorted-merge dedup: both sides are in key order, and a key
+                // can legitimately arrive from several branches (replicated
+                // copies live on registry neighbours of the responsible
+                // node), so the union — not the concatenation — is the
+                // correct fold. Bounded at MAX_RANGE_KEYS.
+                let mut merged =
+                    Vec::with_capacity((a.len() + b.len()).min(crate::pubsub::MAX_RANGE_KEYS));
+                let (mut i, mut j) = (0, 0);
+                while merged.len() < crate::pubsub::MAX_RANGE_KEYS {
+                    let next = match (a.get(i), b.get(j)) {
+                        (Some(x), Some(y)) => {
+                            if x <= y {
+                                if x == y {
+                                    j += 1;
+                                }
+                                i += 1;
+                                *x
+                            } else {
+                                j += 1;
+                                *y
+                            }
+                        }
+                        (Some(x), None) => {
+                            i += 1;
+                            *x
+                        }
+                        (None, Some(y)) => {
+                            j += 1;
+                            *y
+                        }
+                        (None, None) => break,
+                    };
+                    if merged.last() != Some(&next) {
+                        merged.push(next);
+                    }
+                }
+                *a = merged;
+            }
             _ => {}
         }
     }
@@ -184,6 +245,23 @@ impl AggregatePartial {
             AggregatePartial::Count(n) => Some(*n),
             _ => None,
         }
+    }
+
+    /// The key list carried by a [`AggregatePartial::Keys`], if that is the
+    /// kind.
+    pub fn as_keys(&self) -> Option<&[NodeId]> {
+        match self {
+            AggregatePartial::Keys(keys) => Some(keys),
+            _ => None,
+        }
+    }
+
+    /// True when a [`AggregatePartial::Keys`] fold reached the
+    /// [`crate::pubsub::MAX_RANGE_KEYS`] bound — later merges may have
+    /// dropped keys, so the result must be treated like a truncated
+    /// convergecast, not an exhaustive answer.
+    pub fn keys_at_capacity(&self) -> bool {
+        matches!(self, AggregatePartial::Keys(keys) if keys.len() >= crate::pubsub::MAX_RANGE_KEYS)
     }
 }
 
@@ -205,7 +283,7 @@ pub struct MulticastDelivery {
 }
 
 /// How an aggregation concluded, recorded at the origin.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum AggregateOutcome {
     /// The folded answer arrived.
     Completed {
@@ -262,7 +340,7 @@ impl AggregateOutcome {
     /// The combined partial, when the aggregation completed.
     pub fn partial(&self) -> Option<AggregatePartial> {
         match self {
-            AggregateOutcome::Completed { partial, .. } => Some(*partial),
+            AggregateOutcome::Completed { partial, .. } => Some(partial.clone()),
             AggregateOutcome::TimedOut { .. } => None,
         }
     }
@@ -574,5 +652,35 @@ mod tests {
         assert_eq!(AggregateQuery::CountNodes.label(), "count_nodes");
         assert_eq!(AggregateQuery::MaxCapability.label(), "max_capability");
         assert_eq!(AggregateQuery::DhtKeyDigest.label(), "dht_key_digest");
+        assert_eq!(AggregateQuery::KeysInRange.label(), "keys_in_range");
+    }
+
+    #[test]
+    fn keys_partials_merge_sorted_and_deduped() {
+        let mut a = AggregatePartial::identity(AggregateQuery::KeysInRange);
+        assert_eq!(a.as_keys(), Some(&[][..]));
+        a.combine(&AggregatePartial::Keys(vec![NodeId(3), NodeId(9)]));
+        a.combine(&AggregatePartial::Keys(vec![NodeId(1), NodeId(3)]));
+        assert_eq!(a.as_keys(), Some(&[NodeId(1), NodeId(3), NodeId(9)][..]));
+        assert!(!a.keys_at_capacity());
+        // Replica duplicates across branches fold to one key.
+        a.combine(&AggregatePartial::Keys(vec![NodeId(1), NodeId(9)]));
+        assert_eq!(a.as_keys().unwrap().len(), 3);
+        assert_eq!(AggregatePartial::Count(1).as_keys(), None);
+    }
+
+    #[test]
+    fn keys_merge_is_bounded() {
+        use crate::pubsub::MAX_RANGE_KEYS;
+        let left: Vec<NodeId> = (0..MAX_RANGE_KEYS as u64).map(NodeId).collect();
+        let right: Vec<NodeId> = (MAX_RANGE_KEYS as u64..MAX_RANGE_KEYS as u64 + 10)
+            .map(NodeId)
+            .collect();
+        let mut a = AggregatePartial::Keys(left);
+        a.combine(&AggregatePartial::Keys(right));
+        assert_eq!(a.as_keys().unwrap().len(), MAX_RANGE_KEYS);
+        assert!(a.keys_at_capacity(), "capped folds are flagged");
+        // The survivors are the lowest keys (both inputs sorted).
+        assert_eq!(a.as_keys().unwrap()[0], NodeId(0));
     }
 }

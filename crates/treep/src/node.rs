@@ -30,6 +30,7 @@ mod lookup;
 mod membership;
 mod multicast;
 mod promotion;
+mod pubsub;
 mod readpath;
 mod replication;
 
@@ -49,12 +50,13 @@ use crate::multicast::{
     AggregateOutcome, AggregateRelay, KeyRange, MulticastDelivery, PendingAggregate, PendingRetx,
     SeenWindow,
 };
+use crate::pubsub::{PendingSubscribe, SubscribeOutcome, TopicDelivery, TopicFilter};
 use crate::readpath::{HotKeyCache, PendingRead, ReadOutcome, VersionStamp};
 use crate::routing::RouterView;
 use crate::stats::NodeStats;
 use crate::tables::RoutingTables;
 use simnet::{Context, NodeAddr, Protocol, SimDuration, SimTime, TimerToken};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 // ---- timer token encoding ---------------------------------------------------
 //
@@ -81,6 +83,10 @@ const TIMER_REPLICA: u64 = 7;
 const TIMER_RETX: u64 = 8;
 /// Versioned read/write timeout (`readpath`).
 const TIMER_READ: u64 = 9;
+/// Subscribe/unsubscribe directory-registration timeout (`pubsub`). Only
+/// armed by application-initiated subscription calls, so a deployment with
+/// the layer off schedules nothing.
+const TIMER_PUBSUB: u64 = 10;
 
 fn encode_timer(kind: u64, payload: u64) -> TimerToken {
     TimerToken(kind | (payload << 4))
@@ -142,6 +148,17 @@ pub struct TreePNode {
     /// Read path: versioned requests this origin is still waiting on.
     pending_reads: BTreeMap<RequestId, PendingRead>,
     read_outcomes: Vec<ReadOutcome>,
+    /// Pub/sub: topics this node is locally subscribed to (drives both
+    /// delivery and the subtree filter; empty while the layer is off).
+    local_topics: BTreeSet<NodeId>,
+    /// Pub/sub: directory registrations this origin is still waiting on.
+    pending_subs: BTreeMap<RequestId, PendingSubscribe>,
+    sub_outcomes: Vec<SubscribeOutcome>,
+    topic_deliveries: Vec<TopicDelivery>,
+    /// Pub/sub: the last subtree filter reported to the parent, so
+    /// unchanged summaries are not re-sent event-driven (the periodic
+    /// report still refreshes the parent's entry).
+    last_reported_filter: Option<TopicFilter>,
     stats: NodeStats,
     last_tick: Option<SimTime>,
 }
@@ -185,6 +202,11 @@ impl TreePNode {
             cache: HotKeyCache::new(config.cache_capacity, config.cache_ttl),
             pending_reads: BTreeMap::new(),
             read_outcomes: Vec::new(),
+            local_topics: BTreeSet::new(),
+            pending_subs: BTreeMap::new(),
+            sub_outcomes: Vec::new(),
+            topic_deliveries: Vec::new(),
+            last_reported_filter: None,
             stats: NodeStats::default(),
             last_tick: None,
         }
@@ -295,6 +317,33 @@ impl TreePNode {
     /// Number of live lines in this node's hot-key cache.
     pub fn hot_cache_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// The topics this node is locally subscribed to (read-only).
+    pub fn subscribed_topics(&self) -> &BTreeSet<NodeId> {
+        &self.local_topics
+    }
+
+    /// Drain the completed subscribe/unsubscribe outcomes recorded at this
+    /// origin.
+    pub fn drain_subscribe_outcomes(&mut self) -> Vec<SubscribeOutcome> {
+        std::mem::take(&mut self.sub_outcomes)
+    }
+
+    /// Drain the topic-publish deliveries recorded at this subscriber.
+    pub fn drain_topic_deliveries(&mut self) -> Vec<TopicDelivery> {
+        std::mem::take(&mut self.topic_deliveries)
+    }
+
+    /// The topic-publish deliveries recorded at this subscriber (read-only).
+    pub fn topic_deliveries(&self) -> &[TopicDelivery] {
+        &self.topic_deliveries
+    }
+
+    /// Number of directory registrations this node originated and not yet
+    /// resolved.
+    pub fn pending_subscribe_count(&self) -> usize {
+        self.pending_subs.len()
     }
 
     /// Number of reliable hops whose acknowledgement is still outstanding —
@@ -577,6 +626,23 @@ impl Protocol for TreePNode {
                 served_stamp,
                 ttl,
             } => self.handle_read_verify(server, key, served_stamp, ttl, ctx),
+            // ---- pub/sub layer -----------------------------------------
+            TreePMessage::Subscribe { .. } | TreePMessage::Unsubscribe { .. } => {
+                self.route_subscription(msg, ctx)
+            }
+            TreePMessage::SubscribeAck {
+                request_id,
+                topic,
+                subscribers,
+                stored_at,
+            } => {
+                self.record_subscribe_ack(request_id, topic, subscribers, stored_at, now);
+            }
+            TreePMessage::FilterReport {
+                child,
+                topics,
+                overflow,
+            } => self.handle_filter_report(child, topics, overflow, ctx),
         }
     }
 
@@ -593,6 +659,7 @@ impl Protocol for TreePNode {
             TIMER_REPLICA => self.replication_tick(ctx),
             TIMER_RETX => self.retransmit_timer_fired(payload, ctx),
             TIMER_READ => self.read_timer_fired(payload, ctx),
+            TIMER_PUBSUB => self.subscribe_timer_fired(payload, ctx),
             _ => {}
         }
     }

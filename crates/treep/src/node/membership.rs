@@ -37,6 +37,10 @@ impl TreePNode {
             parent_addr,
             TreePMessage::ChildReport { child: me, span },
         );
+        // A freshly adopted child's subscription summary must reach the new
+        // parent before the periodic tick, or publishes into this subtree
+        // could be pruned on a stale (absent) filter.
+        self.report_filter_to_parent(ctx);
     }
 
     // ---- gossip freshness -------------------------------------------------------
@@ -333,6 +337,9 @@ impl TreePNode {
         if let Some(parent) = self.tables.parent().map(|p| p.addr) {
             let span = self.subtree_span();
             self.send(ctx, parent, TreePMessage::ChildReport { child: me, span });
+            // The subscription summary refreshes on the same cadence, so a
+            // lost event-driven report heals within one tick.
+            self.report_filter_to_parent(ctx);
         }
 
         // 7. Re-arm the tick.

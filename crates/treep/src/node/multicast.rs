@@ -384,7 +384,7 @@ impl TreePNode {
             }
             _ => 0,
         };
-        let fanout: Vec<(NodeAddr, NodeId)> = self
+        let mut fanout: Vec<(NodeAddr, NodeId)> = self
             .tables
             .multicast_fanout(self.config.space, self.config.height, range, level0_slack)
             .into_iter()
@@ -392,6 +392,21 @@ impl TreePNode {
             .map(|c| (c.addr, c.id))
             .filter(|(a, _)| *a != me_addr)
             .collect();
+        // Subscription-aware pruning: a topic publish skips a branch whose
+        // recorded filter provably excludes the topic. No filter on record,
+        // or an overflowed one, forwards conservatively — pruning is an
+        // optimisation, never a correctness dependency. Bus edges are never
+        // pruned (filters summarise own subtrees only).
+        if let MulticastPayload::Topic { topic, .. } = &payload {
+            let before = fanout.len();
+            let tables = &self.tables;
+            fanout.retain(|(_, id)| {
+                tables
+                    .child_filter(*id)
+                    .is_none_or(|f| f.may_contain(*topic))
+            });
+            self.stats.pubsub_branches_pruned += (before - fanout.len()) as u64;
+        }
         for (addr, id) in fanout {
             edges.push((addr, id, MulticastPhase::Down));
         }
@@ -415,6 +430,19 @@ impl TreePNode {
                         origin,
                         request_id,
                         range,
+                        payload: data.clone(),
+                        hops,
+                        at: ctx.now(),
+                    });
+                }
+            }
+            MulticastPayload::Topic { topic, data } => {
+                if in_range && self.local_topics.contains(topic) {
+                    self.stats.pubsub_deliveries += 1;
+                    self.topic_deliveries.push(TopicDelivery {
+                        origin,
+                        request_id,
+                        topic: *topic,
                         payload: data.clone(),
                         hops,
                         at: ctx.now(),
@@ -508,6 +536,14 @@ impl TreePNode {
                 let (xor, count) = self.store.digest_range(range);
                 AggregatePartial::Digest { xor, count }
             }
+            AggregateQuery::KeysInRange => {
+                // Same store-regardless-of-position rule as the digest; the
+                // ordered store iteration keeps the list sorted, as the
+                // merge fold requires.
+                let mut keys = self.store.keys_in_range(range);
+                keys.truncate(crate::pubsub::MAX_RANGE_KEYS);
+                AggregatePartial::Keys(keys)
+            }
         }
     }
 
@@ -523,6 +559,10 @@ impl TreePNode {
         reply_to: ReplyTo,
         ctx: &mut Context<'_, TreePMessage>,
     ) {
+        // A key list that filled up may have dropped keys in the merge:
+        // surface it exactly like a lossy convergecast, so the origin never
+        // mistakes a capped range query for an exhaustive one.
+        let truncated = truncated || acc.keys_at_capacity();
         match reply_to {
             ReplyTo::SelfOrigin => {
                 self.record_aggregate_outcome(request_id, query, acc, truncated, ctx.now())

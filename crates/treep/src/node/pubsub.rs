@@ -1,0 +1,384 @@
+//! Pub/sub layer: topic subscriptions, the replicated subscriber
+//! directory, filter reporting and topic publishes.
+//!
+//! See [`crate::pubsub`] for the design (topic hashing, filter summaries,
+//! pruning rules). This layer owns:
+//!
+//! * **Subscription state** — `local_topics` drives both delivery (the
+//!   multicast descent delivers a [`MulticastPayload::Topic`] payload only
+//!   to locally subscribed nodes) and the subtree filter summary. A
+//!   [`TreePNode::start_subscribe`] takes effect locally at once; the
+//!   directory registration is asynchronous and its loss only delays the
+//!   directory, never delivery.
+//! * **The subscriber directory** — `Subscribe`/`Unsubscribe` ride the same
+//!   greedy key routing as DHT puts; the responsible node folds the origin
+//!   into the topic's encoded subscriber set, stores it under the topic
+//!   coordinate and pushes replica copies
+//!   ([`TreePNode::push_replicas`]), so the anti-entropy engine repairs
+//!   directories like any replicated value. The directory shares the DHT
+//!   keyspace: a topic's directory *is* the DHT value at
+//!   [`crate::pubsub::topic_key`].
+//! * **Filter reports** — the node's subtree summary
+//!   ([`RoutingTables::subtree_filter`]) is sent to the parent
+//!   event-driven on every change (local subscribe/unsubscribe, a child's
+//!   report changing the union) and periodically from the maintenance tick
+//!   next to the `ChildReport` span, bounding the propagation of a new
+//!   subscription to one tree ascent. This layer also owns the
+//!   [`super::TIMER_PUBSUB`] registration timeout.
+//!
+//! Everything here is inert while `pubsub_enabled` is off: the handlers
+//! ignore stray pub/sub messages, no filter state is kept and no timers are
+//! armed, keeping the off-mode wire byte-identical.
+
+use super::*;
+use crate::multicast::{AggregateQuery, MulticastPayload, MulticastPhase};
+use crate::pubsub::{decode_subscriber_set, encode_subscriber_set};
+
+impl TreePNode {
+    /// Subscribe this node to `topic` (a coordinate from
+    /// [`crate::pubsub::topic_key`]). Delivery starts immediately — the
+    /// local subscription and the event-driven filter report do not wait
+    /// for the directory — while the registration at the topic's
+    /// responsible node resolves asynchronously into
+    /// [`TreePNode::drain_subscribe_outcomes`]. Requires `pubsub_enabled`.
+    pub fn start_subscribe(
+        &mut self,
+        topic: NodeId,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) -> RequestId {
+        self.local_topics.insert(topic);
+        self.filters_changed(ctx);
+        self.send_subscription(topic, true, ctx)
+    }
+
+    /// Drop this node's subscription of `topic`: the mirror of
+    /// [`TreePNode::start_subscribe`], removing the origin from the
+    /// replicated directory.
+    pub fn start_unsubscribe(
+        &mut self,
+        topic: NodeId,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) -> RequestId {
+        self.local_topics.remove(&topic);
+        self.filters_changed(ctx);
+        self.send_subscription(topic, false, ctx)
+    }
+
+    fn send_subscription(
+        &mut self,
+        topic: NodeId,
+        subscribe: bool,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) -> RequestId {
+        let request_id = self.fresh_request_id();
+        self.pending_subs.insert(
+            request_id,
+            crate::pubsub::PendingSubscribe {
+                topic,
+                started_at: ctx.now(),
+            },
+        );
+        ctx.set_timer(
+            self.config.subscribe_timeout,
+            encode_timer(TIMER_PUBSUB, request_id.0),
+        );
+        let origin = self.peer_info();
+        let msg = if subscribe {
+            TreePMessage::Subscribe {
+                request_id,
+                origin,
+                topic,
+                ttl: 0,
+            }
+        } else {
+            TreePMessage::Unsubscribe {
+                request_id,
+                origin,
+                topic,
+                ttl: 0,
+            }
+        };
+        self.route_subscription(msg, ctx);
+        request_id
+    }
+
+    /// Publish `data` on `topic`: one scoped multicast over the whole
+    /// identifier space whose descent is pruned by the recorded
+    /// subscription filters and delivered only to subscribed nodes.
+    /// Exactly-once per live subscriber is structural (one parent per
+    /// node, directional bus walk, seen-window dedup under churn); with
+    /// `max_retransmits > 0` every hop additionally rides the reliability
+    /// layer.
+    pub fn start_publish(
+        &mut self,
+        topic: NodeId,
+        data: Vec<u8>,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) -> RequestId {
+        let request_id = self.fresh_request_id();
+        self.stats.publishes_initiated += 1;
+        let me = self.peer_info();
+        self.dispatch_multicast(
+            me.addr,
+            me,
+            request_id,
+            KeyRange::full(self.config.space),
+            MulticastPayload::Topic { topic, data },
+            self.config.multicast_hop_budget,
+            0,
+            MulticastPhase::Up,
+            0,
+            ctx,
+        );
+        request_id
+    }
+
+    /// The DHT keys stored anywhere in `range`: one scoped aggregation
+    /// whose fan-out visits only subtrees whose exact spans intersect the
+    /// range and whose convergecast folds the per-node key lists into one
+    /// deduplicated, sorted answer (see
+    /// [`crate::AggregatePartial::Keys`]). The outcome lands in
+    /// [`TreePNode::drain_aggregate_outcomes`]; a result at the
+    /// [`crate::pubsub::MAX_RANGE_KEYS`] bound arrives flagged truncated.
+    pub fn start_range_query(
+        &mut self,
+        range: KeyRange,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) -> RequestId {
+        self.start_aggregate(range, AggregateQuery::KeysInRange, ctx)
+    }
+
+    // ---- directory routing -----------------------------------------------------
+
+    /// Route a `Subscribe`/`Unsubscribe` toward the topic coordinate, or
+    /// apply it here when no peer is closer (this node is responsible).
+    pub(super) fn route_subscription(
+        &mut self,
+        msg: TreePMessage,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        let (topic, ttl) = match &msg {
+            TreePMessage::Subscribe { topic, ttl, .. }
+            | TreePMessage::Unsubscribe { topic, ttl, .. } => (*topic, *ttl),
+            _ => unreachable!("route_subscription only handles subscription requests"),
+        };
+        if !self.config.pubsub_enabled || ttl >= self.config.max_ttl {
+            return; // dropped; the origin times out
+        }
+        match self.closer_peer_to(topic) {
+            Some(next) => {
+                let forwarded = match msg {
+                    TreePMessage::Subscribe {
+                        request_id,
+                        origin,
+                        topic,
+                        ttl,
+                    } => TreePMessage::Subscribe {
+                        request_id,
+                        origin,
+                        topic,
+                        ttl: ttl + 1,
+                    },
+                    TreePMessage::Unsubscribe {
+                        request_id,
+                        origin,
+                        topic,
+                        ttl,
+                    } => TreePMessage::Unsubscribe {
+                        request_id,
+                        origin,
+                        topic,
+                        ttl: ttl + 1,
+                    },
+                    other => other,
+                };
+                self.send(ctx, next.addr, forwarded);
+            }
+            None => self.apply_subscription_locally(msg, ctx),
+        }
+    }
+
+    /// Responsible node: fold the origin into (or out of) the topic's
+    /// replicated subscriber set and acknowledge.
+    fn apply_subscription_locally(
+        &mut self,
+        msg: TreePMessage,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        let me = self.peer_info();
+        let (request_id, origin, topic, subscribe) = match msg {
+            TreePMessage::Subscribe {
+                request_id,
+                origin,
+                topic,
+                ..
+            } => (request_id, origin, topic, true),
+            TreePMessage::Unsubscribe {
+                request_id,
+                origin,
+                topic,
+                ..
+            } => (request_id, origin, topic, false),
+            _ => unreachable!("apply_subscription_locally only handles subscription requests"),
+        };
+        // A value under the topic coordinate that fails to decode is an
+        // application DHT value sharing the coordinate; the directory
+        // overwrites it (the coordinate is the directory's by contract).
+        let mut set = self
+            .store
+            .get(topic)
+            .and_then(|v| decode_subscriber_set(v))
+            .unwrap_or_default();
+        if subscribe {
+            set.insert((origin.id, origin.addr));
+        } else {
+            set.remove(&(origin.id, origin.addr));
+        }
+        let subscribers = set.len() as u32;
+        let value = encode_subscriber_set(&set);
+        self.push_replicas(topic, &value, ctx);
+        self.store.put(topic, value);
+        self.stats.dht_values_stored = self.store.len() as u64;
+        if origin.addr == me.addr {
+            self.record_subscribe_ack(request_id, topic, subscribers, me, ctx.now());
+        } else {
+            self.send(
+                ctx,
+                origin.addr,
+                TreePMessage::SubscribeAck {
+                    request_id,
+                    topic,
+                    subscribers,
+                    stored_at: me,
+                },
+            );
+        }
+    }
+
+    pub(super) fn record_subscribe_ack(
+        &mut self,
+        request_id: RequestId,
+        topic: NodeId,
+        subscribers: u32,
+        _stored_at: PeerInfo,
+        now: SimTime,
+    ) {
+        if self.pending_subs.remove(&request_id).is_some() {
+            self.sub_outcomes.push(SubscribeOutcome::Acked {
+                request_id,
+                topic,
+                subscribers,
+                completed_at: now,
+            });
+        }
+    }
+
+    /// The subscriber set recorded in this node's store for `topic`, when
+    /// this node holds (a replica of) the directory.
+    pub fn subscriber_directory(
+        &self,
+        topic: NodeId,
+    ) -> Option<std::collections::BTreeSet<(NodeId, NodeAddr)>> {
+        self.store.get(topic).and_then(|v| decode_subscriber_set(v))
+    }
+
+    // ---- filter reporting --------------------------------------------------------
+
+    /// Recompute the subtree filter and report it to the parent when it
+    /// differs from the last reported one — called after every event that
+    /// can change the summary (local subscribe/unsubscribe, a child filter
+    /// recorded or dropped). No-op while the layer is off.
+    pub(super) fn filters_changed(&mut self, ctx: &mut Context<'_, TreePMessage>) {
+        if !self.config.pubsub_enabled {
+            return;
+        }
+        let filter = self
+            .tables
+            .subtree_filter(self.local_topics.iter(), self.config.max_filter_topics);
+        if self.last_reported_filter.as_ref() == Some(&filter) {
+            return;
+        }
+        self.report_filter(filter, ctx);
+    }
+
+    /// Unconditionally (re-)send the current subtree filter to the parent:
+    /// the periodic refresh next to the `ChildReport`, and the
+    /// adoption-time report that closes the churn window of a child moving
+    /// between parents. No-op while the layer is off.
+    pub(super) fn report_filter_to_parent(&mut self, ctx: &mut Context<'_, TreePMessage>) {
+        if !self.config.pubsub_enabled {
+            return;
+        }
+        let filter = self
+            .tables
+            .subtree_filter(self.local_topics.iter(), self.config.max_filter_topics);
+        self.report_filter(filter, ctx);
+    }
+
+    fn report_filter(&mut self, filter: TopicFilter, ctx: &mut Context<'_, TreePMessage>) {
+        let Some(parent) = self.tables.parent().map(|p| p.addr) else {
+            // A root has nobody to prune for it; remember the summary so a
+            // later adoption-time report starts from the right baseline.
+            self.last_reported_filter = Some(filter);
+            return;
+        };
+        let me = self.peer_info();
+        self.stats.filter_reports_sent += 1;
+        self.send(
+            ctx,
+            parent,
+            TreePMessage::FilterReport {
+                child: me,
+                topics: filter.topics.iter().copied().collect(),
+                overflow: filter.overflow,
+            },
+        );
+        self.last_reported_filter = Some(filter);
+    }
+
+    /// A child reported its subtree's topic summary: record it (only own
+    /// children are accepted) and propagate the changed union up the
+    /// ancestor chain.
+    pub(super) fn handle_filter_report(
+        &mut self,
+        child: PeerInfo,
+        topics: Vec<NodeId>,
+        overflow: bool,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        if !self.config.pubsub_enabled {
+            return;
+        }
+        let filter = if overflow {
+            TopicFilter {
+                topics: Default::default(),
+                overflow: true,
+            }
+        } else {
+            // Re-bound on receipt: a report larger than this node's bound
+            // (mixed configurations) degrades to overflow instead of
+            // growing the table.
+            TopicFilter::from_topics(topics, self.config.max_filter_topics)
+        };
+        if self.tables.record_child_filter(child.id, filter) {
+            self.filters_changed(ctx);
+        }
+    }
+
+    // ---- timers ----------------------------------------------------------------
+
+    pub(super) fn subscribe_timer_fired(
+        &mut self,
+        payload: u64,
+        ctx: &mut Context<'_, TreePMessage>,
+    ) {
+        let request_id = RequestId(payload);
+        if let Some(pending) = self.pending_subs.remove(&request_id) {
+            self.sub_outcomes.push(SubscribeOutcome::TimedOut {
+                request_id,
+                topic: pending.topic,
+                completed_at: ctx.now(),
+            });
+        }
+    }
+}

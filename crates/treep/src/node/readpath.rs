@@ -283,6 +283,14 @@ impl TreePNode {
         }
         match self.closer_peer_to(key) {
             Some(next) => {
+                // Write-through: a forwarding hop that caches this key must
+                // refresh its line now, or a get served here between the
+                // pass-through and the line's expiry would return the
+                // pre-write version (`repair` never grants new slots, so
+                // uncached hops stay untouched).
+                if self.config.cache_capacity > 0 {
+                    self.cache.repair(key, stamp, &value, ctx.now());
+                }
                 self.send(
                     ctx,
                     next.addr,

@@ -1005,3 +1005,106 @@ fn join_handshake_establishes_mutual_contact() {
     );
     assert!(responder.tables().is_own_child(NodeId(101)));
 }
+
+#[test]
+fn put_versioned_pass_through_refreshes_hop_cache() {
+    use crate::readpath::{ReadSource, StampedValue};
+    use crate::VersionStamp;
+
+    let config = TreePConfig::default().with_read_path(8);
+    let mut node =
+        TreePNode::new(config, NodeId(10), NodeCharacteristics::default()).with_addr(NodeAddr(10));
+    let mut rng = simnet::SimRng::seed_from(1);
+    // A neighbour much closer to the key, so this node is a forwarding hop.
+    node.seed_level0_neighbor(peer(4_000_000_000, 0), SimTime::ZERO);
+    let key = NodeId(4_000_000_100);
+    let v1 = VersionStamp {
+        version: 1,
+        origin: NodeId(9),
+    };
+    let v2 = VersionStamp {
+        version: 2,
+        origin: NodeId(9),
+    };
+
+    // A reply relaying through this hop fills its cache line with v1.
+    let mut ctx = Context::new(SimTime::from_millis(1), NodeAddr(10), &mut rng);
+    node.on_message(
+        NodeAddr(4_000_000_000),
+        TreePMessage::GetVersionedReply {
+            request_id: RequestId(77),
+            origin: NodeAddr(9),
+            key,
+            value: Some(StampedValue {
+                stamp: v1,
+                value: b"v1".to_vec(),
+            }),
+            source: ReadSource::Responsible,
+            hops: 2,
+            responder: peer(4_000_000_000, 0),
+            path: vec![],
+        },
+        &mut ctx,
+    );
+    assert_eq!(node.stats().cache_fills, 1);
+
+    // A v2 put passes through; the hop must forward it AND refresh the line.
+    let mut ctx = Context::new(SimTime::from_millis(2), NodeAddr(10), &mut rng);
+    node.on_message(
+        NodeAddr(9),
+        TreePMessage::PutVersioned {
+            request_id: RequestId(78),
+            origin: peer(9, 0),
+            key,
+            stamp: v2,
+            value: b"v2".to_vec(),
+            ttl: 0,
+        },
+        &mut ctx,
+    );
+    let forwarded = ctx.into_actions().into_iter().any(|a| {
+        matches!(
+            a,
+            simnet::Action::Send {
+                dest: NodeAddr(4_000_000_000),
+                msg: TreePMessage::PutVersioned { .. },
+            }
+        )
+    });
+    assert!(forwarded, "the hop still forwards toward the key");
+
+    // A get through the same hop right after the bump is served from the
+    // cache at v2 — without write-through it would serve the stale v1.
+    let mut ctx = Context::new(SimTime::from_millis(3), NodeAddr(10), &mut rng);
+    node.on_message(
+        NodeAddr(9),
+        TreePMessage::GetVersioned {
+            request_id: RequestId(79),
+            origin: peer(9, 0),
+            key,
+            ttl: 0,
+            min_stamp: None,
+            path: vec![],
+        },
+        &mut ctx,
+    );
+    let served = ctx
+        .into_actions()
+        .into_iter()
+        .find_map(|a| match a {
+            simnet::Action::Send {
+                dest: NodeAddr(9),
+                msg:
+                    TreePMessage::GetVersionedReply {
+                        value: Some(sv),
+                        source,
+                        ..
+                    },
+            } => Some((sv, source)),
+            _ => None,
+        })
+        .expect("the hop serves the read from its cache");
+    assert_eq!(served.1, ReadSource::Cache);
+    assert_eq!(served.0.stamp, v2);
+    assert_eq!(served.0.value, b"v2".to_vec());
+}

@@ -1,0 +1,346 @@
+//! Topic-based publish/subscribe and range queries on the scoped-multicast
+//! spine.
+//!
+//! TreeP's dissemination spine (scoped multicast with exact subtree-span
+//! pruning, optional hop-by-hop reliability) is infrastructure waiting for a
+//! workload; this module turns it into a serving subsystem. The design
+//! follows the prefix-search formulation of "Optimally Efficient Prefix
+//! Search and Multicast in Structured P2P Networks" (TUD-CS-2008-103): the
+//! same descent machinery that routes a multicast to an identifier range
+//! answers topic publishes and range queries nearly for free.
+//!
+//! ## Topic hashing
+//!
+//! A topic name hashes onto the 1-D identifier space with
+//! [`crate::id::hash_key`] (FNV-1a folded through SplitMix64), exactly like
+//! a DHT key: [`topic_key`]. The node responsible for that coordinate — the
+//! greedy-routing endpoint, hence the root of the subtree owning the
+//! surrounding ID range — keeps the topic's **subscriber directory** as
+//! replicated DHT state: the sorted subscriber list is serialised with
+//! [`encode_subscriber_set`] and stored under the topic coordinate through
+//! the ordinary store + replica-push path, so the PR 3 anti-entropy layer
+//! replicates and repairs it like any other value.
+//!
+//! ## Filter summaries
+//!
+//! Delivery does not consult the directory (that would funnel every publish
+//! through one subtree). Instead each node tracks the topics it subscribes
+//! to locally, and summarises the topics present in its **whole subtree**
+//! up the tree as a [`TopicFilter`] — sent to the parent as a
+//! [`crate::messages::TreePMessage::FilterReport`] next to the existing
+//! `ChildReport` span, both periodically and immediately whenever the
+//! summary changes (subscribe, unsubscribe, a child's filter update). A
+//! filter lists at most `max_filter_topics` topics exactly; past that bound
+//! it degrades to `overflow = true`, which means "assume every topic" —
+//! over-approximation is always safe, under-approximation never is.
+//!
+//! ## Pruning rules
+//!
+//! A publish ascends to the initiator's root and descends as an ordinary
+//! scoped multicast carrying a [`crate::MulticastPayload::Topic`] payload.
+//! During the descent fan-out a branch is **skipped** exactly when the
+//! parent holds a current filter for that child and the filter provably
+//! excludes the topic (`!may_contain`). No filter recorded, or an
+//! overflowed filter, means the branch is forwarded — correctness never
+//! depends on pruning. The bus walk itself is never pruned: filters
+//! summarise *own subtrees* only, so a top-level node cannot speak for its
+//! bus neighbours' branches. Delivery at a node requires a local
+//! subscription, so exactly-once per live subscriber is inherited
+//! structurally from the multicast spine (one parent per node, directional
+//! bus walk, seen-window dedup under churn).
+//!
+//! ## Range queries
+//!
+//! [`crate::AggregateQuery::KeysInRange`] rides the same descent: the
+//! multicast's scoped [`crate::KeyRange`] prunes fan-out to the subtrees
+//! whose exact recorded spans intersect the range, every reached node
+//! contributes the DHT keys it stores inside the range, and the partials
+//! fold back through the `AggregateUp` convergecast as a deduplicated,
+//! bounded [`crate::AggregatePartial::Keys`] list.
+
+use crate::entry::PeerInfo;
+use crate::id::{hash_key, IdSpace, NodeId};
+use crate::lookup::RequestId;
+use serde::{Deserialize, Serialize};
+use simnet::{NodeAddr, SimTime};
+use std::collections::BTreeSet;
+
+/// Hash a topic name onto the identifier space. The returned coordinate
+/// addresses the topic's subscriber directory exactly like a DHT key.
+pub fn topic_key(space: IdSpace, topic: &str) -> NodeId {
+    hash_key(space, topic.as_bytes())
+}
+
+/// Upper bound on the number of keys one [`crate::AggregatePartial::Keys`]
+/// partial carries. A fold that would exceed it is truncated (and flagged
+/// as such through the existing `truncated` convergecast bit), bounding
+/// both datagram size and fold memory.
+pub const MAX_RANGE_KEYS: usize = 4096;
+
+/// The topics present in one subtree, summarised for fan-out pruning.
+///
+/// Exact while small: `topics` lists every topic subscribed to anywhere in
+/// the subtree. Once the set would exceed the configured bound the filter
+/// degrades to `overflow = true` and [`TopicFilter::may_contain`] answers
+/// `true` for everything — an over-approximation that disables pruning for
+/// the branch but can never lose a delivery.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TopicFilter {
+    /// Topic coordinates present in the subtree (exact unless `overflow`).
+    pub topics: BTreeSet<NodeId>,
+    /// True when the subtree holds more topics than the summary bound; the
+    /// filter then excludes nothing.
+    pub overflow: bool,
+}
+
+impl TopicFilter {
+    /// An empty filter: the subtree provably holds no subscribers.
+    pub fn empty() -> Self {
+        TopicFilter::default()
+    }
+
+    /// Build a filter from an iterator of topics, degrading to `overflow`
+    /// past `max_topics`.
+    pub fn from_topics<I: IntoIterator<Item = NodeId>>(topics: I, max_topics: usize) -> Self {
+        let mut filter = TopicFilter::empty();
+        for t in topics {
+            if filter.topics.len() >= max_topics {
+                filter.overflow = true;
+                filter.topics.clear();
+                return filter;
+            }
+            filter.topics.insert(t);
+        }
+        filter
+    }
+
+    /// True when the subtree may hold a subscriber of `topic`. Pruning a
+    /// branch is allowed only when this answers `false`.
+    pub fn may_contain(&self, topic: NodeId) -> bool {
+        self.overflow || self.topics.contains(&topic)
+    }
+
+    /// True when the filter provably excludes every topic (prune always).
+    pub fn is_empty(&self) -> bool {
+        !self.overflow && self.topics.is_empty()
+    }
+
+    /// Fold another filter into this one, respecting the summary bound.
+    pub fn merge(&mut self, other: &TopicFilter, max_topics: usize) {
+        if self.overflow {
+            return;
+        }
+        if other.overflow {
+            self.overflow = true;
+            self.topics.clear();
+            return;
+        }
+        for &t in &other.topics {
+            self.topics.insert(t);
+            if self.topics.len() > max_topics {
+                self.overflow = true;
+                self.topics.clear();
+                return;
+            }
+        }
+    }
+}
+
+/// One payload delivery recorded at a subscriber covered by a publish.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopicDelivery {
+    /// The node that published.
+    pub origin: PeerInfo,
+    /// Identifier of the publish at its origin.
+    pub request_id: RequestId,
+    /// The topic coordinate published to.
+    pub topic: NodeId,
+    /// The delivered payload.
+    pub payload: Vec<u8>,
+    /// Overlay hops the payload travelled to reach this subscriber.
+    pub hops: u32,
+    /// When the delivery happened.
+    pub at: SimTime,
+}
+
+/// How a subscription (or unsubscription) request concluded, recorded at
+/// the origin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SubscribeOutcome {
+    /// The directory update was acknowledged by the responsible node.
+    Acked {
+        /// The request.
+        request_id: RequestId,
+        /// The topic coordinate.
+        topic: NodeId,
+        /// Directory size after the update.
+        subscribers: u32,
+        /// When the acknowledgement arrived.
+        completed_at: SimTime,
+    },
+    /// The origin gave up waiting. The local subscription state (and with
+    /// it delivery) is unaffected — only the directory update is in doubt,
+    /// and anti-entropy repairs directories like any replicated value.
+    TimedOut {
+        /// The request.
+        request_id: RequestId,
+        /// The topic coordinate.
+        topic: NodeId,
+        /// When the timeout fired.
+        completed_at: SimTime,
+    },
+}
+
+impl SubscribeOutcome {
+    /// The request this outcome belongs to.
+    pub fn request_id(&self) -> RequestId {
+        match self {
+            SubscribeOutcome::Acked { request_id, .. }
+            | SubscribeOutcome::TimedOut { request_id, .. } => *request_id,
+        }
+    }
+
+    /// True unless the request timed out.
+    pub fn is_success(&self) -> bool {
+        matches!(self, SubscribeOutcome::Acked { .. })
+    }
+}
+
+/// A directory update the origin is still waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingSubscribe {
+    /// The topic coordinate.
+    pub topic: NodeId,
+    /// When the request started.
+    pub started_at: SimTime,
+}
+
+// ---- subscriber-directory value codec ---------------------------------------
+
+/// Serialise a subscriber set into the DHT value stored under the topic
+/// coordinate: `u32` count, then per subscriber the overlay identifier and
+/// transport address as little-endian `u64`s. Deterministic (sorted input)
+/// so replicas of the directory compare byte-equal.
+pub fn encode_subscriber_set(subscribers: &BTreeSet<(NodeId, NodeAddr)>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + subscribers.len() * 16);
+    out.extend_from_slice(&(subscribers.len() as u32).to_le_bytes());
+    for (id, addr) in subscribers {
+        out.extend_from_slice(&id.0.to_le_bytes());
+        out.extend_from_slice(&addr.0.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a subscriber set encoded by [`encode_subscriber_set`]. Returns
+/// `None` on a malformed value (wrong length for the declared count).
+pub fn decode_subscriber_set(bytes: &[u8]) -> Option<BTreeSet<(NodeId, NodeAddr)>> {
+    let count = u32::from_le_bytes(bytes.get(..4)?.try_into().ok()?) as usize;
+    let body = bytes.get(4..)?;
+    if body.len() != count * 16 {
+        return None;
+    }
+    let mut out = BTreeSet::new();
+    for chunk in body.chunks_exact(16) {
+        let id = u64::from_le_bytes(chunk[..8].try_into().ok()?);
+        let addr = u64::from_le_bytes(chunk[8..].try_into().ok()?);
+        out.insert((NodeId(id), NodeAddr(addr)));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topic_keys_are_deterministic_and_in_space() {
+        let space = IdSpace::new(16);
+        let a = topic_key(space, "alerts/eu");
+        let b = topic_key(space, "alerts/eu");
+        let c = topic_key(space, "alerts/us");
+        assert_eq!(a, b);
+        assert_ne!(a, c, "distinct names should land on distinct coordinates");
+        assert!(space.contains(a));
+        assert!(space.contains(c));
+    }
+
+    #[test]
+    fn filter_exact_membership_and_pruning() {
+        let f = TopicFilter::from_topics([NodeId(3), NodeId(9)], 8);
+        assert!(f.may_contain(NodeId(3)));
+        assert!(f.may_contain(NodeId(9)));
+        assert!(!f.may_contain(NodeId(4)), "exact filters prune");
+        assert!(!f.is_empty());
+        assert!(TopicFilter::empty().is_empty());
+        assert!(!TopicFilter::empty().may_contain(NodeId(1)));
+    }
+
+    #[test]
+    fn filter_overflow_excludes_nothing() {
+        let f = TopicFilter::from_topics((0..10).map(NodeId), 4);
+        assert!(f.overflow);
+        assert!(f.topics.is_empty(), "overflowed filters drop the list");
+        assert!(f.may_contain(NodeId(999)));
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn filter_merge_respects_the_bound() {
+        let mut acc = TopicFilter::from_topics([NodeId(1), NodeId(2)], 4);
+        acc.merge(&TopicFilter::from_topics([NodeId(2), NodeId(3)], 4), 4);
+        assert_eq!(acc.topics.len(), 3, "merge unions and dedups");
+        assert!(!acc.overflow);
+        acc.merge(&TopicFilter::from_topics([NodeId(8), NodeId(9)], 4), 4);
+        assert!(acc.overflow, "exceeding the bound degrades to overflow");
+        let mut from_overflow = TopicFilter::empty();
+        from_overflow.merge(&TopicFilter::from_topics((0..9).map(NodeId), 4), 4);
+        assert!(from_overflow.overflow, "overflow is contagious");
+    }
+
+    #[test]
+    fn subscriber_set_round_trips() {
+        let mut set = BTreeSet::new();
+        set.insert((NodeId(7), NodeAddr(70)));
+        set.insert((NodeId(3), NodeAddr(30)));
+        let bytes = encode_subscriber_set(&set);
+        assert_eq!(decode_subscriber_set(&bytes), Some(set.clone()));
+        assert_eq!(
+            decode_subscriber_set(&encode_subscriber_set(&BTreeSet::new())),
+            Some(BTreeSet::new())
+        );
+        // Deterministic: re-encoding the decoded set is byte-identical.
+        let again = encode_subscriber_set(&decode_subscriber_set(&bytes).unwrap());
+        assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn malformed_subscriber_values_are_rejected() {
+        assert_eq!(decode_subscriber_set(&[]), None);
+        assert_eq!(decode_subscriber_set(&[1, 0, 0]), None);
+        let mut bytes = encode_subscriber_set(&BTreeSet::from([(NodeId(1), NodeAddr(2))]));
+        bytes.pop();
+        assert_eq!(decode_subscriber_set(&bytes), None, "short body");
+        bytes.push(0);
+        bytes.push(0);
+        assert_eq!(decode_subscriber_set(&bytes), None, "long body");
+    }
+
+    #[test]
+    fn subscribe_outcome_accessors() {
+        let acked = SubscribeOutcome::Acked {
+            request_id: RequestId(4),
+            topic: NodeId(9),
+            subscribers: 3,
+            completed_at: SimTime::ZERO,
+        };
+        assert!(acked.is_success());
+        assert_eq!(acked.request_id(), RequestId(4));
+        let lost = SubscribeOutcome::TimedOut {
+            request_id: RequestId(5),
+            topic: NodeId(9),
+            completed_at: SimTime::ZERO,
+        };
+        assert!(!lost.is_success());
+        assert_eq!(lost.request_id(), RequestId(5));
+    }
+}

@@ -95,6 +95,16 @@ pub struct NodeStats {
     /// Read-repairs this node issued as the responsible node after a
     /// `ReadVerify` probe revealed a stale serve.
     pub read_repairs_issued: u64,
+    /// Topic publishes this node originated.
+    pub publishes_initiated: u64,
+    /// Topic publishes delivered to this node (it held a local
+    /// subscription; exactly-once per publish by construction).
+    pub pubsub_deliveries: u64,
+    /// Fan-out branches skipped because the child's recorded subscription
+    /// filter provably excluded the published topic.
+    pub pubsub_branches_pruned: u64,
+    /// Subtree filter summaries sent to the parent (periodic + event-driven).
+    pub filter_reports_sent: u64,
 }
 
 impl NodeStats {
@@ -132,6 +142,8 @@ impl NodeStats {
                     && !k.starts_with("get_versioned")
                     && !k.starts_with("put_versioned")
                     && !k.starts_with("read_verify")
+                    && !k.starts_with("subscribe")
+                    && !k.starts_with("unsubscribe")
             })
             .map(|(_, v)| *v)
             .sum()

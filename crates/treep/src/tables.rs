@@ -58,6 +58,7 @@
 use crate::entry::RoutingEntry;
 use crate::id::{IdSpace, NodeId};
 use crate::multicast::KeyRange;
+use crate::pubsub::TopicFilter;
 use serde::{Deserialize, Serialize};
 use simnet::{SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
@@ -147,6 +148,10 @@ pub struct RoutingTables {
     superiors: BTreeSet<NodeId>,
     /// Exact subtree extents reported by own children (`ChildReport`).
     child_spans: BTreeMap<NodeId, KeyRange>,
+    /// Topic-subscription summaries reported by own children
+    /// (`FilterReport`); consulted by the pub/sub fan-out pruning (see
+    /// [`crate::pubsub`]). Only populated when the pub/sub layer is on.
+    child_filters: BTreeMap<NodeId, TopicFilter>,
     /// Largest one-sided reach (`max(id - lo, hi - id)`) over
     /// `child_spans`; monotone over-approximation used to bound the
     /// `multicast_fanout` range query. Recomputed when a span is dropped.
@@ -516,6 +521,45 @@ impl RoutingTables {
         self.child_spans.get(&id).copied()
     }
 
+    /// Record the topic-subscription summary an own child reported
+    /// (piggy-backed on `FilterReport`). Ignored for peers that are not own
+    /// children — the pruning decision may only rely on summaries from the
+    /// node's own tessellation. Returns true when the filter was recorded.
+    ///
+    /// Same freshness contract as [`RoutingTables::record_child_span`]:
+    /// the filter is as current as the child's last report, and the
+    /// reporting side sends event-driven updates on every summary change,
+    /// so a subscriber is only invisible for the one-hop propagation delay
+    /// of its subscribe. An *over*-stale filter (extra topics) merely
+    /// forwards a publish down an empty branch; only a missing topic could
+    /// lose a delivery, which event-driven reporting prevents.
+    pub fn record_child_filter(&mut self, child: NodeId, filter: TopicFilter) -> bool {
+        if !self.own_children.contains(&child) {
+            return false;
+        }
+        self.child_filters.insert(child, filter);
+        true
+    }
+
+    /// The topic-subscription summary reported by own child `id`, if any.
+    pub fn child_filter(&self, id: NodeId) -> Option<&TopicFilter> {
+        self.child_filters.get(&id)
+    }
+
+    /// The union of this node's local subscriptions (`local_topics`) and
+    /// every recorded child filter, bounded by `max_topics`: the summary
+    /// the node reports to its own parent.
+    pub fn subtree_filter<'a, I>(&self, local_topics: I, max_topics: usize) -> TopicFilter
+    where
+        I: IntoIterator<Item = &'a NodeId>,
+    {
+        let mut filter = TopicFilter::from_topics(local_topics.into_iter().copied(), max_topics);
+        for child in self.child_filters.values() {
+            filter.merge(child, max_topics);
+        }
+        filter
+    }
+
     /// The identifier interval an own child's subtree can intersect, and
     /// whether the level-0 visiting slack applies to it: the exact reported
     /// span when known, the child's own coordinate for level-0 children, or
@@ -708,6 +752,7 @@ impl RoutingTables {
             if self.own_children.remove(&id) {
                 report.was_own_child = true;
                 self.child_spans.remove(&id);
+                self.child_filters.remove(&id);
             } else {
                 report.was_neighbor_child = true;
             }
@@ -873,6 +918,11 @@ impl RoutingTables {
         for id in self.child_spans.keys() {
             if !self.own_children.contains(id) {
                 return Err(format!("span recorded for non-own-child {id:?}"));
+            }
+        }
+        for id in self.child_filters.keys() {
+            if !self.own_children.contains(id) {
+                return Err(format!("topic filter recorded for non-own-child {id:?}"));
             }
         }
         for (id, entry) in &self.registry {
@@ -1095,6 +1145,53 @@ mod tests {
         // Spans are only accepted for own children.
         assert!(!t.record_child_span(NodeId(9_999), KeyRange::new(NodeId(0), NodeId(1))));
         t.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn child_filters_follow_own_children() {
+        let mut t = RoutingTables::new();
+        t.upsert_child(entry(40_000, 1, 1), true);
+        t.upsert_child(entry(20_000, 0, 1), false);
+        // Filters are only accepted for own children, like spans.
+        assert!(t.record_child_filter(NodeId(40_000), TopicFilter::from_topics([NodeId(7)], 8)));
+        assert!(!t.record_child_filter(NodeId(20_000), TopicFilter::from_topics([NodeId(7)], 8)));
+        assert!(t
+            .child_filter(NodeId(40_000))
+            .unwrap()
+            .may_contain(NodeId(7)));
+        assert!(t.child_filter(NodeId(20_000)).is_none());
+        t.validate_invariants().unwrap();
+        // Removing the own child drops its filter with it.
+        t.remove_peer(NodeId(40_000));
+        assert!(t.child_filter(NodeId(40_000)).is_none());
+        t.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn subtree_filter_unions_local_and_children() {
+        let mut t = RoutingTables::new();
+        t.upsert_child(entry(40_000, 1, 1), true);
+        t.upsert_child(entry(41_000, 1, 1), true);
+        t.record_child_filter(NodeId(40_000), TopicFilter::from_topics([NodeId(1)], 8));
+        t.record_child_filter(NodeId(41_000), TopicFilter::from_topics([NodeId(2)], 8));
+        let local = [NodeId(2), NodeId(3)];
+        let summary = t.subtree_filter(local.iter(), 8);
+        assert!(!summary.overflow);
+        assert_eq!(
+            summary.topics,
+            [NodeId(1), NodeId(2), NodeId(3)].into_iter().collect()
+        );
+        // A tiny bound degrades the union to overflow.
+        assert!(t.subtree_filter(local.iter(), 2).overflow);
+        // An overflowed child poisons the summary regardless of the bound.
+        t.record_child_filter(
+            NodeId(41_000),
+            TopicFilter {
+                topics: Default::default(),
+                overflow: true,
+            },
+        );
+        assert!(t.subtree_filter(local.iter(), 8).overflow);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod churn;
 pub mod kv;
 pub mod lookups;
 pub mod multicast;
+pub mod pubsub;
 pub mod zipf;
 
 pub use builder::{BuiltNode, BuiltTopology, TopologyBuilder};
@@ -38,4 +39,5 @@ pub use churn::{ChurnPlan, ChurnStep};
 pub use kv::{KvOp, KvWorkload};
 pub use lookups::{LookupBatch, LookupWorkload};
 pub use multicast::{MulticastBatch, MulticastOp, MulticastWorkload};
+pub use pubsub::{PubSubWorkload, PublishOp, SubscriptionChange, SubscriptionOp};
 pub use zipf::ZipfSampler;

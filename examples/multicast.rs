@@ -99,6 +99,9 @@ fn main() {
                         query.label()
                     );
                 }
+                treep::AggregatePartial::Keys(keys) => {
+                    println!("  {:<15} -> {} keys in range", query.label(), keys.len());
+                }
             },
             treep::AggregateOutcome::TimedOut { query, .. } => {
                 println!("  {:<15} -> timed out", query.label());

@@ -1,0 +1,480 @@
+//! Randomized pub/sub invariants: drive a real simulated network through
+//! seeded node *and* subscription churn while publishers fire, and check
+//! the two promises the layer makes. **Exactly-once delivery**: every live
+//! subscriber of a topic receives every publish on it exactly once, and
+//! nobody else receives anything (the subscription filters only ever
+//! prune, never leak). **Oracle-equal range queries**: a `KeysInRange`
+//! convergecast over a quiesced network returns precisely the keys the
+//! in-range nodes hold — the same answer a naive scan of every store
+//! would give. A determinism cross-check rides along: the whole delivery
+//! trace replays bit-identically from its seed.
+
+use simnet::{NodeAddr, SimDuration};
+use std::collections::{BTreeMap, BTreeSet};
+use treep::lookup::RequestId;
+use treep::{KeyRange, NodeId, TreePConfig};
+use workloads::{
+    ChurnPlan, KvWorkload, PubSubWorkload, SubscriptionChange, SubscriptionOp, TopologyBuilder,
+};
+
+struct Case {
+    seed: u64,
+    nodes: usize,
+    topics: usize,
+    subscribers: usize,
+    rounds: usize,
+    publishes_per_round: usize,
+    subscription_churn: f64,
+}
+
+/// One met delivery obligation: `(round, publish index, receiver)`.
+type DeliveryRecord = (usize, usize, NodeAddr);
+
+/// Run one seeded churn-and-publish trace, asserting exactly-once delivery
+/// to exactly the subscribed set after every publish batch; returns every
+/// met obligation for the determinism cross-check.
+fn run_trace(case: &Case) -> Vec<DeliveryRecord> {
+    let config = TreePConfig::paper_case_fixed().with_pubsub();
+    let builder = TopologyBuilder::new(case.nodes).with_config(config);
+    let (mut sim, topo) = builder.build_simulation(case.seed);
+    let workload = PubSubWorkload::new(topo.config.space, case.topics, 1.0);
+    let mut rng = sim.rng_mut().fork();
+    let churn = ChurnPlan {
+        fraction_per_step: 0.04,
+        stop_at_surviving_fraction: 0.05,
+    };
+
+    // The reference model: which topics each live node is subscribed to.
+    // `start_subscribe`/`start_unsubscribe` update local delivery state
+    // synchronously, so the model is exact the moment a change is applied.
+    let mut model: BTreeMap<NodeAddr, BTreeSet<usize>> = BTreeMap::new();
+    let apply = |sim: &mut simnet::Simulation<treep::TreePNode>,
+                 model: &mut BTreeMap<NodeAddr, BTreeSet<usize>>,
+                 change: SubscriptionChange| {
+        if sim.node(change.node).is_none() {
+            return;
+        }
+        let topic = change.topic;
+        match change.op {
+            SubscriptionOp::Subscribe => {
+                sim.invoke(change.node, move |node, ctx| {
+                    node.start_subscribe(topic, ctx);
+                });
+                model
+                    .entry(change.node)
+                    .or_default()
+                    .insert(change.topic_index);
+            }
+            SubscriptionOp::Unsubscribe => {
+                sim.invoke(change.node, move |node, ctx| {
+                    node.start_unsubscribe(topic, ctx);
+                });
+                if let Some(topics) = model.get_mut(&change.node) {
+                    topics.remove(&change.topic_index);
+                    if topics.is_empty() {
+                        model.remove(&change.node);
+                    }
+                }
+            }
+        }
+    };
+
+    let alive = topo.alive_pairs(&sim);
+    for change in workload.initial_subscriptions(&alive, case.subscribers, &mut rng) {
+        apply(&mut sim, &mut model, change);
+    }
+    sim.run_for(SimDuration::from_secs(3));
+
+    let mut records = Vec::new();
+    for round in 0..case.rounds {
+        // 1. Node churn: fail a small victim batch, then give the tree time
+        //    to detect the failures, re-adopt orphans and re-report filters.
+        let alive_now = sim.alive_nodes();
+        for victim in churn.pick_victims(&alive_now, case.nodes, &mut rng) {
+            sim.fail_node(victim);
+            model.remove(&victim);
+        }
+        sim.run_for(SimDuration::from_secs(12));
+
+        // 2. Subscription churn: flip a fraction of the current set.
+        let alive_pairs = topo.alive_pairs(&sim);
+        let catalogue = workload.topics();
+        let current: Vec<SubscriptionChange> = model
+            .iter()
+            .flat_map(|(&node, topics)| {
+                topics.iter().map(move |&topic_index| SubscriptionChange {
+                    node,
+                    topic_index,
+                    topic: catalogue[topic_index],
+                    op: SubscriptionOp::Subscribe,
+                })
+            })
+            .collect();
+        for change in
+            workload.churn_subscriptions(&current, &alive_pairs, case.subscription_churn, &mut rng)
+        {
+            apply(&mut sim, &mut model, change);
+        }
+        sim.run_for(SimDuration::from_secs(3));
+
+        // 3. Publish a batch from random live sources.
+        let mut probes: Vec<(usize, NodeAddr, RequestId, usize)> = Vec::new();
+        for (i, publish) in workload
+            .publishes(&alive_pairs, case.publishes_per_round, &mut rng)
+            .into_iter()
+            .enumerate()
+        {
+            let topic = publish.topic;
+            let payload = publish.payload.clone();
+            if let Some(request_id) = sim.invoke(publish.source, move |node, ctx| {
+                node.start_publish(topic, payload, ctx)
+            }) {
+                probes.push((i, publish.source, request_id, publish.topic_index));
+            }
+        }
+        sim.run_for(SimDuration::from_secs(5));
+
+        // 4. Collect every delivery and check it against the model: each
+        //    subscriber exactly once, everyone else not at all.
+        let mut tally: BTreeMap<(NodeAddr, RequestId), BTreeMap<NodeAddr, usize>> = BTreeMap::new();
+        for &(addr, _) in &alive_pairs {
+            let Some(node) = sim.node_mut(addr) else {
+                continue;
+            };
+            for delivery in node.drain_topic_deliveries() {
+                *tally
+                    .entry((delivery.origin.addr, delivery.request_id))
+                    .or_default()
+                    .entry(addr)
+                    .or_insert(0) += 1;
+            }
+        }
+        let empty = BTreeMap::new();
+        for &(probe, source, request_id, topic_index) in &probes {
+            let receivers = tally.get(&(source, request_id)).unwrap_or(&empty);
+            for &(addr, _) in &alive_pairs {
+                let subscribed = model
+                    .get(&addr)
+                    .is_some_and(|topics| topics.contains(&topic_index));
+                let got = receivers.get(&addr).copied().unwrap_or(0);
+                if subscribed {
+                    assert_eq!(
+                        got, 1,
+                        "round {round} publish {probe}: subscriber {addr:?} of topic \
+                         {topic_index} got {got} copies instead of exactly one"
+                    );
+                    records.push((round, probe, addr));
+                } else {
+                    assert_eq!(
+                        got, 0,
+                        "round {round} publish {probe}: non-subscriber {addr:?} \
+                         received topic {topic_index}"
+                    );
+                }
+            }
+        }
+    }
+
+    assert!(
+        !records.is_empty(),
+        "the trace must meet delivery obligations to be meaningful"
+    );
+    records
+}
+
+#[test]
+fn churned_publishes_deliver_exactly_once_to_exactly_the_subscribers() {
+    for case in [
+        Case {
+            seed: 61,
+            nodes: 80,
+            topics: 5,
+            subscribers: 24,
+            rounds: 3,
+            publishes_per_round: 8,
+            subscription_churn: 0.25,
+        },
+        Case {
+            seed: 2005,
+            nodes: 60,
+            topics: 3,
+            subscribers: 15,
+            rounds: 4,
+            publishes_per_round: 6,
+            subscription_churn: 0.4,
+        },
+    ] {
+        run_trace(&case);
+    }
+}
+
+#[test]
+fn delivery_traces_replay_deterministically() {
+    let case = Case {
+        seed: 17,
+        nodes: 60,
+        topics: 4,
+        subscribers: 16,
+        rounds: 2,
+        publishes_per_round: 6,
+        subscription_churn: 0.3,
+    };
+    let a = run_trace(&case);
+    let b = run_trace(&case);
+    assert_eq!(a, b, "same seed must replay the identical delivery trace");
+}
+
+// ---- range queries vs the naive store-scan oracle --------------------------
+
+/// Build a network with a seeded key corpus (plus a few subscriber
+/// directories, which live in the same stores and must surface in range
+/// answers transparently); returns the simulation, topology handle, and a
+/// forked rng.
+fn seeded_network(
+    nodes: usize,
+    seed: u64,
+) -> (
+    simnet::Simulation<treep::TreePNode>,
+    workloads::BuiltTopology,
+    simnet::SimRng,
+) {
+    let mut config = TreePConfig::paper_case_fixed().with_pubsub();
+    config.replication_factor = 3;
+    let builder = TopologyBuilder::new(nodes).with_config(config);
+    let (mut sim, topo) = builder.build_simulation(seed);
+    let space = topo.config.space;
+    let kv = KvWorkload::new(40);
+    let mut rng = sim.rng_mut().fork();
+    let alive = topo.alive_pairs(&sim);
+    for op in kv.batch(&alive, &mut rng) {
+        let key = kv.key_bytes(op.index);
+        let value = kv.value_bytes(op.index);
+        sim.invoke(op.source, move |node, ctx| {
+            node.dht_put(&key, value, ctx);
+        });
+    }
+    let workload = PubSubWorkload::new(space, 4, 1.0);
+    for change in workload.initial_subscriptions(&alive, 10, &mut rng) {
+        let topic = change.topic;
+        sim.invoke(change.node, move |node, ctx| {
+            node.start_subscribe(topic, ctx);
+        });
+    }
+    sim.run_for(SimDuration::from_secs(3));
+    (sim, topo, rng)
+}
+
+/// Issue a `KeysInRange` convergecast from `origin` and return its key set.
+/// Panics unless the query concludes completely within the drain window.
+fn query_keys(
+    sim: &mut simnet::Simulation<treep::TreePNode>,
+    origin: NodeAddr,
+    range: KeyRange,
+) -> BTreeSet<NodeId> {
+    let request_id = sim
+        .invoke(origin, move |node, ctx| node.start_range_query(range, ctx))
+        .expect("origin is alive");
+    sim.run_for(SimDuration::from_secs(5));
+    let outcomes = sim
+        .node_mut(origin)
+        .expect("origin survives the quiesced run")
+        .drain_aggregate_outcomes();
+    let outcome = outcomes
+        .iter()
+        .find(|o| o.request_id() == request_id)
+        .expect("the query must conclude within the drain window");
+    assert!(
+        outcome.is_complete(),
+        "quiesced network, no loss: the convergecast must cover every \
+         delegated branch, got {outcome:?}"
+    );
+    outcome
+        .partial()
+        .expect("complete outcomes carry a partial")
+        .as_keys()
+        .expect("KeysInRange folds key lists")
+        .iter()
+        .copied()
+        .collect()
+}
+
+/// The union of stored keys inside `range` over `nodes`.
+fn store_scan(
+    sim: &simnet::Simulation<treep::TreePNode>,
+    nodes: impl IntoIterator<Item = NodeAddr>,
+    range: KeyRange,
+) -> BTreeSet<NodeId> {
+    let mut keys = BTreeSet::new();
+    for addr in nodes {
+        if let Some(node) = sim.node(addr) {
+            keys.extend(node.dht_store().keys_in_range(range));
+        }
+    }
+    keys
+}
+
+/// Random scopes plus the full space.
+fn scopes(space: treep::IdSpace, rng: &mut simnet::SimRng) -> Vec<KeyRange> {
+    let mut scopes: Vec<KeyRange> = (0..5)
+        .map(|_| {
+            KeyRange::new(
+                NodeId(rng.gen_range_u64(0..space.size())),
+                NodeId(rng.gen_range_u64(0..space.size())),
+            )
+        })
+        .collect();
+    scopes.push(KeyRange::full(space));
+    scopes
+}
+
+/// Stable network: a `KeysInRange` convergecast must return **exactly** the
+/// union of `store.keys_in_range` over the live nodes inside the scope —
+/// the answer a naive flat scan of every in-scope store would produce.
+#[test]
+fn range_queries_match_the_naive_store_scan_oracle() {
+    let (mut sim, topo, mut rng) = seeded_network(70, 404);
+    let space = topo.config.space;
+    sim.run_for(SimDuration::from_secs(7));
+    let alive_pairs = topo.alive_pairs(&sim);
+    for range in scopes(space, &mut rng) {
+        let oracle = store_scan(
+            &sim,
+            alive_pairs
+                .iter()
+                .filter(|&&(_, id)| range.contains(id))
+                .map(|&(addr, _)| addr),
+            range,
+        );
+        let origin = alive_pairs[rng.gen_range_usize(0..alive_pairs.len())].0;
+        let keys = query_keys(&mut sim, origin, range);
+        assert_eq!(
+            keys, oracle,
+            "range {range:?}: convergecast answer diverged from the naive \
+             store scan"
+        );
+    }
+}
+
+/// The root of the tree `addr` belongs to (end of its parent chain), or
+/// `None` for a broken chain.
+fn root_of(sim: &simnet::Simulation<treep::TreePNode>, addr: NodeAddr) -> Option<NodeAddr> {
+    let mut cur = addr;
+    for _ in 0..32 {
+        let node = sim.node(cur).filter(|_| sim.is_alive(cur))?;
+        match node.tables().parent() {
+            Some(p) => cur = p.addr,
+            None => return Some(cur),
+        }
+    }
+    None
+}
+
+/// The nodes the top-level bus walk from `root` visits (the dissemination's
+/// entry points), walking each direction through the visited node's own bus
+/// table exactly like the descent does.
+fn bus_reach(sim: &simnet::Simulation<treep::TreePNode>, root: NodeAddr) -> BTreeSet<NodeAddr> {
+    let mut reached = BTreeSet::from([root]);
+    let Some(node) = sim.node(root) else {
+        return reached;
+    };
+    let level = node.max_level();
+    if level == 0 {
+        return reached;
+    }
+    for leftward in [true, false] {
+        let mut cur = root;
+        while let Some(n) = sim.node(cur).filter(|_| sim.is_alive(cur)) {
+            let (l, r) = n.tables().bus_neighbors(level, n.id());
+            let next = if leftward { l } else { r };
+            match next.map(|e| e.addr) {
+                Some(next) if sim.is_alive(next) && reached.insert(next) => cur = next,
+                _ => break,
+            }
+        }
+    }
+    reached
+}
+
+/// True when `addr`'s ancestor chain (including itself) passes through a
+/// node of `reach` — i.e. a descent from one of the bus-visited entry
+/// points covers `addr`.
+fn reachable(
+    sim: &simnet::Simulation<treep::TreePNode>,
+    addr: NodeAddr,
+    reach: &BTreeSet<NodeAddr>,
+) -> bool {
+    let mut cur = addr;
+    for _ in 0..32 {
+        if reach.contains(&cur) {
+            return true;
+        }
+        let Some(node) = sim.node(cur).filter(|_| sim.is_alive(cur)) else {
+            return false;
+        };
+        match node.tables().parent() {
+            Some(p) => cur = p.addr,
+            None => return false,
+        }
+    }
+    false
+}
+
+/// Churned network: churn can split the forest into components whose roots
+/// never rediscover each other on the top bus (the ROADMAP's split-brain
+/// note — the paper's Figure E partition regime), and no scoped query can
+/// answer for stores it has no path to. The reference model is the same
+/// one the multicast reliability battery uses: from the query origin's
+/// root, the top-bus walk plus subtree descent defines the *reachable*
+/// nodes. Every complete answer must then be bounded by two scans —
+/// it contains at least every key a reachable live in-scope node holds,
+/// and nothing beyond what live nodes hold at all.
+#[test]
+fn churned_range_queries_are_bounded_by_the_reachability_oracles() {
+    let (mut sim, topo, mut rng) = seeded_network(70, 404);
+    let space = topo.config.space;
+
+    // Churn in small absorbed rounds, then quiesce long enough for
+    // re-replication and anti-entropy to settle so stores are stable while
+    // the convergecasts run.
+    let churn = ChurnPlan {
+        fraction_per_step: 0.04,
+        stop_at_surviving_fraction: 0.05,
+    };
+    for _ in 0..3 {
+        let alive_now = sim.alive_nodes();
+        for victim in churn.pick_victims(&alive_now, 70, &mut rng) {
+            sim.fail_node(victim);
+        }
+        sim.run_for(SimDuration::from_secs(12));
+    }
+    sim.run_for(SimDuration::from_secs(30));
+
+    let alive_pairs = topo.alive_pairs(&sim);
+    for range in scopes(space, &mut rng) {
+        let origin = alive_pairs[rng.gen_range_usize(0..alive_pairs.len())].0;
+        let reach = bus_reach(&sim, root_of(&sim, origin).expect("origin chain intact"));
+        let floor = store_scan(
+            &sim,
+            alive_pairs
+                .iter()
+                .filter(|&&(addr, id)| range.contains(id) && reachable(&sim, addr, &reach))
+                .map(|&(addr, _)| addr),
+            range,
+        );
+        let ceiling = store_scan(&sim, alive_pairs.iter().map(|&(addr, _)| addr), range);
+
+        let keys = query_keys(&mut sim, origin, range);
+        assert!(
+            keys.is_superset(&floor),
+            "range {range:?} from {origin:?}: answer misses keys held by \
+             reachable in-scope nodes: {:?}",
+            floor.difference(&keys).collect::<Vec<_>>()
+        );
+        assert!(
+            keys.is_subset(&ceiling),
+            "range {range:?} from {origin:?}: answer fabricates keys no \
+             live node holds: {:?}",
+            keys.difference(&ceiling).collect::<Vec<_>>()
+        );
+    }
+}
