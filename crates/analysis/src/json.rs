@@ -1,0 +1,262 @@
+//! A minimal JSON well-formedness checker.
+//!
+//! The repo has no JSON parser dependency, but the telemetry exporter emits
+//! Chrome-trace files that downstream viewers (Perfetto, `chrome://tracing`)
+//! must be able to load. [`validate_json`] walks a byte string with a
+//! recursive-descent grammar check — no DOM is built, so multi-megabyte
+//! trace files validate in one pass. It accepts exactly the RFC 8259
+//! grammar (objects, arrays, strings with escapes, numbers, the three
+//! literals) and rejects trailing garbage.
+
+/// Where and why validation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the offending character.
+    pub at: usize,
+    /// Static description of what was expected.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid JSON at byte {}: expected {}",
+            self.at, self.expected
+        )
+    }
+}
+
+struct Checker<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Checker<'a> {
+    fn err(&self, expected: &'static str) -> JsonError {
+        JsonError {
+            at: self.pos,
+            expected,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8, what: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal(b"true"),
+            Some(b'f') => self.literal(b"false"),
+            Some(b'n') => self.literal(b"null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &'static [u8]) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err("true/false/null"))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), JsonError> {
+        self.expect(b'{', "'{'")?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':', "':' after object key")?;
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), JsonError> {
+        self.expect(b'[', "'['")?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), JsonError> {
+        self.expect(b'"', "'\"'")?;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("closing '\"'")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                                    _ => return Err(self.err("4 hex digits after \\u")),
+                                }
+                            }
+                        }
+                        _ => return Err(self.err("a valid escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("no raw control chars in string")),
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), JsonError> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("a digit after '.'"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("a digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Check that `text` is one well-formed JSON document (with nothing but
+/// whitespace after it). Returns the byte offset and expectation of the
+/// first violation.
+pub fn validate_json(text: &str) -> Result<(), JsonError> {
+    let mut c = Checker {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    c.value()?;
+    c.skip_ws();
+    if c.pos == c.bytes.len() {
+        Ok(())
+    } else {
+        Err(c.err("end of input"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_wellformed_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e+3",
+            r#""a \"quoted\" string é""#,
+            r#"{"displayTimeUnit":"ms","traceEvents":[{"ph":"X","ts":1,"dur":2,"args":{"lost":true}}]}"#,
+            "  [1, 2, {\"k\": [null, false]}]\n",
+        ] {
+            assert!(validate_json(ok).is_ok(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"k\":}",
+            "{\"k\" 1}",
+            "01",
+            "1.",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "true false",
+            "{} trailing",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = validate_json("[1, !]").unwrap_err();
+        assert_eq!(err.at, 4);
+    }
+}

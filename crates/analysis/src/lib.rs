@@ -18,12 +18,14 @@
 
 pub mod csv;
 pub mod histogram;
+pub mod json;
 pub mod series;
 pub mod summary;
 pub mod table;
 
 pub use csv::Csv;
 pub use histogram::{HopHistogram, HopSurface};
+pub use json::{validate_json, JsonError};
 pub use series::{Series, SeriesSet};
 pub use summary::SummaryStats;
 pub use table::AsciiTable;

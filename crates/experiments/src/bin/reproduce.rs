@@ -28,9 +28,10 @@
 
 use experiments::{
     compare_multicast, compare_overlays, compare_pubsub, figures, maintenance,
-    routing_table_report, run_churn_experiment, run_durability, run_read_storm, run_scale,
-    sweep_multicast_loss, ChurnRunResult, DurabilityParams, ExperimentParams, Figure,
-    LossSweepParams, MulticastParams, PubSubParams, ReadStormParams, ScaleParams,
+    measure_telemetry_overhead, routing_table_report, run_churn_experiment, run_durability,
+    run_read_storm, run_scale, run_trace_demo, sweep_multicast_loss, ChurnRunResult,
+    DurabilityParams, ExperimentParams, Figure, LossSweepParams, MulticastParams, PubSubParams,
+    ReadStormParams, ScaleParams, TraceDemoParams,
 };
 
 struct Cli {
@@ -49,6 +50,8 @@ struct Cli {
     pubsub: bool,
     scale: bool,
     smoke: bool,
+    trace_out: Option<String>,
+    table_routing_requested: bool,
     out: Option<String>,
 }
 
@@ -78,6 +81,8 @@ impl Cli {
             pubsub: false,
             scale: false,
             smoke: false,
+            trace_out: None,
+            table_routing_requested: false,
             out: None,
         };
         let mut explicit_figures: Vec<Figure> = Vec::new();
@@ -120,7 +125,10 @@ impl Cli {
                 "--out" | "-o" => cli.out = Some(value("--out")?),
                 "--quick" => cli.quick = true,
                 "--no-table-routing" => cli.table_routing = false,
-                "--table-routing" => cli.table_routing = true,
+                "--table-routing" => {
+                    cli.table_routing = true;
+                    cli.table_routing_requested = true;
+                }
                 "--baselines" => cli.baselines = true,
                 "--maintenance" => cli.maintenance = true,
                 "--multicast" => cli.multicast = true,
@@ -130,6 +138,7 @@ impl Cli {
                 "--pubsub" => cli.pubsub = true,
                 "--scale" => cli.scale = true,
                 "--smoke" => cli.smoke = true,
+                "--trace-out" => cli.trace_out = Some(value("--trace-out")?),
                 "--help" | "-h" => return Err(CliError::Help),
                 other => {
                     return Err(CliError::Bad(format!(
@@ -142,8 +151,9 @@ impl Cli {
         }
         if !explicit_figures.is_empty() {
             cli.figures = explicit_figures;
-        } else if cli.smoke {
+        } else if cli.smoke || (cli.trace_out.is_some() && !cli.table_routing_requested) {
             // Smoke runs are bounded: only what was asked for explicitly.
+            // A bare `--trace-out` likewise runs just the trace capture.
             cli.figures = Vec::new();
             cli.table_routing = false;
         }
@@ -183,6 +193,8 @@ fn usage() -> String {
                         fan-out tiers (Figure P; writes BENCH_pubsub.json)
   --scale               engine scale sweep, legacy vs timer-wheel vs sharded
                         up to n = 10^6 (writes BENCH_scale.json)
+  --trace-out FILE      capture causal traces of a seeded op mix and write
+                        them as Chrome-trace / Perfetto JSON to FILE
   --out DIR   (-o)      also write one CSV per figure into DIR
   --help      (-h)      print this list and exit"
         .to_string()
@@ -556,6 +568,105 @@ fn main() {
                     "error: scale smoke gate failed: wheel {:.0} steps/s below floor {:.0}",
                     wheel.steps_per_sec, STEPS_PER_SEC_FLOOR
                 );
+                std::process::exit(1);
+            }
+        }
+
+        // The telemetry leg: measure the instrumentation's per-event cost
+        // at the gate population and prove the trace exporter emits
+        // loadable JSON. Under `--smoke` this is the telemetry regression
+        // gate: overhead bounded, profilers sampling, export well-formed.
+        let gate_n = 10_000.min(*params.populations.last().expect("populations"));
+        eprintln!("#   scale: n = {gate_n}, telemetry overhead leg…");
+        let overhead = measure_telemetry_overhead(&params, gate_n);
+        eprintln!(
+            "#   telemetry at n = {gate_n}: {:+.2}% steps/s overhead \
+             ({:.0} off vs {:.0} on ksteps/s), {} dispatch samples \
+             (mean {:.0} ns, p99 {} ns), {} barrier-stall samples \
+             (mean {:.0} ns), digests match: {}",
+            overhead.overhead_pct(),
+            overhead.steps_per_sec_off / 1e3,
+            overhead.steps_per_sec_on / 1e3,
+            overhead.dispatch_samples,
+            overhead.mean_dispatch_ns,
+            overhead.p99_dispatch_ns,
+            overhead.barrier_stall_samples,
+            overhead.mean_barrier_stall_ns,
+            overhead.digests_match
+        );
+        if cli.smoke {
+            let trace = run_trace_demo(&{
+                let mut p = TraceDemoParams::new(cli.seed);
+                p.nodes = 96;
+                p.ops_per_class = 4;
+                p
+            });
+            let json_ok = analysis::validate_json(&trace.trace_json);
+            eprintln!(
+                "#   trace capture: {} traces, {} spans, export {} bytes, valid JSON: {}",
+                trace.traces,
+                trace.spans,
+                trace.trace_json.len(),
+                json_ok.is_ok()
+            );
+            if !overhead.digests_match {
+                eprintln!("error: telemetry smoke gate failed: telemetry-on digest diverged");
+                std::process::exit(1);
+            }
+            if overhead.overhead_pct() > 10.0 {
+                eprintln!(
+                    "error: telemetry smoke gate failed: {:.2}% overhead exceeds 10%",
+                    overhead.overhead_pct()
+                );
+                std::process::exit(1);
+            }
+            if overhead.dispatch_samples == 0 || overhead.barrier_stall_samples == 0 {
+                eprintln!(
+                    "error: telemetry smoke gate failed: profilers collected no samples \
+                     ({} dispatch, {} barrier)",
+                    overhead.dispatch_samples, overhead.barrier_stall_samples
+                );
+                std::process::exit(1);
+            }
+            if let Err(e) = json_ok {
+                eprintln!("error: telemetry smoke gate failed: trace export: {e}");
+                std::process::exit(1);
+            }
+            if trace.spans == 0 {
+                eprintln!("error: telemetry smoke gate failed: trace capture produced no spans");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = &cli.trace_out {
+        eprintln!("# capturing causal traces (seeded op mix with telemetry enabled)…");
+        let mut params = TraceDemoParams::new(cli.seed);
+        if cli.quick || cli.smoke {
+            params.nodes = 96;
+            params.ops_per_class = 4;
+        }
+        let report = run_trace_demo(&params);
+        println!("{}", report.to_table().render());
+        eprintln!(
+            "#   {} traces, {} spans, {} notes, {} dispatch samples ({} spans dropped)",
+            report.traces,
+            report.spans,
+            report.notes,
+            report.dispatch_samples,
+            report.dropped_spans
+        );
+        if let Err(e) = analysis::validate_json(&report.trace_json) {
+            eprintln!("error: trace export is not well-formed JSON: {e}");
+            std::process::exit(1);
+        }
+        match std::fs::write(path, &report.trace_json) {
+            Ok(()) => eprintln!(
+                "#   wrote {path} ({} bytes) — load it in Perfetto or chrome://tracing",
+                report.trace_json.len()
+            ),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
                 std::process::exit(1);
             }
         }

@@ -44,6 +44,7 @@ pub mod readpath;
 pub mod runner;
 pub mod scale;
 pub mod table_routing;
+pub mod trace_demo;
 
 pub use baseline_compare::{compare_overlays, OverlayComparison, OverlayRow};
 pub use durability::{run_durability, DurabilityParams, DurabilityReport, DurabilityRow};
@@ -60,5 +61,8 @@ pub use runner::{
     run_churn_experiment, AlgoStepStats, ChurnRunResult, MulticastStepStats, ReadPathStepStats,
     StepMeasurement,
 };
-pub use scale::{run_scale, ScaleParams, ScaleReport, ScaleRow};
+pub use scale::{
+    measure_telemetry_overhead, run_scale, ScaleParams, ScaleReport, ScaleRow, TelemetryOverhead,
+};
 pub use table_routing::{routing_table_report, LevelTableRow, RoutingTableReport};
+pub use trace_demo::{run_trace_demo, OpTraceSummary, TraceDemoParams, TraceDemoReport};

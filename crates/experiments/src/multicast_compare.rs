@@ -24,7 +24,7 @@ use analysis::AsciiTable;
 use baselines::FloodingBuilder;
 use simnet::{LatencyModel, LinkModel, LossModel, NodeAddr, SimConfig, SimDuration, Simulation};
 use treep::lookup::RequestId;
-use treep::{KeyRange, NodeId, TreePNode};
+use treep::{KeyRange, MessageKind, NodeId, TreePNode};
 use workloads::{MulticastOp, MulticastWorkload, TopologyBuilder};
 
 /// Parameters of one multicast comparison run.
@@ -339,10 +339,10 @@ fn measure_loss_cell(params: &LossSweepParams, loss: f64, reliable: bool) -> Los
             }
         }
         let stats = node.stats();
-        data_sends += stats.sent.get("multicast_down").copied().unwrap_or(0);
+        data_sends += stats.sent.get(MessageKind::MulticastDown);
         retx += stats.multicast_retransmits;
         reroutes += stats.multicast_reroutes;
-        acks += stats.sent.get("multicast_ack").copied().unwrap_or(0);
+        acks += stats.sent.get(MessageKind::MulticastAck);
     }
     LossRow {
         loss_pct: loss * 100.0,
@@ -445,13 +445,7 @@ fn multicast_messages(sim: &Simulation<TreePNode>, topo: &workloads::BuiltTopolo
     topo.nodes
         .iter()
         .filter_map(|n| sim.node(n.addr))
-        .map(|node| {
-            node.stats()
-                .sent
-                .get("multicast_down")
-                .copied()
-                .unwrap_or(0)
-        })
+        .map(|node| node.stats().sent.get(MessageKind::MulticastDown))
         .sum()
 }
 

@@ -26,7 +26,7 @@ use analysis::AsciiTable;
 use baselines::FloodingBuilder;
 use simnet::{NodeAddr, SimDuration};
 use treep::lookup::RequestId;
-use treep::{topic_key, TreePConfig};
+use treep::{topic_key, MessageKind, TreePConfig};
 use workloads::TopologyBuilder;
 
 /// Parameters of one pub/sub comparison run.
@@ -273,13 +273,7 @@ fn multicast_down_sends(
     alive
         .iter()
         .filter_map(|&(addr, _)| sim.node(addr))
-        .map(|node| {
-            node.stats()
-                .sent
-                .get("multicast_down")
-                .copied()
-                .unwrap_or(0)
-        })
+        .map(|node| node.stats().sent.get(MessageKind::MulticastDown))
         .sum()
 }
 

@@ -435,11 +435,12 @@ fn node_loads(
                         .received
                         .iter()
                         .filter(|(k, _)| {
-                            k.starts_with("get_versioned")
-                                || k.starts_with("put_versioned")
-                                || k.starts_with("read_")
+                            let name = k.name();
+                            name.starts_with("get_versioned")
+                                || name.starts_with("put_versioned")
+                                || name.starts_with("read_")
                         })
-                        .map(|(_, v)| *v)
+                        .map(|(_, v)| v)
                         .sum()
                 })
                 .unwrap_or(0)

@@ -50,6 +50,7 @@ pub mod rng;
 pub mod scheduler;
 pub mod shard;
 pub mod sim;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -62,5 +63,6 @@ pub use rng::SimRng;
 pub use scheduler::{HeapScheduler, Scheduler};
 pub use shard::ShardedSimulation;
 pub use sim::{SimConfig, Simulation};
+pub use telemetry::{Telemetry, TelemetryConfig, TraceCtx};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceSink};

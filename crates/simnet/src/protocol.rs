@@ -7,6 +7,7 @@
 //! experiments) and under a real UDP transport (`treep-net`).
 
 use crate::rng::SimRng;
+use crate::telemetry::{Telemetry, TraceCtx};
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -64,6 +65,22 @@ pub struct Context<'a, M> {
     self_addr: NodeAddr,
     rng: &'a mut SimRng,
     actions: Vec<Action<M>>,
+    telemetry: Option<&'a mut Telemetry>,
+    trace: Option<TraceCtx>,
+    send_traces: Vec<SendTrace>,
+}
+
+/// Trace context attached to one queued [`Action::Send`], by index into the
+/// action buffer. Envelope metadata only — the host turns it into a hop
+/// span when it schedules (or drops) the delivery.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SendTrace {
+    /// Index of the send in the action buffer.
+    pub action: u32,
+    /// The sender's trace context at send time.
+    pub ctx: TraceCtx,
+    /// Static label for the hop span (the message kind, when known).
+    pub label: &'static str,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -90,7 +107,27 @@ impl<'a, M> Context<'a, M> {
             self_addr,
             rng,
             actions: buffer,
+            telemetry: None,
+            trace: None,
+            send_traces: Vec::new(),
         }
+    }
+
+    /// [`Context::with_buffer`] plus the host's telemetry sink and the
+    /// trace context the triggering event carried (delivers under an
+    /// active trace).
+    pub(crate) fn for_host(
+        now: SimTime,
+        self_addr: NodeAddr,
+        rng: &'a mut SimRng,
+        buffer: Vec<Action<M>>,
+        telemetry: Option<&'a mut Telemetry>,
+        trace: Option<TraceCtx>,
+    ) -> Self {
+        let mut ctx = Context::with_buffer(now, self_addr, rng, buffer);
+        ctx.telemetry = telemetry;
+        ctx.trace = trace;
+        ctx
     }
 
     /// Current virtual time.
@@ -110,7 +147,56 @@ impl<'a, M> Context<'a, M> {
 
     /// Queue a message for delivery to `dest`.
     pub fn send(&mut self, dest: NodeAddr, msg: M) {
+        self.send_labeled(dest, msg, "msg");
+    }
+
+    /// [`Context::send`] with a static label for the hop span when this
+    /// execution runs under an active trace (protocol wrappers pass the
+    /// message kind). Identical to `send` when telemetry is off.
+    pub fn send_labeled(&mut self, dest: NodeAddr, msg: M, label: &'static str) {
+        if self.telemetry.is_some() {
+            if let Some(ctx) = self.trace {
+                self.send_traces.push(SendTrace {
+                    action: self.actions.len() as u32,
+                    ctx,
+                    label,
+                });
+            }
+        }
         self.actions.push(Action::Send { dest, msg });
+    }
+
+    /// Open a causal trace for an operation this node originates; every
+    /// subsequent send from this context (and, transitively, from the
+    /// callbacks its deliveries trigger) records hop spans under it.
+    /// Returns `None` when telemetry is disabled.
+    pub fn start_trace(&mut self, name: &'static str) -> Option<TraceCtx> {
+        let (now, addr) = (self.now, self.self_addr);
+        let t = self.telemetry.as_deref_mut()?;
+        let ctx = t.start_trace(name, now, addr);
+        self.trace = Some(ctx);
+        Some(ctx)
+    }
+
+    /// Attach an instant annotation (cache hit, prune decision, …) to the
+    /// current span. No-op outside an active trace.
+    pub fn trace_note(&mut self, label: &'static str) {
+        let (now, addr, trace) = (self.now, self.self_addr, self.trace);
+        if let (Some(t), Some(ctx)) = (self.telemetry.as_deref_mut(), trace) {
+            t.note(label, ctx, now, addr);
+        }
+    }
+
+    /// The trace context this execution runs under, if any. Protocols stash
+    /// it (e.g. in a retransmission record) to resume the trace later.
+    pub fn trace_ctx(&self) -> Option<TraceCtx> {
+        self.trace
+    }
+
+    /// Override the active trace context — used by protocols to continue a
+    /// stashed trace (retransmits fired from timers) or to detach from one.
+    pub fn set_trace(&mut self, trace: Option<TraceCtx>) {
+        self.trace = trace;
     }
 
     /// Request that [`Protocol::on_timer`] be invoked after `delay` with
@@ -132,6 +218,13 @@ impl<'a, M> Context<'a, M> {
     /// Consume the context, returning the recorded actions.
     pub fn into_actions(self) -> Vec<Action<M>> {
         self.actions
+    }
+
+    /// Consume the context, returning the recorded actions plus the trace
+    /// contexts attached to sends (simulation hosts turn these into hop
+    /// spans).
+    pub(crate) fn into_parts(self) -> (Vec<Action<M>>, Vec<SendTrace>) {
+        (self.actions, self.send_traces)
     }
 }
 

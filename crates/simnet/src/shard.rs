@@ -47,10 +47,11 @@
 use crate::arena::{Arena, Handle};
 use crate::event::EventKind;
 use crate::metrics::SimMetrics;
-use crate::protocol::{Action, Context, NodeAddr, Protocol, TimerToken};
+use crate::protocol::{Action, Context, NodeAddr, Protocol, SendTrace, TimerToken};
 use crate::rng::SimRng;
 use crate::scheduler::Scheduler;
 use crate::sim::SimConfig;
+use crate::telemetry::{FlightEntry, Telemetry, TelemetryConfig, TraceCtx};
 use crate::time::SimTime;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
@@ -65,6 +66,9 @@ struct Outgoing<M> {
     src: NodeAddr,
     dest: NodeAddr,
     msg: M,
+    /// Trace continuation for the receiver's callback (the sender already
+    /// recorded the hop span). Envelope metadata, never serialised.
+    trace: Option<TraceCtx>,
 }
 
 /// Per-node bookkeeping (mirrors the single-threaded engine).
@@ -93,6 +97,9 @@ struct Shard<P: Protocol> {
     action_buf: Vec<Action<P::Message>>,
     /// Cross-shard sends accumulated during a window, per destination shard.
     out_bufs: Vec<Vec<Outgoing<P::Message>>>,
+    /// Per-shard telemetry sink; span/trace ids carry the shard index in
+    /// their high bits so the merged view stays collision-free.
+    telemetry: Option<Box<Telemetry>>,
 }
 
 impl<P: Protocol> Shard<P> {
@@ -121,12 +128,50 @@ impl<P: Protocol> Shard<P> {
                 *d = crate::sim::fold_event(*d, event.at, event.seq, &event.kind);
             }
             let now = event.at;
-            match event.kind {
-                EventKind::Start { node } => self.dispatch_start(node, now),
-                EventKind::Fail { node } => self.dispatch_fail(node),
-                EventKind::Stop { node } => self.dispatch_stop(node, now),
-                EventKind::Timer { node, token } => self.dispatch_timer(node, token, now),
-                EventKind::Deliver { src, dest, msg } => self.dispatch_deliver(src, dest, msg, now),
+            let seq = event.seq;
+            // Telemetry pre-dispatch, mirroring the single-threaded engine.
+            let mut timed_tag = None;
+            if self.telemetry.is_some() {
+                let (tag, node) = crate::sim::event_word(&event.kind);
+                let metrics = self.metrics;
+                let t = self.telemetry.as_deref_mut().expect("checked above");
+                t.recorder.record(FlightEntry {
+                    at: now,
+                    seq,
+                    tag,
+                    node,
+                });
+                t.maybe_sample(now, &metrics);
+                if t.should_time() {
+                    timed_tag = Some(tag);
+                }
+            }
+            match timed_tag {
+                Some(tag) => {
+                    let started = std::time::Instant::now();
+                    self.dispatch_event(event.kind, now, seq);
+                    let nanos = started.elapsed().as_nanos() as u64;
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.record_dispatch(tag, nanos);
+                    }
+                }
+                None => self.dispatch_event(event.kind, now, seq),
+            }
+        }
+    }
+
+    fn dispatch_event(&mut self, kind: EventKind<P::Message>, now: SimTime, seq: u64) {
+        match kind {
+            EventKind::Start { node } => self.dispatch_start(node, now),
+            EventKind::Fail { node } => self.dispatch_fail(node),
+            EventKind::Stop { node } => self.dispatch_stop(node, now),
+            EventKind::Timer { node, token } => self.dispatch_timer(node, token, now),
+            EventKind::Deliver { src, dest, msg } => {
+                let trace = self
+                    .telemetry
+                    .as_deref_mut()
+                    .and_then(|t| t.take_inflight(seq));
+                self.dispatch_deliver(src, dest, msg, now, trace)
             }
         }
     }
@@ -150,10 +195,17 @@ impl<P: Protocol> Shard<P> {
         }
         slot.started = true;
         self.metrics.nodes_started += 1;
-        let mut ctx = Context::with_buffer(now, node, &mut self.rng, buf);
+        let mut ctx = Context::for_host(
+            now,
+            node,
+            &mut self.rng,
+            buf,
+            self.telemetry.as_deref_mut(),
+            None,
+        );
         slot.proto.on_start(&mut ctx);
-        let actions = ctx.into_actions();
-        self.apply_actions(node, actions, now);
+        let (actions, traces) = ctx.into_parts();
+        self.apply_actions(node, actions, traces, now);
     }
 
     fn dispatch_fail(&mut self, node: NodeAddr) {
@@ -191,12 +243,19 @@ impl<P: Protocol> Shard<P> {
             self.action_buf = buf;
             return;
         }
-        let mut ctx = Context::with_buffer(now, node, &mut self.rng, buf);
+        let mut ctx = Context::for_host(
+            now,
+            node,
+            &mut self.rng,
+            buf,
+            self.telemetry.as_deref_mut(),
+            None,
+        );
         slot.proto.on_stop(&mut ctx);
-        let actions = ctx.into_actions();
+        let (actions, traces) = ctx.into_parts();
         slot.alive = false;
         self.metrics.nodes_stopped += 1;
-        self.apply_actions(node, actions, now);
+        self.apply_actions(node, actions, traces, now);
     }
 
     fn dispatch_timer(&mut self, node: NodeAddr, token: TimerToken, now: SimTime) {
@@ -219,13 +278,27 @@ impl<P: Protocol> Shard<P> {
             return;
         }
         self.metrics.timers_fired += 1;
-        let mut ctx = Context::with_buffer(now, node, &mut self.rng, buf);
+        let mut ctx = Context::for_host(
+            now,
+            node,
+            &mut self.rng,
+            buf,
+            self.telemetry.as_deref_mut(),
+            None,
+        );
         slot.proto.on_timer(token, &mut ctx);
-        let actions = ctx.into_actions();
-        self.apply_actions(node, actions, now);
+        let (actions, traces) = ctx.into_parts();
+        self.apply_actions(node, actions, traces, now);
     }
 
-    fn dispatch_deliver(&mut self, src: NodeAddr, dest: NodeAddr, msg: P::Message, now: SimTime) {
+    fn dispatch_deliver(
+        &mut self,
+        src: NodeAddr,
+        dest: NodeAddr,
+        msg: P::Message,
+        now: SimTime,
+        trace: Option<TraceCtx>,
+    ) {
         let buf = std::mem::take(&mut self.action_buf);
         let Some(slot) = dest
             .0
@@ -243,33 +316,71 @@ impl<P: Protocol> Shard<P> {
             return;
         }
         self.metrics.messages_delivered += 1;
-        let mut ctx = Context::with_buffer(now, dest, &mut self.rng, buf);
+        let mut ctx = Context::for_host(
+            now,
+            dest,
+            &mut self.rng,
+            buf,
+            self.telemetry.as_deref_mut(),
+            trace,
+        );
         slot.proto.on_message(src, msg, &mut ctx);
-        let actions = ctx.into_actions();
-        self.apply_actions(dest, actions, now);
+        let (actions, traces) = ctx.into_parts();
+        self.apply_actions(dest, actions, traces, now);
     }
 
     /// Dispatch actions; remote sends go to the per-destination output
-    /// buffers for the end-of-window mailbox flush.
+    /// buffers for the end-of-window mailbox flush. Traced sends record
+    /// their hop span sender-side (the arrival time is already drawn), so
+    /// cross-shard hops never touch another shard's span log — only the
+    /// continuation context travels in the [`Outgoing`] envelope.
     fn apply_actions(
         &mut self,
         origin: NodeAddr,
         mut actions: Vec<Action<P::Message>>,
+        traces: Vec<SendTrace>,
         now: SimTime,
     ) {
-        for action in actions.drain(..) {
+        let mut trace_iter = traces.iter();
+        let mut next_trace = trace_iter.next();
+        for (index, action) in actions.drain(..).enumerate() {
             match action {
                 Action::Send { dest, msg } => {
+                    let sent_trace = match next_trace {
+                        Some(t) if t.action as usize == index => {
+                            let t = *t;
+                            next_trace = trace_iter.next();
+                            Some(t)
+                        }
+                        _ => None,
+                    };
                     self.metrics.messages_sent += 1;
                     match self.config.link.transmit(origin, dest, &mut self.rng) {
                         Some(latency) => {
                             let arrival = now + latency;
+                            let cont = match (sent_trace, self.telemetry.as_deref_mut()) {
+                                (Some(st), Some(t)) => {
+                                    let hop = t.record_hop(
+                                        st.label,
+                                        st.ctx,
+                                        origin,
+                                        dest,
+                                        now,
+                                        Some(arrival),
+                                    );
+                                    Some(TraceCtx {
+                                        trace_id: st.ctx.trace_id,
+                                        parent_span: hop,
+                                    })
+                                }
+                                _ => None,
+                            };
                             // Out-of-range destinations clamp to the last
                             // shard, which records them as messages_to_dead.
                             let dst_shard =
                                 ((dest.0 / self.block) as usize).min(self.out_bufs.len() - 1);
                             if dst_shard == self.index {
-                                self.scheduler.schedule(
+                                let seq = self.scheduler.schedule(
                                     arrival,
                                     EventKind::Deliver {
                                         src: origin,
@@ -277,16 +388,26 @@ impl<P: Protocol> Shard<P> {
                                         msg,
                                     },
                                 );
+                                if let (Some(c), Some(t)) = (cont, self.telemetry.as_deref_mut()) {
+                                    t.put_inflight(seq, c);
+                                }
                             } else {
                                 self.out_bufs[dst_shard].push(Outgoing {
                                     arrival,
                                     src: origin,
                                     dest,
                                     msg,
+                                    trace: cont,
                                 });
                             }
                         }
-                        None => self.metrics.messages_lost += 1,
+                        None => {
+                            self.metrics.messages_lost += 1;
+                            if let (Some(st), Some(t)) = (sent_trace, self.telemetry.as_deref_mut())
+                            {
+                                t.record_hop(st.label, st.ctx, origin, dest, now, None);
+                            }
+                        }
                     }
                 }
                 Action::SetTimer { delay, token } => {
@@ -361,6 +482,7 @@ impl<P: Protocol> ShardedSimulation<P> {
                 digest: None,
                 action_buf: Vec::new(),
                 out_bufs: (0..shards).map(|_| Vec::new()).collect(),
+                telemetry: None,
             })
             .collect();
         ShardedSimulation {
@@ -403,6 +525,42 @@ impl<P: Protocol> ShardedSimulation<P> {
             .scheduler
             .schedule(at, EventKind::Start { node: addr });
         addr
+    }
+
+    /// Turn telemetry on: one [`Telemetry`] sink per shard, with the shard
+    /// index tagged into the high bits of trace/span ids. Behaviourally
+    /// inert, like the single-threaded engine's.
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        for shard in &mut self.shards {
+            if shard.telemetry.is_none() {
+                shard.telemetry = Some(Box::new(Telemetry::with_tag(config, shard.index as u64)));
+            }
+        }
+    }
+
+    /// Per-shard telemetry sinks, in shard order; empty when telemetry is
+    /// off. Merge span logs with [`crate::telemetry::export::chrome_trace`].
+    pub fn telemetries(&self) -> Vec<&Telemetry> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.telemetry.as_deref())
+            .collect()
+    }
+
+    /// Sampled dispatch-cost observations summed over all shards.
+    pub fn dispatch_samples(&self) -> u64 {
+        self.telemetries()
+            .iter()
+            .map(|t| t.dispatch_samples())
+            .sum()
+    }
+
+    /// Barrier-stall observations summed over all shards.
+    pub fn barrier_stall_samples(&self) -> u64 {
+        self.telemetries()
+            .iter()
+            .map(|t| t.barrier_stall_samples())
+            .sum()
     }
 
     /// Start folding dispatched events into per-shard FNV-1a digests.
@@ -507,6 +665,22 @@ where
                 let done = &done;
                 let barrier = &barrier;
                 scope.spawn(move || loop {
+                    // Wrap each barrier wait with a wall-clock stall gauge
+                    // when telemetry is on (the wait time is where a
+                    // load-imbalanced epoch shows up).
+                    let timed = shard.telemetry.is_some();
+                    let wait = |shard: &mut Shard<P>| {
+                        if timed {
+                            let started = std::time::Instant::now();
+                            barrier.wait();
+                            let nanos = started.elapsed().as_nanos() as u64;
+                            if let Some(t) = shard.telemetry.as_deref_mut() {
+                                t.record_barrier_stall(nanos);
+                            }
+                        } else {
+                            barrier.wait();
+                        }
+                    };
                     // Phase 1: publish earliest pending time; leader picks
                     // the window.
                     next_times[index].store(
@@ -516,7 +690,7 @@ where
                             .map_or(u64::MAX, |t| t.as_micros()),
                         Ordering::SeqCst,
                     );
-                    barrier.wait();
+                    wait(shard);
                     if index == 0 {
                         let t = next_times
                             .iter()
@@ -532,7 +706,7 @@ where
                             );
                         }
                     }
-                    barrier.wait();
+                    wait(shard);
                     if done.load(Ordering::SeqCst) {
                         break;
                     }
@@ -545,7 +719,7 @@ where
                             mailboxes[dst][index].lock().expect("mailbox").append(buf);
                         }
                     }
-                    barrier.wait();
+                    wait(shard);
                     // Phase 3: drain our mailbox in source-shard order.
                     // Arrivals are >= window end, so nothing lands in the
                     // past of any shard.
@@ -553,7 +727,7 @@ where
                         let incoming = std::mem::take(&mut *slot.lock().expect("mailbox"));
                         for out in incoming {
                             debug_assert!(out.arrival.as_micros() >= w_end.min(limit_us - 1));
-                            shard.scheduler.schedule(
+                            let seq = shard.scheduler.schedule(
                                 out.arrival,
                                 EventKind::Deliver {
                                     src: out.src,
@@ -561,7 +735,14 @@ where
                                     msg: out.msg,
                                 },
                             );
+                            if let (Some(c), Some(t)) = (out.trace, shard.telemetry.as_deref_mut())
+                            {
+                                t.put_inflight(seq, c);
+                            }
                         }
+                    }
+                    if let Some(t) = shard.telemetry.as_deref_mut() {
+                        t.record_barrier_epoch();
                     }
                 });
             }

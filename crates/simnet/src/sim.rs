@@ -24,9 +24,10 @@ use crate::arena::{Arena, Handle};
 use crate::event::EventKind;
 use crate::link::LinkModel;
 use crate::metrics::SimMetrics;
-use crate::protocol::{Action, Context, NodeAddr, Protocol, TimerToken};
+use crate::protocol::{Action, Context, NodeAddr, Protocol, SendTrace, TimerToken};
 use crate::rng::SimRng;
 use crate::scheduler::Scheduler;
+use crate::telemetry::{FlightEntry, Telemetry, TelemetryConfig, TraceCtx};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{MemoryTrace, TraceEvent, TraceSink};
 
@@ -74,17 +75,25 @@ pub(crate) fn fnv_fold(digest: u64, word: u64) -> u64 {
 /// dispatched the same events in the same order.
 #[inline]
 pub(crate) fn fold_event<M>(digest: u64, at: SimTime, seq: u64, kind: &EventKind<M>) -> u64 {
-    let (tag, node) = match kind {
-        EventKind::Deliver { src, dest, .. } => (0u64, dest.0 ^ (src.0 << 1)),
+    let (tag, node) = event_word(kind);
+    let mut d = fnv_fold(digest, at.as_micros());
+    d = fnv_fold(d, seq);
+    d = fnv_fold(d, tag as u64);
+    fnv_fold(d, node)
+}
+
+/// The digest's compressed view of an event: a kind tag and a node word.
+/// Shared by the digest fold and the flight recorder so a recorder dump
+/// reads in the digest's vocabulary.
+#[inline]
+pub(crate) fn event_word<M>(kind: &EventKind<M>) -> (u8, u64) {
+    match kind {
+        EventKind::Deliver { src, dest, .. } => (0u8, dest.0 ^ (src.0 << 1)),
         EventKind::Timer { node, token } => (1, node.0 ^ (token.0 << 1)),
         EventKind::Start { node } => (2, node.0),
         EventKind::Fail { node } => (3, node.0),
         EventKind::Stop { node } => (4, node.0),
-    };
-    let mut d = fnv_fold(digest, at.as_micros());
-    d = fnv_fold(d, seq);
-    d = fnv_fold(d, tag);
-    fnv_fold(d, node)
+    }
 }
 
 /// A discrete-event simulation hosting nodes of one protocol type.
@@ -103,6 +112,9 @@ pub struct Simulation<P: Protocol> {
     action_buf: Vec<Action<P::Message>>,
     /// FNV-1a fold over dispatched events; `None` until enabled.
     digest: Option<u64>,
+    /// Telemetry sink (registry, spans, flight recorder); `None` until
+    /// enabled, and behaviourally inert when on.
+    telemetry: Option<Box<Telemetry>>,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -118,6 +130,7 @@ impl<P: Protocol> Simulation<P> {
             trace: None,
             action_buf: Vec::new(),
             digest: None,
+            telemetry: None,
         }
     }
 
@@ -141,6 +154,26 @@ impl<P: Protocol> Simulation<P> {
     /// digest (see [`Simulation::event_digest`]).
     pub fn enable_digest(&mut self) {
         self.digest.get_or_insert(FNV_OFFSET);
+    }
+
+    /// Turn telemetry on: metrics registry, causal spans, engine profiling
+    /// and the flight recorder (see [`crate::telemetry`]). Inert with
+    /// respect to simulation behaviour — a digest-pinned test holds the
+    /// engine to that.
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(Box::new(Telemetry::new(config)));
+        }
+    }
+
+    /// The telemetry sink, if [`Simulation::enable_telemetry`] was called.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Mutable telemetry access (experiments register their own metrics).
+    pub fn telemetry_mut(&mut self) -> Option<&mut Telemetry> {
+        self.telemetry.as_deref_mut()
     }
 
     /// The event digest so far, if [`Simulation::enable_digest`] was
@@ -274,10 +307,17 @@ impl<P: Protocol> Simulation<P> {
             return None;
         }
         let buf = std::mem::take(&mut self.action_buf);
-        let mut ctx = Context::with_buffer(self.scheduler.now(), addr, &mut self.rng, buf);
+        let mut ctx = Context::for_host(
+            self.scheduler.now(),
+            addr,
+            &mut self.rng,
+            buf,
+            self.telemetry.as_deref_mut(),
+            None,
+        );
         let out = f(&mut slot.proto, &mut ctx);
-        let actions = ctx.into_actions();
-        self.apply_actions(addr, actions);
+        let (actions, traces) = ctx.into_parts();
+        self.apply_actions(addr, actions, traces);
         Some(out)
     }
 
@@ -296,14 +336,55 @@ impl<P: Protocol> Simulation<P> {
             *d = fold_event(*d, event.at, event.seq, &event.kind);
         }
         let now = event.at;
-        match event.kind {
+        let seq = event.seq;
+        // Telemetry pre-dispatch: flight-record the event, sample the
+        // scalar series on its virtual-time cadence, and decide whether
+        // this is one of the 1-in-64 dispatches whose wall-clock cost gets
+        // measured. All of it is off the hot path when telemetry is off.
+        let mut timed_tag = None;
+        if self.telemetry.is_some() {
+            let (tag, node) = event_word(&event.kind);
+            let metrics = self.metrics;
+            let t = self.telemetry.as_deref_mut().expect("checked above");
+            t.recorder.record(FlightEntry {
+                at: now,
+                seq,
+                tag,
+                node,
+            });
+            t.maybe_sample(now, &metrics);
+            if t.should_time() {
+                timed_tag = Some(tag);
+            }
+        }
+        match timed_tag {
+            Some(tag) => {
+                let started = std::time::Instant::now();
+                self.dispatch_event(event.kind, now, seq);
+                let nanos = started.elapsed().as_nanos() as u64;
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.record_dispatch(tag, nanos);
+                }
+            }
+            None => self.dispatch_event(event.kind, now, seq),
+        }
+        true
+    }
+
+    fn dispatch_event(&mut self, kind: EventKind<P::Message>, now: SimTime, seq: u64) {
+        match kind {
             EventKind::Start { node } => self.dispatch_start(node, now),
             EventKind::Fail { node } => self.dispatch_fail(node, now),
             EventKind::Stop { node } => self.dispatch_stop(node, now),
             EventKind::Timer { node, token } => self.dispatch_timer(node, token, now),
-            EventKind::Deliver { src, dest, msg } => self.dispatch_deliver(src, dest, msg, now),
+            EventKind::Deliver { src, dest, msg } => {
+                let trace = self
+                    .telemetry
+                    .as_deref_mut()
+                    .and_then(|t| t.take_inflight(seq));
+                self.dispatch_deliver(src, dest, msg, now, trace)
+            }
         }
-        true
     }
 
     /// Run until the event queue drains completely.
@@ -360,11 +441,18 @@ impl<P: Protocol> Simulation<P> {
         }
         slot.started = true;
         self.metrics.nodes_started += 1;
-        let mut ctx = Context::with_buffer(now, node, &mut self.rng, buf);
+        let mut ctx = Context::for_host(
+            now,
+            node,
+            &mut self.rng,
+            buf,
+            self.telemetry.as_deref_mut(),
+            None,
+        );
         slot.proto.on_start(&mut ctx);
-        let actions = ctx.into_actions();
+        let (actions, traces) = ctx.into_parts();
         self.record(TraceEvent::NodeStarted { at: now, node });
-        self.apply_actions(node, actions);
+        self.apply_actions(node, actions, traces);
     }
 
     fn dispatch_fail(&mut self, node: NodeAddr, now: SimTime) {
@@ -403,16 +491,23 @@ impl<P: Protocol> Simulation<P> {
             self.action_buf = buf;
             return;
         }
-        let mut ctx = Context::with_buffer(now, node, &mut self.rng, buf);
+        let mut ctx = Context::for_host(
+            now,
+            node,
+            &mut self.rng,
+            buf,
+            self.telemetry.as_deref_mut(),
+            None,
+        );
         slot.proto.on_stop(&mut ctx);
-        let actions = ctx.into_actions();
+        let (actions, traces) = ctx.into_parts();
         slot.alive = false;
         self.metrics.nodes_stopped += 1;
         self.record(TraceEvent::NodeStopped { at: now, node });
         // A stopping node may still send goodbye messages, but any timers it
         // sets are pointless; apply_actions filters them because the node is
         // already marked dead by the time the timer would fire.
-        self.apply_actions(node, actions);
+        self.apply_actions(node, actions, traces);
     }
 
     fn dispatch_timer(&mut self, node: NodeAddr, token: TimerToken, now: SimTime) {
@@ -435,18 +530,32 @@ impl<P: Protocol> Simulation<P> {
             return;
         }
         self.metrics.timers_fired += 1;
-        let mut ctx = Context::with_buffer(now, node, &mut self.rng, buf);
+        let mut ctx = Context::for_host(
+            now,
+            node,
+            &mut self.rng,
+            buf,
+            self.telemetry.as_deref_mut(),
+            None,
+        );
         slot.proto.on_timer(token, &mut ctx);
-        let actions = ctx.into_actions();
+        let (actions, traces) = ctx.into_parts();
         self.record(TraceEvent::TimerFired {
             at: now,
             node,
             token,
         });
-        self.apply_actions(node, actions);
+        self.apply_actions(node, actions, traces);
     }
 
-    fn dispatch_deliver(&mut self, src: NodeAddr, dest: NodeAddr, msg: P::Message, now: SimTime) {
+    fn dispatch_deliver(
+        &mut self,
+        src: NodeAddr,
+        dest: NodeAddr,
+        msg: P::Message,
+        now: SimTime,
+        trace: Option<TraceCtx>,
+    ) {
         let buf = std::mem::take(&mut self.action_buf);
         let Some(slot) = self
             .handles
@@ -464,20 +573,45 @@ impl<P: Protocol> Simulation<P> {
             return;
         }
         self.metrics.messages_delivered += 1;
-        let mut ctx = Context::with_buffer(now, dest, &mut self.rng, buf);
+        let mut ctx = Context::for_host(
+            now,
+            dest,
+            &mut self.rng,
+            buf,
+            self.telemetry.as_deref_mut(),
+            trace,
+        );
         slot.proto.on_message(src, msg, &mut ctx);
-        let actions = ctx.into_actions();
+        let (actions, traces) = ctx.into_parts();
         self.record(TraceEvent::Delivered { at: now, src, dest });
-        self.apply_actions(dest, actions);
+        self.apply_actions(dest, actions, traces);
     }
 
     /// Dispatch recorded actions, then keep the (drained) buffer for the
-    /// next callback.
-    fn apply_actions(&mut self, origin: NodeAddr, mut actions: Vec<Action<P::Message>>) {
+    /// next callback. `traces` carries the trace contexts attached to sends
+    /// (by action index); each traced send becomes a hop span, and delivered
+    /// hops stash their continuation context under the scheduled event's
+    /// sequence number.
+    fn apply_actions(
+        &mut self,
+        origin: NodeAddr,
+        mut actions: Vec<Action<P::Message>>,
+        traces: Vec<SendTrace>,
+    ) {
         let now = self.scheduler.now();
-        for action in actions.drain(..) {
+        let mut trace_iter = traces.iter();
+        let mut next_trace = trace_iter.next();
+        for (index, action) in actions.drain(..).enumerate() {
             match action {
                 Action::Send { dest, msg } => {
+                    let sent_trace = match next_trace {
+                        Some(t) if t.action as usize == index => {
+                            let t = *t;
+                            next_trace = trace_iter.next();
+                            Some(t)
+                        }
+                        _ => None,
+                    };
                     self.metrics.messages_sent += 1;
                     match self.config.link.transmit(origin, dest, &mut self.rng) {
                         Some(latency) => {
@@ -486,7 +620,7 @@ impl<P: Protocol> Simulation<P> {
                                 src: origin,
                                 dest,
                             });
-                            self.scheduler.schedule(
+                            let seq = self.scheduler.schedule(
                                 now + latency,
                                 EventKind::Deliver {
                                     src: origin,
@@ -494,6 +628,24 @@ impl<P: Protocol> Simulation<P> {
                                     msg,
                                 },
                             );
+                            if let (Some(st), Some(t)) = (sent_trace, self.telemetry.as_deref_mut())
+                            {
+                                let hop = t.record_hop(
+                                    st.label,
+                                    st.ctx,
+                                    origin,
+                                    dest,
+                                    now,
+                                    Some(now + latency),
+                                );
+                                t.put_inflight(
+                                    seq,
+                                    TraceCtx {
+                                        trace_id: st.ctx.trace_id,
+                                        parent_span: hop,
+                                    },
+                                );
+                            }
                         }
                         None => {
                             self.metrics.messages_lost += 1;
@@ -502,6 +654,10 @@ impl<P: Protocol> Simulation<P> {
                                 src: origin,
                                 dest,
                             });
+                            if let (Some(st), Some(t)) = (sent_trace, self.telemetry.as_deref_mut())
+                            {
+                                t.record_hop(st.label, st.ctx, origin, dest, now, None);
+                            }
                         }
                     }
                 }

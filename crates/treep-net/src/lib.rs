@@ -33,4 +33,4 @@ pub mod codec;
 pub mod transport;
 
 pub use codec::{decode_message, encode_message, CodecError};
-pub use transport::{addr_to_node_addr, node_addr_to_socket, UdpNode};
+pub use transport::{addr_to_node_addr, node_addr_to_socket, TransportStats, UdpNode};

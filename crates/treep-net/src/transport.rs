@@ -88,6 +88,38 @@ impl Ord for PendingTimer {
     }
 }
 
+/// Wire-level counters for one UDP node. The overlay's [`treep::NodeStats`]
+/// counts protocol *messages*; these count what actually hits the socket,
+/// so the batching win (messages per datagram) is measurable. Messages that
+/// leave inside a tag-255 batch envelope are counted **per message** in
+/// [`TransportStats::messages_sent`] — historically only socket writes were
+/// observable, which under-reported batched traffic by the batch width.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TransportStats {
+    /// UDP datagrams written to the socket (bare frames + batch envelopes).
+    pub datagrams_sent: u64,
+    /// Protocol messages sent, counting each message once whether it left
+    /// bare or inside a batch envelope.
+    pub messages_sent: u64,
+    /// The subset of `messages_sent` that travelled inside a tag-255 batch
+    /// envelope.
+    pub batched_messages: u64,
+    /// The subset of `datagrams_sent` that were tag-255 batch envelopes.
+    pub batch_datagrams: u64,
+}
+
+impl TransportStats {
+    /// Mean messages per datagram — the batching win (1.0 when nothing
+    /// batched).
+    pub fn messages_per_datagram(&self) -> f64 {
+        if self.datagrams_sent == 0 {
+            0.0
+        } else {
+            self.messages_sent as f64 / self.datagrams_sent as f64
+        }
+    }
+}
+
 struct Shared {
     node: Mutex<TreePNode>,
     timers: Mutex<BinaryHeap<PendingTimer>>,
@@ -97,6 +129,7 @@ struct Shared {
     socket: UdpSocket,
     timer_seq: Mutex<u64>,
     running: AtomicBool,
+    stats: Mutex<TransportStats>,
 }
 
 impl Shared {
@@ -166,24 +199,49 @@ impl Shared {
     /// sent bare (no batch envelope) so unbatched peers interoperate.
     fn flush_to(&self, dest: NodeAddr, frames: &[Vec<u8>]) {
         let sock_dest = node_addr_to_socket(dest);
-        let mut start = 0;
-        while start < frames.len() {
-            // Greedily extend the chunk while it fits in one datagram.
-            let mut end = start + 1;
-            let mut payload = 4 + frames[start].len();
-            while end < frames.len() && 5 + payload + 4 + frames[end].len() <= MAX_DATAGRAM_BYTES {
-                payload += 4 + frames[end].len();
-                end += 1;
-            }
+        let lens: Vec<usize> = frames.iter().map(Vec::len).collect();
+        let mut stats = TransportStats::default();
+        for (start, end) in plan_batches(&lens, MAX_DATAGRAM_BYTES) {
+            stats.datagrams_sent += 1;
+            stats.messages_sent += (end - start) as u64;
             if end - start == 1 {
                 let _ = self.socket.send_to(&frames[start], sock_dest);
             } else {
+                stats.batch_datagrams += 1;
+                stats.batched_messages += (end - start) as u64;
                 let datagram = encode_batch_frames(&frames[start..end]);
                 let _ = self.socket.send_to(&datagram, sock_dest);
             }
-            start = end;
         }
+        let mut total = self.stats.lock();
+        total.datagrams_sent += stats.datagrams_sent;
+        total.messages_sent += stats.messages_sent;
+        total.batched_messages += stats.batched_messages;
+        total.batch_datagrams += stats.batch_datagrams;
     }
+}
+
+/// Split frames of the given lengths into consecutive `(start, end)` chunks
+/// that each fit one datagram of `max_datagram` bytes: a chunk of one frame
+/// goes out bare (its own length is the datagram), a wider chunk pays the
+/// tag-255 batch envelope (5-byte header + 4-byte length prefix per frame).
+/// Greedy packing preserves order and never splits a frame; an oversized
+/// single frame still gets its own chunk (the socket rejects it, matching
+/// the historical behaviour, but accounting stays consistent).
+fn plan_batches(frame_lens: &[usize], max_datagram: usize) -> Vec<(usize, usize)> {
+    let mut chunks = Vec::new();
+    let mut start = 0;
+    while start < frame_lens.len() {
+        let mut end = start + 1;
+        let mut payload = 4 + frame_lens[start];
+        while end < frame_lens.len() && 5 + payload + 4 + frame_lens[end] <= max_datagram {
+            payload += 4 + frame_lens[end];
+            end += 1;
+        }
+        chunks.push((start, end));
+        start = end;
+    }
+    chunks
 }
 
 /// Upper bound on an outgoing datagram. Loopback and modern LANs handle
@@ -227,6 +285,7 @@ impl UdpNode {
             socket,
             timer_seq: Mutex::new(0),
             running: AtomicBool::new(true),
+            stats: Mutex::new(TransportStats::default()),
         });
 
         // Start the protocol (arms the first keep-alive and sends the join
@@ -331,6 +390,11 @@ impl UdpNode {
         self.shared.node.lock().drain_dht_outcomes()
     }
 
+    /// Wire-level send counters accumulated since bind.
+    pub fn transport_stats(&self) -> TransportStats {
+        *self.shared.stats.lock()
+    }
+
     /// Stop the background threads and close the socket.
     pub fn shutdown(mut self) {
         self.stop();
@@ -364,6 +428,47 @@ mod tests {
             lookup_timeout: SimDuration::from_millis(800),
             ..TreePConfig::default()
         }
+    }
+
+    #[test]
+    fn plan_batches_packs_greedily_and_never_splits() {
+        // Everything fits one envelope: 5 + (4+10)*3 = 47 <= 100.
+        assert_eq!(plan_batches(&[10, 10, 10], 100), vec![(0, 3)]);
+        // Second frame overflows the envelope; it starts a new chunk.
+        assert_eq!(plan_batches(&[40, 60, 10], 100), vec![(0, 1), (1, 3)]);
+        // A frame larger than the datagram still gets its own bare chunk.
+        assert_eq!(plan_batches(&[500], 100), vec![(0, 1)]);
+        assert_eq!(plan_batches(&[], 100), Vec::<(usize, usize)>::new());
+    }
+
+    #[test]
+    fn plan_batches_boundary_matches_envelope_overhead() {
+        // Two 40-byte frames inside an envelope cost exactly
+        // 5 + (4+40) + (4+40) = 93 bytes.
+        assert_eq!(plan_batches(&[40, 40], 93), vec![(0, 2)]);
+        assert_eq!(plan_batches(&[40, 40], 92), vec![(0, 1), (1, 2)]);
+        // The planned width agrees with the real encoder's output size.
+        let frames = vec![vec![0u8; 40], vec![1u8; 40]];
+        assert_eq!(encode_batch_frames(&frames).len(), 93);
+    }
+
+    #[test]
+    fn transport_stats_count_batched_messages_per_message() {
+        let mut s = TransportStats::default();
+        // Simulate flush accounting: one bare frame, one 3-wide envelope.
+        for (start, end) in plan_batches(&[90, 10, 10, 10], 100) {
+            s.datagrams_sent += 1;
+            s.messages_sent += (end - start) as u64;
+            if end - start > 1 {
+                s.batch_datagrams += 1;
+                s.batched_messages += (end - start) as u64;
+            }
+        }
+        assert_eq!(s.datagrams_sent, 2);
+        assert_eq!(s.messages_sent, 4);
+        assert_eq!(s.batched_messages, 3);
+        assert_eq!(s.batch_datagrams, 1);
+        assert!((s.messages_per_datagram() - 2.0).abs() < 1e-9);
     }
 
     #[test]

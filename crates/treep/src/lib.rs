@@ -91,7 +91,7 @@ pub use distance::HierarchicalDistance;
 pub use entry::{PeerInfo, RoutingEntry};
 pub use id::{hash_key, IdAssigner, IdAssignment, IdSpace, NodeId};
 pub use lookup::{LookupOutcome, LookupRequest, LookupStatus, RequestId};
-pub use messages::{RoutingUpdate, TreePMessage};
+pub use messages::{MessageKind, RoutingUpdate, TreePMessage};
 pub use multicast::{
     AggregateOutcome, AggregatePartial, AggregateQuery, KeyRange, MulticastDelivery,
     MulticastPayload, MulticastPhase,
@@ -106,5 +106,5 @@ pub use readpath::{
 };
 pub use replication::{audit_replication, ReplicaEntry, ReplicationAudit};
 pub use routing::{RouteDecision, RouterView, RoutingAlgorithm};
-pub use stats::NodeStats;
+pub use stats::{KindCounters, NodeStats};
 pub use tables::{PeerEntry, RemovalReport, RoutingTables, TableSizes};

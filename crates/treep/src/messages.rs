@@ -508,68 +508,218 @@ pub enum TreePMessage {
     },
 }
 
-impl TreePMessage {
-    /// Short, stable name of the message kind (used by per-node statistics).
-    pub fn kind(&self) -> &'static str {
+/// Static index of every [`TreePMessage`] variant.
+///
+/// Per-node statistics key send/receive counters by this enum — a dense
+/// array index on the hot path where a `BTreeMap<String, u64>` used to
+/// allocate a `String` per recorded message. The snake_case wire of the old
+/// string keys survives as [`MessageKind::name`] (and `Display`) for
+/// reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum MessageKind {
+    JoinRequest,
+    JoinAck,
+    KeepAlive,
+    KeepAliveAck,
+    ChildReport,
+    ChildReportAck,
+    ElectionCall,
+    ParentAnnounce,
+    ParentAccept,
+    Demotion,
+    Lookup,
+    LookupFound,
+    LookupNotFound,
+    DhtPut,
+    DhtPutAck,
+    DhtGet,
+    DhtGetReply,
+    ReplicaPut,
+    ReplicaSyncRequest,
+    ReplicaSyncReply,
+    MulticastDown,
+    AggregateUp,
+    MulticastAck,
+    AggregateAck,
+    GetVersioned,
+    GetVersionedReply,
+    PutVersioned,
+    PutVersionedAck,
+    ReadRepair,
+    ReadVerify,
+    Subscribe,
+    SubscribeAck,
+    Unsubscribe,
+    FilterReport,
+}
+
+impl MessageKind {
+    /// Number of message kinds (the length of a per-kind counter array).
+    pub const COUNT: usize = 34;
+
+    /// Every kind, in index order.
+    pub const ALL: [MessageKind; MessageKind::COUNT] = [
+        MessageKind::JoinRequest,
+        MessageKind::JoinAck,
+        MessageKind::KeepAlive,
+        MessageKind::KeepAliveAck,
+        MessageKind::ChildReport,
+        MessageKind::ChildReportAck,
+        MessageKind::ElectionCall,
+        MessageKind::ParentAnnounce,
+        MessageKind::ParentAccept,
+        MessageKind::Demotion,
+        MessageKind::Lookup,
+        MessageKind::LookupFound,
+        MessageKind::LookupNotFound,
+        MessageKind::DhtPut,
+        MessageKind::DhtPutAck,
+        MessageKind::DhtGet,
+        MessageKind::DhtGetReply,
+        MessageKind::ReplicaPut,
+        MessageKind::ReplicaSyncRequest,
+        MessageKind::ReplicaSyncReply,
+        MessageKind::MulticastDown,
+        MessageKind::AggregateUp,
+        MessageKind::MulticastAck,
+        MessageKind::AggregateAck,
+        MessageKind::GetVersioned,
+        MessageKind::GetVersionedReply,
+        MessageKind::PutVersioned,
+        MessageKind::PutVersionedAck,
+        MessageKind::ReadRepair,
+        MessageKind::ReadVerify,
+        MessageKind::Subscribe,
+        MessageKind::SubscribeAck,
+        MessageKind::Unsubscribe,
+        MessageKind::FilterReport,
+    ];
+
+    /// Dense array index of this kind.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short, stable snake_case name (the report/display form, identical to
+    /// the string keys the per-node statistics used historically).
+    pub fn name(self) -> &'static str {
         match self {
-            TreePMessage::JoinRequest { .. } => "join_request",
-            TreePMessage::JoinAck { .. } => "join_ack",
-            TreePMessage::KeepAlive { .. } => "keep_alive",
-            TreePMessage::KeepAliveAck { .. } => "keep_alive_ack",
-            TreePMessage::ChildReport { .. } => "child_report",
-            TreePMessage::ChildReportAck { .. } => "child_report_ack",
-            TreePMessage::ElectionCall { .. } => "election_call",
-            TreePMessage::ParentAnnounce { .. } => "parent_announce",
-            TreePMessage::ParentAccept { .. } => "parent_accept",
-            TreePMessage::Demotion { .. } => "demotion",
-            TreePMessage::Lookup(_) => "lookup",
-            TreePMessage::LookupFound { .. } => "lookup_found",
-            TreePMessage::LookupNotFound { .. } => "lookup_not_found",
-            TreePMessage::DhtPut { .. } => "dht_put",
-            TreePMessage::DhtPutAck { .. } => "dht_put_ack",
-            TreePMessage::DhtGet { .. } => "dht_get",
-            TreePMessage::DhtGetReply { .. } => "dht_get_reply",
-            TreePMessage::ReplicaPut { .. } => "replica_put",
-            TreePMessage::ReplicaSyncRequest { .. } => "replica_sync_request",
-            TreePMessage::ReplicaSyncReply { .. } => "replica_sync_reply",
-            TreePMessage::MulticastDown { .. } => "multicast_down",
-            TreePMessage::AggregateUp { .. } => "aggregate_up",
-            TreePMessage::MulticastAck { .. } => "multicast_ack",
-            TreePMessage::AggregateAck { .. } => "aggregate_ack",
-            TreePMessage::GetVersioned { .. } => "get_versioned",
-            TreePMessage::GetVersionedReply { .. } => "get_versioned_reply",
-            TreePMessage::PutVersioned { .. } => "put_versioned",
-            TreePMessage::PutVersionedAck { .. } => "put_versioned_ack",
-            TreePMessage::ReadRepair { .. } => "read_repair",
-            TreePMessage::ReadVerify { .. } => "read_verify",
-            TreePMessage::Subscribe { .. } => "subscribe",
-            TreePMessage::SubscribeAck { .. } => "subscribe_ack",
-            TreePMessage::Unsubscribe { .. } => "unsubscribe",
-            TreePMessage::FilterReport { .. } => "filter_report",
+            MessageKind::JoinRequest => "join_request",
+            MessageKind::JoinAck => "join_ack",
+            MessageKind::KeepAlive => "keep_alive",
+            MessageKind::KeepAliveAck => "keep_alive_ack",
+            MessageKind::ChildReport => "child_report",
+            MessageKind::ChildReportAck => "child_report_ack",
+            MessageKind::ElectionCall => "election_call",
+            MessageKind::ParentAnnounce => "parent_announce",
+            MessageKind::ParentAccept => "parent_accept",
+            MessageKind::Demotion => "demotion",
+            MessageKind::Lookup => "lookup",
+            MessageKind::LookupFound => "lookup_found",
+            MessageKind::LookupNotFound => "lookup_not_found",
+            MessageKind::DhtPut => "dht_put",
+            MessageKind::DhtPutAck => "dht_put_ack",
+            MessageKind::DhtGet => "dht_get",
+            MessageKind::DhtGetReply => "dht_get_reply",
+            MessageKind::ReplicaPut => "replica_put",
+            MessageKind::ReplicaSyncRequest => "replica_sync_request",
+            MessageKind::ReplicaSyncReply => "replica_sync_reply",
+            MessageKind::MulticastDown => "multicast_down",
+            MessageKind::AggregateUp => "aggregate_up",
+            MessageKind::MulticastAck => "multicast_ack",
+            MessageKind::AggregateAck => "aggregate_ack",
+            MessageKind::GetVersioned => "get_versioned",
+            MessageKind::GetVersionedReply => "get_versioned_reply",
+            MessageKind::PutVersioned => "put_versioned",
+            MessageKind::PutVersionedAck => "put_versioned_ack",
+            MessageKind::ReadRepair => "read_repair",
+            MessageKind::ReadVerify => "read_verify",
+            MessageKind::Subscribe => "subscribe",
+            MessageKind::SubscribeAck => "subscribe_ack",
+            MessageKind::Unsubscribe => "unsubscribe",
+            MessageKind::FilterReport => "filter_report",
+        }
+    }
+
+    /// True for kinds that belong to overlay maintenance rather than user
+    /// traffic; the maintenance-overhead ablation counts these.
+    pub fn is_maintenance(self) -> bool {
+        matches!(
+            self,
+            MessageKind::JoinRequest
+                | MessageKind::JoinAck
+                | MessageKind::KeepAlive
+                | MessageKind::KeepAliveAck
+                | MessageKind::ChildReport
+                | MessageKind::ChildReportAck
+                | MessageKind::ElectionCall
+                | MessageKind::ParentAnnounce
+                | MessageKind::ParentAccept
+                | MessageKind::Demotion
+                | MessageKind::ReplicaPut
+                | MessageKind::ReplicaSyncRequest
+                | MessageKind::ReplicaSyncReply
+                | MessageKind::ReadRepair
+                | MessageKind::FilterReport
+        )
+    }
+}
+
+impl std::fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl TreePMessage {
+    /// The message's kind index (used by per-node statistics and tracing;
+    /// `kind().name()` recovers the historical string form).
+    pub fn kind(&self) -> MessageKind {
+        match self {
+            TreePMessage::JoinRequest { .. } => MessageKind::JoinRequest,
+            TreePMessage::JoinAck { .. } => MessageKind::JoinAck,
+            TreePMessage::KeepAlive { .. } => MessageKind::KeepAlive,
+            TreePMessage::KeepAliveAck { .. } => MessageKind::KeepAliveAck,
+            TreePMessage::ChildReport { .. } => MessageKind::ChildReport,
+            TreePMessage::ChildReportAck { .. } => MessageKind::ChildReportAck,
+            TreePMessage::ElectionCall { .. } => MessageKind::ElectionCall,
+            TreePMessage::ParentAnnounce { .. } => MessageKind::ParentAnnounce,
+            TreePMessage::ParentAccept { .. } => MessageKind::ParentAccept,
+            TreePMessage::Demotion { .. } => MessageKind::Demotion,
+            TreePMessage::Lookup(_) => MessageKind::Lookup,
+            TreePMessage::LookupFound { .. } => MessageKind::LookupFound,
+            TreePMessage::LookupNotFound { .. } => MessageKind::LookupNotFound,
+            TreePMessage::DhtPut { .. } => MessageKind::DhtPut,
+            TreePMessage::DhtPutAck { .. } => MessageKind::DhtPutAck,
+            TreePMessage::DhtGet { .. } => MessageKind::DhtGet,
+            TreePMessage::DhtGetReply { .. } => MessageKind::DhtGetReply,
+            TreePMessage::ReplicaPut { .. } => MessageKind::ReplicaPut,
+            TreePMessage::ReplicaSyncRequest { .. } => MessageKind::ReplicaSyncRequest,
+            TreePMessage::ReplicaSyncReply { .. } => MessageKind::ReplicaSyncReply,
+            TreePMessage::MulticastDown { .. } => MessageKind::MulticastDown,
+            TreePMessage::AggregateUp { .. } => MessageKind::AggregateUp,
+            TreePMessage::MulticastAck { .. } => MessageKind::MulticastAck,
+            TreePMessage::AggregateAck { .. } => MessageKind::AggregateAck,
+            TreePMessage::GetVersioned { .. } => MessageKind::GetVersioned,
+            TreePMessage::GetVersionedReply { .. } => MessageKind::GetVersionedReply,
+            TreePMessage::PutVersioned { .. } => MessageKind::PutVersioned,
+            TreePMessage::PutVersionedAck { .. } => MessageKind::PutVersionedAck,
+            TreePMessage::ReadRepair { .. } => MessageKind::ReadRepair,
+            TreePMessage::ReadVerify { .. } => MessageKind::ReadVerify,
+            TreePMessage::Subscribe { .. } => MessageKind::Subscribe,
+            TreePMessage::SubscribeAck { .. } => MessageKind::SubscribeAck,
+            TreePMessage::Unsubscribe { .. } => MessageKind::Unsubscribe,
+            TreePMessage::FilterReport { .. } => MessageKind::FilterReport,
         }
     }
 
     /// True for messages that belong to overlay maintenance rather than user
     /// traffic; the maintenance-overhead ablation counts these.
     pub fn is_maintenance(&self) -> bool {
-        matches!(
-            self,
-            TreePMessage::JoinRequest { .. }
-                | TreePMessage::JoinAck { .. }
-                | TreePMessage::KeepAlive { .. }
-                | TreePMessage::KeepAliveAck { .. }
-                | TreePMessage::ChildReport { .. }
-                | TreePMessage::ChildReportAck { .. }
-                | TreePMessage::ElectionCall { .. }
-                | TreePMessage::ParentAnnounce { .. }
-                | TreePMessage::ParentAccept { .. }
-                | TreePMessage::Demotion { .. }
-                | TreePMessage::ReplicaPut { .. }
-                | TreePMessage::ReplicaSyncRequest { .. }
-                | TreePMessage::ReplicaSyncReply { .. }
-                | TreePMessage::ReadRepair { .. }
-                | TreePMessage::FilterReport { .. }
-        )
+        self.kind().is_maintenance()
     }
 
     /// The address the answer to this message should be sent to, when the
@@ -627,7 +777,7 @@ mod tests {
             updates: vec![],
         };
         assert!(ka.is_maintenance());
-        assert_eq!(ka.kind(), "keep_alive");
+        assert_eq!(ka.kind().name(), "keep_alive");
         let nf = TreePMessage::LookupNotFound {
             request_id: RequestId(1),
             target: NodeId(5),
@@ -635,7 +785,7 @@ mod tests {
             algorithm: RoutingAlgorithm::Greedy,
         };
         assert!(!nf.is_maintenance());
-        assert_eq!(nf.kind(), "lookup_not_found");
+        assert_eq!(nf.kind().name(), "lookup_not_found");
     }
 
     #[test]
@@ -653,7 +803,7 @@ mod tests {
             phase: MulticastPhase::Up,
             bus_level: 0,
         };
-        assert_eq!(down.kind(), "multicast_down");
+        assert_eq!(down.kind().name(), "multicast_down");
         assert!(!down.is_maintenance());
         assert_eq!(down.origin_addr(), Some(NodeAddr(1)));
 
@@ -665,7 +815,7 @@ mod tests {
             truncated: false,
             final_answer: true,
         };
-        assert_eq!(up.kind(), "aggregate_up");
+        assert_eq!(up.kind().name(), "aggregate_up");
         assert!(!up.is_maintenance());
         assert_eq!(up.origin_addr(), Some(NodeAddr(2)));
     }
@@ -676,7 +826,7 @@ mod tests {
             origin: NodeAddr(3),
             request_id: RequestId(9),
         };
-        assert_eq!(mack.kind(), "multicast_ack");
+        assert_eq!(mack.kind().name(), "multicast_ack");
         assert!(
             !mack.is_maintenance(),
             "ack overhead is accounted to the multicast, not to maintenance"
@@ -686,7 +836,7 @@ mod tests {
             origin: NodeAddr(4),
             request_id: RequestId(10),
         };
-        assert_eq!(aack.kind(), "aggregate_ack");
+        assert_eq!(aack.kind().name(), "aggregate_ack");
         assert!(!aack.is_maintenance());
         assert_eq!(aack.origin_addr(), None);
     }
@@ -699,14 +849,14 @@ mod tests {
             key: NodeId(9),
             value: vec![1, 2],
         };
-        assert_eq!(put.kind(), "replica_put");
+        assert_eq!(put.kind().name(), "replica_put");
         assert!(put.is_maintenance(), "repair traffic is maintenance");
         let req = TreePMessage::ReplicaSyncRequest {
             sender: peer(3),
             range: KeyRange::new(NodeId(0), NodeId(10)),
             keys: vec![NodeId(9)],
         };
-        assert_eq!(req.kind(), "replica_sync_request");
+        assert_eq!(req.kind().name(), "replica_sync_request");
         assert!(req.is_maintenance());
         let reply = TreePMessage::ReplicaSyncReply {
             sender: peer(4),
@@ -717,7 +867,7 @@ mod tests {
             }],
             want: vec![NodeId(9)],
         };
-        assert_eq!(reply.kind(), "replica_sync_reply");
+        assert_eq!(reply.kind().name(), "replica_sync_reply");
         assert!(reply.is_maintenance());
         assert_eq!(reply.origin_addr(), None);
     }
@@ -736,7 +886,7 @@ mod tests {
             min_stamp: Some(stamp),
             path: vec![NodeAddr(9)],
         };
-        assert_eq!(get.kind(), "get_versioned");
+        assert_eq!(get.kind().name(), "get_versioned");
         assert!(!get.is_maintenance(), "versioned gets are user traffic");
         assert_eq!(get.origin_addr(), Some(NodeAddr(9)));
 
@@ -753,7 +903,7 @@ mod tests {
             responder: peer(4),
             path: vec![NodeAddr(9)],
         };
-        assert_eq!(reply.kind(), "get_versioned_reply");
+        assert_eq!(reply.kind().name(), "get_versioned_reply");
         assert!(!reply.is_maintenance());
         assert_eq!(reply.origin_addr(), Some(NodeAddr(9)));
 
@@ -765,7 +915,7 @@ mod tests {
             value: vec![2],
             ttl: 0,
         };
-        assert_eq!(put.kind(), "put_versioned");
+        assert_eq!(put.kind().name(), "put_versioned");
         assert!(!put.is_maintenance());
         assert_eq!(put.origin_addr(), Some(NodeAddr(9)));
 
@@ -775,7 +925,7 @@ mod tests {
             stamp,
             stored_at: peer(4),
         };
-        assert_eq!(ack.kind(), "put_versioned_ack");
+        assert_eq!(ack.kind().name(), "put_versioned_ack");
         assert!(!ack.is_maintenance());
         assert_eq!(ack.origin_addr(), None, "acks travel point-to-point");
 
@@ -785,7 +935,7 @@ mod tests {
             stamp,
             value: vec![3],
         };
-        assert_eq!(repair.kind(), "read_repair");
+        assert_eq!(repair.kind().name(), "read_repair");
         assert!(repair.is_maintenance(), "repair traffic is maintenance");
 
         let verify = TreePMessage::ReadVerify {
@@ -794,7 +944,7 @@ mod tests {
             served_stamp: stamp,
             ttl: 1,
         };
-        assert_eq!(verify.kind(), "read_verify");
+        assert_eq!(verify.kind().name(), "read_verify");
         assert!(
             !verify.is_maintenance(),
             "verify probes are accounted to the get that caused them"
@@ -810,7 +960,7 @@ mod tests {
             topic: NodeId(5),
             ttl: 10,
         };
-        assert_eq!(sub.kind(), "subscribe");
+        assert_eq!(sub.kind().name(), "subscribe");
         assert!(!sub.is_maintenance(), "subscriptions are user traffic");
         assert_eq!(sub.origin_addr(), Some(NodeAddr(9)));
 
@@ -820,7 +970,7 @@ mod tests {
             subscribers: 3,
             stored_at: peer(4),
         };
-        assert_eq!(ack.kind(), "subscribe_ack");
+        assert_eq!(ack.kind().name(), "subscribe_ack");
         assert!(!ack.is_maintenance());
         assert_eq!(ack.origin_addr(), None, "acks travel point-to-point");
 
@@ -830,7 +980,7 @@ mod tests {
             topic: NodeId(5),
             ttl: 10,
         };
-        assert_eq!(unsub.kind(), "unsubscribe");
+        assert_eq!(unsub.kind().name(), "unsubscribe");
         assert!(!unsub.is_maintenance());
         assert_eq!(unsub.origin_addr(), Some(NodeAddr(9)));
 
@@ -839,7 +989,7 @@ mod tests {
             topics: vec![NodeId(5)],
             overflow: false,
         };
-        assert_eq!(report.kind(), "filter_report");
+        assert_eq!(report.kind().name(), "filter_report");
         assert!(
             report.is_maintenance(),
             "filter summaries ride the maintenance cycle like child reports"

@@ -28,7 +28,7 @@ use crate::entry::PeerInfo;
 use crate::id::{IdSpace, NodeId};
 use crate::lookup::RequestId;
 use serde::{Deserialize, Serialize};
-use simnet::{NodeAddr, SimDuration, SimTime};
+use simnet::{NodeAddr, SimDuration, SimTime, TraceCtx};
 
 /// A contiguous, inclusive range `[lo, hi]` of the 1-D identifier space —
 /// the scope of a multicast or aggregation.
@@ -495,6 +495,11 @@ pub struct PendingRetx {
     /// rerouted hop that dies too is abandoned (one detour per delegation
     /// bounds the work a pathological registry can cause).
     pub rerouted: bool,
+    /// Trace context of the dispatch that originated the transmission.
+    /// Retransmissions (and re-routes) fired later from the backoff timer
+    /// restore it, so a retransmit chain stays attributed to the op that
+    /// caused it. `None` outside telemetry runs — costs one `Option` copy.
+    pub trace: Option<TraceCtx>,
 }
 
 #[cfg(test)]

@@ -440,8 +440,9 @@ impl TreePNode {
     }
 
     fn send(&mut self, ctx: &mut Context<'_, TreePMessage>, dest: NodeAddr, msg: TreePMessage) {
-        self.stats.record_sent(msg.kind());
-        ctx.send(dest, msg);
+        let kind = msg.kind();
+        self.stats.record_sent(kind);
+        ctx.send_labeled(dest, msg, kind.name());
     }
 }
 

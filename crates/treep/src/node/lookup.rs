@@ -23,6 +23,7 @@ impl TreePNode {
         algorithm: RoutingAlgorithm,
         ctx: &mut Context<'_, TreePMessage>,
     ) -> RequestId {
+        ctx.start_trace("lookup");
         let request_id = self.fresh_request_id();
         self.stats.lookups_initiated += 1;
         self.pending_lookups.insert(
@@ -67,6 +68,7 @@ impl TreePNode {
         value: Vec<u8>,
         ctx: &mut Context<'_, TreePMessage>,
     ) -> RequestId {
+        ctx.start_trace("dht_put");
         let coord = hash_key(self.config.space, key);
         let request_id = self.fresh_request_id();
         self.pending_dht.insert(
@@ -93,6 +95,7 @@ impl TreePNode {
 
     /// Retrieve the value stored in the DHT under an application key.
     pub fn dht_get(&mut self, key: &[u8], ctx: &mut Context<'_, TreePMessage>) -> RequestId {
+        ctx.start_trace("dht_get");
         let coord = hash_key(self.config.space, key);
         let request_id = self.fresh_request_id();
         self.pending_dht.insert(

@@ -98,6 +98,7 @@ impl TreePNode {
         payload: Vec<u8>,
         ctx: &mut Context<'_, TreePMessage>,
     ) -> RequestId {
+        ctx.start_trace("multicast");
         let request_id = self.fresh_request_id();
         self.stats.multicasts_initiated += 1;
         let me = self.peer_info();
@@ -126,6 +127,7 @@ impl TreePNode {
         query: AggregateQuery,
         ctx: &mut Context<'_, TreePMessage>,
     ) -> RequestId {
+        ctx.start_trace("aggregate");
         let request_id = self.fresh_request_id();
         self.stats.aggregates_initiated += 1;
         self.pending_aggregates.insert(
@@ -787,6 +789,7 @@ impl TreePNode {
                 attempts_left: self.config.max_retransmits,
                 backoff: self.config.retransmit_timeout,
                 rerouted,
+                trace: ctx.trace_ctx(),
             },
         );
         ctx.set_timer(
@@ -852,6 +855,7 @@ impl TreePNode {
                 .retx_pending
                 .remove(&retx_id)
                 .expect("entry checked above");
+            ctx.set_trace(entry.trace);
             self.hop_declared_dead(entry, ctx);
             return;
         }
@@ -861,10 +865,12 @@ impl TreePNode {
         let dest = entry.dest;
         let kind = entry.kind;
         let msg = entry.msg.clone();
+        ctx.set_trace(entry.trace);
         match kind {
             RetxKind::Down => self.stats.multicast_retransmits += 1,
             RetxKind::Up => self.stats.aggregate_retransmits += 1,
         }
+        ctx.trace_note("retransmit");
         self.send(ctx, dest, msg);
         ctx.set_timer(backoff, encode_timer(TIMER_RETX, retx_id));
     }

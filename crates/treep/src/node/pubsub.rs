@@ -46,6 +46,7 @@ impl TreePNode {
         topic: NodeId,
         ctx: &mut Context<'_, TreePMessage>,
     ) -> RequestId {
+        ctx.start_trace("subscribe");
         self.local_topics.insert(topic);
         self.filters_changed(ctx);
         self.send_subscription(topic, true, ctx)
@@ -115,6 +116,7 @@ impl TreePNode {
         data: Vec<u8>,
         ctx: &mut Context<'_, TreePMessage>,
     ) -> RequestId {
+        ctx.start_trace("publish");
         let request_id = self.fresh_request_id();
         self.stats.publishes_initiated += 1;
         let me = self.peer_info();

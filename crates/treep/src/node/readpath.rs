@@ -35,6 +35,7 @@ impl TreePNode {
         value: Vec<u8>,
         ctx: &mut Context<'_, TreePMessage>,
     ) -> RequestId {
+        ctx.start_trace("put_versioned");
         let coord = hash_key(self.config.space, key);
         let stamp = VersionStamp::next(self.observed.get(&coord).copied(), self.id);
         self.observe_stamp(coord, stamp);
@@ -71,6 +72,7 @@ impl TreePNode {
         key: &[u8],
         ctx: &mut Context<'_, TreePMessage>,
     ) -> RequestId {
+        ctx.start_trace("get_versioned");
         let coord = hash_key(self.config.space, key);
         let request_id = self.fresh_request_id();
         self.pending_reads.insert(
@@ -196,6 +198,7 @@ impl TreePNode {
                     if satisfies(stamp) {
                         let value = value.clone();
                         self.stats.cache_hits += 1;
+                        ctx.trace_note("cache_hit");
                         self.serve_read(
                             request_id,
                             origin,
@@ -213,6 +216,7 @@ impl TreePNode {
                     if let Some(sv) = self.stored_value(key) {
                         if satisfies(sv.stamp) {
                             self.stats.replica_served_gets += 1;
+                            ctx.trace_note("replica_serve");
                             let served_stamp = sv.stamp;
                             self.serve_read(
                                 request_id,

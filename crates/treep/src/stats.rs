@@ -1,16 +1,74 @@
 //! Per-node protocol statistics.
 
+use crate::messages::MessageKind;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+
+/// Per-[`MessageKind`] counters: a dense `u64` array indexed by the kind's
+/// static discriminant.
+///
+/// This replaces the historical `BTreeMap<String, u64>` keying — recording
+/// a message is now one array add instead of a `String` allocation plus a
+/// tree probe on the hot path. [`KindCounters::iter`] yields
+/// `(kind, count)` pairs for reports, and [`KindCounters::by_name`] keeps
+/// the old string-keyed access working where display code wants it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindCounters([u64; MessageKind::COUNT]);
+
+impl Default for KindCounters {
+    fn default() -> Self {
+        KindCounters([0; MessageKind::COUNT])
+    }
+}
+
+impl KindCounters {
+    /// Count of messages of `kind`.
+    #[inline]
+    pub fn get(&self, kind: MessageKind) -> u64 {
+        self.0[kind.index()]
+    }
+
+    /// Record one message of `kind`.
+    #[inline]
+    pub fn record(&mut self, kind: MessageKind) {
+        self.0[kind.index()] += 1;
+    }
+
+    /// Sum over all kinds.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Count looked up by the kind's snake_case display name (`None` for
+    /// unknown names).
+    pub fn by_name(&self, name: &str) -> Option<u64> {
+        MessageKind::ALL
+            .iter()
+            .find(|k| k.name() == name)
+            .map(|k| self.get(*k))
+    }
+
+    /// `(kind, count)` for every kind with a nonzero count, in kind order.
+    pub fn iter(&self) -> impl Iterator<Item = (MessageKind, u64)> + '_ {
+        MessageKind::ALL
+            .iter()
+            .map(|k| (*k, self.get(*k)))
+            .filter(|(_, n)| *n > 0)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.iter().all(|n| *n == 0)
+    }
+}
 
 /// Counters maintained by every TreeP node. Experiments aggregate these to
 /// measure maintenance overhead, promotion/demotion churn and lookup load.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NodeStats {
-    /// Messages received, keyed by message kind.
-    pub received: BTreeMap<String, u64>,
-    /// Messages sent, keyed by message kind.
-    pub sent: BTreeMap<String, u64>,
+    /// Messages received, counted per kind.
+    pub received: KindCounters,
+    /// Messages sent, counted per kind.
+    pub sent: KindCounters,
     /// Lookups this node originated.
     pub lookups_initiated: u64,
     /// Lookup requests this node forwarded on behalf of others.
@@ -109,43 +167,35 @@ pub struct NodeStats {
 
 impl NodeStats {
     /// Record a received message of the given kind.
-    pub fn record_received(&mut self, kind: &str) {
-        *self.received.entry(kind.to_string()).or_insert(0) += 1;
+    #[inline]
+    pub fn record_received(&mut self, kind: MessageKind) {
+        self.received.record(kind);
     }
 
     /// Record a sent message of the given kind.
-    pub fn record_sent(&mut self, kind: &str) {
-        *self.sent.entry(kind.to_string()).or_insert(0) += 1;
+    #[inline]
+    pub fn record_sent(&mut self, kind: MessageKind) {
+        self.sent.record(kind);
     }
 
     /// Total messages received.
     pub fn total_received(&self) -> u64 {
-        self.received.values().sum()
+        self.received.total()
     }
 
     /// Total messages sent.
     pub fn total_sent(&self) -> u64 {
-        self.sent.values().sum()
+        self.sent.total()
     }
 
     /// Total *maintenance* messages sent (everything except lookup / DHT /
-    /// multicast / aggregation traffic); the quantity the
-    /// maintenance-overhead ablation reports.
+    /// multicast / aggregation / read-path / pub-sub traffic); the quantity
+    /// the maintenance-overhead ablation reports.
     pub fn maintenance_sent(&self) -> u64 {
         self.sent
             .iter()
-            .filter(|(k, _)| {
-                !k.starts_with("lookup")
-                    && !k.starts_with("dht")
-                    && !k.starts_with("multicast")
-                    && !k.starts_with("aggregate")
-                    && !k.starts_with("get_versioned")
-                    && !k.starts_with("put_versioned")
-                    && !k.starts_with("read_verify")
-                    && !k.starts_with("subscribe")
-                    && !k.starts_with("unsubscribe")
-            })
-            .map(|(_, v)| *v)
+            .filter(|(k, _)| k.is_maintenance())
+            .map(|(_, n)| n)
             .sum()
     }
 }
@@ -157,33 +207,62 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let mut s = NodeStats::default();
-        s.record_received("keep_alive");
-        s.record_received("keep_alive");
-        s.record_received("lookup");
-        s.record_sent("keep_alive_ack");
+        s.record_received(MessageKind::KeepAlive);
+        s.record_received(MessageKind::KeepAlive);
+        s.record_received(MessageKind::Lookup);
+        s.record_sent(MessageKind::KeepAliveAck);
         assert_eq!(s.total_received(), 3);
         assert_eq!(s.total_sent(), 1);
-        assert_eq!(s.received["keep_alive"], 2);
+        assert_eq!(s.received.get(MessageKind::KeepAlive), 2);
+        assert_eq!(s.received.by_name("keep_alive"), Some(2));
+        assert_eq!(s.received.by_name("no_such_kind"), None);
     }
 
     #[test]
     fn maintenance_excludes_user_traffic() {
         let mut s = NodeStats::default();
-        s.record_sent("keep_alive");
-        s.record_sent("child_report");
-        s.record_sent("lookup");
-        s.record_sent("lookup_found");
-        s.record_sent("dht_put");
-        s.record_sent("multicast_down");
-        s.record_sent("aggregate_up");
-        s.record_sent("get_versioned");
-        s.record_sent("get_versioned_reply");
-        s.record_sent("put_versioned_ack");
-        s.record_sent("read_verify");
+        s.record_sent(MessageKind::KeepAlive);
+        s.record_sent(MessageKind::ChildReport);
+        s.record_sent(MessageKind::Lookup);
+        s.record_sent(MessageKind::LookupFound);
+        s.record_sent(MessageKind::DhtPut);
+        s.record_sent(MessageKind::MulticastDown);
+        s.record_sent(MessageKind::AggregateUp);
+        s.record_sent(MessageKind::GetVersioned);
+        s.record_sent(MessageKind::GetVersionedReply);
+        s.record_sent(MessageKind::PutVersionedAck);
+        s.record_sent(MessageKind::ReadVerify);
         // Repair pushes are maintenance, like the rest of the replication
         // repair traffic.
-        s.record_sent("read_repair");
+        s.record_sent(MessageKind::ReadRepair);
         assert_eq!(s.maintenance_sent(), 3);
         assert_eq!(s.total_sent(), 12);
+    }
+
+    #[test]
+    fn kind_iter_matches_display_names() {
+        let mut c = KindCounters::default();
+        assert!(c.is_empty());
+        c.record(MessageKind::FilterReport);
+        c.record(MessageKind::JoinRequest);
+        let pairs: Vec<(String, u64)> = c.iter().map(|(k, n)| (k.to_string(), n)).collect();
+        assert_eq!(
+            pairs,
+            vec![
+                ("join_request".to_string(), 1),
+                ("filter_report".to_string(), 1)
+            ]
+        );
+        assert_eq!(c.total(), 2);
+    }
+
+    #[test]
+    fn all_kinds_have_unique_names_and_indexes() {
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, k) in MessageKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert!(seen.insert(k.name()), "duplicate name {}", k.name());
+        }
+        assert_eq!(seen.len(), MessageKind::COUNT);
     }
 }

@@ -14,7 +14,7 @@
 //! ```
 
 use simnet::SimDuration;
-use treep::{AggregateQuery, KeyRange, NodeId};
+use treep::{AggregateQuery, KeyRange, MessageKind, NodeId};
 use workloads::TopologyBuilder;
 
 fn main() {
@@ -41,12 +41,7 @@ fn main() {
     let mut messages = 0u64;
     for node in &topo.nodes {
         let peer = sim.node_mut(node.addr).expect("intact run");
-        messages += peer
-            .stats()
-            .sent
-            .get("multicast_down")
-            .copied()
-            .unwrap_or(0);
+        messages += peer.stats().sent.get(MessageKind::MulticastDown);
         let deliveries = peer.drain_multicast_deliveries();
         copies += deliveries.len();
         if range.contains(node.id) {

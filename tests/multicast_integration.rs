@@ -8,7 +8,7 @@
 //! bounded retransmission overhead, drained queues.
 
 use simnet::{LatencyModel, LinkModel, LossModel, SimConfig, SimDuration, Simulation};
-use treep::{AggregateQuery, KeyRange, NodeId, TreePConfig, TreePNode};
+use treep::{AggregateQuery, KeyRange, MessageKind, NodeId, TreePConfig, TreePNode};
 use workloads::TopologyBuilder;
 
 /// Build a topology inside a simulation with the given link model and let
@@ -259,7 +259,7 @@ fn loss_matrix_reliability_restores_full_coverage() {
                 reached += per_multicast.len();
             }
             let stats = n.stats();
-            data_sends += stats.sent.get("multicast_down").copied().unwrap_or(0);
+            data_sends += stats.sent.get(MessageKind::MulticastDown);
             retransmits += stats.multicast_retransmits;
             assert_eq!(
                 n.pending_retransmit_count(),

@@ -27,7 +27,10 @@
 //!    to be lost (no spanning path exists), but exactly-once and queue
 //!    drain must still hold unconditionally.
 
-use simnet::{LatencyModel, LinkModel, LossModel, NodeAddr, SimConfig, SimDuration, Simulation};
+use simnet::{
+    flight_assert, flight_assert_eq, LatencyModel, LinkModel, LossModel, NodeAddr, SimConfig,
+    SimDuration, Simulation, TelemetryConfig,
+};
 use std::collections::BTreeMap;
 use treep::lookup::RequestId;
 use treep::{KeyRange, NodeId, TreePConfig, TreePNode};
@@ -137,6 +140,10 @@ fn build(seed: u64, loss: f64) -> (Simulation<TreePNode>, workloads::BuiltTopolo
         ..SimConfig::default()
     };
     let mut sim: Simulation<TreePNode> = Simulation::new(sim_config, seed);
+    // Flight recorder: a failing invariant below dumps the last 10k engine
+    // events (delivers, timers, drops) so the failure arrives with the
+    // event history that led to it.
+    sim.enable_telemetry(TelemetryConfig::default().with_recorder_capacity(10_000));
     let config = TreePConfig::paper_case_fixed().with_reliability(MAX_RETRANSMITS);
     let topo = TopologyBuilder::new(NODES)
         .with_config(config)
@@ -203,10 +210,16 @@ fn collect_deliveries(
     seen
 }
 
-fn assert_no_duplicates(seen: &BTreeMap<(NodeAddr, NodeAddr, RequestId), usize>, leg: &str) {
+fn assert_no_duplicates(
+    sim: &Simulation<TreePNode>,
+    seen: &BTreeMap<(NodeAddr, NodeAddr, RequestId), usize>,
+    leg: &str,
+) {
     for ((node, origin, request_id), count) in seen {
-        assert_eq!(
-            *count, 1,
+        flight_assert_eq!(
+            sim,
+            *count,
+            1,
             "{leg}: node {node:?} received probe ({origin:?}, {request_id:?}) {count} times — \
              retransmission must never duplicate an app-layer delivery"
         );
@@ -216,8 +229,10 @@ fn assert_no_duplicates(seen: &BTreeMap<(NodeAddr, NodeAddr, RequestId), usize>,
 fn assert_queues_drained(sim: &Simulation<TreePNode>, leg: &str) {
     for addr in sim.alive_nodes() {
         let node = sim.node(addr).expect("alive");
-        assert_eq!(
-            node.pending_retransmit_count(),
+        let pending = node.pending_retransmit_count();
+        flight_assert_eq!(
+            sim,
+            pending,
             0,
             "{leg}: node at {addr:?} leaked retransmission queue entries"
         );
@@ -265,7 +280,7 @@ fn run_trace(trial: u64) {
     sim.run_for(SimDuration::from_secs(12));
 
     let seen = collect_deliveries(&mut sim, &alive, &probes);
-    assert_no_duplicates(&seen, "leg 1");
+    assert_no_duplicates(&sim, &seen, "leg 1");
     let mut expected_total = 0usize;
     for probe in &probes {
         // The reference delivery model: the trees the dissemination can
@@ -276,7 +291,8 @@ fn run_trace(trial: u64) {
         for &(addr, id) in &alive {
             if probe.range.contains(id) && ancestor_chain_meets(&sim, addr, &reach) {
                 expected += 1;
-                assert!(
+                flight_assert!(
+                    sim,
                     seen.contains_key(&(addr, probe.origin, probe.request_id)),
                     "trial {trial} (loss {loss}, {kills_before} churned): delivery lost — \
                      alive, in-range, structurally reachable node {id:?} never received \
@@ -304,7 +320,7 @@ fn run_trace(trial: u64) {
 
     let survivors = topo.alive_pairs(&sim);
     let seen2 = collect_deliveries(&mut sim, &survivors, &probes2);
-    assert_no_duplicates(&seen2, "leg 2");
+    assert_no_duplicates(&sim, &seen2, "leg 2");
     assert_queues_drained(&sim, "leg 2");
 }
 

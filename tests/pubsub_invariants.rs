@@ -9,7 +9,7 @@
 //! would give. A determinism cross-check rides along: the whole delivery
 //! trace replays bit-identically from its seed.
 
-use simnet::{NodeAddr, SimDuration};
+use simnet::{flight_assert, flight_assert_eq, NodeAddr, SimDuration, TelemetryConfig};
 use std::collections::{BTreeMap, BTreeSet};
 use treep::lookup::RequestId;
 use treep::{KeyRange, NodeId, TreePConfig};
@@ -37,6 +37,10 @@ fn run_trace(case: &Case) -> Vec<DeliveryRecord> {
     let config = TreePConfig::paper_case_fixed().with_pubsub();
     let builder = TopologyBuilder::new(case.nodes).with_config(config);
     let (mut sim, topo) = builder.build_simulation(case.seed);
+    // Flight recorder: on an invariant failure the last 10k engine events
+    // are dumped next to the panic, so a seed that trips the exactly-once
+    // check arrives with its event history attached.
+    sim.enable_telemetry(TelemetryConfig::default().with_recorder_capacity(10_000));
     let workload = PubSubWorkload::new(topo.config.space, case.topics, 1.0);
     let mut rng = sim.rng_mut().fork();
     let churn = ChurnPlan {
@@ -158,15 +162,19 @@ fn run_trace(case: &Case) -> Vec<DeliveryRecord> {
                     .is_some_and(|topics| topics.contains(&topic_index));
                 let got = receivers.get(&addr).copied().unwrap_or(0);
                 if subscribed {
-                    assert_eq!(
-                        got, 1,
+                    flight_assert_eq!(
+                        sim,
+                        got,
+                        1,
                         "round {round} publish {probe}: subscriber {addr:?} of topic \
                          {topic_index} got {got} copies instead of exactly one"
                     );
                     records.push((round, probe, addr));
                 } else {
-                    assert_eq!(
-                        got, 0,
+                    flight_assert_eq!(
+                        sim,
+                        got,
+                        0,
                         "round {round} publish {probe}: non-subscriber {addr:?} \
                          received topic {topic_index}"
                     );
@@ -175,7 +183,8 @@ fn run_trace(case: &Case) -> Vec<DeliveryRecord> {
         }
     }
 
-    assert!(
+    flight_assert!(
+        sim,
         !records.is_empty(),
         "the trace must meet delivery obligations to be meaningful"
     );
@@ -242,6 +251,7 @@ fn seeded_network(
     config.replication_factor = 3;
     let builder = TopologyBuilder::new(nodes).with_config(config);
     let (mut sim, topo) = builder.build_simulation(seed);
+    sim.enable_telemetry(TelemetryConfig::default().with_recorder_capacity(10_000));
     let space = topo.config.space;
     let kv = KvWorkload::new(40);
     let mut rng = sim.rng_mut().fork();
@@ -347,8 +357,10 @@ fn range_queries_match_the_naive_store_scan_oracle() {
         );
         let origin = alive_pairs[rng.gen_range_usize(0..alive_pairs.len())].0;
         let keys = query_keys(&mut sim, origin, range);
-        assert_eq!(
-            keys, oracle,
+        flight_assert_eq!(
+            sim,
+            keys,
+            oracle,
             "range {range:?}: convergecast answer diverged from the naive \
              store scan"
         );
